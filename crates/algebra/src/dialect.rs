@@ -1,0 +1,60 @@
+//! SQL dialects.
+//!
+//! The paper (footnote 2) notes that `GREATEST` is used for PostgreSQL and
+//! that other dialects can use similar functions or `CASE..WHEN`; likewise
+//! `OUTER APPLY` (SQL Server) vs `LEFT JOIN LATERAL` (PostgreSQL).
+
+/// Target SQL dialect for rendering extracted queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dialect {
+    /// PostgreSQL: `GREATEST`/`LEAST`, `LEFT JOIN LATERAL … ON TRUE`.
+    #[default]
+    Postgres,
+    /// MySQL: `GREATEST`/`LEAST`, emulate lateral with `LEFT JOIN LATERAL`
+    /// (supported since MySQL 8.0.14).
+    Mysql,
+    /// SQL Server: no `GREATEST` before 2022 — render `CASE WHEN`; native
+    /// `OUTER APPLY`.
+    SqlServer,
+    /// ANSI-ish generic dialect: `CASE WHEN` for greatest/least, lateral
+    /// joins, standard everything else.
+    Ansi,
+}
+
+impl Dialect {
+    /// Whether the dialect has native `GREATEST`/`LEAST` functions.
+    pub fn has_greatest(self) -> bool {
+        matches!(self, Dialect::Postgres | Dialect::Mysql)
+    }
+
+    /// Whether the dialect spells correlated apply as `OUTER APPLY`
+    /// (otherwise `LEFT JOIN LATERAL (…) ON TRUE` is emitted).
+    pub fn has_outer_apply(self) -> bool {
+        matches!(self, Dialect::SqlServer)
+    }
+
+    /// String concatenation: `CONCAT(a, b)` everywhere except ANSI `||`.
+    pub fn concat_is_operator(self) -> bool {
+        matches!(self, Dialect::Ansi | Dialect::Postgres)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_matrix() {
+        assert!(Dialect::Postgres.has_greatest());
+        assert!(!Dialect::SqlServer.has_greatest());
+        assert!(Dialect::SqlServer.has_outer_apply());
+        assert!(!Dialect::Postgres.has_outer_apply());
+        assert!(Dialect::Ansi.concat_is_operator());
+        assert!(!Dialect::Mysql.concat_is_operator());
+    }
+
+    #[test]
+    fn default_is_postgres() {
+        assert_eq!(Dialect::default(), Dialect::Postgres);
+    }
+}

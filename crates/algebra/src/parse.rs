@@ -1,0 +1,961 @@
+//! Parser for the SQL/HQL subset that appears in application source code.
+//!
+//! Database applications embed queries as strings:
+//! `executeQuery("SELECT * FROM board WHERE rnd_id = ?")`. The extractor
+//! parses these into [`RaExpr`] so they become algebraic leaves of the
+//! ee-DAG (paper Sec. 3.2.1: "Parameterized queries in the source program
+//! can be treated as parameterized expressions in the multiset relational
+//! algebra").
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query    := SELECT [DISTINCT] items FROM source
+//!             [WHERE pred] [GROUP BY exprs] [ORDER BY keys]
+//!           | FROM source [WHERE pred] …          -- HQL style, implicit *
+//! items    := '*' | item (',' item)*
+//! item     := expr [AS ident]
+//! source   := table [AS? ident] (JOIN table [AS? ident] ON pred)*
+//! expr     := literals, idents, qualified idents, '?', arithmetic,
+//!             comparisons, AND/OR/NOT, IS [NOT] NULL, function calls,
+//!             aggregate calls (COUNT/SUM/MIN/MAX/AVG)
+//! ```
+//!
+//! `?` placeholders are numbered left to right into [`Scalar::Param`].
+
+#![allow(clippy::if_same_then_else)] // `AS alias` vs bare-alias parse paths are intentionally parallel
+
+use std::fmt;
+
+use crate::ra::{AggCall, AggFunc, ProjItem, RaExpr, SortKey, SortOrder};
+use crate::scalar::{BinOp, ColRef, Lit, Scalar, ScalarFunc, UnOp};
+
+/// A SQL parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Parse a SQL/HQL query string into relational algebra.
+pub fn parse_sql(input: &str) -> Result<RaExpr, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(char),
+    Le,
+    Ge,
+    Ne,
+    /// `||` — string concatenation.
+    PipePipe,
+    Question,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SpTok {
+    tok: Tok,
+    offset: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<SpTok>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                toks.push(SpTok { tok: Tok::Ident(input[i..j].to_string()), offset: start });
+                i = j;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'.' && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[i..j];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| SqlError {
+                        message: format!("bad float literal {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| SqlError {
+                        message: format!("bad integer literal {text}"),
+                        offset: start,
+                    })?)
+                };
+                toks.push(SpTok { tok, offset: start });
+                i = j;
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SqlError {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[j] == b'\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                toks.push(SpTok { tok: Tok::Str(s), offset: start });
+                i = j;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                toks.push(SpTok { tok: Tok::Le, offset: start });
+                i += 2;
+            }
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                toks.push(SpTok { tok: Tok::Ge, offset: start });
+                i += 2;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push(SpTok { tok: Tok::Ne, offset: start });
+                i += 2;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                toks.push(SpTok { tok: Tok::Ne, offset: start });
+                i += 2;
+            }
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
+                toks.push(SpTok { tok: Tok::PipePipe, offset: start });
+                i += 2;
+            }
+            '?' => {
+                toks.push(SpTok { tok: Tok::Question, offset: start });
+                i += 1;
+            }
+            '*' | ',' | '(' | ')' | '.' | '=' | '<' | '>' | '+' | '-' | '/' | '%' => {
+                toks.push(SpTok { tok: Tok::Punct(c), offset: start });
+                i += 1;
+            }
+            other => {
+                return Err(SqlError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    tokens: Vec<SpTok>,
+    pos: usize,
+    params: usize,
+}
+
+/// A select item before aggregate/projection splitting.
+enum Item {
+    Star,
+    Expr { expr: ParsedExpr, alias: Option<String> },
+}
+
+/// A parsed select expression: either a plain scalar or an aggregate call.
+enum ParsedExpr {
+    Scalar(Scalar),
+    Agg(AggFunc, Scalar),
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn offset(&self) -> usize {
+        match self.tokens.get(self.pos) {
+            Some(t) => t.offset,
+            None => self.tokens.last().map_or(0, |t| t.offset),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        SqlError { message: message.into(), offset: self.offset() }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), SqlError> {
+        match self.peek() {
+            Some(Tok::Punct(p)) if *p == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected {c:?}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), SqlError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens after query"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn query(&mut self) -> Result<RaExpr, SqlError> {
+        let (distinct, items) = if self.eat_kw("select") {
+            let distinct = self.eat_kw("distinct");
+            (distinct, self.items()?)
+        } else if self.at_kw("from") {
+            // HQL style: "from Board as b where …" — implicit SELECT *.
+            (false, vec![Item::Star])
+        } else {
+            return Err(self.err("expected SELECT or FROM"));
+        };
+        self.expect_kw("from")?;
+        let mut source = self.table_ref()?;
+        loop {
+            if self.at_kw("outer") {
+                // `OUTER APPLY <from-item>` (SQL Server spelling).
+                self.pos += 1;
+                self.expect_kw("apply")?;
+                let right = self.table_ref()?;
+                source = RaExpr::OuterApply { left: Box::new(source), right: Box::new(right) };
+                continue;
+            }
+            if !(self.at_kw("join") || self.at_kw("inner") || self.at_kw("left")) {
+                break;
+            }
+            let kind = if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                crate::ra::JoinKind::Inner
+            } else if self.eat_kw("left") {
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                crate::ra::JoinKind::LeftOuter
+            } else {
+                self.expect_kw("join")?;
+                crate::ra::JoinKind::Inner
+            };
+            if self.eat_kw("lateral") {
+                // `LEFT JOIN LATERAL (…) [AS a] ON TRUE` → OUTER APPLY.
+                let right = self.table_ref()?;
+                self.expect_kw("on")?;
+                let cond = self.expr()?;
+                if cond != Scalar::Lit(Lit::Bool(true)) {
+                    return Err(self.err("LATERAL joins must use ON TRUE"));
+                }
+                source = RaExpr::OuterApply { left: Box::new(source), right: Box::new(right) };
+                continue;
+            }
+            let right = self.table_ref()?;
+            self.expect_kw("on")?;
+            let pred = self.expr()?;
+            source = RaExpr::Join {
+                left: Box::new(source),
+                right: Box::new(right),
+                pred,
+                kind,
+            };
+        }
+        if self.eat_kw("where") {
+            let pred = self.expr()?;
+            source = source.select(pred);
+        }
+        let mut group_keys = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_keys.push(self.expr()?);
+                if !matches!(self.peek(), Some(Tok::Punct(','))) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+
+        // Parse ORDER BY up front; where it attaches depends on the shape:
+        // for plain SELECTs the sort keys reference pre-projection columns,
+        // so τ goes *below* π (π preserves order); for aggregates/DISTINCT
+        // it goes on top, referencing output aliases.
+        let mut sort_keys = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let order = if self.eat_kw("desc") {
+                    SortOrder::Desc
+                } else {
+                    self.eat_kw("asc");
+                    SortOrder::Asc
+                };
+                sort_keys.push(SortKey { expr: e, order });
+                if !matches!(self.peek(), Some(Tok::Punct(','))) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+
+        // Split items into projections vs aggregates.
+        let has_agg = items.iter().any(|i| matches!(i, Item::Expr { expr: ParsedExpr::Agg(..), .. }));
+        let result = if has_agg || !group_keys.is_empty() {
+            let mut gb = Vec::new();
+            let mut aggs = Vec::new();
+            let mut n = 0usize;
+            for item in &items {
+                match item {
+                    Item::Star => {
+                        return Err(self.err("SELECT * cannot be combined with aggregates"))
+                    }
+                    Item::Expr { expr, alias } => {
+                        n += 1;
+                        match expr {
+                            ParsedExpr::Scalar(s) => {
+                                let alias =
+                                    alias.clone().unwrap_or_else(|| default_alias(s, n));
+                                gb.push(ProjItem::new(s.clone(), alias));
+                            }
+                            ParsedExpr::Agg(f, arg) => {
+                                let alias =
+                                    alias.clone().unwrap_or_else(|| format!("col{n}"));
+                                aggs.push(AggCall::new(*f, arg.clone(), alias));
+                            }
+                        }
+                    }
+                }
+            }
+            // Non-aggregate select items must be grouping keys; when GROUP BY
+            // was written explicitly we trust it, otherwise grouping is empty.
+            let group_by = if group_keys.is_empty() {
+                if !gb.is_empty() {
+                    return Err(self.err("non-aggregate select item without GROUP BY"));
+                }
+                Vec::new()
+            } else {
+                // Keep the select-list order/aliases for the group keys.
+                gb
+            };
+            RaExpr::Aggregate { input: Box::new(source), group_by, aggs }
+        } else {
+            let is_star = items.len() == 1 && matches!(items[0], Item::Star);
+            // ORDER BY may reference either source columns (sort below the
+            // projection — π preserves order) or select-list aliases (sort
+            // above). Keys naming only output aliases attach above.
+            let aliases: Vec<&str> = items
+                .iter()
+                .filter_map(|i| match i {
+                    Item::Expr { alias: Some(a), .. } => Some(a.as_str()),
+                    _ => None,
+                })
+                .collect();
+            let keys_use_aliases = !is_star
+                && !sort_keys.is_empty()
+                && sort_keys.iter().all(|k| {
+                    k.expr
+                        .columns()
+                        .iter()
+                        .all(|c| c.qualifier.is_none() && aliases.contains(&c.column.as_str()))
+                });
+            if !sort_keys.is_empty() && !keys_use_aliases {
+                source = source.sort(std::mem::take(&mut sort_keys));
+            }
+            if is_star {
+                source
+            } else {
+                let mut proj = Vec::new();
+                let mut n = 0usize;
+                for item in items {
+                    match item {
+                        Item::Star => {
+                            return Err(self.err("* mixed with expressions is unsupported"))
+                        }
+                        Item::Expr { expr, alias } => {
+                            n += 1;
+                            let s = match expr {
+                                ParsedExpr::Scalar(s) => s,
+                                ParsedExpr::Agg(..) => unreachable!("handled above"),
+                            };
+                            let alias = alias.unwrap_or_else(|| default_alias(&s, n));
+                            proj.push(ProjItem::new(s, alias));
+                        }
+                    }
+                }
+                source.project(proj)
+            }
+        };
+
+        let mut result = result;
+        if !sort_keys.is_empty() {
+            // Aggregate/other shapes: sort on top, over output aliases.
+            result = result.sort(sort_keys);
+        }
+        if distinct {
+            result = result.dedup();
+        }
+        if self.eat_kw("limit") {
+            match self.bump() {
+                Some(Tok::Int(n)) if n >= 0 => result = result.limit(n as u64),
+                _ => return Err(self.err("expected row count after LIMIT")),
+            }
+        }
+        Ok(result)
+    }
+
+    fn items(&mut self) -> Result<Vec<Item>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Tok::Punct('*'))) {
+                self.pos += 1;
+                out.push(Item::Star);
+            } else {
+                let expr = self.select_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else if matches!(self.peek(), Some(Tok::Ident(s))
+                    if !is_keyword(s))
+                {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                out.push(Item::Expr { expr, alias });
+            }
+            if matches!(self.peek(), Some(Tok::Punct(','))) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn select_expr(&mut self) -> Result<ParsedExpr, SqlError> {
+        // Aggregate call at top level of a select item?
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if let Some(f) = agg_func(name) {
+                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                    self.pos += 2;
+                    let arg = if matches!(self.peek(), Some(Tok::Punct('*'))) {
+                        self.pos += 1;
+                        Scalar::int(1)
+                    } else {
+                        self.expr()?
+                    };
+                    self.expect_punct(')')?;
+                    return Ok(ParsedExpr::Agg(f, arg));
+                }
+            }
+        }
+        Ok(ParsedExpr::Scalar(self.expr()?))
+    }
+
+    fn table_ref(&mut self) -> Result<RaExpr, SqlError> {
+        if matches!(self.peek(), Some(Tok::Punct('('))) {
+            // Derived table `(SELECT …) [AS] alias`.
+            self.pos += 1;
+            let inner = self.query()?;
+            self.expect_punct(')')?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else if matches!(self.peek(), Some(Tok::Ident(s)) if !is_keyword(s)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(match alias {
+                Some(a) => RaExpr::Aliased { input: Box::new(inner), alias: a },
+                None => inner,
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Some(Tok::Ident(s)) if !is_keyword(s)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(RaExpr::Table { name: name.to_ascii_lowercase(), alias })
+    }
+
+    // Precedence climbing: or < and < not < cmp < add < mul < unary.
+    fn expr(&mut self) -> Result<Scalar, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Scalar, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Scalar::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Scalar, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Scalar::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Scalar, SqlError> {
+        if self.eat_kw("not") {
+            let e = self.not_expr()?;
+            Ok(Scalar::Un(UnOp::Not, Box::new(e)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Scalar, SqlError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Punct('=')) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Punct('<')) => Some(BinOp::Lt),
+            Some(Tok::Punct('>')) => Some(BinOp::Gt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(Scalar::Bin(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let op = if negated { UnOp::IsNotNull } else { UnOp::IsNull };
+            return Ok(Scalar::Un(op, Box::new(lhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Scalar, SqlError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if matches!(self.peek(), Some(Tok::PipePipe)) {
+                self.pos += 1;
+                let rhs = self.mul_expr()?;
+                // Flatten chained concatenation into one call.
+                lhs = match lhs {
+                    Scalar::Func(ScalarFunc::Concat, mut args) => {
+                        args.push(rhs);
+                        Scalar::Func(ScalarFunc::Concat, args)
+                    }
+                    other => Scalar::Func(ScalarFunc::Concat, vec![other, rhs]),
+                };
+                continue;
+            }
+            let op = match self.peek() {
+                Some(Tok::Punct('+')) => BinOp::Add,
+                Some(Tok::Punct('-')) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Scalar::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Scalar, SqlError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct('*')) => BinOp::Mul,
+                Some(Tok::Punct('/')) => BinOp::Div,
+                Some(Tok::Punct('%')) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Scalar::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Scalar, SqlError> {
+        if matches!(self.peek(), Some(Tok::Punct('-'))) {
+            self.pos += 1;
+            let e = self.unary_expr()?;
+            return Ok(Scalar::Un(UnOp::Neg, Box::new(e)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Scalar, SqlError> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Scalar::Lit(Lit::Int(i))),
+            Some(Tok::Float(v)) => Ok(Scalar::Lit(Lit::float(v))),
+            Some(Tok::Str(s)) => Ok(Scalar::Lit(Lit::Str(s))),
+            Some(Tok::Question) => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Scalar::Param(idx))
+            }
+            Some(Tok::Punct('(')) => {
+                if self.at_kw("select") || self.at_kw("from") {
+                    let q = self.query()?;
+                    self.expect_punct(')')?;
+                    return Ok(Scalar::Subquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "null" => return Ok(Scalar::Lit(Lit::Null)),
+                    "true" => return Ok(Scalar::Lit(Lit::Bool(true))),
+                    "false" => return Ok(Scalar::Lit(Lit::Bool(false))),
+                    "exists" => {
+                        self.expect_punct('(')?;
+                        let q = self.query()?;
+                        self.expect_punct(')')?;
+                        return Ok(Scalar::Exists(Box::new(q)));
+                    }
+                    "case" => return self.case_expr(),
+                    _ => {}
+                }
+                if matches!(self.peek(), Some(Tok::Punct('('))) {
+                    // Scalar function call.
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Tok::Punct(')'))) {
+                        loop {
+                            args.push(self.expr()?);
+                            if matches!(self.peek(), Some(Tok::Punct(','))) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(')')?;
+                    let f = scalar_func(&lower)
+                        .ok_or_else(|| self.err(format!("unknown function {name}")))?;
+                    return Ok(Scalar::Func(f, args));
+                }
+                if matches!(self.peek(), Some(Tok::Punct('.'))) {
+                    self.pos += 1;
+                    let col = self.ident()?;
+                    return Ok(Scalar::Col(ColRef::qualified(name, col)));
+                }
+                Ok(Scalar::Col(ColRef::new(name)))
+            }
+            other => Err(SqlError {
+                message: format!("unexpected token {other:?} in expression"),
+                offset: self.offset(),
+            }),
+        }
+    }
+}
+
+impl Parser {
+    /// `CASE WHEN c THEN v [WHEN …] ELSE e END` (the `case` keyword was
+    /// already consumed).
+    fn case_expr(&mut self) -> Result<Scalar, SqlError> {
+        let mut arms = Vec::new();
+        while self.eat_kw("when") {
+            let c = self.expr()?;
+            self.expect_kw("then")?;
+            let v = self.expr()?;
+            arms.push((c, v));
+        }
+        if arms.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN arm"));
+        }
+        self.expect_kw("else")?;
+        let otherwise = self.expr()?;
+        self.expect_kw("end")?;
+        Ok(Scalar::Case { arms, otherwise: Box::new(otherwise) })
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s.to_ascii_lowercase().as_str(),
+        "select" | "from" | "where" | "group" | "order" | "by" | "join" | "inner" | "left"
+            | "outer" | "on" | "and" | "or" | "not" | "as" | "distinct" | "asc" | "desc"
+            | "is" | "null" | "limit" | "lateral" | "apply" | "exists" | "case" | "when"
+            | "then" | "else" | "end" | "union" | "all"
+    )
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "sum" => AggFunc::Sum,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "count" => AggFunc::Count,
+        "avg" => AggFunc::Avg,
+        _ => return None,
+    })
+}
+
+fn scalar_func(name: &str) -> Option<ScalarFunc> {
+    Some(match name {
+        "greatest" => ScalarFunc::Greatest,
+        "least" => ScalarFunc::Least,
+        "abs" => ScalarFunc::Abs,
+        "concat" => ScalarFunc::Concat,
+        "lower" => ScalarFunc::Lower,
+        "upper" => ScalarFunc::Upper,
+        "length" => ScalarFunc::Length,
+        "coalesce" => ScalarFunc::Coalesce,
+        _ => return None,
+    })
+}
+
+fn default_alias(s: &Scalar, n: usize) -> String {
+    match s {
+        Scalar::Col(c) => c.column.clone(),
+        _ => format!("col{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::to_sql;
+    use crate::Dialect;
+
+    fn roundtrip(sql: &str) -> String {
+        to_sql(&parse_sql(sql).unwrap(), Dialect::Postgres)
+    }
+
+    #[test]
+    fn select_star_where() {
+        let e = parse_sql("SELECT * FROM board WHERE rnd_id = 1").unwrap();
+        assert_eq!(
+            e,
+            RaExpr::table("board").select(Scalar::cmp(
+                BinOp::Eq,
+                Scalar::col("rnd_id"),
+                Scalar::int(1)
+            ))
+        );
+    }
+
+    #[test]
+    fn hql_style_from_with_alias() {
+        let e = parse_sql("from Board as b where b.rnd_id = 1").unwrap();
+        assert_eq!(
+            e,
+            RaExpr::table_as("board", "b").select(Scalar::cmp(
+                BinOp::Eq,
+                Scalar::qcol("b", "rnd_id"),
+                Scalar::int(1)
+            ))
+        );
+    }
+
+    #[test]
+    fn projection_with_aliases() {
+        let e = parse_sql("SELECT p1, p2 AS second FROM board").unwrap();
+        assert_eq!(
+            e,
+            RaExpr::table("board").project(vec![
+                ProjItem::col("p1"),
+                ProjItem::new(Scalar::col("p2"), "second"),
+            ])
+        );
+    }
+
+    #[test]
+    fn parameters_number_left_to_right() {
+        let e = parse_sql("SELECT * FROM t WHERE a = ? AND b < ?").unwrap();
+        assert_eq!(e.max_param(), Some(1));
+    }
+
+    #[test]
+    fn join_on_predicate() {
+        let s = roundtrip(
+            "SELECT * FROM wilos_user u JOIN role r ON u.role_id = r.id WHERE r.name = 'admin'",
+        );
+        assert_eq!(
+            s,
+            "SELECT * FROM wilos_user AS u JOIN role AS r ON (u.role_id = r.id) \
+             WHERE (r.name = 'admin')"
+        );
+    }
+
+    #[test]
+    fn aggregate_without_group() {
+        let e = parse_sql("SELECT MAX(score) AS m FROM results").unwrap();
+        match &e {
+            RaExpr::Aggregate { group_by, aggs, .. } => {
+                assert!(group_by.is_empty());
+                assert_eq!(aggs.len(), 1);
+                assert_eq!(aggs[0].alias, "m");
+                assert_eq!(aggs[0].func, AggFunc::Max);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_with_keys() {
+        let e = parse_sql("SELECT dept, SUM(salary) total FROM emp GROUP BY dept").unwrap();
+        match &e {
+            RaExpr::Aggregate { group_by, aggs, .. } => {
+                assert_eq!(group_by.len(), 1);
+                assert_eq!(group_by[0].alias, "dept");
+                assert_eq!(aggs[0].alias, "total");
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let e = parse_sql("SELECT COUNT(*) AS n FROM t").unwrap();
+        match &e {
+            RaExpr::Aggregate { aggs, .. } => assert_eq!(aggs[0].arg, Scalar::int(1)),
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_desc() {
+        let s = roundtrip("SELECT * FROM t ORDER BY x DESC, y");
+        assert_eq!(s, "SELECT * FROM t ORDER BY x DESC, y");
+    }
+
+    #[test]
+    fn distinct_renders_dedup() {
+        let e = parse_sql("SELECT DISTINCT name FROM t").unwrap();
+        assert!(matches!(e, RaExpr::Dedup { .. }));
+    }
+
+    #[test]
+    fn string_escape_roundtrip() {
+        let e = parse_sql("SELECT * FROM t WHERE name = 'o''clock'").unwrap();
+        let s = to_sql(&e, Dialect::Postgres);
+        assert!(s.contains("'o''clock'"), "{s}");
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let e = parse_sql("SELECT * FROM t WHERE a IS NULL AND NOT b IS NOT NULL").unwrap();
+        let s = to_sql(&e, Dialect::Postgres);
+        assert!(s.contains("IS NULL"), "{s}");
+        assert!(s.contains("NOT"), "{s}");
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_sql("SELECT * FROM t WHERE a + b * 2 > 10").unwrap();
+        let s = to_sql(&e, Dialect::Postgres);
+        assert_eq!(s, "SELECT * FROM t WHERE ((a + (b * 2)) > 10)");
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        let err = parse_sql("SELECT FROM").unwrap_err();
+        assert!(err.offset <= "SELECT FROM".len());
+        let err2 = parse_sql("SELECT * FROM t WHERE @").unwrap_err();
+        assert!(err2.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_sql("SELECT * FROM t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn left_join_parses() {
+        let e = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y").unwrap();
+        match e {
+            RaExpr::Join { kind, .. } => assert_eq!(kind, crate::ra::JoinKind::LeftOuter),
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+}

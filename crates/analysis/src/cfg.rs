@@ -1,0 +1,319 @@
+//! Control-flow graph construction (paper Sec. 3.1).
+//!
+//! "A Control Flow Graph (CFG) is a directed graph in which nodes correspond
+//! to basic blocks in the program and edges correspond to control flow.
+//! There are two specially designated nodes: the Start node, through which
+//! control enters into the graph, and the End node, through which all
+//! control flow leaves."
+
+use std::collections::BTreeSet;
+
+use imp::ast::{Block, Expr, Function, StmtId, StmtKind};
+
+/// Index of a basic block in a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// What ends a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch on a condition expression.
+    Branch {
+        /// Branch condition.
+        cond: Expr,
+        /// Successor when true.
+        then_to: BlockId,
+        /// Successor when false.
+        else_to: BlockId,
+    },
+    /// Loop-header dispatch of a cursor loop: either enter the body with the
+    /// next element, or exit.
+    ForDispatch {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        iterable: Expr,
+        /// Body entry.
+        body: BlockId,
+        /// Loop exit.
+        exit: BlockId,
+    },
+    /// Function return.
+    Return(Option<Expr>),
+    /// Falls into the End node.
+    End,
+}
+
+/// A basic block: a maximal straight-line statement sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BasicBlock {
+    /// Ids of the statements in the block, in order.
+    pub stmts: Vec<StmtId>,
+    /// Block terminator (`End` by default until sealed).
+    pub terminator: Option<Terminator>,
+}
+
+/// A control-flow graph for one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    /// Basic blocks; `blocks[0]` is the Start node.
+    pub blocks: Vec<BasicBlock>,
+    /// The designated Start node (always `BlockId(0)`).
+    pub start: BlockId,
+    /// The designated End node.
+    pub end: BlockId,
+}
+
+impl Cfg {
+    /// Build the CFG of a function body.
+    pub fn build(f: &Function) -> Cfg {
+        let mut b = Builder { blocks: Vec::new() };
+        let start = b.new_block();
+        let end = b.new_block();
+        let last = b.lower_block(&f.body, start, end);
+        // Fall-through from the last open block to End.
+        if b.blocks[last.0].terminator.is_none() {
+            b.blocks[last.0].terminator = Some(Terminator::Goto(end));
+        }
+        if b.blocks[end.0].terminator.is_none() {
+            b.blocks[end.0].terminator = Some(Terminator::End);
+        }
+        Cfg { blocks: b.blocks, start, end: BlockId(1) }
+    }
+
+    /// Successor block ids of `id`.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        match &self.blocks[id.0].terminator {
+            Some(Terminator::Goto(t)) => vec![*t],
+            Some(Terminator::Branch { then_to, else_to, .. }) => vec![*then_to, *else_to],
+            Some(Terminator::ForDispatch { body, exit, .. }) => vec![*body, *exit],
+            Some(Terminator::Return(_)) => vec![self.end],
+            Some(Terminator::End) | None => vec![],
+        }
+    }
+
+    /// Predecessor sets for all blocks.
+    pub fn predecessors(&self) -> Vec<BTreeSet<BlockId>> {
+        let mut preds = vec![BTreeSet::new(); self.blocks.len()];
+        for (i, _) in self.blocks.iter().enumerate() {
+            for s in self.successors(BlockId(i)) {
+                preds[s.0].insert(BlockId(i));
+            }
+        }
+        preds
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the CFG has no blocks (never happens for built CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks in reverse post-order from Start.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::new();
+        self.dfs(self.start, &mut visited, &mut order);
+        order.reverse();
+        order
+    }
+
+    fn dfs(&self, b: BlockId, visited: &mut [bool], order: &mut Vec<BlockId>) {
+        if visited[b.0] {
+            return;
+        }
+        visited[b.0] = true;
+        for s in self.successors(b) {
+            self.dfs(s, visited, order);
+        }
+        order.push(b);
+    }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Lower `block` starting in `current`; `loop_exit` aids break/continue
+    /// lowering. Returns the block that is open at the end.
+    fn lower_block(&mut self, block: &Block, mut current: BlockId, fn_end: BlockId) -> BlockId {
+        for s in &block.stmts {
+            // A sealed block (return/break) makes the rest unreachable; keep
+            // lowering into a fresh unreachable block for simplicity.
+            if self.blocks[current.0].terminator.is_some() {
+                current = self.new_block();
+            }
+            match &s.kind {
+                StmtKind::Assign { .. } | StmtKind::Expr(_) | StmtKind::Print(_) => {
+                    self.blocks[current.0].stmts.push(s.id);
+                }
+                StmtKind::Return(v) => {
+                    self.blocks[current.0].stmts.push(s.id);
+                    self.blocks[current.0].terminator = Some(Terminator::Return(v.clone()));
+                }
+                StmtKind::Break | StmtKind::Continue => {
+                    // Lowered conservatively as a jump to function end /
+                    // self; extraction rejects loops containing these anyway
+                    // (Sec. 2: "we assume that loops do not contain
+                    // unconditional exit statements like break").
+                    self.blocks[current.0].stmts.push(s.id);
+                    self.blocks[current.0].terminator = Some(Terminator::Goto(fn_end));
+                }
+                StmtKind::If { cond, then_branch, else_branch } => {
+                    let then_b = self.new_block();
+                    let else_b = self.new_block();
+                    let join = self.new_block();
+                    self.blocks[current.0].terminator = Some(Terminator::Branch {
+                        cond: cond.clone(),
+                        then_to: then_b,
+                        else_to: else_b,
+                    });
+                    let then_last = self.lower_block(then_branch, then_b, fn_end);
+                    if self.blocks[then_last.0].terminator.is_none() {
+                        self.blocks[then_last.0].terminator = Some(Terminator::Goto(join));
+                    }
+                    let else_last = self.lower_block(else_branch, else_b, fn_end);
+                    if self.blocks[else_last.0].terminator.is_none() {
+                        self.blocks[else_last.0].terminator = Some(Terminator::Goto(join));
+                    }
+                    current = join;
+                }
+                StmtKind::ForEach { var, iterable, body } => {
+                    let header = self.new_block();
+                    let body_b = self.new_block();
+                    let exit = self.new_block();
+                    self.blocks[current.0].terminator = Some(Terminator::Goto(header));
+                    self.blocks[header.0].stmts.push(s.id);
+                    self.blocks[header.0].terminator = Some(Terminator::ForDispatch {
+                        var: var.clone(),
+                        iterable: iterable.clone(),
+                        body: body_b,
+                        exit,
+                    });
+                    let body_last = self.lower_block(body, body_b, fn_end);
+                    if self.blocks[body_last.0].terminator.is_none() {
+                        self.blocks[body_last.0].terminator = Some(Terminator::Goto(header));
+                    }
+                    current = exit;
+                }
+                StmtKind::While { cond, body } => {
+                    let header = self.new_block();
+                    let body_b = self.new_block();
+                    let exit = self.new_block();
+                    self.blocks[current.0].terminator = Some(Terminator::Goto(header));
+                    self.blocks[header.0].stmts.push(s.id);
+                    self.blocks[header.0].terminator = Some(Terminator::Branch {
+                        cond: cond.clone(),
+                        then_to: body_b,
+                        else_to: exit,
+                    });
+                    let body_last = self.lower_block(body, body_b, fn_end);
+                    if self.blocks[body_last.0].terminator.is_none() {
+                        self.blocks[body_last.0].terminator = Some(Terminator::Goto(header));
+                    }
+                    current = exit;
+                }
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse_program(src).unwrap();
+        Cfg::build(&p.functions[0])
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let c = cfg_of("fn f() { a = 1; b = 2; c = a + b; }");
+        // Start holds the statements, then End.
+        assert_eq!(c.blocks[c.start.0].stmts.len(), 3);
+        assert_eq!(c.successors(c.start), vec![c.end]);
+    }
+
+    #[test]
+    fn if_creates_diamond() {
+        let c = cfg_of("fn f() { if (x > 0) { y = 1; } else { y = 2; } z = y; }");
+        match &c.blocks[c.start.0].terminator {
+            Some(Terminator::Branch { then_to, else_to, .. }) => {
+                let then_succ = c.successors(*then_to);
+                let else_succ = c.successors(*else_to);
+                assert_eq!(then_succ, else_succ, "both arms join");
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_creates_back_edge() {
+        let c = cfg_of("fn f() { for (t in q) { x = t.a; } return x; }");
+        // Find the for-dispatch header.
+        let header = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.terminator, Some(Terminator::ForDispatch { .. })))
+            .unwrap();
+        let (body, _exit) = match &c.blocks[header].terminator {
+            Some(Terminator::ForDispatch { body, exit, .. }) => (*body, *exit),
+            _ => unreachable!(),
+        };
+        // The body eventually loops back to the header.
+        let mut cur = body;
+        let mut steps = 0;
+        loop {
+            let succ = c.successors(cur);
+            assert_eq!(succ.len(), 1);
+            cur = succ[0];
+            steps += 1;
+            assert!(steps < 10, "runaway");
+            if cur == BlockId(header) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn return_goes_to_end() {
+        let c = cfg_of("fn f() { return 1; }");
+        assert_eq!(c.successors(c.start), vec![c.end]);
+        assert!(matches!(c.blocks[c.start.0].terminator, Some(Terminator::Return(_))));
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_start() {
+        let c = cfg_of("fn f() { if (a) { b = 1; } c = 2; }");
+        let rpo = c.reverse_postorder();
+        assert_eq!(rpo[0], c.start);
+        // End is reachable and thus present.
+        assert!(rpo.contains(&c.end));
+    }
+
+    #[test]
+    fn predecessors_are_inverse_of_successors() {
+        let c = cfg_of("fn f() { if (a) { b = 1; } else { b = 2; } return b; }");
+        let preds = c.predecessors();
+        for (i, _) in c.blocks.iter().enumerate() {
+            for s in c.successors(BlockId(i)) {
+                assert!(preds[s.0].contains(&BlockId(i)));
+            }
+        }
+    }
+}

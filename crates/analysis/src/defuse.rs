@@ -1,0 +1,275 @@
+//! Def/use/external-access sets per statement (paper Sec. 4.2).
+//!
+//! Conservative conventions from the paper:
+//!
+//! * "we conservatively treat the entire database/file as a single location"
+//!   — every `executeQuery`/`executeScalar` is an **external read**, every
+//!   `executeUpdate` an **external write**, and `print` an external write
+//!   (to the console);
+//! * "reading/writing an element in a collection is treated as accessing
+//!   the entire collection" — `c.add(x)` both reads and writes `c`;
+//! * unknown free functions are treated as externally reading and writing
+//!   (user-defined functions are inlined *before* dependence analysis, so
+//!   in practice only genuinely-unknown calls pay this penalty).
+
+use std::collections::BTreeSet;
+
+use imp::ast::{builtins, Expr, Stmt, StmtKind};
+
+/// Extra context for def/use computation: user functions known to be pure
+/// (computed by [`crate::purity::pure_user_functions`]); calls to them are
+/// not treated as external accesses.
+#[derive(Debug, Clone, Default)]
+pub struct DefUseCtx {
+    /// Pure user-defined function names.
+    pub pure_functions: BTreeSet<String>,
+}
+
+/// Names of pure library functions that read nothing external.
+pub const PURE_FUNCTIONS: &[&str] = &[
+    "max", "min", "abs", "concat", "list", "set", "lower", "upper", "length", "pair", "coalesce",
+];
+
+/// Collection / string methods that mutate their receiver.
+pub const MUTATING_METHODS: &[&str] = &["add", "insert", "append", "remove", "clear", "addAll"];
+
+/// Collection methods that only read their receiver.
+pub const READING_METHODS: &[&str] =
+    &["contains", "size", "get", "isEmpty", "first", "indexOf"];
+
+/// The def/use summary of one statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefUse {
+    /// Variables written.
+    pub defs: BTreeSet<String>,
+    /// Variables read.
+    pub uses: BTreeSet<String>,
+    /// Reads an external location (database, console, unknown call).
+    pub ext_read: bool,
+    /// Writes an external location.
+    pub ext_write: bool,
+}
+
+impl DefUse {
+    /// Def/use summary of a statement, *not* descending into nested blocks
+    /// (compound statements summarize only their own condition/iterable —
+    /// use [`DefUse::of_stmt_recursive`] for whole-subtree summaries).
+    pub fn of_stmt(s: &Stmt) -> DefUse {
+        DefUse::of_stmt_in(s, &DefUseCtx::default())
+    }
+
+    /// [`DefUse::of_stmt`] with purity context.
+    pub fn of_stmt_in(s: &Stmt, ctx: &DefUseCtx) -> DefUse {
+        let mut du = DefUse::default();
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                du.defs.insert(target.clone());
+                expr_uses(value, &mut du, ctx);
+            }
+            StmtKind::Expr(e) => expr_uses(e, &mut du, ctx),
+            StmtKind::If { cond, .. } => expr_uses(cond, &mut du, ctx),
+            StmtKind::ForEach { var, iterable, .. } => {
+                du.defs.insert(var.clone());
+                expr_uses(iterable, &mut du, ctx);
+            }
+            StmtKind::While { cond, .. } => expr_uses(cond, &mut du, ctx),
+            StmtKind::Return(v) => {
+                if let Some(v) = v {
+                    expr_uses(v, &mut du, ctx);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Print(args) => {
+                du.ext_write = true;
+                for a in args {
+                    expr_uses(a, &mut du, ctx);
+                }
+            }
+        }
+        du
+    }
+
+    /// Def/use summary of a statement including everything nested inside it.
+    pub fn of_stmt_recursive(s: &Stmt) -> DefUse {
+        DefUse::of_stmt_recursive_in(s, &DefUseCtx::default())
+    }
+
+    /// [`DefUse::of_stmt_recursive`] with purity context.
+    pub fn of_stmt_recursive_in(s: &Stmt, ctx: &DefUseCtx) -> DefUse {
+        let mut du = DefUse::of_stmt_in(s, ctx);
+        match &s.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                for b in [then_branch, else_branch] {
+                    for inner in &b.stmts {
+                        du.merge(&DefUse::of_stmt_recursive_in(inner, ctx));
+                    }
+                }
+            }
+            StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                for inner in &body.stmts {
+                    du.merge(&DefUse::of_stmt_recursive_in(inner, ctx));
+                }
+            }
+            _ => {}
+        }
+        du
+    }
+
+    /// Union another summary into this one.
+    pub fn merge(&mut self, other: &DefUse) {
+        self.defs.extend(other.defs.iter().cloned());
+        self.uses.extend(other.uses.iter().cloned());
+        self.ext_read |= other.ext_read;
+        self.ext_write |= other.ext_write;
+    }
+
+    /// True when this statement touches any external location.
+    pub fn touches_external(&self) -> bool {
+        self.ext_read || self.ext_write
+    }
+}
+
+/// Accumulate uses from an expression in value position.
+fn expr_uses(e: &Expr, du: &mut DefUse, ctx: &DefUseCtx) {
+    match e {
+        Expr::Lit(_) => {}
+        Expr::Var(v) => {
+            du.uses.insert(v.clone());
+        }
+        Expr::Unary(_, x) => expr_uses(x, du, ctx),
+        Expr::Binary(_, l, r) => {
+            expr_uses(l, du, ctx);
+            expr_uses(r, du, ctx);
+        }
+        Expr::Ternary(c, a, b) => {
+            expr_uses(c, du, ctx);
+            expr_uses(a, du, ctx);
+            expr_uses(b, du, ctx);
+        }
+        Expr::Field(o, _) => expr_uses(o, du, ctx),
+        Expr::Call { name, args } => {
+            for a in args {
+                expr_uses(a, du, ctx);
+            }
+            match name.as_str() {
+                builtins::EXECUTE_QUERY | builtins::EXECUTE_SCALAR | builtins::EXECUTE_BATCH => {
+                    du.ext_read = true
+                }
+                builtins::EXECUTE_UPDATE => {
+                    du.ext_read = true;
+                    du.ext_write = true;
+                }
+                n if PURE_FUNCTIONS.contains(&n) => {}
+                n if ctx.pure_functions.contains(n) => {}
+                _ => {
+                    // Unknown call: conservatively external read+write.
+                    du.ext_read = true;
+                    du.ext_write = true;
+                }
+            }
+        }
+        Expr::MethodCall { recv, name, args } => {
+            expr_uses(recv, du, ctx);
+            for a in args {
+                expr_uses(a, du, ctx);
+            }
+            if MUTATING_METHODS.contains(&name.as_str()) {
+                // Mutation in value position: also a def of the receiver
+                // variable when the receiver is a variable.
+                if let Expr::Var(v) = recv.as_ref() {
+                    du.defs.insert(v.clone());
+                }
+            } else if !READING_METHODS.contains(&name.as_str()) {
+                // Unknown method: conservative external access.
+                du.ext_read = true;
+                du.ext_write = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    fn first_stmt_du(src: &str) -> DefUse {
+        let p = parse_program(src).unwrap();
+        DefUse::of_stmt(&p.functions[0].body.stmts[0])
+    }
+
+    #[test]
+    fn assign_defs_target_uses_rhs() {
+        let du = first_stmt_du("fn f() { x = a + b; }");
+        assert!(du.defs.contains("x"));
+        assert!(du.uses.contains("a") && du.uses.contains("b"));
+        assert!(!du.touches_external());
+    }
+
+    #[test]
+    fn query_is_external_read() {
+        let du = first_stmt_du(r#"fn f() { rs = executeQuery("SELECT * FROM t"); }"#);
+        assert!(du.ext_read);
+        assert!(!du.ext_write);
+        assert!(du.defs.contains("rs"));
+    }
+
+    #[test]
+    fn update_is_external_write() {
+        let du = first_stmt_du(r#"fn f() { executeUpdate("DELETE FROM t"); }"#);
+        assert!(du.ext_write);
+    }
+
+    #[test]
+    fn collection_add_reads_and_writes_receiver() {
+        let du = first_stmt_du("fn f() { names.add(u.name); }");
+        assert!(du.defs.contains("names"), "collection is written");
+        assert!(du.uses.contains("names"), "whole collection is also read");
+        assert!(du.uses.contains("u"));
+        assert!(!du.touches_external());
+    }
+
+    #[test]
+    fn print_is_external_write() {
+        let du = first_stmt_du("fn f() { print(x); }");
+        assert!(du.ext_write);
+        assert!(du.uses.contains("x"));
+    }
+
+    #[test]
+    fn pure_functions_are_not_external() {
+        let du = first_stmt_du("fn f() { m = max(a, b); }");
+        assert!(!du.touches_external());
+    }
+
+    #[test]
+    fn unknown_call_is_conservative() {
+        let du = first_stmt_du("fn f() { x = mystery(a); }");
+        assert!(du.ext_read && du.ext_write);
+    }
+
+    #[test]
+    fn foreach_defs_cursor_var() {
+        let du = first_stmt_du("fn f() { for (t in rows) { x = t.a; } }");
+        assert!(du.defs.contains("t"));
+        assert!(du.uses.contains("rows"));
+        // Non-recursive: body not included.
+        assert!(!du.defs.contains("x"));
+    }
+
+    #[test]
+    fn recursive_summary_includes_body() {
+        let p = parse_program("fn f() { for (t in rows) { s = s + t.a; print(s); } }").unwrap();
+        let du = DefUse::of_stmt_recursive(&p.functions[0].body.stmts[0]);
+        assert!(du.defs.contains("s"));
+        assert!(du.ext_write, "print inside body");
+    }
+
+    #[test]
+    fn reading_methods_are_pure() {
+        let du = first_stmt_du("fn f() { n = names.size(); }");
+        assert!(!du.touches_external());
+        assert!(du.uses.contains("names"));
+        assert!(!du.defs.contains("names"));
+    }
+}

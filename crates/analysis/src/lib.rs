@@ -1,0 +1,38 @@
+//! Program analyses over `imp` ASTs (paper Sec. 3.1 and 4.2).
+//!
+//! * [`cfg`] — control-flow graph construction over basic blocks, with the
+//!   designated `Start`/`End` nodes of the paper;
+//! * [`dominators`] — iterative dominator computation, used to check the
+//!   single-entry/single-exit region property;
+//! * [`regions`] — the hierarchical region tree (basic block, sequential,
+//!   conditional, loop regions; Fig. 4/5). Built from the AST, as the paper
+//!   permits ("Alternatively, it is possible to use an abstract syntax tree
+//!   to identify program regions"), and cross-validated against the CFG;
+//! * [`defuse`] — per-statement def/use/external-access sets. The whole
+//!   database is conservatively one external location, and accessing any
+//!   element of a collection accesses the whole collection (Sec. 4.2);
+//! * [`ddg`] — the data-dependence graph of a loop body, with loop-carried
+//!   flow-dependence (lcfd) and external-dependence edges, used to check
+//!   preconditions P1–P3 of `loopToFold` (Fig. 6);
+//! * [`slice`] — backward program slices `slice(R, l, v)` (Weiser-style,
+//!   including control predicates);
+//! * [`liveness`] — backward live-variable analysis on structured ASTs;
+//! * [`deadcode`] — removal of statements made dead by SQL extraction
+//!   (Sec. 5.2, "Parts of region R which are now rendered dead … are removed
+//!   by dead code elimination").
+
+pub mod cfg;
+pub mod ddg;
+pub mod deadcode;
+pub mod defuse;
+pub mod dominators;
+pub mod liveness;
+pub mod purity;
+pub mod regions;
+pub mod slice;
+pub mod structural;
+
+pub use cfg::{BlockId, Cfg};
+pub use ddg::{Ddg, DepKind};
+pub use defuse::{DefUse, DefUseCtx};
+pub use regions::{Region, RegionId, RegionKind, RegionTree};

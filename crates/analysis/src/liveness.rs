@@ -1,0 +1,189 @@
+//! Backward live-variable analysis over structured `imp` ASTs.
+//!
+//! Used by [`crate::deadcode`] to find statements rendered dead after SQL
+//! extraction (paper Sec. 5.2). The analysis is exact for `imp`'s structured
+//! control flow: blocks are processed backwards; branches join by union;
+//! loop bodies iterate to a fixpoint.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use imp::ast::{Block, Function, StmtId, StmtKind};
+
+use crate::defuse::DefUse;
+
+/// Per-statement liveness results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Liveness {
+    /// Variables live immediately *after* each statement.
+    pub live_after: BTreeMap<StmtId, BTreeSet<String>>,
+}
+
+impl Liveness {
+    /// Compute liveness for a function. `extra_live_out` names variables
+    /// considered live at function exit besides those used by `return`
+    /// (e.g. out-parameters of an inlined procedure).
+    pub fn compute(f: &Function, extra_live_out: &BTreeSet<String>) -> Liveness {
+        let mut l = Liveness::default();
+        l.block(&f.body, extra_live_out.clone());
+        l
+    }
+
+    /// Variables live after statement `id`, empty set when unknown.
+    pub fn after(&self, id: StmtId) -> BTreeSet<String> {
+        self.live_after.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Process a block given the variables live after it; returns the
+    /// variables live before it.
+    fn block(&mut self, b: &Block, mut live: BTreeSet<String>) -> BTreeSet<String> {
+        for s in b.stmts.iter().rev() {
+            // Record (union, since loop bodies are visited repeatedly).
+            self.live_after.entry(s.id).or_default().extend(live.iter().cloned());
+            live = self.stmt(s, live);
+        }
+        live
+    }
+
+    fn stmt(&mut self, s: &imp::ast::Stmt, live_after: BTreeSet<String>) -> BTreeSet<String> {
+        match &s.kind {
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let t = self.block(then_branch, live_after.clone());
+                let e = self.block(else_branch, live_after);
+                let mut live: BTreeSet<String> = t.union(&e).cloned().collect();
+                live.extend(cond.vars());
+                live
+            }
+            StmtKind::ForEach { var, iterable, body } => {
+                // Fixpoint: body may propagate liveness around the back edge.
+                let mut live_out_body = live_after.clone();
+                loop {
+                    let mut live_in_body = self.block(body, live_out_body.clone());
+                    live_in_body.remove(var);
+                    let merged: BTreeSet<String> =
+                        live_out_body.union(&live_in_body).cloned().collect();
+                    if merged == live_out_body {
+                        break;
+                    }
+                    live_out_body = merged;
+                }
+                let mut live = live_out_body;
+                live.remove(var);
+                live.extend(iterable.vars());
+                live
+            }
+            StmtKind::While { cond, body } => {
+                let mut live_out_body = live_after.clone();
+                loop {
+                    let live_in_body = self.block(body, live_out_body.clone());
+                    let merged: BTreeSet<String> =
+                        live_out_body.union(&live_in_body).cloned().collect();
+                    if merged == live_out_body {
+                        break;
+                    }
+                    live_out_body = merged;
+                }
+                let mut live = live_out_body;
+                live.extend(cond.vars());
+                live
+            }
+            StmtKind::Return(v) => {
+                // Nothing after a return is live through it.
+                let mut live = BTreeSet::new();
+                if let Some(v) = v {
+                    live.extend(v.vars());
+                }
+                live
+            }
+            StmtKind::Expr(imp::ast::Expr::MethodCall { recv, name, args })
+                if crate::defuse::MUTATING_METHODS.contains(&name.as_str())
+                    && matches!(recv.as_ref(), imp::ast::Expr::Var(_)) =>
+            {
+                // `c.add(x);` is a *partial def* of `c`: for liveness we
+                // neither kill nor use the receiver — the mutation matters
+                // only if `c` is read downstream. (This "faint variable"
+                // treatment lets dead loop-carried mutation cycles be
+                // swept; the DDG keeps the read-modify-write view.)
+                let mut live = live_after;
+                for a in args {
+                    live.extend(a.vars());
+                }
+                live
+            }
+            _ => {
+                let du = DefUse::of_stmt(s);
+                let mut live = live_after;
+                for d in &du.defs {
+                    // An `Assign` whose RHS reads the target (s = s + x)
+                    // keeps the use; only pure defs kill liveness.
+                    if !du.uses.contains(d) {
+                        live.remove(d);
+                    }
+                }
+                live.extend(du.uses.iter().cloned());
+                live
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    fn live(src: &str) -> (imp::ast::Function, Liveness) {
+        let p = parse_program(src).unwrap();
+        let f = p.functions[0].clone();
+        let l = Liveness::compute(&f, &BTreeSet::new());
+        (f, l)
+    }
+
+    #[test]
+    fn dead_after_last_use() {
+        let (f, l) = live("fn f() { a = 1; b = a + 1; return b; }");
+        let s_a = f.body.stmts[0].id;
+        let s_b = f.body.stmts[1].id;
+        assert!(l.after(s_a).contains("a"));
+        assert!(!l.after(s_b).contains("a"), "a is dead after its last use");
+        assert!(l.after(s_b).contains("b"));
+    }
+
+    #[test]
+    fn unused_assignment_is_dead() {
+        let (f, l) = live("fn f() { junk = 42; return 0; }");
+        assert!(!l.after(f.body.stmts[0].id).contains("junk"));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        let (f, l) = live("fn f() { s = 0; for (t in q) { s = s + t.x; } return s; }");
+        // s is live after its own update (next iteration + return).
+        let loop_stmt = &f.body.stmts[1];
+        if let StmtKind::ForEach { body, .. } = &loop_stmt.kind {
+            assert!(l.after(body.stmts[0].id).contains("s"));
+        } else {
+            panic!("expected loop");
+        }
+        assert!(l.after(f.body.stmts[0].id).contains("s"));
+    }
+
+    #[test]
+    fn branch_join_is_union() {
+        let (f, l) = live(
+            "fn f(c) { a = 1; b = 2; if (c > 0) { r = a; } else { r = b; } return r; }",
+        );
+        let s_b = f.body.stmts[1].id;
+        let after_b = l.after(s_b);
+        assert!(after_b.contains("a") && after_b.contains("b"));
+    }
+
+    #[test]
+    fn extra_live_out_respected() {
+        let p = parse_program("fn f() { x = 1; }").unwrap();
+        let f = p.functions[0].clone();
+        let l = Liveness::compute(&f, &BTreeSet::from(["x".to_string()]));
+        assert!(l.after(f.body.stmts[0].id).contains("x"));
+        let l2 = Liveness::compute(&f, &BTreeSet::new());
+        assert!(!l2.after(f.body.stmts[0].id).contains("x"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Purity analysis for user-defined functions.
+//!
+//! The D-IR inlines user functions (paper Appendix D.6), so a call like
+//! `clampPositive(e.salary)` inside a loop body is algebraic. The dependence
+//! analysis, however, runs over the *source* statements — it needs to know
+//! which calls are side-effect free, or every helper call would look like an
+//! external write and fail precondition P3.
+//!
+//! A function is pure when its body performs no external access (database,
+//! output) and calls only library functions or other pure functions.
+//! Computed as an increasing fixpoint (recursive functions conservatively
+//! stay impure).
+
+use std::collections::BTreeSet;
+
+use imp::ast::{builtins, Block, Expr, Program, StmtKind};
+
+use crate::defuse::PURE_FUNCTIONS;
+
+/// The set of user-defined functions with no external effects.
+pub fn pure_user_functions(p: &Program) -> BTreeSet<String> {
+    let mut pure: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for f in &p.functions {
+            if pure.contains(&f.name) {
+                continue;
+            }
+            if block_is_pure(&f.body, &pure) {
+                pure.insert(f.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return pure;
+        }
+    }
+}
+
+fn block_is_pure(b: &Block, pure: &BTreeSet<String>) -> bool {
+    b.stmts.iter().all(|s| match &s.kind {
+        StmtKind::Assign { value, .. } => expr_is_pure(value, pure),
+        StmtKind::Expr(e) => expr_is_pure(e, pure),
+        StmtKind::If { cond, then_branch, else_branch } => {
+            expr_is_pure(cond, pure)
+                && block_is_pure(then_branch, pure)
+                && block_is_pure(else_branch, pure)
+        }
+        StmtKind::ForEach { iterable, body, .. } => {
+            expr_is_pure(iterable, pure) && block_is_pure(body, pure)
+        }
+        StmtKind::While { cond, body } => expr_is_pure(cond, pure) && block_is_pure(body, pure),
+        StmtKind::Return(v) => v.as_ref().is_none_or(|e| expr_is_pure(e, pure)),
+        StmtKind::Break | StmtKind::Continue => true,
+        StmtKind::Print(_) => false,
+    })
+}
+
+fn expr_is_pure(e: &Expr, pure: &BTreeSet<String>) -> bool {
+    let mut ok = true;
+    e.walk(&mut |x| match x {
+        Expr::Call { name, .. } => {
+            let n = name.as_str();
+            if builtins::DB_FUNCTIONS.contains(&n)
+                || (!PURE_FUNCTIONS.contains(&n) && !pure.contains(n))
+            {
+                ok = false;
+            }
+        }
+        Expr::MethodCall { name, .. } => {
+            let n = name.as_str();
+            if !crate::defuse::READING_METHODS.contains(&n)
+                && !crate::defuse::MUTATING_METHODS.contains(&n)
+            {
+                ok = false;
+            }
+        }
+        _ => {}
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    #[test]
+    fn arithmetic_helper_is_pure() {
+        let p = parse_program("fn clamp(x) { return max(x, 0); } fn main() { return clamp(1); }")
+            .unwrap();
+        let pure = pure_user_functions(&p);
+        assert!(pure.contains("clamp"));
+        assert!(pure.contains("main"), "calls only pure functions");
+    }
+
+    #[test]
+    fn query_function_is_impure() {
+        let p = parse_program(
+            r#"fn fetch() { return executeQuery("SELECT * FROM t"); } fn m() { return fetch(); }"#,
+        )
+        .unwrap();
+        let pure = pure_user_functions(&p);
+        assert!(!pure.contains("fetch"));
+        assert!(!pure.contains("m"), "transitively impure");
+    }
+
+    #[test]
+    fn print_is_impure() {
+        let p = parse_program("fn shout(x) { print(x); return x; }").unwrap();
+        assert!(pure_user_functions(&p).is_empty());
+    }
+
+    #[test]
+    fn recursion_stays_impure_conservatively() {
+        let p = parse_program("fn r(x) { return r(x); }").unwrap();
+        assert!(pure_user_functions(&p).is_empty());
+    }
+
+    #[test]
+    fn chains_of_pure_functions() {
+        let p = parse_program(
+            "fn a(x) { return x + 1; } fn b(x) { return a(x) * 2; } fn c(x) { return b(a(x)); }",
+        )
+        .unwrap();
+        let pure = pure_user_functions(&p);
+        assert_eq!(pure.len(), 3);
+    }
+}

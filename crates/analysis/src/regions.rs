@@ -1,0 +1,333 @@
+//! The hierarchical region tree (paper Sec. 3.1, Figures 4 and 5).
+//!
+//! Four region kinds are handled: **basic block**, **sequential**,
+//! **conditional**, and **loop** regions. "By definition, regions compose
+//! other regions. We note that the program as a whole is also a region."
+//!
+//! The tree is derived from the AST (explicitly permitted by the paper) and
+//! can be cross-validated against the CFG: every region is single-entry /
+//! single-exit and its header dominates its nodes (see
+//! [`RegionTree::validate_against_cfg`]).
+
+use imp::ast::{Block, Expr, Function, Stmt, StmtKind};
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dominators::Dominators;
+
+/// Index of a region in a [`RegionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub usize);
+
+/// The payload of a region node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionKind {
+    /// A maximal run of simple statements with sequential control flow.
+    BasicBlock {
+        /// The statements (cloned from the AST; ids preserved).
+        stmts: Vec<Stmt>,
+    },
+    /// Two or more regions with sequential control flow between them.
+    Sequential {
+        /// Child regions in control-flow order.
+        children: Vec<RegionId>,
+    },
+    /// `if (cond) R_true else R_false` — the condition region, true region,
+    /// and false region of Fig. 4(a).
+    Conditional {
+        /// The branch condition (the "condition region").
+        cond: Expr,
+        /// The "true region".
+        then_region: RegionId,
+        /// The "false region" (possibly an empty basic block).
+        else_region: RegionId,
+    },
+    /// A cursor loop `for (var in iterable) body` — Fig. 4(c).
+    Loop {
+        /// Loop cursor variable.
+        var: String,
+        /// Iterated collection expression (the loop header's query).
+        iterable: Expr,
+        /// The loop body region.
+        body: RegionId,
+        /// Id of the `ForEach` statement this region came from.
+        stmt_id: imp::ast::StmtId,
+    },
+    /// A `while` loop — represented but never extracted (Sec. 7.1).
+    WhileLoop {
+        /// Loop condition.
+        cond: Expr,
+        /// Body region.
+        body: RegionId,
+        /// Id of the `While` statement.
+        stmt_id: imp::ast::StmtId,
+    },
+}
+
+/// One region node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// This region's id.
+    pub id: RegionId,
+    /// The payload.
+    pub kind: RegionKind,
+}
+
+/// The region hierarchy of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionTree {
+    /// All regions; children refer to indices in this vector.
+    pub regions: Vec<Region>,
+    /// The root region (the whole function body).
+    pub root: RegionId,
+}
+
+impl RegionTree {
+    /// Build the region tree for a function body.
+    pub fn build(f: &Function) -> RegionTree {
+        let mut t = RegionTree { regions: Vec::new(), root: RegionId(0) };
+        let root = t.lower_block(&f.body);
+        t.root = root;
+        t
+    }
+
+    /// Access a region by id.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.0]
+    }
+
+    fn push(&mut self, kind: RegionKind) -> RegionId {
+        let id = RegionId(self.regions.len());
+        self.regions.push(Region { id, kind });
+        id
+    }
+
+    /// Lower a `{}` block into a region: a single region when homogeneous,
+    /// otherwise a sequential region over the runs.
+    fn lower_block(&mut self, b: &Block) -> RegionId {
+        let mut children = Vec::new();
+        let mut run: Vec<Stmt> = Vec::new();
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::If { cond, then_branch, else_branch } => {
+                    if !run.is_empty() {
+                        let stmts = std::mem::take(&mut run);
+                        children.push(self.push(RegionKind::BasicBlock { stmts }));
+                    }
+                    let then_region = self.lower_block(then_branch);
+                    let else_region = self.lower_block(else_branch);
+                    children.push(self.push(RegionKind::Conditional {
+                        cond: cond.clone(),
+                        then_region,
+                        else_region,
+                    }));
+                }
+                StmtKind::ForEach { var, iterable, body } => {
+                    if !run.is_empty() {
+                        let stmts = std::mem::take(&mut run);
+                        children.push(self.push(RegionKind::BasicBlock { stmts }));
+                    }
+                    let body_r = self.lower_block(body);
+                    children.push(self.push(RegionKind::Loop {
+                        var: var.clone(),
+                        iterable: iterable.clone(),
+                        body: body_r,
+                        stmt_id: s.id,
+                    }));
+                }
+                StmtKind::While { cond, body } => {
+                    if !run.is_empty() {
+                        let stmts = std::mem::take(&mut run);
+                        children.push(self.push(RegionKind::BasicBlock { stmts }));
+                    }
+                    let body_r = self.lower_block(body);
+                    children.push(self.push(RegionKind::WhileLoop {
+                        cond: cond.clone(),
+                        body: body_r,
+                        stmt_id: s.id,
+                    }));
+                }
+                _ => run.push(s.clone()),
+            }
+        }
+        if !run.is_empty() || children.is_empty() {
+            children.push(self.push(RegionKind::BasicBlock { stmts: run }));
+        }
+        if children.len() == 1 {
+            children[0]
+        } else {
+            self.push(RegionKind::Sequential { children })
+        }
+    }
+
+    /// All loop regions, outermost first.
+    pub fn loops(&self) -> Vec<RegionId> {
+        let mut out = Vec::new();
+        self.collect_loops(self.root, &mut out);
+        out
+    }
+
+    fn collect_loops(&self, id: RegionId, out: &mut Vec<RegionId>) {
+        match &self.region(id).kind {
+            RegionKind::BasicBlock { .. } => {}
+            RegionKind::Sequential { children } => {
+                for c in children {
+                    self.collect_loops(*c, out);
+                }
+            }
+            RegionKind::Conditional { then_region, else_region, .. } => {
+                self.collect_loops(*then_region, out);
+                self.collect_loops(*else_region, out);
+            }
+            RegionKind::Loop { body, .. } | RegionKind::WhileLoop { body, .. } => {
+                out.push(id);
+                self.collect_loops(*body, out);
+            }
+        }
+    }
+
+    /// All statements contained in the region (recursively), in order.
+    pub fn statements(&self, id: RegionId) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        self.collect_statements(id, &mut out);
+        out
+    }
+
+    fn collect_statements(&self, id: RegionId, out: &mut Vec<Stmt>) {
+        match &self.region(id).kind {
+            RegionKind::BasicBlock { stmts } => out.extend(stmts.iter().cloned()),
+            RegionKind::Sequential { children } => {
+                for c in children {
+                    self.collect_statements(*c, out);
+                }
+            }
+            RegionKind::Conditional { then_region, else_region, .. } => {
+                self.collect_statements(*then_region, out);
+                self.collect_statements(*else_region, out);
+            }
+            RegionKind::Loop { body, .. } | RegionKind::WhileLoop { body, .. } => {
+                self.collect_statements(*body, out);
+            }
+        }
+    }
+
+    /// Cross-validate structural properties against the CFG: each cursor
+    /// loop's header block dominates its body blocks (the paper's region
+    /// property). Returns `Err` naming the first violated loop.
+    pub fn validate_against_cfg(&self, cfg: &Cfg) -> Result<(), String> {
+        let doms = Dominators::compute(cfg);
+        for (h, block) in cfg.blocks.iter().enumerate() {
+            if let Some(Terminator::ForDispatch { body, .. }) = &block.terminator {
+                let header = crate::cfg::BlockId(h);
+                // Walk the body until control returns to the header; every
+                // visited block must be dominated by the header.
+                let mut stack = vec![*body];
+                let mut seen = std::collections::BTreeSet::new();
+                while let Some(b) = stack.pop() {
+                    if b == header || !seen.insert(b) {
+                        continue;
+                    }
+                    if !doms.dominates(header, b) {
+                        return Err(format!(
+                            "loop header {header:?} does not dominate body block {b:?}"
+                        ));
+                    }
+                    stack.extend(cfg.successors(b));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    fn tree(src: &str) -> RegionTree {
+        let p = parse_program(src).unwrap();
+        RegionTree::build(&p.functions[0])
+    }
+
+    #[test]
+    fn figure5_structure() {
+        // Paper Figure 5(a): straight-line + conditional composition.
+        let t = tree(
+            "fn f() { x = 10; y = 15; if (y - x > 0) { z = y - x; } else { z = x - y; } }",
+        );
+        match &t.region(t.root).kind {
+            RegionKind::Sequential { children } => {
+                assert_eq!(children.len(), 2);
+                assert!(matches!(t.region(children[0]).kind, RegionKind::BasicBlock { .. }));
+                assert!(matches!(t.region(children[1]).kind, RegionKind::Conditional { .. }));
+            }
+            other => panic!("expected sequential root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_basic_block_is_root() {
+        let t = tree("fn f() { a = 1; b = 2; }");
+        assert!(matches!(t.region(t.root).kind, RegionKind::BasicBlock { .. }));
+    }
+
+    #[test]
+    fn loop_region_records_cursor() {
+        let t = tree("fn f() { for (t in boards) { x = t.a; } }");
+        let loops = t.loops();
+        assert_eq!(loops.len(), 1);
+        match &t.region(loops[0]).kind {
+            RegionKind::Loop { var, .. } => assert_eq!(var, "t"),
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loops_outermost_first() {
+        let t = tree(
+            "fn f() { for (a in q1) { for (b in q2) { x = b.v; } } for (c in q3) { y = c.v; } }",
+        );
+        let loops = t.loops();
+        assert_eq!(loops.len(), 3);
+        // First reported loop contains the second.
+        match &t.region(loops[0]).kind {
+            RegionKind::Loop { var, .. } => assert_eq!(var, "a"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn statements_are_collected_in_order() {
+        let t = tree("fn f() { a = 1; if (a > 0) { b = 2; } c = 3; }");
+        let ids: Vec<u32> = t.statements(t.root).iter().map(|s| s.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 3); // a=1, b=2, c=3 — the `if` itself is a region
+    }
+
+    #[test]
+    fn empty_else_still_gets_region() {
+        let t = tree("fn f() { if (a) { b = 1; } }");
+        match &t.region(t.root).kind {
+            RegionKind::Conditional { else_region, .. } => {
+                match &t.region(*else_region).kind {
+                    RegionKind::BasicBlock { stmts } => assert!(stmts.is_empty()),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("expected conditional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cfg_validation_passes_for_structured_code() {
+        let p = parse_program(
+            "fn f() { for (t in q) { if (t.x > 0) { s = s + t.x; } } return s; }",
+        )
+        .unwrap();
+        let t = RegionTree::build(&p.functions[0]);
+        let cfg = crate::cfg::Cfg::build(&p.functions[0]);
+        t.validate_against_cfg(&cfg).unwrap();
+    }
+}

@@ -1,0 +1,361 @@
+//! Structural region identification on the CFG (paper Sec. 3.1).
+//!
+//! "Regions are constructed from the CFG using rules described in \[12\]"
+//! (Hecht & Ullman's flow-graph reducibility). This module implements the
+//! classic T1/T2-style reduction specialized to the paper's four region
+//! kinds: a work-list repeatedly collapses
+//!
+//! * **sequential** chains (A → B where B is A's only successor and A is
+//!   B's only predecessor),
+//! * **conditional** diamonds/triangles (a branch whose arms reconverge),
+//! * **loop** bodies (a back edge to a dominating header),
+//!
+//! until the graph is a single node. Structured `imp` programs always
+//! reduce fully; the resulting tree is cross-checked against the AST-derived
+//! [`crate::regions::RegionTree`] (the paper: "Alternatively, it is possible
+//! to use an abstract syntax tree to identify program regions").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{BlockId, Cfg, Terminator};
+
+/// A structural region recovered from the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SRegion {
+    /// A single basic block.
+    Leaf(BlockId),
+    /// Sequential composition.
+    Seq(Vec<SRegion>),
+    /// A conditional with a branch head, arms, and implicit reconvergence.
+    Cond {
+        /// The branching region.
+        head: Box<SRegion>,
+        /// The true arm (`None` for if-without-else).
+        then_arm: Option<Box<SRegion>>,
+        /// The false arm.
+        else_arm: Option<Box<SRegion>>,
+    },
+    /// A loop: header plus body with a back edge.
+    Loop {
+        /// The loop header region.
+        header: Box<SRegion>,
+        /// The body region.
+        body: Box<SRegion>,
+    },
+}
+
+impl SRegion {
+    /// Count regions of each kind: `(leaves, seqs, conds, loops)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        match self {
+            SRegion::Leaf(_) => (1, 0, 0, 0),
+            SRegion::Seq(children) => {
+                let mut t = (0, 1, 0, 0);
+                for c in children {
+                    let x = c.counts();
+                    t = (t.0 + x.0, t.1 + x.1, t.2 + x.2, t.3 + x.3);
+                }
+                t
+            }
+            SRegion::Cond { head, then_arm, else_arm } => {
+                let mut t = head.counts();
+                t.2 += 1;
+                for arm in [then_arm, else_arm].into_iter().flatten() {
+                    let x = arm.counts();
+                    t = (t.0 + x.0, t.1 + x.1, t.2 + x.2, t.3 + x.3);
+                }
+                t
+            }
+            SRegion::Loop { header, body } => {
+                let h = header.counts();
+                let b = body.counts();
+                (h.0 + b.0, h.1 + b.1, h.2 + b.2, h.3 + b.3 + 1)
+            }
+        }
+    }
+
+    fn seq(a: SRegion, b: SRegion) -> SRegion {
+        let mut items = Vec::new();
+        match a {
+            SRegion::Seq(mut xs) => items.append(&mut xs),
+            x => items.push(x),
+        }
+        match b {
+            SRegion::Seq(mut xs) => items.append(&mut xs),
+            x => items.push(x),
+        }
+        SRegion::Seq(items)
+    }
+}
+
+/// The reduction result.
+#[derive(Debug)]
+pub struct Structural {
+    /// The root region covering the whole CFG (when reduction succeeded).
+    pub root: Option<SRegion>,
+    /// Number of abstract nodes remaining (1 = fully reduced ⇒ the flow
+    /// graph is structured/reducible into the paper's four region kinds).
+    pub remaining: usize,
+}
+
+/// Run the structural reduction on a CFG.
+pub fn reduce(cfg: &Cfg) -> Structural {
+    // Abstract graph state: region payloads, successor sets (ordered),
+    // predecessor sets.
+    let mut regions: BTreeMap<usize, SRegion> = BTreeMap::new();
+    let mut succs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    // Only reachable blocks participate.
+    let mut reach = vec![false; cfg.len()];
+    {
+        let mut stack = vec![cfg.start];
+        while let Some(b) = stack.pop() {
+            if reach[b.0] {
+                continue;
+            }
+            reach[b.0] = true;
+            stack.extend(cfg.successors(b));
+        }
+    }
+    for (i, _) in cfg.blocks.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        regions.insert(i, SRegion::Leaf(BlockId(i)));
+        let mut ss: Vec<usize> =
+            cfg.successors(BlockId(i)).into_iter().map(|b| b.0).collect();
+        ss.dedup();
+        succs.insert(i, ss);
+    }
+    // Loop headers (ForDispatch) remember their dispatch role.
+    let is_loop_header: BTreeSet<usize> = cfg
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| matches!(b.terminator, Some(Terminator::ForDispatch { .. })))
+        .map(|(i, _)| i)
+        .collect();
+
+    let preds = |succs: &BTreeMap<usize, Vec<usize>>, n: usize| -> Vec<usize> {
+        succs
+            .iter()
+            .filter(|(_, ss)| ss.contains(&n))
+            .map(|(k, _)| *k)
+            .collect()
+    };
+
+    let mut changed = true;
+    while changed && regions.len() > 1 {
+        changed = false;
+        let nodes: Vec<usize> = regions.keys().copied().collect();
+        'outer: for &a in &nodes {
+            if !regions.contains_key(&a) {
+                continue;
+            }
+            let ss = succs[&a].clone();
+
+            // Loop rule: a ↔ b where b's only in/out edges involve a.
+            for &b in &ss {
+                if b != a
+                    && succs.get(&b).map(|s| s.as_slice()) == Some(&[a])
+                    && preds(&succs, b) == vec![a]
+                    && (is_loop_header.contains(&a) || ss.len() <= 2)
+                {
+                    // Collapse body b into loop at a.
+                    let body = regions.remove(&b).unwrap();
+                    let header = regions.remove(&a).unwrap();
+                    regions.insert(
+                        a,
+                        SRegion::Loop { header: Box::new(header), body: Box::new(body) },
+                    );
+                    succs.remove(&b);
+                    let sa = succs.get_mut(&a).unwrap();
+                    sa.retain(|x| *x != b && *x != a);
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+
+            // Conditional rule: a → {t, e}; arms reconverge (or fall
+            // directly through) to a single join.
+            if ss.len() == 2 {
+                let (t, e) = (ss[0], ss[1]);
+                let arm_ok = |n: usize, succs: &BTreeMap<usize, Vec<usize>>| -> bool {
+                    n != a
+                        && preds(succs, n) == vec![a]
+                        && succs.get(&n).is_some_and(|s| s.len() <= 1)
+                };
+                let arm_target = |n: usize, succs: &BTreeMap<usize, Vec<usize>>| -> Option<usize> {
+                    succs.get(&n).and_then(|s| s.first().copied())
+                };
+                // Diamond: both arms join at the same node.
+                if arm_ok(t, &succs) && arm_ok(e, &succs) {
+                    let jt = arm_target(t, &succs);
+                    let je = arm_target(e, &succs);
+                    if jt == je {
+                        let head = regions.remove(&a).unwrap();
+                        let then_arm = regions.remove(&t).unwrap();
+                        let else_arm = regions.remove(&e).unwrap();
+                        succs.remove(&t);
+                        succs.remove(&e);
+                        regions.insert(
+                            a,
+                            SRegion::Cond {
+                                head: Box::new(head),
+                                then_arm: Some(Box::new(then_arm)),
+                                else_arm: Some(Box::new(else_arm)),
+                            },
+                        );
+                        succs.insert(a, jt.into_iter().collect());
+                        changed = true;
+                        continue 'outer;
+                    }
+                }
+                // Triangle: one arm falls straight to the other.
+                for (arm, join) in [(t, e), (e, t)] {
+                    if arm_ok(arm, &succs) && arm_target(arm, &succs) == Some(join) {
+                        let head = regions.remove(&a).unwrap();
+                        let picked = regions.remove(&arm).unwrap();
+                        succs.remove(&arm);
+                        regions.insert(
+                            a,
+                            SRegion::Cond {
+                                head: Box::new(head),
+                                then_arm: Some(Box::new(picked)),
+                                else_arm: None,
+                            },
+                        );
+                        succs.insert(a, vec![join]);
+                        changed = true;
+                        continue 'outer;
+                    }
+                }
+            }
+
+            // Sequential rule: unique successor with unique predecessor.
+            if ss.len() == 1 {
+                let b = ss[0];
+                if b != a
+                    && preds(&succs, b) == vec![a]
+                    && !succs.get(&b).is_some_and(|s| s.contains(&a))
+                {
+                    let rb = regions.remove(&b).unwrap();
+                    let ra = regions.remove(&a).unwrap();
+                    regions.insert(a, SRegion::seq(ra, rb));
+                    let bs = succs.remove(&b).unwrap();
+                    succs.insert(a, bs);
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+        }
+    }
+
+    let remaining = regions.len();
+    let root = if remaining == 1 {
+        regions.into_values().next()
+    } else {
+        None
+    };
+    Structural { root, remaining }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::{RegionKind, RegionTree};
+    use imp::parser::parse_program;
+
+    fn structural(src: &str) -> SRegion {
+        let p = parse_program(src).unwrap();
+        let cfg = Cfg::build(&p.functions[0]);
+        let s = reduce(&cfg);
+        s.root.unwrap_or_else(|| panic!("did not reduce: {} nodes left", s.remaining))
+    }
+
+    #[test]
+    fn straight_line_reduces_to_seq_or_leaf() {
+        let r = structural("fn f() { a = 1; b = 2; }");
+        let (_, _, conds, loops) = r.counts();
+        assert_eq!((conds, loops), (0, 0));
+    }
+
+    #[test]
+    fn diamond_reduces_to_cond() {
+        let r = structural("fn f() { if (a > 0) { x = 1; } else { x = 2; } return x; }");
+        let (_, _, conds, loops) = r.counts();
+        assert_eq!(conds, 1);
+        assert_eq!(loops, 0);
+    }
+
+    #[test]
+    fn if_without_else_is_triangle() {
+        let r = structural("fn f() { if (a > 0) { x = 1; } return x; }");
+        let (_, _, conds, _) = r.counts();
+        assert_eq!(conds, 1);
+    }
+
+    #[test]
+    fn cursor_loop_reduces_to_loop() {
+        let r = structural("fn f() { for (t in q) { s = s + t.x; } return s; }");
+        let (_, _, _, loops) = r.counts();
+        assert_eq!(loops, 1);
+    }
+
+    #[test]
+    fn nested_structures_reduce() {
+        let r = structural(
+            r#"fn f() {
+                s = 0;
+                for (t in q) {
+                    if (t.x > 0) { s = s + t.x; } else { s = s - t.x; }
+                }
+                for (u in q2) { s = s + u.y; }
+                return s;
+            }"#,
+        );
+        let (_, _, conds, loops) = r.counts();
+        assert_eq!(loops, 2);
+        assert!(conds >= 1);
+    }
+
+    /// The CFG reduction and the AST region tree must agree on loop and
+    /// conditional counts across a corpus of shapes.
+    #[test]
+    fn matches_ast_region_tree_counts() {
+        let sources = [
+            "fn f() { a = 1; }",
+            "fn f() { if (a) { b = 1; } else { b = 2; } c = b; }",
+            "fn f() { for (t in q) { x = t.a; } }",
+            "fn f() { for (t in q) { if (t.a > 0) { s = s + t.a; } } return s; }",
+            "fn f() { for (t in q) { for (u in r) { s = s + u.b; } } return s; }",
+            "fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }",
+            r#"fn f() {
+                a = 1;
+                if (a > 0) { b = 1; } else { b = 2; }
+                for (t in q) { c = c + t.x; }
+                if (c > b) { d = 1; }
+                return d;
+            }"#,
+        ];
+        for src in sources {
+            let p = parse_program(src).unwrap();
+            let cfg = Cfg::build(&p.functions[0]);
+            let s = reduce(&cfg);
+            let root = s.root.unwrap_or_else(|| panic!("unreduced: {src}"));
+            let (_, _, cfg_conds, cfg_loops) = root.counts();
+
+            let tree = RegionTree::build(&p.functions[0]);
+            let mut ast_conds = 0;
+            let mut ast_loops = 0;
+            for r in &tree.regions {
+                match r.kind {
+                    RegionKind::Conditional { .. } => ast_conds += 1,
+                    RegionKind::Loop { .. } | RegionKind::WhileLoop { .. } => ast_loops += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(cfg_loops, ast_loops, "loop counts differ for: {src}");
+            assert_eq!(cfg_conds, ast_conds, "cond counts differ for: {src}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Static applicability tests for the baselines (Experiment 2).
+//!
+//! From the paper:
+//!
+//! * "Batching is applicable only when there is parameterized iterative
+//!   query invocation from a loop. If the loop iterates over a query
+//!   result, batching is able to extract a join query." Batching also
+//!   handles `while` loops via loop splitting.
+//! * "Prefetching is possible in all cases we examined" — any query whose
+//!   parameters are available earlier can be submitted ahead of its use.
+
+use imp::ast::{builtins, Block, Expr, Program, StmtKind};
+
+/// True when batching \[11\] applies to some loop of `fname`: a loop (cursor
+/// or `while`) whose body executes a query.
+pub fn batching_applicable(program: &Program, fname: &str) -> bool {
+    let Some(f) = program.function(fname) else {
+        return false;
+    };
+    any_loop_with_inner_query(&f.body)
+}
+
+fn any_loop_with_inner_query(b: &Block) -> bool {
+    b.stmts.iter().any(|s| match &s.kind {
+        StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+            block_has_query(body) || any_loop_with_inner_query(body)
+        }
+        StmtKind::If { then_branch, else_branch, .. } => {
+            any_loop_with_inner_query(then_branch) || any_loop_with_inner_query(else_branch)
+        }
+        _ => false,
+    })
+}
+
+fn block_has_query(b: &Block) -> bool {
+    let mut found = false;
+    for s in &b.stmts {
+        visit_stmt_exprs(s, &mut |e| {
+            if let Expr::Call { name, .. } = e {
+                if name == builtins::EXECUTE_QUERY || name == builtins::EXECUTE_SCALAR {
+                    found = true;
+                }
+            }
+        });
+        match &s.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                found |= block_has_query(then_branch) || block_has_query(else_branch);
+            }
+            StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                found |= block_has_query(body);
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+fn visit_stmt_exprs(s: &imp::ast::Stmt, f: &mut impl FnMut(&Expr)) {
+    match &s.kind {
+        StmtKind::Assign { value, .. } => value.walk(f),
+        StmtKind::Expr(e) => e.walk(f),
+        StmtKind::If { cond, .. } => cond.walk(f),
+        StmtKind::ForEach { iterable, .. } => iterable.walk(f),
+        StmtKind::While { cond, .. } => cond.walk(f),
+        StmtKind::Return(Some(v)) => v.walk(f),
+        StmtKind::Print(args) => {
+            for a in args {
+                a.walk(f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// True when prefetching \[19\] applies: the function executes at least one
+/// query (its submission can then be moved to the earliest point where its
+/// parameters are available).
+pub fn prefetch_applicable(program: &Program, fname: &str) -> bool {
+    let Some(f) = program.function(fname) else {
+        return false;
+    };
+    block_has_query(&f.body)
+        || f.body.stmts.iter().any(|s| {
+            let mut found = false;
+            visit_stmt_exprs(s, &mut |e| {
+                if let Expr::Call { name, .. } = e {
+                    if imp::ast::builtins::DB_FUNCTIONS.contains(&name.as_str()) {
+                        found = true;
+                    }
+                }
+            });
+            found
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_with_inner_query_is_batchable() {
+        let src = r#"
+            fn f() {
+                rows = executeQuery("SELECT * FROM a");
+                for (r in rows) {
+                    d = executeScalar("SELECT x FROM b WHERE k = ?", r.id);
+                }
+                return 0;
+            }
+        "#;
+        let p = imp::parse_and_normalize(src).unwrap();
+        assert!(batching_applicable(&p, "f"));
+        assert!(prefetch_applicable(&p, "f"));
+    }
+
+    #[test]
+    fn aggregation_only_loop_is_not_batchable() {
+        // No query inside the loop: batching has nothing to batch; EqSQL
+        // still extracts the aggregate (the Experiment 2 gap).
+        let src = r#"
+            fn f() {
+                rows = executeQuery("SELECT * FROM a");
+                s = 0;
+                for (r in rows) { s = s + r.x; }
+                return s;
+            }
+        "#;
+        let p = imp::parse_and_normalize(src).unwrap();
+        assert!(!batching_applicable(&p, "f"));
+        assert!(prefetch_applicable(&p, "f"));
+    }
+
+    #[test]
+    fn while_loop_with_query_is_batchable() {
+        let src = r#"
+            fn f(n) {
+                i = 0;
+                while (i < n) {
+                    executeQuery("SELECT * FROM a WHERE id = ?", i);
+                    i = i + 1;
+                }
+                return i;
+            }
+        "#;
+        let p = imp::parse_and_normalize(src).unwrap();
+        assert!(batching_applicable(&p, "f"));
+    }
+
+    #[test]
+    fn no_queries_nothing_applies() {
+        let p = imp::parse_and_normalize("fn f() { return 1 + 2; }").unwrap();
+        assert!(!batching_applicable(&p, "f"));
+        assert!(!prefetch_applicable(&p, "f"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Batching as a *program transformation* (Guravannavar & Sudarshan,
+//! "Rewriting Procedures for Batched Bindings", VLDB 2008 — the paper's
+//! \[11\]).
+//!
+//! The classic batchable pattern is a cursor loop whose body issues a
+//! parameterized scalar lookup per iteration:
+//!
+//! ```text
+//! for (o in outer) {
+//!     x = executeScalar(SQL, o.col);
+//!     …body using x…
+//! }
+//! ```
+//!
+//! The rewrite collects the parameters, sends them in one set-oriented
+//! round trip per lookup template (the `executeBatch` primitive, which
+//! models the parameter-table technique), and merges results back by
+//! position:
+//!
+//! ```text
+//! __p0 = list();
+//! for (o in outer) { __p0.add(o.col); }
+//! __b0 = executeBatch(SQL, __p0);
+//! __i = 0;
+//! for (o in outer) {
+//!     x = __b0.get(__i);
+//!     …body…
+//!     __i = __i + 1;
+//! }
+//! ```
+//!
+//! Only *unconditional, single-parameter, cursor-correlated* lookups at the
+//! top level of the body are batched — the same restriction the paper
+//! observes ("prefetching is unable to chain queries Q1 and Q5" applies to
+//! batching's guarded lookups too; they are left in place).
+
+use imp::ast::{builtins, Block, Expr, Function, Literal, Program, Stmt, StmtId, StmtKind};
+use imp::token::Span;
+
+/// Rewrite the first batchable loop of `fname`. Returns the transformed
+/// program and the number of lookups batched, or `None` when nothing is
+/// batchable.
+pub fn rewrite_batching(program: &Program, fname: &str) -> Option<(Program, usize)> {
+    let mut out = program.clone();
+    let f = out.function_mut(fname)?;
+    let n = rewrite_function(f)?;
+    out.renumber();
+    Some((out, n))
+}
+
+fn rewrite_function(f: &mut Function) -> Option<usize> {
+    // Find the first top-level cursor loop with batchable lookups.
+    for idx in 0..f.body.stmts.len() {
+        let StmtKind::ForEach { var, iterable, body } = &f.body.stmts[idx].kind else {
+            continue;
+        };
+        let lookups = batchable_lookups(var, body);
+        if lookups.is_empty() {
+            continue;
+        }
+        let var = var.clone();
+        let iterable = iterable.clone();
+        let mut new_body = body.clone();
+
+        let mut prelude: Vec<Stmt> = Vec::new();
+        // One gathering loop fills every lookup's parameter list.
+        let mut gather_body = Vec::new();
+        for (k, (_, _, _, key_expr)) in lookups.iter().enumerate() {
+            let params_var = format!("__p{k}");
+            prelude.push(assign(&params_var, Expr::call("list", vec![])));
+            gather_body.push(stmt(StmtKind::Expr(Expr::MethodCall {
+                recv: Box::new(Expr::var(&params_var)),
+                name: "add".into(),
+                args: vec![key_expr.clone()],
+            })));
+        }
+        prelude.push(stmt(StmtKind::ForEach {
+            var: var.clone(),
+            iterable: iterable.clone(),
+            body: Block { stmts: gather_body },
+        }));
+        for (k, (stmt_id, target, sql, _)) in lookups.iter().enumerate() {
+            let params_var = format!("__p{k}");
+            let batch_var = format!("__b{k}");
+            // __bK = executeBatch(SQL, __pK);
+            prelude.push(assign(
+                &batch_var,
+                Expr::call(
+                    builtins::EXECUTE_BATCH,
+                    vec![Expr::Lit(Literal::Str(sql.clone())), Expr::var(&params_var)],
+                ),
+            ));
+            // Replace the lookup inside the body: x = __bK.get(__i);
+            replace_stmt(
+                &mut new_body,
+                *stmt_id,
+                StmtKind::Assign {
+                    target: target.clone(),
+                    value: Expr::MethodCall {
+                        recv: Box::new(Expr::var(&batch_var)),
+                        name: "get".into(),
+                        args: vec![Expr::var("__i")],
+                    },
+                },
+            );
+        }
+        // __i = 0; … loop … __i = __i + 1 at the end of the body.
+        prelude.push(assign("__i", Expr::int(0)));
+        new_body.stmts.push(assign(
+            "__i",
+            Expr::Binary(
+                imp::ast::BinaryOp::Add,
+                Box::new(Expr::var("__i")),
+                Box::new(Expr::int(1)),
+            ),
+        ));
+
+        let n = lookups.len();
+        let new_loop = stmt(StmtKind::ForEach { var, iterable, body: new_body });
+        f.body.stmts.splice(idx..=idx, prelude.into_iter().chain([new_loop]));
+        return Some(n);
+    }
+    None
+}
+
+/// Batchable lookups: top-level `x = executeScalar(SQL, o.col)` statements
+/// whose single parameter is a field of the cursor.
+fn batchable_lookups(cursor: &str, body: &Block) -> Vec<(StmtId, String, String, Expr)> {
+    let mut out = Vec::new();
+    for s in &body.stmts {
+        let StmtKind::Assign { target, value } = &s.kind else {
+            continue;
+        };
+        let Expr::Call { name, args } = value else {
+            continue;
+        };
+        if name != builtins::EXECUTE_SCALAR || args.len() != 2 {
+            continue;
+        }
+        let Expr::Lit(Literal::Str(sql)) = &args[0] else {
+            continue;
+        };
+        let key = &args[1];
+        let correlated =
+            matches!(key, Expr::Field(base, _) if matches!(base.as_ref(), Expr::Var(v) if v == cursor));
+        if correlated {
+            out.push((s.id, target.clone(), sql.clone(), key.clone()));
+        }
+    }
+    out
+}
+
+fn replace_stmt(b: &mut Block, id: StmtId, kind: StmtKind) {
+    for s in &mut b.stmts {
+        if s.id == id {
+            s.kind = kind;
+            return;
+        }
+    }
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt { id: StmtId(u32::MAX), kind, span: Span::default() }
+}
+
+fn assign(target: &str, value: Expr) -> Stmt {
+    stmt(StmtKind::Assign { target: target.to_string(), value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbms::gen::gen_jobportal;
+    use dbms::Connection;
+    use interp::value::loose_eq;
+    use interp::Interp;
+
+    const SRC: &str = r#"
+        fn report() {
+            apps = executeQuery("SELECT * FROM applicants");
+            out = list();
+            for (a in apps) {
+                addr = executeScalar("SELECT address FROM personal_details WHERE applicant_id = ?", a.applicant_id);
+                s1 = executeScalar("SELECT score FROM committee1_feedback WHERE applicant_id = ?", a.applicant_id);
+                out.add(pair(a.name, concat(addr, "/", s1)));
+            }
+            return out;
+        }
+    "#;
+
+    #[test]
+    fn rewrites_and_stays_equivalent() {
+        let program = imp::parse_and_normalize(SRC).unwrap();
+        let (batched, n) = rewrite_batching(&program, "report").expect("batchable");
+        assert_eq!(n, 2);
+        let printed = imp::pretty_print(&batched);
+        assert!(printed.contains("executeBatch"), "{printed}");
+        assert!(printed.contains("__b0.get(__i)"), "{printed}");
+
+        let db = gen_jobportal(60, 3);
+        let mut orig = Interp::new(&program, Connection::new(db.clone()));
+        let v1 = orig.call("report", vec![]).unwrap();
+        let mut new = Interp::new(&batched, Connection::new(db));
+        let v2 = new.call("report", vec![]).unwrap_or_else(|e| {
+            panic!("batched program failed: {e}\n{printed}")
+        });
+        assert!(loose_eq(&v1, &v2), "{v1} vs {v2}");
+
+        // Round trips: original 1 + 2·60; batched 1 (outer for params is a
+        // re-fetch: +1) + 2 batches + 1 merge-loop outer fetch.
+        assert!(orig.conn.stats.queries > 100);
+        assert!(
+            new.conn.stats.queries < 10,
+            "batched round trips must be constant, got {}",
+            new.conn.stats.queries
+        );
+    }
+
+    #[test]
+    fn guarded_lookup_not_batched() {
+        let src = r#"
+            fn f() {
+                apps = executeQuery("SELECT * FROM applicants");
+                out = list();
+                for (a in apps) {
+                    q = a.appln_mode == "online"
+                        ? executeScalar("SELECT degree FROM edu_qualifs WHERE applicant_id = ?", a.applicant_id)
+                        : "n/a";
+                    out.add(q);
+                }
+                return out;
+            }
+        "#;
+        let program = imp::parse_and_normalize(src).unwrap();
+        assert!(rewrite_batching(&program, "f").is_none());
+    }
+
+    #[test]
+    fn no_lookups_nothing_to_batch() {
+        let src = r#"
+            fn f() {
+                rows = executeQuery("SELECT * FROM applicants");
+                n = 0;
+                for (r in rows) { n = n + 1; }
+                return n;
+            }
+        "#;
+        let program = imp::parse_and_normalize(src).unwrap();
+        assert!(rewrite_batching(&program, "f").is_none());
+    }
+}

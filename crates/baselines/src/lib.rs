@@ -1,0 +1,22 @@
+//! `baselines` — the holistic-optimization baselines the paper compares
+//! against in Experiments 2 and 8:
+//!
+//! * **batching** (Guravannavar & Sudarshan, VLDB 2008, \[11\]): rewrite
+//!   iterative parameterized query execution into one set-oriented query
+//!   over an uploaded parameter table;
+//! * **prefetching** (Ramachandra & Sudarshan, SIGMOD 2012, \[19\]): submit
+//!   queries asynchronously as soon as their parameters are available,
+//!   overlapping round-trip latencies.
+//!
+//! [`applicability`] implements the static applicability tests used for
+//! Experiment 2's 7/33 (batching) vs 24/33 (EqSQL) counts;
+//! [`star`] implements the execution strategies on star-schema workloads
+//! for Figure 11 (Experiment 8).
+
+pub mod applicability;
+pub mod batch_rewrite;
+pub mod star;
+
+pub use applicability::{batching_applicable, prefetch_applicable};
+pub use batch_rewrite::rewrite_batching;
+pub use star::{InnerLookup, StarWorkload};

@@ -1,0 +1,160 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//!
+//! * **hash-consing** — ee-DAG sharing vs the worst case of exponential
+//!   expression duplication (long `max` chains re-reading the accumulator);
+//! * **predicate push-down (T2)** — executing the pushed σ vs fetching the
+//!   whole table and discarding client-side;
+//! * **slice-restricted DDG** — dependence-precondition checking cost as
+//!   the loop body grows, with and without slicing.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use analysis::ddg::Ddg;
+use analysis::slice::slice_for_var;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqsql_core::dir::build_function_dir;
+use eqsql_core::Extractor;
+
+/// A deep chain of max() updates — each statement reads the previous value,
+/// so a tree representation doubles while the DAG shares.
+fn chain_program(depth: usize) -> String {
+    let mut body = String::from("x = a + b;\n");
+    for _ in 0..depth {
+        body.push_str("x = max(x + x, x);\n");
+    }
+    format!("fn f(a, b) {{ {body} return x; }}")
+}
+
+fn hash_consing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_hash_consing");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let catalog = algebra::schema::Catalog::new();
+    for depth in [8usize, 16, 32] {
+        let src = chain_program(depth);
+        let program = imp::parse_and_normalize(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("dir_build", depth), &depth, |b, _| {
+            b.iter(|| {
+                let d = build_function_dir(&program, &catalog, "f").unwrap();
+                // Hash-consing keeps the DAG linear in the source size; a
+                // tree would have 2^depth nodes.
+                assert!(d.dag.len() < 16 * depth + 16, "DAG must stay linear");
+                d.dag.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn predicate_pushdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_predicate_pushdown");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let db = dbms::gen::gen_emp(50_000, 9);
+    // With T2: the extracted program — σ evaluated inside the engine,
+    // only matching names cross the client boundary.
+    let pushed_src = r#"
+        fn f() {
+            return executeQuery("SELECT name FROM emp WHERE (salary > 150000)");
+        }
+    "#;
+    // Without T2: the original program — full fetch, client-side filter
+    // in the application (interpreted, as application code is).
+    let unpushed_src = r#"
+        fn f() {
+            rows = executeQuery("SELECT * FROM emp");
+            out = list();
+            for (e in rows) {
+                if (e.salary > 150000) { out.add(e.name); }
+            }
+            return out;
+        }
+    "#;
+    let pushed = imp::parse_and_normalize(pushed_src).unwrap();
+    let unpushed = imp::parse_and_normalize(unpushed_src).unwrap();
+    g.bench_function("with_T2_pushdown", |b| {
+        b.iter(|| {
+            let mut i = interp::Interp::new(
+                &pushed,
+                dbms::Connection::with_cost(db.clone(), dbms::CostModel::default()),
+            );
+            i.call("f", vec![]).unwrap()
+        })
+    });
+    g.bench_function("without_pushdown_client_filter", |b| {
+        b.iter(|| {
+            let mut i = interp::Interp::new(
+                &unpushed,
+                dbms::Connection::with_cost(db.clone(), dbms::CostModel::default()),
+            );
+            i.call("f", vec![]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// A loop body with `n` independent accumulator statements.
+fn wide_loop_body(n: usize) -> String {
+    let mut body = String::new();
+    for i in 0..n {
+        let _ = writeln!(body, "v{i} = v{i} + t.salary;");
+    }
+    format!(
+        r#"fn f() {{ q = executeQuery("SELECT * FROM emp"); for (t in q) {{ {body} }} return v0; }}"#
+    )
+}
+
+fn ddg_slicing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ddg_slicing");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [10usize, 40] {
+        let src = wide_loop_body(n);
+        let program = imp::parse_and_normalize(&src).unwrap();
+        let f = program.function("f").unwrap();
+        let body = match &f.body.stmts[1].kind {
+            imp::ast::StmtKind::ForEach { body, .. } => body.clone(),
+            _ => unreachable!(),
+        };
+        g.bench_with_input(BenchmarkId::new("slice_restricted", n), &n, |b, _| {
+            b.iter(|| {
+                let ddg = Ddg::build(&body, "t", &BTreeSet::new());
+                // Per-variable: check lcfd edges only within the slice.
+                let s = slice_for_var(&ddg, "v0");
+                ddg.lcfd_within(&s).len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("whole_body", n), &n, |b, _| {
+            b.iter(|| {
+                let ddg = Ddg::build(&body, "t", &BTreeSet::new());
+                // Without slicing every edge must be inspected per variable.
+                eqsql_core::fir::whole_body_lcfd_count(&ddg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn end_to_end_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_extraction_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let db = dbms::gen::gen_emp(10, 1);
+    for n in [2usize, 8, 24] {
+        let src = wide_loop_body(n);
+        let program = imp::parse_and_normalize(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("extract_n_vars", n), &n, |b, _| {
+            b.iter(|| {
+                Extractor::new(db.catalog()).extract_function(&program, "f")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    hash_consing,
+    predicate_pushdown,
+    ddg_slicing,
+    end_to_end_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for SQL extraction time (the EqSQL column of
+//! Table 1): how long the static analysis takes per fragment pattern, and
+//! one synthesis data point for the cost asymmetry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqsql_core::Extractor;
+use std::time::Duration;
+use workloads::wilos;
+
+fn bench_extraction(c: &mut Criterion) {
+    let catalog = wilos::catalog();
+    let mut g = c.benchmark_group("table1_extraction");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    // Representative rows of Table 1: selection (#6), projection (#8),
+    // count (#9), exists (#10), pair projection (#21), join (#24),
+    // group-by (#27).
+    for id in [6usize, 8, 9, 10, 21, 24, 27] {
+        let s = wilos::samples().into_iter().find(|s| s.id == id).unwrap();
+        let program = imp::parse_and_normalize(s.source).unwrap();
+        g.bench_function(format!("sample_{id:02}_{}", short(s.category)), |b| {
+            b.iter(|| {
+                let report =
+                    Extractor::new(catalog.clone()).extract_function(&program, "sample");
+                assert!(report.any_sql());
+                report
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("qbs_synthesis");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    // One synthesis point: the selection sample. Even with a warm start the
+    // enumerative search is orders of magnitude above static extraction.
+    let s = wilos::samples().into_iter().find(|s| s.id == 6).unwrap();
+    let program = imp::parse_and_normalize(s.source).unwrap();
+    g.bench_function("sample_06_selection", |b| {
+        b.iter(|| {
+            let r = qbs::synthesize(
+                &program,
+                "sample",
+                &catalog,
+                &qbs::QbsOptions { max_candidates: 50_000, ..Default::default() },
+            );
+            assert!(r.sql.is_some());
+            r
+        })
+    });
+    g.finish();
+}
+
+fn short(category: &str) -> String {
+    category
+        .split_whitespace()
+        .next()
+        .unwrap_or("x")
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect()
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion benchmarks backing Figures 8–11: engine-level execution of the
+//! original access pattern vs the extracted query (wall-clock complement to
+//! the simulated-cost series printed by the `figN_*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbms::{Connection, CostModel};
+use eqsql_core::Extractor;
+use interp::{Interp, RtValue};
+use std::time::Duration;
+use workloads::{jobportal, matoso};
+
+fn fig10_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_aggregation");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let program = imp::parse_and_normalize(matoso::FIND_MAX_SCORE).unwrap();
+    for n in [1_000usize, 10_000] {
+        let db = matoso::database(n, 3);
+        let report = Extractor::new(db.catalog()).extract_function(&program, "findMaxScore");
+        g.bench_with_input(BenchmarkId::new("original", n), &n, |b, _| {
+            b.iter(|| {
+                let mut i =
+                    Interp::new(&program, Connection::with_cost(db.clone(), CostModel::default()));
+                i.call("findMaxScore", vec![RtValue::int(1)]).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("eqsql", n), &n, |b, _| {
+            b.iter(|| {
+                let mut i = Interp::new(
+                    &report.program,
+                    Connection::with_cost(db.clone(), CostModel::default()),
+                );
+                i.call("findMaxScore", vec![RtValue::int(1)]).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig11_star_schema(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_star_schema");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let program = imp::parse_and_normalize(jobportal::APPLICANT_REPORT).unwrap();
+    let workload = bench::star_workload();
+    let n = 200usize;
+    let db = jobportal::database(n, 5);
+    let report = Extractor::new(db.catalog()).extract_function(&program, "applicantReport");
+    g.bench_function("original", |b| {
+        b.iter(|| {
+            let mut conn = Connection::with_cost(db.clone(), CostModel::default());
+            workload.run_original(&mut conn).unwrap()
+        })
+    });
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            let mut conn = Connection::with_cost(db.clone(), CostModel::default());
+            workload.run_batched(&mut conn).unwrap()
+        })
+    });
+    g.bench_function("prefetch", |b| {
+        b.iter(|| {
+            let mut conn = Connection::with_cost(db.clone(), CostModel::default());
+            workload.run_prefetch(&mut conn).unwrap()
+        })
+    });
+    g.bench_function("eqsql", |b| {
+        b.iter(|| {
+            let mut i = Interp::new(
+                &report.program,
+                Connection::with_cost(db.clone(), CostModel::default()),
+            );
+            i.call("applicantReport", vec![]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig8_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_selection");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let src = r#"
+        fn unfinished() {
+            ps = executeQuery("SELECT * FROM project");
+            out = list();
+            for (p in ps) {
+                if (p.isfinished == false) { out.add(p.id); }
+            }
+            return out;
+        }
+    "#;
+    let program = imp::parse_and_normalize(src).unwrap();
+    let db = dbms::gen::gen_wilos(20_000, 10, 20, 7);
+    let report = Extractor::new(db.catalog()).extract_function(&program, "unfinished");
+    g.bench_function("original", |b| {
+        b.iter(|| {
+            let mut i =
+                Interp::new(&program, Connection::with_cost(db.clone(), CostModel::default()));
+            i.call("unfinished", vec![]).unwrap()
+        })
+    });
+    g.bench_function("eqsql", |b| {
+        b.iter(|| {
+            let mut i = Interp::new(
+                &report.program,
+                Connection::with_cost(db.clone(), CostModel::default()),
+            );
+            i.call("unfinished", vec![]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig8_selection, fig10_aggregation, fig11_star_schema);
+criterion_main!(benches);

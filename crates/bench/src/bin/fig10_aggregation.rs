@@ -1,0 +1,56 @@
+//! Figure 10 — Aggregation (Experiment 7, the Figure 2 Matoso sample):
+//! "The data transferred for the optimized query is constant … In contrast,
+//! data transfer for the original query increases linearly with table size."
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig10_aggregation
+//! ```
+
+use bench::row;
+use dbms::{Connection, CostModel};
+use eqsql_core::Extractor;
+use interp::{Interp, RtValue};
+use workloads::matoso;
+
+fn main() {
+    println!("Figure 10 — Aggregation (findMaxScore, Figure 2)");
+    let widths = [9, 12, 12, 12, 12, 8];
+    row(
+        &[
+            "boards".into(),
+            "orig ms".into(),
+            "eqsql ms".into(),
+            "orig bytes".into(),
+            "eqsql bytes".into(),
+            "speedup".into(),
+        ],
+        &widths,
+    );
+    let program = imp::parse_and_normalize(matoso::FIND_MAX_SCORE).unwrap();
+    for n in [10_000usize, 20_000, 40_000, 80_000, 160_000, 320_000] {
+        let db = matoso::database(n, 17);
+        let report = Extractor::new(db.catalog()).extract_function(&program, "findMaxScore");
+        assert!(report.changed());
+        let cost = CostModel::default();
+        let args = vec![RtValue::int(1)];
+        let mut orig = Interp::new(&program, Connection::with_cost(db.clone(), cost));
+        let v1 = orig.call("findMaxScore", args.clone()).unwrap();
+        let mut new = Interp::new(&report.program, Connection::with_cost(db, cost));
+        let v2 = new.call("findMaxScore", args).unwrap();
+        assert_eq!(format!("{v1}"), format!("{v2}"));
+        row(
+            &[
+                n.to_string(),
+                format!("{:.2}", orig.conn.stats.sim_ms()),
+                format!("{:.2}", new.conn.stats.sim_ms()),
+                orig.conn.stats.bytes.to_string(),
+                new.conn.stats.bytes.to_string(),
+                format!("{:.0}x", orig.conn.stats.sim_us / new.conn.stats.sim_us),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("Shape: EqSQL transfer is constant (one scalar row) while the original");
+    println!("grows linearly with table size — the paper's Figure 10.");
+}

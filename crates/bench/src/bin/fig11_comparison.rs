@@ -1,0 +1,68 @@
+//! Figure 11 / Experiment 8 — comparison with batching and prefetching on
+//! the JobPortal star schema (Figure 12): time (log scale in the paper)
+//! vs number of iterations, for Original / Batch / Prefetch / EqSQL.
+//!
+//! Paper: "EqSQL enhances performance by upto two orders of magnitude
+//! compared to the original program, and upto one order of magnitude
+//! compared to other optimizations."
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig11_comparison
+//! ```
+
+use bench::{row, star_workload};
+use dbms::{Connection, CostModel};
+use eqsql_core::Extractor;
+use interp::Interp;
+use workloads::jobportal;
+
+fn main() {
+    println!("Figure 11 — Original vs Batch vs Prefetch vs EqSQL (ms, simulated)");
+    let widths = [11, 12, 12, 12, 12];
+    row(
+        &[
+            "iterations".into(),
+            "Original".into(),
+            "Batch".into(),
+            "Prefetch".into(),
+            "EqSQL".into(),
+        ],
+        &widths,
+    );
+    let program = imp::parse_and_normalize(jobportal::APPLICANT_REPORT).unwrap();
+    let workload = star_workload();
+    let cost = CostModel::default();
+    for n in [10usize, 100, 500, 1000] {
+        let db = jobportal::database(n, 23);
+
+        let mut orig = Connection::with_cost(db.clone(), cost);
+        workload.run_original(&mut orig).unwrap();
+
+        let mut batch = Connection::with_cost(db.clone(), cost);
+        workload.run_batched(&mut batch).unwrap();
+
+        let mut prefetch = Connection::with_cost(db.clone(), cost);
+        workload.run_prefetch(&mut prefetch).unwrap();
+
+        let report = Extractor::new(db.catalog()).extract_function(&program, "applicantReport");
+        assert!(report.changed(), "{:#?}", report.vars);
+        let mut eqsql = Interp::new(&report.program, Connection::with_cost(db, cost));
+        eqsql.call("applicantReport", vec![]).unwrap();
+
+        row(
+            &[
+                n.to_string(),
+                format!("{:.2}", orig.stats.sim_ms()),
+                format!("{:.2}", batch.stats.sim_ms()),
+                format!("{:.2}", prefetch.stats.sim_ms()),
+                format!("{:.2}", eqsql.conn.stats.sim_ms()),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("Round trips at n=1000: Original ≈ 1+3n (+guarded); Batch = 1+2·4;");
+    println!("Prefetch = 1 wave + guarded lookups; EqSQL = 1.");
+    println!("Shape: EqSQL ≥ 10x over Batch/Prefetch and ≈ 100x+ over Original at the");
+    println!("high iteration counts — the paper's Figure 11 (log-scale) ordering.");
+}

@@ -1,0 +1,121 @@
+//! `bench` — experiment harnesses regenerating every table and figure of
+//! the paper's evaluation (Sec. 7). See DESIGN.md §4 for the experiment
+//! index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//!
+//! Binaries (each prints the corresponding table/series):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — per-sample extraction time, QBS vs EqSQL |
+//! | `exp2_applicability` | Experiment 2 — applicability counts |
+//! | `exp3_keyword` | Experiment 3 — keyword-search extraction fractions |
+//! | `fig8_selection` | Figure 8 — selection push-down |
+//! | `fig9_join` | Figure 9 — join identification |
+//! | `fig10_aggregation` | Figure 10 — aggregation |
+//! | `fig11_comparison` | Figure 11 — Original/Batch/Prefetch/EqSQL |
+
+use algebra::parse::parse_sql;
+use baselines::{InnerLookup, StarWorkload};
+use dbms::{Connection, CostModel, Database, Stats, Value};
+use eqsql_core::{ExtractionReport, Extractor, ExtractorOptions};
+use interp::{Interp, RtValue};
+
+/// Run a function and return its connection statistics.
+pub fn run_stats(
+    program: &imp::ast::Program,
+    fname: &str,
+    db: &Database,
+    args: Vec<RtValue>,
+    cost: CostModel,
+) -> Stats {
+    let mut i = Interp::new(program, Connection::with_cost(db.clone(), cost));
+    i.call(fname, args).expect("program runs");
+    i.conn.stats
+}
+
+/// Extract a function, panicking with diagnostics when no rewrite happened.
+pub fn extract_or_die(
+    program: &imp::ast::Program,
+    fname: &str,
+    catalog: algebra::schema::Catalog,
+    opts: ExtractorOptions,
+) -> ExtractionReport {
+    let report = Extractor::with_options(catalog, opts).extract_function(program, fname);
+    assert!(report.changed(), "extraction must rewrite {fname}: {:#?}", report.vars);
+    report
+}
+
+/// Original vs EqSQL stats for one program over one database.
+pub fn compare(
+    src: &str,
+    fname: &str,
+    db: &Database,
+    args: Vec<RtValue>,
+) -> (Stats, Stats, ExtractionReport) {
+    let program = imp::parse_and_normalize(src).unwrap();
+    let report =
+        extract_or_die(&program, fname, db.catalog(), ExtractorOptions::default());
+    let cost = CostModel::default();
+    let orig = run_stats(&program, fname, db, args.clone(), cost);
+    let new = run_stats(&report.program, fname, db, args, cost);
+    (orig, new, report)
+}
+
+/// Build the Figure 11 star workload from the `workloads` spec.
+pub fn star_workload() -> StarWorkload {
+    let spec = workloads::jobportal::star_workload();
+    StarWorkload {
+        outer: parse_sql(&spec.outer_sql).unwrap(),
+        inners: spec
+            .inners
+            .iter()
+            .map(|(sql, guard)| InnerLookup {
+                query: parse_sql(sql).unwrap(),
+                outer_col: "applicant_id".into(),
+                condition: guard.map(|(c, v)| (c.to_string(), Value::Str(v.to_string()))),
+            })
+            .collect(),
+    }
+}
+
+/// Pretty milliseconds.
+pub fn ms(stats: &Stats) -> String {
+    format!("{:9.2}", stats.sim_ms())
+}
+
+/// A fixed-width table row printer.
+pub fn row(cols: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_runs_and_improves() {
+        let src = r#"
+            fn total() {
+                rows = executeQuery("SELECT * FROM emp");
+                s = 0;
+                for (e in rows) { s = s + e.salary; }
+                return s;
+            }
+        "#;
+        let db = dbms::gen::gen_emp(500, 3);
+        let (orig, new, _) = compare(src, "total", &db, vec![]);
+        assert!(new.bytes < orig.bytes);
+        assert!(new.sim_us < orig.sim_us);
+    }
+
+    #[test]
+    fn star_workload_builds() {
+        let w = star_workload();
+        assert_eq!(w.inners.len(), 4);
+        assert!(w.inners[3].condition.is_some());
+    }
+}

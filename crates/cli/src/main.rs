@@ -1,0 +1,251 @@
+//! `eqsql` — command-line front end for the extractor.
+//!
+//! ```text
+//! eqsql extract <file.imp> --schema <schema.sql> [options]
+//!     Extract equivalent SQL and print the rewritten program.
+//!
+//! eqsql explain <file.imp> --schema <schema.sql> [options]
+//!     Per-variable report: outcome, extracted SQL, replacement expression.
+//!
+//! eqsql run <file.imp> --schema <schema.sql> [--data <data.sql>]
+//!           [--function NAME] [--arg N]...
+//!     Interpret the program against an in-memory database built from the
+//!     schema (and optional INSERT script), reporting round trips and
+//!     transfer; then extract, re-run, and compare.
+//!
+//! Common options:
+//!     --function NAME      function to analyse (default: first function)
+//!     --dialect D          postgres (default) | mysql | sqlserver | ansi
+//!     --unordered          keyword-search mode (list order irrelevant)
+//!     --prints             preprocess print statements (Sec. 2)
+//!     --dependent-agg      enable argmax/argmin extraction (Appendix B)
+//!     --partial            rewrite even when some loop variables fail
+//! ```
+
+use std::process::ExitCode;
+
+use algebra::ddl::parse_ddl;
+use algebra::Dialect;
+use dbms::{Connection, Database, Value};
+use eqsql_core::{Extractor, ExtractorOptions};
+use interp::{Interp, RtValue};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    file: String,
+    schema: Option<String>,
+    data: Option<String>,
+    function: Option<String>,
+    dialect: Dialect,
+    unordered: bool,
+    prints: bool,
+    dependent_agg: bool,
+    partial: bool,
+    run_args: Vec<i64>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        file: String::new(),
+        schema: None,
+        data: None,
+        function: None,
+        dialect: Dialect::Postgres,
+        unordered: false,
+        prints: false,
+        dependent_agg: false,
+        partial: false,
+        run_args: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--schema" => o.schema = Some(next(&mut it, "--schema")?),
+            "--data" => o.data = Some(next(&mut it, "--data")?),
+            "--function" => o.function = Some(next(&mut it, "--function")?),
+            "--dialect" => {
+                o.dialect = match next(&mut it, "--dialect")?.as_str() {
+                    "postgres" => Dialect::Postgres,
+                    "mysql" => Dialect::Mysql,
+                    "sqlserver" => Dialect::SqlServer,
+                    "ansi" => Dialect::Ansi,
+                    d => return Err(format!("unknown dialect {d}")),
+                }
+            }
+            "--unordered" => o.unordered = true,
+            "--prints" => o.prints = true,
+            "--dependent-agg" => o.dependent_agg = true,
+            "--partial" => o.partial = true,
+            "--arg" => o
+                .run_args
+                .push(next(&mut it, "--arg")?.parse().map_err(|e| format!("bad --arg: {e}"))?),
+            f if !f.starts_with("--") && o.file.is_empty() => o.file = f.to_string(),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.file.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok(o)
+}
+
+fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let opts = parse_opts(&args[1..])?;
+    let source =
+        std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+    let program = imp::parse_and_normalize(&source).map_err(|e| {
+        let (line, col) = imp::token::line_col(&source, e.offset);
+        format!("{}:{line}:{col}: {}", opts.file, e.message)
+    })?;
+    let catalog = match &opts.schema {
+        Some(path) => {
+            let ddl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_ddl(&ddl).map_err(|e| e.to_string())?
+        }
+        None => algebra::schema::Catalog::new(),
+    };
+    let fname = opts
+        .function
+        .clone()
+        .or_else(|| program.functions.first().map(|f| f.name.clone()))
+        .ok_or("program has no functions")?;
+    if program.function(&fname).is_none() {
+        let available: Vec<&str> =
+            program.functions.iter().map(|f| f.name.as_str()).collect();
+        return Err(format!(
+            "function `{fname}` not found; available: {}",
+            available.join(", ")
+        ));
+    }
+    let xopts = ExtractorOptions {
+        dialect: opts.dialect,
+        ordered: !opts.unordered,
+        require_all_vars: !opts.partial,
+        rewrite_prints: opts.prints,
+        dependent_agg: opts.dependent_agg,
+        cost_based: None,
+        prefer_lateral: false,
+    };
+    let extractor = Extractor::with_options(catalog.clone(), xopts);
+
+    match cmd.as_str() {
+        "extract" => {
+            let report = extractor.extract_function(&program, &fname);
+            for v in &report.vars {
+                for sql in &v.sql {
+                    println!("-- {}: {sql}", v.var);
+                }
+            }
+            println!("{}", imp::pretty_print(&report.program));
+            eprintln!(
+                "{} loop(s) rewritten in {:.2} ms",
+                report.loops_rewritten,
+                report.elapsed.as_secs_f64() * 1000.0
+            );
+            Ok(())
+        }
+        "explain" => {
+            let report = extractor.extract_function(&program, &fname);
+            println!("function {fname}: {} loop(s) rewritten", report.loops_rewritten);
+            for v in &report.vars {
+                println!("\nvariable `{}` (loop {}):", v.var, v.loop_stmt);
+                println!("  outcome: {:?}", v.outcome);
+                for sql in &v.sql {
+                    println!("  sql: {sql}");
+                }
+                if let Some(fir) = &v.fir {
+                    println!("  F-IR: {fir}");
+                }
+                if !v.rule_trace.is_empty() {
+                    println!("  rules: {}", v.rule_trace.join(" → "));
+                }
+                if let Some(r) = &v.replacement {
+                    println!("  replacement: {r}");
+                }
+            }
+            Ok(())
+        }
+        "run" => {
+            let mut db = Database::new();
+            for schema in catalog.tables() {
+                db.create_table(schema.clone());
+            }
+            if let Some(path) = &opts.data {
+                let script =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                for stmt in script.split(';') {
+                    let stmt = stmt.trim();
+                    if stmt.is_empty() || stmt.starts_with("--") {
+                        continue;
+                    }
+                    interp::dml::execute_update(&mut db, stmt, &[])
+                        .map_err(|e| format!("data script: {e}"))?;
+                }
+            }
+            let args: Vec<RtValue> = opts.run_args.iter().map(|i| RtValue::int(*i)).collect();
+
+            let mut orig = Interp::new(&program, Connection::new(db.clone()));
+            let v1 = orig.call(&fname, args.clone()).map_err(|e| e.to_string())?;
+            println!("original : result = {v1}");
+            for line in &orig.output {
+                println!("  | {line}");
+            }
+            println!(
+                "  {} queries, {} rows, {} bytes, {:.2} ms simulated",
+                orig.conn.stats.queries,
+                orig.conn.stats.rows,
+                orig.conn.stats.bytes,
+                orig.conn.stats.sim_ms()
+            );
+
+            let report = extractor.extract_function(&program, &fname);
+            if !report.changed() {
+                println!("rewritten: (no rewrite applied)");
+                return Ok(());
+            }
+            let mut new = Interp::new(&report.program, Connection::new(db));
+            let v2 = new.call(&fname, args).map_err(|e| e.to_string())?;
+            println!("rewritten: result = {v2}");
+            println!(
+                "  {} queries, {} rows, {} bytes, {:.2} ms simulated ({:.1}x)",
+                new.conn.stats.queries,
+                new.conn.stats.rows,
+                new.conn.stats.bytes,
+                new.conn.stats.sim_ms(),
+                orig.conn.stats.sim_us / new.conn.stats.sim_us.max(1e-9),
+            );
+            let _ = Value::Null;
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown command {other}"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: eqsql <extract|explain|run> <file.imp> --schema <schema.sql> \
+         [--function NAME] [--dialect D] [--unordered] [--prints] \
+         [--dependent-agg] [--partial] [--data <data.sql>] [--arg N]..."
+    );
+}

@@ -1,0 +1,451 @@
+//! Cost-based application of transformations (paper Sec. 5.3 / Appendix C).
+//!
+//! The paper applies every transformation and notes that, in general, "the
+//! decision to replace should be taken in a cost based manner", sketching a
+//! Volcano/Cascades-style search as future work. This module implements a
+//! practical instance of that sketch:
+//!
+//! * [`DbStats`] — table cardinalities and average row widths (collected
+//!   from a live [`dbms::Database`] or supplied synthetically);
+//! * [`estimate_query`] — a textbook cardinality/cost estimator over the
+//!   relational algebra (System-R-style default selectivities);
+//! * [`estimate_loop_original`] / [`estimate_replacement`] — end-to-end
+//!   costs of the original cursor loop vs the rewritten statements, in the
+//!   same round-trip/transfer units the experiments measure;
+//! * [`RewriteDecision`] — the comparison outcome.
+//!
+//! The extractor consults this module when
+//! `ExtractorOptions::cost_based` carries statistics: a rewrite whose
+//! estimated cost exceeds the original's is skipped (the Figure 7(a)
+//! scenario, where "the cost of an additional query will outweigh the
+//! benefit of pushing aggregation into the database").
+
+use std::collections::BTreeMap;
+
+use algebra::parse::parse_sql;
+use algebra::ra::RaExpr;
+use imp::ast::{Block, Expr, Function, StmtId, StmtKind};
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: f64,
+    /// Average row width in bytes.
+    pub avg_row_bytes: f64,
+}
+
+/// Statistics for a database.
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    tables: BTreeMap<String, TableStats>,
+    /// Per-round-trip latency, microseconds (mirrors `dbms::CostModel`).
+    pub latency_us: f64,
+    /// Per-byte transfer cost, microseconds.
+    pub per_byte_us: f64,
+}
+
+impl DbStats {
+    /// Collect statistics from a live database.
+    pub fn from_database(db: &dbms::Database) -> DbStats {
+        let mut s = DbStats { latency_us: 500.0, per_byte_us: 0.01, ..Default::default() };
+        for schema in db.catalog().tables() {
+            if let Some(t) = db.table(&schema.name) {
+                let rows = t.rows.len() as f64;
+                let bytes: usize = t
+                    .rows
+                    .iter()
+                    .take(64)
+                    .map(|r| r.iter().map(dbms::Value::wire_size).sum::<usize>() + 8)
+                    .sum();
+                let avg = if t.rows.is_empty() {
+                    32.0
+                } else {
+                    bytes as f64 / t.rows.len().min(64) as f64
+                };
+                s.tables.insert(schema.name.clone(), TableStats { rows, avg_row_bytes: avg });
+            }
+        }
+        s
+    }
+
+    /// Set the cost-model constants.
+    pub fn with_costs(mut self, latency_us: f64, per_byte_us: f64) -> DbStats {
+        self.latency_us = latency_us;
+        self.per_byte_us = per_byte_us;
+        self
+    }
+
+    /// Add a synthetic table statistic.
+    pub fn with_table(mut self, name: &str, rows: f64, avg_row_bytes: f64) -> DbStats {
+        self.tables.insert(name.to_string(), TableStats { rows, avg_row_bytes });
+        self
+    }
+
+    fn table(&self, name: &str) -> TableStats {
+        self.tables
+            .get(name)
+            .copied()
+            .unwrap_or(TableStats { rows: 1000.0, avg_row_bytes: 64.0 })
+    }
+}
+
+/// Estimated evaluation of one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryEstimate {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated transferred bytes.
+    pub bytes: f64,
+}
+
+/// Default selectivities (System-R heritage).
+const SEL_EQ: f64 = 0.1;
+const SEL_RANGE: f64 = 0.33;
+
+/// Estimate output cardinality and transfer size of a query.
+pub fn estimate_query(ra: &RaExpr, stats: &DbStats) -> QueryEstimate {
+    match ra {
+        RaExpr::Table { name, .. } => {
+            let t = stats.table(name);
+            QueryEstimate { rows: t.rows, bytes: t.rows * t.avg_row_bytes }
+        }
+        RaExpr::Values { rows, columns } => QueryEstimate {
+            rows: rows.len() as f64,
+            bytes: (rows.len() * columns.len() * 8) as f64,
+        },
+        RaExpr::Select { input, pred } => {
+            let e = estimate_query(input, stats);
+            let sel = pred_selectivity(pred);
+            QueryEstimate { rows: e.rows * sel, bytes: e.bytes * sel }
+        }
+        RaExpr::Project { input, items } => {
+            let e = estimate_query(input, stats);
+            // Projection narrows rows roughly proportionally to the column
+            // count (we do not track per-column widths).
+            let width = (items.len() as f64 * 10.0).min(e.bytes / e.rows.max(1.0));
+            QueryEstimate { rows: e.rows, bytes: e.rows * width }
+        }
+        RaExpr::Join { left, right, pred, .. } => {
+            let l = estimate_query(left, stats);
+            let r = estimate_query(right, stats);
+            let sel = pred_selectivity(pred);
+            let rows = (l.rows * r.rows * sel).max(l.rows.min(r.rows) * 0.1);
+            let width = l.bytes / l.rows.max(1.0) + r.bytes / r.rows.max(1.0);
+            QueryEstimate { rows, bytes: rows * width }
+        }
+        RaExpr::OuterApply { left, right } => {
+            let l = estimate_query(left, stats);
+            let r = estimate_query(right, stats);
+            // Correlated lookups typically return ≤1 row per outer row.
+            let per = (r.rows / stats_rows_hint(right, stats)).clamp(0.1, 2.0);
+            let rows = l.rows * per.max(1.0);
+            let width = l.bytes / l.rows.max(1.0) + r.bytes / r.rows.max(1.0);
+            QueryEstimate { rows, bytes: rows * width }
+        }
+        RaExpr::Aggregate { input, group_by, .. } => {
+            let e = estimate_query(input, stats);
+            let groups = if group_by.is_empty() { 1.0 } else { e.rows.sqrt().max(1.0) };
+            QueryEstimate { rows: groups, bytes: groups * 16.0 }
+        }
+        RaExpr::Sort { input, .. } => estimate_query(input, stats),
+        RaExpr::Dedup { input } => {
+            let e = estimate_query(input, stats);
+            QueryEstimate { rows: e.rows * 0.5, bytes: e.bytes * 0.5 }
+        }
+        RaExpr::Limit { input, count } => {
+            let e = estimate_query(input, stats);
+            let rows = e.rows.min(*count as f64);
+            let width = e.bytes / e.rows.max(1.0);
+            QueryEstimate { rows, bytes: rows * width }
+        }
+        RaExpr::Aliased { input, .. } => estimate_query(input, stats),
+    }
+}
+
+fn stats_rows_hint(ra: &RaExpr, stats: &DbStats) -> f64 {
+    estimate_query(ra, stats).rows.max(1.0)
+}
+
+fn pred_selectivity(p: &algebra::scalar::Scalar) -> f64 {
+    use algebra::scalar::{BinOp, Scalar};
+    match p {
+        Scalar::Bin(BinOp::And, l, r) => pred_selectivity(l) * pred_selectivity(r),
+        Scalar::Bin(BinOp::Or, l, r) => {
+            (pred_selectivity(l) + pred_selectivity(r)).min(1.0)
+        }
+        Scalar::Bin(BinOp::Eq, ..) => SEL_EQ,
+        Scalar::Bin(op, ..) if op.is_comparison() => SEL_RANGE,
+        Scalar::Lit(algebra::scalar::Lit::Bool(true)) => 1.0,
+        _ => 0.5,
+    }
+}
+
+/// Simulated execution time of one query round trip.
+fn query_time_us(e: QueryEstimate, stats: &DbStats) -> f64 {
+    stats.latency_us + e.bytes * stats.per_byte_us + e.rows
+}
+
+/// Estimated cost (µs) of executing the original cursor loop: its iterable
+/// query plus, per estimated outer row, every query issued in the body.
+pub fn estimate_loop_original(f: &Function, loop_stmt: StmtId, stats: &DbStats) -> Option<f64> {
+    let (iterable, body) = find_loop(&f.body, loop_stmt)?;
+    let outer_sqls = collect_sql_strings_expr(iterable);
+    let outer_ra = outer_sqls.first().and_then(|s| parse_sql(s).ok());
+    // The iterable may be a variable bound to an earlier query: search the
+    // whole function for its defining SQL as a fallback.
+    let outer_ra = outer_ra.or_else(|| {
+        if let Expr::Var(v) = iterable {
+            defining_sql(&f.body, v).and_then(|s| parse_sql(&s).ok())
+        } else {
+            None
+        }
+    })?;
+    let outer_est = estimate_query(&outer_ra, stats);
+    let mut cost = query_time_us(outer_est, stats);
+    for sql in collect_sql_strings_block(body) {
+        if let Ok(inner) = parse_sql(&sql) {
+            let e = estimate_query(&inner, stats);
+            cost += outer_est.rows * query_time_us(e, stats);
+        }
+    }
+    Some(cost)
+}
+
+/// Estimated cost (µs) of executing the replacement expressions: one round
+/// trip per embedded query.
+pub fn estimate_replacement(assigns: &[(String, Expr)], stats: &DbStats) -> f64 {
+    let mut cost = 0.0;
+    for (_, e) in assigns {
+        for sql in collect_sql_strings_expr(e) {
+            if let Ok(ra) = parse_sql(&sql) {
+                cost += query_time_us(estimate_query(&ra, stats), stats);
+            }
+        }
+    }
+    cost
+}
+
+/// The outcome of a cost comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewriteDecision {
+    /// Estimated cost of the original loop, µs.
+    pub original_us: f64,
+    /// Estimated cost of the rewritten statements, µs.
+    pub rewritten_us: f64,
+    /// True when the rewrite is estimated beneficial.
+    pub beneficial: bool,
+}
+
+/// Compare original vs rewritten cost for one planned loop replacement.
+pub fn decide(
+    f: &Function,
+    loop_stmt: StmtId,
+    assigns: &[(String, Expr)],
+    stats: &DbStats,
+) -> RewriteDecision {
+    let original_us =
+        estimate_loop_original(f, loop_stmt, stats).unwrap_or(f64::INFINITY);
+    let rewritten_us = estimate_replacement(assigns, stats);
+    RewriteDecision { original_us, rewritten_us, beneficial: rewritten_us <= original_us }
+}
+
+fn find_loop(b: &Block, id: StmtId) -> Option<(&Expr, &Block)> {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::ForEach { iterable, body, .. } if s.id == id => {
+                return Some((iterable, body))
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                if let Some(r) = find_loop(then_branch, id).or_else(|| find_loop(else_branch, id))
+                {
+                    return Some(r);
+                }
+            }
+            StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                if let Some(r) = find_loop(body, id) {
+                    return Some(r);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn defining_sql(b: &Block, var: &str) -> Option<String> {
+    let mut found = None;
+    for s in &b.stmts {
+        if let StmtKind::Assign { target, value } = &s.kind {
+            if target == var {
+                if let Some(sql) = collect_sql_strings_expr(value).into_iter().next() {
+                    found = Some(sql);
+                }
+            }
+        }
+    }
+    found
+}
+
+fn collect_sql_strings_expr(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    e.walk(&mut |x| {
+        if let Expr::Call { name, args } = x {
+            if name == "executeQuery" || name == "executeScalar" {
+                if let Some(Expr::Lit(imp::ast::Literal::Str(s))) = args.first() {
+                    out.push(s.clone());
+                }
+            }
+        }
+    });
+    out
+}
+
+fn collect_sql_strings_block(b: &Block) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Assign { value, .. } => out.extend(collect_sql_strings_expr(value)),
+            StmtKind::Expr(e) => out.extend(collect_sql_strings_expr(e)),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                out.extend(collect_sql_strings_expr(cond));
+                out.extend(collect_sql_strings_block(then_branch));
+                out.extend(collect_sql_strings_block(else_branch));
+            }
+            StmtKind::ForEach { iterable, body, .. } => {
+                out.extend(collect_sql_strings_expr(iterable));
+                out.extend(collect_sql_strings_block(body));
+            }
+            StmtKind::While { cond, body } => {
+                out.extend(collect_sql_strings_expr(cond));
+                out.extend(collect_sql_strings_block(body));
+            }
+            StmtKind::Return(Some(v)) => out.extend(collect_sql_strings_expr(v)),
+            StmtKind::Print(args) => {
+                for a in args {
+                    out.extend(collect_sql_strings_expr(a));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    fn stats() -> DbStats {
+        DbStats { latency_us: 500.0, per_byte_us: 0.01, ..Default::default() }
+            .with_table("emp", 10_000.0, 50.0)
+            .with_table("dept", 10.0, 30.0)
+    }
+
+    #[test]
+    fn table_scan_estimate() {
+        let q = parse_sql("SELECT * FROM emp").unwrap();
+        let e = estimate_query(&q, &stats());
+        assert_eq!(e.rows, 10_000.0);
+        assert_eq!(e.bytes, 500_000.0);
+    }
+
+    #[test]
+    fn selection_reduces_estimate() {
+        let all = estimate_query(&parse_sql("SELECT * FROM emp").unwrap(), &stats());
+        let eq = estimate_query(&parse_sql("SELECT * FROM emp WHERE id = 3").unwrap(), &stats());
+        let rng =
+            estimate_query(&parse_sql("SELECT * FROM emp WHERE id > 3").unwrap(), &stats());
+        assert!(eq.rows < rng.rows && rng.rows < all.rows);
+    }
+
+    #[test]
+    fn aggregate_is_one_row() {
+        let q = parse_sql("SELECT SUM(salary) AS s FROM emp").unwrap();
+        let e = estimate_query(&q, &stats());
+        assert_eq!(e.rows, 1.0);
+        assert!(e.bytes < 100.0);
+    }
+
+    #[test]
+    fn per_row_inner_queries_dominate_original_cost() {
+        let p = parse_program(
+            r#"fn f() {
+                rows = executeQuery("SELECT * FROM emp");
+                out = list();
+                for (r in rows) {
+                    d = executeScalar("SELECT id FROM dept WHERE id = ?", r.id);
+                    out.add(d);
+                }
+                return out;
+            }"#,
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let loop_id = f.body.stmts[2].id;
+        let c = estimate_loop_original(f, loop_id, &stats()).unwrap();
+        // 10 000 inner round trips at 500µs dominate.
+        assert!(c > 5_000_000.0, "{c}");
+    }
+
+    #[test]
+    fn decide_prefers_single_query() {
+        let p = parse_program(
+            r#"fn f() {
+                rows = executeQuery("SELECT * FROM emp");
+                s = 0;
+                for (r in rows) { s = s + r.salary; }
+                return s;
+            }"#,
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let loop_id = f.body.stmts[2].id;
+        let assigns = vec![(
+            "s".to_string(),
+            Expr::call(
+                "executeScalar",
+                vec![Expr::str("SELECT SUM(salary) AS agg0 FROM emp")],
+            ),
+        )];
+        let d = decide(f, loop_id, &assigns, &stats());
+        assert!(d.beneficial, "{d:?}");
+        assert!(d.rewritten_us < d.original_us);
+    }
+
+    #[test]
+    fn decide_rejects_costlier_rewrite() {
+        // A rewrite that still fetches the whole table per assigned variable
+        // three times over is worse than the original single fetch.
+        let p = parse_program(
+            r#"fn f() {
+                rows = executeQuery("SELECT * FROM emp");
+                s = 0;
+                for (r in rows) { s = s + r.salary; }
+                return s;
+            }"#,
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let loop_id = f.body.stmts[2].id;
+        let fetch_all = Expr::call("executeQuery", vec![Expr::str("SELECT * FROM emp")]);
+        let assigns = vec![
+            ("a".to_string(), fetch_all.clone()),
+            ("b".to_string(), fetch_all.clone()),
+            ("c".to_string(), fetch_all),
+        ];
+        let d = decide(f, loop_id, &assigns, &stats());
+        assert!(!d.beneficial, "{d:?}");
+    }
+
+    #[test]
+    fn stats_from_database() {
+        let db = dbms::gen::gen_emp(100, 1);
+        let s = DbStats::from_database(&db);
+        let q = parse_sql("SELECT * FROM emp").unwrap();
+        let e = estimate_query(&q, &s);
+        assert_eq!(e.rows, 100.0);
+        assert!(e.bytes > 1_000.0);
+    }
+}

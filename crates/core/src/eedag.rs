@@ -1,0 +1,614 @@
+//! The equivalent-expression DAG (ee-DAG) and variable-expression map
+//! (ve-Map) — paper Sec. 3.2.
+//!
+//! "We define an equivalent expression DAG as a directed acyclic graph in
+//! which each node represents an expression. … In order to efficiently check
+//! the existence of a node in the ee-DAG, a composite id — comprising of
+//! id's of its operator and operands — is assigned to each node, and a hash
+//! table is used for searching." — nodes here are hash-consed through
+//! [`EeDag::intern`], so structurally-equal expressions share one id.
+
+use std::collections::{BTreeMap, HashMap};
+
+use algebra::ra::RaExpr;
+use algebra::scalar::Lit;
+use imp::ast::StmtId;
+
+/// Index of a node in an [`EeDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Non-relational operators available in the ee-DAG (paper Sec. 3.2.1 lists
+/// arithmetic, logical, conditional evaluation, and equivalent operators for
+/// library functions and collection operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Addition (numeric).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Modulo.
+    Mod,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+    /// Logical not.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// Binary maximum (`Math.max`).
+    Max,
+    /// Binary minimum (`Math.min`).
+    Min,
+    /// Absolute value.
+    Abs,
+    /// String concatenation (modeling Java `+` on strings / `concat`).
+    Concat,
+    /// Lower-case.
+    Lower,
+    /// Upper-case.
+    Upper,
+    /// String length.
+    Length,
+    /// List append: `append[list, elem]`.
+    Append,
+    /// Set insertion: `insert[set, elem]`.
+    Insert,
+    /// Multiset insertion (list used as a bag).
+    MultisetInsert,
+    /// Pair construction (dependent aggregations, Appendix B).
+    Pair,
+    /// Null-coalescing (`COALESCE(a, b)`); used when mapping SQL aggregate
+    /// NULLs back to imperative identity elements (Rule T5/T6).
+    Coalesce,
+}
+
+/// Collection kinds for empty-collection literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    /// An ordered list (`list()`).
+    List,
+    /// A set (`set()`).
+    Set,
+}
+
+/// A node of the ee-DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A constant.
+    Const(Lit),
+    /// A region input: the value of variable `name` at the start of the
+    /// region (denoted `name₀` in the paper's figures).
+    Input(String),
+    /// The accumulator parameter ⟨v⟩ of a folding function, tagged with the
+    /// accumulated variable's name so nested folds stay unambiguous.
+    AccParam(String),
+    /// The tuple parameter ⟨t⟩ of a folding function, tagged with the
+    /// cursor variable's name (nested cursor loops each have their own).
+    TupleParam(String),
+    /// Attribute access: `base.field` (a getter on a query-result tuple).
+    FieldOf {
+        /// The tuple-valued base expression.
+        base: NodeId,
+        /// Attribute name.
+        field: String,
+    },
+    /// An operator application.
+    Op {
+        /// The operator.
+        op: OpKind,
+        /// Operand nodes.
+        args: Vec<NodeId>,
+    },
+    /// Conditional evaluation `?[cond, then, else]` (paper's "?" operator).
+    Cond {
+        /// Condition.
+        cond: NodeId,
+        /// Value when true.
+        then_val: NodeId,
+        /// Value when false.
+        else_val: NodeId,
+    },
+    /// A relational query leaf: parameterized extended relational algebra.
+    /// `params[i]` supplies the expression bound to `Param(i)`.
+    Query {
+        /// The algebra expression.
+        ra: RaExpr,
+        /// Parameter expressions.
+        params: Vec<NodeId>,
+    },
+    /// A *scalar* query: the first column of the first row of the result
+    /// (`executeScalar`, and the πs scalar projections of Rule T7).
+    ScalarQuery {
+        /// The algebra expression.
+        ra: RaExpr,
+        /// Parameter expressions.
+        params: Vec<NodeId>,
+    },
+    /// An empty collection literal.
+    EmptyColl(CollKind),
+    /// The non-algebraic `Loop` operator (paper Sec. 3.2.1): records the
+    /// loop for later `loopToFold` processing; `body_ve` is the loop body's
+    /// ve-Map (one iteration, inputs = values at iteration start).
+    Loop {
+        /// The iterated collection expression.
+        source: NodeId,
+        /// Cursor variable name.
+        cursor: String,
+        /// Per-iteration variable expressions.
+        body_ve: Vec<(String, NodeId)>,
+        /// The `ForEach` statement this came from.
+        stmt: StmtId,
+    },
+    /// F-IR `fold[func, init, source]` (paper Sec. 4.1). `func` is expressed
+    /// over [`Node::AccParam`] and [`Node::TupleParam`].
+    Fold {
+        /// Folding function body.
+        func: NodeId,
+        /// Initial value.
+        init: NodeId,
+        /// Input query/collection.
+        source: NodeId,
+        /// The cursor variable this fold's tuple parameter is tagged with.
+        cursor: String,
+        /// Origin: the loop statement and the accumulated variable. Keeps
+        /// folds from distinct loops distinct under hash-consing and lets
+        /// the rewriter find the statement to replace.
+        origin: (StmtId, String),
+    },
+    /// Dependent aggregation (paper Appendix B, "Dependent Aggregations"):
+    /// the argmax/argmin of `value` by `key` over `source` — produced when a
+    /// variable is updated under the same comparison that drives a min/max
+    /// accumulator (`if (e(t) > v) { v = e(t); w = g(t); }`). Strict
+    /// comparisons only: the first extremal row wins, which a stable
+    /// descending/ascending sort with LIMIT 1 preserves.
+    ArgExtreme {
+        /// The iterated query/collection.
+        source: NodeId,
+        /// True for argmax (`>`), false for argmin (`<`).
+        is_max: bool,
+        /// The compared key `e(t)`, over the tuple parameter.
+        key: NodeId,
+        /// The captured value `g(t)`, over the tuple parameter.
+        value: NodeId,
+        /// The comparator's initial bound `v₀` (rows must strictly beat it).
+        v_init: NodeId,
+        /// The captured variable's initial value `w₀` (result when no row
+        /// qualifies).
+        w_init: NodeId,
+        /// Cursor variable tagging the tuple parameter.
+        cursor: String,
+        /// Origin loop statement and captured variable.
+        origin: (StmtId, String),
+    },
+    /// "Not yet determined" (paper Appendix D.5) — a loop-modified variable
+    /// whose fold translation failed; poisons dependent extractions.
+    NotDetermined,
+    /// A call that has no ee-DAG equivalent (custom comparators, unknown
+    /// library functions, `size()` …). Extraction fails for any variable
+    /// whose expression contains one (paper Sec. 5.4).
+    Opaque {
+        /// Why the node is opaque (diagnostic).
+        reason: String,
+        /// Arguments, retained so dependence information is not lost.
+        args: Vec<NodeId>,
+    },
+}
+
+/// The ve-Map: variable name → ee-DAG node (paper Sec. 3.2.2).
+pub type VeMap = BTreeMap<String, NodeId>;
+
+/// A hash-consed expression DAG.
+#[derive(Debug, Clone, Default)]
+pub struct EeDag {
+    nodes: Vec<Node>,
+    index: HashMap<Node, NodeId>,
+}
+
+impl EeDag {
+    /// An empty DAG.
+    pub fn new() -> EeDag {
+        EeDag::default()
+    }
+
+    /// Intern a node, returning the id of the existing structurally-equal
+    /// node when present (common sub-expression sharing).
+    pub fn intern(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.index.get(&node) {
+            return *id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // Convenience constructors. ------------------------------------------
+
+    /// Intern a constant.
+    pub fn lit(&mut self, l: Lit) -> NodeId {
+        self.intern(Node::Const(l))
+    }
+
+    /// Intern an integer constant.
+    pub fn int(&mut self, v: i64) -> NodeId {
+        self.lit(Lit::Int(v))
+    }
+
+    /// Intern a region input.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        self.intern(Node::Input(name.into()))
+    }
+
+    /// Intern an operator application.
+    pub fn op(&mut self, op: OpKind, args: Vec<NodeId>) -> NodeId {
+        self.intern(Node::Op { op, args })
+    }
+
+    /// Intern a conditional evaluation node.
+    pub fn cond(&mut self, cond: NodeId, then_val: NodeId, else_val: NodeId) -> NodeId {
+        self.intern(Node::Cond { cond, then_val, else_val })
+    }
+
+    /// Intern an opaque marker.
+    pub fn opaque(&mut self, reason: impl Into<String>, args: Vec<NodeId>) -> NodeId {
+        self.intern(Node::Opaque { reason: reason.into(), args })
+    }
+
+    // Traversals. ----------------------------------------------------------
+
+    /// Visit `id` and all reachable nodes (pre-order, may revisit shared
+    /// subtrees — fine for predicates).
+    pub fn walk(&self, id: NodeId, f: &mut impl FnMut(NodeId, &Node)) {
+        let n = self.node(id);
+        f(id, n);
+        match n {
+            Node::Const(_)
+            | Node::Input(_)
+            | Node::AccParam(_)
+            | Node::TupleParam(_)
+            | Node::EmptyColl(_)
+            | Node::NotDetermined => {}
+            Node::FieldOf { base, .. } => self.walk(*base, f),
+            Node::Op { args, .. } | Node::Opaque { args, .. } => {
+                for a in args.clone() {
+                    self.walk(a, f);
+                }
+            }
+            Node::Cond { cond, then_val, else_val } => {
+                self.walk(*cond, f);
+                self.walk(*then_val, f);
+                self.walk(*else_val, f);
+            }
+            Node::Query { params, .. } | Node::ScalarQuery { params, .. } => {
+                for p in params.clone() {
+                    self.walk(p, f);
+                }
+            }
+            Node::Loop { source, body_ve, .. } => {
+                self.walk(*source, f);
+                for (_, e) in body_ve.clone() {
+                    self.walk(e, f);
+                }
+            }
+            Node::Fold { func, init, source, .. } => {
+                self.walk(*func, f);
+                self.walk(*init, f);
+                self.walk(*source, f);
+            }
+            Node::ArgExtreme { source, key, value, v_init, w_init, .. } => {
+                self.walk(*source, f);
+                self.walk(*key, f);
+                self.walk(*value, f);
+                self.walk(*v_init, f);
+                self.walk(*w_init, f);
+            }
+        }
+    }
+
+    /// True when any reachable node satisfies `pred`.
+    pub fn any(&self, id: NodeId, pred: impl Fn(&Node) -> bool) -> bool {
+        let mut found = false;
+        self.walk(id, &mut |_, n| {
+            if pred(n) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True when the expression is poisoned (contains `Opaque`/`ND`).
+    pub fn is_poisoned(&self, id: NodeId) -> bool {
+        self.any(id, |n| matches!(n, Node::Opaque { .. } | Node::NotDetermined))
+    }
+
+    /// Region-input names referenced by the expression.
+    pub fn inputs_of(&self, id: NodeId) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(id, &mut |_, n| {
+            if let Node::Input(name) = n {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Substitute region inputs by expressions: every `Input(v)` with an
+    /// entry in `subs` is replaced by the mapped node. This is the
+    /// sequential-region merge of the paper (Appendix D.3): "for each leaf
+    /// in eeDag2 that is a 0-subscripted variable, replace it with the
+    /// ee-DAG obtained from a lookup in veMap1".
+    pub fn substitute_inputs(&mut self, id: NodeId, subs: &VeMap) -> NodeId {
+        let mut memo = HashMap::new();
+        self.subst_rec(id, subs, &mut memo)
+    }
+
+    fn subst_rec(
+        &mut self,
+        id: NodeId,
+        subs: &VeMap,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if let Some(r) = memo.get(&id) {
+            return *r;
+        }
+        let node = self.node(id).clone();
+        let result = match node {
+            Node::Input(ref name) => match subs.get(name) {
+                Some(replacement) => *replacement,
+                None => id,
+            },
+            Node::Const(_)
+            | Node::AccParam(_)
+            | Node::TupleParam(_)
+            | Node::EmptyColl(_)
+            | Node::NotDetermined => id,
+            Node::FieldOf { base, field } => {
+                let b = self.subst_rec(base, subs, memo);
+                self.intern(Node::FieldOf { base: b, field })
+            }
+            Node::Op { op, args } => {
+                let new: Vec<NodeId> =
+                    args.iter().map(|a| self.subst_rec(*a, subs, memo)).collect();
+                self.intern(Node::Op { op, args: new })
+            }
+            Node::Opaque { reason, args } => {
+                let new: Vec<NodeId> =
+                    args.iter().map(|a| self.subst_rec(*a, subs, memo)).collect();
+                self.intern(Node::Opaque { reason, args: new })
+            }
+            Node::Cond { cond, then_val, else_val } => {
+                let c = self.subst_rec(cond, subs, memo);
+                let t = self.subst_rec(then_val, subs, memo);
+                let e = self.subst_rec(else_val, subs, memo);
+                self.intern(Node::Cond { cond: c, then_val: t, else_val: e })
+            }
+            Node::Query { ra, params } => {
+                let new: Vec<NodeId> =
+                    params.iter().map(|p| self.subst_rec(*p, subs, memo)).collect();
+                self.intern(Node::Query { ra, params: new })
+            }
+            Node::ScalarQuery { ra, params } => {
+                let new: Vec<NodeId> =
+                    params.iter().map(|p| self.subst_rec(*p, subs, memo)).collect();
+                self.intern(Node::ScalarQuery { ra, params: new })
+            }
+            Node::Loop { source, cursor, body_ve, stmt } => {
+                let s = self.subst_rec(source, subs, memo);
+                // Body expressions reference per-iteration inputs; only the
+                // source is resolved against the enclosing region.
+                self.intern(Node::Loop { source: s, cursor, body_ve, stmt })
+            }
+            Node::Fold { func, init, source, cursor, origin } => {
+                let i = self.subst_rec(init, subs, memo);
+                let s = self.subst_rec(source, subs, memo);
+                // The folding function is closed over Acc/Tuple params plus
+                // possibly region inputs (loop-invariant values).
+                let fn_ = self.subst_rec(func, subs, memo);
+                self.intern(Node::Fold { func: fn_, init: i, source: s, cursor, origin })
+            }
+            Node::ArgExtreme { source, is_max, key, value, v_init, w_init, cursor, origin } => {
+                let s = self.subst_rec(source, subs, memo);
+                let k = self.subst_rec(key, subs, memo);
+                let val = self.subst_rec(value, subs, memo);
+                let vi = self.subst_rec(v_init, subs, memo);
+                let wi = self.subst_rec(w_init, subs, memo);
+                self.intern(Node::ArgExtreme {
+                    source: s,
+                    is_max,
+                    key: k,
+                    value: val,
+                    v_init: vi,
+                    w_init: wi,
+                    cursor,
+                    origin,
+                })
+            }
+        };
+        memo.insert(id, result);
+        result
+    }
+
+    /// Pretty-print an expression for diagnostics.
+    pub fn display(&self, id: NodeId) -> String {
+        match self.node(id) {
+            Node::Const(l) => l.to_string(),
+            Node::Input(v) => format!("{v}₀"),
+            Node::AccParam(v) => format!("⟨{v}⟩"),
+            Node::TupleParam(t) => format!("⟨{t}⟩"),
+            Node::FieldOf { base, field } => format!("{}.{field}", self.display(*base)),
+            Node::Op { op, args } => {
+                let parts: Vec<String> = args.iter().map(|a| self.display(*a)).collect();
+                format!("{op:?}[{}]", parts.join(", "))
+            }
+            Node::Cond { cond, then_val, else_val } => format!(
+                "?[{}, {}, {}]",
+                self.display(*cond),
+                self.display(*then_val),
+                self.display(*else_val)
+            ),
+            Node::Query { ra, params } | Node::ScalarQuery { ra, params } => {
+                let tag = if matches!(self.node(id), Node::ScalarQuery { .. }) { "q" } else { "Q" };
+                if params.is_empty() {
+                    format!("{tag}⟨{ra}⟩")
+                } else {
+                    let ps: Vec<String> = params.iter().map(|p| self.display(*p)).collect();
+                    format!("{tag}⟨{ra}⟩({})", ps.join(", "))
+                }
+            }
+            Node::EmptyColl(CollKind::List) => "[]".to_string(),
+            Node::EmptyColl(CollKind::Set) => "{}".to_string(),
+            Node::Loop { source, cursor, .. } => {
+                format!("Loop[{} in {}]", cursor, self.display(*source))
+            }
+            Node::Fold { func, init, source, .. } => format!(
+                "fold[{}, {}, {}]",
+                self.display(*func),
+                self.display(*init),
+                self.display(*source)
+            ),
+            Node::ArgExtreme { source, is_max, key, value, .. } => format!(
+                "arg{}[{} by {}]({})",
+                if *is_max { "max" } else { "min" },
+                self.display(*value),
+                self.display(*key),
+                self.display(*source)
+            ),
+            Node::NotDetermined => "ND".to_string(),
+            Node::Opaque { reason, .. } => format!("opaque⟨{reason}⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_structurally_equal_nodes() {
+        let mut d = EeDag::new();
+        let a1 = d.input("x");
+        let a2 = d.input("x");
+        assert_eq!(a1, a2);
+        let five = d.int(5);
+        let s1 = d.op(OpKind::Add, vec![a1, five]);
+        let s2 = d.op(OpKind::Add, vec![a2, five]);
+        assert_eq!(s1, s2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn substitution_resolves_inputs() {
+        let mut d = EeDag::new();
+        let x = d.input("x");
+        let one = d.int(1);
+        let e = d.op(OpKind::Add, vec![x, one]);
+        let ten = d.int(10);
+        let mut subs = VeMap::new();
+        subs.insert("x".to_string(), ten);
+        let out = d.substitute_inputs(e, &subs);
+        assert_eq!(d.display(out), "Add[10, 1]");
+    }
+
+    #[test]
+    fn substitution_is_memoized_and_shares() {
+        let mut d = EeDag::new();
+        let x = d.input("x");
+        let e1 = d.op(OpKind::Add, vec![x, x]);
+        let v = d.int(2);
+        let mut subs = VeMap::new();
+        subs.insert("x".to_string(), v);
+        let out = d.substitute_inputs(e1, &subs);
+        match d.node(out) {
+            Node::Op { args, .. } => assert_eq!(args[0], args[1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_detection() {
+        let mut d = EeDag::new();
+        let bad = d.opaque("custom comparator", vec![]);
+        let one = d.int(1);
+        let e = d.op(OpKind::Add, vec![one, bad]);
+        assert!(d.is_poisoned(e));
+        assert!(!d.is_poisoned(one));
+    }
+
+    #[test]
+    fn inputs_of_lists_unique_inputs() {
+        let mut d = EeDag::new();
+        let x = d.input("x");
+        let y = d.input("y");
+        let e0 = d.op(OpKind::Add, vec![x, y]);
+        let e = d.op(OpKind::Add, vec![e0, x]);
+        assert_eq!(d.inputs_of(e), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn folds_from_distinct_loops_stay_distinct() {
+        let mut d = EeDag::new();
+        let f = d.intern(Node::AccParam("v".into()));
+        let i = d.int(0);
+        let s = d.input("q");
+        let f1 = d.intern(Node::Fold {
+            func: f,
+            init: i,
+            source: s,
+            cursor: "t".into(),
+            origin: (StmtId(1), "v".into()),
+        });
+        let f2 = d.intern(Node::Fold {
+            func: f,
+            init: i,
+            source: s,
+            cursor: "t".into(),
+            origin: (StmtId(2), "v".into()),
+        });
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut d = EeDag::new();
+        let x = d.input("scoreMax");
+        let t = d.intern(Node::TupleParam("t".into()));
+        let fld = d.intern(Node::FieldOf { base: t, field: "p1".into() });
+        let m = d.op(OpKind::Max, vec![x, fld]);
+        assert_eq!(d.display(m), "Max[scoreMax₀, ⟨t⟩.p1]");
+    }
+}

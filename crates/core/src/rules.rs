@@ -1,0 +1,1229 @@
+//! F-IR transformation rules (paper Sec. 5.1 and Appendix B).
+//!
+//! Implemented rules:
+//!
+//! * **T1** simplification — `fold[append, [], Q] = Q`,
+//!   `fold[insert, {}, Q] = δ(Q)`;
+//! * **T2** predicate push — `fold[?[pred(t), g, ⟨v⟩], id, Q] ≡
+//!   fold[g, id, σ_pred(Q)]`;
+//! * **T3** scalar-function push — projections are built directly from the
+//!   element expression, so `h(t.A)` lands inside π;
+//! * **T4** join identification (list append / set insert / multiset);
+//! * **T5.1** whole-relation aggregation (`sum`, `max`, `min`, `count`);
+//! * **T5.2** GROUP BY from nested aggregation loops;
+//! * **T6** fold with a non-identity initial value — emitted as
+//!   `op(init, coalesce(aggregate-subquery, init-or-0))`, which also
+//!   restores the imperative identity when SQL aggregates return `NULL`
+//!   over empty inputs;
+//! * **T7** OUTER APPLY for correlated scalar lookups (star schemas);
+//! * **EXISTS / NOT EXISTS** inference from boolean-flag folds
+//!   (Appendix B, "Checking for existence using cursor loops").
+//!
+//! Rules rewrite [`Node::Fold`] nodes bottom-up until fixpoint. As the paper
+//! argues (Sec. 5.3), each rule only moves computation from the folding
+//! function into the query, so the system is confluent and terminating; a
+//! pass cap is kept as a defensive bound.
+
+use std::collections::HashMap;
+
+use algebra::ra::{AggCall, AggFunc, ProjItem, RaExpr};
+use algebra::scalar::{BinOp, ColRef, Lit, Scalar, ScalarFunc, UnOp};
+use algebra::schema::Catalog;
+
+use crate::eedag::{EeDag, Node, NodeId, OpKind};
+
+/// Options controlling rule application.
+#[derive(Debug, Clone)]
+pub struct RuleOptions {
+    /// When `false`, list order is known to be irrelevant (keyword-search
+    /// extraction, Sec. 7.1 Experiment 3): `append` is treated as multiset
+    /// insertion and the key requirement of T4.1 is dropped.
+    pub ordered: bool,
+    /// Rule-application order control (Sec. 5.3: "In case multiple
+    /// transformation rules are applicable … we choose any one of the
+    /// applicable rules and proceed. … the rule set is confluent"). When
+    /// `true`, the general OUTER APPLY rule (T7) is preferred over the more
+    /// specific GROUP BY rule (T5.2) where both match; the resulting query
+    /// differs syntactically but must be semantically identical — asserted
+    /// by the confluence tests.
+    pub prefer_lateral: bool,
+}
+
+impl Default for RuleOptions {
+    fn default() -> Self {
+        RuleOptions { ordered: true, prefer_lateral: false }
+    }
+}
+
+/// The rule engine.
+pub struct RuleEngine<'c> {
+    catalog: &'c Catalog,
+    opts: RuleOptions,
+    /// Names of rules applied, in order (for tests and the ablation bench).
+    pub trace: Vec<&'static str>,
+    fresh: usize,
+}
+
+impl<'c> RuleEngine<'c> {
+    /// Create an engine over a catalog.
+    pub fn new(catalog: &'c Catalog, opts: RuleOptions) -> RuleEngine<'c> {
+        RuleEngine { catalog, opts, trace: Vec::new(), fresh: 0 }
+    }
+
+    /// Transform an expression to fixpoint.
+    pub fn transform(&mut self, dag: &mut EeDag, id: NodeId) -> NodeId {
+        let mut cur = id;
+        for _ in 0..20 {
+            let mut memo = HashMap::new();
+            let next = self.rewrite(dag, cur, &mut memo);
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn fresh_alias(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    /// One bottom-up pass.
+    fn rewrite(
+        &mut self,
+        dag: &mut EeDag,
+        id: NodeId,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if let Some(r) = memo.get(&id) {
+            return *r;
+        }
+        let node = dag.node(id).clone();
+        let rebuilt = match node {
+            Node::FieldOf { base, field } => {
+                let b = self.rewrite(dag, base, memo);
+                dag.intern(Node::FieldOf { base: b, field })
+            }
+            Node::Op { op, args } => {
+                let new: Vec<NodeId> = args.iter().map(|a| self.rewrite(dag, *a, memo)).collect();
+                let n = dag.intern(Node::Op { op, args: new });
+                self.simplify_op(dag, n)
+            }
+            Node::Cond { cond, then_val, else_val } => {
+                let c = self.rewrite(dag, cond, memo);
+                let t = self.rewrite(dag, then_val, memo);
+                let e = self.rewrite(dag, else_val, memo);
+                dag.intern(Node::Cond { cond: c, then_val: t, else_val: e })
+            }
+            Node::Query { ra, params } => {
+                let new: Vec<NodeId> =
+                    params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
+                dag.intern(Node::Query { ra, params: new })
+            }
+            Node::ScalarQuery { ra, params } => {
+                let new: Vec<NodeId> =
+                    params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
+                dag.intern(Node::ScalarQuery { ra, params: new })
+            }
+            Node::Fold { func, init, source, cursor, origin } => {
+                let f = self.rewrite(dag, func, memo);
+                let i = self.rewrite(dag, init, memo);
+                let s = self.rewrite(dag, source, memo);
+                let fold =
+                    dag.intern(Node::Fold { func: f, init: i, source: s, cursor, origin });
+                match self.try_fold_rules(dag, fold) {
+                    Some(n) => n,
+                    None => fold,
+                }
+            }
+            Node::ArgExtreme { source, is_max, key, value, v_init, w_init, cursor, origin } => {
+                let s = self.rewrite(dag, source, memo);
+                let vi = self.rewrite(dag, v_init, memo);
+                let wi = self.rewrite(dag, w_init, memo);
+                let node = dag.intern(Node::ArgExtreme {
+                    source: s,
+                    is_max,
+                    key,
+                    value,
+                    v_init: vi,
+                    w_init: wi,
+                    cursor: cursor.clone(),
+                    origin,
+                });
+                match self.try_arg_extreme(dag, node) {
+                    Some(n) => n,
+                    None => node,
+                }
+            }
+            _ => id,
+        };
+        memo.insert(id, rebuilt);
+        rebuilt
+    }
+
+    /// Constant-folding simplifications that keep extracted expressions
+    /// tidy (`or(false, x) → x`, `add(0, x) → x`, `and(true, x) → x`).
+    fn simplify_op(&mut self, dag: &mut EeDag, id: NodeId) -> NodeId {
+        let Node::Op { op, args } = dag.node(id).clone() else {
+            return id;
+        };
+        if args.len() != 2 {
+            return id;
+        }
+        let (a, b) = (args[0], args[1]);
+        let is_lit = |dag: &EeDag, n: NodeId, l: &Lit| matches!(dag.node(n), Node::Const(x) if x == l);
+        match op {
+            OpKind::Or if is_lit(dag, a, &Lit::Bool(false)) => b,
+            OpKind::Or if is_lit(dag, b, &Lit::Bool(false)) => a,
+            OpKind::And if is_lit(dag, a, &Lit::Bool(true)) => b,
+            OpKind::And if is_lit(dag, b, &Lit::Bool(true)) => a,
+            OpKind::Add if is_lit(dag, a, &Lit::Int(0)) => b,
+            OpKind::Add if is_lit(dag, b, &Lit::Int(0)) => a,
+            _ => id,
+        }
+    }
+
+    /// Attempt all fold rules at a (already child-rewritten) fold node.
+    fn try_fold_rules(&mut self, dag: &mut EeDag, fold: NodeId) -> Option<NodeId> {
+        let Node::Fold { func, init, source, cursor, origin } = dag.node(fold).clone() else {
+            return None;
+        };
+        // The source must be (equivalent to) a query result.
+        let (q, qp) = match dag.node(source).clone() {
+            Node::Query { ra, params } => (ra, params),
+            _ => return None,
+        };
+        let var = origin.1.clone();
+
+        // Conditional min/max normalization (paper Sec. 4.2): the merged
+        // D-IR form `?[x > y, x, y]` *is* `max(x, y)` (and `<` is `min`) —
+        // the source-level desugar only catches single-statement branches,
+        // so the rule engine normalizes the general form too.
+        if let Node::Cond { cond, then_val, else_val } = dag.node(func).clone() {
+            if let Node::Op { op, args } = dag.node(cond).clone() {
+                if args.len() == 2 {
+                    let kind = match op {
+                        OpKind::Gt | OpKind::Ge => Some(OpKind::Max),
+                        OpKind::Lt | OpKind::Le => Some(OpKind::Min),
+                        _ => None,
+                    };
+                    if let Some(k) = kind {
+                        let matches_direct = then_val == args[0] && else_val == args[1];
+                        let matches_flipped = then_val == args[1] && else_val == args[0];
+                        let new_func = if matches_direct {
+                            Some(dag.op(k, vec![args[1], args[0]]))
+                        } else if matches_flipped {
+                            // ?[x > y, y, x] keeps the smaller on Gt.
+                            let k2 = if k == OpKind::Max { OpKind::Min } else { OpKind::Max };
+                            Some(dag.op(k2, vec![args[0], args[1]]))
+                        } else {
+                            None
+                        };
+                        if let Some(nf) = new_func {
+                            self.trace.push("minmax-normalize");
+                            let out = dag.intern(Node::Fold {
+                                func: nf,
+                                init,
+                                source,
+                                cursor,
+                                origin,
+                            });
+                            return Some(self.try_fold_rules(dag, out).unwrap_or(out));
+                        }
+                    }
+                }
+            }
+        }
+
+        // T2: predicate push.
+        if let Node::Cond { cond, then_val, else_val } = dag.node(func).clone() {
+            let acc = dag.intern(Node::AccParam(var.clone()));
+            let (g, pred_node, negate) = if else_val == acc {
+                (then_val, cond, false)
+            } else if then_val == acc {
+                (else_val, cond, true)
+            } else {
+                (NodeId(u32::MAX), cond, false)
+            };
+            if g != NodeId(u32::MAX) {
+                let mut sb = ScalarBuild::new(dag, self.catalog, qp.clone());
+                sb.bind_tuple(&cursor, None);
+                if let Some(mut pred) = sb.to_scalar(pred_node) {
+                    if negate {
+                        pred = Scalar::Un(UnOp::Not, Box::new(pred));
+                    }
+                    let params = sb.params;
+                    let new_q = q.clone().select(pred);
+                    let new_src = dag.intern(Node::Query { ra: new_q, params });
+                    self.trace.push("T2");
+                    let out = dag.intern(Node::Fold {
+                        func: g,
+                        init,
+                        source: new_src,
+                        cursor,
+                        origin,
+                    });
+                    return Some(self.try_fold_rules(dag, out).unwrap_or(out));
+                }
+            }
+        }
+
+        // Collection-building folds.
+        if let Node::Op { op, args } = dag.node(func).clone() {
+            let acc = dag.intern(Node::AccParam(var.clone()));
+            if matches!(op, OpKind::Append | OpKind::Insert | OpKind::MultisetInsert)
+                && args.len() == 2
+                && args[0] == acc
+            {
+                let elem = args[1];
+                let is_set = op == OpKind::Insert;
+                let ordered = self.opts.ordered && op == OpKind::Append;
+                // T5.2 (GROUP BY) and T7 (OUTER APPLY) can both match the
+                // nested-aggregation shape; either is correct (confluence,
+                // Sec. 5.3) — the option picks which to try first.
+                if self.opts.prefer_lateral {
+                    if let Some(n) =
+                        self.try_outer_apply(dag, &q, &qp, &cursor, elem, is_set, ordered, init)
+                    {
+                        return Some(n);
+                    }
+                    if let Some(n) =
+                        self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init)
+                    {
+                        return Some(n);
+                    }
+                } else {
+                    if let Some(n) =
+                        self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init)
+                    {
+                        return Some(n);
+                    }
+                    if let Some(n) =
+                        self.try_outer_apply(dag, &q, &qp, &cursor, elem, is_set, ordered, init)
+                    {
+                        return Some(n);
+                    }
+                }
+                // T1/T3: plain projection.
+                if let Some(n) =
+                    self.try_projection(dag, &q, &qp, &cursor, elem, is_set, ordered, init)
+                {
+                    return Some(n);
+                }
+                return None;
+            }
+            // T5.1/T6: scalar aggregation.
+            if args.len() == 2 {
+                let (acc_pos, e) = if args[0] == acc {
+                    (0, args[1])
+                } else if args[1] == acc {
+                    (1, args[0])
+                } else {
+                    (2, args[0])
+                };
+                if acc_pos < 2 {
+                    if let Some(n) =
+                        self.try_scalar_agg(dag, &q, &qp, &cursor, op, e, init, &var)
+                    {
+                        return Some(n);
+                    }
+                }
+            }
+        }
+        // T4: the folding function is itself a fold whose initial value is
+        // the outer accumulator (flattening nested cursor loops).
+        if let Node::Fold { func: ifunc, init: iinit, source: isrc, cursor: icursor, .. } =
+            dag.node(func).clone()
+        {
+            let acc = dag.intern(Node::AccParam(var.clone()));
+            if iinit == acc {
+                if let Some(n) =
+                    self.try_join(dag, &q, &qp, &cursor, ifunc, isrc, &icursor, &var, init)
+                {
+                    return Some(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// T1/T3: `fold[append/insert, coll, Q]` with a scalar element.
+    #[allow(clippy::too_many_arguments)]
+    fn try_projection(
+        &mut self,
+        dag: &mut EeDag,
+        q: &RaExpr,
+        qp: &[NodeId],
+        cursor: &str,
+        elem: NodeId,
+        is_set: bool,
+        ordered: bool,
+        init: NodeId,
+    ) -> Option<NodeId> {
+        if !self.init_is_empty_coll(dag, init) {
+            return None;
+        }
+        // Whole-tuple append: the collection is the query result itself
+        // (T1.1/T1.2 verbatim).
+        if matches!(dag.node(elem), Node::TupleParam(c) if c == cursor) {
+            let ra = if is_set { q.clone().dedup() } else { q.clone() };
+            self.trace.push(if is_set { "T1.2" } else { "T1.1" });
+            return Some(dag.intern(Node::Query { ra, params: qp.to_vec() }));
+        }
+        let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
+        sb.bind_tuple(cursor, None);
+        // Pair element without aggregation: two projected columns.
+        let items = if let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() {
+            let a = sb.to_scalar(args[0])?;
+            let b = sb.to_scalar(args[1])?;
+            vec![ProjItem::new(a, "first"), ProjItem::new(b, "second")]
+        } else {
+            let s = sb.to_scalar(elem)?;
+            let alias = default_proj_alias(&s);
+            vec![ProjItem::new(s, alias)]
+        };
+        let params = sb.params;
+        let mut ra = q.clone().project(items);
+        if is_set {
+            ra = ra.dedup();
+        }
+        let _ = ordered; // π preserves order; nothing extra needed.
+        self.trace.push("T1+T3");
+        Some(dag.intern(Node::Query { ra, params }))
+    }
+
+    /// T4: nested cursor loops flattening into a join.
+    #[allow(clippy::too_many_arguments)]
+    fn try_join(
+        &mut self,
+        dag: &mut EeDag,
+        q1: &RaExpr,
+        q1p: &[NodeId],
+        outer_cursor: &str,
+        inner_func: NodeId,
+        inner_source: NodeId,
+        inner_cursor: &str,
+        var: &str,
+        init: NodeId,
+    ) -> Option<NodeId> {
+        if !self.init_is_empty_coll(dag, init) {
+            return None;
+        }
+        // Inner folding function: a plain collection append/insert, possibly
+        // guarded by a join condition over both tuples — the classic
+        // in-application nested-loop join of Experiment 6 ("combines them
+        // using nested loops, based on a condition").
+        let (inner_core, guard) = match dag.node(inner_func).clone() {
+            Node::Cond { cond, then_val, else_val }
+                if matches!(dag.node(else_val), Node::AccParam(v) if v == var) =>
+            {
+                (then_val, Some(cond))
+            }
+            _ => (inner_func, None),
+        };
+        let (elem, is_set, is_append) = match dag.node(inner_core).clone() {
+            Node::Op { op, args }
+                if matches!(op, OpKind::Append | OpKind::Insert | OpKind::MultisetInsert)
+                    && args.len() == 2
+                    && matches!(dag.node(args[0]), Node::AccParam(v) if v == var) =>
+            {
+                (args[1], op == OpKind::Insert, op == OpKind::Append)
+            }
+            _ => return None,
+        };
+        let (q2, q2p) = match dag.node(inner_source).clone() {
+            Node::Query { ra, params } => (ra, params),
+            _ => return None,
+        };
+        // T4.1 (ordered list append) requires the outer query to have a
+        // unique key; sets/multisets don't (T4.2/T4.3).
+        if is_append && self.opts.ordered && !has_key(q1, self.catalog) {
+            return None;
+        }
+        // Qualify the outer side.
+        let (q1a, ob) = ensure_binding(q1.clone(), || self.fresh_alias("eqo"));
+
+        // Inline Q2's parameters: outer-tuple correlations become column
+        // references on Q1, invariants are lifted into the combined params.
+        let mut sb = ScalarBuild::new(dag, self.catalog, q1p.to_vec());
+        sb.bind_tuple(outer_cursor, Some(ob.clone()));
+        let mut subs = Vec::new();
+        for p in &q2p {
+            subs.push(sb.to_scalar(*p)?);
+        }
+        let q2c = q2.clone().substitute_params(&subs);
+        // Decompose Q2 so the correlated selection becomes an explicit join
+        // predicate (the paper's `Q1 ⋈_pred Q2`).
+        let d = decorrelate_simple(q2c)?;
+        let (right, ib) = self.alias_inner(d.table, &ob);
+        let mut pred = qualify_unqualified(&d.pred, &ib);
+
+        // Element over the inner tuple (and possibly the outer one).
+        sb.bind_tuple_mapped(inner_cursor, inner_col_map(&d.proj, &right, &ib, self.catalog)?);
+        // A guarded append contributes its condition to the join predicate.
+        if let Some(g) = guard {
+            let g_scalar = sb.to_scalar(g)?;
+            pred = pred.and(g_scalar);
+        }
+        let items = if let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() {
+            let a = sb.to_scalar(args[0])?;
+            let b = sb.to_scalar(args[1])?;
+            vec![ProjItem::new(a, "first"), ProjItem::new(b, "second")]
+        } else {
+            let s = sb.to_scalar(elem)?;
+            let alias = default_proj_alias(&s);
+            vec![ProjItem::new(s, alias)]
+        };
+        let params = sb.params;
+        let mut ra = q1a.join(right, pred).project(items);
+        if is_set {
+            ra = ra.dedup();
+        }
+        self.trace.push(if is_set {
+            "T4.2"
+        } else if is_append && self.opts.ordered {
+            "T4.1"
+        } else {
+            "T4.3"
+        });
+        Some(dag.intern(Node::Query { ra, params }))
+    }
+
+    /// T5.1/T6: scalar aggregation, including the EXISTS/NOT-EXISTS
+    /// boolean folds of Appendix B.
+    #[allow(clippy::too_many_arguments)]
+    fn try_scalar_agg(
+        &mut self,
+        dag: &mut EeDag,
+        q: &RaExpr,
+        qp: &[NodeId],
+        cursor: &str,
+        op: OpKind,
+        e: NodeId,
+        init: NodeId,
+        _var: &str,
+    ) -> Option<NodeId> {
+        let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
+        sb.bind_tuple(cursor, None);
+        match op {
+            OpKind::Add | OpKind::Max | OpKind::Min => {
+                let arg = sb.to_scalar(e)?;
+                let params = sb.params;
+                // COUNT special case: summing the constant 1.
+                let (agg, label) = if op == OpKind::Add && arg == Scalar::int(1) {
+                    (AggFunc::Count, "T5.1-count")
+                } else {
+                    match op {
+                        OpKind::Add => (AggFunc::Sum, "T5.1-sum"),
+                        OpKind::Max => (AggFunc::Max, "T5.1-max"),
+                        _ => (AggFunc::Min, "T5.1-min"),
+                    }
+                };
+                let ra = q.clone().aggregate(vec![AggCall::new(agg, arg, "agg0")]);
+                let sq = dag.intern(Node::ScalarQuery { ra, params });
+                self.trace.push(label);
+                // T6: combine with the initial value; COALESCE restores the
+                // imperative identity on empty inputs.
+                let out = match agg {
+                    AggFunc::Count => {
+                        // COUNT is never NULL: init + count.
+                        dag.op(OpKind::Add, vec![init, sq])
+                    }
+                    AggFunc::Sum => {
+                        let zero = dag.int(0);
+                        let c = dag.op(OpKind::Coalesce, vec![sq, zero]);
+                        dag.op(OpKind::Add, vec![init, c])
+                    }
+                    _ => {
+                        let c = dag.op(OpKind::Coalesce, vec![sq, init]);
+                        let k = if op == OpKind::Max { OpKind::Max } else { OpKind::Min };
+                        dag.op(k, vec![init, c])
+                    }
+                };
+                Some(self.simplify_op(dag, out))
+            }
+            OpKind::Or => {
+                // EXISTS: v ∨ pred(t) over all t ⇔ v ∨ (COUNT(σ_pred) > 0).
+                let pred = sb.to_scalar(e)?;
+                let params = sb.params;
+                let ra = q
+                    .clone()
+                    .select(pred)
+                    .aggregate(vec![AggCall::new(AggFunc::Count, Scalar::int(1), "agg0")]);
+                let sq = dag.intern(Node::ScalarQuery { ra, params });
+                let zero = dag.int(0);
+                let gt = dag.op(OpKind::Gt, vec![sq, zero]);
+                self.trace.push("EXISTS");
+                let out = dag.op(OpKind::Or, vec![init, gt]);
+                Some(self.simplify_op(dag, out))
+            }
+            OpKind::And => {
+                // FORALL / NOT EXISTS: v ∧ pred(t) over all t ⇔
+                // v ∧ (COUNT(σ_{¬pred}) = 0).
+                let pred = sb.to_scalar(e)?;
+                let params = sb.params;
+                let neg = Scalar::Un(UnOp::Not, Box::new(pred));
+                let ra = q
+                    .clone()
+                    .select(neg)
+                    .aggregate(vec![AggCall::new(AggFunc::Count, Scalar::int(1), "agg0")]);
+                let sq = dag.intern(Node::ScalarQuery { ra, params });
+                let zero = dag.int(0);
+                let eq = dag.op(OpKind::Eq, vec![sq, zero]);
+                self.trace.push("NOT-EXISTS");
+                let out = dag.op(OpKind::And, vec![init, eq]);
+                Some(self.simplify_op(dag, out))
+            }
+            _ => None,
+        }
+    }
+
+    /// T5.2: the element is `pair(key(t), agg-subquery(t))` — a nested
+    /// aggregation loop already reduced by T5.1 to a correlated scalar
+    /// aggregate. Rewrites to a GROUP BY over a left outer join.
+    #[allow(clippy::too_many_arguments)]
+    fn try_group_by(
+        &mut self,
+        dag: &mut EeDag,
+        q1: &RaExpr,
+        q1p: &[NodeId],
+        cursor: &str,
+        elem: NodeId,
+        is_set: bool,
+        init: NodeId,
+    ) -> Option<NodeId> {
+        if !self.init_is_empty_coll(dag, init) {
+            return None;
+        }
+        let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() else {
+            return None;
+        };
+        let (key_node, val_node) = (args[0], args[1]);
+        // Find the unique correlated aggregate scalar-subquery in the value.
+        let sqs = correlated_scalar_queries(dag, val_node, cursor);
+        if sqs.len() != 1 {
+            return None;
+        }
+        let sq = sqs[0];
+        let (iq, ip) = match dag.node(sq).clone() {
+            Node::ScalarQuery { ra, params } => (ra, params),
+            _ => return None,
+        };
+        let RaExpr::Aggregate { input: iq_input, group_by, aggs } = iq else {
+            return None;
+        };
+        if !group_by.is_empty() || aggs.len() != 1 {
+            return None;
+        }
+        // T5.2 requires Q1 to have a key (grouping by all Q1 columns must
+        // not merge distinct outer rows).
+        if !has_key(q1, self.catalog) {
+            return None;
+        }
+        let (q1a, ob) = ensure_binding(q1.clone(), || self.fresh_alias("eqo"));
+
+        let mut sb = ScalarBuild::new(dag, self.catalog, q1p.to_vec());
+        sb.bind_tuple(cursor, Some(ob.clone()));
+        let mut subs = Vec::new();
+        for p in &ip {
+            subs.push(sb.to_scalar(*p)?);
+        }
+        let q2c = (*iq_input).clone().substitute_params(&subs);
+        let d = decorrelate_simple(q2c)?;
+        let (right, ib) = self.alias_inner(d.table, &ob);
+        let pred = qualify_unqualified(&d.pred, &ib);
+
+        // Aggregate argument references inner output columns: map through
+        // the inner projection, then qualify.
+        let agg = &aggs[0];
+        let mut agg_arg = map_through_projection(&agg.arg, &d.proj, &ib)?;
+        // COUNT over the left-outer join must not count NULL-padded rows:
+        // count a non-null inner column instead of a constant.
+        if agg.func == AggFunc::Count && agg_arg.columns().is_empty() {
+            let col = right.output_columns(self.catalog)?.first()?.clone();
+            agg_arg = Scalar::Col(ColRef::qualified(ib.clone(), col));
+        }
+        let join = RaExpr::Join {
+            left: Box::new(q1a.clone()),
+            right: Box::new(right),
+            pred,
+            kind: algebra::ra::JoinKind::LeftOuter,
+        };
+        // Group by every Q1 column (Q1 has a key, so no outer rows merge).
+        let q1_cols = q1.output_columns(self.catalog)?;
+        let gb: Vec<ProjItem> = q1_cols
+            .iter()
+            .map(|c| ProjItem::new(Scalar::Col(ColRef::qualified(ob.clone(), c.clone())), c.clone()))
+            .collect();
+        let grouped = join.group_by(gb, vec![AggCall::new(agg.func, agg_arg, "agg0")]);
+
+        // Final projection: the key over (now unqualified) Q1 columns, and
+        // the value expression with the subquery replaced by `agg0`.
+        let mut sb2 = ScalarBuild::new(dag, self.catalog, sb.params.clone());
+        sb2.bind_tuple(cursor, None);
+        sb2.replace(sq, Scalar::col("agg0"));
+        let key_s = sb2.to_scalar(key_node)?;
+        let val_s = sb2.to_scalar(val_node)?;
+        let params = sb2.params;
+        let mut ra = grouped.project(vec![
+            ProjItem::new(key_s, "first"),
+            ProjItem::new(val_s, "second"),
+        ]);
+        if is_set {
+            ra = ra.dedup();
+        }
+        self.trace.push("T5.2");
+        Some(dag.intern(Node::Query { ra, params }))
+    }
+
+    /// T7: correlated scalar lookups become an OUTER APPLY chain.
+    #[allow(clippy::too_many_arguments)]
+    fn try_outer_apply(
+        &mut self,
+        dag: &mut EeDag,
+        q1: &RaExpr,
+        q1p: &[NodeId],
+        cursor: &str,
+        elem: NodeId,
+        is_set: bool,
+        _ordered: bool,
+        init: NodeId,
+    ) -> Option<NodeId> {
+        if !self.init_is_empty_coll(dag, init) {
+            return None;
+        }
+        let sqs = correlated_scalar_queries(dag, elem, cursor);
+        if sqs.is_empty() {
+            return None;
+        }
+        let (q1a, ob) = ensure_binding(q1.clone(), || self.fresh_alias("eqo"));
+        let mut sb = ScalarBuild::new(dag, self.catalog, q1p.to_vec());
+        sb.bind_tuple(cursor, Some(ob.clone()));
+
+        let mut chain = q1a;
+        for (k, sq) in sqs.iter().enumerate() {
+            let (ra, ps) = match dag.node(*sq).clone() {
+                Node::ScalarQuery { ra, params } => (ra, params),
+                _ => return None,
+            };
+            let mut subs = Vec::new();
+            for p in &ps {
+                subs.push(sb.to_scalar(*p)?);
+            }
+            let corr = ra.substitute_params(&subs);
+            // A scalar query yields the first column of the first row —
+            // LIMIT 1 keeps the apply from multiplying outer rows.
+            let col = corr.output_columns(self.catalog)?.first()?.clone();
+            let alias = format!("ap{k}");
+            let applied = corr.limit(1).aliased(alias.clone());
+            chain = chain.outer_apply(applied);
+            sb.replace(*sq, Scalar::Col(ColRef::qualified(alias, col)));
+        }
+        // The projected element, with subqueries now columns of the chain.
+        sb.bind_tuple(cursor, Some(ob));
+        let items = if let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() {
+            let a = sb.to_scalar(args[0])?;
+            let b = sb.to_scalar(args[1])?;
+            vec![ProjItem::new(a, "first"), ProjItem::new(b, "second")]
+        } else {
+            let s = sb.to_scalar(elem)?;
+            let alias = default_proj_alias(&s);
+            vec![ProjItem::new(s, alias)]
+        };
+        let params = sb.params;
+        let mut ra = chain.project(items);
+        if is_set {
+            ra = ra.dedup();
+        }
+        self.trace.push("T7");
+        Some(dag.intern(Node::Query { ra, params }))
+    }
+
+    /// Dependent aggregation (Appendix B): argmax/argmin via
+    /// `ORDER BY key DESC/ASC LIMIT 1` over rows strictly beating the
+    /// initial bound, with `COALESCE(…, w₀)` restoring the initial value
+    /// when no row qualifies.
+    fn try_arg_extreme(&mut self, dag: &mut EeDag, node: NodeId) -> Option<NodeId> {
+        let Node::ArgExtreme { source, is_max, key, value, v_init, w_init, cursor, .. } =
+            dag.node(node).clone()
+        else {
+            return None;
+        };
+        let (q, qp) = match dag.node(source).clone() {
+            Node::Query { ra, params } => (ra, params),
+            _ => return None,
+        };
+        let mut sb = ScalarBuild::new(dag, self.catalog, qp);
+        sb.bind_tuple(&cursor, None);
+        let key_s = sb.to_scalar(key)?;
+        let value_s = sb.to_scalar(value)?;
+        let v_init_s = sb.to_scalar(v_init)?;
+        let params = sb.params.clone();
+        let cmp = if is_max { BinOp::Gt } else { BinOp::Lt };
+        let order = if is_max {
+            algebra::ra::SortKey::desc(key_s.clone())
+        } else {
+            algebra::ra::SortKey::asc(key_s.clone())
+        };
+        let ra = q
+            .select(Scalar::Bin(cmp, Box::new(key_s), Box::new(v_init_s)))
+            .sort(vec![order])
+            .project(vec![ProjItem::new(value_s, "val")])
+            .limit(1);
+        let sq = dag.intern(Node::ScalarQuery { ra, params });
+        self.trace.push("ARGMAX");
+        Some(dag.op(OpKind::Coalesce, vec![sq, w_init]))
+    }
+
+    fn init_is_empty_coll(&self, dag: &EeDag, init: NodeId) -> bool {
+        matches!(dag.node(init), Node::EmptyColl(_))
+    }
+
+    /// Alias the inner base table so its binding never collides with the
+    /// outer one (self-joins!). Returns the table and its binding.
+    fn alias_inner(&mut self, table: RaExpr, outer_binding: &str) -> (RaExpr, String) {
+        match table {
+            RaExpr::Table { name, alias } => {
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                if binding == outer_binding {
+                    let fresh = self.fresh_alias("eqi");
+                    (RaExpr::Table { name, alias: Some(fresh.clone()) }, fresh)
+                } else {
+                    (RaExpr::Table { name, alias }, binding)
+                }
+            }
+            other => {
+                let fresh = self.fresh_alias("eqi");
+                (other.aliased(fresh.clone()), fresh)
+            }
+        }
+    }
+}
+
+/// Column map for the inner cursor's fields: projected aliases map to the
+/// underlying table columns; without a projection, every table column maps
+/// to itself (qualified).
+fn inner_col_map(
+    proj: &Option<Vec<(String, String)>>,
+    table: &RaExpr,
+    binding: &str,
+    catalog: &Catalog,
+) -> Option<HashMap<String, ColRef>> {
+    let mut map = HashMap::new();
+    match proj {
+        Some(items) => {
+            for (alias, col) in items {
+                map.insert(alias.clone(), ColRef::qualified(binding, col.clone()));
+            }
+        }
+        None => {
+            for col in table.output_columns(catalog)? {
+                map.insert(col.clone(), ColRef::qualified(binding, col));
+            }
+        }
+    }
+    Some(map)
+}
+
+/// Rewrite a scalar phrased over the inner query's *output* columns into one
+/// phrased over the base table's (qualified) columns.
+fn map_through_projection(
+    s: &Scalar,
+    proj: &Option<Vec<(String, String)>>,
+    binding: &str,
+) -> Option<Scalar> {
+    let mut failed = false;
+    let out = s.map(&mut |x| match x {
+        Scalar::Col(ColRef { qualifier: None, column }) => {
+            let target = match proj {
+                Some(items) => match items.iter().find(|(a, _)| a == &column) {
+                    Some((_, c)) => c.clone(),
+                    None => {
+                        failed = true;
+                        column.clone()
+                    }
+                },
+                None => column.clone(),
+            };
+            Scalar::Col(ColRef::qualified(binding, target))
+        }
+        other => other,
+    });
+    if failed {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Default alias for a projected scalar: the column's own name when it is a
+/// plain column reference.
+fn default_proj_alias(s: &Scalar) -> String {
+    match s {
+        Scalar::Col(c) => c.column.clone(),
+        _ => "val".to_string(),
+    }
+}
+
+/// All correlated `ScalarQuery` nodes inside `root` (correlated = at least
+/// one parameter references the given cursor's tuple), in discovery order.
+fn correlated_scalar_queries(dag: &EeDag, root: NodeId, cursor: &str) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    dag.walk(root, &mut |id, n| {
+        if let Node::ScalarQuery { params, .. } = n {
+            let correlated = params.iter().any(|p|
+
+                dag.any(*p, |x| matches!(x, Node::TupleParam(c) if c == cursor)));
+            if correlated && !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    });
+    out
+}
+
+/// Ensure a relation exposes a qualifier for its columns, wrapping in
+/// `Aliased` when necessary. Returns the (possibly wrapped) relation and
+/// the binding name.
+fn ensure_binding(ra: RaExpr, mut fresh: impl FnMut() -> String) -> (RaExpr, String) {
+    match binding_of(&ra) {
+        Some(b) => (ra, b),
+        None => {
+            let alias = fresh();
+            (ra.aliased(alias.clone()), alias)
+        }
+    }
+}
+
+fn binding_of(ra: &RaExpr) -> Option<String> {
+    match ra {
+        RaExpr::Table { name, alias } => Some(alias.clone().unwrap_or_else(|| name.clone())),
+        RaExpr::Aliased { alias, .. } => Some(alias.clone()),
+        RaExpr::Select { input, .. }
+        | RaExpr::Sort { input, .. }
+        | RaExpr::Dedup { input }
+        | RaExpr::Limit { input, .. } => binding_of(input),
+        _ => None,
+    }
+}
+
+/// A decorrelated inner query: the underlying base table, the full
+/// predicate (correlated + local conjuncts), and an optional alias→column
+/// map when the inner query projected plain columns.
+struct Decorrelated {
+    /// The base table scan (possibly re-aliased by the caller).
+    table: RaExpr,
+    /// Combined predicate over table columns + correlated outer columns.
+    pred: Scalar,
+    /// Projected output aliases mapping to table columns (`None` = all
+    /// table columns pass through by name).
+    proj: Option<Vec<(String, String)>>,
+}
+
+/// Decompose the common inner-query shapes `[π?][σ?] T` so the correlated
+/// selection can become an explicit join predicate (the paper's
+/// `Q1 ⋈_pred Q2` in T4/T5.2). Non-plain projections or other operators
+/// make the rule inapplicable (the extraction then simply fails for the
+/// variable, Sec. 5.2).
+fn decorrelate_simple(ra: RaExpr) -> Option<Decorrelated> {
+    match ra {
+        RaExpr::Table { .. } => {
+            Some(Decorrelated { table: ra, pred: Scalar::bool(true), proj: None })
+        }
+        RaExpr::Select { input, pred } => {
+            let d = decorrelate_simple(*input)?;
+            if d.proj.is_some() {
+                return None; // σ above π: not produced by our SQL parser
+            }
+            Some(Decorrelated { table: d.table, pred: d.pred.and(pred), proj: d.proj })
+        }
+        RaExpr::Project { input, items } => {
+            let d = decorrelate_simple(*input)?;
+            if d.proj.is_some() {
+                return None;
+            }
+            let mut map = Vec::new();
+            for i in &items {
+                match &i.expr {
+                    Scalar::Col(c) => map.push((i.alias.clone(), c.column.clone())),
+                    _ => return None,
+                }
+            }
+            Some(Decorrelated { table: d.table, pred: d.pred, proj: Some(map) })
+        }
+        _ => None,
+    }
+}
+
+/// Qualify unqualified column references in a scalar with `qual`.
+fn qualify_unqualified(s: &Scalar, qual: &str) -> Scalar {
+    s.map(&mut |x| match x {
+        Scalar::Col(ColRef { qualifier: None, column }) => {
+            Scalar::Col(ColRef::qualified(qual, column))
+        }
+        other => other,
+    })
+}
+
+/// `has_key(Q)` — whether a query result has a unique key (needed by T4.1
+/// and T5.2).
+pub fn has_key(ra: &RaExpr, catalog: &Catalog) -> bool {
+    match ra {
+        RaExpr::Table { name, .. } => catalog.get(name).map(|t| t.has_key()).unwrap_or(false),
+        RaExpr::Select { input, .. }
+        | RaExpr::Sort { input, .. }
+        | RaExpr::Limit { input, .. }
+        | RaExpr::Aliased { input, .. } => has_key(input, catalog),
+        RaExpr::Dedup { .. } => true,
+        RaExpr::Project { input, items } => {
+            // The key survives projection when all key columns are kept.
+            let keys: Vec<String> = match key_columns(input, catalog) {
+                Some(k) => k,
+                None => return false,
+            };
+            keys.iter().all(|k| {
+                items.iter().any(|i| matches!(&i.expr, Scalar::Col(c) if &c.column == k))
+            })
+        }
+        RaExpr::Aggregate { group_by, .. } => !group_by.is_empty(),
+        _ => false,
+    }
+}
+
+fn key_columns(ra: &RaExpr, catalog: &Catalog) -> Option<Vec<String>> {
+    match ra {
+        RaExpr::Table { name, .. } => {
+            let t = catalog.get(name)?;
+            if t.has_key() {
+                Some(t.key.clone())
+            } else {
+                None
+            }
+        }
+        RaExpr::Select { input, .. }
+        | RaExpr::Sort { input, .. }
+        | RaExpr::Limit { input, .. }
+        | RaExpr::Aliased { input, .. } => key_columns(input, catalog),
+        _ => None,
+    }
+}
+
+/// Builds [`Scalar`] expressions from ee-DAG nodes, lifting loop-invariant
+/// sub-expressions into query parameters and mapping cursor-tuple field
+/// accesses to column references.
+pub struct ScalarBuild<'d, 'c> {
+    dag: &'d EeDag,
+    catalog: &'c Catalog,
+    /// Cursor → column qualifier bindings.
+    tuples: Vec<(String, Option<String>)>,
+    /// Cursor → (output-column alias → concrete column) maps, used when the
+    /// iterated query projected/renamed columns of an underlying table.
+    tuple_maps: HashMap<String, HashMap<String, ColRef>>,
+    /// Node-level replacements (e.g. a subquery that became a join column).
+    replacements: HashMap<NodeId, Scalar>,
+    /// The parameter slots of the query being built; `Param(i)` refers to
+    /// `params[i]`.
+    pub params: Vec<NodeId>,
+}
+
+impl<'d, 'c> ScalarBuild<'d, 'c> {
+    /// Start a build whose parameter list is seeded with the existing query
+    /// parameters.
+    pub fn new(dag: &'d EeDag, catalog: &'c Catalog, params: Vec<NodeId>) -> ScalarBuild<'d, 'c> {
+        ScalarBuild {
+            dag,
+            catalog,
+            tuples: Vec::new(),
+            tuple_maps: HashMap::new(),
+            replacements: HashMap::new(),
+            params,
+        }
+    }
+
+    /// Bind a cursor's tuple fields through an explicit alias→column map
+    /// (used when the iterated query projected columns of a base table).
+    pub fn bind_tuple_mapped(&mut self, cursor: &str, map: HashMap<String, ColRef>) {
+        self.tuples.retain(|(c, _)| c != cursor);
+        self.tuples.push((cursor.to_string(), None));
+        self.tuple_maps.insert(cursor.to_string(), map);
+    }
+
+    /// Bind a cursor variable's tuple to a column qualifier (re-binding
+    /// replaces the previous qualifier).
+    pub fn bind_tuple(&mut self, cursor: &str, qualifier: Option<String>) {
+        self.tuples.retain(|(c, _)| c != cursor);
+        self.tuples.push((cursor.to_string(), qualifier));
+    }
+
+    /// Register a node-level replacement.
+    pub fn replace(&mut self, node: NodeId, scalar: Scalar) {
+        self.replacements.insert(node, scalar);
+    }
+
+    /// Convert a node to a scalar; `None` when the node has no scalar
+    /// equivalent in the current context.
+    pub fn to_scalar(&mut self, id: NodeId) -> Option<Scalar> {
+        if let Some(r) = self.replacements.get(&id) {
+            return Some(r.clone());
+        }
+        match self.dag.node(id).clone() {
+            Node::Const(l) => Some(Scalar::Lit(l)),
+            Node::FieldOf { base, field } => {
+                if let Node::TupleParam(c) = self.dag.node(base) {
+                    if let Some(map) = self.tuple_maps.get(c) {
+                        return map.get(&field).cloned().map(Scalar::Col);
+                    }
+                    if let Some((_, qual)) = self.tuples.iter().find(|(t, _)| t == c) {
+                        return Some(Scalar::Col(ColRef {
+                            qualifier: qual.clone(),
+                            column: field,
+                        }));
+                    }
+                }
+                // A field of something loop-invariant (a row captured
+                // outside): liftable as a parameter.
+                self.lift(id)
+            }
+            Node::Input(_) => self.lift(id),
+            Node::ScalarQuery { .. } => self.lift(id),
+            Node::Op { op, args } => {
+                let bin = |o: BinOp, s: &mut Self, a: &[NodeId]| -> Option<Scalar> {
+                    let l = s.to_scalar(a[0])?;
+                    let r = s.to_scalar(a[1])?;
+                    Some(Scalar::Bin(o, Box::new(l), Box::new(r)))
+                };
+                match op {
+                    OpKind::Add => bin(BinOp::Add, self, &args),
+                    OpKind::Sub => bin(BinOp::Sub, self, &args),
+                    OpKind::Mul => bin(BinOp::Mul, self, &args),
+                    OpKind::Div => bin(BinOp::Div, self, &args),
+                    OpKind::Mod => bin(BinOp::Mod, self, &args),
+                    OpKind::Eq => bin(BinOp::Eq, self, &args),
+                    OpKind::Ne => bin(BinOp::Ne, self, &args),
+                    OpKind::Lt => bin(BinOp::Lt, self, &args),
+                    OpKind::Le => bin(BinOp::Le, self, &args),
+                    OpKind::Gt => bin(BinOp::Gt, self, &args),
+                    OpKind::Ge => bin(BinOp::Ge, self, &args),
+                    OpKind::And => bin(BinOp::And, self, &args),
+                    OpKind::Or => bin(BinOp::Or, self, &args),
+                    OpKind::Not => {
+                        let x = self.to_scalar(args[0])?;
+                        Some(Scalar::Un(UnOp::Not, Box::new(x)))
+                    }
+                    OpKind::Neg => {
+                        let x = self.to_scalar(args[0])?;
+                        Some(Scalar::Un(UnOp::Neg, Box::new(x)))
+                    }
+                    OpKind::Max | OpKind::Min => {
+                        let f = if op == OpKind::Max {
+                            ScalarFunc::Greatest
+                        } else {
+                            ScalarFunc::Least
+                        };
+                        let mut flat = Vec::new();
+                        self.flatten_minmax(op, &args, &mut flat)?;
+                        Some(Scalar::Func(f, flat))
+                    }
+                    OpKind::Abs => {
+                        let x = self.to_scalar(args[0])?;
+                        Some(Scalar::Func(ScalarFunc::Abs, vec![x]))
+                    }
+                    OpKind::Concat => {
+                        let mut xs = Vec::new();
+                        for a in &args {
+                            xs.push(self.to_scalar(*a)?);
+                        }
+                        Some(Scalar::Func(ScalarFunc::Concat, xs))
+                    }
+                    OpKind::Lower => {
+                        let x = self.to_scalar(args[0])?;
+                        Some(Scalar::Func(ScalarFunc::Lower, vec![x]))
+                    }
+                    OpKind::Upper => {
+                        let x = self.to_scalar(args[0])?;
+                        Some(Scalar::Func(ScalarFunc::Upper, vec![x]))
+                    }
+                    OpKind::Length => {
+                        let x = self.to_scalar(args[0])?;
+                        Some(Scalar::Func(ScalarFunc::Length, vec![x]))
+                    }
+                    OpKind::Coalesce => {
+                        let mut xs = Vec::new();
+                        for a in &args {
+                            xs.push(self.to_scalar(*a)?);
+                        }
+                        Some(Scalar::Func(ScalarFunc::Coalesce, xs))
+                    }
+                    OpKind::Append
+                    | OpKind::Insert
+                    | OpKind::MultisetInsert
+                    | OpKind::Pair => None,
+                }
+            }
+            Node::Cond { cond, then_val, else_val } => {
+                let c = self.to_scalar(cond)?;
+                let t = self.to_scalar(then_val)?;
+                let e = self.to_scalar(else_val)?;
+                Some(Scalar::Case { arms: vec![(c, t)], otherwise: Box::new(e) })
+            }
+            Node::TupleParam(_)
+            | Node::AccParam(_)
+            | Node::Query { .. }
+            | Node::EmptyColl(_)
+            | Node::Loop { .. }
+            | Node::Fold { .. }
+            | Node::ArgExtreme { .. }
+            | Node::NotDetermined
+            | Node::Opaque { .. } => None,
+        }
+    }
+
+    /// Greatest/least calls flatten nested max/min into one n-ary call
+    /// (the paper's Figure 3(d): `GREATEST(p1, p2, p3, p4)`).
+    fn flatten_minmax(&mut self, op: OpKind, args: &[NodeId], out: &mut Vec<Scalar>) -> Option<()> {
+        for a in args {
+            match self.dag.node(*a).clone() {
+                Node::Op { op: o2, args: inner } if o2 == op => {
+                    self.flatten_minmax(op, &inner, out)?;
+                }
+                _ => out.push(self.to_scalar(*a)?),
+            }
+        }
+        Some(())
+    }
+
+    /// Lift a loop-invariant node into a query parameter.
+    fn lift(&mut self, id: NodeId) -> Option<Scalar> {
+        // A parameter must be loop-invariant (no tuple/accumulator
+        // references) and well-defined (no poison markers) …
+        if self.dag.any(id, |n| {
+            matches!(
+                n,
+                Node::TupleParam(_)
+                    | Node::AccParam(_)
+                    | Node::Loop { .. }
+                    | Node::Fold { .. }
+                    | Node::NotDetermined
+                    | Node::Opaque { .. }
+            )
+        }) {
+            return None;
+        }
+        // … and scalar-valued: a collection-valued query or literal cannot
+        // be a parameter (a nested uncorrelated ScalarQuery is fine).
+        if matches!(self.dag.node(id), Node::Query { .. } | Node::EmptyColl(_)) {
+            return None;
+        }
+        if let Some(pos) = self.params.iter().position(|p| *p == id) {
+            return Some(Scalar::Param(pos));
+        }
+        self.params.push(id);
+        Some(Scalar::Param(self.params.len() - 1))
+    }
+
+    /// Access the catalog (used by callers needing schema info mid-build).
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+}

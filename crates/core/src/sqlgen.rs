@@ -1,0 +1,136 @@
+//! Generating SQL and replacement source code from transformed F-IR
+//! (paper Sec. 5.2).
+//!
+//! After the rules have run, an extractable variable's expression contains
+//! [`Node::Query`] / [`Node::ScalarQuery`] leaves combined by plain scalar
+//! operators. [`node_to_imp`] turns the whole thing into an `imp` expression
+//! whose query leaves are `executeQuery` / `executeScalar` calls carrying
+//! rendered SQL strings — the form the rewritten program uses at run time.
+//! Query parameters are emitted in the SQL string's textual `?` order (see
+//! `algebra::render::to_sql_with_params`).
+
+use algebra::render::to_sql_with_params;
+use algebra::Dialect;
+use imp::ast::{BinaryOp, Expr, Literal, UnaryOp};
+
+use crate::eedag::{CollKind, EeDag, Node, NodeId, OpKind};
+
+/// Convert a fully-transformed ee-DAG expression into an `imp` expression.
+///
+/// Errors (with a reason) when the expression still contains folds, loops,
+/// poisoned nodes, or collection operators — i.e. SQL translation failed
+/// and the original code must be kept (paper Sec. 5.2: "If SQL translation
+/// for transExpr fails, then the assignment is removed. The original code
+/// for v remains intact").
+pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, String> {
+    match dag.node(id).clone() {
+        Node::Const(l) => Ok(Expr::Lit(lit_to_imp(&l))),
+        Node::Input(v) => Ok(Expr::Var(v)),
+        Node::Query { ra, params } => {
+            let (sql, order) = to_sql_with_params(&ra, dialect);
+            let mut args = vec![Expr::str(sql)];
+            for i in order {
+                let p = params
+                    .get(i)
+                    .ok_or_else(|| format!("query parameter ?{i} missing"))?;
+                args.push(node_to_imp(dag, *p, dialect)?);
+            }
+            Ok(Expr::call("executeQuery", args))
+        }
+        Node::ScalarQuery { ra, params } => {
+            let (sql, order) = to_sql_with_params(&ra, dialect);
+            let mut args = vec![Expr::str(sql)];
+            for i in order {
+                let p = params
+                    .get(i)
+                    .ok_or_else(|| format!("query parameter ?{i} missing"))?;
+                args.push(node_to_imp(dag, *p, dialect)?);
+            }
+            Ok(Expr::call("executeScalar", args))
+        }
+        Node::FieldOf { base, field } => {
+            let b = node_to_imp(dag, base, dialect)?;
+            Ok(Expr::Field(Box::new(b), field))
+        }
+        Node::Cond { cond, then_val, else_val } => {
+            let c = node_to_imp(dag, cond, dialect)?;
+            let t = node_to_imp(dag, then_val, dialect)?;
+            let e = node_to_imp(dag, else_val, dialect)?;
+            Ok(Expr::Ternary(Box::new(c), Box::new(t), Box::new(e)))
+        }
+        Node::EmptyColl(CollKind::List) => Ok(Expr::call("list", vec![])),
+        Node::EmptyColl(CollKind::Set) => Ok(Expr::call("set", vec![])),
+        Node::Op { op, args } => {
+            let mut xs = Vec::with_capacity(args.len());
+            for a in &args {
+                xs.push(node_to_imp(dag, *a, dialect)?);
+            }
+            op_to_imp(op, xs)
+        }
+        Node::AccParam(v) => Err(format!("free accumulator parameter ⟨{v}⟩")),
+        Node::TupleParam(t) => Err(format!("free tuple parameter ⟨{t}⟩")),
+        Node::Loop { .. } => Err("untranslated loop".to_string()),
+        Node::Fold { origin, .. } => {
+            Err(format!("untranslated fold for {} (no rule matched)", origin.1))
+        }
+        Node::ArgExtreme { origin, .. } => Err(format!(
+            "untranslated dependent aggregation for {} (source is not a query)",
+            origin.1
+        )),
+        Node::NotDetermined => Err("not-determined value".to_string()),
+        Node::Opaque { reason, .. } => Err(format!("non-algebraic construct: {reason}")),
+    }
+}
+
+fn lit_to_imp(l: &algebra::scalar::Lit) -> Literal {
+    match l {
+        algebra::scalar::Lit::Null => Literal::Null,
+        algebra::scalar::Lit::Bool(b) => Literal::Bool(*b),
+        algebra::scalar::Lit::Int(i) => Literal::Int(*i),
+        algebra::scalar::Lit::F64(v) => Literal::Float(v.get()),
+        algebra::scalar::Lit::Str(s) => Literal::Str(s.clone()),
+    }
+}
+
+fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, String> {
+    let bin = |op: BinaryOp, mut args: Vec<Expr>| {
+        let r = args.pop().expect("binary op arity");
+        let l = args.pop().expect("binary op arity");
+        Ok(Expr::Binary(op, Box::new(l), Box::new(r)))
+    };
+    match op {
+        OpKind::Add => bin(BinaryOp::Add, args),
+        OpKind::Sub => bin(BinaryOp::Sub, args),
+        OpKind::Mul => bin(BinaryOp::Mul, args),
+        OpKind::Div => bin(BinaryOp::Div, args),
+        OpKind::Mod => bin(BinaryOp::Mod, args),
+        OpKind::Eq => bin(BinaryOp::Eq, args),
+        OpKind::Ne => bin(BinaryOp::Ne, args),
+        OpKind::Lt => bin(BinaryOp::Lt, args),
+        OpKind::Le => bin(BinaryOp::Le, args),
+        OpKind::Gt => bin(BinaryOp::Gt, args),
+        OpKind::Ge => bin(BinaryOp::Ge, args),
+        OpKind::And => bin(BinaryOp::And, args),
+        OpKind::Or => bin(BinaryOp::Or, args),
+        OpKind::Not => {
+            let x = args.pop().expect("unary arity");
+            Ok(Expr::Unary(UnaryOp::Not, Box::new(x)))
+        }
+        OpKind::Neg => {
+            let x = args.pop().expect("unary arity");
+            Ok(Expr::Unary(UnaryOp::Neg, Box::new(x)))
+        }
+        OpKind::Max => Ok(Expr::call("max", args)),
+        OpKind::Min => Ok(Expr::call("min", args)),
+        OpKind::Abs => Ok(Expr::call("abs", args)),
+        OpKind::Concat => Ok(Expr::call("concat", args)),
+        OpKind::Lower => Ok(Expr::call("lower", args)),
+        OpKind::Upper => Ok(Expr::call("upper", args)),
+        OpKind::Length => Ok(Expr::call("length", args)),
+        OpKind::Coalesce => Ok(Expr::call("coalesce", args)),
+        OpKind::Pair => Ok(Expr::call("pair", args)),
+        OpKind::Append | OpKind::Insert | OpKind::MultisetInsert => {
+            Err("collection operator has no scalar translation".to_string())
+        }
+    }
+}

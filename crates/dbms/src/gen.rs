@@ -1,0 +1,328 @@
+//! Deterministic data generators for the paper's experiment workloads.
+//!
+//! Each generator takes a seed so experiments are reproducible. Schemas
+//! mirror the applications of Sec. 7: Matoso's `board`, Wilos's
+//! `project`/`wilos_user`/`role`, and JobPortal's star schema (Fig. 12).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use algebra::schema::{SqlType, TableSchema};
+
+use crate::table::Database;
+use crate::value::Value;
+
+/// Matoso `board` table: `n` boards spread over `rounds` rounds, four player
+/// scores each (paper Fig. 2 / Experiment 7).
+pub fn gen_board(n: usize, rounds: i64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "board",
+            &[
+                ("id", SqlType::Int),
+                ("rnd_id", SqlType::Int),
+                ("p1", SqlType::Int),
+                ("p2", SqlType::Int),
+                ("p3", SqlType::Int),
+                ("p4", SqlType::Int),
+            ],
+        )
+        .with_key(&["id"]),
+    );
+    for i in 0..n {
+        let rnd = 1 + (i as i64 % rounds.max(1));
+        db.insert(
+            "board",
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rnd),
+                Value::Int(rng.gen_range(0..10_000)),
+                Value::Int(rng.gen_range(0..10_000)),
+                Value::Int(rng.gen_range(0..10_000)),
+                Value::Int(rng.gen_range(0..10_000)),
+            ],
+        );
+    }
+    db
+}
+
+/// Wilos-style schema: `project` (with ~`finished_pct`% finished rows, for
+/// Experiment 5's 20% selectivity), `wilos_user` and `role` with a 40:1 size
+/// ratio option (Experiment 6), plus `activity` and `participant` tables
+/// used by other samples.
+pub fn gen_wilos(n_projects: usize, n_users: usize, finished_pct: u32, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "project",
+            &[
+                ("id", SqlType::Int),
+                ("name", SqlType::Text),
+                ("isfinished", SqlType::Bool),
+                ("budget", SqlType::Int),
+            ],
+        )
+        .with_key(&["id"]),
+    );
+    for i in 0..n_projects {
+        db.insert(
+            "project",
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("project-{i}")),
+                Value::Bool(rng.gen_range(0..100) < finished_pct),
+                Value::Int(rng.gen_range(1_000..100_000)),
+            ],
+        );
+    }
+    let n_roles = (n_users / 40).max(1);
+    db.create_table(
+        TableSchema::new("role", &[("id", SqlType::Int), ("name", SqlType::Text)])
+            .with_key(&["id"]),
+    );
+    for r in 0..n_roles {
+        db.insert("role", vec![Value::Int(r as i64), Value::Str(format!("role-{r}"))]);
+    }
+    db.create_table(
+        TableSchema::new(
+            "wilos_user",
+            &[
+                ("id", SqlType::Int),
+                ("name", SqlType::Text),
+                ("role_id", SqlType::Int),
+                ("login", SqlType::Text),
+            ],
+        )
+        .with_key(&["id"]),
+    );
+    for u in 0..n_users {
+        let role = rng.gen_range(0..n_roles) as i64;
+        db.insert(
+            "wilos_user",
+            vec![
+                Value::Int(u as i64),
+                Value::Str(format!("user-{u}")),
+                Value::Int(role),
+                Value::Str(format!("login{u}")),
+            ],
+        );
+    }
+    db.create_table(
+        TableSchema::new(
+            "activity",
+            &[
+                ("id", SqlType::Int),
+                ("project_id", SqlType::Int),
+                ("state", SqlType::Text),
+                ("effort", SqlType::Int),
+            ],
+        )
+        .with_key(&["id"]),
+    );
+    let states = ["created", "started", "finished", "suspended"];
+    for a in 0..(n_projects * 3) {
+        db.insert(
+            "activity",
+            vec![
+                Value::Int(a as i64),
+                Value::Int(rng.gen_range(0..n_projects.max(1)) as i64),
+                Value::Str(states[rng.gen_range(0..states.len())].to_string()),
+                Value::Int(rng.gen_range(1..100)),
+            ],
+        );
+    }
+    db.create_table(
+        TableSchema::new(
+            "participant",
+            &[
+                ("id", SqlType::Int),
+                ("user_id", SqlType::Int),
+                ("project_id", SqlType::Int),
+            ],
+        )
+        .with_key(&["id"]),
+    );
+    for p in 0..n_users {
+        db.insert(
+            "participant",
+            vec![
+                Value::Int(p as i64),
+                Value::Int(p as i64),
+                Value::Int(rng.gen_range(0..n_projects.max(1)) as i64),
+            ],
+        );
+    }
+    db
+}
+
+/// JobPortal star schema of Fig. 12: an `applicants` fact table plus four
+/// per-applicant detail tables, each holding exactly one row per applicant
+/// (scalar lookups in the loop).
+pub fn gen_jobportal(n_applicants: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "applicants",
+            &[
+                ("applicant_id", SqlType::Int),
+                ("appln_mode", SqlType::Text),
+                ("job_id", SqlType::Int),
+                ("name", SqlType::Text),
+            ],
+        )
+        .with_key(&["applicant_id"]),
+    );
+    db.create_table(
+        TableSchema::new(
+            "personal_details",
+            &[("applicant_id", SqlType::Int), ("address", SqlType::Text), ("phone", SqlType::Text)],
+        )
+        .with_key(&["applicant_id"]),
+    );
+    db.create_table(
+        TableSchema::new(
+            "committee1_feedback",
+            &[("applicant_id", SqlType::Int), ("score", SqlType::Int), ("remark", SqlType::Text)],
+        )
+        .with_key(&["applicant_id"]),
+    );
+    db.create_table(
+        TableSchema::new(
+            "committee2_feedback",
+            &[("applicant_id", SqlType::Int), ("score", SqlType::Int), ("remark", SqlType::Text)],
+        )
+        .with_key(&["applicant_id"]),
+    );
+    db.create_table(
+        TableSchema::new(
+            "edu_qualifs",
+            &[("applicant_id", SqlType::Int), ("degree", SqlType::Text), ("year", SqlType::Int)],
+        )
+        .with_key(&["applicant_id"]),
+    );
+    for i in 0..n_applicants {
+        let online = rng.gen_bool(0.6);
+        db.insert(
+            "applicants",
+            vec![
+                Value::Int(i as i64),
+                Value::Str(if online { "online" } else { "paper" }.to_string()),
+                Value::Int(rng.gen_range(1..5)),
+                Value::Str(format!("applicant-{i}")),
+            ],
+        );
+        db.insert(
+            "personal_details",
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("{i} Main St")),
+                Value::Str(format!("555-{i:04}")),
+            ],
+        );
+        db.insert(
+            "committee1_feedback",
+            vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..100)), Value::Str("ok".into())],
+        );
+        db.insert(
+            "committee2_feedback",
+            vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..100)), Value::Str("ok".into())],
+        );
+        if online {
+            db.insert(
+                "edu_qualifs",
+                vec![
+                    Value::Int(i as i64),
+                    Value::Str("BSc".into()),
+                    Value::Int(rng.gen_range(1990..2016)),
+                ],
+            );
+        }
+    }
+    db
+}
+
+/// A generic employees table for tests and small examples.
+pub fn gen_emp(n: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "emp",
+            &[
+                ("id", SqlType::Int),
+                ("name", SqlType::Text),
+                ("dept", SqlType::Text),
+                ("salary", SqlType::Int),
+            ],
+        )
+        .with_key(&["id"]),
+    );
+    let depts = ["eng", "sales", "hr"];
+    for i in 0..n {
+        db.insert(
+            "emp",
+            vec![
+                Value::Int(i as i64),
+                Value::Str(format!("emp-{i}")),
+                Value::Str(depts[rng.gen_range(0..depts.len())].to_string()),
+                Value::Int(rng.gen_range(30_000..200_000)),
+            ],
+        );
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::parse::parse_sql;
+
+    #[test]
+    fn board_generation_is_deterministic() {
+        let a = gen_board(100, 4, 7);
+        let b = gen_board(100, 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.table("board").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn wilos_user_role_ratio() {
+        let db = gen_wilos(10, 400, 20, 1);
+        assert_eq!(db.table("wilos_user").unwrap().len(), 400);
+        assert_eq!(db.table("role").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn selectivity_is_roughly_respected() {
+        let db = gen_wilos(10_000, 10, 20, 42);
+        let q = parse_sql("SELECT COUNT(*) AS c FROM project WHERE isfinished = false").unwrap();
+        let r = crate::eval::eval_query(&q, &db, &[]).unwrap();
+        let unfinished = match r.rows[0][0] {
+            Value::Int(c) => c,
+            _ => panic!(),
+        };
+        // ~80% unfinished when finished_pct = 20.
+        assert!((7_500..8_500).contains(&unfinished), "{unfinished}");
+    }
+
+    #[test]
+    fn jobportal_online_applicants_have_qualifs() {
+        let db = gen_jobportal(200, 3);
+        let online = parse_sql("SELECT COUNT(*) AS c FROM applicants WHERE appln_mode = 'online'")
+            .unwrap();
+        let quals = parse_sql("SELECT COUNT(*) AS c FROM edu_qualifs").unwrap();
+        let a = crate::eval::eval_query(&online, &db, &[]).unwrap().rows[0][0].clone();
+        let b = crate::eval::eval_query(&quals, &db, &[]).unwrap().rows[0][0].clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn emp_has_requested_rows() {
+        let db = gen_emp(50, 9);
+        assert_eq!(db.table("emp").unwrap().len(), 50);
+    }
+}

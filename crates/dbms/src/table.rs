@@ -1,0 +1,247 @@
+//! Tables, rows, relations, and the database.
+
+use std::collections::BTreeMap;
+
+use algebra::schema::{Catalog, TableSchema};
+
+use crate::value::Value;
+
+/// A row: values in schema column order.
+pub type Row = Vec<Value>;
+
+/// A base table: schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    /// Stored rows, in insertion order.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Append a row; panics in debug builds when the arity mismatches.
+    pub fn insert(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.schema.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A column of a query result: its output name and optional qualifier.
+///
+/// Qualifiers let predicates above a join refer to `u.role_id` vs `r.id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Relation alias the column is visible under, when any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl Field {
+    /// An unqualified field.
+    pub fn new(name: impl Into<String>) -> Field {
+        Field { qualifier: None, name: name.into() }
+    }
+
+    /// A qualified field.
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Field {
+        Field { qualifier: Some(q.into()), name: name.into() }
+    }
+
+    /// Does this field answer to `qualifier`/`column`?
+    pub fn matches(&self, qualifier: Option<&str>, column: &str) -> bool {
+        if self.name != column {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self.qualifier.as_deref() == Some(q),
+        }
+    }
+}
+
+/// An intermediate or final query result: fields plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    /// Output columns.
+    pub fields: Vec<Field>,
+    /// Result rows, ordered.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Output column names (unqualified).
+    pub fn column_names(&self) -> Vec<String> {
+        self.fields.iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// Index of the column matching `qualifier`/`name`, preferring an exact
+    /// qualified match. `Err` messages name the ambiguity/missing column.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize, String> {
+        resolve_fields(&self.fields, qualifier, name)
+    }
+
+    /// Total wire size of all rows, for transfer accounting.
+    pub fn wire_size(&self) -> usize {
+        const PER_ROW_OVERHEAD: usize = 8;
+        self.rows
+            .iter()
+            .map(|r| PER_ROW_OVERHEAD + r.iter().map(Value::wire_size).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Resolve a column against a field list without constructing a relation
+/// (the evaluator's hot path). Ambiguous unqualified names bind leftmost.
+pub fn resolve_fields(
+    fields: &[Field],
+    qualifier: Option<&str>,
+    name: &str,
+) -> Result<usize, String> {
+    let mut found = None;
+    for (i, f) in fields.iter().enumerate() {
+        if f.matches(qualifier, name) {
+            found = Some(i);
+            break;
+        }
+    }
+    found.ok_or_else(|| match qualifier {
+        Some(q) => format!("unknown column {q}.{name}"),
+        None => format!("unknown column {name}"),
+    })
+}
+
+/// The database: a set of named tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create (or replace) a table.
+    pub fn create_table(&mut self, schema: TableSchema) {
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+    }
+
+    /// Builder-style `create_table`.
+    pub fn with_table(mut self, schema: TableSchema) -> Database {
+        self.create_table(schema);
+        self
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Look up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Insert a row into a named table. Returns `false` when the table does
+    /// not exist.
+    pub fn insert(&mut self, table: &str, row: Row) -> bool {
+        match self.tables.get_mut(table) {
+            Some(t) => {
+                t.insert(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The catalog of all table schemas.
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for t in self.tables.values() {
+            c.add(t.schema.clone());
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::schema::SqlType;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(TableSchema::new("t", &[("a", SqlType::Int), ("b", SqlType::Text)]));
+        d.insert("t", vec![Value::Int(1), "x".into()]);
+        d
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let d = db();
+        assert_eq!(d.table("t").unwrap().len(), 1);
+        assert!(d.table("missing").is_none());
+    }
+
+    #[test]
+    fn insert_into_missing_table_fails() {
+        let mut d = db();
+        assert!(!d.insert("nope", vec![]));
+    }
+
+    #[test]
+    fn resolve_prefers_qualified() {
+        let r = Relation {
+            fields: vec![Field::qualified("u", "id"), Field::qualified("r", "id")],
+            rows: vec![],
+        };
+        assert_eq!(r.resolve(Some("r"), "id").unwrap(), 1);
+        assert_eq!(r.resolve(Some("u"), "id").unwrap(), 0);
+        // Unqualified ambiguous: leftmost wins.
+        assert_eq!(r.resolve(None, "id").unwrap(), 0);
+        assert!(r.resolve(None, "zzz").is_err());
+    }
+
+    #[test]
+    fn wire_size_counts_rows() {
+        let r = Relation {
+            fields: vec![Field::new("a")],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        assert_eq!(r.wire_size(), 2 * (8 + 8));
+    }
+
+    #[test]
+    fn catalog_reflects_tables() {
+        let c = db().catalog();
+        assert!(c.get("t").is_some());
+        assert_eq!(c.get("t").unwrap().columns.len(), 2);
+    }
+}

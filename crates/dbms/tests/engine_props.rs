@@ -1,0 +1,178 @@
+//! Property-based invariants of the relational engine — the semantics the
+//! extraction correctness proof (paper Appendix A) leans on.
+
+use algebra::ra::{ProjItem, RaExpr, SortKey};
+use algebra::scalar::{BinOp, Scalar};
+use dbms::eval_query;
+use dbms::gen::gen_emp;
+use proptest::prelude::*;
+
+fn pred(cut: i64) -> Scalar {
+    Scalar::cmp(BinOp::Gt, Scalar::col("salary"), Scalar::int(cut))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// σ commutes with π when the predicate's columns survive projection.
+    #[test]
+    fn select_project_commute(n in 0usize..40, seed in any::<u64>(), cut in 0i64..250_000) {
+        let db = gen_emp(n, seed);
+        let items = vec![ProjItem::col("name"), ProjItem::col("salary")];
+        let a = RaExpr::table("emp").select(pred(cut)).project(items.clone());
+        let b = RaExpr::table("emp").project(items).select(pred(cut));
+        let ra = eval_query(&a, &db, &[]).unwrap();
+        let rb = eval_query(&b, &db, &[]).unwrap();
+        prop_assert_eq!(ra.rows, rb.rows);
+    }
+
+    /// π preserves row order and count (paper Sec. 3.2.1: "projection
+    /// without duplicate elimination, the input ordering is preserved").
+    #[test]
+    fn projection_preserves_order_and_count(n in 0usize..40, seed in any::<u64>()) {
+        let db = gen_emp(n, seed);
+        let base = eval_query(&RaExpr::table("emp"), &db, &[]).unwrap();
+        let proj = eval_query(
+            &RaExpr::table("emp").project(vec![ProjItem::col("id")]),
+            &db,
+            &[],
+        )
+        .unwrap();
+        prop_assert_eq!(base.rows.len(), proj.rows.len());
+        for (b, p) in base.rows.iter().zip(&proj.rows) {
+            prop_assert_eq!(&b[0], &p[0]);
+        }
+    }
+
+    /// δ is idempotent.
+    #[test]
+    fn dedup_idempotent(n in 0usize..40, seed in any::<u64>()) {
+        let db = gen_emp(n, seed);
+        let once = RaExpr::table("emp").project(vec![ProjItem::col("dept")]).dedup();
+        let twice = once.clone().dedup();
+        prop_assert_eq!(
+            eval_query(&once, &db, &[]).unwrap().rows,
+            eval_query(&twice, &db, &[]).unwrap().rows
+        );
+    }
+
+    /// τ is stable: rows with equal keys keep their input order.
+    #[test]
+    fn sort_is_stable(n in 0usize..40, seed in any::<u64>()) {
+        let db = gen_emp(n, seed);
+        let sorted = RaExpr::table("emp").sort(vec![SortKey::asc(Scalar::col("dept"))]);
+        let rel = eval_query(&sorted, &db, &[]).unwrap();
+        // Within each dept group, ids must appear in insertion (= id) order.
+        let mut last: std::collections::HashMap<String, i64> = Default::default();
+        for row in &rel.rows {
+            let dept = row[2].to_string();
+            let id = match row[0] { dbms::Value::Int(i) => i, _ => unreachable!() };
+            if let Some(prev) = last.get(&dept) {
+                prop_assert!(id > *prev, "instability in group {dept}");
+            }
+            last.insert(dept, id);
+        }
+    }
+
+    /// Inner join row count is bounded by the cross product and the
+    /// equi-join on a key is bounded by the non-key side.
+    #[test]
+    fn join_cardinality_bounds(n in 1usize..30, seed in any::<u64>()) {
+        let db = gen_emp(n, seed);
+        let j = RaExpr::table_as("emp", "a").join(
+            RaExpr::table_as("emp", "b"),
+            Scalar::cmp(BinOp::Eq, Scalar::qcol("a", "id"), Scalar::qcol("b", "id")),
+        );
+        let rel = eval_query(&j, &db, &[]).unwrap();
+        // id is unique: self equi-join on the key is exactly n rows.
+        prop_assert_eq!(rel.rows.len(), n);
+    }
+
+    /// LEFT JOIN never loses left rows.
+    #[test]
+    fn left_join_preserves_left(n in 0usize..30, seed in any::<u64>(), cut in 0i64..250_000) {
+        let db = gen_emp(n, seed);
+        let j = RaExpr::table_as("emp", "a").left_join(
+            RaExpr::table_as("emp", "b").select(Scalar::cmp(
+                BinOp::Gt,
+                Scalar::qcol("b", "salary"),
+                Scalar::int(cut),
+            )),
+            Scalar::cmp(BinOp::Eq, Scalar::qcol("a", "id"), Scalar::qcol("b", "id")),
+        );
+        let rel = eval_query(&j, &db, &[]).unwrap();
+        prop_assert!(rel.rows.len() >= n);
+    }
+
+    /// γ without grouping returns exactly one row; SUM agrees with a manual
+    /// fold over the table.
+    #[test]
+    fn aggregate_matches_manual_fold(n in 0usize..40, seed in any::<u64>()) {
+        let db = gen_emp(n, seed);
+        let q = RaExpr::table("emp").aggregate(vec![algebra::ra::AggCall::new(
+            algebra::ra::AggFunc::Sum,
+            Scalar::col("salary"),
+            "s",
+        )]);
+        let rel = eval_query(&q, &db, &[]).unwrap();
+        prop_assert_eq!(rel.rows.len(), 1);
+        let manual: i64 = db
+            .table("emp")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match r[3] { dbms::Value::Int(s) => s, _ => 0 })
+            .sum();
+        match (&rel.rows[0][0], n) {
+            (dbms::Value::Null, 0) => {}
+            (dbms::Value::Int(s), _) => prop_assert_eq!(*s, manual),
+            (other, _) => prop_assert!(false, "unexpected {other}"),
+        }
+    }
+
+    /// LIMIT k yields a prefix of the unlimited result.
+    #[test]
+    fn limit_is_prefix(n in 0usize..40, seed in any::<u64>(), k in 0u64..10) {
+        let db = gen_emp(n, seed);
+        let full = eval_query(&RaExpr::table("emp"), &db, &[]).unwrap();
+        let limited = eval_query(&RaExpr::table("emp").limit(k), &db, &[]).unwrap();
+        prop_assert_eq!(limited.rows.len(), full.rows.len().min(k as usize));
+        for (a, b) in limited.rows.iter().zip(&full.rows) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// GROUP BY partitions: group sums add up to the whole-table sum and
+    /// group counts add up to the row count.
+    #[test]
+    fn group_by_partitions(n in 0usize..40, seed in any::<u64>()) {
+        let db = gen_emp(n, seed);
+        let grouped = RaExpr::table("emp").group_by(
+            vec![ProjItem::col("dept")],
+            vec![
+                algebra::ra::AggCall::new(algebra::ra::AggFunc::Sum, Scalar::col("salary"), "s"),
+                algebra::ra::AggCall::new(algebra::ra::AggFunc::Count, Scalar::int(1), "c"),
+            ],
+        );
+        let rel = eval_query(&grouped, &db, &[]).unwrap();
+        let mut sum = 0i64;
+        let mut count = 0i64;
+        for row in &rel.rows {
+            if let dbms::Value::Int(s) = row[1] {
+                sum += s;
+            }
+            if let dbms::Value::Int(c) = row[2] {
+                count += c;
+            }
+        }
+        let manual: i64 = db
+            .table("emp")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match r[3] { dbms::Value::Int(s) => s, _ => 0 })
+            .sum();
+        prop_assert_eq!(sum, manual);
+        prop_assert_eq!(count, n as i64);
+    }
+}

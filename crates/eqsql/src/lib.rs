@@ -1,0 +1,74 @@
+//! # eqsql — Extracting Equivalent SQL from Imperative Code
+//!
+//! A from-scratch Rust reproduction of Emani, Ramachandra, Bhattacharya and
+//! Sudarshan, *"Extracting Equivalent SQL from Imperative Code in Database
+//! Applications"*, SIGMOD 2016.
+//!
+//! Database applications mix imperative code with SQL. This library
+//! statically analyses the imperative side — cursor loops iterating over
+//! query results, building aggregates and collections — and rewrites it into
+//! equivalent SQL, cutting network round trips and data transfer.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use eqsql::prelude::*;
+//!
+//! // 1. A database application written in `imp` (a small Java-like
+//! //    language standing in for the paper's Java frontend).
+//! let src = r#"
+//!     fn totalBudget(minId) {
+//!         rows = executeQuery("SELECT * FROM project");
+//!         total = 0;
+//!         for (p in rows) {
+//!             if (p.id >= minId) { total = total + p.budget; }
+//!         }
+//!         return total;
+//!     }
+//! "#;
+//! let program = imp::parse_and_normalize(src).unwrap();
+//!
+//! // 2. The extractor needs the table schemas.
+//! let catalog = Catalog::new().with(
+//!     TableSchema::new(
+//!         "project",
+//!         &[("id", SqlType::Int), ("budget", SqlType::Int)],
+//!     )
+//!     .with_key(&["id"]),
+//! );
+//!
+//! // 3. Extract: the loop becomes one aggregate query.
+//! let report = Extractor::new(catalog).extract_function(&program, "totalBudget");
+//! assert_eq!(report.loops_rewritten, 1);
+//! let sql = &report.vars[0].sql[0];
+//! assert!(sql.contains("SUM(budget)"), "{sql}");
+//! assert!(sql.contains("(id >= ?)"), "{sql}");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`imp`] | the imperative source language (lexer, parser, AST, printer) |
+//! | [`analysis`] | CFG, regions, dependence graphs, slicing, liveness, DCE |
+//! | [`algebra`] | extended relational algebra, SQL parser and renderer |
+//! | [`dbms`] | in-memory engine + metered connection (round trips, bytes) |
+//! | [`interp`] | `imp` interpreter over the engine |
+//! | [`eqsql_core`] | D-IR, F-IR, transformation rules, extraction, rewrite |
+
+pub use algebra;
+pub use analysis;
+pub use dbms;
+pub use eqsql_core;
+pub use imp;
+pub use interp;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use algebra::schema::{Catalog, SqlType, TableSchema};
+    pub use algebra::Dialect;
+    pub use dbms::{Connection, CostModel, Database, Value};
+    pub use eqsql_core::{ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions};
+    pub use imp;
+    pub use interp::{Interp, RtValue};
+}

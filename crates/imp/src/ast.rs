@@ -1,0 +1,423 @@
+//! Abstract syntax tree for the `imp` language.
+//!
+//! Statements carry globally-unique [`StmtId`]s (assigned by the parser, or
+//! by [`Program::renumber`] after AST surgery). The dependence analyses in
+//! the `analysis` crate and the rewriter in `eqsql-core` key everything on
+//! these ids.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A whole program: an ordered list of function definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Find a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Re-assign fresh, unique statement ids across the whole program.
+    ///
+    /// Must be called after any transformation that clones or splices
+    /// statements (inlining, rewriting), so ids remain unique.
+    pub fn renumber(&mut self) {
+        let mut next = 0u32;
+        for f in &mut self.functions {
+            renumber_block(&mut f.body, &mut next);
+        }
+    }
+}
+
+fn renumber_block(b: &mut Block, next: &mut u32) {
+    for s in &mut b.stmts {
+        s.id = StmtId(*next);
+        *next += 1;
+        match &mut s.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                renumber_block(then_branch, next);
+                renumber_block(else_branch, next);
+            }
+            StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                renumber_block(body, next);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Block,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A `{}`-delimited sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Self {
+        Block::default()
+    }
+}
+
+/// Unique identifier of a statement within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Unique id (see [`StmtId`]).
+    pub id: StmtId,
+    /// The statement payload.
+    pub kind: StmtKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `target = value;`
+    Assign {
+        /// Assigned variable.
+        target: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// An expression evaluated for effect, e.g. `results.add(x);`.
+    Expr(Expr),
+    /// `if (cond) { … } else { … }` (the else branch may be empty).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// True branch.
+        then_branch: Block,
+        /// False branch (empty block when absent).
+        else_branch: Block,
+    },
+    /// Cursor loop `for (v in iterable) { … }`.
+    ForEach {
+        /// Loop variable bound to each element.
+        var: String,
+        /// Iterated collection.
+        iterable: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) { … }` — never extracted (paper Sec. 7.1: batching
+    /// handles these via loop splitting; we parse but do not translate).
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `print(e1, e2, …);`
+    Print(Vec<Expr>),
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Null.
+    Null,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinaryOp {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "&&",
+            BinaryOp::Or => "||",
+        }
+    }
+
+    /// True for `== != < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal.
+    Lit(Literal),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Ternary `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Field access `obj.field` — models Java getters.
+    Field(Box<Expr>, String),
+    /// Free function call `name(args…)`: library functions (`max`, `min`,
+    /// `abs`, `concat`, `list`, `set`), database access (`executeQuery`,
+    /// `executeUpdate`), or user-defined `imp` functions.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call `recv.name(args…)`: collection operations (`add`,
+    /// `insert`, `contains`, `size`, `get`, `isEmpty`) and string ops.
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Self {
+        Expr::Lit(Literal::Int(v))
+    }
+
+    /// Shorthand for a string literal.
+    pub fn str(v: impl Into<String>) -> Self {
+        Expr::Lit(Literal::Str(v.into()))
+    }
+
+    /// Shorthand for a call.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        Expr::Call { name: name.into(), args }
+    }
+
+    /// Visit every sub-expression (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Unary(_, e) => e.walk(f),
+            Expr::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.walk(f);
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Field(e, _) => e.walk(f),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+
+    /// All variable names read by this expression.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Var(v) = e {
+                out.push(v.clone());
+            }
+        });
+        out
+    }
+
+    /// True when this expression (or a sub-expression) calls one of `names`.
+    pub fn calls_any(&self, names: &[&str]) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Call { name, .. } = e {
+                if names.contains(&name.as_str()) {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}
+
+/// Names of built-in database access functions.
+pub mod builtins {
+    /// Runs a query, returns its result list.
+    pub const EXECUTE_QUERY: &str = "executeQuery";
+    /// Runs a scalar query, returns the single value of the single row.
+    pub const EXECUTE_SCALAR: &str = "executeScalar";
+    /// Runs a DML statement against the database.
+    pub const EXECUTE_UPDATE: &str = "executeUpdate";
+    /// Runs one parameterized scalar lookup for a whole batch of parameter
+    /// values in a single round trip (the batching baseline's primitive,
+    /// modeling the parameter-table technique of Guravannavar & Sudarshan).
+    pub const EXECUTE_BATCH: &str = "executeBatch";
+    /// All functions that touch the database.
+    pub const DB_FUNCTIONS: [&str; 4] =
+        [EXECUTE_QUERY, EXECUTE_SCALAR, EXECUTE_UPDATE, EXECUTE_BATCH];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_collects_reads() {
+        let e = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Field(Box::new(Expr::var("t")), "x".into())),
+        );
+        assert_eq!(e.vars(), vec!["a".to_string(), "t".to_string()]);
+    }
+
+    #[test]
+    fn calls_any_detects_nested_calls() {
+        let e = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::int(1)),
+            Box::new(Expr::call("executeQuery", vec![Expr::str("SELECT * FROM t")])),
+        );
+        assert!(e.calls_any(&builtins::DB_FUNCTIONS));
+        assert!(!Expr::int(1).calls_any(&builtins::DB_FUNCTIONS));
+    }
+
+    #[test]
+    fn renumber_assigns_unique_ids() {
+        use crate::parser::parse_program;
+        let mut p = parse_program(
+            "fn f() { x = 1; if (x > 0) { y = 2; } else { y = 3; } for (t in q) { z = t.a; } }",
+        )
+        .unwrap();
+        p.renumber();
+        let mut ids = Vec::new();
+        fn collect(b: &Block, ids: &mut Vec<u32>) {
+            for s in &b.stmts {
+                ids.push(s.id.0);
+                match &s.kind {
+                    StmtKind::If { then_branch, else_branch, .. } => {
+                        collect(then_branch, ids);
+                        collect(else_branch, ids);
+                    }
+                    StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                        collect(body, ids)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        collect(&p.functions[0].body, &mut ids);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "ids must be unique");
+    }
+}

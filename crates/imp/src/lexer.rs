@@ -1,0 +1,308 @@
+//! Hand-written lexer for the `imp` language.
+
+use std::fmt;
+
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` into a vector ending with a single [`TokenKind::Eof`].
+///
+/// Supports `//` line comments and `/* … */` block comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        let start = i;
+        let kind = match c {
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let text = &src[i..j];
+                i = j;
+                match Keyword::from_str(text) {
+                    Some(kw) => TokenKind::Kw(kw),
+                    None => TokenKind::Ident(text.to_string()),
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j + 1 < bytes.len()
+                    && bytes[j] == b'.'
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &src[i..j];
+                i = j;
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid float literal `{text}`"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("invalid integer literal `{text}`"),
+                        offset: start,
+                    })?)
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    match bytes[j] {
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            if j + 1 >= bytes.len() {
+                                return Err(LexError {
+                                    message: "unterminated escape".into(),
+                                    offset: j,
+                                });
+                            }
+                            let esc = bytes[j + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '"' => '"',
+                                '\\' => '\\',
+                                other => {
+                                    return Err(LexError {
+                                        message: format!("unknown escape `\\{other}`"),
+                                        offset: j,
+                                    })
+                                }
+                            });
+                            j += 2;
+                        }
+                        b => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+                TokenKind::Str(s)
+            }
+            '=' if peek(bytes, i + 1) == Some('=') => two(&mut i, TokenKind::EqEq),
+            '!' if peek(bytes, i + 1) == Some('=') => two(&mut i, TokenKind::NotEq),
+            '<' if peek(bytes, i + 1) == Some('=') => two(&mut i, TokenKind::Le),
+            '>' if peek(bytes, i + 1) == Some('=') => two(&mut i, TokenKind::Ge),
+            '&' if peek(bytes, i + 1) == Some('&') => two(&mut i, TokenKind::AndAnd),
+            '|' if peek(bytes, i + 1) == Some('|') => two(&mut i, TokenKind::OrOr),
+            '+' => one(&mut i, TokenKind::Plus),
+            '-' => one(&mut i, TokenKind::Minus),
+            '*' => one(&mut i, TokenKind::Star),
+            '/' => one(&mut i, TokenKind::Slash),
+            '%' => one(&mut i, TokenKind::Percent),
+            '=' => one(&mut i, TokenKind::Eq),
+            '<' => one(&mut i, TokenKind::Lt),
+            '>' => one(&mut i, TokenKind::Gt),
+            '!' => one(&mut i, TokenKind::Bang),
+            '?' => one(&mut i, TokenKind::Question),
+            ':' => one(&mut i, TokenKind::Colon),
+            '.' => one(&mut i, TokenKind::Dot),
+            ',' => one(&mut i, TokenKind::Comma),
+            ';' => one(&mut i, TokenKind::Semi),
+            '(' => one(&mut i, TokenKind::LParen),
+            ')' => one(&mut i, TokenKind::RParen),
+            '{' => one(&mut i, TokenKind::LBrace),
+            '}' => one(&mut i, TokenKind::RBrace),
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: start,
+                })
+            }
+        };
+        out.push(Token { kind, span: Span::new(start, i) });
+    }
+    out.push(Token { kind: TokenKind::Eof, span: Span::new(bytes.len(), bytes.len()) });
+    Ok(out)
+}
+
+fn peek(bytes: &[u8], i: usize) -> Option<char> {
+    bytes.get(i).map(|b| *b as char)
+}
+
+fn one(i: &mut usize, kind: TokenKind) -> TokenKind {
+    *i += 1;
+    kind
+}
+
+fn two(i: &mut usize, kind: TokenKind) -> TokenKind {
+    *i += 2;
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 5;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(5),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("for t in boards"),
+            vec![
+                TokenKind::Kw(Keyword::For),
+                TokenKind::Ident("t".into()),
+                TokenKind::Kw(Keyword::In),
+                TokenKind::Ident("boards".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("a >= b && c != d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("b".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("c".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\n""#),
+            vec![TokenKind::Str("a\"b\n".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x // comment\n/* block\n */ y"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        assert_eq!(
+            kinds("1.5 2"),
+            vec![TokenKind::Float(1.5), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn field_access_after_int_is_not_float() {
+        // `1.x` — digit followed by dot followed by non-digit.
+        assert_eq!(
+            kinds("1.x"),
+            vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Ident("x".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        let err = lex("x @ y").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_comment() {
+        assert!(lex("/* abc").is_err());
+    }
+}

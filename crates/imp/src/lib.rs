@@ -1,0 +1,45 @@
+//! `imp` — the imperative source language of the `eqsql` reproduction.
+//!
+//! The original system analyses Java database applications via Soot/Jimple.
+//! The paper stresses (Sec. 1, contribution 4) that "the techniques
+//! themselves are not specific to any language or API", so this reproduction
+//! defines a small Java-like language able to express every code fragment
+//! the paper discusses: cursor loops over `executeQuery` results, getters
+//! (field accesses), `Math.max`-style library calls, collections
+//! (list/set `add`), conditionals, user-defined functions, and output
+//! statements.
+//!
+//! Crate layout:
+//!
+//! * [`token`] / [`lexer`] — tokens and the hand-written lexer;
+//! * [`ast`] — the abstract syntax tree (statements carry unique
+//!   [`ast::StmtId`]s used by the dependence analyses);
+//! * [`parser`] — recursive-descent parser;
+//! * [`pretty`] — source regeneration (used to show rewritten programs);
+//! * [`desugar`] — the paper's source normalizations: the
+//!   `if (expr OP v) v = expr` min/max pattern (Sec. 4.2) and the
+//!   print-to-ordered-append preprocessing (Sec. 2 / Appendix B).
+
+pub mod ast;
+pub mod desugar;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::{BinaryOp, Block, Expr, Function, Literal, Program, Stmt, StmtId, StmtKind, UnaryOp};
+pub use lexer::LexError;
+pub use parser::{parse_program, ParseError};
+pub use pretty::pretty_print;
+
+/// Parse a program and apply the standard desugaring passes
+/// (min/max normalization; print statements are *not* rewritten here — use
+/// [`desugar::rewrite_prints`] explicitly, as Sec. 2 describes it as a
+/// preprocessing step chosen per use case).
+pub fn parse_and_normalize(src: &str) -> Result<Program, ParseError> {
+    let mut p = parse_program(src)?;
+    desugar::normalize_getters(&mut p);
+    desugar::normalize_minmax(&mut p);
+    desugar::normalize_bool_flags(&mut p);
+    Ok(p)
+}

@@ -1,0 +1,259 @@
+//! Tokens and source spans for the `imp` language.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Build a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// Language keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    /// `fn` — function definition.
+    Fn,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `for`.
+    For,
+    /// `in` — cursor-loop binder.
+    In,
+    /// `while`.
+    While,
+    /// `return`.
+    Return,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `null`.
+    Null,
+    /// `print` — output statement.
+    Print,
+}
+
+impl Keyword {
+    /// Look up a keyword by its spelling.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not FromStr
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "fn" => Keyword::Fn,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "in" => Keyword::In,
+            "while" => Keyword::While,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "null" => Keyword::Null,
+            "print" => Keyword::Print,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Fn => "fn",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::In => "in",
+            Keyword::While => "while",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Null => "null",
+            Keyword::Print => "print",
+        }
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Keyword),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Kw(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [Keyword::Fn, Keyword::For, Keyword::In, Keyword::Print] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("select"), None);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let s = Span::new(3, 7).merge(Span::new(1, 5));
+        assert_eq!(s, Span::new(1, 7));
+    }
+}
+
+/// Convert a byte offset into a 1-based (line, column) pair.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(src.len());
+    let before = &src[..clamped];
+    let line = before.bytes().filter(|b| *b == b'\n').count() + 1;
+    let col = before.rfind('\n').map_or(clamped + 1, |nl| clamped - nl);
+    (line, col)
+}
+
+#[cfg(test)]
+mod line_col_tests {
+    use super::*;
+
+    #[test]
+    fn first_line() {
+        assert_eq!(line_col("abc", 0), (1, 1));
+        assert_eq!(line_col("abc", 2), (1, 3));
+    }
+
+    #[test]
+    fn later_lines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    fn offset_past_end_clamps() {
+        assert_eq!(line_col("a\nb", 99), (2, 2));
+    }
+}

@@ -1,0 +1,228 @@
+//! A minimal DML subset backing `executeUpdate`.
+//!
+//! The paper's techniques deliberately keep database updates intact
+//! (Sec. 7.1); experiments only need updates to *exist* so that the
+//! dependence analysis can observe external writes. Supported statements:
+//!
+//! ```text
+//! INSERT INTO <table> VALUES (<lit> [, <lit>]*)
+//! DELETE FROM <table> [WHERE <col> = <lit>]
+//! ```
+
+use dbms::{Database, Value};
+
+/// A DML execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmlError(pub String);
+
+impl std::fmt::Display for DmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DML error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DmlError {}
+
+/// Execute a DML statement; returns the number of affected rows.
+/// `params` substitute `?` placeholders positionally.
+pub fn execute_update(
+    db: &mut Database,
+    sql: &str,
+    params: &[Value],
+) -> Result<i64, DmlError> {
+    let toks: Vec<String> = tokenize(sql);
+    let lower: Vec<String> = toks.iter().map(|t| t.to_ascii_lowercase()).collect();
+    match lower.first().map(String::as_str) {
+        Some("insert") => {
+            if lower.get(1).map(String::as_str) != Some("into") {
+                return Err(DmlError("expected INSERT INTO".into()));
+            }
+            let table = toks.get(2).ok_or_else(|| DmlError("missing table".into()))?.clone();
+            let vpos = lower
+                .iter()
+                .position(|t| t == "values")
+                .ok_or_else(|| DmlError("missing VALUES".into()))?;
+            let mut row = Vec::new();
+            let mut pi = 0usize;
+            for t in &toks[vpos + 1..] {
+                match t.as_str() {
+                    "(" | ")" | "," => {}
+                    "?" => {
+                        row.push(
+                            params
+                                .get(pi)
+                                .cloned()
+                                .ok_or_else(|| DmlError(format!("missing param {pi}")))?,
+                        );
+                        pi += 1;
+                    }
+                    lit => row.push(parse_lit(lit)?),
+                }
+            }
+            if db.insert(&table.to_ascii_lowercase(), row) {
+                Ok(1)
+            } else {
+                Err(DmlError(format!("unknown table {table}")))
+            }
+        }
+        Some("delete") => {
+            if lower.get(1).map(String::as_str) != Some("from") {
+                return Err(DmlError("expected DELETE FROM".into()));
+            }
+            let table = toks
+                .get(2)
+                .ok_or_else(|| DmlError("missing table".into()))?
+                .to_ascii_lowercase();
+            let filter = if lower.get(3).map(String::as_str) == Some("where") {
+                let col = toks.get(4).ok_or_else(|| DmlError("missing column".into()))?.clone();
+                if toks.get(5).map(String::as_str) != Some("=") {
+                    return Err(DmlError("only `col = lit` filters supported".into()));
+                }
+                let lit = toks.get(6).ok_or_else(|| DmlError("missing literal".into()))?;
+                let v = if lit == "?" {
+                    params.first().cloned().ok_or_else(|| DmlError("missing param".into()))?
+                } else {
+                    parse_lit(lit)?
+                };
+                Some((col.to_ascii_lowercase(), v))
+            } else {
+                None
+            };
+            let t = db
+                .table_mut(&table)
+                .ok_or_else(|| DmlError(format!("unknown table {table}")))?;
+            let before = t.rows.len();
+            match filter {
+                None => t.rows.clear(),
+                Some((col, v)) => {
+                    let idx = t
+                        .schema
+                        .column_index(&col)
+                        .ok_or_else(|| DmlError(format!("unknown column {col}")))?;
+                    t.rows.retain(|r| !r[idx].group_eq(&v));
+                }
+            }
+            Ok((before - t.rows.len()) as i64)
+        }
+        other => Err(DmlError(format!("unsupported DML {other:?}"))),
+    }
+}
+
+fn tokenize(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' | ')' | ',' | '=' | '?' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(c.to_string());
+            }
+            '\'' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                let mut s = String::from("'");
+                for c2 in chars.by_ref() {
+                    s.push(c2);
+                    if c2 == '\'' {
+                        break;
+                    }
+                }
+                out.push(s);
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_lit(t: &str) -> Result<Value, DmlError> {
+    if let Some(stripped) = t.strip_prefix('\'') {
+        return Ok(Value::Str(stripped.trim_end_matches('\'').to_string()));
+    }
+    if t.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    if t.eq_ignore_ascii_case("true") {
+        return Ok(Value::Bool(true));
+    }
+    if t.eq_ignore_ascii_case("false") {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(DmlError(format!("bad literal {t}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::schema::{SqlType, TableSchema};
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(TableSchema::new("log", &[("id", SqlType::Int), ("msg", SqlType::Text)]));
+        d.insert("log", vec![Value::Int(1), "a".into()]);
+        d.insert("log", vec![Value::Int(2), "b".into()]);
+        d
+    }
+
+    #[test]
+    fn insert_values() {
+        let mut d = db();
+        let n = execute_update(&mut d, "INSERT INTO log VALUES (3, 'c')", &[]).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(d.table("log").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn insert_with_params() {
+        let mut d = db();
+        execute_update(&mut d, "INSERT INTO log VALUES (?, ?)", &[Value::Int(9), "z".into()])
+            .unwrap();
+        assert_eq!(d.table("log").unwrap().rows[2], vec![Value::Int(9), Value::Str("z".into())]);
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let mut d = db();
+        let n = execute_update(&mut d, "DELETE FROM log WHERE id = 1", &[]).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(d.table("log").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_all() {
+        let mut d = db();
+        let n = execute_update(&mut d, "DELETE FROM log", &[]).unwrap();
+        assert_eq!(n, 2);
+        assert!(d.table("log").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        let mut d = db();
+        assert!(execute_update(&mut d, "DELETE FROM nope", &[]).is_err());
+    }
+
+    #[test]
+    fn unsupported_statement_is_error() {
+        let mut d = db();
+        assert!(execute_update(&mut d, "UPDATE log SET msg = 'x'", &[]).is_err());
+    }
+}

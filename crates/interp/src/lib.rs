@@ -1,0 +1,23 @@
+//! `interp` — a tree-walking interpreter for `imp` programs.
+//!
+//! The interpreter serves three roles in the reproduction:
+//!
+//! 1. **Experiments** — running the original and the rewritten programs over
+//!    the metered [`dbms::Connection`] yields the round-trip / data-transfer
+//!    numbers of Figures 8–11;
+//! 2. **Equivalence testing** — every extraction is checked by running both
+//!    program versions on shared databases (Theorem 1 and the manual
+//!    verification of Sec. 7.2, mechanized);
+//! 3. **QBS's verifier** — the synthesis baseline checks candidate queries
+//!    observationally against the interpreted loop.
+//!
+//! `executeQuery` strings are parsed by `algebra::parse` and executed via
+//! the connection; a tiny DML subset (`INSERT INTO … VALUES`, `DELETE FROM …
+//! [WHERE col = lit]`) backs `executeUpdate`.
+
+pub mod dml;
+pub mod run;
+pub mod value;
+
+pub use run::{Interp, RtError};
+pub use value::RtValue;

@@ -1,0 +1,285 @@
+//! Candidate enumeration in increasing structural size.
+//!
+//! The grammar mirrors QBS's query sketch space: scans, selections with
+//! conjunctions of comparisons, projections, duplicate elimination,
+//! whole-relation aggregates, and binary equi-joins.
+
+use algebra::ra::{AggCall, AggFunc, ProjItem, RaExpr};
+use algebra::scalar::{BinOp, ColRef, Scalar};
+use algebra::schema::Catalog;
+
+use crate::components::Components;
+
+/// Visitor control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep enumerating.
+    Continue,
+    /// Stop (budget exhausted or candidate accepted).
+    Stop,
+}
+
+/// Enumerate candidates, invoking `visit` on each until it returns
+/// [`Control::Stop`] or the space is exhausted.
+pub fn for_each_candidate(
+    comps: &Components,
+    catalog: &Catalog,
+    visit: &mut impl FnMut(&RaExpr) -> Control,
+) {
+    // Layer 0: plain scans and their trivial variants.
+    let scans: Vec<RaExpr> = comps.tables.iter().map(|t| RaExpr::table(t.clone())).collect();
+    for s in &scans {
+        if visit(s) == Control::Stop {
+            return;
+        }
+    }
+
+    let preds = predicates(comps);
+
+    // Layer 1: single selections.
+    let mut selected: Vec<RaExpr> = Vec::new();
+    for s in &scans {
+        for p in &preds {
+            let c = s.clone().select(p.clone());
+            if visit(&c) == Control::Stop {
+                return;
+            }
+            selected.push(c);
+        }
+    }
+
+    // Layer 2: projections / dedup / aggregates over layer ≤1.
+    let bases: Vec<&RaExpr> = scans.iter().chain(selected.iter()).collect();
+    for b in &bases {
+        for items in projections(comps, catalog, b) {
+            let c = (*b).clone().project(items);
+            if visit(&c) == Control::Stop {
+                return;
+            }
+            let d = c.clone().dedup();
+            if visit(&d) == Control::Stop {
+                return;
+            }
+            // First-row retrieval patterns (`rows.get(0)` in source code).
+            let l = c.limit(1);
+            if visit(&l) == Control::Stop {
+                return;
+            }
+        }
+        for aggs in aggregates(comps, b) {
+            let c = (*b).clone().aggregate(vec![aggs]);
+            if visit(&c) == Control::Stop {
+                return;
+            }
+            // COALESCE(agg, 0): imperative accumulators return their
+            // initial value over empty inputs, where SQL aggregates return
+            // NULL — both variants must be in the space.
+            let wrapped = c.project(vec![ProjItem::new(
+                Scalar::Func(
+                    algebra::scalar::ScalarFunc::Coalesce,
+                    vec![Scalar::col("agg"), Scalar::int(0)],
+                ),
+                "agg",
+            )]);
+            if visit(&wrapped) == Control::Stop {
+                return;
+            }
+        }
+    }
+
+    // Layer 3: conjunctive selections (two predicates).
+    let mut selected2 = Vec::new();
+    for s in &scans {
+        for (i, p) in preds.iter().enumerate() {
+            for q in preds.iter().skip(i + 1) {
+                let c = s.clone().select(p.clone().and(q.clone()));
+                if visit(&c) == Control::Stop {
+                    return;
+                }
+                selected2.push(c);
+            }
+        }
+    }
+    for b in &selected2 {
+        for items in projections(comps, catalog, b) {
+            let c = b.clone().project(items);
+            if visit(&c) == Control::Stop {
+                return;
+            }
+        }
+        for aggs in aggregates(comps, b) {
+            let c = b.clone().aggregate(vec![aggs]);
+            if visit(&c) == Control::Stop {
+                return;
+            }
+        }
+    }
+
+    // Layer 4: equi-joins of two scans (both orders — the outer side
+    // determines result order), with optional projection.
+    for t1 in comps.tables.iter() {
+        for t2 in comps.tables.iter() {
+            let a1 = "j1";
+            let a2 = "j2";
+            let cols1: Vec<&(String, String)> = comps
+                .int_columns
+                .iter()
+                .filter(|(t, _)| t == t1)
+                .collect();
+            let cols2: Vec<&(String, String)> = comps
+                .int_columns
+                .iter()
+                .filter(|(t, _)| t == t2)
+                .collect();
+            for (_, c1) in &cols1 {
+                for (_, c2) in &cols2 {
+                    let join = RaExpr::table_as(t1.clone(), a1).join(
+                        RaExpr::table_as(t2.clone(), a2),
+                        Scalar::cmp(
+                            BinOp::Eq,
+                            Scalar::qcol(a1, c1.clone()),
+                            Scalar::qcol(a2, c2.clone()),
+                        ),
+                    );
+                    if visit(&join) == Control::Stop {
+                        return;
+                    }
+                    // Project one side of the join (collecting inner rows
+                    // while looping over an outer query is common).
+                    for (side, alias) in [(t1, a1), (t2, a2)] {
+                        if let Some(schema) = catalog.get(side) {
+                            let items: Vec<ProjItem> = schema
+                                .columns
+                                .iter()
+                                .map(|c| {
+                                    ProjItem::new(
+                                        Scalar::qcol(alias, c.name.clone()),
+                                        c.name.clone(),
+                                    )
+                                })
+                                .collect();
+                            let pj = join.clone().project(items);
+                            if visit(&pj) == Control::Stop {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All `col OP lit` and `col = param` comparison predicates.
+fn predicates(comps: &Components) -> Vec<Scalar> {
+    let mut out = Vec::new();
+    let ops = [BinOp::Gt, BinOp::Lt, BinOp::Ge, BinOp::Le, BinOp::Eq, BinOp::Ne];
+    for (_, col) in &comps.int_columns {
+        for lit in &comps.int_literals {
+            for op in ops {
+                out.push(Scalar::cmp(op, Scalar::col(col.clone()), Scalar::int(*lit)));
+            }
+        }
+        // Parameters: candidate queries may take the function's arguments.
+        out.push(Scalar::cmp(BinOp::Gt, Scalar::col(col.clone()), Scalar::Param(0)));
+        out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::Param(0)));
+        out.push(Scalar::cmp(BinOp::Ge, Scalar::col(col.clone()), Scalar::Param(0)));
+    }
+    for (_, col) in &comps.text_columns {
+        for lit in &comps.str_literals {
+            out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::str(lit.clone())));
+            out.push(Scalar::cmp(BinOp::Ne, Scalar::col(col.clone()), Scalar::str(lit.clone())));
+        }
+    }
+    for (_, col) in &comps.bool_columns {
+        out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::bool(true)));
+        out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::bool(false)));
+    }
+    out
+}
+
+/// Single-column and two-column projections over the base's table.
+fn projections(
+    comps: &Components,
+    _catalog: &Catalog,
+    base: &RaExpr,
+) -> Vec<Vec<ProjItem>> {
+    let tables = base.base_tables();
+    let cols: Vec<&String> = comps
+        .int_columns
+        .iter()
+        .chain(&comps.text_columns)
+        .chain(&comps.bool_columns)
+        .filter(|(t, _)| tables.contains(&t.as_str()))
+        .map(|(_, c)| c)
+        .collect();
+    let mut out = Vec::new();
+    for c in &cols {
+        out.push(vec![ProjItem::col(c)]);
+    }
+    for (i, a) in cols.iter().enumerate() {
+        for b in cols.iter().skip(i + 1) {
+            out.push(vec![ProjItem::col(a), ProjItem::col(b)]);
+        }
+    }
+    out
+}
+
+/// Whole-relation aggregate calls over the base's numeric columns.
+fn aggregates(comps: &Components, base: &RaExpr) -> Vec<AggCall> {
+    let tables = base.base_tables();
+    let mut out = vec![AggCall::new(AggFunc::Count, Scalar::int(1), "agg")];
+    for (t, c) in &comps.int_columns {
+        if tables.contains(&t.as_str()) {
+            for f in [AggFunc::Sum, AggFunc::Max, AggFunc::Min] {
+                out.push(AggCall::new(f, Scalar::Col(ColRef::new(c.clone())), "agg"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::mine;
+    use algebra::schema::{SqlType, TableSchema};
+
+    #[test]
+    fn enumeration_grows_with_components() {
+        let src = r#"
+            fn f() {
+                rows = executeQuery("SELECT * FROM emp");
+                out = list();
+                for (e in rows) { if (e.salary > 10) { out.add(e.id); } }
+                return out;
+            }
+        "#;
+        let p = imp::parse_and_normalize(src).unwrap();
+        let cat = Catalog::new().with(TableSchema::new(
+            "emp",
+            &[("id", SqlType::Int), ("salary", SqlType::Int)],
+        ));
+        let comps = mine(&p, "f", &cat);
+        let mut n = 0usize;
+        for_each_candidate(&comps, &cat, &mut |_| {
+            n += 1;
+            Control::Continue
+        });
+        assert!(n > 100, "search space should be substantial, got {n}");
+    }
+
+    #[test]
+    fn stop_control_halts() {
+        let src = r#"fn f() { return executeQuery("SELECT * FROM emp"); }"#;
+        let p = imp::parse_and_normalize(src).unwrap();
+        let cat = Catalog::new().with(TableSchema::new("emp", &[("id", SqlType::Int)]));
+        let comps = mine(&p, "f", &cat);
+        let mut n = 0usize;
+        for_each_candidate(&comps, &cat, &mut |_| {
+            n += 1;
+            Control::Stop
+        });
+        assert_eq!(n, 1);
+    }
+}

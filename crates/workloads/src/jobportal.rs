@@ -1,0 +1,83 @@
+//! The JobPortal star-schema fragment (paper Figure 12, Experiment 8).
+
+
+use algebra::schema::Catalog;
+use dbms::Database;
+
+/// Figure 12 in `imp`: a loop over job applicants issuing per-applicant
+/// scalar lookups, the last one guarded by the application mode.
+pub const APPLICANT_REPORT: &str = r#"
+    fn applicantReport() {
+        apps = executeQuery("SELECT * FROM applicants");
+        out = list();
+        for (a in apps) {
+            addr = executeScalar("SELECT address FROM personal_details WHERE applicant_id = ?", a.applicant_id);
+            s1 = executeScalar("SELECT score FROM committee1_feedback WHERE applicant_id = ?", a.applicant_id);
+            s2 = executeScalar("SELECT score FROM committee2_feedback WHERE applicant_id = ?", a.applicant_id);
+            q = a.appln_mode == "online"
+                ? executeScalar("SELECT degree FROM edu_qualifs WHERE applicant_id = ?", a.applicant_id)
+                : "n/a";
+            out.add(pair(a.name, concat(addr, "|", s1, "/", s2, "|", q)));
+        }
+        return out;
+    }
+"#;
+
+/// The star-schema workload description used by the baseline strategies.
+pub fn star_workload() -> baselines_compat::StarSpec {
+    baselines_compat::StarSpec {
+        outer_sql: "SELECT * FROM applicants".to_string(),
+        inners: vec![
+            ("SELECT address FROM personal_details WHERE applicant_id = ?", None),
+            ("SELECT score FROM committee1_feedback WHERE applicant_id = ?", None),
+            ("SELECT score FROM committee2_feedback WHERE applicant_id = ?", None),
+            (
+                "SELECT degree FROM edu_qualifs WHERE applicant_id = ?",
+                Some(("appln_mode", "online")),
+            ),
+        ],
+    }
+}
+
+/// Lightweight description decoupled from the `baselines` crate (the bench
+/// harness converts it; keeping `workloads` independent of `baselines`
+/// avoids a dependency cycle).
+pub mod baselines_compat {
+    /// A star workload: outer SQL plus `(inner SQL, optional guard)` pairs;
+    /// the guard is `(outer column, required text value)`.
+    #[derive(Debug, Clone)]
+    pub struct StarSpec {
+        /// The outer query SQL.
+        pub outer_sql: String,
+        /// The per-row lookups.
+        pub inners: Vec<(&'static str, Option<(&'static str, &'static str)>)>,
+    }
+}
+
+/// Catalog for the JobPortal schema.
+pub fn catalog() -> Catalog {
+    dbms::gen::gen_jobportal(0, 0).catalog()
+}
+
+/// A JobPortal database with `n` applicants.
+pub fn database(n: usize, seed: u64) -> Database {
+    dbms::gen::gen_jobportal(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use algebra::parse::parse_sql;
+    use super::*;
+
+    #[test]
+    fn program_parses_and_queries_are_valid() {
+        let p = imp::parse_and_normalize(APPLICANT_REPORT).unwrap();
+        assert!(p.function("applicantReport").is_some());
+        let spec = star_workload();
+        parse_sql(&spec.outer_sql).unwrap();
+        for (sql, _) in &spec.inners {
+            parse_sql(sql).unwrap();
+        }
+        assert_eq!(spec.inners.len(), 4, "Q2..Q5 of Fig. 12");
+    }
+}

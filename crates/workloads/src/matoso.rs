@@ -1,0 +1,48 @@
+//! The Matoso ranking-page fragment (paper Figure 2, Experiment 7).
+
+use algebra::schema::Catalog;
+use dbms::Database;
+
+/// The `imp` re-creation of Figure 2 (with the `Math.max` chains and the
+/// compare-and-assign maximum, exactly as printed).
+pub const FIND_MAX_SCORE: &str = r#"
+    fn findMaxScore(round) {
+        boards = executeQuery("SELECT * FROM board WHERE rnd_id = ?", round);
+        scoreMax = 0;
+        for (t in boards) {
+            p1 = t.p1;
+            p2 = t.p2;
+            p3 = t.p3;
+            p4 = t.p4;
+            score = max(p1, p2);
+            score = max(score, p3);
+            score = max(score, p4);
+            if (score > scoreMax)
+                scoreMax = score;
+        }
+        return scoreMax;
+    }
+"#;
+
+/// Schema catalog for the Matoso `board` table.
+pub fn catalog() -> Catalog {
+    dbms::gen::gen_board(0, 1, 0).catalog()
+}
+
+/// A board database with `n` boards over 4 rounds.
+pub fn database(n: usize, seed: u64) -> Database {
+    dbms::gen::gen_board(n, 4, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_catalog_matches() {
+        let p = imp::parse_and_normalize(FIND_MAX_SCORE).unwrap();
+        assert!(p.function("findMaxScore").is_some());
+        assert!(catalog().get("board").is_some());
+        assert_eq!(database(10, 1).table("board").unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,882 @@
+//! The 33 Wilos code fragments of Table 1.
+//!
+//! Wilos is an open-source process-orchestration application; the paper
+//! evaluates both QBS and EqSQL on 33 fragments from it. We do not have the
+//! original Java, but Table 1 plus the paper's discussion identifies each
+//! fragment's *pattern* (selection, projection, join, aggregation,
+//! existence check, update-in-loop, polymorphic type comparison, custom
+//! comparator, …). Each sample below re-creates one fragment's pattern in
+//! `imp` under the function name `sample`, together with:
+//!
+//! * the paper-reported QBS extraction time (`None` = QBS failed, "–");
+//! * the paper-reported EqSQL outcome ([`Expectation`]).
+//!
+//! The per-sample expectations are asserted by this crate's tests against
+//! the real extractor, so Table 1's EqSQL column is reproduced behaviourally
+//! rather than copied.
+
+use algebra::schema::{Catalog, SqlType, TableSchema};
+use dbms::{Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Expectation;
+
+/// One Table 1 sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Row number in Table 1 (1-based).
+    pub id: usize,
+    /// The paper's "File (Line No.)" label.
+    pub label: &'static str,
+    /// The pattern category (used in reports).
+    pub category: &'static str,
+    /// `imp` source; the fragment is the function `sample`.
+    pub source: &'static str,
+    /// Number of arguments `sample` takes (bound to small integers in
+    /// experiments).
+    pub n_args: usize,
+    /// QBS extraction time reported in the paper (seconds); `None` = "–".
+    pub paper_qbs_seconds: Option<f64>,
+    /// Expected EqSQL outcome (Table 1's last column).
+    pub expect: Expectation,
+}
+
+/// The Wilos schema used by the samples.
+pub fn catalog() -> Catalog {
+    Catalog::new()
+        .with(
+            TableSchema::new(
+                "activity",
+                &[
+                    ("id", SqlType::Int),
+                    ("process_id", SqlType::Int),
+                    ("state", SqlType::Text),
+                    ("effort", SqlType::Int),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "guidance",
+                &[
+                    ("id", SqlType::Int),
+                    ("activity_id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("gtype", SqlType::Text),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "project",
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("isfinished", SqlType::Bool),
+                    ("budget", SqlType::Int),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "affectedto",
+                &[("id", SqlType::Int), ("user_id", SqlType::Int), ("activity_id", SqlType::Int)],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "concrete_activity",
+                &[
+                    ("id", SqlType::Int),
+                    ("activity_id", SqlType::Int),
+                    ("state", SqlType::Text),
+                    ("iteration_id", SqlType::Int),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "role_descriptor",
+                &[("id", SqlType::Int), ("name", SqlType::Text), ("process_id", SqlType::Int)],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "workproduct",
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("state", SqlType::Text),
+                    ("owner_id", SqlType::Int),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "iteration",
+                &[("id", SqlType::Int), ("project_id", SqlType::Int), ("state", SqlType::Text)],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "login",
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("pass", SqlType::Text),
+                    ("role_id", SqlType::Int),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "participant",
+                &[
+                    ("id", SqlType::Int),
+                    ("user_id", SqlType::Int),
+                    ("project_id", SqlType::Int),
+                    ("role", SqlType::Text),
+                ],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "phase",
+                &[("id", SqlType::Int), ("project_id", SqlType::Int), ("state", SqlType::Text)],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "process",
+                &[("id", SqlType::Int), ("name", SqlType::Text), ("state", SqlType::Text)],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new(
+                "wilos_user",
+                &[("id", SqlType::Int), ("name", SqlType::Text), ("role_id", SqlType::Int)],
+            )
+            .with_key(&["id"]),
+        )
+        .with(
+            TableSchema::new("role", &[("id", SqlType::Int), ("name", SqlType::Text)])
+                .with_key(&["id"]),
+        )
+}
+
+/// A deterministic Wilos database sized for functional runs.
+pub fn database(rows_per_table: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cat = catalog();
+    let mut db = Database::new();
+    let states = ["created", "started", "finished", "suspended", "ready"];
+    let gtypes = ["checklist", "concept", "example", "guideline"];
+    for schema in cat.tables() {
+        db.create_table(schema.clone());
+        for i in 0..rows_per_table {
+            let mut row = Vec::new();
+            for col in &schema.columns {
+                let v = match (schema.name.as_str(), col.name.as_str()) {
+                    (_, "id") => Value::Int(i as i64),
+                    (_, "state") => Value::Str(states[rng.gen_range(0..states.len())].into()),
+                    (_, "gtype") => Value::Str(gtypes[rng.gen_range(0..gtypes.len())].into()),
+                    (_, "isfinished") => Value::Bool(rng.gen_range(0..100) < 20),
+                    (_, "name") => Value::Str(format!("{}-{i}", schema.name)),
+                    (_, "pass") => Value::Str(format!("pw{i}")),
+                    (_, "role") => Value::Str(
+                        ["dev", "manager", "tester"][rng.gen_range(0..3)].to_string(),
+                    ),
+                    (_, "budget") | (_, "effort") => Value::Int(rng.gen_range(0..1000)),
+                    _ => Value::Int(rng.gen_range(0..(rows_per_table.max(2)) as i64)),
+                };
+                row.push(v);
+            }
+            db.insert(&schema.name, row);
+        }
+    }
+    db
+}
+
+/// All 33 samples, in Table 1 order.
+pub fn samples() -> Vec<Sample> {
+    vec![
+        Sample {
+            id: 1,
+            label: "ActivityService (401)",
+            category: "selection with update kept",
+            source: r#"
+                fn sample() {
+                    acts = executeQuery("SELECT * FROM activity");
+                    out = list();
+                    for (a in acts) {
+                        if (a.state == "ready") { out.add(a.id); }
+                        if (a.effort < 0) {
+                            executeUpdate("DELETE FROM guidance WHERE id = -1");
+                        }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: None,
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 2,
+            label: "ActivityService (328)",
+            category: "count with update kept",
+            source: r#"
+                fn sample() {
+                    acts = executeQuery("SELECT * FROM activity WHERE state = 'started'");
+                    n = 0;
+                    for (a in acts) {
+                        n = n + 1;
+                        if (a.effort > 900) {
+                            executeUpdate("INSERT INTO guidance VALUES (-1, 0, 'hot', 'note')");
+                        }
+                    }
+                    return n;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: None,
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 3,
+            label: "Guidance Service (140)",
+            category: "selection with update kept",
+            source: r#"
+                fn sample() {
+                    gs = executeQuery("SELECT * FROM guidance");
+                    out = list();
+                    for (g in gs) {
+                        if (g.gtype == "checklist") { out.add(g.name); }
+                        if (g.activity_id < 0) {
+                            executeUpdate("DELETE FROM guidance WHERE id = ?", g.id);
+                        }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: None,
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 4,
+            label: "Guidance Service (154)",
+            category: "existence check with update kept",
+            source: r#"
+                fn sample(aid) {
+                    gs = executeQuery("SELECT * FROM guidance");
+                    found = false;
+                    for (g in gs) {
+                        if (g.activity_id == aid) { found = true; }
+                        if (g.name == "") {
+                            executeUpdate("DELETE FROM guidance WHERE id = ?", g.id);
+                        }
+                    }
+                    return found;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: None,
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 5,
+            label: "ProjectService (266)",
+            category: "polymorphic type comparison",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM project");
+                    out = list();
+                    for (p in ps) {
+                        if (p.typeOf() == "ConcreteProject") { out.add(p.id); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: None,
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 6,
+            label: "ProjectService (297)",
+            category: "selection (unfinished projects, Experiment 5)",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM project");
+                    out = list();
+                    for (p in ps) {
+                        if (p.isfinished == false) { out.add(p.id); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(19.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 7,
+            label: "ProjectService (338)",
+            category: "custom comparator",
+            source: r#"
+                fn sample(threshold) {
+                    ps = executeQuery("SELECT * FROM project");
+                    out = list();
+                    for (p in ps) {
+                        if (customCompare(p.name, threshold) > 0) { out.add(p.id); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: None,
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 8,
+            label: "ProjectService (394)",
+            category: "selection + projection",
+            source: r#"
+                fn sample(minBudget) {
+                    ps = executeQuery("SELECT * FROM project");
+                    out = list();
+                    for (p in ps) {
+                        if (p.budget > minBudget) { out.add(p.name); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(21.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 9,
+            label: "ProjectService (410)",
+            category: "count",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM project WHERE isfinished = false");
+                    n = 0;
+                    for (p in ps) { n = n + 1; }
+                    return n;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(39.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 10,
+            label: "ProjectService (248)",
+            category: "existence check",
+            source: r#"
+                fn sample(pid) {
+                    ps = executeQuery("SELECT * FROM participant");
+                    found = false;
+                    for (p in ps) {
+                        if (p.project_id == pid) { found = true; }
+                    }
+                    return found;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(150.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 11,
+            label: "AffectedtoDao (13)",
+            category: "selection by parameter",
+            source: r#"
+                fn sample(uid) {
+                    xs = executeQuery("SELECT * FROM affectedto");
+                    out = list();
+                    for (x in xs) {
+                        if (x.user_id == uid) { out.add(x.activity_id); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(72.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 12,
+            label: "ConcreteActivityDao (139)",
+            category: "dependent accumulation (Fig. 7 dummyVal)",
+            source: r#"
+                fn sample() {
+                    cs = executeQuery("SELECT * FROM concrete_activity");
+                    agg = 0;
+                    weighted = 0;
+                    for (c in cs) {
+                        e = executeScalar("SELECT effort FROM activity WHERE id = ?", c.activity_id);
+                        agg = agg + e;
+                        weighted = weighted * 2 + agg;
+                    }
+                    return weighted;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: None,
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 13,
+            label: "ConcreteActivityService (133)",
+            category: "loop over non-query collection (temp-table case)",
+            source: r#"
+                fn sample(states) {
+                    out = list();
+                    for (s in states) { out.add(s); }
+                    return out;
+                }
+            "#,
+            n_args: 0, // driven with a list argument by callers
+            paper_qbs_seconds: None,
+            expect: Expectation::CouldButNot,
+        },
+        Sample {
+            id: 14,
+            label: "ConcreteRoleAffectationService (55)",
+            category: "nested join collecting whole inner rows",
+            source: r#"
+                fn sample() {
+                    us = executeQuery("SELECT * FROM wilos_user");
+                    out = list();
+                    for (u in us) {
+                        rds = executeQuery("SELECT * FROM role_descriptor WHERE process_id = ?", u.role_id);
+                        for (rd in rds) { out.add(rd); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(310.0),
+            expect: Expectation::CouldButNot,
+        },
+        Sample {
+            id: 15,
+            label: "ConcreteRoleDescriptorService (181)",
+            category: "positional element retrieval",
+            source: r#"
+                fn sample() {
+                    rds = executeQuery("SELECT * FROM role_descriptor");
+                    out = list();
+                    for (rd in rds) {
+                        extra = executeQuery("SELECT * FROM guidance WHERE activity_id = ?", rd.id);
+                        if (out.size() < 5) { out.add(pair(rd.name, extra.size())); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(290.0),
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 16,
+            label: "ConcreteWorkBreakdownElementService (55)",
+            category: "while-loop hierarchy traversal",
+            source: r#"
+                fn sample(n) {
+                    total = 0;
+                    i = 0;
+                    while (i < n) {
+                        row = executeScalar("SELECT effort FROM activity WHERE id = ?", i);
+                        total = total + row;
+                        i = i + 1;
+                    }
+                    return total;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: None,
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 17,
+            label: "ConcreteWorkProductDescriptorService (236)",
+            category: "ordered string aggregation",
+            source: r#"
+                fn sample() {
+                    ws = executeQuery("SELECT * FROM workproduct");
+                    s = "";
+                    for (w in ws) {
+                        s = s + w.name + ";";
+                    }
+                    return s;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(284.0),
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 18,
+            label: "IterationService (103)",
+            category: "selection by parameter",
+            source: r#"
+                fn sample(pid) {
+                    its = executeQuery("SELECT * FROM iteration");
+                    out = list();
+                    for (it in its) {
+                        if (it.project_id == pid) { out.add(it.id); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: None,
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 19,
+            label: "LoginService (103)",
+            category: "credential existence check",
+            source: r#"
+                fn sample(uid) {
+                    ls = executeQuery("SELECT * FROM login");
+                    ok = false;
+                    for (l in ls) {
+                        if (l.id == uid) {
+                            if (l.pass == "pw1") { ok = true; }
+                        }
+                    }
+                    return ok;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(125.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 20,
+            label: "LoginService (83)",
+            category: "selection by role",
+            source: r#"
+                fn sample(rid) {
+                    ls = executeQuery("SELECT * FROM login");
+                    out = list();
+                    for (l in ls) {
+                        if (l.role_id == rid) { out.add(l.name); }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(164.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 21,
+            label: "ParticipantBean (1079)",
+            category: "pair projection",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM participant");
+                    out = list();
+                    for (p in ps) { out.add(pair(p.user_id, p.role)); }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(31.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 22,
+            label: "ParticipantBean (681)",
+            category: "dependent aggregation (argmax)",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM participant");
+                    best = 0;
+                    bestId = 0;
+                    for (p in ps) {
+                        if (p.user_id > best) {
+                            best = p.user_id;
+                            bestId = p.id;
+                        }
+                    }
+                    return bestId;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(121.0),
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 23,
+            label: "ParticipantService (146)",
+            category: "navigation through joined object graph",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM participant");
+                    out = list();
+                    for (p in ps) {
+                        out.add(p.project.name);
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(281.0),
+            expect: Expectation::CouldButNot,
+        },
+        Sample {
+            id: 24,
+            label: "ParticipantService (119)",
+            category: "nested-loop join with pair projection",
+            source: r#"
+                fn sample() {
+                    ps = executeQuery("SELECT * FROM participant");
+                    out = list();
+                    for (p in ps) {
+                        projs = executeQuery("SELECT * FROM project WHERE id = ?", p.project_id);
+                        for (pr in projs) {
+                            out.add(pair(p.user_id, pr.name));
+                        }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(301.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 25,
+            label: "ParticipantService (266)",
+            category: "early loop exit",
+            source: r#"
+                fn sample(uid) {
+                    ps = executeQuery("SELECT * FROM participant");
+                    found = 0;
+                    for (p in ps) {
+                        if (p.user_id == uid) {
+                            found = p.project_id;
+                            break;
+                        }
+                    }
+                    return found;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(260.0),
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 26,
+            label: "PhaseService (98)",
+            category: "selection with update kept",
+            source: r#"
+                fn sample(pid) {
+                    phs = executeQuery("SELECT * FROM phase");
+                    out = list();
+                    for (ph in phs) {
+                        if (ph.project_id == pid) { out.add(ph.id); }
+                        if (ph.state == "orphan") {
+                            executeUpdate("DELETE FROM phase WHERE id = ?", ph.id);
+                        }
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: None,
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 27,
+            label: "ProcessBean (248)",
+            category: "group-by via nested aggregation loops",
+            source: r#"
+                fn sample() {
+                    procs = executeQuery("SELECT * FROM process");
+                    out = list();
+                    for (pr in procs) {
+                        n = 0;
+                        acts = executeQuery("SELECT * FROM activity WHERE process_id = ?", pr.id);
+                        for (a in acts) { n = n + 1; }
+                        out.add(pair(pr.name, n));
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(82.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 28,
+            label: "ProcessManagerBean (243)",
+            category: "count by parameter",
+            source: r#"
+                fn sample(pid) {
+                    acts = executeQuery("SELECT * FROM activity");
+                    n = 0;
+                    for (a in acts) {
+                        if (a.process_id == pid) { n = n + 1; }
+                    }
+                    return n;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: Some(50.0),
+            expect: Expectation::Extracts,
+        },
+        Sample {
+            id: 29,
+            label: "RoleDao (15)",
+            category: "dynamically constructed SQL",
+            source: r#"
+                fn sample(tbl) {
+                    rows = executeQuery("SELECT * FROM " + tbl);
+                    out = list();
+                    for (r in rows) { out.add(r.id); }
+                    return out;
+                }
+            "#,
+            n_args: 1,
+            paper_qbs_seconds: None,
+            expect: Expectation::Fails,
+        },
+        Sample {
+            id: 30,
+            label: "RoleService (15)",
+            category: "bulk collection copy (addAll)",
+            source: r#"
+                fn sample() {
+                    rs = executeQuery("SELECT * FROM role");
+                    out = list();
+                    for (r in rs) {
+                        more = executeQuery("SELECT * FROM wilos_user WHERE role_id = ?", r.id);
+                        out.addAll(more);
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(150.0),
+            expect: Expectation::CouldButNot,
+        },
+        Sample {
+            id: 31,
+            label: "WilosUserBean (717)",
+            category: "navigation through joined object graph",
+            source: r#"
+                fn sample() {
+                    us = executeQuery("SELECT * FROM wilos_user");
+                    out = list();
+                    for (u in us) {
+                        out.add(u.role.name);
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(23.0),
+            expect: Expectation::CouldButNot,
+        },
+        Sample {
+            id: 32,
+            label: "WorkProductsExpTableBean (990)",
+            category: "unmodeled string library function",
+            source: r#"
+                fn sample() {
+                    ws = executeQuery("SELECT * FROM workproduct");
+                    out = list();
+                    for (w in ws) {
+                        out.add(substring(w.name, 0, 3));
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(52.0),
+            expect: Expectation::CouldButNot,
+        },
+        Sample {
+            id: 33,
+            label: "WorkProductsExpTableBean (974)",
+            category: "unmodeled string library function",
+            source: r#"
+                fn sample() {
+                    ws = executeQuery("SELECT * FROM workproduct");
+                    out = list();
+                    for (w in ws) {
+                        out.add(trim(w.name));
+                    }
+                    return out;
+                }
+            "#,
+            n_args: 0,
+            paper_qbs_seconds: Some(50.0),
+            expect: Expectation::CouldButNot,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_three_samples_with_table1_totals() {
+        let all = samples();
+        assert_eq!(all.len(), 33);
+        let qbs_ok = all.iter().filter(|s| s.paper_qbs_seconds.is_some()).count();
+        assert_eq!(qbs_ok, 21, "paper: QBS succeeds on 21/33");
+        let extracts = all.iter().filter(|s| s.expect == Expectation::Extracts).count();
+        assert_eq!(extracts, 17, "paper: EqSQL extracts 17/33");
+        let could = all.iter().filter(|s| s.expect == Expectation::CouldButNot).count();
+        assert_eq!(could, 7, "paper: 7 further cases within technique scope");
+    }
+
+    #[test]
+    fn all_samples_parse() {
+        for s in samples() {
+            imp::parse_and_normalize(s.source)
+                .unwrap_or_else(|e| panic!("sample {} does not parse: {e}", s.id));
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, s) in samples().iter().enumerate() {
+            assert_eq!(s.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn database_is_deterministic_and_covers_catalog() {
+        let a = database(50, 1);
+        let b = database(50, 1);
+        assert_eq!(a, b);
+        for t in catalog().tables() {
+            assert_eq!(a.table(&t.name).map(|x| x.len()), Some(50), "{}", t.name);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! A dashboard-style workload exercising the optional extensions:
+//!
+//! * dependent aggregation (argmax — Appendix B): the top-earner panel;
+//! * cost-based rewriting (Appendix C): statistics from the live database
+//!   gate each loop's rewrite;
+//! * partial extraction: an audit loop with updates is left intact while
+//!   its aggregate is still extracted.
+//!
+//! ```text
+//! cargo run --example analytics_dashboard
+//! ```
+
+use eqsql::eqsql_core::DbStats;
+use eqsql::prelude::*;
+
+const SRC: &str = r#"
+    fn topEarnerPanel() {
+        rows = executeQuery("SELECT * FROM emp");
+        best = 0;
+        bestName = "n/a";
+        for (e in rows) {
+            if (e.salary > best) {
+                best = e.salary;
+                bestName = e.name;
+            }
+        }
+        return pair(bestName, best);
+    }
+
+    fn payrollPanel(cut) {
+        rows = executeQuery("SELECT * FROM emp");
+        total = 0;
+        for (e in rows) {
+            if (e.salary >= cut) { total = total + e.salary; }
+        }
+        return total;
+    }
+
+    fn auditPanel() {
+        rows = executeQuery("SELECT * FROM emp");
+        n = 0;
+        for (e in rows) {
+            if (e.salary < 0) {
+                executeUpdate("DELETE FROM emp WHERE id = ?", e.id);
+            }
+            n = n + 1;
+        }
+        return n;
+    }
+"#;
+
+fn main() {
+    let program = eqsql::imp::parse_and_normalize(SRC).expect("parse");
+    let db = eqsql::dbms::gen::gen_emp(5_000, 31);
+    let opts = ExtractorOptions {
+        dependent_agg: true,
+        cost_based: Some(DbStats::from_database(&db)),
+        ..ExtractorOptions::default()
+    };
+    let extractor = Extractor::with_options(db.catalog(), opts);
+    let report = extractor.extract_program(&program);
+
+    println!("=== extraction ===");
+    for v in &report.vars {
+        println!("{}::{} → {:?}", v.function, v.var, v.outcome);
+        if let Some(fir) = &v.fir {
+            println!("    F-IR : {fir}");
+        }
+        if !v.rule_trace.is_empty() {
+            println!("    rules: {}", v.rule_trace.join(" → "));
+        }
+        for sql in &v.sql {
+            println!("    SQL  : {sql}");
+        }
+    }
+    println!("\n{} loop(s) rewritten; audit loop (with updates) kept intact.\n", report.loops_rewritten);
+
+    println!("=== dashboard (original vs rewritten) ===");
+    for (f, args) in [
+        ("topEarnerPanel", vec![]),
+        ("payrollPanel", vec![RtValue::int(100_000)]),
+        ("auditPanel", vec![]),
+    ] {
+        let mut orig = Interp::new(&program, Connection::new(db.clone()));
+        let v1 = orig.call(f, args.clone()).unwrap();
+        let mut new = Interp::new(&report.program, Connection::new(db.clone()));
+        let v2 = new.call(f, args).unwrap();
+        assert!(eqsql::interp::value::loose_eq(&v1, &v2), "{f}: {v1} vs {v2}");
+        println!(
+            "{f:<16} = {v1:<28} rows: {:>5} → {:<4} sim: {:>7.2} ms → {:.2} ms",
+            orig.conn.stats.rows,
+            new.conn.stats.rows,
+            orig.conn.stats.sim_ms(),
+            new.conn.stats.sim_ms(),
+        );
+    }
+}

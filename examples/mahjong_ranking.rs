@@ -1,0 +1,62 @@
+//! The paper's running example (Figure 2): the Matoso Mahjong tournament
+//! ranking page, which finds the highest score across all boards of a
+//! round. Four player scores per board are combined with `Math.max` chains
+//! and the best is tracked in `scoreMax`.
+//!
+//! The extractor turns the whole loop into
+//! `SELECT MAX(GREATEST(p1,p2,p3,p4)) FROM board WHERE rnd_id = 1`
+//! (paper Figure 3(d)).
+//!
+//! ```text
+//! cargo run --example mahjong_ranking
+//! ```
+
+use eqsql::prelude::*;
+
+const SRC: &str = r#"
+    fn findMaxScore(round) {
+        boards = executeQuery("SELECT * FROM board WHERE rnd_id = ?", round);
+        scoreMax = 0;
+        for (t in boards) {
+            p1 = t.p1;
+            p2 = t.p2;
+            p3 = t.p3;
+            p4 = t.p4;
+            score = max(p1, p2);
+            score = max(score, p3);
+            score = max(score, p4);
+            if (score > scoreMax)
+                scoreMax = score;
+        }
+        return scoreMax;
+    }
+"#;
+
+fn main() {
+    let program = eqsql::imp::parse_and_normalize(SRC).expect("parse");
+    for n_boards in [1_000usize, 10_000, 100_000] {
+        let db = eqsql::dbms::gen::gen_board(n_boards, 4, 99);
+        let report = Extractor::new(db.catalog()).extract_function(&program, "findMaxScore");
+        assert_eq!(report.loops_rewritten, 1);
+
+        let args = vec![RtValue::int(1)];
+        let mut orig = Interp::new(&program, Connection::new(db.clone()));
+        let v1 = orig.call("findMaxScore", args.clone()).unwrap();
+        let mut new = Interp::new(&report.program, Connection::new(db));
+        let v2 = new.call("findMaxScore", args).unwrap();
+        assert_eq!(format!("{v1}"), format!("{v2}"));
+
+        println!(
+            "boards={n_boards:>7}  max={v1:>5}  original: {:>9} B / {:>8.2} ms   EqSQL: {:>4} B / {:>6.2} ms",
+            orig.conn.stats.bytes,
+            orig.conn.stats.sim_ms(),
+            new.conn.stats.bytes,
+            new.conn.stats.sim_ms(),
+        );
+        if n_boards == 1_000 {
+            println!("\nextracted SQL: {}\n", report.vars[0].sql[0]);
+        }
+    }
+    println!("\nNote: the rewritten transfer stays constant while the original grows");
+    println!("linearly with table size — the shape of the paper's Figure 10.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: extract SQL from an imperative aggregation loop and watch
+//! the round trips and data transfer drop.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use eqsql::prelude::*;
+
+fn main() {
+    // An application fragment: fetch all employees, filter and aggregate in
+    // imperative code. One query, but every row crosses the wire.
+    let src = r#"
+        fn engineeringPayroll(minSalary) {
+            rows = executeQuery("SELECT * FROM emp");
+            total = 0;
+            for (e in rows) {
+                if (e.dept == "eng") {
+                    if (e.salary >= minSalary) {
+                        total = total + e.salary;
+                    }
+                }
+            }
+            return total;
+        }
+    "#;
+    let program = eqsql::imp::parse_and_normalize(src).expect("source parses");
+
+    // Generate a database and hand its schema catalog to the extractor.
+    let db = eqsql::dbms::gen::gen_emp(10_000, 7);
+    let extractor = Extractor::new(db.catalog());
+    let report = extractor.extract_function(&program, "engineeringPayroll");
+
+    println!("=== extraction report ===");
+    for v in &report.vars {
+        println!("variable `{}`: {:?}", v.var, v.outcome);
+        for sql in &v.sql {
+            println!("  SQL: {sql}");
+        }
+    }
+    println!("\n=== rewritten program ===");
+    println!("{}", eqsql::imp::pretty_print(&report.program));
+
+    // Run both versions over the metered connection.
+    let args = vec![RtValue::int(100_000)];
+    let mut orig = Interp::new(&program, Connection::new(db.clone()));
+    let v1 = orig.call("engineeringPayroll", args.clone()).unwrap();
+    let mut new = Interp::new(&report.program, Connection::new(db));
+    let v2 = new.call("engineeringPayroll", args).unwrap();
+
+    println!("=== execution ===");
+    println!("original : result={v1}, rows fetched={}, bytes={}, sim {:.2} ms",
+        orig.conn.stats.rows, orig.conn.stats.bytes, orig.conn.stats.sim_ms());
+    println!("rewritten: result={v2}, rows fetched={}, bytes={}, sim {:.2} ms",
+        new.conn.stats.rows, new.conn.stats.bytes, new.conn.stats.sim_ms());
+    assert_eq!(format!("{v1}"), format!("{v2}"), "results must agree");
+    println!("\nspeedup (simulated): {:.1}x", orig.conn.stats.sim_ms() / new.conn.stats.sim_ms());
+}
