@@ -1,0 +1,16 @@
+#!/bin/sh
+# Local CI gate: formatting, lints, tests. Fails fast; run before pushing.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ok"

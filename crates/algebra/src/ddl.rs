@@ -25,11 +25,10 @@ pub fn parse_ddl(input: &str) -> Result<Catalog, SqlError> {
         if trimmed.is_empty() {
             continue;
         }
-        let schema = parse_create_table(trimmed)
-            .map_err(|mut e| {
-                e.offset += offset;
-                e
-            })?;
+        let schema = parse_create_table(trimmed).map_err(|mut e| {
+            e.offset += offset;
+            e
+        })?;
         catalog.add(schema);
     }
     Ok(catalog)
@@ -70,7 +69,10 @@ fn split_statements(input: &str) -> Vec<(usize, String)> {
 }
 
 fn err(message: impl Into<String>, offset: usize) -> SqlError {
-    SqlError { message: message.into(), offset }
+    SqlError {
+        message: message.into(),
+        offset,
+    }
 }
 
 fn parse_create_table(stmt: &str) -> Result<TableSchema, SqlError> {
@@ -81,7 +83,9 @@ fn parse_create_table(stmt: &str) -> Result<TableSchema, SqlError> {
         .and_then(|r| r.trim_start().strip_prefix("table"))
         .ok_or_else(|| err("expected CREATE TABLE", 0))?;
     let open = stmt.find('(').ok_or_else(|| err("expected '('", 0))?;
-    let close = stmt.rfind(')').ok_or_else(|| err("expected ')'", stmt.len()))?;
+    let close = stmt
+        .rfind(')')
+        .ok_or_else(|| err("expected ')'", stmt.len()))?;
     let name_region = rest.trim();
     let name: String = name_region
         .chars()
@@ -102,7 +106,10 @@ fn parse_create_table(stmt: &str) -> Result<TableSchema, SqlError> {
         let pl = part.to_ascii_lowercase();
         if let Some(cols) = pl.strip_prefix("primary key") {
             let cols = cols.trim().trim_start_matches('(').trim_end_matches(')');
-            key = cols.split(',').map(|c| c.trim().to_ascii_lowercase()).collect();
+            key = cols
+                .split(',')
+                .map(|c| c.trim().to_ascii_lowercase())
+                .collect();
             continue;
         }
         let mut tokens = part.split_whitespace();
@@ -114,7 +121,10 @@ fn parse_create_table(stmt: &str) -> Result<TableSchema, SqlError> {
             .next()
             .ok_or_else(|| err(format!("missing type for column {col_name}"), 0))?
             .to_ascii_lowercase();
-        let ty_word: String = ty_raw.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        let ty_word: String = ty_raw
+            .chars()
+            .take_while(|c| c.is_ascii_alphabetic())
+            .collect();
         let ty = match ty_word.as_str() {
             "int" | "integer" | "bigint" | "smallint" | "serial" => SqlType::Int,
             "double" | "float" | "real" | "numeric" | "decimal" => SqlType::Double,
@@ -128,7 +138,11 @@ fn parse_create_table(stmt: &str) -> Result<TableSchema, SqlError> {
         }
         columns.push(ColumnDef { name: col_name, ty });
     }
-    Ok(TableSchema { name: name.to_ascii_lowercase(), columns, key })
+    Ok(TableSchema {
+        name: name.to_ascii_lowercase(),
+        columns,
+        key,
+    })
 }
 
 fn split_top_level_commas(s: &str) -> Vec<&str> {
@@ -169,10 +183,9 @@ mod tests {
 
     #[test]
     fn parses_varchar_and_table_level_key() {
-        let c = parse_ddl(
-            "CREATE TABLE u (a VARCHAR(64), b INTEGER, c DOUBLE, PRIMARY KEY (a, b));",
-        )
-        .unwrap();
+        let c =
+            parse_ddl("CREATE TABLE u (a VARCHAR(64), b INTEGER, c DOUBLE, PRIMARY KEY (a, b));")
+                .unwrap();
         let t = c.get("u").unwrap();
         assert_eq!(t.key, vec!["a", "b"]);
         assert_eq!(t.columns[0].ty, SqlType::Text);

@@ -41,7 +41,11 @@ pub struct SqlError {
 
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -50,7 +54,11 @@ impl std::error::Error for SqlError {}
 /// Parse a SQL/HQL query string into relational algebra.
 pub fn parse_sql(input: &str) -> Result<RaExpr, SqlError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let q = p.query()?;
     p.expect_end()?;
     Ok(q)
@@ -96,7 +104,10 @@ fn lex(input: &str) -> Result<Vec<SpTok>, SqlError> {
                 {
                     j += 1;
                 }
-                toks.push(SpTok { tok: Tok::Ident(input[i..j].to_string()), offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Ident(input[i..j].to_string()),
+                    offset: start,
+                });
                 i = j;
             }
             '0'..='9' => {
@@ -105,7 +116,9 @@ fn lex(input: &str) -> Result<Vec<SpTok>, SqlError> {
                 while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
                     j += 1;
                 }
-                if j < bytes.len() && bytes[j] == b'.' && j + 1 < bytes.len()
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
                     && (bytes[j + 1] as char).is_ascii_digit()
                 {
                     is_float = true;
@@ -152,35 +165,59 @@ fn lex(input: &str) -> Result<Vec<SpTok>, SqlError> {
                         j += 1;
                     }
                 }
-                toks.push(SpTok { tok: Tok::Str(s), offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
                 i = j;
             }
             '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                toks.push(SpTok { tok: Tok::Le, offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Le,
+                    offset: start,
+                });
                 i += 2;
             }
             '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                toks.push(SpTok { tok: Tok::Ge, offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Ge,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                toks.push(SpTok { tok: Tok::Ne, offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                toks.push(SpTok { tok: Tok::Ne, offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
-                toks.push(SpTok { tok: Tok::PipePipe, offset: start });
+                toks.push(SpTok {
+                    tok: Tok::PipePipe,
+                    offset: start,
+                });
                 i += 2;
             }
             '?' => {
-                toks.push(SpTok { tok: Tok::Question, offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Question,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' | ',' | '(' | ')' | '.' | '=' | '<' | '>' | '+' | '-' | '/' | '%' => {
-                toks.push(SpTok { tok: Tok::Punct(c), offset: start });
+                toks.push(SpTok {
+                    tok: Tok::Punct(c),
+                    offset: start,
+                });
                 i += 1;
             }
             other => {
@@ -203,7 +240,10 @@ struct Parser {
 /// A select item before aggregate/projection splitting.
 enum Item {
     Star,
-    Expr { expr: ParsedExpr, alias: Option<String> },
+    Expr {
+        expr: ParsedExpr,
+        alias: Option<String>,
+    },
 }
 
 /// A parsed select expression: either a plain scalar or an aggregate call.
@@ -233,7 +273,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> SqlError {
-        SqlError { message: message.into(), offset: self.offset() }
+        SqlError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn at_kw(&self, kw: &str) -> bool {
@@ -300,7 +343,10 @@ impl Parser {
                 self.pos += 1;
                 self.expect_kw("apply")?;
                 let right = self.table_ref()?;
-                source = RaExpr::OuterApply { left: Box::new(source), right: Box::new(right) };
+                source = RaExpr::OuterApply {
+                    left: Box::new(source),
+                    right: Box::new(right),
+                };
                 continue;
             }
             if !(self.at_kw("join") || self.at_kw("inner") || self.at_kw("left")) {
@@ -325,7 +371,10 @@ impl Parser {
                 if cond != Scalar::Lit(Lit::Bool(true)) {
                     return Err(self.err("LATERAL joins must use ON TRUE"));
                 }
-                source = RaExpr::OuterApply { left: Box::new(source), right: Box::new(right) };
+                source = RaExpr::OuterApply {
+                    left: Box::new(source),
+                    right: Box::new(right),
+                };
                 continue;
             }
             let right = self.table_ref()?;
@@ -378,7 +427,15 @@ impl Parser {
         }
 
         // Split items into projections vs aggregates.
-        let has_agg = items.iter().any(|i| matches!(i, Item::Expr { expr: ParsedExpr::Agg(..), .. }));
+        let has_agg = items.iter().any(|i| {
+            matches!(
+                i,
+                Item::Expr {
+                    expr: ParsedExpr::Agg(..),
+                    ..
+                }
+            )
+        });
         let result = if has_agg || !group_keys.is_empty() {
             let mut gb = Vec::new();
             let mut aggs = Vec::new();
@@ -392,13 +449,11 @@ impl Parser {
                         n += 1;
                         match expr {
                             ParsedExpr::Scalar(s) => {
-                                let alias =
-                                    alias.clone().unwrap_or_else(|| default_alias(s, n));
+                                let alias = alias.clone().unwrap_or_else(|| default_alias(s, n));
                                 gb.push(ProjItem::new(s.clone(), alias));
                             }
                             ParsedExpr::Agg(f, arg) => {
-                                let alias =
-                                    alias.clone().unwrap_or_else(|| format!("col{n}"));
+                                let alias = alias.clone().unwrap_or_else(|| format!("col{n}"));
                                 aggs.push(AggCall::new(*f, arg.clone(), alias));
                             }
                         }
@@ -416,7 +471,11 @@ impl Parser {
                 // Keep the select-list order/aliases for the group keys.
                 gb
             };
-            RaExpr::Aggregate { input: Box::new(source), group_by, aggs }
+            RaExpr::Aggregate {
+                input: Box::new(source),
+                group_by,
+                aggs,
+            }
         } else {
             let is_star = items.len() == 1 && matches!(items[0], Item::Star);
             // ORDER BY may reference either source columns (sort below the
@@ -514,7 +573,10 @@ impl Parser {
         // Aggregate call at top level of a select item?
         if let Some(Tok::Ident(name)) = self.peek() {
             if let Some(f) = agg_func(name) {
-                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.tok),
+                    Some(Tok::Punct('('))
+                ) {
                     self.pos += 2;
                     let arg = if matches!(self.peek(), Some(Tok::Punct('*'))) {
                         self.pos += 1;
@@ -544,7 +606,10 @@ impl Parser {
                 None
             };
             return Ok(match alias {
-                Some(a) => RaExpr::Aliased { input: Box::new(inner), alias: a },
+                Some(a) => RaExpr::Aliased {
+                    input: Box::new(inner),
+                    alias: a,
+                },
                 None => inner,
             });
         }
@@ -556,7 +621,10 @@ impl Parser {
         } else {
             None
         };
-        Ok(RaExpr::Table { name: name.to_ascii_lowercase(), alias })
+        Ok(RaExpr::Table {
+            name: name.to_ascii_lowercase(),
+            alias,
+        })
     }
 
     // Precedence climbing: or < and < not < cmp < add < mul < unary.
@@ -610,7 +678,11 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            let op = if negated { UnOp::IsNotNull } else { UnOp::IsNull };
+            let op = if negated {
+                UnOp::IsNotNull
+            } else {
+                UnOp::IsNull
+            };
             return Ok(Scalar::Un(op, Box::new(lhs)));
         }
         Ok(lhs)
@@ -755,17 +827,47 @@ impl Parser {
         self.expect_kw("else")?;
         let otherwise = self.expr()?;
         self.expect_kw("end")?;
-        Ok(Scalar::Case { arms, otherwise: Box::new(otherwise) })
+        Ok(Scalar::Case {
+            arms,
+            otherwise: Box::new(otherwise),
+        })
     }
 }
 
 fn is_keyword(s: &str) -> bool {
     matches!(
         s.to_ascii_lowercase().as_str(),
-        "select" | "from" | "where" | "group" | "order" | "by" | "join" | "inner" | "left"
-            | "outer" | "on" | "and" | "or" | "not" | "as" | "distinct" | "asc" | "desc"
-            | "is" | "null" | "limit" | "lateral" | "apply" | "exists" | "case" | "when"
-            | "then" | "else" | "end" | "union" | "all"
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "order"
+            | "by"
+            | "join"
+            | "inner"
+            | "left"
+            | "outer"
+            | "on"
+            | "and"
+            | "or"
+            | "not"
+            | "as"
+            | "distinct"
+            | "asc"
+            | "desc"
+            | "is"
+            | "null"
+            | "limit"
+            | "lateral"
+            | "apply"
+            | "exists"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "union"
+            | "all"
     )
 }
 

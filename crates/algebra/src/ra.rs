@@ -65,7 +65,11 @@ pub struct AggCall {
 impl AggCall {
     /// Build an aggregate call.
     pub fn new(func: AggFunc, arg: Scalar, alias: impl Into<String>) -> Self {
-        AggCall { func, arg, alias: alias.into() }
+        AggCall {
+            func,
+            arg,
+            alias: alias.into(),
+        }
     }
 }
 
@@ -99,12 +103,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending sort on an expression.
     pub fn asc(expr: Scalar) -> Self {
-        SortKey { expr, order: SortOrder::Asc }
+        SortKey {
+            expr,
+            order: SortOrder::Asc,
+        }
     }
 
     /// Descending sort on an expression.
     pub fn desc(expr: Scalar) -> Self {
-        SortKey { expr, order: SortOrder::Desc }
+        SortKey {
+            expr,
+            order: SortOrder::Desc,
+        }
     }
 }
 
@@ -120,12 +130,18 @@ pub struct ProjItem {
 impl ProjItem {
     /// Build a projection item.
     pub fn new(expr: Scalar, alias: impl Into<String>) -> Self {
-        ProjItem { expr, alias: alias.into() }
+        ProjItem {
+            expr,
+            alias: alias.into(),
+        }
     }
 
     /// Project a plain column under its own name.
     pub fn col(name: &str) -> Self {
-        ProjItem { expr: Scalar::col(name), alias: name.to_string() }
+        ProjItem {
+            expr: Scalar::col(name),
+            alias: name.to_string(),
+        }
     }
 }
 
@@ -225,27 +241,44 @@ pub enum RaExpr {
 impl RaExpr {
     /// Scan a base table under its own name.
     pub fn table(name: impl Into<String>) -> Self {
-        RaExpr::Table { name: name.into(), alias: None }
+        RaExpr::Table {
+            name: name.into(),
+            alias: None,
+        }
     }
 
     /// Scan a base table under an alias.
     pub fn table_as(name: impl Into<String>, alias: impl Into<String>) -> Self {
-        RaExpr::Table { name: name.into(), alias: Some(alias.into()) }
+        RaExpr::Table {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
     }
 
     /// σ over this relation (merging with `TRUE` handled by `Scalar::and`).
     pub fn select(self, pred: Scalar) -> Self {
-        RaExpr::Select { input: Box::new(self), pred }
+        RaExpr::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// π over this relation.
     pub fn project(self, items: Vec<ProjItem>) -> Self {
-        RaExpr::Project { input: Box::new(self), items }
+        RaExpr::Project {
+            input: Box::new(self),
+            items,
+        }
     }
 
     /// Inner join.
     pub fn join(self, right: RaExpr, pred: Scalar) -> Self {
-        RaExpr::Join { left: Box::new(self), right: Box::new(right), pred, kind: JoinKind::Inner }
+        RaExpr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+            kind: JoinKind::Inner,
+        }
     }
 
     /// Left outer join.
@@ -260,37 +293,59 @@ impl RaExpr {
 
     /// `OUTER APPLY` with a correlated right side.
     pub fn outer_apply(self, right: RaExpr) -> Self {
-        RaExpr::OuterApply { left: Box::new(self), right: Box::new(right) }
+        RaExpr::OuterApply {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// γ with no grouping (single-row aggregate).
     pub fn aggregate(self, aggs: Vec<AggCall>) -> Self {
-        RaExpr::Aggregate { input: Box::new(self), group_by: Vec::new(), aggs }
+        RaExpr::Aggregate {
+            input: Box::new(self),
+            group_by: Vec::new(),
+            aggs,
+        }
     }
 
     /// γ with grouping.
     pub fn group_by(self, group_by: Vec<ProjItem>, aggs: Vec<AggCall>) -> Self {
-        RaExpr::Aggregate { input: Box::new(self), group_by, aggs }
+        RaExpr::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// τ over this relation.
     pub fn sort(self, keys: Vec<SortKey>) -> Self {
-        RaExpr::Sort { input: Box::new(self), keys }
+        RaExpr::Sort {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     /// δ over this relation.
     pub fn dedup(self) -> Self {
-        RaExpr::Dedup { input: Box::new(self) }
+        RaExpr::Dedup {
+            input: Box::new(self),
+        }
     }
 
     /// `LIMIT count` over this relation.
     pub fn limit(self, count: u64) -> Self {
-        RaExpr::Limit { input: Box::new(self), count }
+        RaExpr::Limit {
+            input: Box::new(self),
+            count,
+        }
     }
 
     /// Requalify this relation's columns under `alias`.
     pub fn aliased(self, alias: impl Into<String>) -> Self {
-        RaExpr::Aliased { input: Box::new(self), alias: alias.into() }
+        RaExpr::Aliased {
+            input: Box::new(self),
+            alias: alias.into(),
+        }
     }
 
     /// The alias under which a `Table` node's columns are visible.
@@ -313,9 +368,7 @@ impl RaExpr {
             | RaExpr::Dedup { input }
             | RaExpr::Limit { input, .. }
             | RaExpr::Aliased { input, .. } => input.output_columns(catalog),
-            RaExpr::Project { items, .. } => {
-                Some(items.iter().map(|i| i.alias.clone()).collect())
-            }
+            RaExpr::Project { items, .. } => Some(items.iter().map(|i| i.alias.clone()).collect()),
             RaExpr::Join { left, right, .. } | RaExpr::OuterApply { left, right } => {
                 let mut cols = left.output_columns(catalog)?;
                 cols.extend(right.output_columns(catalog)?);
@@ -376,7 +429,12 @@ impl RaExpr {
                     .map(|i| ProjItem::new(i.expr.substitute_params(subs), i.alias.clone()))
                     .collect(),
             },
-            RaExpr::Join { left, right, pred, kind } => RaExpr::Join {
+            RaExpr::Join {
+                left,
+                right,
+                pred,
+                kind,
+            } => RaExpr::Join {
                 left: Box::new(left.substitute_params(subs)),
                 right: Box::new(right.substitute_params(subs)),
                 pred: pred.substitute_params(subs),
@@ -386,7 +444,11 @@ impl RaExpr {
                 left: Box::new(left.substitute_params(subs)),
                 right: Box::new(right.substitute_params(subs)),
             },
-            RaExpr::Aggregate { input, group_by, aggs } => RaExpr::Aggregate {
+            RaExpr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => RaExpr::Aggregate {
                 input: Box::new(input.substitute_params(subs)),
                 group_by: group_by
                     .iter()
@@ -401,15 +463,19 @@ impl RaExpr {
                 input: Box::new(input.substitute_params(subs)),
                 keys: keys
                     .iter()
-                    .map(|k| SortKey { expr: k.expr.substitute_params(subs), order: k.order })
+                    .map(|k| SortKey {
+                        expr: k.expr.substitute_params(subs),
+                        order: k.order,
+                    })
                     .collect(),
             },
-            RaExpr::Dedup { input } => {
-                RaExpr::Dedup { input: Box::new(input.substitute_params(subs)) }
-            }
-            RaExpr::Limit { input, count } => {
-                RaExpr::Limit { input: Box::new(input.substitute_params(subs)), count: *count }
-            }
+            RaExpr::Dedup { input } => RaExpr::Dedup {
+                input: Box::new(input.substitute_params(subs)),
+            },
+            RaExpr::Limit { input, count } => RaExpr::Limit {
+                input: Box::new(input.substitute_params(subs)),
+                count: *count,
+            },
             RaExpr::Aliased { input, alias } => RaExpr::Aliased {
                 input: Box::new(input.substitute_params(subs)),
                 alias: alias.clone(),
@@ -485,7 +551,9 @@ impl fmt::Display for RaExpr {
                 let cols: Vec<String> = items.iter().map(|i| i.alias.clone()).collect();
                 write!(f, "π[{}]({input})", cols.join(","))
             }
-            RaExpr::Join { left, right, kind, .. } => {
+            RaExpr::Join {
+                left, right, kind, ..
+            } => {
                 let op = match kind {
                     JoinKind::Inner => "⨝",
                     JoinKind::LeftOuter => "⟕",
@@ -493,10 +561,16 @@ impl fmt::Display for RaExpr {
                 write!(f, "({left} {op} {right})")
             }
             RaExpr::OuterApply { left, right } => write!(f, "({left} OApply {right})"),
-            RaExpr::Aggregate { input, group_by, aggs } => {
+            RaExpr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let g: Vec<String> = group_by.iter().map(|x| x.alias.clone()).collect();
-                let a: Vec<String> =
-                    aggs.iter().map(|x| format!("{}({:?})", x.func.sql(), x.arg)).collect();
+                let a: Vec<String> = aggs
+                    .iter()
+                    .map(|x| format!("{}({:?})", x.func.sql(), x.arg))
+                    .collect();
                 write!(f, "γ[{}; {}]({input})", g.join(","), a.join(","))
             }
             RaExpr::Sort { input, .. } => write!(f, "τ({input})"),
@@ -524,7 +598,9 @@ mod tests {
 
     fn catalog() -> Catalog {
         Catalog::new()
-            .with(TableSchema::new("t", &[("a", SqlType::Int), ("b", SqlType::Int)]).with_key(&["a"]))
+            .with(
+                TableSchema::new("t", &[("a", SqlType::Int), ("b", SqlType::Int)]).with_key(&["a"]),
+            )
             .with(TableSchema::new("u", &[("c", SqlType::Int)]))
     }
 
@@ -548,9 +624,14 @@ mod tests {
 
     #[test]
     fn output_columns_aggregate() {
-        let e = RaExpr::table("t")
-            .group_by(vec![ProjItem::col("a")], vec![AggCall::new(AggFunc::Sum, Scalar::col("b"), "s")]);
-        assert_eq!(e.output_columns(&catalog()), Some(vec!["a".into(), "s".into()]));
+        let e = RaExpr::table("t").group_by(
+            vec![ProjItem::col("a")],
+            vec![AggCall::new(AggFunc::Sum, Scalar::col("b"), "s")],
+        );
+        assert_eq!(
+            e.output_columns(&catalog()),
+            Some(vec!["a".into(), "s".into()])
+        );
     }
 
     #[test]
@@ -560,24 +641,36 @@ mod tests {
 
     #[test]
     fn base_tables_walks_joins() {
-        let e = RaExpr::table("t").join(RaExpr::table("u"), Scalar::bool(true)).dedup();
+        let e = RaExpr::table("t")
+            .join(RaExpr::table("u"), Scalar::bool(true))
+            .dedup();
         assert_eq!(e.base_tables(), vec!["t", "u"]);
     }
 
     #[test]
     fn order_determinism() {
-        assert!(RaExpr::table("t").select(Scalar::bool(true)).is_order_deterministic());
-        assert!(!RaExpr::table("t").join(RaExpr::table("u"), Scalar::bool(true)).is_order_deterministic());
-        assert!(!RaExpr::table("t").aggregate(vec![]).is_order_deterministic());
+        assert!(RaExpr::table("t")
+            .select(Scalar::bool(true))
+            .is_order_deterministic());
+        assert!(!RaExpr::table("t")
+            .join(RaExpr::table("u"), Scalar::bool(true))
+            .is_order_deterministic());
+        assert!(!RaExpr::table("t")
+            .aggregate(vec![])
+            .is_order_deterministic());
     }
 
     #[test]
     fn substitute_params_in_select() {
-        let e = RaExpr::table("t").select(Scalar::cmp(BinOp::Eq, Scalar::col("a"), Scalar::Param(0)));
+        let e =
+            RaExpr::table("t").select(Scalar::cmp(BinOp::Eq, Scalar::col("a"), Scalar::Param(0)));
         let out = e.substitute_params(&[Scalar::int(5)]);
         match out {
             RaExpr::Select { pred, .. } => {
-                assert_eq!(pred, Scalar::cmp(BinOp::Eq, Scalar::col("a"), Scalar::int(5)));
+                assert_eq!(
+                    pred,
+                    Scalar::cmp(BinOp::Eq, Scalar::col("a"), Scalar::int(5))
+                );
             }
             _ => panic!("expected select"),
         }

@@ -14,7 +14,11 @@ use crate::scalar::{Scalar, ScalarFunc, UnOp};
 
 /// Render a relational algebra expression to a SQL `SELECT` statement.
 pub fn to_sql(expr: &RaExpr, dialect: Dialect) -> String {
-    let mut ctx = Ctx { dialect, next_alias: 0, tag_params: false };
+    let mut ctx = Ctx {
+        dialect,
+        next_alias: 0,
+        tag_params: false,
+    };
     let block = ctx.block(expr);
     ctx.render_block(&block)
 }
@@ -26,7 +30,11 @@ pub fn to_sql(expr: &RaExpr, dialect: Dialect) -> String {
 /// numbers `?` placeholders left to right — this function lets the rewriter
 /// pass `executeQuery` arguments in exactly that order.
 pub fn to_sql_with_params(expr: &RaExpr, dialect: Dialect) -> (String, Vec<usize>) {
-    let mut ctx = Ctx { dialect, next_alias: 0, tag_params: true };
+    let mut ctx = Ctx {
+        dialect,
+        next_alias: 0,
+        tag_params: true,
+    };
     let block = ctx.block(expr);
     let tagged = ctx.render_block(&block);
     untag_params(&tagged)
@@ -51,7 +59,11 @@ fn untag_params(tagged: &str) -> (String, Vec<usize>) {
 
 /// Render a scalar expression to SQL.
 pub fn scalar_to_sql(expr: &Scalar, dialect: Dialect) -> String {
-    let mut ctx = Ctx { dialect, next_alias: 0, tag_params: false };
+    let mut ctx = Ctx {
+        dialect,
+        next_alias: 0,
+        tag_params: false,
+    };
     ctx.scalar(expr)
 }
 
@@ -108,9 +120,10 @@ impl Ctx {
 
     fn block(&mut self, expr: &RaExpr) -> Block {
         match expr {
-            RaExpr::Table { name, alias } => {
-                Block::fresh(FromItem::Table { name: name.clone(), alias: alias.clone() })
-            }
+            RaExpr::Table { name, alias } => Block::fresh(FromItem::Table {
+                name: name.clone(),
+                alias: alias.clone(),
+            }),
             RaExpr::Values { columns, rows } => {
                 let mut sql = String::from("SELECT ");
                 // Render VALUES as a UNION ALL of selects for maximal dialect
@@ -142,8 +155,7 @@ impl Ctx {
             RaExpr::Select { input, pred } => {
                 let mut b = self.block(input);
                 // σ over γ/δ/τ would change semantics if merged: wrap.
-                if b.group_by.is_some() || b.distinct || !b.order_by.is_empty()
-                    || b.limit.is_some()
+                if b.group_by.is_some() || b.distinct || !b.order_by.is_empty() || b.limit.is_some()
                 {
                     b = self.wrap(b);
                 }
@@ -167,7 +179,12 @@ impl Ctx {
                 );
                 b
             }
-            RaExpr::Join { left, right, pred, kind } => {
+            RaExpr::Join {
+                left,
+                right,
+                pred,
+                kind,
+            } => {
                 let mut lb = self.block(left);
                 if !is_plain(&lb) {
                     lb = self.wrap(lb);
@@ -186,10 +203,13 @@ impl Ctx {
                 lb.joins.push((JoinStyle::Lateral, rf));
                 lb
             }
-            RaExpr::Aggregate { input, group_by, aggs } => {
+            RaExpr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let mut b = self.block(input);
-                if b.select.is_some() || b.group_by.is_some() || b.distinct || b.limit.is_some()
-                {
+                if b.select.is_some() || b.group_by.is_some() || b.distinct || b.limit.is_some() {
                     b = self.wrap(b);
                 }
                 let mut select = Vec::new();
@@ -204,7 +224,11 @@ impl Ctx {
                     select.push((format!("{}({arg})", a.func.sql()), a.alias.clone()));
                 }
                 b.select = Some(select);
-                b.group_by = if keys.is_empty() { Some(Vec::new()) } else { Some(keys) };
+                b.group_by = if keys.is_empty() {
+                    Some(Vec::new())
+                } else {
+                    Some(keys)
+                };
                 b
             }
             RaExpr::Sort { input, keys } => {
@@ -243,34 +267,47 @@ impl Ctx {
             RaExpr::Aliased { input, alias } => {
                 let inner = self.block(input);
                 let sql = self.render_block(&inner);
-                Block::fresh(FromItem::Derived { sql, alias: alias.clone() })
+                Block::fresh(FromItem::Derived {
+                    sql,
+                    alias: alias.clone(),
+                })
             }
         }
     }
 
     fn as_from_item(&mut self, expr: &RaExpr) -> FromItem {
         match expr {
-            RaExpr::Table { name, alias } => {
-                FromItem::Table { name: name.clone(), alias: alias.clone() }
-            }
+            RaExpr::Table { name, alias } => FromItem::Table {
+                name: name.clone(),
+                alias: alias.clone(),
+            },
             RaExpr::Aliased { input, alias } => {
                 // The alias is the binding other parts of the query use —
                 // keep it rather than inventing a fresh one.
                 let b = self.block(input);
                 let sql = self.render_block(&b);
-                FromItem::Derived { sql, alias: alias.clone() }
+                FromItem::Derived {
+                    sql,
+                    alias: alias.clone(),
+                }
             }
             other => {
                 let b = self.block(other);
                 let sql = self.render_block(&b);
-                FromItem::Derived { sql, alias: self.fresh_alias() }
+                FromItem::Derived {
+                    sql,
+                    alias: self.fresh_alias(),
+                }
             }
         }
     }
 
     fn wrap(&mut self, b: Block) -> Block {
         let sql = self.render_block(&b);
-        Block::fresh(FromItem::Derived { sql, alias: self.fresh_alias() })
+        Block::fresh(FromItem::Derived {
+            sql,
+            alias: self.fresh_alias(),
+        })
     }
 
     fn render_from_item(&self, item: &FromItem) -> String {
@@ -374,14 +411,20 @@ impl Ctx {
                 out
             }
             Scalar::Exists(q) => {
-                let mut ctx =
-                    Ctx { dialect: self.dialect, next_alias: 0, tag_params: self.tag_params };
+                let mut ctx = Ctx {
+                    dialect: self.dialect,
+                    next_alias: 0,
+                    tag_params: self.tag_params,
+                };
                 let block = ctx.block(q);
                 format!("EXISTS ({})", ctx.render_block(&block))
             }
             Scalar::Subquery(q) => {
-                let mut ctx =
-                    Ctx { dialect: self.dialect, next_alias: 0, tag_params: self.tag_params };
+                let mut ctx = Ctx {
+                    dialect: self.dialect,
+                    next_alias: 0,
+                    tag_params: self.tag_params,
+                };
                 let block = ctx.block(q);
                 format!("({})", ctx.render_block(&block))
             }
@@ -393,7 +436,11 @@ impl Ctx {
         match f {
             ScalarFunc::Greatest | ScalarFunc::Least if !self.dialect.has_greatest() => {
                 // CASE WHEN chain, per paper footnote 2.
-                let op = if f == ScalarFunc::Greatest { ">=" } else { "<=" };
+                let op = if f == ScalarFunc::Greatest {
+                    ">="
+                } else {
+                    "<="
+                };
                 rendered
                     .iter()
                     .cloned()
@@ -457,7 +504,12 @@ mod tests {
         let inner = q().project(vec![ProjItem::new(
             Scalar::Func(
                 ScalarFunc::Greatest,
-                vec![Scalar::col("p1"), Scalar::col("p2"), Scalar::col("p3"), Scalar::col("p4")],
+                vec![
+                    Scalar::col("p1"),
+                    Scalar::col("p2"),
+                    Scalar::col("p3"),
+                    Scalar::col("p4"),
+                ],
             ),
             "score",
         )]);
@@ -472,7 +524,10 @@ mod tests {
 
     #[test]
     fn greatest_becomes_case_when_on_sqlserver() {
-        let e = Scalar::Func(ScalarFunc::Greatest, vec![Scalar::col("a"), Scalar::col("b")]);
+        let e = Scalar::Func(
+            ScalarFunc::Greatest,
+            vec![Scalar::col("a"), Scalar::col("b")],
+        );
         let sql = scalar_to_sql(&e, Dialect::SqlServer);
         assert_eq!(sql, "(CASE WHEN a >= b THEN a ELSE b END)");
     }
@@ -481,7 +536,10 @@ mod tests {
     fn join_renders_on_clause() {
         let e = RaExpr::table_as("wilos_user", "u").join(
             RaExpr::table_as("role", "r"),
-            crate::ra::eq_join(ColRef::qualified("u", "role_id"), ColRef::qualified("r", "id")),
+            crate::ra::eq_join(
+                ColRef::qualified("u", "role_id"),
+                ColRef::qualified("r", "id"),
+            ),
         );
         assert_eq!(
             to_sql(&e, Dialect::Postgres),
@@ -515,13 +573,19 @@ mod tests {
             vec![ProjItem::col("g")],
             vec![AggCall::new(AggFunc::Sum, Scalar::col("x"), "s")],
         );
-        assert_eq!(to_sql(&e, Dialect::Postgres), "SELECT g, SUM(x) AS s FROM t GROUP BY g");
+        assert_eq!(
+            to_sql(&e, Dialect::Postgres),
+            "SELECT g, SUM(x) AS s FROM t GROUP BY g"
+        );
     }
 
     #[test]
     fn sort_renders_order_by() {
         let e = RaExpr::table("t").sort(vec![SortKey::desc(Scalar::col("x"))]);
-        assert_eq!(to_sql(&e, Dialect::Postgres), "SELECT * FROM t ORDER BY x DESC");
+        assert_eq!(
+            to_sql(&e, Dialect::Postgres),
+            "SELECT * FROM t ORDER BY x DESC"
+        );
     }
 
     #[test]
@@ -530,16 +594,16 @@ mod tests {
             .aggregate(vec![AggCall::new(AggFunc::Count, Scalar::int(1), "c")])
             .select(Scalar::cmp(BinOp::Gt, Scalar::col("c"), Scalar::int(0)));
         let sql = to_sql(&e, Dialect::Postgres);
-        assert_eq!(sql, "SELECT * FROM (SELECT COUNT(1) AS c FROM t) AS sq1 WHERE (c > 0)");
+        assert_eq!(
+            sql,
+            "SELECT * FROM (SELECT COUNT(1) AS c FROM t) AS sq1 WHERE (c > 0)"
+        );
     }
 
     #[test]
     fn exists_subquery() {
-        let sub = RaExpr::table("r").select(Scalar::cmp(
-            BinOp::Eq,
-            Scalar::col("x"),
-            Scalar::Param(0),
-        ));
+        let sub =
+            RaExpr::table("r").select(Scalar::cmp(BinOp::Eq, Scalar::col("x"), Scalar::Param(0)));
         let e = Scalar::Exists(Box::new(sub));
         assert_eq!(
             scalar_to_sql(&e, Dialect::Postgres),
@@ -549,8 +613,12 @@ mod tests {
 
     #[test]
     fn params_render_as_placeholders() {
-        let e = RaExpr::table("t").select(Scalar::cmp(BinOp::Eq, Scalar::col("a"), Scalar::Param(0)));
-        assert_eq!(to_sql(&e, Dialect::Postgres), "SELECT * FROM t WHERE (a = ?)");
+        let e =
+            RaExpr::table("t").select(Scalar::cmp(BinOp::Eq, Scalar::col("a"), Scalar::Param(0)));
+        assert_eq!(
+            to_sql(&e, Dialect::Postgres),
+            "SELECT * FROM t WHERE (a = ?)"
+        );
     }
 
     #[test]

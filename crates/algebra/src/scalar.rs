@@ -89,12 +89,18 @@ pub struct ColRef {
 impl ColRef {
     /// An unqualified column reference.
     pub fn new(column: impl Into<String>) -> Self {
-        ColRef { qualifier: None, column: column.into() }
+        ColRef {
+            qualifier: None,
+            column: column.into(),
+        }
     }
 
     /// A qualified column reference `qualifier.column`.
     pub fn qualified(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
-        ColRef { qualifier: Some(qualifier.into()), column: column.into() }
+        ColRef {
+            qualifier: Some(qualifier.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -141,7 +147,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators returning a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// The SQL spelling of the operator.
@@ -435,7 +444,11 @@ mod tests {
         let e = Scalar::cmp(
             BinOp::Lt,
             Scalar::qcol("t", "a"),
-            Scalar::Bin(BinOp::Add, Box::new(Scalar::col("b")), Box::new(Scalar::int(1))),
+            Scalar::Bin(
+                BinOp::Add,
+                Box::new(Scalar::col("b")),
+                Box::new(Scalar::int(1)),
+            ),
         );
         let cols = e.columns();
         assert_eq!(cols.len(), 2);
@@ -447,7 +460,10 @@ mod tests {
     fn substitute_params_replaces_in_place() {
         let e = Scalar::cmp(BinOp::Eq, Scalar::col("id"), Scalar::Param(0));
         let out = e.substitute_params(&[Scalar::int(7)]);
-        assert_eq!(out, Scalar::cmp(BinOp::Eq, Scalar::col("id"), Scalar::int(7)));
+        assert_eq!(
+            out,
+            Scalar::cmp(BinOp::Eq, Scalar::col("id"), Scalar::int(7))
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl TableSchema {
             name: name.into(),
             columns: cols
                 .iter()
-                .map(|(n, t)| ColumnDef { name: (*n).to_string(), ty: *t })
+                .map(|(n, t)| ColumnDef {
+                    name: (*n).to_string(),
+                    ty: *t,
+                })
                 .collect(),
             key: Vec::new(),
         }
@@ -176,7 +179,10 @@ mod tests {
     fn catalog_replaces_same_name() {
         let mut c = Catalog::new();
         c.add(TableSchema::new("t", &[("a", SqlType::Int)]));
-        c.add(TableSchema::new("t", &[("a", SqlType::Int), ("b", SqlType::Text)]));
+        c.add(TableSchema::new(
+            "t",
+            &[("a", SqlType::Int), ("b", SqlType::Text)],
+        ));
         assert_eq!(c.get("t").unwrap().columns.len(), 2);
         assert_eq!(c.len(), 1);
     }

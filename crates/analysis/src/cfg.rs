@@ -80,14 +80,20 @@ impl Cfg {
         if b.blocks[end.0].terminator.is_none() {
             b.blocks[end.0].terminator = Some(Terminator::End);
         }
-        Cfg { blocks: b.blocks, start, end: BlockId(1) }
+        Cfg {
+            blocks: b.blocks,
+            start,
+            end: BlockId(1),
+        }
     }
 
     /// Successor block ids of `id`.
     pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
         match &self.blocks[id.0].terminator {
             Some(Terminator::Goto(t)) => vec![*t],
-            Some(Terminator::Branch { then_to, else_to, .. }) => vec![*then_to, *else_to],
+            Some(Terminator::Branch {
+                then_to, else_to, ..
+            }) => vec![*then_to, *else_to],
             Some(Terminator::ForDispatch { body, exit, .. }) => vec![*body, *exit],
             Some(Terminator::Return(_)) => vec![self.end],
             Some(Terminator::End) | None => vec![],
@@ -171,7 +177,11 @@ impl Builder {
                     self.blocks[current.0].stmts.push(s.id);
                     self.blocks[current.0].terminator = Some(Terminator::Goto(fn_end));
                 }
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     let then_b = self.new_block();
                     let else_b = self.new_block();
                     let join = self.new_block();
@@ -190,7 +200,11 @@ impl Builder {
                     }
                     current = join;
                 }
-                StmtKind::ForEach { var, iterable, body } => {
+                StmtKind::ForEach {
+                    var,
+                    iterable,
+                    body,
+                } => {
                     let header = self.new_block();
                     let body_b = self.new_block();
                     let exit = self.new_block();
@@ -253,7 +267,9 @@ mod tests {
     fn if_creates_diamond() {
         let c = cfg_of("fn f() { if (x > 0) { y = 1; } else { y = 2; } z = y; }");
         match &c.blocks[c.start.0].terminator {
-            Some(Terminator::Branch { then_to, else_to, .. }) => {
+            Some(Terminator::Branch {
+                then_to, else_to, ..
+            }) => {
                 let then_succ = c.successors(*then_to);
                 let else_succ = c.successors(*else_to);
                 assert_eq!(then_succ, else_succ, "both arms join");
@@ -294,7 +310,10 @@ mod tests {
     fn return_goes_to_end() {
         let c = cfg_of("fn f() { return 1; }");
         assert_eq!(c.successors(c.start), vec![c.end]);
-        assert!(matches!(c.blocks[c.start.0].terminator, Some(Terminator::Return(_))));
+        assert!(matches!(
+            c.blocks[c.start.0].terminator,
+            Some(Terminator::Return(_))
+        ));
     }
 
     #[test]

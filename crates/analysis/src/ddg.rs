@@ -145,7 +145,11 @@ impl Ddg {
                 }
             }
         }
-        Ddg { atoms, edges, cursor_var: cursor_var.to_string() }
+        Ddg {
+            atoms,
+            edges,
+            cursor_var: cursor_var.to_string(),
+        }
     }
 
     /// Atom lookup by statement id.
@@ -168,7 +172,20 @@ impl Ddg {
     /// single external write inside the body creates an external dependence
     /// (paper P3).
     pub fn external_write_within(&self, scope: &BTreeSet<StmtId>) -> bool {
-        self.atoms.iter().any(|a| scope.contains(&a.id) && a.ext_write)
+        self.atoms
+            .iter()
+            .any(|a| scope.contains(&a.id) && a.ext_write)
+    }
+
+    /// Statement ids (in body order) of atoms in `scope` that write an
+    /// external location — the witnesses behind a P3 failure, used to
+    /// anchor diagnostics at the offending statements.
+    pub fn external_writers_within(&self, scope: &BTreeSet<StmtId>) -> Vec<StmtId> {
+        self.atoms
+            .iter()
+            .filter(|a| scope.contains(&a.id) && a.ext_write)
+            .map(|a| a.id)
+            .collect()
     }
 
     /// Statement ids of atoms that define `var`.
@@ -203,7 +220,11 @@ fn flatten(
             continue;
         }
         match &s.kind {
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut inner_ctl = control_uses.clone();
                 let mut cond_du = DefUse::default();
                 // Conditions only read.
@@ -293,7 +314,11 @@ fn nested_cursors(s: &Stmt) -> Vec<String> {
                     rec(inner, out);
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 for inner in then_branch.stmts.iter().chain(&else_branch.stmts) {
                     rec(inner, out);
                 }
@@ -358,9 +383,8 @@ mod tests {
     #[test]
     fn figure7_dummy_val_has_two_lcfds() {
         // Paper Fig. 7: dummyVal depends on agg, both are accumulated.
-        let (ddg, stmts) = ddg_of(
-            "fn f() { for (t in q) { agg = agg + t.x; dummyVal = dummyVal * 2 + agg; } }",
-        );
+        let (ddg, stmts) =
+            ddg_of("fn f() { for (t in q) { agg = agg + t.x; dummyVal = dummyVal * 2 + agg; } }");
         let scope: BTreeSet<StmtId> = stmts.iter().map(|s| s.id).collect();
         let lcfd = ddg.lcfd_within(&scope);
         // agg→agg self, dummy→dummy self, and dummy reads agg written after?
@@ -375,7 +399,11 @@ mod tests {
     #[test]
     fn straight_flow_edge_exists() {
         let (ddg, stmts) = ddg_of("fn f() { for (t in q) { x = t.a; y = x + 1; } }");
-        let flow: Vec<_> = ddg.edges.iter().filter(|e| e.kind == DepKind::Flow).collect();
+        let flow: Vec<_> = ddg
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow)
+            .collect();
         assert!(flow
             .iter()
             .any(|e| e.writer == stmts[0].id && e.reader == stmts[1].id && e.var == "x"));
@@ -388,9 +416,8 @@ mod tests {
 
     #[test]
     fn conditional_update_reads_condition_vars() {
-        let (ddg, _) = ddg_of(
-            "fn f() { for (t in q) { if (t.score > best) { best = t.score; } } }",
-        );
+        let (ddg, _) =
+            ddg_of("fn f() { for (t in q) { if (t.score > best) { best = t.score; } } }");
         // The nested assign atom must use `best` via the condition.
         let atom = ddg.atoms.iter().find(|a| a.defs.contains("best")).unwrap();
         assert!(atom.uses.contains("best"));
@@ -399,9 +426,8 @@ mod tests {
 
     #[test]
     fn external_write_detected() {
-        let (ddg, stmts) = ddg_of(
-            r#"fn f() { for (t in q) { executeUpdate("DELETE FROM log"); s = s + t.x; } }"#,
-        );
+        let (ddg, stmts) =
+            ddg_of(r#"fn f() { for (t in q) { executeUpdate("DELETE FROM log"); s = s + t.x; } }"#);
         let all: BTreeSet<StmtId> = stmts.iter().map(|s| s.id).collect();
         assert!(ddg.external_write_within(&all));
         let only_s: BTreeSet<StmtId> = [stmts[1].id].into();

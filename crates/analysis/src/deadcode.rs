@@ -37,7 +37,11 @@ fn sweep_block(b: &mut Block, live: &Liveness) -> usize {
     // First recurse so emptied bodies can be detected below.
     for s in &mut b.stmts {
         match &mut s.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 removed += sweep_block(then_branch, live);
                 removed += sweep_block(else_branch, live);
             }
@@ -55,9 +59,11 @@ fn sweep_block(b: &mut Block, live: &Liveness) -> usize {
             }
             StmtKind::Expr(e) => match e {
                 // A mutation of a dead collection is dead.
-                Expr::MethodCall { recv: box_recv, name, .. }
-                    if crate::defuse::MUTATING_METHODS.contains(&name.as_str()) =>
-                {
+                Expr::MethodCall {
+                    recv: box_recv,
+                    name,
+                    ..
+                } if crate::defuse::MUTATING_METHODS.contains(&name.as_str()) => {
                     match box_recv.as_ref() {
                         Expr::Var(v) => live.after(s.id).contains(v) || has_side_effect(e),
                         _ => true,
@@ -65,7 +71,11 @@ fn sweep_block(b: &mut Block, live: &Liveness) -> usize {
                 }
                 other => has_side_effect(other),
             },
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 !(then_branch.stmts.is_empty()
                     && else_branch.stmts.is_empty()
                     && !has_side_effect(cond))
@@ -156,7 +166,10 @@ mod tests {
     #[test]
     fn transitive_removal() {
         let out = dce("fn f() { a = 1; b = a + 1; c = b + 1; return 0; }");
-        assert!(!out.contains("a = 1") && !out.contains('b') && !out.contains('c'), "{out}");
+        assert!(
+            !out.contains("a = 1") && !out.contains('b') && !out.contains('c'),
+            "{out}"
+        );
     }
 
     #[test]
@@ -175,15 +188,13 @@ mod tests {
     #[test]
     fn dead_loop_with_dead_collection_removed() {
         // After extraction, the loop body's appends feed a dead collection.
-        let out = dce(
-            r#"fn f() {
+        let out = dce(r#"fn f() {
                 rs = executeQuery("SELECT * FROM t");
                 acc = list();
                 for (r in rs) { acc.add(r.x); }
                 result = executeQuery("SELECT x FROM t");
                 return result;
-            }"#,
-        );
+            }"#);
         assert!(!out.contains("for ("), "loop should vanish: {out}");
         assert!(!out.contains("acc"), "dead collection should vanish: {out}");
         assert!(out.contains("result = executeQuery"), "{out}");
@@ -191,14 +202,12 @@ mod tests {
 
     #[test]
     fn live_loop_is_kept() {
-        let out = dce(
-            r#"fn f() {
+        let out = dce(r#"fn f() {
                 rs = executeQuery("SELECT * FROM t");
                 acc = list();
                 for (r in rs) { acc.add(r.x); }
                 return acc;
-            }"#,
-        );
+            }"#);
         assert!(out.contains("for ("), "{out}");
         assert!(out.contains("acc.add"), "{out}");
     }

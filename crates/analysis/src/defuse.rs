@@ -34,8 +34,7 @@ pub const PURE_FUNCTIONS: &[&str] = &[
 pub const MUTATING_METHODS: &[&str] = &["add", "insert", "append", "remove", "clear", "addAll"];
 
 /// Collection methods that only read their receiver.
-pub const READING_METHODS: &[&str] =
-    &["contains", "size", "get", "isEmpty", "first", "indexOf"];
+pub const READING_METHODS: &[&str] = &["contains", "size", "get", "isEmpty", "first", "indexOf"];
 
 /// The def/use summary of one statement.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -98,7 +97,11 @@ impl DefUse {
     pub fn of_stmt_recursive_in(s: &Stmt, ctx: &DefUseCtx) -> DefUse {
         let mut du = DefUse::of_stmt_in(s, ctx);
         match &s.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 for b in [then_branch, else_branch] {
                     for inner in &b.stmts {
                         du.merge(&DefUse::of_stmt_recursive_in(inner, ctx));

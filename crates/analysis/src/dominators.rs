@@ -100,7 +100,10 @@ mod tests {
         let arms = cfg.successors(cfg.start);
         for arm in arms {
             if arm != join {
-                assert!(!d.dominates(arm, join), "arm {arm:?} must not dominate join");
+                assert!(
+                    !d.dominates(arm, join),
+                    "arm {arm:?} must not dominate join"
+                );
             }
         }
         assert!(d.dominates(cfg.start, join));
@@ -112,7 +115,12 @@ mod tests {
         let header = cfg
             .blocks
             .iter()
-            .position(|b| matches!(b.terminator, Some(crate::cfg::Terminator::ForDispatch { .. })))
+            .position(|b| {
+                matches!(
+                    b.terminator,
+                    Some(crate::cfg::Terminator::ForDispatch { .. })
+                )
+            })
             .map(BlockId)
             .unwrap();
         let body = match &cfg.blocks[header.0].terminator {

@@ -19,14 +19,20 @@
 //! * [`liveness`] — backward live-variable analysis on structured ASTs;
 //! * [`deadcode`] — removal of statements made dead by SQL extraction
 //!   (Sec. 5.2, "Parts of region R which are now rendered dead … are removed
-//!   by dead code elimination").
+//!   by dead code elimination");
+//! * [`diag`] — typed, span-carrying diagnostics (`E0xx` hard extraction
+//!   failures, `W0xx` advisories) with human and JSON renderers;
+//! * [`pass`] — a pass manager running the analyses above as named passes
+//!   that emit diagnostics uniformly.
 
 pub mod cfg;
 pub mod ddg;
 pub mod deadcode;
 pub mod defuse;
+pub mod diag;
 pub mod dominators;
 pub mod liveness;
+pub mod pass;
 pub mod purity;
 pub mod regions;
 pub mod slice;
@@ -35,4 +41,6 @@ pub mod structural;
 pub use cfg::{BlockId, Cfg};
 pub use ddg::{Ddg, DepKind};
 pub use defuse::{DefUse, DefUseCtx};
+pub use diag::{Code, Diagnostic, Label, Severity};
+pub use pass::{Pass, PassContext, PassManager};
 pub use regions::{Region, RegionId, RegionKind, RegionTree};

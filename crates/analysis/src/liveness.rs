@@ -38,7 +38,10 @@ impl Liveness {
     fn block(&mut self, b: &Block, mut live: BTreeSet<String>) -> BTreeSet<String> {
         for s in b.stmts.iter().rev() {
             // Record (union, since loop bodies are visited repeatedly).
-            self.live_after.entry(s.id).or_default().extend(live.iter().cloned());
+            self.live_after
+                .entry(s.id)
+                .or_default()
+                .extend(live.iter().cloned());
             live = self.stmt(s, live);
         }
         live
@@ -46,14 +49,22 @@ impl Liveness {
 
     fn stmt(&mut self, s: &imp::ast::Stmt, live_after: BTreeSet<String>) -> BTreeSet<String> {
         match &s.kind {
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let t = self.block(then_branch, live_after.clone());
                 let e = self.block(else_branch, live_after);
                 let mut live: BTreeSet<String> = t.union(&e).cloned().collect();
                 live.extend(cond.vars());
                 live
             }
-            StmtKind::ForEach { var, iterable, body } => {
+            StmtKind::ForEach {
+                var,
+                iterable,
+                body,
+            } => {
                 // Fixpoint: body may propagate liveness around the back edge.
                 let mut live_out_body = live_after.clone();
                 loop {
@@ -169,9 +180,8 @@ mod tests {
 
     #[test]
     fn branch_join_is_union() {
-        let (f, l) = live(
-            "fn f(c) { a = 1; b = 2; if (c > 0) { r = a; } else { r = b; } return r; }",
-        );
+        let (f, l) =
+            live("fn f(c) { a = 1; b = 2; if (c > 0) { r = a; } else { r = b; } return r; }");
         let s_b = f.body.stmts[1].id;
         let after_b = l.after(s_b);
         assert!(after_b.contains("a") && after_b.contains("b"));

@@ -41,7 +41,11 @@ fn block_is_pure(b: &Block, pure: &BTreeSet<String>) -> bool {
     b.stmts.iter().all(|s| match &s.kind {
         StmtKind::Assign { value, .. } => expr_is_pure(value, pure),
         StmtKind::Expr(e) => expr_is_pure(e, pure),
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             expr_is_pure(cond, pure)
                 && block_is_pure(then_branch, pure)
                 && block_is_pure(else_branch, pure)
@@ -125,5 +129,38 @@ mod tests {
         .unwrap();
         let pure = pure_user_functions(&p);
         assert_eq!(pure.len(), 3);
+    }
+
+    #[test]
+    fn mutual_recursion_stays_impure() {
+        // Neither function can be admitted first, so the increasing fixpoint
+        // never adds either — conservatively impure, like direct recursion.
+        let p = parse_program(
+            "fn even(x) { if (x == 0) return 1; return odd(x - 1); } \
+             fn odd(x) { if (x == 0) return 0; return even(x - 1); }",
+        )
+        .unwrap();
+        let pure = pure_user_functions(&p);
+        assert!(!pure.contains("even"));
+        assert!(!pure.contains("odd"));
+    }
+
+    #[test]
+    fn deep_pure_chain_converges_bottom_up() {
+        // A chain where each function calls the next; declaration order is
+        // reversed so the fixpoint needs one iteration per layer. Also mixes
+        // in one impure sink that must not leak into the pure set.
+        let p = parse_program(
+            "fn top(x) { return mid(x) + 1; } \
+             fn mid(x) { return low(x) * 2; } \
+             fn low(x) { return max(x, 0); } \
+             fn sink(x) { print(x); return top(x); }",
+        )
+        .unwrap();
+        let pure = pure_user_functions(&p);
+        assert!(pure.contains("low") && pure.contains("mid") && pure.contains("top"));
+        assert!(!pure.contains("sink"));
+        // Convergence is deterministic: recomputing yields the same set.
+        assert_eq!(pure, pure_user_functions(&p));
     }
 }

@@ -84,7 +84,10 @@ pub struct RegionTree {
 impl RegionTree {
     /// Build the region tree for a function body.
     pub fn build(f: &Function) -> RegionTree {
-        let mut t = RegionTree { regions: Vec::new(), root: RegionId(0) };
+        let mut t = RegionTree {
+            regions: Vec::new(),
+            root: RegionId(0),
+        };
         let root = t.lower_block(&f.body);
         t.root = root;
         t
@@ -108,7 +111,11 @@ impl RegionTree {
         let mut run: Vec<Stmt> = Vec::new();
         for s in &b.stmts {
             match &s.kind {
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     if !run.is_empty() {
                         let stmts = std::mem::take(&mut run);
                         children.push(self.push(RegionKind::BasicBlock { stmts }));
@@ -121,7 +128,11 @@ impl RegionTree {
                         else_region,
                     }));
                 }
-                StmtKind::ForEach { var, iterable, body } => {
+                StmtKind::ForEach {
+                    var,
+                    iterable,
+                    body,
+                } => {
                     if !run.is_empty() {
                         let stmts = std::mem::take(&mut run);
                         children.push(self.push(RegionKind::BasicBlock { stmts }));
@@ -174,7 +185,11 @@ impl RegionTree {
                     self.collect_loops(*c, out);
                 }
             }
-            RegionKind::Conditional { then_region, else_region, .. } => {
+            RegionKind::Conditional {
+                then_region,
+                else_region,
+                ..
+            } => {
                 self.collect_loops(*then_region, out);
                 self.collect_loops(*else_region, out);
             }
@@ -200,7 +215,11 @@ impl RegionTree {
                     self.collect_statements(*c, out);
                 }
             }
-            RegionKind::Conditional { then_region, else_region, .. } => {
+            RegionKind::Conditional {
+                then_region,
+                else_region,
+                ..
+            } => {
                 self.collect_statements(*then_region, out);
                 self.collect_statements(*else_region, out);
             }
@@ -252,14 +271,19 @@ mod tests {
     #[test]
     fn figure5_structure() {
         // Paper Figure 5(a): straight-line + conditional composition.
-        let t = tree(
-            "fn f() { x = 10; y = 15; if (y - x > 0) { z = y - x; } else { z = x - y; } }",
-        );
+        let t =
+            tree("fn f() { x = 10; y = 15; if (y - x > 0) { z = y - x; } else { z = x - y; } }");
         match &t.region(t.root).kind {
             RegionKind::Sequential { children } => {
                 assert_eq!(children.len(), 2);
-                assert!(matches!(t.region(children[0]).kind, RegionKind::BasicBlock { .. }));
-                assert!(matches!(t.region(children[1]).kind, RegionKind::Conditional { .. }));
+                assert!(matches!(
+                    t.region(children[0]).kind,
+                    RegionKind::BasicBlock { .. }
+                ));
+                assert!(matches!(
+                    t.region(children[1]).kind,
+                    RegionKind::Conditional { .. }
+                ));
             }
             other => panic!("expected sequential root, got {other:?}"),
         }
@@ -268,7 +292,10 @@ mod tests {
     #[test]
     fn single_basic_block_is_root() {
         let t = tree("fn f() { a = 1; b = 2; }");
-        assert!(matches!(t.region(t.root).kind, RegionKind::BasicBlock { .. }));
+        assert!(matches!(
+            t.region(t.root).kind,
+            RegionKind::BasicBlock { .. }
+        ));
     }
 
     #[test]
@@ -310,22 +337,19 @@ mod tests {
     fn empty_else_still_gets_region() {
         let t = tree("fn f() { if (a) { b = 1; } }");
         match &t.region(t.root).kind {
-            RegionKind::Conditional { else_region, .. } => {
-                match &t.region(*else_region).kind {
-                    RegionKind::BasicBlock { stmts } => assert!(stmts.is_empty()),
-                    other => panic!("{other:?}"),
-                }
-            }
+            RegionKind::Conditional { else_region, .. } => match &t.region(*else_region).kind {
+                RegionKind::BasicBlock { stmts } => assert!(stmts.is_empty()),
+                other => panic!("{other:?}"),
+            },
             other => panic!("expected conditional, got {other:?}"),
         }
     }
 
     #[test]
     fn cfg_validation_passes_for_structured_code() {
-        let p = parse_program(
-            "fn f() { for (t in q) { if (t.x > 0) { s = s + t.x; } } return s; }",
-        )
-        .unwrap();
+        let p =
+            parse_program("fn f() { for (t in q) { if (t.x > 0) { s = s + t.x; } } return s; }")
+                .unwrap();
         let t = RegionTree::build(&p.functions[0]);
         let cfg = crate::cfg::Cfg::build(&p.functions[0]);
         t.validate_against_cfg(&cfg).unwrap();

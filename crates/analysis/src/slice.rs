@@ -65,9 +65,8 @@ mod tests {
     #[test]
     fn figure7_slices() {
         // slice(P, l, agg) = {agg stmt}; slice(P, l, dummyVal) includes both.
-        let (ddg, stmts) = loop_ddg(
-            "fn f() { for (t in q) { agg = agg + t.x; dummyVal = dummyVal * 2 + agg; } }",
-        );
+        let (ddg, stmts) =
+            loop_ddg("fn f() { for (t in q) { agg = agg + t.x; dummyVal = dummyVal * 2 + agg; } }");
         let s_agg = slice_for_var(&ddg, "agg");
         assert_eq!(s_agg, BTreeSet::from([stmts[0].id]));
         let s_dummy = slice_for_var(&ddg, "dummyVal");
@@ -76,9 +75,8 @@ mod tests {
 
     #[test]
     fn slice_includes_chain_of_definitions() {
-        let (ddg, stmts) = loop_ddg(
-            "fn f() { for (t in q) { a = t.x; b = a + 1; c = b * 2; unrelated = t.y; } }",
-        );
+        let (ddg, stmts) =
+            loop_ddg("fn f() { for (t in q) { a = t.x; b = a + 1; c = b * 2; unrelated = t.y; } }");
         let s = slice_for_var(&ddg, "c");
         assert_eq!(
             s,
@@ -90,11 +88,13 @@ mod tests {
     #[test]
     fn slice_includes_control_predicates_defs() {
         // The condition variable's defining statement joins the slice.
-        let (ddg, stmts) = loop_ddg(
-            "fn f() { for (t in q) { flag = t.a > 0; if (flag) { s = s + t.x; } } }",
-        );
+        let (ddg, stmts) =
+            loop_ddg("fn f() { for (t in q) { flag = t.a > 0; if (flag) { s = s + t.x; } } }");
         let s = slice_for_var(&ddg, "s");
-        assert!(s.contains(&stmts[0].id), "flag definition included via control dep");
+        assert!(
+            s.contains(&stmts[0].id),
+            "flag definition included via control dep"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl SRegion {
                 }
                 t
             }
-            SRegion::Cond { head, then_arm, else_arm } => {
+            SRegion::Cond {
+                head,
+                then_arm,
+                else_arm,
+            } => {
                 let mut t = head.counts();
                 t.2 += 1;
                 for arm in [then_arm, else_arm].into_iter().flatten() {
@@ -121,8 +125,11 @@ pub fn reduce(cfg: &Cfg) -> Structural {
             continue;
         }
         regions.insert(i, SRegion::Leaf(BlockId(i)));
-        let mut ss: Vec<usize> =
-            cfg.successors(BlockId(i)).into_iter().map(|b| b.0).collect();
+        let mut ss: Vec<usize> = cfg
+            .successors(BlockId(i))
+            .into_iter()
+            .map(|b| b.0)
+            .collect();
         ss.dedup();
         succs.insert(i, ss);
     }
@@ -165,7 +172,10 @@ pub fn reduce(cfg: &Cfg) -> Structural {
                     let header = regions.remove(&a).unwrap();
                     regions.insert(
                         a,
-                        SRegion::Loop { header: Box::new(header), body: Box::new(body) },
+                        SRegion::Loop {
+                            header: Box::new(header),
+                            body: Box::new(body),
+                        },
                     );
                     succs.remove(&b);
                     let sa = succs.get_mut(&a).unwrap();
@@ -269,7 +279,8 @@ mod tests {
         let p = parse_program(src).unwrap();
         let cfg = Cfg::build(&p.functions[0]);
         let s = reduce(&cfg);
-        s.root.unwrap_or_else(|| panic!("did not reduce: {} nodes left", s.remaining))
+        s.root
+            .unwrap_or_else(|| panic!("did not reduce: {} nodes left", s.remaining))
     }
 
     #[test]

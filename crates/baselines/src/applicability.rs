@@ -25,9 +25,11 @@ fn any_loop_with_inner_query(b: &Block) -> bool {
         StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
             block_has_query(body) || any_loop_with_inner_query(body)
         }
-        StmtKind::If { then_branch, else_branch, .. } => {
-            any_loop_with_inner_query(then_branch) || any_loop_with_inner_query(else_branch)
-        }
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => any_loop_with_inner_query(then_branch) || any_loop_with_inner_query(else_branch),
         _ => false,
     })
 }
@@ -43,7 +45,11 @@ fn block_has_query(b: &Block) -> bool {
             }
         });
         match &s.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 found |= block_has_query(then_branch) || block_has_query(else_branch);
             }
             StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {

@@ -51,7 +51,12 @@ pub fn rewrite_batching(program: &Program, fname: &str) -> Option<(Program, usiz
 fn rewrite_function(f: &mut Function) -> Option<usize> {
     // Find the first top-level cursor loop with batchable lookups.
     for idx in 0..f.body.stmts.len() {
-        let StmtKind::ForEach { var, iterable, body } = &f.body.stmts[idx].kind else {
+        let StmtKind::ForEach {
+            var,
+            iterable,
+            body,
+        } = &f.body.stmts[idx].kind
+        else {
             continue;
         };
         let lookups = batchable_lookups(var, body);
@@ -116,8 +121,14 @@ fn rewrite_function(f: &mut Function) -> Option<usize> {
         ));
 
         let n = lookups.len();
-        let new_loop = stmt(StmtKind::ForEach { var, iterable, body: new_body });
-        f.body.stmts.splice(idx..=idx, prelude.into_iter().chain([new_loop]));
+        let new_loop = stmt(StmtKind::ForEach {
+            var,
+            iterable,
+            body: new_body,
+        });
+        f.body
+            .stmts
+            .splice(idx..=idx, prelude.into_iter().chain([new_loop]));
         return Some(n);
     }
     None
@@ -141,8 +152,7 @@ fn batchable_lookups(cursor: &str, body: &Block) -> Vec<(StmtId, String, String,
             continue;
         };
         let key = &args[1];
-        let correlated =
-            matches!(key, Expr::Field(base, _) if matches!(base.as_ref(), Expr::Var(v) if v == cursor));
+        let correlated = matches!(key, Expr::Field(base, _) if matches!(base.as_ref(), Expr::Var(v) if v == cursor));
         if correlated {
             out.push((s.id, target.clone(), sql.clone(), key.clone()));
         }
@@ -160,11 +170,18 @@ fn replace_stmt(b: &mut Block, id: StmtId, kind: StmtKind) {
 }
 
 fn stmt(kind: StmtKind) -> Stmt {
-    Stmt { id: StmtId(u32::MAX), kind, span: Span::default() }
+    Stmt {
+        id: StmtId(u32::MAX),
+        kind,
+        span: Span::default(),
+    }
 }
 
 fn assign(target: &str, value: Expr) -> Stmt {
-    stmt(StmtKind::Assign { target: target.to_string(), value })
+    stmt(StmtKind::Assign {
+        target: target.to_string(),
+        value,
+    })
 }
 
 #[cfg(test)]
@@ -201,9 +218,9 @@ mod tests {
         let mut orig = Interp::new(&program, Connection::new(db.clone()));
         let v1 = orig.call("report", vec![]).unwrap();
         let mut new = Interp::new(&batched, Connection::new(db));
-        let v2 = new.call("report", vec![]).unwrap_or_else(|e| {
-            panic!("batched program failed: {e}\n{printed}")
-        });
+        let v2 = new
+            .call("report", vec![])
+            .unwrap_or_else(|e| panic!("batched program failed: {e}\n{printed}"));
         assert!(loose_eq(&v1, &v2), "{v1} vs {v2}");
 
         // Round trips: original 1 + 2·60; batched 1 (outer for params is a

@@ -78,11 +78,13 @@ impl StarWorkload {
             // (this is batching's fixed overhead).
             let upload_bytes: usize = keys.iter().flatten().map(lit_size).sum();
             conn.stats.queries += 1;
-            conn.stats.sim_us +=
-                conn.cost.latency_us + upload_bytes as f64 * conn.cost.per_byte_us;
+            conn.stats.sim_us += conn.cost.latency_us + upload_bytes as f64 * conn.cost.per_byte_us;
             // One set-oriented query: params ⟗ lookup (lateral preserves
             // per-parameter semantics including misses).
-            let params = RaExpr::Values { columns: vec!["pkey".into()], rows: keys };
+            let params = RaExpr::Values {
+                columns: vec!["pkey".into()],
+                rows: keys,
+            };
             let corr = inner
                 .query
                 .substitute_params(&[algebra::scalar::Scalar::col("pkey")])
@@ -137,9 +139,7 @@ impl StarWorkload {
         match &inner.condition {
             None => Ok(true),
             Some((col, expected)) => {
-                let idx = outer
-                    .resolve(None, col)
-                    .map_err(EvalError::UnknownColumn)?;
+                let idx = outer.resolve(None, col).map_err(EvalError::UnknownColumn)?;
                 Ok(row[idx].group_eq(expected))
             }
         }
@@ -174,10 +174,8 @@ mod tests {
             outer: parse_sql("SELECT * FROM applicants").unwrap(),
             inners: vec![
                 InnerLookup {
-                    query: parse_sql(
-                        "SELECT address FROM personal_details WHERE applicant_id = ?",
-                    )
-                    .unwrap(),
+                    query: parse_sql("SELECT address FROM personal_details WHERE applicant_id = ?")
+                        .unwrap(),
                     outer_col: "applicant_id".into(),
                     condition: None,
                 },

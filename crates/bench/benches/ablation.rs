@@ -142,9 +142,7 @@ fn end_to_end_scaling(c: &mut Criterion) {
         let src = wide_loop_body(n);
         let program = imp::parse_and_normalize(&src).unwrap();
         g.bench_with_input(BenchmarkId::new("extract_n_vars", n), &n, |b, _| {
-            b.iter(|| {
-                Extractor::new(db.catalog()).extract_function(&program, "f")
-            })
+            b.iter(|| Extractor::new(db.catalog()).extract_function(&program, "f"))
         });
     }
     g.finish();

@@ -19,8 +19,7 @@ fn bench_extraction(c: &mut Criterion) {
         let program = imp::parse_and_normalize(s.source).unwrap();
         g.bench_function(format!("sample_{id:02}_{}", short(s.category)), |b| {
             b.iter(|| {
-                let report =
-                    Extractor::new(catalog.clone()).extract_function(&program, "sample");
+                let report = Extractor::new(catalog.clone()).extract_function(&program, "sample");
                 assert!(report.any_sql());
                 report
             })
@@ -40,7 +39,10 @@ fn bench_extraction(c: &mut Criterion) {
                 &program,
                 "sample",
                 &catalog,
-                &qbs::QbsOptions { max_candidates: 50_000, ..Default::default() },
+                &qbs::QbsOptions {
+                    max_candidates: 50_000,
+                    ..Default::default()
+                },
             );
             assert!(r.sql.is_some());
             r

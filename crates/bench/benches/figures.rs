@@ -18,8 +18,10 @@ fn fig10_aggregation(c: &mut Criterion) {
         let report = Extractor::new(db.catalog()).extract_function(&program, "findMaxScore");
         g.bench_with_input(BenchmarkId::new("original", n), &n, |b, _| {
             b.iter(|| {
-                let mut i =
-                    Interp::new(&program, Connection::with_cost(db.clone(), CostModel::default()));
+                let mut i = Interp::new(
+                    &program,
+                    Connection::with_cost(db.clone(), CostModel::default()),
+                );
                 i.call("findMaxScore", vec![RtValue::int(1)]).unwrap()
             })
         });
@@ -92,8 +94,10 @@ fn fig8_selection(c: &mut Criterion) {
     let report = Extractor::new(db.catalog()).extract_function(&program, "unfinished");
     g.bench_function("original", |b| {
         b.iter(|| {
-            let mut i =
-                Interp::new(&program, Connection::with_cost(db.clone(), CostModel::default()));
+            let mut i = Interp::new(
+                &program,
+                Connection::with_cost(db.clone(), CostModel::default()),
+            );
             i.call("unfinished", vec![]).unwrap()
         })
     });
@@ -109,5 +113,10 @@ fn fig8_selection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fig8_selection, fig10_aggregation, fig11_star_schema);
+criterion_group!(
+    benches,
+    fig8_selection,
+    fig10_aggregation,
+    fig11_star_schema
+);
 criterion_main!(benches);

@@ -17,7 +17,10 @@ fn main() {
     let mut prefetch = 0;
     let mut eqsql = 0;
     let mut both = 0;
-    println!("{:<4} {:<42} {:>8} {:>9} {:>6}", "Sl.", "File (Line No.)", "Batch", "Prefetch", "EqSQL");
+    println!(
+        "{:<4} {:<42} {:>8} {:>9} {:>6}",
+        "Sl.", "File (Line No.)", "Batch", "Prefetch", "EqSQL"
+    );
     for s in wilos::samples() {
         let p = imp::parse_and_normalize(s.source).unwrap();
         let b = batching_applicable(&p, "sample");

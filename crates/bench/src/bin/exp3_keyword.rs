@@ -16,7 +16,11 @@ use eqsql_core::{Extractor, ExtractorOptions};
 use workloads::servlets::{self, Servlet};
 
 fn servlet_options() -> ExtractorOptions {
-    ExtractorOptions { rewrite_prints: true, ordered: false, ..Default::default() }
+    ExtractorOptions {
+        rewrite_prints: true,
+        ordered: false,
+        ..Default::default()
+    }
 }
 
 fn corpus_fraction(name: &str, list: &[Servlet], catalog: algebra::schema::Catalog) -> usize {
@@ -37,7 +41,11 @@ fn main() {
     println!("fraction of servlets with all queries extracted:");
     corpus_fraction("RuBiS", &servlets::rubis(), servlets::rubis_catalog());
     corpus_fraction("RuBBoS", &servlets::rubbos(), servlets::rubbos_catalog());
-    corpus_fraction("AcadPortal", &servlets::acadportal(), servlets::acadportal_catalog());
+    corpus_fraction(
+        "AcadPortal",
+        &servlets::acadportal(),
+        servlets::acadportal_catalog(),
+    );
     println!("(paper: 17/17, 16/16, 58/79)");
     println!();
 
@@ -47,7 +55,9 @@ fn main() {
     let mut with_manual = 0;
     let mut manual_less_precise = 0;
     for s in servlets::acadportal() {
-        let Some(manual_sql) = &s.manual_sql else { continue };
+        let Some(manual_sql) = &s.manual_sql else {
+            continue;
+        };
         let program = imp::parse_and_normalize(&s.source).unwrap();
         let report = Extractor::with_options(catalog.clone(), servlet_options())
             .extract_function(&program, "servlet");
@@ -74,7 +84,10 @@ fn main() {
             manual_less_precise += 1;
         }
     }
-    let extractable = servlets::acadportal().iter().filter(|s| s.expect_extract).count();
+    let extractable = servlets::acadportal()
+        .iter()
+        .filter(|s| s.expect_extract)
+        .count();
     println!(
         "AcadPortal manual-vs-automatic precision: {manual_less_precise}/{with_manual} modeled \
          manual queries fetch more data than the automatic query"

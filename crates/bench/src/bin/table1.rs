@@ -70,7 +70,10 @@ fn main() {
         );
     }
     println!();
-    println!("EqSQL extracted {eqsql_ok}/33 (paper: 17/33); mean time {:.1} ms", eqsql_total_ms / eqsql_ok as f64);
+    println!(
+        "EqSQL extracted {eqsql_ok}/33 (paper: 17/33); mean time {:.1} ms",
+        eqsql_total_ms / eqsql_ok as f64
+    );
     println!("our-QBS synthesized {qbs_ok}/33 (paper's Sketch-based QBS: 21/33)");
     println!();
     println!("Shape check: EqSQL extraction is milliseconds per fragment; synthesis is");

@@ -41,7 +41,11 @@ pub fn extract_or_die(
     opts: ExtractorOptions,
 ) -> ExtractionReport {
     let report = Extractor::with_options(catalog, opts).extract_function(program, fname);
-    assert!(report.changed(), "extraction must rewrite {fname}: {:#?}", report.vars);
+    assert!(
+        report.changed(),
+        "extraction must rewrite {fname}: {:#?}",
+        report.vars
+    );
     report
 }
 
@@ -53,8 +57,7 @@ pub fn compare(
     args: Vec<RtValue>,
 ) -> (Stats, Stats, ExtractionReport) {
     let program = imp::parse_and_normalize(src).unwrap();
-    let report =
-        extract_or_die(&program, fname, db.catalog(), ExtractorOptions::default());
+    let report = extract_or_die(&program, fname, db.catalog(), ExtractorOptions::default());
     let cost = CostModel::default();
     let orig = run_stats(&program, fname, db, args.clone(), cost);
     let new = run_stats(&report.program, fname, db, args, cost);

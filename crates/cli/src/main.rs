@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! eqsql extract <file.imp> --schema <schema.sql> [options]
-//!     Extract equivalent SQL and print the rewritten program.
+//!     Extract equivalent SQL and print the rewritten program; extraction
+//!     failures are reported as diagnostics on stderr.
 //!
 //! eqsql explain <file.imp> --schema <schema.sql> [options]
 //!     Per-variable report: outcome, extracted SQL, replacement expression.
+//!
+//! eqsql lint <file.imp> --schema <schema.sql> [--format human|json]
+//!     Run the diagnostic passes (purity, deadcode, liveness, ddg) plus a
+//!     dry-run extraction; report every finding with its stable E/W code.
 //!
 //! eqsql run <file.imp> --schema <schema.sql> [--data <data.sql>]
 //!           [--function NAME] [--arg N]...
@@ -14,8 +19,10 @@
 //!     transfer; then extract, re-run, and compare.
 //!
 //! Common options:
-//!     --function NAME      function to analyse (default: first function)
+//!     --function NAME      function to analyse (default: first function;
+//!                          `lint` covers all functions unless given)
 //!     --dialect D          postgres (default) | mysql | sqlserver | ansi
+//!     --format F           lint output: human (default) | json
 //!     --unordered          keyword-search mode (list order irrelevant)
 //!     --prints             preprocess print statements (Sec. 2)
 //!     --dependent-agg      enable argmax/argmin extraction (Appendix B)
@@ -26,8 +33,9 @@ use std::process::ExitCode;
 
 use algebra::ddl::parse_ddl;
 use algebra::Dialect;
+use analysis::diag::{render_json, Severity};
 use dbms::{Connection, Database, Value};
-use eqsql_core::{Extractor, ExtractorOptions};
+use eqsql_core::{lint_program, ExtractionOutcome, Extractor, ExtractorOptions};
 use interp::{Interp, RtValue};
 
 fn main() -> ExitCode {
@@ -47,6 +55,7 @@ struct Opts {
     data: Option<String>,
     function: Option<String>,
     dialect: Dialect,
+    json: bool,
     unordered: bool,
     prints: bool,
     dependent_agg: bool,
@@ -61,6 +70,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         data: None,
         function: None,
         dialect: Dialect::Postgres,
+        json: false,
         unordered: false,
         prints: false,
         dependent_agg: false,
@@ -82,13 +92,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     d => return Err(format!("unknown dialect {d}")),
                 }
             }
+            "--format" => {
+                o.json = match next(&mut it, "--format")?.as_str() {
+                    "human" => false,
+                    "json" => true,
+                    f => return Err(format!("unknown format {f} (expected human or json)")),
+                }
+            }
             "--unordered" => o.unordered = true,
             "--prints" => o.prints = true,
             "--dependent-agg" => o.dependent_agg = true,
             "--partial" => o.partial = true,
-            "--arg" => o
-                .run_args
-                .push(next(&mut it, "--arg")?.parse().map_err(|e| format!("bad --arg: {e}"))?),
+            "--arg" => o.run_args.push(
+                next(&mut it, "--arg")?
+                    .parse()
+                    .map_err(|e| format!("bad --arg: {e}"))?,
+            ),
             f if !f.starts_with("--") && o.file.is_empty() => o.file = f.to_string(),
             other => return Err(format!("unknown option {other}")),
         }
@@ -100,7 +119,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
-    it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -109,8 +130,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let opts = parse_opts(&args[1..])?;
-    let source =
-        std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+    let source = std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     let program = imp::parse_and_normalize(&source).map_err(|e| {
         let (line, col) = imp::token::line_col(&source, e.offset);
         format!("{}:{line}:{col}: {}", opts.file, e.message)
@@ -128,8 +148,7 @@ fn run(args: &[String]) -> Result<(), String> {
         .or_else(|| program.functions.first().map(|f| f.name.clone()))
         .ok_or("program has no functions")?;
     if program.function(&fname).is_none() {
-        let available: Vec<&str> =
-            program.functions.iter().map(|f| f.name.as_str()).collect();
+        let available: Vec<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
         return Err(format!(
             "function `{fname}` not found; available: {}",
             available.join(", ")
@@ -155,6 +174,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             println!("{}", imp::pretty_print(&report.program));
+            for d in &report.diagnostics {
+                eprintln!("{}", d.render_human(&source, &opts.file));
+            }
             eprintln!(
                 "{} loop(s) rewritten in {:.2} ms",
                 report.loops_rewritten,
@@ -164,10 +186,21 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "explain" => {
             let report = extractor.extract_function(&program, &fname);
-            println!("function {fname}: {} loop(s) rewritten", report.loops_rewritten);
+            println!(
+                "function {fname}: {} loop(s) rewritten",
+                report.loops_rewritten
+            );
             for v in &report.vars {
                 println!("\nvariable `{}` (loop {}):", v.var, v.loop_stmt);
-                println!("  outcome: {:?}", v.outcome);
+                match &v.outcome {
+                    ExtractionOutcome::Extracted => println!("  outcome: extracted"),
+                    other => {
+                        let d = other
+                            .diagnostic()
+                            .expect("non-extracted carries a diagnostic");
+                        println!("  outcome: {d}");
+                    }
+                }
                 for sql in &v.sql {
                     println!("  sql: {sql}");
                 }
@@ -183,14 +216,33 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "lint" => {
+            let mut diags = lint_program(&program, &catalog, &extractor.opts);
+            if opts.function.is_some() {
+                diags.retain(|d| d.function.as_deref() == Some(fname.as_str()));
+            }
+            if opts.json {
+                println!("{}", render_json(&diags, &source));
+            } else {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .count();
+                let warnings = diags.len() - errors;
+                for d in &diags {
+                    println!("{}", d.render_human(&source, &opts.file));
+                }
+                eprintln!("{errors} error(s), {warnings} warning(s)");
+            }
+            Ok(())
+        }
         "run" => {
             let mut db = Database::new();
             for schema in catalog.tables() {
                 db.create_table(schema.clone());
             }
             if let Some(path) = &opts.data {
-                let script =
-                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let script = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 for stmt in script.split(';') {
                     let stmt = stmt.trim();
                     if stmt.is_empty() || stmt.starts_with("--") {
@@ -244,8 +296,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: eqsql <extract|explain|run> <file.imp> --schema <schema.sql> \
-         [--function NAME] [--dialect D] [--unordered] [--prints] \
-         [--dependent-agg] [--partial] [--data <data.sql>] [--arg N]..."
+        "usage: eqsql <extract|explain|lint|run> <file.imp> --schema <schema.sql> \
+         [--function NAME] [--dialect D] [--format human|json] [--unordered] \
+         [--prints] [--dependent-agg] [--partial] [--data <data.sql>] [--arg N]..."
     );
 }

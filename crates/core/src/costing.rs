@@ -48,7 +48,11 @@ pub struct DbStats {
 impl DbStats {
     /// Collect statistics from a live database.
     pub fn from_database(db: &dbms::Database) -> DbStats {
-        let mut s = DbStats { latency_us: 500.0, per_byte_us: 0.01, ..Default::default() };
+        let mut s = DbStats {
+            latency_us: 500.0,
+            per_byte_us: 0.01,
+            ..Default::default()
+        };
         for schema in db.catalog().tables() {
             if let Some(t) = db.table(&schema.name) {
                 let rows = t.rows.len() as f64;
@@ -63,7 +67,13 @@ impl DbStats {
                 } else {
                     bytes as f64 / t.rows.len().min(64) as f64
                 };
-                s.tables.insert(schema.name.clone(), TableStats { rows, avg_row_bytes: avg });
+                s.tables.insert(
+                    schema.name.clone(),
+                    TableStats {
+                        rows,
+                        avg_row_bytes: avg,
+                    },
+                );
             }
         }
         s
@@ -78,15 +88,21 @@ impl DbStats {
 
     /// Add a synthetic table statistic.
     pub fn with_table(mut self, name: &str, rows: f64, avg_row_bytes: f64) -> DbStats {
-        self.tables.insert(name.to_string(), TableStats { rows, avg_row_bytes });
+        self.tables.insert(
+            name.to_string(),
+            TableStats {
+                rows,
+                avg_row_bytes,
+            },
+        );
         self
     }
 
     fn table(&self, name: &str) -> TableStats {
-        self.tables
-            .get(name)
-            .copied()
-            .unwrap_or(TableStats { rows: 1000.0, avg_row_bytes: 64.0 })
+        self.tables.get(name).copied().unwrap_or(TableStats {
+            rows: 1000.0,
+            avg_row_bytes: 64.0,
+        })
     }
 }
 
@@ -108,7 +124,10 @@ pub fn estimate_query(ra: &RaExpr, stats: &DbStats) -> QueryEstimate {
     match ra {
         RaExpr::Table { name, .. } => {
             let t = stats.table(name);
-            QueryEstimate { rows: t.rows, bytes: t.rows * t.avg_row_bytes }
+            QueryEstimate {
+                rows: t.rows,
+                bytes: t.rows * t.avg_row_bytes,
+            }
         }
         RaExpr::Values { rows, columns } => QueryEstimate {
             rows: rows.len() as f64,
@@ -117,22 +136,33 @@ pub fn estimate_query(ra: &RaExpr, stats: &DbStats) -> QueryEstimate {
         RaExpr::Select { input, pred } => {
             let e = estimate_query(input, stats);
             let sel = pred_selectivity(pred);
-            QueryEstimate { rows: e.rows * sel, bytes: e.bytes * sel }
+            QueryEstimate {
+                rows: e.rows * sel,
+                bytes: e.bytes * sel,
+            }
         }
         RaExpr::Project { input, items } => {
             let e = estimate_query(input, stats);
             // Projection narrows rows roughly proportionally to the column
             // count (we do not track per-column widths).
             let width = (items.len() as f64 * 10.0).min(e.bytes / e.rows.max(1.0));
-            QueryEstimate { rows: e.rows, bytes: e.rows * width }
+            QueryEstimate {
+                rows: e.rows,
+                bytes: e.rows * width,
+            }
         }
-        RaExpr::Join { left, right, pred, .. } => {
+        RaExpr::Join {
+            left, right, pred, ..
+        } => {
             let l = estimate_query(left, stats);
             let r = estimate_query(right, stats);
             let sel = pred_selectivity(pred);
             let rows = (l.rows * r.rows * sel).max(l.rows.min(r.rows) * 0.1);
             let width = l.bytes / l.rows.max(1.0) + r.bytes / r.rows.max(1.0);
-            QueryEstimate { rows, bytes: rows * width }
+            QueryEstimate {
+                rows,
+                bytes: rows * width,
+            }
         }
         RaExpr::OuterApply { left, right } => {
             let l = estimate_query(left, stats);
@@ -141,23 +171,41 @@ pub fn estimate_query(ra: &RaExpr, stats: &DbStats) -> QueryEstimate {
             let per = (r.rows / stats_rows_hint(right, stats)).clamp(0.1, 2.0);
             let rows = l.rows * per.max(1.0);
             let width = l.bytes / l.rows.max(1.0) + r.bytes / r.rows.max(1.0);
-            QueryEstimate { rows, bytes: rows * width }
+            QueryEstimate {
+                rows,
+                bytes: rows * width,
+            }
         }
-        RaExpr::Aggregate { input, group_by, .. } => {
+        RaExpr::Aggregate {
+            input, group_by, ..
+        } => {
             let e = estimate_query(input, stats);
-            let groups = if group_by.is_empty() { 1.0 } else { e.rows.sqrt().max(1.0) };
-            QueryEstimate { rows: groups, bytes: groups * 16.0 }
+            let groups = if group_by.is_empty() {
+                1.0
+            } else {
+                e.rows.sqrt().max(1.0)
+            };
+            QueryEstimate {
+                rows: groups,
+                bytes: groups * 16.0,
+            }
         }
         RaExpr::Sort { input, .. } => estimate_query(input, stats),
         RaExpr::Dedup { input } => {
             let e = estimate_query(input, stats);
-            QueryEstimate { rows: e.rows * 0.5, bytes: e.bytes * 0.5 }
+            QueryEstimate {
+                rows: e.rows * 0.5,
+                bytes: e.bytes * 0.5,
+            }
         }
         RaExpr::Limit { input, count } => {
             let e = estimate_query(input, stats);
             let rows = e.rows.min(*count as f64);
             let width = e.bytes / e.rows.max(1.0);
-            QueryEstimate { rows, bytes: rows * width }
+            QueryEstimate {
+                rows,
+                bytes: rows * width,
+            }
         }
         RaExpr::Aliased { input, .. } => estimate_query(input, stats),
     }
@@ -171,9 +219,7 @@ fn pred_selectivity(p: &algebra::scalar::Scalar) -> f64 {
     use algebra::scalar::{BinOp, Scalar};
     match p {
         Scalar::Bin(BinOp::And, l, r) => pred_selectivity(l) * pred_selectivity(r),
-        Scalar::Bin(BinOp::Or, l, r) => {
-            (pred_selectivity(l) + pred_selectivity(r)).min(1.0)
-        }
+        Scalar::Bin(BinOp::Or, l, r) => (pred_selectivity(l) + pred_selectivity(r)).min(1.0),
         Scalar::Bin(BinOp::Eq, ..) => SEL_EQ,
         Scalar::Bin(op, ..) if op.is_comparison() => SEL_RANGE,
         Scalar::Lit(algebra::scalar::Lit::Bool(true)) => 1.0,
@@ -244,10 +290,13 @@ pub fn decide(
     assigns: &[(String, Expr)],
     stats: &DbStats,
 ) -> RewriteDecision {
-    let original_us =
-        estimate_loop_original(f, loop_stmt, stats).unwrap_or(f64::INFINITY);
+    let original_us = estimate_loop_original(f, loop_stmt, stats).unwrap_or(f64::INFINITY);
     let rewritten_us = estimate_replacement(assigns, stats);
-    RewriteDecision { original_us, rewritten_us, beneficial: rewritten_us <= original_us }
+    RewriteDecision {
+        original_us,
+        rewritten_us,
+        beneficial: rewritten_us <= original_us,
+    }
 }
 
 fn find_loop(b: &Block, id: StmtId) -> Option<(&Expr, &Block)> {
@@ -256,9 +305,12 @@ fn find_loop(b: &Block, id: StmtId) -> Option<(&Expr, &Block)> {
             StmtKind::ForEach { iterable, body, .. } if s.id == id => {
                 return Some((iterable, body))
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
-                if let Some(r) = find_loop(then_branch, id).or_else(|| find_loop(else_branch, id))
-                {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if let Some(r) = find_loop(then_branch, id).or_else(|| find_loop(else_branch, id)) {
                     return Some(r);
                 }
             }
@@ -307,7 +359,11 @@ fn collect_sql_strings_block(b: &Block) -> Vec<String> {
         match &s.kind {
             StmtKind::Assign { value, .. } => out.extend(collect_sql_strings_expr(value)),
             StmtKind::Expr(e) => out.extend(collect_sql_strings_expr(e)),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 out.extend(collect_sql_strings_expr(cond));
                 out.extend(collect_sql_strings_block(then_branch));
                 out.extend(collect_sql_strings_block(else_branch));
@@ -338,9 +394,13 @@ mod tests {
     use imp::parser::parse_program;
 
     fn stats() -> DbStats {
-        DbStats { latency_us: 500.0, per_byte_us: 0.01, ..Default::default() }
-            .with_table("emp", 10_000.0, 50.0)
-            .with_table("dept", 10.0, 30.0)
+        DbStats {
+            latency_us: 500.0,
+            per_byte_us: 0.01,
+            ..Default::default()
+        }
+        .with_table("emp", 10_000.0, 50.0)
+        .with_table("dept", 10.0, 30.0)
     }
 
     #[test]
@@ -354,9 +414,14 @@ mod tests {
     #[test]
     fn selection_reduces_estimate() {
         let all = estimate_query(&parse_sql("SELECT * FROM emp").unwrap(), &stats());
-        let eq = estimate_query(&parse_sql("SELECT * FROM emp WHERE id = 3").unwrap(), &stats());
-        let rng =
-            estimate_query(&parse_sql("SELECT * FROM emp WHERE id > 3").unwrap(), &stats());
+        let eq = estimate_query(
+            &parse_sql("SELECT * FROM emp WHERE id = 3").unwrap(),
+            &stats(),
+        );
+        let rng = estimate_query(
+            &parse_sql("SELECT * FROM emp WHERE id > 3").unwrap(),
+            &stats(),
+        );
         assert!(eq.rows < rng.rows && rng.rows < all.rows);
     }
 

@@ -20,7 +20,9 @@ use algebra::parse::parse_sql;
 use algebra::schema::Catalog;
 use analysis::defuse::DefUseCtx;
 use analysis::regions::{RegionKind, RegionTree};
-use imp::ast::{builtins, BinaryOp, Block, Expr, Function, Literal, Program, Stmt, StmtKind, UnaryOp};
+use imp::ast::{
+    builtins, BinaryOp, Block, Expr, Function, Literal, Program, Stmt, StmtKind, UnaryOp,
+};
 
 use crate::eedag::{CollKind, EeDag, Node, NodeId, OpKind, VeMap};
 use crate::fir;
@@ -45,8 +47,8 @@ pub struct FoldNote {
     pub loop_stmt: imp::ast::StmtId,
     /// The variable.
     pub var: String,
-    /// `Ok(())` when the fold was built; `Err(reason)` otherwise.
-    pub result: Result<(), String>,
+    /// `Ok(())` when the fold was built; `Err(diagnostic)` otherwise.
+    pub result: Result<(), analysis::diag::Diagnostic>,
 }
 
 /// The name under which a function's return value is recorded in the ve-Map.
@@ -111,7 +113,11 @@ impl<'a> DirBuilder<'a> {
         self.scan_collection_kinds(&f.body);
         let tree = RegionTree::build(f);
         let ve = self.region_ve(&tree, tree.root, f);
-        Some(DirResult { dag: self.dag, ve, fold_notes: self.fold_notes })
+        Some(DirResult {
+            dag: self.dag,
+            ve,
+            fold_notes: self.fold_notes,
+        })
     }
 
     /// Run the collection-kind pre-pass for a function (required before
@@ -125,18 +131,23 @@ impl<'a> DirBuilder<'a> {
     fn scan_collection_kinds(&mut self, b: &Block) {
         for s in &b.stmts {
             match &s.kind {
-                StmtKind::Assign { target, value: Expr::Call { name, .. } } => {
-                    match name.as_str() {
-                        "list" => {
-                            self.coll_kinds.insert(target.clone(), CollKind::List);
-                        }
-                        "set" => {
-                            self.coll_kinds.insert(target.clone(), CollKind::Set);
-                        }
-                        _ => {}
+                StmtKind::Assign {
+                    target,
+                    value: Expr::Call { name, .. },
+                } => match name.as_str() {
+                    "list" => {
+                        self.coll_kinds.insert(target.clone(), CollKind::List);
                     }
-                }
-                StmtKind::If { then_branch, else_branch, .. } => {
+                    "set" => {
+                        self.coll_kinds.insert(target.clone(), CollKind::Set);
+                    }
+                    _ => {}
+                },
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     self.scan_collection_kinds(then_branch);
                     self.scan_collection_kinds(else_branch);
                 }
@@ -166,7 +177,11 @@ impl<'a> DirBuilder<'a> {
                 }
                 acc
             }
-            RegionKind::Conditional { cond, then_region, else_region } => {
+            RegionKind::Conditional {
+                cond,
+                then_region,
+                else_region,
+            } => {
                 let cond_node = self.convert_expr(&cond, &VeMap::new());
                 let ve_t = self.region_ve(tree, then_region, f);
                 let ve_f = self.region_ve(tree, else_region, f);
@@ -191,7 +206,12 @@ impl<'a> DirBuilder<'a> {
                 }
                 out
             }
-            RegionKind::Loop { var, iterable, body, stmt_id } => {
+            RegionKind::Loop {
+                var,
+                iterable,
+                body,
+                stmt_id,
+            } => {
                 let source = self.convert_expr(&iterable, &VeMap::new());
                 let body_ve = self.region_ve(tree, body, f);
                 // Locate the loop's body block in the AST for dependence
@@ -206,6 +226,7 @@ impl<'a> DirBuilder<'a> {
                     stmt: stmt_id,
                 });
                 let _ = loop_node; // recorded for completeness/debugging
+                let loop_span = analysis::pass::stmt_span(&f.body, stmt_id).unwrap_or_default();
                 let attempts = fir::loop_to_fold(
                     &mut self.dag,
                     &body_ve,
@@ -213,6 +234,7 @@ impl<'a> DirBuilder<'a> {
                     &var,
                     source,
                     stmt_id,
+                    loop_span,
                     &self.du_ctx,
                     self.fir_opts,
                 );
@@ -220,7 +242,11 @@ impl<'a> DirBuilder<'a> {
                     self.fold_notes.push(FoldNote {
                         loop_stmt: stmt_id,
                         var: a.var.clone(),
-                        result: a.node.as_ref().map(|_| ()).map_err(Clone::clone),
+                        result: a
+                            .node
+                            .as_ref()
+                            .map(|_| ())
+                            .map_err(|d| d.clone().with_function(&f.name)),
                     });
                 }
                 for a in attempts {
@@ -401,7 +427,10 @@ impl<'a> DirBuilder<'a> {
             }
             Expr::Field(o, name) => {
                 let base = self.convert_expr(o, ve);
-                self.dag.intern(Node::FieldOf { base, field: name.clone() })
+                self.dag.intern(Node::FieldOf {
+                    base,
+                    field: name.clone(),
+                })
             }
             Expr::Call { name, args } => self.convert_call(name, args, ve),
             Expr::MethodCall { recv, name, args } => {
@@ -462,7 +491,11 @@ impl<'a> DirBuilder<'a> {
                 // Library function (Sec. 3.2.1: "our system understands that
                 // Math.max is a function which returns the maximum of two
                 // numbers"). N-ary calls fold left.
-                let op = if name == "max" { OpKind::Max } else { OpKind::Min };
+                let op = if name == "max" {
+                    OpKind::Max
+                } else {
+                    OpKind::Min
+                };
                 let mut nodes: Vec<NodeId> =
                     args.iter().map(|a| self.convert_expr(a, ve)).collect();
                 let mut acc = nodes.remove(0);
@@ -481,7 +514,11 @@ impl<'a> DirBuilder<'a> {
             }
             "lower" | "upper" => {
                 let x = self.convert_expr(&args[0], ve);
-                let op = if name == "lower" { OpKind::Lower } else { OpKind::Upper };
+                let op = if name == "lower" {
+                    OpKind::Lower
+                } else {
+                    OpKind::Upper
+                };
                 self.dag.op(op, vec![x])
             }
             "length" => {
@@ -512,10 +549,14 @@ impl<'a> DirBuilder<'a> {
             return self.dag.opaque(format!("unknown function {name}"), nargs);
         };
         if self.inline_budget == 0 {
-            return self.dag.opaque(format!("inline depth exceeded at {name}"), vec![]);
+            return self
+                .dag
+                .opaque(format!("inline depth exceeded at {name}"), vec![]);
         }
         if callee.params.len() != args.len() {
-            return self.dag.opaque(format!("arity mismatch calling {name}"), vec![]);
+            return self
+                .dag
+                .opaque(format!("arity mismatch calling {name}"), vec![]);
         }
         self.inline_budget -= 1;
         let tree = RegionTree::build(callee);
@@ -539,7 +580,10 @@ impl<'a> DirBuilder<'a> {
     fn const_string(&self, id: NodeId) -> Option<String> {
         match self.dag.node(id) {
             Node::Const(algebra::scalar::Lit::Str(s)) => Some(s.clone()),
-            Node::Op { op: OpKind::Concat, args } => {
+            Node::Op {
+                op: OpKind::Concat,
+                args,
+            } => {
                 let mut out = String::new();
                 for a in args {
                     out.push_str(&self.const_string(*a)?);
@@ -555,7 +599,11 @@ impl<'a> DirBuilder<'a> {
     fn is_stringy(&self, id: NodeId) -> bool {
         matches!(
             self.dag.node(id),
-            Node::Const(algebra::scalar::Lit::Str(_)) | Node::Op { op: OpKind::Concat, .. }
+            Node::Const(algebra::scalar::Lit::Str(_))
+                | Node::Op {
+                    op: OpKind::Concat,
+                    ..
+                }
         )
     }
 }
@@ -565,7 +613,11 @@ pub fn find_foreach_body(b: &Block, id: imp::ast::StmtId) -> Option<&Block> {
     for s in &b.stmts {
         match &s.kind {
             StmtKind::ForEach { body, .. } if s.id == id => return Some(body),
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if let Some(found) = find_foreach_body(then_branch, id) {
                     return Some(found);
                 }
@@ -585,11 +637,7 @@ pub fn find_foreach_body(b: &Block, id: imp::ast::StmtId) -> Option<&Block> {
 }
 
 /// Build the D-IR for one function of a program.
-pub fn build_function_dir(
-    program: &Program,
-    catalog: &Catalog,
-    fname: &str,
-) -> Option<DirResult> {
+pub fn build_function_dir(program: &Program, catalog: &Catalog, fname: &str) -> Option<DirResult> {
     DirBuilder::new(program, catalog).build_function(fname)
 }
 
@@ -700,7 +748,9 @@ mod tests {
         );
         let r = d.ve[RET_VAR];
         match d.dag.node(r) {
-            Node::Fold { func, init, source, .. } => {
+            Node::Fold {
+                func, init, source, ..
+            } => {
                 // init resolved to the constant 0.
                 assert_eq!(d.dag.display(*init), "0");
                 // Source resolved to the query.
@@ -780,7 +830,10 @@ mod tests {
 
     #[test]
     fn while_loop_vars_not_determined() {
-        let d = dir_of("fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }", "f");
+        let d = dir_of(
+            "fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }",
+            "f",
+        );
         assert!(d.dag.is_poisoned(d.ve[RET_VAR]));
     }
 

@@ -279,12 +279,19 @@ impl EeDag {
 
     /// Intern a conditional evaluation node.
     pub fn cond(&mut self, cond: NodeId, then_val: NodeId, else_val: NodeId) -> NodeId {
-        self.intern(Node::Cond { cond, then_val, else_val })
+        self.intern(Node::Cond {
+            cond,
+            then_val,
+            else_val,
+        })
     }
 
     /// Intern an opaque marker.
     pub fn opaque(&mut self, reason: impl Into<String>, args: Vec<NodeId>) -> NodeId {
-        self.intern(Node::Opaque { reason: reason.into(), args })
+        self.intern(Node::Opaque {
+            reason: reason.into(),
+            args,
+        })
     }
 
     // Traversals. ----------------------------------------------------------
@@ -307,7 +314,11 @@ impl EeDag {
                     self.walk(a, f);
                 }
             }
-            Node::Cond { cond, then_val, else_val } => {
+            Node::Cond {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 self.walk(*cond, f);
                 self.walk(*then_val, f);
                 self.walk(*else_val, f);
@@ -317,18 +328,29 @@ impl EeDag {
                     self.walk(p, f);
                 }
             }
-            Node::Loop { source, body_ve, .. } => {
+            Node::Loop {
+                source, body_ve, ..
+            } => {
                 self.walk(*source, f);
                 for (_, e) in body_ve.clone() {
                     self.walk(e, f);
                 }
             }
-            Node::Fold { func, init, source, .. } => {
+            Node::Fold {
+                func, init, source, ..
+            } => {
                 self.walk(*func, f);
                 self.walk(*init, f);
                 self.walk(*source, f);
             }
-            Node::ArgExtreme { source, key, value, v_init, w_init, .. } => {
+            Node::ArgExtreme {
+                source,
+                key,
+                value,
+                v_init,
+                w_init,
+                ..
+            } => {
                 self.walk(*source, f);
                 self.walk(*key, f);
                 self.walk(*value, f);
@@ -351,7 +373,9 @@ impl EeDag {
 
     /// True when the expression is poisoned (contains `Opaque`/`ND`).
     pub fn is_poisoned(&self, id: NodeId) -> bool {
-        self.any(id, |n| matches!(n, Node::Opaque { .. } | Node::NotDetermined))
+        self.any(id, |n| {
+            matches!(n, Node::Opaque { .. } | Node::NotDetermined)
+        })
     }
 
     /// Region-input names referenced by the expression.
@@ -402,46 +426,93 @@ impl EeDag {
                 self.intern(Node::FieldOf { base: b, field })
             }
             Node::Op { op, args } => {
-                let new: Vec<NodeId> =
-                    args.iter().map(|a| self.subst_rec(*a, subs, memo)).collect();
+                let new: Vec<NodeId> = args
+                    .iter()
+                    .map(|a| self.subst_rec(*a, subs, memo))
+                    .collect();
                 self.intern(Node::Op { op, args: new })
             }
             Node::Opaque { reason, args } => {
-                let new: Vec<NodeId> =
-                    args.iter().map(|a| self.subst_rec(*a, subs, memo)).collect();
+                let new: Vec<NodeId> = args
+                    .iter()
+                    .map(|a| self.subst_rec(*a, subs, memo))
+                    .collect();
                 self.intern(Node::Opaque { reason, args: new })
             }
-            Node::Cond { cond, then_val, else_val } => {
+            Node::Cond {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let c = self.subst_rec(cond, subs, memo);
                 let t = self.subst_rec(then_val, subs, memo);
                 let e = self.subst_rec(else_val, subs, memo);
-                self.intern(Node::Cond { cond: c, then_val: t, else_val: e })
+                self.intern(Node::Cond {
+                    cond: c,
+                    then_val: t,
+                    else_val: e,
+                })
             }
             Node::Query { ra, params } => {
-                let new: Vec<NodeId> =
-                    params.iter().map(|p| self.subst_rec(*p, subs, memo)).collect();
+                let new: Vec<NodeId> = params
+                    .iter()
+                    .map(|p| self.subst_rec(*p, subs, memo))
+                    .collect();
                 self.intern(Node::Query { ra, params: new })
             }
             Node::ScalarQuery { ra, params } => {
-                let new: Vec<NodeId> =
-                    params.iter().map(|p| self.subst_rec(*p, subs, memo)).collect();
+                let new: Vec<NodeId> = params
+                    .iter()
+                    .map(|p| self.subst_rec(*p, subs, memo))
+                    .collect();
                 self.intern(Node::ScalarQuery { ra, params: new })
             }
-            Node::Loop { source, cursor, body_ve, stmt } => {
+            Node::Loop {
+                source,
+                cursor,
+                body_ve,
+                stmt,
+            } => {
                 let s = self.subst_rec(source, subs, memo);
                 // Body expressions reference per-iteration inputs; only the
                 // source is resolved against the enclosing region.
-                self.intern(Node::Loop { source: s, cursor, body_ve, stmt })
+                self.intern(Node::Loop {
+                    source: s,
+                    cursor,
+                    body_ve,
+                    stmt,
+                })
             }
-            Node::Fold { func, init, source, cursor, origin } => {
+            Node::Fold {
+                func,
+                init,
+                source,
+                cursor,
+                origin,
+            } => {
                 let i = self.subst_rec(init, subs, memo);
                 let s = self.subst_rec(source, subs, memo);
                 // The folding function is closed over Acc/Tuple params plus
                 // possibly region inputs (loop-invariant values).
                 let fn_ = self.subst_rec(func, subs, memo);
-                self.intern(Node::Fold { func: fn_, init: i, source: s, cursor, origin })
+                self.intern(Node::Fold {
+                    func: fn_,
+                    init: i,
+                    source: s,
+                    cursor,
+                    origin,
+                })
             }
-            Node::ArgExtreme { source, is_max, key, value, v_init, w_init, cursor, origin } => {
+            Node::ArgExtreme {
+                source,
+                is_max,
+                key,
+                value,
+                v_init,
+                w_init,
+                cursor,
+                origin,
+            } => {
                 let s = self.subst_rec(source, subs, memo);
                 let k = self.subst_rec(key, subs, memo);
                 let val = self.subst_rec(value, subs, memo);
@@ -475,14 +546,22 @@ impl EeDag {
                 let parts: Vec<String> = args.iter().map(|a| self.display(*a)).collect();
                 format!("{op:?}[{}]", parts.join(", "))
             }
-            Node::Cond { cond, then_val, else_val } => format!(
+            Node::Cond {
+                cond,
+                then_val,
+                else_val,
+            } => format!(
                 "?[{}, {}, {}]",
                 self.display(*cond),
                 self.display(*then_val),
                 self.display(*else_val)
             ),
             Node::Query { ra, params } | Node::ScalarQuery { ra, params } => {
-                let tag = if matches!(self.node(id), Node::ScalarQuery { .. }) { "q" } else { "Q" };
+                let tag = if matches!(self.node(id), Node::ScalarQuery { .. }) {
+                    "q"
+                } else {
+                    "Q"
+                };
                 if params.is_empty() {
                     format!("{tag}⟨{ra}⟩")
                 } else {
@@ -495,13 +574,21 @@ impl EeDag {
             Node::Loop { source, cursor, .. } => {
                 format!("Loop[{} in {}]", cursor, self.display(*source))
             }
-            Node::Fold { func, init, source, .. } => format!(
+            Node::Fold {
+                func, init, source, ..
+            } => format!(
                 "fold[{}, {}, {}]",
                 self.display(*func),
                 self.display(*init),
                 self.display(*source)
             ),
-            Node::ArgExtreme { source, is_max, key, value, .. } => format!(
+            Node::ArgExtreme {
+                source,
+                is_max,
+                key,
+                value,
+                ..
+            } => format!(
                 "arg{}[{} by {}]({})",
                 if *is_max { "max" } else { "min" },
                 self.display(*value),
@@ -607,7 +694,10 @@ mod tests {
         let mut d = EeDag::new();
         let x = d.input("scoreMax");
         let t = d.intern(Node::TupleParam("t".into()));
-        let fld = d.intern(Node::FieldOf { base: t, field: "p1".into() });
+        let fld = d.intern(Node::FieldOf {
+            base: t,
+            field: "p1".into(),
+        });
         let m = d.op(OpKind::Max, vec![x, fld]);
         assert_eq!(d.display(m), "Max[scoreMax₀, ⟨t⟩.p1]");
     }

@@ -20,13 +20,24 @@
 //! in `Sacc` — this accepts bodies where `v` is updated by several guarded
 //! statements, whose D-IR already merges into one conditional expression
 //! per iteration (so `v_{k+1}` still depends only on `v_k` and `t_{k+1}`).
+//!
+//! Failures are reported as typed [`Diagnostic`]s (codes `E001`–`E005`)
+//! anchored at the statements responsible, not as bare strings.
+
+// A Diagnostic (spans, labels, notes) is bigger than clippy's Err-size
+// threshold; these paths run once per failed loop, so indirection buys
+// nothing.
+#![allow(clippy::result_large_err)]
 
 use std::collections::BTreeSet;
 
 use analysis::ddg::{Ddg, DepKind};
 use analysis::defuse::DefUseCtx;
+use analysis::diag::{Code, Diagnostic};
+use analysis::pass::stmt_span;
 use analysis::slice::slice_for_var;
 use imp::ast::{Block, StmtId, StmtKind};
+use imp::token::Span;
 
 use crate::eedag::{EeDag, Node, NodeId, VeMap};
 
@@ -35,8 +46,8 @@ use crate::eedag::{EeDag, Node, NodeId, VeMap};
 pub struct FoldAttempt {
     /// The accumulated variable.
     pub var: String,
-    /// The fold node, or the reason conversion failed.
-    pub node: Result<NodeId, String>,
+    /// The fold node, or the diagnostic explaining why conversion failed.
+    pub node: Result<NodeId, Diagnostic>,
 }
 
 /// Options for F-IR conversion.
@@ -49,6 +60,9 @@ pub struct FirOptions {
 }
 
 /// Attempt `loopToFold` for every variable updated in the loop body.
+///
+/// `loop_span` anchors diagnostics that have no better statement to point
+/// at (typically the loop header).
 #[allow(clippy::too_many_arguments)]
 pub fn loop_to_fold(
     dag: &mut EeDag,
@@ -57,36 +71,82 @@ pub fn loop_to_fold(
     cursor: &str,
     source: NodeId,
     loop_stmt: StmtId,
+    loop_span: Span,
     ctx: &DefUseCtx,
     opts: FirOptions,
 ) -> Vec<FoldAttempt> {
     let mut out = Vec::new();
-    if let Some(reason) = abrupt_exit(body) {
+    if let Some((kind, span)) = abrupt_exit(body) {
         // Sec. 2: "we assume that loops do not contain unconditional exit
         // statements like break".
+        let diag = Diagnostic::new(Code::AbruptLoopExit, span, format!("loop contains {kind}"))
+            .with_primary_label("the loop exits abruptly here")
+            .with_label(loop_span, "while converting this loop")
+            .with_note("loops must run to completion to become folds (paper Sec. 2)")
+            .with_pass("fir");
         for var in body_ve.keys() {
             if var != cursor {
-                out.push(FoldAttempt { var: var.clone(), node: Err(reason.clone()) });
+                out.push(FoldAttempt {
+                    var: var.clone(),
+                    node: Err(diag.clone().with_var(var)),
+                });
             }
         }
         return out;
     }
     let ddg = Ddg::build_with(body, cursor, &BTreeSet::new(), ctx);
-    let updated: Vec<String> =
-        body_ve.keys().filter(|v| v.as_str() != cursor).cloned().collect();
+    let updated: Vec<String> = body_ve
+        .keys()
+        .filter(|v| v.as_str() != cursor)
+        .cloned()
+        .collect();
     for var in &updated {
-        let node = convert_var(dag, body_ve, &ddg, cursor, source, loop_stmt, var, &updated)
-            .or_else(|err| {
-                if opts.dependent_agg && (err.starts_with("P1") || err.starts_with("P2")) {
-                    try_dependent_agg(dag, body_ve, &ddg, cursor, source, loop_stmt, var)
-                        .ok_or(err)
-                } else {
-                    Err(err)
-                }
-            });
-        out.push(FoldAttempt { var: var.clone(), node });
+        let cx = ConvertCx {
+            body,
+            loop_span,
+            cursor,
+            source,
+            loop_stmt,
+        };
+        let node = convert_var(dag, body_ve, &ddg, &cx, var, &updated).or_else(|err| {
+            if opts.dependent_agg
+                && matches!(err.code, Code::NoAccumulation | Code::ExtraLoopDependence)
+            {
+                try_dependent_agg(dag, body_ve, &ddg, cursor, source, loop_stmt, var).ok_or(err)
+            } else {
+                Err(err)
+            }
+        });
+        out.push(FoldAttempt {
+            var: var.clone(),
+            node,
+        });
     }
     out
+}
+
+/// Shared location context for per-variable conversion diagnostics.
+struct ConvertCx<'a> {
+    body: &'a Block,
+    loop_span: Span,
+    cursor: &'a str,
+    source: NodeId,
+    loop_stmt: StmtId,
+}
+
+impl ConvertCx<'_> {
+    /// Span of a body statement, falling back to the loop header.
+    fn span_of(&self, id: StmtId) -> Span {
+        stmt_span(self.body, id).unwrap_or(self.loop_span)
+    }
+
+    /// Span of the first (lowest-id) statement in `ids`.
+    fn first_span(&self, ids: &BTreeSet<StmtId>) -> Span {
+        ids.iter()
+            .next()
+            .map(|id| self.span_of(*id))
+            .unwrap_or(self.loop_span)
+    }
 }
 
 /// The Appendix B dependent-aggregation relaxation: variable `w` is updated
@@ -110,7 +170,12 @@ fn try_dependent_agg(
 ) -> Option<NodeId> {
     // w's per-iteration value: ?[cond, g(t), w₀].
     let w_expr = *body_ve.get(w)?;
-    let Node::Cond { cond, then_val: g, else_val } = dag.node(w_expr).clone() else {
+    let Node::Cond {
+        cond,
+        then_val: g,
+        else_val,
+    } = dag.node(w_expr).clone()
+    else {
         return None;
     };
     if !matches!(dag.node(else_val), Node::Input(n) if n == w) {
@@ -137,7 +202,12 @@ fn try_dependent_agg(
     }
     // v must itself be the driven accumulator: ?[same cond, key, v₀].
     let v_expr = *body_ve.get(&v_name)?;
-    let Node::Cond { cond: vc, then_val: vt, else_val: ve } = dag.node(v_expr).clone() else {
+    let Node::Cond {
+        cond: vc,
+        then_val: vt,
+        else_val: ve,
+    } = dag.node(v_expr).clone()
+    else {
         return None;
     };
     if vc != cond || vt != key || !matches!(dag.node(ve), Node::Input(n) if *n == v_name) {
@@ -182,27 +252,50 @@ fn try_dependent_agg(
     }))
 }
 
-#[allow(clippy::too_many_arguments)]
 fn convert_var(
     dag: &mut EeDag,
     body_ve: &VeMap,
     ddg: &Ddg,
-    cursor: &str,
-    source: NodeId,
-    loop_stmt: StmtId,
+    cx: &ConvertCx<'_>,
     var: &str,
     all_updated: &[String],
-) -> Result<NodeId, String> {
+) -> Result<NodeId, Diagnostic> {
+    let fail = |code: Code, span: Span, msg: String| {
+        Err(Diagnostic::new(code, span, msg)
+            .with_var(var)
+            .with_pass("fir"))
+    };
     let expr = *body_ve.get(var).expect("var must be in body ve-Map");
     let slice = slice_for_var(ddg, var);
     if slice.is_empty() {
-        return Err(format!("no statements update {var}"));
+        return fail(
+            Code::NoAccumulation,
+            cx.loop_span,
+            format!("no statements update {var}"),
+        );
     }
     let sacc = ddg.writers_of(var);
 
     // P3 — no external dependencies in the slice.
     if ddg.external_write_within(&slice) {
-        return Err(format!("P3: external write within slice for {var}"));
+        let writers = ddg.external_writers_within(&slice);
+        let span = writers
+            .first()
+            .map(|id| cx.span_of(*id))
+            .unwrap_or(cx.loop_span);
+        let mut d = Diagnostic::new(
+            Code::ExternalWriteInSlice,
+            span,
+            format!("P3: external write within slice for {var}"),
+        )
+        .with_primary_label("this statement writes external state")
+        .with_var(var)
+        .with_pass("fir")
+        .with_note("precondition P3: the variable's slice must be free of external effects");
+        for w in writers.iter().skip(1) {
+            d = d.with_label(cx.span_of(*w), "external write also here");
+        }
+        return Err(d);
     }
 
     // P1/P2 — loop-carried dependence structure.
@@ -211,32 +304,61 @@ fn convert_var(
         .iter()
         .any(|e| e.var == var && sacc.contains(&e.writer));
     if !has_cycle_on_var {
-        return Err(format!(
-            "P1: no dependence cycle through the update of {var} \
-             (value does not accumulate across iterations)"
-        ));
+        return Err(Diagnostic::new(
+            Code::NoAccumulation,
+            cx.first_span(&sacc),
+            format!(
+                "P1: no dependence cycle through the update of {var} \
+                 (value does not accumulate across iterations)"
+            ),
+        )
+        .with_primary_label(format!("{var} is overwritten, not accumulated"))
+        .with_var(var)
+        .with_pass("fir")
+        .with_note("precondition P1: the update must read the previous iteration's value"));
     }
     for e in &lcfd {
-        let allowed = (e.var == var && sacc.contains(&e.writer)) || e.var == cursor;
+        let allowed = (e.var == var && sacc.contains(&e.writer)) || e.var == cx.cursor;
         if !allowed {
-            return Err(format!(
-                "P2: extra loop-carried dependence on {} ({} → {})",
-                e.var, e.writer, e.reader
+            return Err(Diagnostic::new(
+                Code::ExtraLoopDependence,
+                cx.span_of(e.writer),
+                format!(
+                    "P2: extra loop-carried dependence on {} ({} → {})",
+                    e.var, e.writer, e.reader
+                ),
+            )
+            .with_primary_label(format!("{} is written here on one iteration …", e.var))
+            .with_label(cx.span_of(e.reader), "… and read here on the next")
+            .with_var(var)
+            .with_pass("fir")
+            .with_note(
+                "precondition P2: only the accumulator itself (and the cursor) may \
+                 carry values across iterations",
             ));
         }
     }
 
     if dag.is_poisoned(expr) {
-        return Err(format!("body expression for {var} is not algebraic"));
+        let mut d = fail(
+            Code::NonAlgebraic,
+            cx.span_of(cx.loop_stmt).merge(cx.loop_span),
+            format!("body expression for {var} is not algebraic"),
+        )
+        .unwrap_err();
+        if let Some(reason) = first_opaque_reason(dag, expr) {
+            d = d.with_note(format!("opaque sub-expression: {reason}"));
+        }
+        return Err(d);
     }
 
     // Build e'_acc: ⟨v⟩ for the iteration-start value of var, ⟨t⟩ for the
     // cursor tuple.
     let mut subs = VeMap::new();
     let acc = dag.intern(Node::AccParam(var.to_string()));
-    let tup = dag.intern(Node::TupleParam(cursor.to_string()));
+    let tup = dag.intern(Node::TupleParam(cx.cursor.to_string()));
     subs.insert(var.to_string(), acc);
-    subs.insert(cursor.to_string(), tup);
+    subs.insert(cx.cursor.to_string(), tup);
     let func = dag.substitute_inputs(expr, &subs);
 
     // Safety net: the folding function must not read any *other*
@@ -244,31 +366,57 @@ fn convert_var(
     // this; an Input surviving here would silently capture a stale value).
     for w in all_updated {
         if w != var && dag.inputs_of(func).contains(w) {
-            return Err(format!("folding function for {var} reads loop variable {w}"));
+            return fail(
+                Code::ExtraLoopDependence,
+                cx.first_span(&sacc),
+                format!("folding function for {var} reads loop variable {w}"),
+            );
         }
     }
     if dag.any(func, |n| matches!(n, Node::NotDetermined)) {
-        return Err(format!("folding function for {var} depends on an unconverted loop"));
+        return fail(
+            Code::NonAlgebraic,
+            cx.first_span(&sacc),
+            format!("folding function for {var} depends on an unconverted loop"),
+        );
     }
 
     let init = dag.input(var);
     Ok(dag.intern(Node::Fold {
         func,
         init,
-        source,
-        cursor: cursor.to_string(),
-        origin: (loop_stmt, var.to_string()),
+        source: cx.source,
+        cursor: cx.cursor.to_string(),
+        origin: (cx.loop_stmt, var.to_string()),
     }))
 }
 
-/// Detect `break`/`continue`/`return` anywhere in a loop body.
-fn abrupt_exit(b: &Block) -> Option<String> {
+/// The reason string of the first `Opaque` node under `id`, if any.
+fn first_opaque_reason(dag: &EeDag, id: NodeId) -> Option<String> {
+    let mut found = None;
+    dag.walk(id, &mut |_, n| {
+        if found.is_none() {
+            if let Node::Opaque { reason, .. } = n {
+                found = Some(reason.clone());
+            }
+        }
+    });
+    found
+}
+
+/// Detect `break`/`continue`/`return` anywhere in a loop body; returns the
+/// exit kind and the offending statement's span.
+fn abrupt_exit(b: &Block) -> Option<(&'static str, Span)> {
     for s in &b.stmts {
         match &s.kind {
-            StmtKind::Break => return Some("loop contains break".into()),
-            StmtKind::Continue => return Some("loop contains continue".into()),
-            StmtKind::Return(_) => return Some("loop contains return".into()),
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::Break => return Some(("break", s.span)),
+            StmtKind::Continue => return Some(("continue", s.span)),
+            StmtKind::Return(_) => return Some(("return", s.span)),
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if let Some(r) = abrupt_exit(then_branch) {
                     return Some(r);
                 }
@@ -293,6 +441,7 @@ pub fn whole_body_lcfd_count(ddg: &Ddg) -> usize {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::dir::build_function_dir;
     use algebra::schema::{Catalog, SqlType, TableSchema};
 
@@ -303,7 +452,7 @@ mod tests {
         )
     }
 
-    fn fold_result(src: &str, var: &str) -> Result<(), String> {
+    fn fold_result(src: &str, var: &str) -> Result<(), Diagnostic> {
         let p = imp::parse_and_normalize(src).unwrap();
         let c = catalog();
         let d = build_function_dir(&p, &c, "f").unwrap();
@@ -328,7 +477,13 @@ mod tests {
         // v = t.salary every iteration: no accumulation cycle.
         let src = format!("{PREFIX} v = 0; for (t in q) {{ v = t.salary; }} return v; }}");
         let err = fold_result(&src, "v").unwrap_err();
-        assert!(err.contains("P1"), "{err}");
+        assert_eq!(err.code, Code::NoAccumulation);
+        assert!(err.message.contains("P1"), "{err}");
+        // The diagnostic must point at the overwriting assignment.
+        assert_eq!(
+            &src[err.primary.span.start..err.primary.span.end],
+            "v = t.salary;"
+        );
     }
 
     #[test]
@@ -338,7 +493,14 @@ mod tests {
         );
         assert!(fold_result(&src, "a").is_ok());
         let err = fold_result(&src, "d").unwrap_err();
-        assert!(err.contains("P2"), "{err}");
+        assert_eq!(err.code, Code::ExtraLoopDependence);
+        assert!(err.message.contains("P2"), "{err}");
+        // Writer anchor + reader secondary label.
+        assert_eq!(
+            &src[err.primary.span.start..err.primary.span.end],
+            "a = a + t.salary;"
+        );
+        assert!(!err.secondary.is_empty());
     }
 
     #[test]
@@ -349,7 +511,12 @@ mod tests {
             "{PREFIX} s = 0; for (t in q) {{ n = executeUpdate(\"DELETE FROM emp WHERE id = ?\", t.id); s = s + n + t.salary; }} return s; }}"
         );
         let err = fold_result(&src, "s").unwrap_err();
-        assert!(err.contains("P3"), "{err}");
+        assert_eq!(err.code, Code::ExternalWriteInSlice);
+        assert!(err.message.contains("P3"), "{err}");
+        assert!(
+            src[err.primary.span.start..err.primary.span.end].contains("executeUpdate"),
+            "span must cover the update statement"
+        );
     }
 
     #[test]
@@ -388,7 +555,9 @@ mod tests {
             "{PREFIX} s = 0; for (t in q) {{ s = s + t.salary; if (s > 100) break; }} return s; }}"
         );
         let err = fold_result(&src, "s").unwrap_err();
-        assert!(err.contains("break"), "{err}");
+        assert_eq!(err.code, Code::AbruptLoopExit);
+        assert!(err.message.contains("break"), "{err}");
+        assert_eq!(&src[err.primary.span.start..err.primary.span.end], "break;");
     }
 
     #[test]

@@ -29,9 +29,15 @@ pub mod dir;
 pub mod eedag;
 pub mod extract;
 pub mod fir;
+pub mod lint;
 pub mod rewrite;
 pub mod rules;
 pub mod sqlgen;
 
 pub use costing::{DbStats, RewriteDecision};
-pub use extract::{ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions, VarExtraction};
+pub use extract::{
+    ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions, VarExtraction,
+};
+pub use lint::lint_program;
+pub use rules::RuleMiss;
+pub use sqlgen::SqlGenError;

@@ -45,7 +45,11 @@ fn scan_before(b: &Block, target: StmtId, assigned: &mut BTreeSet<String>) -> bo
                     assigned.insert(v.clone());
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 if scan_before(then_branch, target, assigned) {
                     return true;
                 }
@@ -110,7 +114,10 @@ fn replace_in_block(b: &mut Block, plan: &RewritePlan) -> bool {
                 .iter()
                 .map(|(v, e)| Stmt {
                     id: StmtId(u32::MAX), // renumbered by the caller
-                    kind: StmtKind::Assign { target: v.clone(), value: e.clone() },
+                    kind: StmtKind::Assign {
+                        target: v.clone(),
+                        value: e.clone(),
+                    },
                     span,
                 })
                 .collect();
@@ -118,9 +125,11 @@ fn replace_in_block(b: &mut Block, plan: &RewritePlan) -> bool {
             return true;
         }
         let found = match &mut b.stmts[i].kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
-                replace_in_block(then_branch, plan) || replace_in_block(else_branch, plan)
-            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => replace_in_block(then_branch, plan) || replace_in_block(else_branch, plan),
             StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
                 replace_in_block(body, plan)
             }
@@ -151,8 +160,8 @@ mod tests {
 
     #[test]
     fn inputs_safe_ignores_later_assignments() {
-        let p = parse_program("fn f(x) { for (t in q) { s = s + t.a; } x = 0; return s; }")
-            .unwrap();
+        let p =
+            parse_program("fn f(x) { for (t in q) { s = s + t.a; } x = 0; return s; }").unwrap();
         let f = &p.functions[0];
         let loop_id = f.body.stmts[0].id;
         assert!(inputs_safe(f, loop_id, &["x".to_string()]));

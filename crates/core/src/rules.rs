@@ -51,8 +51,22 @@ pub struct RuleOptions {
 
 impl Default for RuleOptions {
     fn default() -> Self {
-        RuleOptions { ordered: true, prefer_lateral: false }
+        RuleOptions {
+            ordered: true,
+            prefer_lateral: false,
+        }
     }
+}
+
+/// A recorded rule near-miss: a rule whose fold shape matched but whose
+/// side conditions failed. Surfaced as `W001` notes on failed extractions
+/// ("rule T1–T7 not applicable and why").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleMiss {
+    /// Rule name (paper numbering, e.g. `"T4.1"`).
+    pub rule: &'static str,
+    /// Why the rule did not apply.
+    pub reason: String,
 }
 
 /// The rule engine.
@@ -61,13 +75,33 @@ pub struct RuleEngine<'c> {
     opts: RuleOptions,
     /// Names of rules applied, in order (for tests and the ablation bench).
     pub trace: Vec<&'static str>,
+    /// Rules that shape-matched but declined, with reasons (deduplicated;
+    /// rule application runs to fixpoint, so the same miss can recur).
+    pub misses: Vec<RuleMiss>,
     fresh: usize,
 }
 
 impl<'c> RuleEngine<'c> {
     /// Create an engine over a catalog.
     pub fn new(catalog: &'c Catalog, opts: RuleOptions) -> RuleEngine<'c> {
-        RuleEngine { catalog, opts, trace: Vec::new(), fresh: 0 }
+        RuleEngine {
+            catalog,
+            opts,
+            trace: Vec::new(),
+            misses: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    /// Record a near-miss (idempotent).
+    fn miss(&mut self, rule: &'static str, reason: impl Into<String>) {
+        let m = RuleMiss {
+            rule,
+            reason: reason.into(),
+        };
+        if !self.misses.contains(&m) {
+            self.misses.push(m);
+        }
     }
 
     /// Transform an expression to fixpoint.
@@ -110,34 +144,60 @@ impl<'c> RuleEngine<'c> {
                 let n = dag.intern(Node::Op { op, args: new });
                 self.simplify_op(dag, n)
             }
-            Node::Cond { cond, then_val, else_val } => {
+            Node::Cond {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let c = self.rewrite(dag, cond, memo);
                 let t = self.rewrite(dag, then_val, memo);
                 let e = self.rewrite(dag, else_val, memo);
-                dag.intern(Node::Cond { cond: c, then_val: t, else_val: e })
+                dag.intern(Node::Cond {
+                    cond: c,
+                    then_val: t,
+                    else_val: e,
+                })
             }
             Node::Query { ra, params } => {
-                let new: Vec<NodeId> =
-                    params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
+                let new: Vec<NodeId> = params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
                 dag.intern(Node::Query { ra, params: new })
             }
             Node::ScalarQuery { ra, params } => {
-                let new: Vec<NodeId> =
-                    params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
+                let new: Vec<NodeId> = params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
                 dag.intern(Node::ScalarQuery { ra, params: new })
             }
-            Node::Fold { func, init, source, cursor, origin } => {
+            Node::Fold {
+                func,
+                init,
+                source,
+                cursor,
+                origin,
+            } => {
                 let f = self.rewrite(dag, func, memo);
                 let i = self.rewrite(dag, init, memo);
                 let s = self.rewrite(dag, source, memo);
-                let fold =
-                    dag.intern(Node::Fold { func: f, init: i, source: s, cursor, origin });
+                let fold = dag.intern(Node::Fold {
+                    func: f,
+                    init: i,
+                    source: s,
+                    cursor,
+                    origin,
+                });
                 match self.try_fold_rules(dag, fold) {
                     Some(n) => n,
                     None => fold,
                 }
             }
-            Node::ArgExtreme { source, is_max, key, value, v_init, w_init, cursor, origin } => {
+            Node::ArgExtreme {
+                source,
+                is_max,
+                key,
+                value,
+                v_init,
+                w_init,
+                cursor,
+                origin,
+            } => {
                 let s = self.rewrite(dag, source, memo);
                 let vi = self.rewrite(dag, v_init, memo);
                 let wi = self.rewrite(dag, w_init, memo);
@@ -172,7 +232,8 @@ impl<'c> RuleEngine<'c> {
             return id;
         }
         let (a, b) = (args[0], args[1]);
-        let is_lit = |dag: &EeDag, n: NodeId, l: &Lit| matches!(dag.node(n), Node::Const(x) if x == l);
+        let is_lit =
+            |dag: &EeDag, n: NodeId, l: &Lit| matches!(dag.node(n), Node::Const(x) if x == l);
         match op {
             OpKind::Or if is_lit(dag, a, &Lit::Bool(false)) => b,
             OpKind::Or if is_lit(dag, b, &Lit::Bool(false)) => a,
@@ -186,7 +247,14 @@ impl<'c> RuleEngine<'c> {
 
     /// Attempt all fold rules at a (already child-rewritten) fold node.
     fn try_fold_rules(&mut self, dag: &mut EeDag, fold: NodeId) -> Option<NodeId> {
-        let Node::Fold { func, init, source, cursor, origin } = dag.node(fold).clone() else {
+        let Node::Fold {
+            func,
+            init,
+            source,
+            cursor,
+            origin,
+        } = dag.node(fold).clone()
+        else {
             return None;
         };
         // The source must be (equivalent to) a query result.
@@ -200,7 +268,12 @@ impl<'c> RuleEngine<'c> {
         // D-IR form `?[x > y, x, y]` *is* `max(x, y)` (and `<` is `min`) —
         // the source-level desugar only catches single-statement branches,
         // so the rule engine normalizes the general form too.
-        if let Node::Cond { cond, then_val, else_val } = dag.node(func).clone() {
+        if let Node::Cond {
+            cond,
+            then_val,
+            else_val,
+        } = dag.node(func).clone()
+        {
             if let Node::Op { op, args } = dag.node(cond).clone() {
                 if args.len() == 2 {
                     let kind = match op {
@@ -215,7 +288,11 @@ impl<'c> RuleEngine<'c> {
                             Some(dag.op(k, vec![args[1], args[0]]))
                         } else if matches_flipped {
                             // ?[x > y, y, x] keeps the smaller on Gt.
-                            let k2 = if k == OpKind::Max { OpKind::Min } else { OpKind::Max };
+                            let k2 = if k == OpKind::Max {
+                                OpKind::Min
+                            } else {
+                                OpKind::Max
+                            };
                             Some(dag.op(k2, vec![args[0], args[1]]))
                         } else {
                             None
@@ -237,7 +314,12 @@ impl<'c> RuleEngine<'c> {
         }
 
         // T2: predicate push.
-        if let Node::Cond { cond, then_val, else_val } = dag.node(func).clone() {
+        if let Node::Cond {
+            cond,
+            then_val,
+            else_val,
+        } = dag.node(func).clone()
+        {
             let acc = dag.intern(Node::AccParam(var.clone()));
             let (g, pred_node, negate) = if else_val == acc {
                 (then_val, cond, false)
@@ -249,22 +331,28 @@ impl<'c> RuleEngine<'c> {
             if g != NodeId(u32::MAX) {
                 let mut sb = ScalarBuild::new(dag, self.catalog, qp.clone());
                 sb.bind_tuple(&cursor, None);
-                if let Some(mut pred) = sb.to_scalar(pred_node) {
-                    if negate {
-                        pred = Scalar::Un(UnOp::Not, Box::new(pred));
+                match sb.to_scalar(pred_node) {
+                    Some(mut pred) => {
+                        if negate {
+                            pred = Scalar::Un(UnOp::Not, Box::new(pred));
+                        }
+                        let params = sb.params;
+                        let new_q = q.clone().select(pred);
+                        let new_src = dag.intern(Node::Query { ra: new_q, params });
+                        self.trace.push("T2");
+                        let out = dag.intern(Node::Fold {
+                            func: g,
+                            init,
+                            source: new_src,
+                            cursor,
+                            origin,
+                        });
+                        return Some(self.try_fold_rules(dag, out).unwrap_or(out));
                     }
-                    let params = sb.params;
-                    let new_q = q.clone().select(pred);
-                    let new_src = dag.intern(Node::Query { ra: new_q, params });
-                    self.trace.push("T2");
-                    let out = dag.intern(Node::Fold {
-                        func: g,
-                        init,
-                        source: new_src,
-                        cursor,
-                        origin,
-                    });
-                    return Some(self.try_fold_rules(dag, out).unwrap_or(out));
+                    None => self.miss(
+                        "T2",
+                        format!("guard predicate for `{var}` has no scalar translation"),
+                    ),
                 }
             }
         }
@@ -279,6 +367,12 @@ impl<'c> RuleEngine<'c> {
                 let elem = args[1];
                 let is_set = op == OpKind::Insert;
                 let ordered = self.opts.ordered && op == OpKind::Append;
+                if !self.init_is_empty_coll(dag, init) {
+                    self.miss(
+                        "T1",
+                        format!("initial value of `{var}` is not the empty collection"),
+                    );
+                }
                 // T5.2 (GROUP BY) and T7 (OUTER APPLY) can both match the
                 // nested-aggregation shape; either is correct (confluence,
                 // Sec. 5.3) — the option picks which to try first.
@@ -288,15 +382,11 @@ impl<'c> RuleEngine<'c> {
                     {
                         return Some(n);
                     }
-                    if let Some(n) =
-                        self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init)
-                    {
+                    if let Some(n) = self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init) {
                         return Some(n);
                     }
                 } else {
-                    if let Some(n) =
-                        self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init)
-                    {
+                    if let Some(n) = self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init) {
                         return Some(n);
                     }
                     if let Some(n) =
@@ -323,9 +413,7 @@ impl<'c> RuleEngine<'c> {
                     (2, args[0])
                 };
                 if acc_pos < 2 {
-                    if let Some(n) =
-                        self.try_scalar_agg(dag, &q, &qp, &cursor, op, e, init, &var)
-                    {
+                    if let Some(n) = self.try_scalar_agg(dag, &q, &qp, &cursor, op, e, init, &var) {
                         return Some(n);
                     }
                 }
@@ -333,8 +421,13 @@ impl<'c> RuleEngine<'c> {
         }
         // T4: the folding function is itself a fold whose initial value is
         // the outer accumulator (flattening nested cursor loops).
-        if let Node::Fold { func: ifunc, init: iinit, source: isrc, cursor: icursor, .. } =
-            dag.node(func).clone()
+        if let Node::Fold {
+            func: ifunc,
+            init: iinit,
+            source: isrc,
+            cursor: icursor,
+            ..
+        } = dag.node(func).clone()
         {
             let acc = dag.intern(Node::AccParam(var.clone()));
             if iinit == acc {
@@ -369,12 +462,19 @@ impl<'c> RuleEngine<'c> {
         if matches!(dag.node(elem), Node::TupleParam(c) if c == cursor) {
             let ra = if is_set { q.clone().dedup() } else { q.clone() };
             self.trace.push(if is_set { "T1.2" } else { "T1.1" });
-            return Some(dag.intern(Node::Query { ra, params: qp.to_vec() }));
+            return Some(dag.intern(Node::Query {
+                ra,
+                params: qp.to_vec(),
+            }));
         }
         let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
         sb.bind_tuple(cursor, None);
         // Pair element without aggregation: two projected columns.
-        let items = if let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() {
+        let items = if let Node::Op {
+            op: OpKind::Pair,
+            args,
+        } = dag.node(elem).clone()
+        {
             let a = sb.to_scalar(args[0])?;
             let b = sb.to_scalar(args[1])?;
             vec![ProjItem::new(a, "first"), ProjItem::new(b, "second")]
@@ -415,9 +515,11 @@ impl<'c> RuleEngine<'c> {
         // in-application nested-loop join of Experiment 6 ("combines them
         // using nested loops, based on a condition").
         let (inner_core, guard) = match dag.node(inner_func).clone() {
-            Node::Cond { cond, then_val, else_val }
-                if matches!(dag.node(else_val), Node::AccParam(v) if v == var) =>
-            {
+            Node::Cond {
+                cond,
+                then_val,
+                else_val,
+            } if matches!(dag.node(else_val), Node::AccParam(v) if v == var) => {
                 (then_val, Some(cond))
             }
             _ => (inner_func, None),
@@ -439,6 +541,10 @@ impl<'c> RuleEngine<'c> {
         // T4.1 (ordered list append) requires the outer query to have a
         // unique key; sets/multisets don't (T4.2/T4.3).
         if is_append && self.opts.ordered && !has_key(q1, self.catalog) {
+            self.miss(
+                "T4.1",
+                "ordered list append requires the outer query to have a unique key",
+            );
             return None;
         }
         // Qualify the outer side.
@@ -455,18 +561,31 @@ impl<'c> RuleEngine<'c> {
         let q2c = q2.clone().substitute_params(&subs);
         // Decompose Q2 so the correlated selection becomes an explicit join
         // predicate (the paper's `Q1 ⋈_pred Q2`).
-        let d = decorrelate_simple(q2c)?;
+        let Some(d) = decorrelate_simple(q2c) else {
+            self.miss(
+                "T4",
+                "inner query cannot be decorrelated into a join predicate",
+            );
+            return None;
+        };
         let (right, ib) = self.alias_inner(d.table, &ob);
         let mut pred = qualify_unqualified(&d.pred, &ib);
 
         // Element over the inner tuple (and possibly the outer one).
-        sb.bind_tuple_mapped(inner_cursor, inner_col_map(&d.proj, &right, &ib, self.catalog)?);
+        sb.bind_tuple_mapped(
+            inner_cursor,
+            inner_col_map(&d.proj, &right, &ib, self.catalog)?,
+        );
         // A guarded append contributes its condition to the join predicate.
         if let Some(g) = guard {
             let g_scalar = sb.to_scalar(g)?;
             pred = pred.and(g_scalar);
         }
-        let items = if let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() {
+        let items = if let Node::Op {
+            op: OpKind::Pair,
+            args,
+        } = dag.node(elem).clone()
+        {
             let a = sb.to_scalar(args[0])?;
             let b = sb.to_scalar(args[1])?;
             vec![ProjItem::new(a, "first"), ProjItem::new(b, "second")]
@@ -508,7 +627,10 @@ impl<'c> RuleEngine<'c> {
         sb.bind_tuple(cursor, None);
         match op {
             OpKind::Add | OpKind::Max | OpKind::Min => {
-                let arg = sb.to_scalar(e)?;
+                let Some(arg) = sb.to_scalar(e) else {
+                    self.miss("T5.1", "aggregated expression has no scalar translation");
+                    return None;
+                };
                 let params = sb.params;
                 // COUNT special case: summing the constant 1.
                 let (agg, label) = if op == OpKind::Add && arg == Scalar::int(1) {
@@ -537,7 +659,11 @@ impl<'c> RuleEngine<'c> {
                     }
                     _ => {
                         let c = dag.op(OpKind::Coalesce, vec![sq, init]);
-                        let k = if op == OpKind::Max { OpKind::Max } else { OpKind::Min };
+                        let k = if op == OpKind::Max {
+                            OpKind::Max
+                        } else {
+                            OpKind::Min
+                        };
                         dag.op(k, vec![init, c])
                     }
                 };
@@ -545,12 +671,16 @@ impl<'c> RuleEngine<'c> {
             }
             OpKind::Or => {
                 // EXISTS: v ∨ pred(t) over all t ⇔ v ∨ (COUNT(σ_pred) > 0).
-                let pred = sb.to_scalar(e)?;
+                let Some(pred) = sb.to_scalar(e) else {
+                    self.miss("EXISTS", "flag predicate has no scalar translation");
+                    return None;
+                };
                 let params = sb.params;
-                let ra = q
-                    .clone()
-                    .select(pred)
-                    .aggregate(vec![AggCall::new(AggFunc::Count, Scalar::int(1), "agg0")]);
+                let ra = q.clone().select(pred).aggregate(vec![AggCall::new(
+                    AggFunc::Count,
+                    Scalar::int(1),
+                    "agg0",
+                )]);
                 let sq = dag.intern(Node::ScalarQuery { ra, params });
                 let zero = dag.int(0);
                 let gt = dag.op(OpKind::Gt, vec![sq, zero]);
@@ -561,13 +691,17 @@ impl<'c> RuleEngine<'c> {
             OpKind::And => {
                 // FORALL / NOT EXISTS: v ∧ pred(t) over all t ⇔
                 // v ∧ (COUNT(σ_{¬pred}) = 0).
-                let pred = sb.to_scalar(e)?;
+                let Some(pred) = sb.to_scalar(e) else {
+                    self.miss("NOT-EXISTS", "flag predicate has no scalar translation");
+                    return None;
+                };
                 let params = sb.params;
                 let neg = Scalar::Un(UnOp::Not, Box::new(pred));
-                let ra = q
-                    .clone()
-                    .select(neg)
-                    .aggregate(vec![AggCall::new(AggFunc::Count, Scalar::int(1), "agg0")]);
+                let ra = q.clone().select(neg).aggregate(vec![AggCall::new(
+                    AggFunc::Count,
+                    Scalar::int(1),
+                    "agg0",
+                )]);
                 let sq = dag.intern(Node::ScalarQuery { ra, params });
                 let zero = dag.int(0);
                 let eq = dag.op(OpKind::Eq, vec![sq, zero]);
@@ -596,13 +730,26 @@ impl<'c> RuleEngine<'c> {
         if !self.init_is_empty_coll(dag, init) {
             return None;
         }
-        let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() else {
+        let Node::Op {
+            op: OpKind::Pair,
+            args,
+        } = dag.node(elem).clone()
+        else {
             return None;
         };
         let (key_node, val_node) = (args[0], args[1]);
         // Find the unique correlated aggregate scalar-subquery in the value.
         let sqs = correlated_scalar_queries(dag, val_node, cursor);
         if sqs.len() != 1 {
+            if sqs.len() > 1 {
+                self.miss(
+                    "T5.2",
+                    format!(
+                        "found {} correlated aggregate subqueries (need exactly one)",
+                        sqs.len()
+                    ),
+                );
+            }
             return None;
         }
         let sq = sqs[0];
@@ -610,7 +757,12 @@ impl<'c> RuleEngine<'c> {
             Node::ScalarQuery { ra, params } => (ra, params),
             _ => return None,
         };
-        let RaExpr::Aggregate { input: iq_input, group_by, aggs } = iq else {
+        let RaExpr::Aggregate {
+            input: iq_input,
+            group_by,
+            aggs,
+        } = iq
+        else {
             return None;
         };
         if !group_by.is_empty() || aggs.len() != 1 {
@@ -619,6 +771,10 @@ impl<'c> RuleEngine<'c> {
         // T5.2 requires Q1 to have a key (grouping by all Q1 columns must
         // not merge distinct outer rows).
         if !has_key(q1, self.catalog) {
+            self.miss(
+                "T5.2",
+                "outer query has no unique key (grouping could merge rows)",
+            );
             return None;
         }
         let (q1a, ob) = ensure_binding(q1.clone(), || self.fresh_alias("eqo"));
@@ -654,7 +810,12 @@ impl<'c> RuleEngine<'c> {
         let q1_cols = q1.output_columns(self.catalog)?;
         let gb: Vec<ProjItem> = q1_cols
             .iter()
-            .map(|c| ProjItem::new(Scalar::Col(ColRef::qualified(ob.clone(), c.clone())), c.clone()))
+            .map(|c| {
+                ProjItem::new(
+                    Scalar::Col(ColRef::qualified(ob.clone(), c.clone())),
+                    c.clone(),
+                )
+            })
             .collect();
         let grouped = join.group_by(gb, vec![AggCall::new(agg.func, agg_arg, "agg0")]);
 
@@ -722,7 +883,11 @@ impl<'c> RuleEngine<'c> {
         }
         // The projected element, with subqueries now columns of the chain.
         sb.bind_tuple(cursor, Some(ob));
-        let items = if let Node::Op { op: OpKind::Pair, args } = dag.node(elem).clone() {
+        let items = if let Node::Op {
+            op: OpKind::Pair,
+            args,
+        } = dag.node(elem).clone()
+        {
             let a = sb.to_scalar(args[0])?;
             let b = sb.to_scalar(args[1])?;
             vec![ProjItem::new(a, "first"), ProjItem::new(b, "second")]
@@ -745,8 +910,16 @@ impl<'c> RuleEngine<'c> {
     /// initial bound, with `COALESCE(…, w₀)` restoring the initial value
     /// when no row qualifies.
     fn try_arg_extreme(&mut self, dag: &mut EeDag, node: NodeId) -> Option<NodeId> {
-        let Node::ArgExtreme { source, is_max, key, value, v_init, w_init, cursor, .. } =
-            dag.node(node).clone()
+        let Node::ArgExtreme {
+            source,
+            is_max,
+            key,
+            value,
+            v_init,
+            w_init,
+            cursor,
+            ..
+        } = dag.node(node).clone()
         else {
             return None;
         };
@@ -788,7 +961,13 @@ impl<'c> RuleEngine<'c> {
                 let binding = alias.clone().unwrap_or_else(|| name.clone());
                 if binding == outer_binding {
                     let fresh = self.fresh_alias("eqi");
-                    (RaExpr::Table { name, alias: Some(fresh.clone()) }, fresh)
+                    (
+                        RaExpr::Table {
+                            name,
+                            alias: Some(fresh.clone()),
+                        },
+                        fresh,
+                    )
                 } else {
                     (RaExpr::Table { name, alias }, binding)
                 }
@@ -835,7 +1014,10 @@ fn map_through_projection(
 ) -> Option<Scalar> {
     let mut failed = false;
     let out = s.map(&mut |x| match x {
-        Scalar::Col(ColRef { qualifier: None, column }) => {
+        Scalar::Col(ColRef {
+            qualifier: None,
+            column,
+        }) => {
             let target = match proj {
                 Some(items) => match items.iter().find(|(a, _)| a == &column) {
                     Some((_, c)) => c.clone(),
@@ -872,9 +1054,9 @@ fn correlated_scalar_queries(dag: &EeDag, root: NodeId, cursor: &str) -> Vec<Nod
     let mut out = Vec::new();
     dag.walk(root, &mut |id, n| {
         if let Node::ScalarQuery { params, .. } = n {
-            let correlated = params.iter().any(|p|
-
-                dag.any(*p, |x| matches!(x, Node::TupleParam(c) if c == cursor)));
+            let correlated = params
+                .iter()
+                .any(|p| dag.any(*p, |x| matches!(x, Node::TupleParam(c) if c == cursor)));
             if correlated && !out.contains(&id) {
                 out.push(id);
             }
@@ -928,15 +1110,21 @@ struct Decorrelated {
 /// variable, Sec. 5.2).
 fn decorrelate_simple(ra: RaExpr) -> Option<Decorrelated> {
     match ra {
-        RaExpr::Table { .. } => {
-            Some(Decorrelated { table: ra, pred: Scalar::bool(true), proj: None })
-        }
+        RaExpr::Table { .. } => Some(Decorrelated {
+            table: ra,
+            pred: Scalar::bool(true),
+            proj: None,
+        }),
         RaExpr::Select { input, pred } => {
             let d = decorrelate_simple(*input)?;
             if d.proj.is_some() {
                 return None; // σ above π: not produced by our SQL parser
             }
-            Some(Decorrelated { table: d.table, pred: d.pred.and(pred), proj: d.proj })
+            Some(Decorrelated {
+                table: d.table,
+                pred: d.pred.and(pred),
+                proj: d.proj,
+            })
         }
         RaExpr::Project { input, items } => {
             let d = decorrelate_simple(*input)?;
@@ -950,7 +1138,11 @@ fn decorrelate_simple(ra: RaExpr) -> Option<Decorrelated> {
                     _ => return None,
                 }
             }
-            Some(Decorrelated { table: d.table, pred: d.pred, proj: Some(map) })
+            Some(Decorrelated {
+                table: d.table,
+                pred: d.pred,
+                proj: Some(map),
+            })
         }
         _ => None,
     }
@@ -959,9 +1151,10 @@ fn decorrelate_simple(ra: RaExpr) -> Option<Decorrelated> {
 /// Qualify unqualified column references in a scalar with `qual`.
 fn qualify_unqualified(s: &Scalar, qual: &str) -> Scalar {
     s.map(&mut |x| match x {
-        Scalar::Col(ColRef { qualifier: None, column }) => {
-            Scalar::Col(ColRef::qualified(qual, column))
-        }
+        Scalar::Col(ColRef {
+            qualifier: None,
+            column,
+        }) => Scalar::Col(ColRef::qualified(qual, column)),
         other => other,
     })
 }
@@ -983,7 +1176,9 @@ pub fn has_key(ra: &RaExpr, catalog: &Catalog) -> bool {
                 None => return false,
             };
             keys.iter().all(|k| {
-                items.iter().any(|i| matches!(&i.expr, Scalar::Col(c) if &c.column == k))
+                items
+                    .iter()
+                    .any(|i| matches!(&i.expr, Scalar::Col(c) if &c.column == k))
             })
         }
         RaExpr::Aggregate { group_by, .. } => !group_by.is_empty(),
@@ -1155,17 +1350,21 @@ impl<'d, 'c> ScalarBuild<'d, 'c> {
                         }
                         Some(Scalar::Func(ScalarFunc::Coalesce, xs))
                     }
-                    OpKind::Append
-                    | OpKind::Insert
-                    | OpKind::MultisetInsert
-                    | OpKind::Pair => None,
+                    OpKind::Append | OpKind::Insert | OpKind::MultisetInsert | OpKind::Pair => None,
                 }
             }
-            Node::Cond { cond, then_val, else_val } => {
+            Node::Cond {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let c = self.to_scalar(cond)?;
                 let t = self.to_scalar(then_val)?;
                 let e = self.to_scalar(else_val)?;
-                Some(Scalar::Case { arms: vec![(c, t)], otherwise: Box::new(e) })
+                Some(Scalar::Case {
+                    arms: vec![(c, t)],
+                    otherwise: Box::new(e),
+                })
             }
             Node::TupleParam(_)
             | Node::AccParam(_)
@@ -1184,7 +1383,10 @@ impl<'d, 'c> ScalarBuild<'d, 'c> {
     fn flatten_minmax(&mut self, op: OpKind, args: &[NodeId], out: &mut Vec<Scalar>) -> Option<()> {
         for a in args {
             match self.dag.node(*a).clone() {
-                Node::Op { op: o2, args: inner } if o2 == op => {
+                Node::Op {
+                    op: o2,
+                    args: inner,
+                } if o2 == op => {
                     self.flatten_minmax(op, &inner, out)?;
                 }
                 _ => out.push(self.to_scalar(*a)?),

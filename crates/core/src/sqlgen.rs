@@ -9,11 +9,48 @@
 //! Query parameters are emitted in the SQL string's textual `?` order (see
 //! `algebra::render::to_sql_with_params`).
 
+use std::fmt;
+
 use algebra::render::to_sql_with_params;
 use algebra::Dialect;
+use analysis::diag::Code;
 use imp::ast::{BinaryOp, Expr, Literal, UnaryOp};
 
 use crate::eedag::{CollKind, EeDag, Node, NodeId, OpKind};
+
+/// Why a transformed expression has no SQL/`imp` rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlGenError {
+    /// A fold, loop, or dependent aggregation survived rule application —
+    /// no transformation rule matched (diagnostic code `E006`).
+    NoRule(String),
+    /// The expression contains constructs with no relational equivalent
+    /// (diagnostic code `E005`).
+    NonAlgebraic(String),
+}
+
+impl SqlGenError {
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        match self {
+            SqlGenError::NoRule(m) | SqlGenError::NonAlgebraic(m) => m,
+        }
+    }
+
+    /// The diagnostic code this error maps to.
+    pub fn code(&self) -> Code {
+        match self {
+            SqlGenError::NoRule(_) => Code::NoRuleApplies,
+            SqlGenError::NonAlgebraic(_) => Code::NonAlgebraic,
+        }
+    }
+}
+
+impl fmt::Display for SqlGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
 
 /// Convert a fully-transformed ee-DAG expression into an `imp` expression.
 ///
@@ -22,7 +59,7 @@ use crate::eedag::{CollKind, EeDag, Node, NodeId, OpKind};
 /// and the original code must be kept (paper Sec. 5.2: "If SQL translation
 /// for transExpr fails, then the assignment is removed. The original code
 /// for v remains intact").
-pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, String> {
+pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, SqlGenError> {
     match dag.node(id).clone() {
         Node::Const(l) => Ok(Expr::Lit(lit_to_imp(&l))),
         Node::Input(v) => Ok(Expr::Var(v)),
@@ -30,9 +67,9 @@ pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, St
             let (sql, order) = to_sql_with_params(&ra, dialect);
             let mut args = vec![Expr::str(sql)];
             for i in order {
-                let p = params
-                    .get(i)
-                    .ok_or_else(|| format!("query parameter ?{i} missing"))?;
+                let p = params.get(i).ok_or_else(|| {
+                    SqlGenError::NonAlgebraic(format!("query parameter ?{i} missing"))
+                })?;
                 args.push(node_to_imp(dag, *p, dialect)?);
             }
             Ok(Expr::call("executeQuery", args))
@@ -41,9 +78,9 @@ pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, St
             let (sql, order) = to_sql_with_params(&ra, dialect);
             let mut args = vec![Expr::str(sql)];
             for i in order {
-                let p = params
-                    .get(i)
-                    .ok_or_else(|| format!("query parameter ?{i} missing"))?;
+                let p = params.get(i).ok_or_else(|| {
+                    SqlGenError::NonAlgebraic(format!("query parameter ?{i} missing"))
+                })?;
                 args.push(node_to_imp(dag, *p, dialect)?);
             }
             Ok(Expr::call("executeScalar", args))
@@ -52,7 +89,11 @@ pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, St
             let b = node_to_imp(dag, base, dialect)?;
             Ok(Expr::Field(Box::new(b), field))
         }
-        Node::Cond { cond, then_val, else_val } => {
+        Node::Cond {
+            cond,
+            then_val,
+            else_val,
+        } => {
             let c = node_to_imp(dag, cond, dialect)?;
             let t = node_to_imp(dag, then_val, dialect)?;
             let e = node_to_imp(dag, else_val, dialect)?;
@@ -67,18 +108,27 @@ pub fn node_to_imp(dag: &EeDag, id: NodeId, dialect: Dialect) -> Result<Expr, St
             }
             op_to_imp(op, xs)
         }
-        Node::AccParam(v) => Err(format!("free accumulator parameter ⟨{v}⟩")),
-        Node::TupleParam(t) => Err(format!("free tuple parameter ⟨{t}⟩")),
-        Node::Loop { .. } => Err("untranslated loop".to_string()),
-        Node::Fold { origin, .. } => {
-            Err(format!("untranslated fold for {} (no rule matched)", origin.1))
-        }
-        Node::ArgExtreme { origin, .. } => Err(format!(
+        Node::AccParam(v) => Err(SqlGenError::NonAlgebraic(format!(
+            "free accumulator parameter ⟨{v}⟩"
+        ))),
+        Node::TupleParam(t) => Err(SqlGenError::NonAlgebraic(format!(
+            "free tuple parameter ⟨{t}⟩"
+        ))),
+        Node::Loop { .. } => Err(SqlGenError::NoRule("untranslated loop".to_string())),
+        Node::Fold { origin, .. } => Err(SqlGenError::NoRule(format!(
+            "untranslated fold for {} (no rule matched)",
+            origin.1
+        ))),
+        Node::ArgExtreme { origin, .. } => Err(SqlGenError::NoRule(format!(
             "untranslated dependent aggregation for {} (source is not a query)",
             origin.1
+        ))),
+        Node::NotDetermined => Err(SqlGenError::NonAlgebraic(
+            "not-determined value".to_string(),
         )),
-        Node::NotDetermined => Err("not-determined value".to_string()),
-        Node::Opaque { reason, .. } => Err(format!("non-algebraic construct: {reason}")),
+        Node::Opaque { reason, .. } => Err(SqlGenError::NonAlgebraic(format!(
+            "non-algebraic construct: {reason}"
+        ))),
     }
 }
 
@@ -92,7 +142,7 @@ fn lit_to_imp(l: &algebra::scalar::Lit) -> Literal {
     }
 }
 
-fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, String> {
+fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, SqlGenError> {
     let bin = |op: BinaryOp, mut args: Vec<Expr>| {
         let r = args.pop().expect("binary op arity");
         let l = args.pop().expect("binary op arity");
@@ -129,8 +179,8 @@ fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, String> {
         OpKind::Length => Ok(Expr::call("length", args)),
         OpKind::Coalesce => Ok(Expr::call("coalesce", args)),
         OpKind::Pair => Ok(Expr::call("pair", args)),
-        OpKind::Append | OpKind::Insert | OpKind::MultisetInsert => {
-            Err("collection operator has no scalar translation".to_string())
-        }
+        OpKind::Append | OpKind::Insert | OpKind::MultisetInsert => Err(SqlGenError::NonAlgebraic(
+            "collection operator has no scalar translation".to_string(),
+        )),
     }
 }

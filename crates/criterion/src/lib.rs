@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the API surface the `bench` crate uses — `Criterion`,
+//! `benchmark_group` with `sample_size`/`measurement_time` builders,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — with plain
+//! wall-clock timing and stdout reporting instead of statistics, so the
+//! workspace needs no registry dependency to build its benches.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft cap on the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time `f` and report the mean per-iteration cost.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Like [`Self::bench_function`] with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            f(&mut b, input);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter, e.g. `dir_build/32`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` once under the timer. (Real criterion chooses iteration
+    /// counts adaptively; one call per sample keeps heavy extraction
+    /// benches affordable while still producing a stable mean.)
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no samples");
+        } else {
+            let mean = self.elapsed / self.iters as u32;
+            println!("{group}/{id}: {mean:?} mean over {} samples", self.iters);
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; a bench binary
+            // invoked with `--test` must not run the full measurement.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_builders_chain_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

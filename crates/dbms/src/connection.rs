@@ -27,7 +27,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { latency_us: 500.0, per_byte_us: 0.01, per_row_us: 1.0 }
+        CostModel {
+            latency_us: 500.0,
+            per_byte_us: 0.01,
+            per_row_us: 1.0,
+        }
     }
 }
 
@@ -65,12 +69,20 @@ pub struct Connection {
 impl Connection {
     /// Open a connection over `db` with the default cost model.
     pub fn new(db: Database) -> Connection {
-        Connection { db, cost: CostModel::default(), stats: Stats::default() }
+        Connection {
+            db,
+            cost: CostModel::default(),
+            stats: Stats::default(),
+        }
     }
 
     /// Open with an explicit cost model.
     pub fn with_cost(db: Database, cost: CostModel) -> Connection {
-        Connection { db, cost, stats: Stats::default() }
+        Connection {
+            db,
+            cost,
+            stats: Stats::default(),
+        }
     }
 
     /// Execute a query, paying one round trip plus transfer costs.
@@ -164,8 +176,7 @@ mod tests {
     fn overlapped_execution_pays_latency_once() {
         let mut c = conn();
         let q = parse_sql("SELECT * FROM t WHERE x = ?").unwrap();
-        let batch: Vec<(&RaExpr, Vec<Value>)> =
-            (0..5).map(|i| (&q, vec![Value::Int(i)])).collect();
+        let batch: Vec<(&RaExpr, Vec<Value>)> = (0..5).map(|i| (&q, vec![Value::Int(i)])).collect();
         c.execute_overlapped(&batch).unwrap();
         let overlapped = c.stats.sim_us;
         assert_eq!(c.stats.queries, 5);

@@ -72,7 +72,9 @@ pub fn eval_query(ra: &RaExpr, db: &Database, params: &[Value]) -> Result<Relati
 pub fn fields_of(ra: &RaExpr, db: &Database) -> Result<Vec<Field>, EvalError> {
     match ra {
         RaExpr::Table { name, alias } => {
-            let t = db.table(name).ok_or_else(|| EvalError::UnknownTable(name.clone()))?;
+            let t = db
+                .table(name)
+                .ok_or_else(|| EvalError::UnknownTable(name.clone()))?;
             let q = alias.clone().unwrap_or_else(|| name.clone());
             Ok(t.schema
                 .columns
@@ -98,7 +100,10 @@ pub fn fields_of(ra: &RaExpr, db: &Database) -> Result<Vec<Field>, EvalError> {
             Ok(f)
         }
         RaExpr::Aggregate { group_by, aggs, .. } => {
-            let mut f: Vec<Field> = group_by.iter().map(|g| Field::new(g.alias.clone())).collect();
+            let mut f: Vec<Field> = group_by
+                .iter()
+                .map(|g| Field::new(g.alias.clone()))
+                .collect();
             f.extend(aggs.iter().map(|a| Field::new(a.alias.clone())));
             Ok(f)
         }
@@ -113,8 +118,13 @@ fn eval_ra(
 ) -> Result<Relation, EvalError> {
     match ra {
         RaExpr::Table { name, .. } => {
-            let t = db.table(name).ok_or_else(|| EvalError::UnknownTable(name.clone()))?;
-            Ok(Relation { fields: fields_of(ra, db)?, rows: t.rows.clone() })
+            let t = db
+                .table(name)
+                .ok_or_else(|| EvalError::UnknownTable(name.clone()))?;
+            Ok(Relation {
+                fields: fields_of(ra, db)?,
+                rows: t.rows.clone(),
+            })
         }
         RaExpr::Values { columns, rows } => Ok(Relation {
             fields: columns.iter().map(Field::new).collect(),
@@ -127,19 +137,30 @@ fn eval_ra(
             let rel = eval_ra(input, db, params, outer)?;
             let mut rows = Vec::new();
             for row in &rel.rows {
-                let scope = Scope { fields: &rel.fields, row, parent: outer };
+                let scope = Scope {
+                    fields: &rel.fields,
+                    row,
+                    parent: outer,
+                };
                 if eval_scalar(pred, db, params, Some(&scope))?.is_true() {
                     rows.push(row.clone());
                 }
             }
-            Ok(Relation { fields: rel.fields, rows })
+            Ok(Relation {
+                fields: rel.fields,
+                rows,
+            })
         }
         RaExpr::Project { input, items } => {
             let rel = eval_ra(input, db, params, outer)?;
             let fields = items.iter().map(|i| Field::new(i.alias.clone())).collect();
             let mut rows = Vec::with_capacity(rel.rows.len());
             for row in &rel.rows {
-                let scope = Scope { fields: &rel.fields, row, parent: outer };
+                let scope = Scope {
+                    fields: &rel.fields,
+                    row,
+                    parent: outer,
+                };
                 let mut out = Vec::with_capacity(items.len());
                 for i in items {
                     out.push(eval_scalar(&i.expr, db, params, Some(&scope))?);
@@ -148,7 +169,12 @@ fn eval_ra(
             }
             Ok(Relation { fields, rows })
         }
-        RaExpr::Join { left, right, pred, kind } => {
+        RaExpr::Join {
+            left,
+            right,
+            pred,
+            kind,
+        } => {
             let l = eval_ra(left, db, params, outer)?;
             let r = eval_ra(right, db, params, outer)?;
             let mut fields = l.fields.clone();
@@ -159,7 +185,11 @@ fn eval_ra(
                 for rrow in &r.rows {
                     let mut combined = lrow.clone();
                     combined.extend(rrow.iter().cloned());
-                    let scope = Scope { fields: &fields, row: &combined, parent: outer };
+                    let scope = Scope {
+                        fields: &fields,
+                        row: &combined,
+                        parent: outer,
+                    };
                     if eval_scalar(pred, db, params, Some(&scope))?.is_true() {
                         matched = true;
                         rows.push(combined);
@@ -180,7 +210,11 @@ fn eval_ra(
             fields.extend(right_fields.clone());
             let mut rows = Vec::new();
             for lrow in &l.rows {
-                let scope = Scope { fields: &l.fields, row: lrow, parent: outer };
+                let scope = Scope {
+                    fields: &l.fields,
+                    row: lrow,
+                    parent: outer,
+                };
                 let inner = eval_ra(right, db, params, Some(&scope))?;
                 if inner.rows.is_empty() {
                     let mut combined = lrow.clone();
@@ -196,7 +230,11 @@ fn eval_ra(
             }
             Ok(Relation { fields, rows })
         }
-        RaExpr::Aggregate { input, group_by, aggs } => {
+        RaExpr::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let rel = eval_ra(input, db, params, outer)?;
             eval_aggregate(&rel, group_by, aggs, db, params, outer)
         }
@@ -205,7 +243,11 @@ fn eval_ra(
             // Decorate-sort-undecorate for stability and single evaluation.
             let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rel.rows.len());
             for row in &rel.rows {
-                let scope = Scope { fields: &rel.fields, row, parent: outer };
+                let scope = Scope {
+                    fields: &rel.fields,
+                    row,
+                    parent: outer,
+                };
                 let mut ks = Vec::with_capacity(keys.len());
                 for k in keys {
                     ks.push(eval_scalar(&k.expr, db, params, Some(&scope))?);
@@ -225,20 +267,29 @@ fn eval_ra(
                 }
                 std::cmp::Ordering::Equal
             });
-            Ok(Relation { fields: rel.fields, rows: decorated.into_iter().map(|(_, r)| r).collect() })
+            Ok(Relation {
+                fields: rel.fields,
+                rows: decorated.into_iter().map(|(_, r)| r).collect(),
+            })
         }
         RaExpr::Dedup { input } => {
             let rel = eval_ra(input, db, params, outer)?;
             let mut seen: HashMap<String, ()> = HashMap::new();
             let mut rows = Vec::new();
             for row in &rel.rows {
-                let key: String =
-                    row.iter().map(|v| v.group_key()).collect::<Vec<_>>().join("\u{1}");
+                let key: String = row
+                    .iter()
+                    .map(|v| v.group_key())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
                 if seen.insert(key, ()).is_none() {
                     rows.push(row.clone());
                 }
             }
-            Ok(Relation { fields: rel.fields, rows })
+            Ok(Relation {
+                fields: rel.fields,
+                rows,
+            })
         }
         RaExpr::Limit { input, count } => {
             let mut rel = eval_ra(input, db, params, outer)?;
@@ -267,19 +318,30 @@ fn eval_aggregate(
     params: &[Value],
     outer: Option<&Scope<'_>>,
 ) -> Result<Relation, EvalError> {
-    let mut fields: Vec<Field> = group_by.iter().map(|g| Field::new(g.alias.clone())).collect();
+    let mut fields: Vec<Field> = group_by
+        .iter()
+        .map(|g| Field::new(g.alias.clone()))
+        .collect();
     fields.extend(aggs.iter().map(|a| Field::new(a.alias.clone())));
 
     // Group rows preserving first-occurrence order of groups.
     let mut order: Vec<String> = Vec::new();
     let mut groups: HashMap<String, (Vec<Value>, Vec<usize>)> = HashMap::new();
     for (idx, row) in rel.rows.iter().enumerate() {
-        let scope = Scope { fields: &rel.fields, row, parent: outer };
+        let scope = Scope {
+            fields: &rel.fields,
+            row,
+            parent: outer,
+        };
         let mut keys = Vec::with_capacity(group_by.len());
         for g in group_by {
             keys.push(eval_scalar(&g.expr, db, params, Some(&scope))?);
         }
-        let key: String = keys.iter().map(|v| v.group_key()).collect::<Vec<_>>().join("\u{1}");
+        let key: String = keys
+            .iter()
+            .map(|v| v.group_key())
+            .collect::<Vec<_>>()
+            .join("\u{1}");
         match groups.get_mut(&key) {
             Some((_, idxs)) => idxs.push(idx),
             None => {
@@ -295,7 +357,10 @@ fn eval_aggregate(
         for a in aggs {
             out.push(empty_agg(a.func));
         }
-        return Ok(Relation { fields, rows: vec![out] });
+        return Ok(Relation {
+            fields,
+            rows: vec![out],
+        });
     }
 
     let mut rows = Vec::with_capacity(order.len());
@@ -306,7 +371,11 @@ fn eval_aggregate(
             let mut acc = Accumulator::new(a.func);
             for &i in idxs {
                 let row = &rel.rows[i];
-                let scope = Scope { fields: &rel.fields, row, parent: outer };
+                let scope = Scope {
+                    fields: &rel.fields,
+                    row,
+                    parent: outer,
+                };
                 let v = eval_scalar(&a.arg, db, params, Some(&scope))?;
                 acc.feed(&v)?;
             }
@@ -336,7 +405,14 @@ struct Accumulator {
 
 impl Accumulator {
     fn new(func: AggFunc) -> Accumulator {
-        Accumulator { func, count: 0, sum_i: 0, sum_f: 0.0, all_int: true, best: None }
+        Accumulator {
+            func,
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            all_int: true,
+            best: None,
+        }
     }
 
     fn feed(&mut self, v: &Value) -> Result<(), EvalError> {
@@ -484,7 +560,11 @@ pub fn eval_scalar(
         }
         Scalar::Subquery(q) => {
             let rel = eval_ra(q, db, params, scope)?;
-            Ok(rel.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null))
+            Ok(rel
+                .rows
+                .first()
+                .and_then(|r| r.first().cloned())
+                .unwrap_or(Value::Null))
         }
     }
 }
@@ -504,11 +584,7 @@ pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
                 match op {
                     BinOp::Eq => Value::Bool(false),
                     BinOp::Ne => Value::Bool(true),
-                    _ => {
-                        return Err(EvalError::Type(format!(
-                            "cannot compare {l} with {r}"
-                        )))
-                    }
+                    _ => return Err(EvalError::Type(format!("cannot compare {l} with {r}"))),
                 }
             }
             Some(o) => Value::Bool(match op {
@@ -607,9 +683,10 @@ fn eval_func(f: ScalarFunc, vals: Vec<Value>) -> Result<Value, EvalError> {
             Some(Value::Null) | None => Ok(Value::Null),
             Some(other) => Err(EvalError::Type(format!("LENGTH of {other}"))),
         },
-        ScalarFunc::Coalesce => {
-            Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null))
-        }
+        ScalarFunc::Coalesce => Ok(vals
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
     }
 }
 
@@ -644,7 +721,12 @@ mod tests {
         for (id, rnd, p1, p2) in [(1, 1, 10, 20), (2, 1, 30, 5), (3, 2, 99, 1)] {
             d.insert(
                 "board",
-                vec![Value::Int(id), Value::Int(rnd), Value::Int(p1), Value::Int(p2)],
+                vec![
+                    Value::Int(id),
+                    Value::Int(rnd),
+                    Value::Int(p1),
+                    Value::Int(p2),
+                ],
             );
         }
         d
@@ -662,7 +744,11 @@ mod tests {
 
     #[test]
     fn parameterized_query() {
-        let r = run("SELECT * FROM board WHERE rnd_id = ?", &db(), &[Value::Int(2)]);
+        let r = run(
+            "SELECT * FROM board WHERE rnd_id = ?",
+            &db(),
+            &[Value::Int(2)],
+        );
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows[0][0], Value::Int(3));
     }
@@ -672,13 +758,21 @@ mod tests {
         let r = run("SELECT p1 FROM board", &db(), &[]);
         assert_eq!(
             r.rows,
-            vec![vec![Value::Int(10)], vec![Value::Int(30)], vec![Value::Int(99)]]
+            vec![
+                vec![Value::Int(10)],
+                vec![Value::Int(30)],
+                vec![Value::Int(99)]
+            ]
         );
     }
 
     #[test]
     fn greatest_in_projection() {
-        let r = run("SELECT GREATEST(p1, p2) AS m FROM board WHERE rnd_id = 1", &db(), &[]);
+        let r = run(
+            "SELECT GREATEST(p1, p2) AS m FROM board WHERE rnd_id = 1",
+            &db(),
+            &[],
+        );
         assert_eq!(r.rows, vec![vec![Value::Int(20)], vec![Value::Int(30)]]);
     }
 
@@ -690,13 +784,21 @@ mod tests {
 
     #[test]
     fn aggregate_over_empty_is_null_count_zero() {
-        let r = run("SELECT MAX(p1) AS m, COUNT(*) AS c FROM board WHERE rnd_id = 9", &db(), &[]);
+        let r = run(
+            "SELECT MAX(p1) AS m, COUNT(*) AS c FROM board WHERE rnd_id = 9",
+            &db(),
+            &[],
+        );
         assert_eq!(r.rows, vec![vec![Value::Null, Value::Int(0)]]);
     }
 
     #[test]
     fn group_by_preserves_first_occurrence_order() {
-        let r = run("SELECT rnd_id, SUM(p1) AS s FROM board GROUP BY rnd_id", &db(), &[]);
+        let r = run(
+            "SELECT rnd_id, SUM(p1) AS s FROM board GROUP BY rnd_id",
+            &db(),
+            &[],
+        );
         assert_eq!(
             r.rows,
             vec![
@@ -709,7 +811,10 @@ mod tests {
     #[test]
     fn join_combines_rows() {
         let mut d = db();
-        d.create_table(TableSchema::new("round", &[("rid", SqlType::Int), ("name", SqlType::Text)]));
+        d.create_table(TableSchema::new(
+            "round",
+            &[("rid", SqlType::Int), ("name", SqlType::Text)],
+        ));
         d.insert("round", vec![Value::Int(1), "first".into()]);
         d.insert("round", vec![Value::Int(2), "second".into()]);
         let r = run(
@@ -737,7 +842,11 @@ mod tests {
         let r = run("SELECT id FROM board ORDER BY p1 DESC", &db(), &[]);
         assert_eq!(
             r.rows,
-            vec![vec![Value::Int(3)], vec![Value::Int(2)], vec![Value::Int(1)]]
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(2)],
+                vec![Value::Int(1)]
+            ]
         );
     }
 
@@ -813,7 +922,11 @@ mod tests {
     fn division_by_zero_is_null() {
         let d = Database::new();
         let v = eval_scalar(
-            &Scalar::Bin(BinOp::Div, Box::new(Scalar::int(1)), Box::new(Scalar::int(0))),
+            &Scalar::Bin(
+                BinOp::Div,
+                Box::new(Scalar::int(1)),
+                Box::new(Scalar::int(0)),
+            ),
             &d,
             &[],
             None,
@@ -831,13 +944,19 @@ mod tests {
     #[test]
     fn unknown_table_is_error() {
         let e = parse_sql("SELECT * FROM nope").unwrap();
-        assert!(matches!(eval_query(&e, &db(), &[]), Err(EvalError::UnknownTable(_))));
+        assert!(matches!(
+            eval_query(&e, &db(), &[]),
+            Err(EvalError::UnknownTable(_))
+        ));
     }
 
     #[test]
     fn unknown_column_is_error() {
         let e = parse_sql("SELECT * FROM board WHERE zzz = 1").unwrap();
-        assert!(matches!(eval_query(&e, &db(), &[]), Err(EvalError::UnknownColumn(_))));
+        assert!(matches!(
+            eval_query(&e, &db(), &[]),
+            Err(EvalError::UnknownColumn(_))
+        ));
     }
 
     #[test]

@@ -4,10 +4,9 @@
 //! mirror the applications of Sec. 7: Matoso's `board`, Wilos's
 //! `project`/`wilos_user`/`role`, and JobPortal's star schema (Fig. 12).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use algebra::schema::{SqlType, TableSchema};
+
+use crate::prng::StdRng;
 
 use crate::table::Database;
 use crate::value::Value;
@@ -73,7 +72,7 @@ pub fn gen_wilos(n_projects: usize, n_users: usize, finished_pct: u32, seed: u64
             vec![
                 Value::Int(i as i64),
                 Value::Str(format!("project-{i}")),
-                Value::Bool(rng.gen_range(0..100) < finished_pct),
+                Value::Bool(rng.gen_range(0u32..100) < finished_pct),
                 Value::Int(rng.gen_range(1_000..100_000)),
             ],
         );
@@ -84,7 +83,10 @@ pub fn gen_wilos(n_projects: usize, n_users: usize, finished_pct: u32, seed: u64
             .with_key(&["id"]),
     );
     for r in 0..n_roles {
-        db.insert("role", vec![Value::Int(r as i64), Value::Str(format!("role-{r}"))]);
+        db.insert(
+            "role",
+            vec![Value::Int(r as i64), Value::Str(format!("role-{r}"))],
+        );
     }
     db.create_table(
         TableSchema::new(
@@ -179,28 +181,44 @@ pub fn gen_jobportal(n_applicants: usize, seed: u64) -> Database {
     db.create_table(
         TableSchema::new(
             "personal_details",
-            &[("applicant_id", SqlType::Int), ("address", SqlType::Text), ("phone", SqlType::Text)],
+            &[
+                ("applicant_id", SqlType::Int),
+                ("address", SqlType::Text),
+                ("phone", SqlType::Text),
+            ],
         )
         .with_key(&["applicant_id"]),
     );
     db.create_table(
         TableSchema::new(
             "committee1_feedback",
-            &[("applicant_id", SqlType::Int), ("score", SqlType::Int), ("remark", SqlType::Text)],
+            &[
+                ("applicant_id", SqlType::Int),
+                ("score", SqlType::Int),
+                ("remark", SqlType::Text),
+            ],
         )
         .with_key(&["applicant_id"]),
     );
     db.create_table(
         TableSchema::new(
             "committee2_feedback",
-            &[("applicant_id", SqlType::Int), ("score", SqlType::Int), ("remark", SqlType::Text)],
+            &[
+                ("applicant_id", SqlType::Int),
+                ("score", SqlType::Int),
+                ("remark", SqlType::Text),
+            ],
         )
         .with_key(&["applicant_id"]),
     );
     db.create_table(
         TableSchema::new(
             "edu_qualifs",
-            &[("applicant_id", SqlType::Int), ("degree", SqlType::Text), ("year", SqlType::Int)],
+            &[
+                ("applicant_id", SqlType::Int),
+                ("degree", SqlType::Text),
+                ("year", SqlType::Int),
+            ],
         )
         .with_key(&["applicant_id"]),
     );
@@ -225,11 +243,19 @@ pub fn gen_jobportal(n_applicants: usize, seed: u64) -> Database {
         );
         db.insert(
             "committee1_feedback",
-            vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..100)), Value::Str("ok".into())],
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..100)),
+                Value::Str("ok".into()),
+            ],
         );
         db.insert(
             "committee2_feedback",
-            vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..100)), Value::Str("ok".into())],
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..100)),
+                Value::Str("ok".into()),
+            ],
         );
         if online {
             db.insert(
@@ -312,8 +338,8 @@ mod tests {
     #[test]
     fn jobportal_online_applicants_have_qualifs() {
         let db = gen_jobportal(200, 3);
-        let online = parse_sql("SELECT COUNT(*) AS c FROM applicants WHERE appln_mode = 'online'")
-            .unwrap();
+        let online =
+            parse_sql("SELECT COUNT(*) AS c FROM applicants WHERE appln_mode = 'online'").unwrap();
         let quals = parse_sql("SELECT COUNT(*) AS c FROM edu_qualifs").unwrap();
         let a = crate::eval::eval_query(&online, &db, &[]).unwrap().rows[0][0].clone();
         let b = crate::eval::eval_query(&quals, &db, &[]).unwrap().rows[0][0].clone();

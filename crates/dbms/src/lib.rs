@@ -19,6 +19,7 @@
 pub mod connection;
 pub mod eval;
 pub mod gen;
+pub mod prng;
 pub mod table;
 pub mod value;
 

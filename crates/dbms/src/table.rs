@@ -21,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Table {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; panics in debug builds when the arity mismatches.
@@ -55,12 +58,18 @@ pub struct Field {
 impl Field {
     /// An unqualified field.
     pub fn new(name: impl Into<String>) -> Field {
-        Field { qualifier: None, name: name.into() }
+        Field {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// A qualified field.
     pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Field {
-        Field { qualifier: Some(q.into()), name: name.into() }
+        Field {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
     }
 
     /// Does this field answer to `qualifier`/`column`?
@@ -198,7 +207,10 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.create_table(TableSchema::new("t", &[("a", SqlType::Int), ("b", SqlType::Text)]));
+        d.create_table(TableSchema::new(
+            "t",
+            &[("a", SqlType::Int), ("b", SqlType::Text)],
+        ));
         d.insert("t", vec![Value::Int(1), "x".into()]);
         d
     }

@@ -92,9 +92,7 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             _ => match class(self).cmp(&class(other)) {
-                Ordering::Equal => self
-                    .sql_cmp(other)
-                    .unwrap_or(Ordering::Equal),
+                Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
                 c => c,
             },
         }
@@ -181,8 +179,14 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -213,7 +217,13 @@ mod tests {
 
     #[test]
     fn lit_roundtrip() {
-        for v in [Value::Null, Value::Bool(true), Value::Int(7), Value::Float(1.5), "x".into()] {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(7),
+            Value::Float(1.5),
+            "x".into(),
+        ] {
             assert_eq!(Value::from_lit(&v.to_lit()), v);
         }
     }

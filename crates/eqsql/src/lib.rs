@@ -67,8 +67,11 @@ pub use interp;
 pub mod prelude {
     pub use algebra::schema::{Catalog, SqlType, TableSchema};
     pub use algebra::Dialect;
+    pub use analysis::diag::{render_json, Code, Diagnostic, Severity};
     pub use dbms::{Connection, CostModel, Database, Value};
-    pub use eqsql_core::{ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions};
+    pub use eqsql_core::{
+        lint_program, ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions,
+    };
     pub use imp;
     pub use interp::{Interp, RtValue};
 }

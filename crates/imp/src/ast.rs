@@ -44,7 +44,11 @@ fn renumber_block(b: &mut Block, next: &mut u32) {
         s.id = StmtId(*next);
         *next += 1;
         match &mut s.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 renumber_block(then_branch, next);
                 renumber_block(else_branch, next);
             }
@@ -290,7 +294,10 @@ impl Expr {
 
     /// Shorthand for a call.
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
-        Expr::Call { name: name.into(), args }
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
     }
 
     /// Visit every sub-expression (pre-order).
@@ -384,7 +391,10 @@ mod tests {
         let e = Expr::Binary(
             BinaryOp::Add,
             Box::new(Expr::int(1)),
-            Box::new(Expr::call("executeQuery", vec![Expr::str("SELECT * FROM t")])),
+            Box::new(Expr::call(
+                "executeQuery",
+                vec![Expr::str("SELECT * FROM t")],
+            )),
         );
         assert!(e.calls_any(&builtins::DB_FUNCTIONS));
         assert!(!Expr::int(1).calls_any(&builtins::DB_FUNCTIONS));
@@ -403,7 +413,11 @@ mod tests {
             for s in &b.stmts {
                 ids.push(s.id.0);
                 match &s.kind {
-                    StmtKind::If { then_branch, else_branch, .. } => {
+                    StmtKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         collect(then_branch, ids);
                         collect(else_branch, ids);
                     }

@@ -47,7 +47,11 @@ fn bool_flags_block(b: &mut Block) -> usize {
     let mut count = 0;
     for s in &mut b.stmts {
         match &mut s.kind {
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if else_branch.stmts.is_empty() && then_branch.stmts.len() == 1 {
                     if let StmtKind::Assign {
                         target,
@@ -92,10 +96,17 @@ fn normalize_block(b: &mut Block) -> usize {
     let mut count = 0;
     for s in &mut b.stmts {
         match &mut s.kind {
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if else_branch.stmts.is_empty() {
                     if let Some((target, call)) = minmax_rewrite(cond, then_branch) {
-                        s.kind = StmtKind::Assign { target, value: call };
+                        s.kind = StmtKind::Assign {
+                            target,
+                            value: call,
+                        };
                         count += 1;
                         continue;
                     }
@@ -199,7 +210,11 @@ fn insert_flush_before_returns(b: &mut Block, flush: &Stmt) {
                 i += 2;
                 continue;
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 insert_flush_before_returns(then_branch, flush);
                 insert_flush_before_returns(else_branch, flush);
             }
@@ -228,7 +243,11 @@ fn rewrite_prints_block(b: &mut Block, found: &mut bool) {
                     args: vec![value],
                 });
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 rewrite_prints_block(then_branch, found);
                 rewrite_prints_block(else_branch, found);
             }
@@ -261,18 +280,16 @@ mod tests {
     fn flipped_pattern_becomes_min_call() {
         // `v < expr` means v should take expr when expr is… careful:
         // `if (lo > t.x) lo = t.x` is a min; `if (lo < t.x) lo = t.x` is a max.
-        let mut p =
-            parse_program("fn f() { for (t in q) { if (lo > t.x) lo = t.x; } return lo; }")
-                .unwrap();
+        let mut p = parse_program("fn f() { for (t in q) { if (lo > t.x) lo = t.x; } return lo; }")
+            .unwrap();
         assert_eq!(normalize_minmax(&mut p), 1);
         assert!(pretty_print(&p).contains("lo = min(lo, t.x);"));
     }
 
     #[test]
     fn var_on_left_is_flipped() {
-        let mut p =
-            parse_program("fn f() { for (t in q) { if (hi < t.x) hi = t.x; } return hi; }")
-                .unwrap();
+        let mut p = parse_program("fn f() { for (t in q) { if (hi < t.x) hi = t.x; } return hi; }")
+            .unwrap();
         assert_eq!(normalize_minmax(&mut p), 1);
         assert!(pretty_print(&p).contains("hi = max(hi, t.x);"));
     }
@@ -286,10 +303,9 @@ mod tests {
 
     #[test]
     fn if_with_else_untouched() {
-        let mut p = parse_program(
-            "fn f() { for (t in q) { if (t.x > v) { v = t.x; } else { w = 1; } } }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("fn f() { for (t in q) { if (t.x > v) { v = t.x; } else { w = 1; } } }")
+                .unwrap();
         assert_eq!(normalize_minmax(&mut p), 0);
     }
 
@@ -343,7 +359,11 @@ fn getters_block(b: &mut Block, count: &mut usize) {
         match &mut s.kind {
             StmtKind::Assign { value, .. } => getters_expr(value, count),
             StmtKind::Expr(e) => getters_expr(e, count),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 getters_expr(cond, count);
                 getters_block(then_branch, count);
                 getters_block(else_branch, count);

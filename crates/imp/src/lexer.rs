@@ -184,9 +184,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 })
             }
         };
-        out.push(Token { kind, span: Span::new(start, i) });
+        out.push(Token {
+            kind,
+            span: Span::new(start, i),
+        });
     }
-    out.push(Token { kind: TokenKind::Eof, span: Span::new(bytes.len(), bytes.len()) });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(bytes.len(), bytes.len()),
+    });
     Ok(out)
 }
 
@@ -269,7 +275,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("x // comment\n/* block\n */ y"),
-            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -286,7 +296,12 @@ mod tests {
         // `1.x` — digit followed by dot followed by non-digit.
         assert_eq!(
             kinds("1.x"),
-            vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Ident("x".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

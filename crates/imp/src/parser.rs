@@ -27,14 +27,21 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
 /// Parse a full program (a sequence of `fn` definitions).
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    };
     let mut functions = Vec::new();
     while !p.at(&TokenKind::Eof) {
         functions.push(p.function()?);
@@ -78,7 +85,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.span().start }
+        ParseError {
+            message: message.into(),
+            offset: self.span().start,
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
@@ -133,7 +143,12 @@ impl Parser {
         self.expect(&TokenKind::RParen)?;
         let body = self.block()?;
         let span = start.merge(self.tokens[self.pos.saturating_sub(1)].span);
-        Ok(Function { name, params, body, span })
+        Ok(Function {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Block, ParseError> {
@@ -164,14 +179,20 @@ impl Parser {
                     if self.at_kw(Keyword::If) {
                         // `else if` — wrap the nested if in a block.
                         let nested = self.stmt()?;
-                        Block { stmts: vec![nested] }
+                        Block {
+                            stmts: vec![nested],
+                        }
                     } else {
                         self.block_or_single()?
                     }
                 } else {
                     Block::new()
                 };
-                StmtKind::If { cond, then_branch, else_branch }
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                }
             }
             TokenKind::Kw(Keyword::For) => {
                 self.bump();
@@ -181,7 +202,11 @@ impl Parser {
                 let iterable = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 let body = self.block_or_single()?;
-                StmtKind::ForEach { var, iterable, body }
+                StmtKind::ForEach {
+                    var,
+                    iterable,
+                    body,
+                }
             }
             TokenKind::Kw(Keyword::While) => {
                 self.bump();
@@ -193,7 +218,11 @@ impl Parser {
             }
             TokenKind::Kw(Keyword::Return) => {
                 self.bump();
-                let value = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi)?;
                 StmtKind::Return(value)
             }
@@ -230,7 +259,10 @@ impl Parser {
                 self.bump();
                 let value = self.expr()?;
                 self.expect(&TokenKind::Semi)?;
-                StmtKind::Assign { target: name, value }
+                StmtKind::Assign {
+                    target: name,
+                    value,
+                }
             }
             _ => {
                 let e = self.expr()?;
@@ -377,7 +409,11 @@ impl Parser {
                 let name = self.ident()?;
                 if self.at(&TokenKind::LParen) {
                     let args = self.call_args()?;
-                    e = Expr::MethodCall { recv: Box::new(e), name, args };
+                    e = Expr::MethodCall {
+                        recv: Box::new(e),
+                        name,
+                        args,
+                    };
                 } else {
                     e = Expr::Field(Box::new(e), name);
                 }
@@ -494,7 +530,11 @@ mod tests {
     fn single_statement_bodies() {
         let p = parse_program("fn f() { if (x > 0) y = 1; else y = 2; }").unwrap();
         match &p.functions[0].body.stmts[0].kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 assert_eq!(then_branch.stmts.len(), 1);
                 assert_eq!(else_branch.stmts.len(), 1);
             }
@@ -504,8 +544,9 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let p = parse_program("fn f() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }")
-            .unwrap();
+        let p =
+            parse_program("fn f() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }")
+                .unwrap();
         match &p.functions[0].body.stmts[0].kind {
             StmtKind::If { else_branch, .. } => {
                 assert_eq!(else_branch.stmts.len(), 1);
@@ -522,7 +563,10 @@ mod tests {
             StmtKind::Expr(Expr::MethodCall { recv, name, args }) => {
                 assert_eq!(**recv, Expr::var("names"));
                 assert_eq!(name, "add");
-                assert_eq!(args[0], Expr::Field(Box::new(Expr::var("u")), "name".into()));
+                assert_eq!(
+                    args[0],
+                    Expr::Field(Box::new(Expr::var("u")), "name".into())
+                );
             }
             other => panic!("expected method call, got {other:?}"),
         }
@@ -549,7 +593,10 @@ mod tests {
     fn ternary_expression() {
         let p = parse_program("fn f() { x = a > 0 ? a : 0 - a; }").unwrap();
         match &p.functions[0].body.stmts[0].kind {
-            StmtKind::Assign { value: Expr::Ternary(..), .. } => {}
+            StmtKind::Assign {
+                value: Expr::Ternary(..),
+                ..
+            } => {}
             other => panic!("expected ternary assign, got {other:?}"),
         }
     }

@@ -67,7 +67,11 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             expr(out, e);
             out.push_str(";\n");
         }
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             out.push_str("if (");
             expr(out, cond);
             out.push_str(") ");
@@ -78,7 +82,11 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             }
             out.push('\n');
         }
-        StmtKind::ForEach { var, iterable, body } => {
+        StmtKind::ForEach {
+            var,
+            iterable,
+            body,
+        } => {
             let _ = write!(out, "for ({var} in ");
             expr(out, iterable);
             out.push_str(") ");

@@ -25,11 +25,7 @@ impl std::error::Error for DmlError {}
 
 /// Execute a DML statement; returns the number of affected rows.
 /// `params` substitute `?` placeholders positionally.
-pub fn execute_update(
-    db: &mut Database,
-    sql: &str,
-    params: &[Value],
-) -> Result<i64, DmlError> {
+pub fn execute_update(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, DmlError> {
     let toks: Vec<String> = tokenize(sql);
     let lower: Vec<String> = toks.iter().map(|t| t.to_ascii_lowercase()).collect();
     match lower.first().map(String::as_str) {
@@ -37,7 +33,10 @@ pub fn execute_update(
             if lower.get(1).map(String::as_str) != Some("into") {
                 return Err(DmlError("expected INSERT INTO".into()));
             }
-            let table = toks.get(2).ok_or_else(|| DmlError("missing table".into()))?.clone();
+            let table = toks
+                .get(2)
+                .ok_or_else(|| DmlError("missing table".into()))?
+                .clone();
             let vpos = lower
                 .iter()
                 .position(|t| t == "values")
@@ -74,13 +73,21 @@ pub fn execute_update(
                 .ok_or_else(|| DmlError("missing table".into()))?
                 .to_ascii_lowercase();
             let filter = if lower.get(3).map(String::as_str) == Some("where") {
-                let col = toks.get(4).ok_or_else(|| DmlError("missing column".into()))?.clone();
+                let col = toks
+                    .get(4)
+                    .ok_or_else(|| DmlError("missing column".into()))?
+                    .clone();
                 if toks.get(5).map(String::as_str) != Some("=") {
                     return Err(DmlError("only `col = lit` filters supported".into()));
                 }
-                let lit = toks.get(6).ok_or_else(|| DmlError("missing literal".into()))?;
+                let lit = toks
+                    .get(6)
+                    .ok_or_else(|| DmlError("missing literal".into()))?;
                 let v = if lit == "?" {
-                    params.first().cloned().ok_or_else(|| DmlError("missing param".into()))?
+                    params
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| DmlError("missing param".into()))?
                 } else {
                     parse_lit(lit)?
                 };
@@ -176,7 +183,10 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.create_table(TableSchema::new("log", &[("id", SqlType::Int), ("msg", SqlType::Text)]));
+        d.create_table(TableSchema::new(
+            "log",
+            &[("id", SqlType::Int), ("msg", SqlType::Text)],
+        ));
         d.insert("log", vec![Value::Int(1), "a".into()]);
         d.insert("log", vec![Value::Int(2), "b".into()]);
         d
@@ -193,9 +203,16 @@ mod tests {
     #[test]
     fn insert_with_params() {
         let mut d = db();
-        execute_update(&mut d, "INSERT INTO log VALUES (?, ?)", &[Value::Int(9), "z".into()])
-            .unwrap();
-        assert_eq!(d.table("log").unwrap().rows[2], vec![Value::Int(9), Value::Str("z".into())]);
+        execute_update(
+            &mut d,
+            "INSERT INTO log VALUES (?, ?)",
+            &[Value::Int(9), "z".into()],
+        )
+        .unwrap();
+        assert_eq!(
+            d.table("log").unwrap().rows[2],
+            vec![Value::Int(9), Value::Str("z".into())]
+        );
     }
 
     #[test]

@@ -63,7 +63,13 @@ pub struct Interp<'a> {
 impl<'a> Interp<'a> {
     /// Create an interpreter with a generous default step budget.
     pub fn new(program: &'a Program, conn: Connection) -> Interp<'a> {
-        Interp { program, conn, output: Vec::new(), steps: 0, max_steps: 50_000_000 }
+        Interp {
+            program,
+            conn,
+            output: Vec::new(),
+            steps: 0,
+            max_steps: 50_000_000,
+        }
     }
 
     /// Override the step budget (used by the QBS verifier).
@@ -112,7 +118,11 @@ impl<'a> Interp<'a> {
                 StmtKind::Expr(e) => {
                     self.eval(e, env)?;
                 }
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     let c = self.eval(cond, env)?;
                     let flow = if c.is_true() {
                         self.exec_block(then_branch, env)?
@@ -124,13 +134,15 @@ impl<'a> Interp<'a> {
                         other => return Ok(other),
                     }
                 }
-                StmtKind::ForEach { var, iterable, body } => {
+                StmtKind::ForEach {
+                    var,
+                    iterable,
+                    body,
+                } => {
                     let coll = self.eval(iterable, env)?;
                     let elems = coll
                         .as_elements()
-                        .ok_or_else(|| {
-                            RtError::Type(format!("cannot iterate over {coll}"))
-                        })?
+                        .ok_or_else(|| RtError::Type(format!("cannot iterate over {coll}")))?
                         .to_vec();
                     'iters: for el in elems {
                         env.insert(var.clone(), el);
@@ -141,19 +153,17 @@ impl<'a> Interp<'a> {
                         }
                     }
                 }
-                StmtKind::While { cond, body } => {
-                    loop {
-                        self.tick()?;
-                        if !self.eval(cond, env)?.is_true() {
-                            break;
-                        }
-                        match self.exec_block(body, env)? {
-                            Flow::Normal | Flow::Continue => {}
-                            Flow::Break => break,
-                            r @ Flow::Return(_) => return Ok(r),
-                        }
+                StmtKind::While { cond, body } => loop {
+                    self.tick()?;
+                    if !self.eval(cond, env)?.is_true() {
+                        break;
                     }
-                }
+                    match self.exec_block(body, env)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                },
                 StmtKind::Return(v) => {
                     let rv = match v {
                         Some(e) => self.eval(e, env)?,
@@ -186,7 +196,11 @@ impl<'a> Interp<'a> {
                 return;
             }
         }
-        let line: String = vals.iter().map(RtValue::render).collect::<Vec<_>>().join("");
+        let line: String = vals
+            .iter()
+            .map(RtValue::render)
+            .collect::<Vec<_>>()
+            .join("");
         self.output.push(line);
     }
 
@@ -279,9 +293,7 @@ impl<'a> Interp<'a> {
             }
         };
         // Java-like `+` on strings is concatenation.
-        if op == BinaryOp::Add
-            && (matches!(a, Value::Str(_)) || matches!(b, Value::Str(_)))
-        {
+        if op == BinaryOp::Add && (matches!(a, Value::Str(_)) || matches!(b, Value::Str(_))) {
             return Ok(RtValue::Scalar(Value::Str(format!("{a}{b}"))));
         }
         let sop = match op {
@@ -303,12 +315,7 @@ impl<'a> Interp<'a> {
             .map_err(|e| RtError::Type(e.to_string()))
     }
 
-    fn eval_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        env: &mut Env,
-    ) -> Result<RtValue, RtError> {
+    fn eval_call(&mut self, name: &str, args: &[Expr], env: &mut Env) -> Result<RtValue, RtError> {
         match name {
             "executeQuery" => {
                 let rel = self.run_query(args, env)?;
@@ -316,14 +323,20 @@ impl<'a> Interp<'a> {
                 Ok(RtValue::List(
                     rel.rows
                         .into_iter()
-                        .map(|values| RtValue::Row { fields: Rc::clone(&fields), values })
+                        .map(|values| RtValue::Row {
+                            fields: Rc::clone(&fields),
+                            values,
+                        })
                         .collect(),
                 ))
             }
             "executeScalar" => {
                 let rel = self.run_query(args, env)?;
                 Ok(RtValue::Scalar(
-                    rel.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null),
+                    rel.rows
+                        .first()
+                        .and_then(|r| r.first().cloned())
+                        .unwrap_or(Value::Null),
                 ))
             }
             "executeBatch" => {
@@ -368,12 +381,15 @@ impl<'a> Interp<'a> {
                     })?;
                     let rel = dbms::eval_query(&ra, &self.conn.db, &[key])
                         .map_err(|e| RtError::Sql(e.to_string()))?;
-                    let v =
-                        rel.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null);
+                    let v = rel
+                        .rows
+                        .first()
+                        .and_then(|r| r.first().cloned())
+                        .unwrap_or(Value::Null);
                     self.conn.stats.rows += 1;
                     self.conn.stats.bytes += v.wire_size() as u64;
-                    self.conn.stats.sim_us +=
-                        v.wire_size() as f64 * self.conn.cost.per_byte_us + self.conn.cost.per_row_us;
+                    self.conn.stats.sim_us += v.wire_size() as f64 * self.conn.cost.per_byte_us
+                        + self.conn.cost.per_row_us;
                     out.push(RtValue::Scalar(v));
                 }
                 Ok(RtValue::List(out))
@@ -394,9 +410,9 @@ impl<'a> Interp<'a> {
                 let params: Vec<Value> = vals[1..]
                     .iter()
                     .map(|v| {
-                        v.as_scalar().cloned().ok_or_else(|| {
-                            RtError::Type("DML parameters must be scalars".into())
-                        })
+                        v.as_scalar()
+                            .cloned()
+                            .ok_or_else(|| RtError::Type("DML parameters must be scalars".into()))
                     })
                     .collect::<Result<_, _>>()?;
                 // One round trip for the DML statement.
@@ -523,7 +539,9 @@ impl<'a> Interp<'a> {
             })
             .collect::<Result<_, _>>()?;
         let ra = parse_sql(&sql).map_err(|e| RtError::Sql(e.to_string()))?;
-        self.conn.execute(&ra, &params).map_err(|e| RtError::Sql(e.to_string()))
+        self.conn
+            .execute(&ra, &params)
+            .map_err(|e| RtError::Sql(e.to_string()))
     }
 
     fn eval_method(
@@ -535,7 +553,10 @@ impl<'a> Interp<'a> {
     ) -> Result<RtValue, RtError> {
         // Mutating methods require a variable receiver so the mutation is
         // visible (matching the analysis crate's model).
-        let mutating = matches!(name, "add" | "insert" | "append" | "remove" | "clear" | "addAll");
+        let mutating = matches!(
+            name,
+            "add" | "insert" | "append" | "remove" | "clear" | "addAll"
+        );
         if mutating {
             let var = match recv {
                 Expr::Var(v) => v.clone(),
@@ -570,7 +591,9 @@ impl<'a> Interp<'a> {
                 (RtValue::List(items), "addAll") => match arg_vals.remove(0) {
                     RtValue::List(more) | RtValue::Set(more) => items.extend(more),
                     other => {
-                        return Err(RtError::Type(format!("addAll needs a collection, got {other}")))
+                        return Err(RtError::Type(format!(
+                            "addAll needs a collection, got {other}"
+                        )))
                     }
                 },
                 (c, m) => return Err(RtError::Type(format!("cannot {m} on {c}"))),
@@ -723,10 +746,8 @@ mod tests {
         assert_eq!(items.len(), 3);
         assert_eq!(stats.queries, 4, "1 outer + 3 inner");
         // Check one group against SQL.
-        let q = algebra::parse::parse_sql(
-            "SELECT dept, SUM(salary) AS s FROM emp GROUP BY dept",
-        )
-        .unwrap();
+        let q = algebra::parse::parse_sql("SELECT dept, SUM(salary) AS s FROM emp GROUP BY dept")
+            .unwrap();
         let rel = dbms::eval_query(&q, &db, &[]).unwrap();
         for row in &rel.rows {
             let (d, s) = (row[0].clone(), row[1].clone());
@@ -844,7 +865,10 @@ mod method_tests {
             eval("fn f() { a = list(); a.add(7); return a.first(); }"),
             RtValue::int(7)
         );
-        assert_eq!(eval("fn f() { a = list(); return a.first(); }"), RtValue::null());
+        assert_eq!(
+            eval("fn f() { a = list(); return a.first(); }"),
+            RtValue::null()
+        );
     }
 
     #[test]
@@ -875,14 +899,26 @@ mod method_tests {
 
     #[test]
     fn coalesce_builtin() {
-        assert_eq!(eval("fn f() { return coalesce(null, null, 5, 7); }"), RtValue::int(5));
-        assert_eq!(eval("fn f() { return coalesce(null, null); }"), RtValue::null());
+        assert_eq!(
+            eval("fn f() { return coalesce(null, null, 5, 7); }"),
+            RtValue::int(5)
+        );
+        assert_eq!(
+            eval("fn f() { return coalesce(null, null); }"),
+            RtValue::null()
+        );
     }
 
     #[test]
     fn ternary_and_comparisons() {
-        assert_eq!(eval("fn f() { x = 3; return x > 2 ? \"big\" : \"small\"; }"), RtValue::str("big"));
-        assert_eq!(eval("fn f() { return 2 <= 2 && !(1 == 2); }"), RtValue::bool(true));
+        assert_eq!(
+            eval("fn f() { x = 3; return x > 2 ? \"big\" : \"small\"; }"),
+            RtValue::str("big")
+        );
+        assert_eq!(
+            eval("fn f() { return 2 <= 2 && !(1 == 2); }"),
+            RtValue::bool(true)
+        );
     }
 
     #[test]

@@ -74,8 +74,13 @@ impl RtValue {
     pub fn field(&self, name: &str) -> Option<RtValue> {
         match self {
             RtValue::Row { fields, values } => {
-                let rel = dbms::Relation { fields: (**fields).clone(), rows: vec![] };
-                rel.resolve(None, name).ok().map(|i| RtValue::Scalar(values[i].clone()))
+                let rel = dbms::Relation {
+                    fields: (**fields).clone(),
+                    rows: vec![],
+                };
+                rel.resolve(None, name)
+                    .ok()
+                    .map(|i| RtValue::Scalar(values[i].clone()))
             }
             RtValue::Pair(a, b) => match name {
                 "first" => Some((**a).clone()),
@@ -243,7 +248,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(RtValue::List(vec![RtValue::int(1), RtValue::int(2)]).to_string(), "[1, 2]");
+        assert_eq!(
+            RtValue::List(vec![RtValue::int(1), RtValue::int(2)]).to_string(),
+            "[1, 2]"
+        );
         assert_eq!(RtValue::null().to_string(), "NULL");
     }
 }

@@ -94,7 +94,11 @@ fn visit_block(b: &imp::ast::Block, f: &mut impl FnMut(&Expr)) {
         match &s.kind {
             StmtKind::Assign { value, .. } => value.walk(f),
             StmtKind::Expr(e) => e.walk(f),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 cond.walk(f);
                 visit_block(then_branch, f);
                 visit_block(else_branch, f);
@@ -138,7 +142,11 @@ mod tests {
         let p = imp::parse_and_normalize(src).unwrap();
         let cat = Catalog::new().with(TableSchema::new(
             "emp",
-            &[("id", SqlType::Int), ("name", SqlType::Text), ("salary", SqlType::Int)],
+            &[
+                ("id", SqlType::Int),
+                ("name", SqlType::Text),
+                ("salary", SqlType::Int),
+            ],
         ));
         let c = mine(&p, "f", &cat);
         assert_eq!(c.tables, vec!["emp"]);

@@ -27,7 +27,11 @@ pub fn for_each_candidate(
     visit: &mut impl FnMut(&RaExpr) -> Control,
 ) {
     // Layer 0: plain scans and their trivial variants.
-    let scans: Vec<RaExpr> = comps.tables.iter().map(|t| RaExpr::table(t.clone())).collect();
+    let scans: Vec<RaExpr> = comps
+        .tables
+        .iter()
+        .map(|t| RaExpr::table(t.clone()))
+        .collect();
     for s in &scans {
         if visit(s) == Control::Stop {
             return;
@@ -121,16 +125,10 @@ pub fn for_each_candidate(
         for t2 in comps.tables.iter() {
             let a1 = "j1";
             let a2 = "j2";
-            let cols1: Vec<&(String, String)> = comps
-                .int_columns
-                .iter()
-                .filter(|(t, _)| t == t1)
-                .collect();
-            let cols2: Vec<&(String, String)> = comps
-                .int_columns
-                .iter()
-                .filter(|(t, _)| t == t2)
-                .collect();
+            let cols1: Vec<&(String, String)> =
+                comps.int_columns.iter().filter(|(t, _)| t == t1).collect();
+            let cols2: Vec<&(String, String)> =
+                comps.int_columns.iter().filter(|(t, _)| t == t2).collect();
             for (_, c1) in &cols1 {
                 for (_, c2) in &cols2 {
                     let join = RaExpr::table_as(t1.clone(), a1).join(
@@ -173,7 +171,14 @@ pub fn for_each_candidate(
 /// All `col OP lit` and `col = param` comparison predicates.
 fn predicates(comps: &Components) -> Vec<Scalar> {
     let mut out = Vec::new();
-    let ops = [BinOp::Gt, BinOp::Lt, BinOp::Ge, BinOp::Le, BinOp::Eq, BinOp::Ne];
+    let ops = [
+        BinOp::Gt,
+        BinOp::Lt,
+        BinOp::Ge,
+        BinOp::Le,
+        BinOp::Eq,
+        BinOp::Ne,
+    ];
     for (_, col) in &comps.int_columns {
         for lit in &comps.int_literals {
             for op in ops {
@@ -181,29 +186,53 @@ fn predicates(comps: &Components) -> Vec<Scalar> {
             }
         }
         // Parameters: candidate queries may take the function's arguments.
-        out.push(Scalar::cmp(BinOp::Gt, Scalar::col(col.clone()), Scalar::Param(0)));
-        out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::Param(0)));
-        out.push(Scalar::cmp(BinOp::Ge, Scalar::col(col.clone()), Scalar::Param(0)));
+        out.push(Scalar::cmp(
+            BinOp::Gt,
+            Scalar::col(col.clone()),
+            Scalar::Param(0),
+        ));
+        out.push(Scalar::cmp(
+            BinOp::Eq,
+            Scalar::col(col.clone()),
+            Scalar::Param(0),
+        ));
+        out.push(Scalar::cmp(
+            BinOp::Ge,
+            Scalar::col(col.clone()),
+            Scalar::Param(0),
+        ));
     }
     for (_, col) in &comps.text_columns {
         for lit in &comps.str_literals {
-            out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::str(lit.clone())));
-            out.push(Scalar::cmp(BinOp::Ne, Scalar::col(col.clone()), Scalar::str(lit.clone())));
+            out.push(Scalar::cmp(
+                BinOp::Eq,
+                Scalar::col(col.clone()),
+                Scalar::str(lit.clone()),
+            ));
+            out.push(Scalar::cmp(
+                BinOp::Ne,
+                Scalar::col(col.clone()),
+                Scalar::str(lit.clone()),
+            ));
         }
     }
     for (_, col) in &comps.bool_columns {
-        out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::bool(true)));
-        out.push(Scalar::cmp(BinOp::Eq, Scalar::col(col.clone()), Scalar::bool(false)));
+        out.push(Scalar::cmp(
+            BinOp::Eq,
+            Scalar::col(col.clone()),
+            Scalar::bool(true),
+        ));
+        out.push(Scalar::cmp(
+            BinOp::Eq,
+            Scalar::col(col.clone()),
+            Scalar::bool(false),
+        ));
     }
     out
 }
 
 /// Single-column and two-column projections over the base's table.
-fn projections(
-    comps: &Components,
-    _catalog: &Catalog,
-    base: &RaExpr,
-) -> Vec<Vec<ProjItem>> {
+fn projections(comps: &Components, _catalog: &Catalog, base: &RaExpr) -> Vec<Vec<ProjItem>> {
     let tables = base.base_tables();
     let cols: Vec<&String> = comps
         .int_columns

@@ -132,7 +132,12 @@ pub fn synthesize(
         }
         enumerate::Control::Continue
     });
-    QbsResult { sql: found, candidates_tried: tried, elapsed: started.elapsed(), timed_out }
+    QbsResult {
+        sql: found,
+        candidates_tried: tried,
+        elapsed: started.elapsed(),
+        timed_out,
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +208,10 @@ mod tests {
             }
         "#;
         let p = imp::parse_and_normalize(src).unwrap();
-        let opts = QbsOptions { max_candidates: 3_000, ..Default::default() };
+        let opts = QbsOptions {
+            max_candidates: 3_000,
+            ..Default::default()
+        };
         let r = synthesize(&p, "weird", &catalog(), &opts);
         assert!(r.sql.is_none());
     }
@@ -221,7 +229,10 @@ mod tests {
             }
         "#;
         let p = imp::parse_and_normalize(src).unwrap();
-        let opts = QbsOptions { max_candidates: 50, ..Default::default() };
+        let opts = QbsOptions {
+            max_candidates: 50,
+            ..Default::default()
+        };
         let r = synthesize(&p, "f", &catalog(), &opts);
         assert!(r.candidates_tried <= 51);
     }

@@ -1,7 +1,6 @@
 //! Randomized test-database generation for observational verification.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dbms::prng::StdRng;
 
 use algebra::schema::{Catalog, SqlType};
 use dbms::{Database, Value};
@@ -45,7 +44,11 @@ pub fn make_tests(
         for schema in catalog.tables() {
             db.create_table(schema.clone());
             // First case: empty tables (the empty-input edge).
-            let rows = if case == 0 { 0 } else { rng.gen_range(1..=opts.max_rows) };
+            let rows = if case == 0 {
+                0
+            } else {
+                rng.gen_range(1..=opts.max_rows)
+            };
             for r in 0..rows {
                 let mut row = Vec::with_capacity(schema.columns.len());
                 for (ci, col) in schema.columns.iter().enumerate() {
@@ -89,13 +92,19 @@ mod tests {
         let cat = Catalog::new().with(
             TableSchema::new("t", &[("id", SqlType::Int), ("x", SqlType::Int)]).with_key(&["id"]),
         );
-        let comps = Components { int_literals: vec![7], ..Default::default() };
+        let comps = Components {
+            int_literals: vec![7],
+            ..Default::default()
+        };
         let opts = QbsOptions::default();
         let a = make_tests(&cat, &comps, 1, &opts);
         let b = make_tests(&cat, &comps, 1, &opts);
         assert_eq!(a.len(), opts.test_dbs);
         assert!(a[0].db.table("t").unwrap().is_empty());
-        assert!(a.iter().skip(1).any(|t| !t.db.table("t").unwrap().is_empty()));
+        assert!(a
+            .iter()
+            .skip(1)
+            .any(|t| !t.db.table("t").unwrap().is_empty()));
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.db, y.db);
             assert_eq!(x.args, y.args);

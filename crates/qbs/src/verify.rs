@@ -22,8 +22,7 @@ pub fn reference_outputs(
 ) -> Option<Vec<RtValue>> {
     let mut out = Vec::with_capacity(tests.len());
     for t in tests {
-        let mut interp =
-            Interp::new(program, Connection::new(t.db.clone())).with_budget(2_000_000);
+        let mut interp = Interp::new(program, Connection::new(t.db.clone())).with_budget(2_000_000);
         let args = t.args.iter().cloned().map(RtValue::Scalar).collect();
         match interp.call(fname, args) {
             Ok(v) => out.push(v),
@@ -74,7 +73,10 @@ fn relation_to_rt(rel: &Relation) -> RtValue {
                 if r.len() == 1 {
                     RtValue::Scalar(r[0].clone())
                 } else {
-                    RtValue::Row { fields: std::rc::Rc::clone(&fields), values: r.clone() }
+                    RtValue::Row {
+                        fields: std::rc::Rc::clone(&fields),
+                        values: r.clone(),
+                    }
                 }
             })
             .collect(),
@@ -84,11 +86,11 @@ fn relation_to_rt(rel: &Relation) -> RtValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use algebra::parse::parse_sql;
-    use algebra::schema::{Catalog, SqlType, TableSchema};
     use crate::components::Components;
     use crate::testgen::make_tests;
     use crate::QbsOptions;
+    use algebra::parse::parse_sql;
+    use algebra::schema::{Catalog, SqlType, TableSchema};
 
     fn setup() -> (Program, Vec<TestInput>) {
         let src = r#"
@@ -103,7 +105,11 @@ mod tests {
         let cat = Catalog::new().with(
             TableSchema::new("t", &[("id", SqlType::Int), ("x", SqlType::Int)]).with_key(&["id"]),
         );
-        let comps = Components { int_literals: vec![3], tables: vec!["t".into()], ..Default::default() };
+        let comps = Components {
+            int_literals: vec![3],
+            tables: vec!["t".into()],
+            ..Default::default()
+        };
         let tests = make_tests(&cat, &comps, 0, &QbsOptions::default());
         (p, tests)
     }
@@ -136,16 +142,19 @@ mod tests {
         let cat = Catalog::new().with(
             TableSchema::new("t", &[("id", SqlType::Int), ("x", SqlType::Int)]).with_key(&["id"]),
         );
-        let comps = Components { int_literals: vec![], tables: vec!["t".into()], ..Default::default() };
+        let comps = Components {
+            int_literals: vec![],
+            tables: vec!["t".into()],
+            ..Default::default()
+        };
         let tests = make_tests(&cat, &comps, 0, &QbsOptions::default());
         let refs = reference_outputs(&p, "total", &tests).unwrap();
         // SUM is NULL over empty input but the loop returns 0 — the plain
         // SUM candidate must be REJECTED on the empty test database.
         let bare = parse_sql("SELECT SUM(x) AS s FROM t").unwrap();
         assert!(!candidate_matches(&bare, &tests, &refs));
-        let fixed =
-            parse_sql("SELECT COALESCE(s, 0) AS s FROM (SELECT SUM(x) AS s FROM t) AS sq1")
-                .unwrap();
+        let fixed = parse_sql("SELECT COALESCE(s, 0) AS s FROM (SELECT SUM(x) AS s FROM t) AS sq1")
+            .unwrap();
         assert!(candidate_matches(&fixed, &tests, &refs));
     }
 }

@@ -1,6 +1,5 @@
 //! The JobPortal star-schema fragment (paper Figure 12, Experiment 8).
 
-
 use algebra::schema::Catalog;
 use dbms::Database;
 
@@ -28,9 +27,18 @@ pub fn star_workload() -> baselines_compat::StarSpec {
     baselines_compat::StarSpec {
         outer_sql: "SELECT * FROM applicants".to_string(),
         inners: vec![
-            ("SELECT address FROM personal_details WHERE applicant_id = ?", None),
-            ("SELECT score FROM committee1_feedback WHERE applicant_id = ?", None),
-            ("SELECT score FROM committee2_feedback WHERE applicant_id = ?", None),
+            (
+                "SELECT address FROM personal_details WHERE applicant_id = ?",
+                None,
+            ),
+            (
+                "SELECT score FROM committee1_feedback WHERE applicant_id = ?",
+                None,
+            ),
+            (
+                "SELECT score FROM committee2_feedback WHERE applicant_id = ?",
+                None,
+            ),
             (
                 "SELECT degree FROM edu_qualifs WHERE applicant_id = ?",
                 Some(("appln_mode", "online")),
@@ -66,8 +74,8 @@ pub fn database(n: usize, seed: u64) -> Database {
 
 #[cfg(test)]
 mod tests {
-    use algebra::parse::parse_sql;
     use super::*;
+    use algebra::parse::parse_sql;
 
     #[test]
     fn program_parses_and_queries_are_valid() {

@@ -15,9 +15,8 @@
 //! human-written query (typically an over-fetching `SELECT *`).
 
 use algebra::schema::{Catalog, SqlType, TableSchema};
+use dbms::prng::StdRng;
 use dbms::{Database, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One servlet of a corpus.
 #[derive(Debug, Clone)]
@@ -42,7 +41,13 @@ fn servlet(
     expect_extract: bool,
     manual_sql: Option<String>,
 ) -> Servlet {
-    Servlet { app, name: name.to_string(), source, expect_extract, manual_sql }
+    Servlet {
+        app,
+        name: name.to_string(),
+        source,
+        expect_extract,
+        manual_sql,
+    }
 }
 
 // --- RuBiS ----------------------------------------------------------------
@@ -76,8 +81,11 @@ pub fn rubis_catalog() -> Catalog {
             .with_key(&["id"]),
         )
         .with(
-            TableSchema::new("categories", &[("id", SqlType::Int), ("name", SqlType::Text)])
-                .with_key(&["id"]),
+            TableSchema::new(
+                "categories",
+                &[("id", SqlType::Int), ("name", SqlType::Text)],
+            )
+            .with_key(&["id"]),
         )
         .with(
             TableSchema::new(
@@ -173,8 +181,20 @@ fn print_join(
 /// The 17 RuBiS servlets — all extractable (paper: 17/17).
 pub fn rubis() -> Vec<Servlet> {
     vec![
-        servlet("rubis", "BrowseCategories", print_all("categories", &["name"]), true, None),
-        servlet("rubis", "BrowseRegions", print_all("regions", &["name"]), true, None),
+        servlet(
+            "rubis",
+            "BrowseCategories",
+            print_all("categories", &["name"]),
+            true,
+            None,
+        ),
+        servlet(
+            "rubis",
+            "BrowseRegions",
+            print_all("regions", &["name"]),
+            true,
+            None,
+        ),
         servlet(
             "rubis",
             "SearchItemsByCategory",
@@ -262,7 +282,13 @@ pub fn rubis() -> Vec<Servlet> {
         servlet(
             "rubis",
             "UsersInRegion",
-            print_join("regions", "users", "region", "id", "pair(o.name, i.nickname)"),
+            print_join(
+                "regions",
+                "users",
+                "region",
+                "id",
+                "pair(o.name, i.nickname)",
+            ),
             true,
             None,
         ),
@@ -292,8 +318,14 @@ pub fn rubis_database(n: usize, seed: u64) -> Database {
         db.create_table(schema.clone());
     }
     for i in 0..5 {
-        db.insert("categories", vec![Value::Int(i), Value::Str(format!("cat-{i}"))]);
-        db.insert("regions", vec![Value::Int(i), Value::Str(format!("region-{i}"))]);
+        db.insert(
+            "categories",
+            vec![Value::Int(i), Value::Str(format!("cat-{i}"))],
+        );
+        db.insert(
+            "regions",
+            vec![Value::Int(i), Value::Str(format!("region-{i}"))],
+        );
     }
     let n_users = (n / 2).max(2);
     for i in 0..n_users {
@@ -373,7 +405,11 @@ pub fn rubbos_catalog() -> Catalog {
         .with(
             TableSchema::new(
                 "authors",
-                &[("id", SqlType::Int), ("name", SqlType::Text), ("karma", SqlType::Int)],
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("karma", SqlType::Int),
+                ],
             )
             .with_key(&["id"]),
         )
@@ -386,7 +422,13 @@ pub fn rubbos_catalog() -> Catalog {
 /// The 16 RuBBoS servlets — all extractable (paper: 16/16).
 pub fn rubbos() -> Vec<Servlet> {
     vec![
-        servlet("rubbos", "BrowseTopics", print_all("topics", &["name"]), true, None),
+        servlet(
+            "rubbos",
+            "BrowseTopics",
+            print_all("topics", &["name"]),
+            true,
+            None,
+        ),
         servlet(
             "rubbos",
             "StoriesOfTheDay",
@@ -439,14 +481,22 @@ pub fn rubbos() -> Vec<Servlet> {
         servlet(
             "rubbos",
             "CommentCount",
-            print_agg("story_comments", "0", "if (r.story_id == p) { acc = acc + 1; }"),
+            print_agg(
+                "story_comments",
+                "0",
+                "if (r.story_id == p) { acc = acc + 1; }",
+            ),
             true,
             None,
         ),
         servlet(
             "rubbos",
             "TopScore",
-            print_agg("story_comments", "0", "if (r.score > acc) { acc = r.score; }"),
+            print_agg(
+                "story_comments",
+                "0",
+                "if (r.score > acc) { acc = r.score; }",
+            ),
             true,
             None,
         ),
@@ -460,14 +510,26 @@ pub fn rubbos() -> Vec<Servlet> {
         servlet(
             "rubbos",
             "StoriesWithComments",
-            print_join("stories", "story_comments", "story_id", "id", "pair(o.title, i.score)"),
+            print_join(
+                "stories",
+                "story_comments",
+                "story_id",
+                "id",
+                "pair(o.title, i.score)",
+            ),
             true,
             None,
         ),
         servlet(
             "rubbos",
             "TopicStories",
-            print_join("topics", "stories", "category", "id", "pair(o.name, i.title)"),
+            print_join(
+                "topics",
+                "stories",
+                "category",
+                "id",
+                "pair(o.name, i.title)",
+            ),
             true,
             None,
         ),
@@ -504,7 +566,10 @@ pub fn rubbos_database(n: usize, seed: u64) -> Database {
         db.create_table(schema.clone());
     }
     for i in 0..5 {
-        db.insert("topics", vec![Value::Int(i), Value::Str(format!("topic-{i}"))]);
+        db.insert(
+            "topics",
+            vec![Value::Int(i), Value::Str(format!("topic-{i}"))],
+        );
     }
     let n_authors = (n / 3).max(2);
     for i in 0..n_authors {
@@ -589,14 +654,22 @@ pub fn acadportal_catalog() -> Catalog {
         .with(
             TableSchema::new(
                 "faculty",
-                &[("id", SqlType::Int), ("name", SqlType::Text), ("dept", SqlType::Text)],
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("dept", SqlType::Text),
+                ],
             )
             .with_key(&["id"]),
         )
         .with(
             TableSchema::new(
                 "grades_audit",
-                &[("id", SqlType::Int), ("enrollment_id", SqlType::Int), ("note", SqlType::Text)],
+                &[
+                    ("id", SqlType::Int),
+                    ("enrollment_id", SqlType::Int),
+                    ("note", SqlType::Text),
+                ],
             )
             .with_key(&["id"]),
         )
@@ -610,8 +683,18 @@ pub fn acadportal() -> Vec<Servlet> {
     let mut out = Vec::new();
     let tables: [(&str, &[&str], &str, &str); 4] = [
         ("students", &["name", "cpi"], "r.dept == \"cse\"", "r.cpi"),
-        ("courses", &["title", "credits"], "r.credits >= 6", "r.credits"),
-        ("enrollments", &["student_id", "grade"], "r.grade >= 8", "r.grade"),
+        (
+            "courses",
+            &["title", "credits"],
+            "r.credits >= 6",
+            "r.credits",
+        ),
+        (
+            "enrollments",
+            &["student_id", "grade"],
+            "r.grade >= 8",
+            "r.grade",
+        ),
         ("faculty", &["name"], "r.dept == \"ee\"", "r.id"),
     ];
 
@@ -626,15 +709,21 @@ pub fn acadportal() -> Vec<Servlet> {
                 1 => format!("r.id >= {}", k * 3),
                 _ => "r.id == p".to_string(),
             };
-            out.push(servlet("acadportal", &name, print_filter(t, cols, &p), true, {
-                // ~20% of the 58 extractable servlets carry an over-fetching
-                // manual query (SELECT * instead of the printed projection).
-                if n.is_multiple_of(4) {
-                    Some(format!("SELECT * FROM {t}"))
-                } else {
-                    None
-                }
-            }));
+            out.push(servlet(
+                "acadportal",
+                &name,
+                print_filter(t, cols, &p),
+                true,
+                {
+                    // ~20% of the 58 extractable servlets carry an over-fetching
+                    // manual query (SELECT * instead of the printed projection).
+                    if n.is_multiple_of(4) {
+                        Some(format!("SELECT * FROM {t}"))
+                    } else {
+                        None
+                    }
+                },
+            ));
             n += 1;
         }
         for k in 0..4 {
@@ -643,7 +732,13 @@ pub fn acadportal() -> Vec<Servlet> {
                 0 => "acc = acc + 1;".to_string(),
                 _ => format!("if ({num} > acc) {{ acc = {num}; }}"),
             };
-            out.push(servlet("acadportal", &name, print_agg(t, "0", &update), true, None));
+            out.push(servlet(
+                "acadportal",
+                &name,
+                print_agg(t, "0", &update),
+                true,
+                None,
+            ));
             n += 1;
         }
         for k in 0..4 {
@@ -662,14 +757,26 @@ pub fn acadportal() -> Vec<Servlet> {
     out.push(servlet(
         "acadportal",
         "student_transcript",
-        print_join("students", "enrollments", "student_id", "id", "pair(o.name, i.grade)"),
+        print_join(
+            "students",
+            "enrollments",
+            "student_id",
+            "id",
+            "pair(o.name, i.grade)",
+        ),
         true,
         None,
     ));
     out.push(servlet(
         "acadportal",
         "course_roster",
-        print_join("courses", "enrollments", "course_id", "id", "pair(o.title, i.student_id)"),
+        print_join(
+            "courses",
+            "enrollments",
+            "course_id",
+            "id",
+            "pair(o.title, i.student_id)",
+        ),
         true,
         None,
     ));
@@ -856,7 +963,10 @@ mod tests {
 
     #[test]
     fn manual_queries_exist_for_a_fifth_of_acadportal() {
-        let manual = acadportal().iter().filter(|s| s.manual_sql.is_some()).count();
+        let manual = acadportal()
+            .iter()
+            .filter(|s| s.manual_sql.is_some())
+            .count();
         // ~20% of the 58 extractable servlets carry a manual query model.
         assert!((8..=14).contains(&manual), "{manual}");
     }

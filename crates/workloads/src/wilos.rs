@@ -16,9 +16,8 @@
 //! rather than copied.
 
 use algebra::schema::{Catalog, SqlType, TableSchema};
+use dbms::prng::StdRng;
 use dbms::{Database, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Expectation;
 
@@ -84,7 +83,11 @@ pub fn catalog() -> Catalog {
         .with(
             TableSchema::new(
                 "affectedto",
-                &[("id", SqlType::Int), ("user_id", SqlType::Int), ("activity_id", SqlType::Int)],
+                &[
+                    ("id", SqlType::Int),
+                    ("user_id", SqlType::Int),
+                    ("activity_id", SqlType::Int),
+                ],
             )
             .with_key(&["id"]),
         )
@@ -103,7 +106,11 @@ pub fn catalog() -> Catalog {
         .with(
             TableSchema::new(
                 "role_descriptor",
-                &[("id", SqlType::Int), ("name", SqlType::Text), ("process_id", SqlType::Int)],
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("process_id", SqlType::Int),
+                ],
             )
             .with_key(&["id"]),
         )
@@ -122,7 +129,11 @@ pub fn catalog() -> Catalog {
         .with(
             TableSchema::new(
                 "iteration",
-                &[("id", SqlType::Int), ("project_id", SqlType::Int), ("state", SqlType::Text)],
+                &[
+                    ("id", SqlType::Int),
+                    ("project_id", SqlType::Int),
+                    ("state", SqlType::Text),
+                ],
             )
             .with_key(&["id"]),
         )
@@ -153,21 +164,33 @@ pub fn catalog() -> Catalog {
         .with(
             TableSchema::new(
                 "phase",
-                &[("id", SqlType::Int), ("project_id", SqlType::Int), ("state", SqlType::Text)],
+                &[
+                    ("id", SqlType::Int),
+                    ("project_id", SqlType::Int),
+                    ("state", SqlType::Text),
+                ],
             )
             .with_key(&["id"]),
         )
         .with(
             TableSchema::new(
                 "process",
-                &[("id", SqlType::Int), ("name", SqlType::Text), ("state", SqlType::Text)],
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("state", SqlType::Text),
+                ],
             )
             .with_key(&["id"]),
         )
         .with(
             TableSchema::new(
                 "wilos_user",
-                &[("id", SqlType::Int), ("name", SqlType::Text), ("role_id", SqlType::Int)],
+                &[
+                    ("id", SqlType::Int),
+                    ("name", SqlType::Text),
+                    ("role_id", SqlType::Int),
+                ],
             )
             .with_key(&["id"]),
         )
@@ -193,11 +216,11 @@ pub fn database(rows_per_table: usize, seed: u64) -> Database {
                     (_, "id") => Value::Int(i as i64),
                     (_, "state") => Value::Str(states[rng.gen_range(0..states.len())].into()),
                     (_, "gtype") => Value::Str(gtypes[rng.gen_range(0..gtypes.len())].into()),
-                    (_, "isfinished") => Value::Bool(rng.gen_range(0..100) < 20),
+                    (_, "isfinished") => Value::Bool(rng.gen_range(0..100i64) < 20),
                     (_, "name") => Value::Str(format!("{}-{i}", schema.name)),
                     (_, "pass") => Value::Str(format!("pw{i}")),
                     (_, "role") => Value::Str(
-                        ["dev", "manager", "tester"][rng.gen_range(0..3)].to_string(),
+                        ["dev", "manager", "tester"][rng.gen_range(0..3usize)].to_string(),
                     ),
                     (_, "budget") | (_, "effort") => Value::Int(rng.gen_range(0..1000)),
                     _ => Value::Int(rng.gen_range(0..(rows_per_table.max(2)) as i64)),
@@ -849,9 +872,15 @@ mod tests {
         assert_eq!(all.len(), 33);
         let qbs_ok = all.iter().filter(|s| s.paper_qbs_seconds.is_some()).count();
         assert_eq!(qbs_ok, 21, "paper: QBS succeeds on 21/33");
-        let extracts = all.iter().filter(|s| s.expect == Expectation::Extracts).count();
+        let extracts = all
+            .iter()
+            .filter(|s| s.expect == Expectation::Extracts)
+            .count();
         assert_eq!(extracts, 17, "paper: EqSQL extracts 17/33");
-        let could = all.iter().filter(|s| s.expect == Expectation::CouldButNot).count();
+        let could = all
+            .iter()
+            .filter(|s| s.expect == Expectation::CouldButNot)
+            .count();
         assert_eq!(could, 7, "paper: 7 further cases within technique scope");
     }
 

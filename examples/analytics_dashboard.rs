@@ -73,7 +73,10 @@ fn main() {
             println!("    SQL  : {sql}");
         }
     }
-    println!("\n{} loop(s) rewritten; audit loop (with updates) kept intact.\n", report.loops_rewritten);
+    println!(
+        "\n{} loop(s) rewritten; audit loop (with updates) kept intact.\n",
+        report.loops_rewritten
+    );
 
     println!("=== dashboard (original vs rewritten) ===");
     for (f, args) in [
@@ -85,7 +88,10 @@ fn main() {
         let v1 = orig.call(f, args.clone()).unwrap();
         let mut new = Interp::new(&report.program, Connection::new(db.clone()));
         let v2 = new.call(f, args).unwrap();
-        assert!(eqsql::interp::value::loose_eq(&v1, &v2), "{f}: {v1} vs {v2}");
+        assert!(
+            eqsql::interp::value::loose_eq(&v1, &v2),
+            "{f}: {v1} vs {v2}"
+        );
         println!(
             "{f:<16} = {v1:<28} rows: {:>5} → {:<4} sim: {:>7.2} ms → {:.2} ms",
             orig.conn.stats.rows,

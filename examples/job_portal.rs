@@ -49,7 +49,9 @@ fn main() {
         );
     }
     let db = eqsql::dbms::gen::gen_jobportal(5, 1);
-    let report = Extractor::new(db.catalog())
-        .extract_function(&eqsql::imp::parse_and_normalize(SRC).unwrap(), "applicantReport");
+    let report = Extractor::new(db.catalog()).extract_function(
+        &eqsql::imp::parse_and_normalize(SRC).unwrap(),
+        "applicantReport",
+    );
     println!("\nextracted SQL:\n  {}", report.vars.last().unwrap().sql[0]);
 }

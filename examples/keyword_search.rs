@@ -33,8 +33,8 @@ fn main() {
         ordered: false,       // keyword search does not care about order
         ..ExtractorOptions::default()
     };
-    let report =
-        Extractor::with_options(db.catalog(), opts).extract_function(&program, "projectListServlet");
+    let report = Extractor::with_options(db.catalog(), opts)
+        .extract_function(&program, "projectListServlet");
 
     println!("=== servlet ===\n{SERVLET}");
     match report.vars.iter().find(|v| v.outcome.sql_extracted()) {
@@ -49,11 +49,16 @@ fn main() {
 
     // The extracted query fetches exactly what the servlet prints — compare.
     let mut orig = Interp::new(&program, Connection::new(db.clone()));
-    orig.call("projectListServlet", vec![RtValue::str("any")]).unwrap();
+    orig.call("projectListServlet", vec![RtValue::str("any")])
+        .unwrap();
     let mut new = Interp::new(&report.program, Connection::new(db));
-    new.call("projectListServlet", vec![RtValue::str("any")]).unwrap();
+    new.call("projectListServlet", vec![RtValue::str("any")])
+        .unwrap();
     assert_eq!(orig.output, new.output, "form output must be identical");
-    println!("\nform output identical across {} lines ✓", orig.output.len());
+    println!(
+        "\nform output identical across {} lines ✓",
+        orig.output.len()
+    );
     println!(
         "data transferred: servlet {} B vs extracted {} B",
         orig.conn.stats.bytes, new.conn.stats.bytes

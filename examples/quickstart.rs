@@ -49,10 +49,21 @@ fn main() {
     let v2 = new.call("engineeringPayroll", args).unwrap();
 
     println!("=== execution ===");
-    println!("original : result={v1}, rows fetched={}, bytes={}, sim {:.2} ms",
-        orig.conn.stats.rows, orig.conn.stats.bytes, orig.conn.stats.sim_ms());
-    println!("rewritten: result={v2}, rows fetched={}, bytes={}, sim {:.2} ms",
-        new.conn.stats.rows, new.conn.stats.bytes, new.conn.stats.sim_ms());
+    println!(
+        "original : result={v1}, rows fetched={}, bytes={}, sim {:.2} ms",
+        orig.conn.stats.rows,
+        orig.conn.stats.bytes,
+        orig.conn.stats.sim_ms()
+    );
+    println!(
+        "rewritten: result={v2}, rows fetched={}, bytes={}, sim {:.2} ms",
+        new.conn.stats.rows,
+        new.conn.stats.bytes,
+        new.conn.stats.sim_ms()
+    );
     assert_eq!(format!("{v1}"), format!("{v2}"), "results must agree");
-    println!("\nspeedup (simulated): {:.1}x", orig.conn.stats.sim_ms() / new.conn.stats.sim_ms());
+    println!(
+        "\nspeedup (simulated): {:.1}x",
+        orig.conn.stats.sim_ms() / new.conn.stats.sim_ms()
+    );
 }

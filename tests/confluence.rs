@@ -31,9 +31,16 @@ const NESTED_AGG: &str = r#"
 
 fn extract_with(prefer_lateral: bool, db: &dbms::Database) -> eqsql_core::ExtractionReport {
     let program = imp::parse_and_normalize(NESTED_AGG).unwrap();
-    let opts = ExtractorOptions { prefer_lateral, ..Default::default() };
+    let opts = ExtractorOptions {
+        prefer_lateral,
+        ..Default::default()
+    };
     let r = Extractor::with_options(db.catalog(), opts).extract_function(&program, "totals");
-    assert_eq!(r.loops_rewritten, 1, "prefer_lateral={prefer_lateral}: {:#?}", r.vars);
+    assert_eq!(
+        r.loops_rewritten, 1,
+        "prefer_lateral={prefer_lateral}: {:#?}",
+        r.vars
+    );
     r
 }
 
@@ -42,8 +49,20 @@ fn both_orders_extract_different_shapes() {
     let db = gen_emp(30, 1);
     let group_by = extract_with(false, &db);
     let lateral = extract_with(true, &db);
-    let sql_g = group_by.vars.iter().flat_map(|v| v.sql.iter()).next().unwrap().clone();
-    let sql_l = lateral.vars.iter().flat_map(|v| v.sql.iter()).next().unwrap().clone();
+    let sql_g = group_by
+        .vars
+        .iter()
+        .flat_map(|v| v.sql.iter())
+        .next()
+        .unwrap()
+        .clone();
+    let sql_l = lateral
+        .vars
+        .iter()
+        .flat_map(|v| v.sql.iter())
+        .next()
+        .unwrap()
+        .clone();
     assert!(sql_g.contains("GROUP BY"), "{sql_g}");
     assert!(sql_l.contains("LATERAL"), "{sql_l}");
     assert_ne!(sql_g, sql_l, "shapes must differ so the test is meaningful");
@@ -79,7 +98,10 @@ fn extraction_is_deterministic_and_idempotent() {
     // is gone, so the extractor has nothing to do.
     let r3 = e.extract_function(&r1.program, "totals");
     assert_eq!(r3.loops_rewritten, 0);
-    assert_eq!(imp::pretty_print(&r3.program), imp::pretty_print(&r1.program));
+    assert_eq!(
+        imp::pretty_print(&r3.program),
+        imp::pretty_print(&r1.program)
+    );
 }
 
 proptest! {

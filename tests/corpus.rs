@@ -27,7 +27,11 @@ fn table1_eqsql_column_is_reproduced() {
             ));
         }
     }
-    assert!(mismatches.is_empty(), "Table 1 mismatches:\n{}", mismatches.join("\n"));
+    assert!(
+        mismatches.is_empty(),
+        "Table 1 mismatches:\n{}",
+        mismatches.join("\n")
+    );
 }
 
 #[test]
@@ -81,7 +85,11 @@ fn extracted_wilos_samples_are_equivalent() {
 }
 
 fn servlet_options() -> ExtractorOptions {
-    ExtractorOptions { rewrite_prints: true, ordered: false, ..Default::default() }
+    ExtractorOptions {
+        rewrite_prints: true,
+        ordered: false,
+        ..Default::default()
+    }
 }
 
 fn extraction_fraction(
@@ -123,17 +131,28 @@ fn experiment3_rubbos_16_of_16() {
 
 #[test]
 fn experiment3_acadportal_58_of_79() {
-    let (ok, total) =
-        extraction_fraction(&servlets::acadportal(), servlets::acadportal_catalog());
+    let (ok, total) = extraction_fraction(&servlets::acadportal(), servlets::acadportal_catalog());
     assert_eq!((ok, total), (58, 79));
 }
 
 #[test]
 fn extracted_servlets_produce_identical_output() {
     // Spot-check output equivalence for a slice of each corpus.
-    let cases: Vec<(Vec<servlets::Servlet>, algebra::schema::Catalog, dbms::Database)> = vec![
-        (servlets::rubis(), servlets::rubis_catalog(), servlets::rubis_database(40, 5)),
-        (servlets::rubbos(), servlets::rubbos_catalog(), servlets::rubbos_database(30, 6)),
+    let cases: Vec<(
+        Vec<servlets::Servlet>,
+        algebra::schema::Catalog,
+        dbms::Database,
+    )> = vec![
+        (
+            servlets::rubis(),
+            servlets::rubis_catalog(),
+            servlets::rubis_database(40, 5),
+        ),
+        (
+            servlets::rubbos(),
+            servlets::rubbos_catalog(),
+            servlets::rubbos_database(30, 6),
+        ),
         (
             servlets::acadportal().into_iter().take(20).collect(),
             servlets::acadportal_catalog(),
@@ -152,14 +171,15 @@ fn extracted_servlets_produce_identical_output() {
             let mut orig = Interp::new(&program, Connection::new(db.clone()));
             orig.call("servlet", vec![RtValue::int(1)]).unwrap();
             let mut new = Interp::new(&report.program, Connection::new(db.clone()));
-            new.call("servlet", vec![RtValue::int(1)]).unwrap_or_else(|e| {
-                panic!(
-                    "{}:{} rewritten failed: {e}\n{}",
-                    s.app,
-                    s.name,
-                    imp::pretty_print(&report.program)
-                )
-            });
+            new.call("servlet", vec![RtValue::int(1)])
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}:{} rewritten failed: {e}\n{}",
+                        s.app,
+                        s.name,
+                        imp::pretty_print(&report.program)
+                    )
+                });
             let mut a = orig.output.clone();
             let mut b = new.output.clone();
             a.sort();
@@ -205,9 +225,15 @@ fn qbs_succeeds_where_static_analysis_fails_sometimes() {
         &program,
         "sample",
         &catalog,
-        &qbs::QbsOptions { max_candidates: 100_000, ..Default::default() },
+        &qbs::QbsOptions {
+            max_candidates: 100_000,
+            ..Default::default()
+        },
     );
-    assert!(qbs_result.sql.is_some(), "QBS finds the join: {qbs_result:?}");
+    assert!(
+        qbs_result.sql.is_some(),
+        "QBS finds the join: {qbs_result:?}"
+    );
 }
 
 #[test]
@@ -221,6 +247,9 @@ fn qbs_rejects_update_samples_that_eqsql_handles() {
         let q = qbs::synthesize(&program, "sample", &catalog, &Default::default());
         assert!(q.sql.is_none(), "sample {id}: QBS must reject updates");
         let report = Extractor::new(catalog.clone()).extract_function(&program, "sample");
-        assert!(report.any_sql(), "sample {id}: EqSQL extracts around the update");
+        assert!(
+            report.any_sql(),
+            "sample {id}: EqSQL extracts around the update"
+        );
     }
 }

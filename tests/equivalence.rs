@@ -69,7 +69,10 @@ fn figure2_max_score_equivalent_and_cheaper() {
     "#;
     let db = gen_board(500, 4, 42);
     let (rows_orig, rows_new) = check_equiv(src, "findMaxScore", &db, vec![]);
-    assert!(rows_new < rows_orig, "aggregation must transfer less: {rows_new} vs {rows_orig}");
+    assert!(
+        rows_new < rows_orig,
+        "aggregation must transfer less: {rows_new} vs {rows_orig}"
+    );
     assert_eq!(rows_new, 1);
 }
 
@@ -319,9 +322,12 @@ fn print_preprocessing_equivalence() {
     "#;
     let db = gen_emp(40, 47);
     let program = imp::parse_and_normalize(src).unwrap();
-    let opts =
-        eqsql_core::ExtractorOptions { rewrite_prints: true, ..Default::default() };
-    let report = Extractor::with_options(db.catalog(), opts).extract_function(&program, "listNames");
+    let opts = eqsql_core::ExtractorOptions {
+        rewrite_prints: true,
+        ..Default::default()
+    };
+    let report =
+        Extractor::with_options(db.catalog(), opts).extract_function(&program, "listNames");
     assert!(report.loops_rewritten >= 1, "{:#?}", report.vars);
 
     let mut orig = Interp::new(&program, Connection::new(db.clone()));
@@ -447,7 +453,14 @@ fn dependent_aggregation_argmax_equivalent() {
         // Force salary ties so the first-extremal-row semantics is tested.
         let max_sal = {
             let t = db.table("emp").unwrap();
-            t.rows.iter().map(|r| match r[3] { dbms::Value::Int(s) => s, _ => 0 }).max().unwrap()
+            t.rows
+                .iter()
+                .map(|r| match r[3] {
+                    dbms::Value::Int(s) => s,
+                    _ => 0,
+                })
+                .max()
+                .unwrap()
         };
         db.insert(
             "emp",
@@ -458,8 +471,12 @@ fn dependent_aggregation_argmax_equivalent() {
                 dbms::Value::Int(max_sal),
             ],
         );
-        let opts = eqsql_core::ExtractorOptions { dependent_agg: true, ..Default::default() };
-        let report = Extractor::with_options(db.catalog(), opts).extract_function(&program, "topEarner");
+        let opts = eqsql_core::ExtractorOptions {
+            dependent_agg: true,
+            ..Default::default()
+        };
+        let report =
+            Extractor::with_options(db.catalog(), opts).extract_function(&program, "topEarner");
         assert_eq!(report.loops_rewritten, 1, "{:#?}", report.vars);
 
         let mut orig = Interp::new(&program, Connection::new(db.clone()));
@@ -486,8 +503,12 @@ fn dependent_aggregation_empty_input_returns_initial() {
     "#;
     let program = imp::parse_and_normalize(src).unwrap();
     let db = gen_emp(20, 9);
-    let opts = eqsql_core::ExtractorOptions { dependent_agg: true, ..Default::default() };
-    let report = Extractor::with_options(db.catalog(), opts).extract_function(&program, "topEarner");
+    let opts = eqsql_core::ExtractorOptions {
+        dependent_agg: true,
+        ..Default::default()
+    };
+    let report =
+        Extractor::with_options(db.catalog(), opts).extract_function(&program, "topEarner");
     assert_eq!(report.loops_rewritten, 1, "{:#?}", report.vars);
     let mut new = Interp::new(&report.program, Connection::new(db));
     let v = new.call("topEarner", vec![]).unwrap();

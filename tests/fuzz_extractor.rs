@@ -84,9 +84,14 @@ fn arb_program() -> impl Strategy<Value = (String, usize)> {
                 inits.push(s.var);
             }
         }
-        let init_src: String =
-            inits.iter().map(|(v, e)| format!("    {v} = {e};\n")).collect();
-        let body: String = stmts.iter().map(|s| format!("        {}\n", s.code)).collect();
+        let init_src: String = inits
+            .iter()
+            .map(|(v, e)| format!("    {v} = {e};\n"))
+            .collect();
+        let body: String = stmts
+            .iter()
+            .map(|s| format!("        {}\n", s.code))
+            .collect();
         let ret_collect: String = inits
             .iter()
             .map(|(v, _)| format!("    result.add({v});\n"))

@@ -1,0 +1,160 @@
+//! Golden-file tests for the machine-readable diagnostics (`render_json`).
+//!
+//! One program per hard-failure code E001–E006. Each case runs the full
+//! lint pipeline (advisory passes + dry-run extraction) and compares the
+//! JSON rendering byte-for-byte against `tests/golden/lint_*.json`. The
+//! JSON layout is a stability promise (DESIGN.md, "Diagnostics"); run with
+//! `BLESS=1` to regenerate the goldens after an intentional change.
+
+use eqsql::prelude::*;
+
+fn catalog() -> Catalog {
+    Catalog::new().with(
+        TableSchema::new(
+            "emp",
+            &[
+                ("id", SqlType::Int),
+                ("name", SqlType::Text),
+                ("salary", SqlType::Int),
+            ],
+        )
+        .with_key(&["id"]),
+    )
+}
+
+fn check(name: &str, code: Code, src: &str) {
+    let program = imp::parse_and_normalize(src).unwrap();
+    let diags = lint_program(&program, &catalog(), &ExtractorOptions::default());
+    let hit = diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code:?} in {name}: {diags:#?}"));
+    assert!(
+        hit.primary.span.end > hit.primary.span.start,
+        "{code:?} in {name} must carry a source span: {hit:?}"
+    );
+    let json = render_json(&diags, src);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("lint_{name}.json"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} (run with BLESS=1): {e}", path.display()));
+    assert_eq!(
+        json.trim(),
+        want.trim(),
+        "golden mismatch for {name}; re-run with BLESS=1 if the change is intended"
+    );
+}
+
+#[test]
+fn e001_no_accumulation() {
+    // P1: `v` is overwritten each iteration — no dependence cycle.
+    check(
+        "e001_no_accumulation",
+        Code::NoAccumulation,
+        r#"fn lastSalary() {
+    rows = executeQuery("SELECT * FROM emp");
+    v = 0;
+    for (t in rows) {
+        v = t.salary;
+    }
+    return v;
+}"#,
+    );
+}
+
+#[test]
+fn e002_extra_loop_dependence() {
+    // P2: `prev` carries a value between iterations into `trend`'s update.
+    check(
+        "e002_extra_loop_dependence",
+        Code::ExtraLoopDependence,
+        r#"fn trend() {
+    rows = executeQuery("SELECT * FROM emp");
+    trend = 0;
+    prev = 0;
+    for (t in rows) {
+        trend = trend + (t.salary - prev);
+        prev = t.salary;
+    }
+    return trend + prev;
+}"#,
+    );
+}
+
+#[test]
+fn e003_external_write_in_slice() {
+    // P3: the update's result feeds the accumulator, so the external write
+    // sits inside `s`'s slice.
+    check(
+        "e003_external_write_in_slice",
+        Code::ExternalWriteInSlice,
+        r#"fn purgeAndCount() {
+    rows = executeQuery("SELECT * FROM emp");
+    s = 0;
+    for (t in rows) {
+        n = executeUpdate("DELETE FROM emp WHERE id = ?", t.id);
+        s = s + n;
+    }
+    return s;
+}"#,
+    );
+}
+
+#[test]
+fn e004_abrupt_loop_exit() {
+    check(
+        "e004_abrupt_loop_exit",
+        Code::AbruptLoopExit,
+        r#"fn firstBig() {
+    rows = executeQuery("SELECT * FROM emp");
+    v = 0;
+    for (t in rows) {
+        v = v + t.salary;
+        if (v > 100) break;
+    }
+    return v;
+}"#,
+    );
+}
+
+#[test]
+fn e005_non_algebraic() {
+    // The cursor query names a table missing from the catalog, so the query
+    // node is opaque and poisons the body expression.
+    check(
+        "e005_non_algebraic",
+        Code::NonAlgebraic,
+        r#"fn ghost() {
+    rows = executeQuery("SELECT * FROM phantom");
+    s = 0;
+    for (t in rows) {
+        s = s + t.salary;
+    }
+    return s;
+}"#,
+    );
+}
+
+#[test]
+fn e006_no_rule_applies() {
+    // A product accumulator folds fine but no transformation rule matches
+    // (SQL has no product aggregate).
+    check(
+        "e006_no_rule_applies",
+        Code::NoRuleApplies,
+        r#"fn product() {
+    rows = executeQuery("SELECT * FROM emp");
+    p = 1;
+    for (t in rows) {
+        p = p * t.salary;
+    }
+    return p;
+}"#,
+    );
+}

@@ -29,7 +29,11 @@ fn user_function_inlining_enables_extraction() {
     let db = gen_emp(100, 3);
     let report = Extractor::new(db.catalog()).extract_function(&program, "total");
     assert_eq!(report.loops_rewritten, 1, "{:#?}", report.vars);
-    assert!(report.vars[0].sql[0].contains("GREATEST"), "{:?}", report.vars[0].sql);
+    assert!(
+        report.vars[0].sql[0].contains("GREATEST"),
+        "{:?}",
+        report.vars[0].sql
+    );
 
     let mut orig = Interp::new(&program, Connection::new(db.clone()));
     let v1 = orig.call("total", vec![]).unwrap();
@@ -54,12 +58,18 @@ fn dialect_changes_rendered_sql() {
     let db = gen_emp(10, 1);
     let pg = Extractor::with_options(
         db.catalog(),
-        ExtractorOptions { dialect: Dialect::Postgres, ..Default::default() },
+        ExtractorOptions {
+            dialect: Dialect::Postgres,
+            ..Default::default()
+        },
     )
     .extract_function(&program, "best");
     let ms = Extractor::with_options(
         db.catalog(),
-        ExtractorOptions { dialect: Dialect::SqlServer, ..Default::default() },
+        ExtractorOptions {
+            dialect: Dialect::SqlServer,
+            ..Default::default()
+        },
     )
     .extract_function(&program, "best");
     let pg_sql = pg.vars[0].sql.join(" ");
@@ -166,7 +176,10 @@ fn custom_comparator_fails_gracefully() {
     let db = gen_emp(10, 5);
     let report = Extractor::new(db.catalog()).extract_function(&program, "weird");
     assert_eq!(report.loops_rewritten, 0);
-    assert!(matches!(report.vars[0].outcome, ExtractionOutcome::FoldFailed(_)));
+    assert!(matches!(
+        report.vars[0].outcome,
+        ExtractionOutcome::FoldFailed(_)
+    ));
 }
 
 #[test]
@@ -196,7 +209,8 @@ fn regions_validate_against_cfg_on_realistic_code() {
     for f in &program.functions {
         let tree = RegionTree::build(f);
         let cfg = Cfg::build(f);
-        tree.validate_against_cfg(&cfg).expect("regions consistent with CFG");
+        tree.validate_against_cfg(&cfg)
+            .expect("regions consistent with CFG");
         assert!(!tree.loops().is_empty());
     }
 }
@@ -224,11 +238,17 @@ fn unordered_mode_enables_unkeyed_join() {
     // Unordered mode extracts a multiset join.
     let unordered = Extractor::with_options(
         db.catalog(),
-        ExtractorOptions { ordered: false, ..Default::default() },
+        ExtractorOptions {
+            ordered: false,
+            ..Default::default()
+        },
     )
     .extract_function(&program, "pairs");
     assert_eq!(unordered.loops_rewritten, 1, "{:#?}", unordered.vars);
-    assert!(unordered.vars.iter().any(|v| v.sql.iter().any(|s| s.contains("JOIN"))));
+    assert!(unordered
+        .vars
+        .iter()
+        .any(|v| v.sql.iter().any(|s| s.contains("JOIN"))));
 }
 
 #[test]
@@ -332,16 +352,27 @@ fn all_dialects_round_trip_at_runtime() {
     let program = imp::parse_and_normalize(src).unwrap();
     let db = gen_emp(25, 8);
     let mut results = Vec::new();
-    for dialect in [Dialect::Postgres, Dialect::Mysql, Dialect::SqlServer, Dialect::Ansi] {
+    for dialect in [
+        Dialect::Postgres,
+        Dialect::Mysql,
+        Dialect::SqlServer,
+        Dialect::Ansi,
+    ] {
         let report = Extractor::with_options(
             db.catalog(),
-            ExtractorOptions { dialect, ..Default::default() },
+            ExtractorOptions {
+                dialect,
+                ..Default::default()
+            },
         )
         .extract_function(&program, "report");
         assert_eq!(report.loops_rewritten, 1, "{dialect:?}: {:#?}", report.vars);
         let mut i = Interp::new(&report.program, Connection::new(db.clone()));
         let v = i.call("report", vec![]).unwrap_or_else(|e| {
-            panic!("{dialect:?} runtime failure: {e}\n{}", imp::pretty_print(&report.program))
+            panic!(
+                "{dialect:?} runtime failure: {e}\n{}",
+                imp::pretty_print(&report.program)
+            )
         });
         results.push(format!("{v}"));
     }
@@ -362,7 +393,10 @@ fn cost_based_extraction_with_live_stats() {
     let program = imp::parse_and_normalize(src).unwrap();
     let db = gen_emp(5_000, 12);
     let stats = eqsql_core::DbStats::from_database(&db);
-    let opts = ExtractorOptions { cost_based: Some(stats), ..Default::default() };
+    let opts = ExtractorOptions {
+        cost_based: Some(stats),
+        ..Default::default()
+    };
     let report = Extractor::with_options(db.catalog(), opts).extract_function(&program, "total");
     assert_eq!(report.loops_rewritten, 1, "{:#?}", report.vars);
 }
@@ -386,7 +420,11 @@ fn report_carries_fir_and_rule_trace() {
     let fir = v.fir.clone().expect("F-IR recorded");
     assert!(fir.starts_with("fold["), "{fir}");
     assert!(fir.contains("⟨out⟩"), "{fir}");
-    assert!(v.rule_trace.contains(&"T2".to_string()), "{:?}", v.rule_trace);
+    assert!(
+        v.rule_trace.contains(&"T2".to_string()),
+        "{:?}",
+        v.rule_trace
+    );
     assert!(
         v.rule_trace.iter().any(|r| r.starts_with("T1")),
         "{:?}",
@@ -415,8 +453,13 @@ fn prints_across_nesting_levels_fail_gracefully() {
     "#;
     let program = imp::parse_and_normalize(src).unwrap();
     let db = gen_emp(12, 2);
-    let opts = ExtractorOptions { rewrite_prints: true, ordered: true, ..Default::default() };
-    let report = Extractor::with_options(db.catalog(), opts).extract_function(&program, "multiLevel");
+    let opts = ExtractorOptions {
+        rewrite_prints: true,
+        ordered: true,
+        ..Default::default()
+    };
+    let report =
+        Extractor::with_options(db.catalog(), opts).extract_function(&program, "multiLevel");
     assert_eq!(report.loops_rewritten, 0, "{:#?}", report.vars);
     // Original behaviour intact.
     let mut orig = Interp::new(&program, Connection::new(db.clone()));
@@ -474,7 +517,11 @@ fn print_flush_survives_early_return() {
     let mut i = Interp::new(&program, Connection::new(dbms::Database::new()));
     let v = i.call("f", vec![RtValue::int(5)]).unwrap();
     assert_eq!(v, RtValue::int(1));
-    assert_eq!(i.output, vec!["start"], "early-return path must still flush");
+    assert_eq!(
+        i.output,
+        vec!["start"],
+        "early-return path must still flush"
+    );
     let mut j = Interp::new(&program, Connection::new(dbms::Database::new()));
     j.call("f", vec![RtValue::int(-1)]).unwrap();
     assert_eq!(j.output, vec!["start", "end"]);

@@ -32,14 +32,8 @@ fn arb_pred() -> impl Strategy<Value = Scalar> {
 
 /// A random query over `emp`: scan → σ? → (π | γ)? → (τ | δ | LIMIT)?.
 fn arb_query() -> impl Strategy<Value = RaExpr> {
-    (
-        arb_pred(),
-        any::<bool>(),
-        0u8..4,
-        0u8..4,
-        1u64..10,
-    )
-        .prop_map(|(pred, with_sel, shape, tail, limit)| {
+    (arb_pred(), any::<bool>(), 0u8..4, 0u8..4, 1u64..10).prop_map(
+        |(pred, with_sel, shape, tail, limit)| {
             let mut q = RaExpr::table("emp");
             if with_sel {
                 q = q.select(pred);
@@ -76,7 +70,8 @@ fn arb_query() -> impl Strategy<Value = RaExpr> {
                 2 => q.dedup(),
                 _ => q.limit(limit),
             }
-        })
+        },
+    )
 }
 
 fn roundtrip_ok(q: &RaExpr, db: &Database) {
@@ -157,8 +152,11 @@ fn case_when_roundtrip() {
 
 #[test]
 fn scalar_subquery_roundtrip() {
-    let max_sal = RaExpr::table_as("emp", "i")
-        .aggregate(vec![AggCall::new(AggFunc::Max, Scalar::qcol("i", "salary"), "m")]);
+    let max_sal = RaExpr::table_as("emp", "i").aggregate(vec![AggCall::new(
+        AggFunc::Max,
+        Scalar::qcol("i", "salary"),
+        "m",
+    )]);
     let q = RaExpr::table("emp").select(Scalar::cmp(
         BinOp::Eq,
         Scalar::col("salary"),
@@ -185,7 +183,11 @@ fn group_by_left_join_roundtrip() {
                 ProjItem::new(Scalar::qcol("o", "id"), "id"),
                 ProjItem::new(Scalar::qcol("o", "dept"), "dept"),
             ],
-            vec![AggCall::new(AggFunc::Sum, Scalar::qcol("i", "salary"), "agg0")],
+            vec![AggCall::new(
+                AggFunc::Sum,
+                Scalar::qcol("i", "salary"),
+                "agg0",
+            )],
         )
         .project(vec![
             ProjItem::new(Scalar::col("dept"), "first"),
