@@ -13,4 +13,17 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> service smoke test"
+cargo build -q --release -p eqsql-cli -p service
+PORT_FILE="$(mktemp -u)"
+target/release/eqsql serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$PORT_FILE"' EXIT
+# The smoke client waits for the port file, hits /healthz and /extract,
+# asserts 200 + valid JSON, then POSTs /shutdown for a graceful stop.
+target/release/eqsql-smoke "@$PORT_FILE"
+wait "$SERVE_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+
 echo "==> ok"

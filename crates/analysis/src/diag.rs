@@ -6,7 +6,8 @@
 //! failure a stable code ([`Code`]), a severity, and source anchors
 //! ([`Label`]) pointing at the statements responsible, plus two renderers:
 //! a rustc-style human reporter ([`Diagnostic::render_human`]) and a stable
-//! machine-readable JSON form ([`render_json`]).
+//! machine-readable JSON form ([`render_json`]); string escaping is shared
+//! with every other JSON producer via [`crate::json`].
 //!
 //! ## Code registry
 //!
@@ -39,6 +40,8 @@
 use std::fmt;
 
 use imp::token::{line_col, Span};
+
+use crate::json::escape as json_str;
 
 /// How severe a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -394,25 +397,6 @@ fn json_span_fields(out: &mut String, src: &str, span: Span) {
         "\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}",
         span.start, span.end
     ));
-}
-
-/// Minimal JSON string escaping (quotes, backslash, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

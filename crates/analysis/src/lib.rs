@@ -22,6 +22,9 @@
 //!   by dead code elimination");
 //! * [`diag`] — typed, span-carrying diagnostics (`E0xx` hard extraction
 //!   failures, `W0xx` advisories) with human and JSON renderers;
+//! * [`json`] — the shared JSON writer/parser (escaping and number
+//!   formatting in one place, used by `diag`, the extraction report
+//!   serializer, and the service endpoints);
 //! * [`pass`] — a pass manager running the analyses above as named passes
 //!   that emit diagnostics uniformly.
 
@@ -31,6 +34,7 @@ pub mod deadcode;
 pub mod defuse;
 pub mod diag;
 pub mod dominators;
+pub mod json;
 pub mod liveness;
 pub mod pass;
 pub mod purity;

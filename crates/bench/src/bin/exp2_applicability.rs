@@ -6,13 +6,51 @@
 //! examined."
 //!
 //! ```text
-//! cargo run -p bench --release --bin exp2_applicability
+//! cargo run -p bench --release --bin exp2_applicability [-- --jobs N]
 //! ```
+//!
+//! Per-sample analyses run on the service scheduler; `parallel_map` returns
+//! results in input order, so the table is byte-identical for any `--jobs`.
 
 use baselines::{batching_applicable, prefetch_applicable};
 use workloads::{wilos, Expectation};
 
+fn parse_jobs() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                if n > 0 {
+                    return n;
+                }
+            }
+            eprintln!("exp2_applicability: --jobs expects a positive integer");
+            std::process::exit(2);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse() {
+                Ok(n) if n > 0 => return n,
+                _ => {
+                    eprintln!("exp2_applicability: --jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
 fn main() {
+    let jobs = parse_jobs();
+    let rows = service::parallel_map(wilos::samples(), jobs, |s| {
+        let p = imp::parse_and_normalize(s.source).unwrap();
+        let b = batching_applicable(&p, "sample");
+        let f = prefetch_applicable(&p, "sample");
+        let e = matches!(s.expect, Expectation::Extracts | Expectation::CouldButNot);
+        (s, b, f, e)
+    });
+
     let mut batch = 0;
     let mut prefetch = 0;
     let mut eqsql = 0;
@@ -21,11 +59,7 @@ fn main() {
         "{:<4} {:<42} {:>8} {:>9} {:>6}",
         "Sl.", "File (Line No.)", "Batch", "Prefetch", "EqSQL"
     );
-    for s in wilos::samples() {
-        let p = imp::parse_and_normalize(s.source).unwrap();
-        let b = batching_applicable(&p, "sample");
-        let f = prefetch_applicable(&p, "sample");
-        let e = matches!(s.expect, Expectation::Extracts | Expectation::CouldButNot);
+    for (s, b, f, e) in rows {
         batch += b as usize;
         prefetch += f as usize;
         eqsql += e as usize;

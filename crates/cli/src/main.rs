@@ -18,6 +18,18 @@
 //!     schema (and optional INSERT script), reporting round trips and
 //!     transfer; then extract, re-run, and compare.
 //!
+//! eqsql batch <dir> [--jobs N] [--schema <schema.sql>] [options]
+//!     Extract from every *.imp file under <dir> on a thread pool. Output
+//!     is path-sorted and byte-identical for any --jobs value. Without
+//!     --schema, a schema.sql next to each .imp file applies.
+//!
+//! eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N]
+//!             [--cache-entries N] [--timeout-ms N] [--port-file PATH]
+//!     Run the extraction service: POST /extract, POST /lint, GET /healthz,
+//!     GET /metrics (Prometheus), POST /shutdown. --addr defaults to
+//!     127.0.0.1:7090; port 0 picks an ephemeral port, and --port-file
+//!     writes the bound address for scripts to discover.
+//!
 //! Common options:
 //!     --function NAME      function to analyse (default: first function;
 //!                          `lint` covers all functions unless given)
@@ -61,6 +73,13 @@ struct Opts {
     dependent_agg: bool,
     partial: bool,
     run_args: Vec<i64>,
+    // serve/batch options
+    addr: String,
+    jobs: usize,
+    queue: usize,
+    cache_entries: usize,
+    timeout_ms: Option<u64>,
+    port_file: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -76,6 +95,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         dependent_agg: false,
         partial: false,
         run_args: Vec::new(),
+        addr: "127.0.0.1:7090".to_string(),
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4),
+        queue: 64,
+        cache_entries: 256,
+        timeout_ms: Some(30_000),
+        port_file: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -99,6 +126,29 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     f => return Err(format!("unknown format {f} (expected human or json)")),
                 }
             }
+            "--addr" => o.addr = next(&mut it, "--addr")?,
+            "--jobs" => {
+                o.jobs = next(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--queue" => {
+                o.queue = next(&mut it, "--queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--cache-entries" => {
+                o.cache_entries = next(&mut it, "--cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-entries: {e}"))?
+            }
+            "--timeout-ms" => {
+                let ms: u64 = next(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                o.timeout_ms = (ms > 0).then_some(ms);
+            }
+            "--port-file" => o.port_file = Some(next(&mut it, "--port-file")?),
             "--unordered" => o.unordered = true,
             "--prints" => o.prints = true,
             "--dependent-agg" => o.dependent_agg = true,
@@ -111,9 +161,6 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             f if !f.starts_with("--") && o.file.is_empty() => o.file = f.to_string(),
             other => return Err(format!("unknown option {other}")),
         }
-    }
-    if o.file.is_empty() {
-        return Err("missing input file".into());
     }
     Ok(o)
 }
@@ -130,6 +177,14 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let opts = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "serve" => return run_serve(&opts),
+        "batch" => return run_batch_cmd(&opts),
+        _ => {}
+    }
+    if opts.file.is_empty() {
+        return Err("missing input file".into());
+    }
     let source = std::fs::read_to_string(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
     let program = imp::parse_and_normalize(&source).map_err(|e| {
         let (line, col) = imp::token::line_col(&source, e.offset);
@@ -154,16 +209,7 @@ fn run(args: &[String]) -> Result<(), String> {
             available.join(", ")
         ));
     }
-    let xopts = ExtractorOptions {
-        dialect: opts.dialect,
-        ordered: !opts.unordered,
-        require_all_vars: !opts.partial,
-        rewrite_prints: opts.prints,
-        dependent_agg: opts.dependent_agg,
-        cost_based: None,
-        prefer_lateral: false,
-    };
-    let extractor = Extractor::with_options(catalog.clone(), xopts);
+    let extractor = Extractor::with_options(catalog.clone(), extractor_options(&opts));
 
     match cmd.as_str() {
         "extract" => {
@@ -294,10 +340,66 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn extractor_options(opts: &Opts) -> ExtractorOptions {
+    ExtractorOptions {
+        dialect: opts.dialect,
+        ordered: !opts.unordered,
+        require_all_vars: !opts.partial,
+        rewrite_prints: opts.prints,
+        dependent_agg: opts.dependent_agg,
+        cost_based: None,
+        prefer_lateral: false,
+    }
+}
+
+fn run_serve(opts: &Opts) -> Result<(), String> {
+    let config = service::ServiceConfig {
+        workers: opts.jobs,
+        queue_capacity: opts.queue,
+        cache_entries: opts.cache_entries,
+        job_timeout: opts.timeout_ms.map(std::time::Duration::from_millis),
+    };
+    let server = service::Server::start(&opts.addr, config)
+        .map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let addr = server.addr();
+    if let Some(path) = &opts.port_file {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!(
+        "eqsql serve listening on {addr} ({} worker(s), queue {}, cache {} entr{})",
+        opts.jobs,
+        opts.queue,
+        opts.cache_entries,
+        if opts.cache_entries == 1 { "y" } else { "ies" }
+    );
+    server.wait(); // returns after POST /shutdown
+    eprintln!("eqsql serve: shut down");
+    Ok(())
+}
+
+fn run_batch_cmd(opts: &Opts) -> Result<(), String> {
+    if opts.file.is_empty() {
+        return Err("batch needs a corpus directory".into());
+    }
+    let report = service::run_batch(
+        std::path::Path::new(&opts.file),
+        &service::BatchOptions {
+            jobs: opts.jobs,
+            schema: opts.schema.clone().map(std::path::PathBuf::from),
+            options: extractor_options(opts),
+        },
+    )?;
+    print!("{report}");
+    Ok(())
+}
+
 fn print_usage() {
     eprintln!(
         "usage: eqsql <extract|explain|lint|run> <file.imp> --schema <schema.sql> \
          [--function NAME] [--dialect D] [--format human|json] [--unordered] \
-         [--prints] [--dependent-agg] [--partial] [--data <data.sql>] [--arg N]..."
+         [--prints] [--dependent-agg] [--partial] [--data <data.sql>] [--arg N]...\n\
+       \x20      eqsql batch <dir> [--jobs N] [--schema <schema.sql>] [options]\n\
+       \x20      eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N] \
+         [--cache-entries N] [--timeout-ms N] [--port-file PATH]"
     );
 }

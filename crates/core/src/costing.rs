@@ -98,6 +98,19 @@ impl DbStats {
         self
     }
 
+    /// Canonical, deterministic encoding of the statistics.
+    ///
+    /// Feeds [`crate::ExtractorOptions::fingerprint`]: the table map is a
+    /// `BTreeMap`, so iteration (and therefore the encoding) is stable.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("latency={};per_byte={}", self.latency_us, self.per_byte_us);
+        for (name, t) in &self.tables {
+            let _ = write!(out, ";{name}={},{}", t.rows, t.avg_row_bytes);
+        }
+        out
+    }
+
     fn table(&self, name: &str) -> TableStats {
         self.tables.get(name).copied().unwrap_or(TableStats {
             rows: 1000.0,

@@ -57,6 +57,33 @@ impl Default for ExtractorOptions {
     }
 }
 
+impl ExtractorOptions {
+    /// Canonical, deterministic encoding of every field that can change
+    /// extraction output.
+    ///
+    /// Two option values with equal fingerprints produce identical reports
+    /// for identical inputs — the property the service layer's
+    /// content-addressed result cache keys on. Any new option field must be
+    /// added here, or stale cache hits will serve results computed under
+    /// different settings.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "dialect={:?};ordered={};require_all_vars={};rewrite_prints={};\
+             dependent_agg={};prefer_lateral={};cost_based={}",
+            self.dialect,
+            self.ordered,
+            self.require_all_vars,
+            self.rewrite_prints,
+            self.dependent_agg,
+            self.prefer_lateral,
+            match &self.cost_based {
+                Some(s) => s.fingerprint(),
+                None => "none".to_string(),
+            },
+        )
+    }
+}
+
 /// Per-variable extraction outcome. Every non-`Extracted` outcome carries a
 /// typed, span-anchored [`Diagnostic`] explaining what happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,7 +171,100 @@ impl ExtractionReport {
     pub fn any_sql(&self) -> bool {
         self.vars.iter().any(|v| v.outcome.sql_extracted())
     }
+
+    /// Render the report as a stable JSON document.
+    ///
+    /// `source` is the program text the report was produced from; it is
+    /// needed to resolve diagnostic spans to line/column pairs (the
+    /// `diagnostics` field embeds [`analysis::diag::render_json`]'s output
+    /// verbatim, so its published layout carries over).
+    ///
+    /// The rendering is deterministic: identical `(source, schema,
+    /// options)` inputs yield byte-identical JSON. Wall-clock `elapsed` is
+    /// deliberately excluded so the document can be cached and replayed
+    /// byte-for-byte by the service layer. Shape (append-only):
+    ///
+    /// ```json
+    /// {"loops_rewritten":1,
+    ///  "vars":[{"function":"f","var":"total","loop_stmt":"S3",
+    ///           "outcome":"extracted","code":null,
+    ///           "sql":["SELECT …"],"replacement":"…","fir":"…",
+    ///           "rules":["T2"]}],
+    ///  "program":"…","diagnostics":[…]}
+    /// ```
+    pub fn render_json(&self, source: &str) -> String {
+        use analysis::json::Json;
+        let vars = self
+            .vars
+            .iter()
+            .map(|v| {
+                let (outcome, code) = match &v.outcome {
+                    ExtractionOutcome::Extracted => ("extracted", None),
+                    ExtractionOutcome::ExtractedNotRewritten(d) => {
+                        ("extracted_not_rewritten", Some(d.code))
+                    }
+                    ExtractionOutcome::FoldFailed(d) => ("fold_failed", Some(d.code)),
+                    ExtractionOutcome::SqlFailed(d) => ("sql_failed", Some(d.code)),
+                };
+                let opt_str = |s: &Option<String>| match s {
+                    Some(s) => Json::str(s.clone()),
+                    None => Json::Null,
+                };
+                Json::Obj(vec![
+                    ("function".into(), Json::str(v.function.clone())),
+                    ("var".into(), Json::str(v.var.clone())),
+                    ("loop_stmt".into(), Json::str(v.loop_stmt.to_string())),
+                    ("outcome".into(), Json::str(outcome)),
+                    (
+                        "code".into(),
+                        match code {
+                            Some(c) => Json::str(c.as_str()),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "sql".into(),
+                        Json::Arr(v.sql.iter().map(|s| Json::str(s.clone())).collect()),
+                    ),
+                    ("replacement".into(), opt_str(&v.replacement)),
+                    ("fir".into(), opt_str(&v.fir)),
+                    (
+                        "rules".into(),
+                        Json::Arr(v.rule_trace.iter().map(|r| Json::str(r.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "loops_rewritten".into(),
+                Json::int(self.loops_rewritten as i64),
+            ),
+            ("vars".into(), Json::Arr(vars)),
+            (
+                "program".into(),
+                Json::str(imp::pretty_print(&self.program)),
+            ),
+            (
+                "diagnostics".into(),
+                Json::Raw(analysis::diag::render_json(&self.diagnostics, source)),
+            ),
+        ])
+        .render()
+    }
 }
+
+// The service layer ships extractors and reports across worker threads and
+// holds cached reports behind `Arc`s; keep both `Send + Sync` by
+// construction (a compile error here means a non-thread-safe type crept
+// into the pipeline).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Extractor>();
+    assert_send_sync::<ExtractorOptions>();
+    assert_send_sync::<ExtractionReport>();
+    assert_send_sync::<VarExtraction>();
+};
 
 /// The extractor: schema-aware, reusable across programs.
 ///

@@ -1,0 +1,198 @@
+//! `eqsql batch` — drive the extractor over a corpus directory.
+//!
+//! Walks a directory tree for `*.imp` programs, extracts every function of
+//! every program on the thread pool ([`crate::scheduler::parallel_map`]),
+//! and renders one report. Output is **deterministic and independent of
+//! `--jobs`**: files are path-sorted before scheduling, results come back
+//! in input order, and nothing time-dependent is printed — so `--jobs 4`
+//! is byte-identical to `--jobs 1` (an acceptance criterion, checked by
+//! `tests/service.rs`).
+//!
+//! Schema resolution, per file: an explicit schema path wins; otherwise a
+//! `schema.sql` sitting in the same directory as the `.imp` file applies;
+//! otherwise the catalog is empty.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use algebra::ddl::parse_ddl;
+use analysis::diag::Severity;
+use eqsql_core::{Extractor, ExtractorOptions};
+
+use crate::scheduler::parallel_map;
+
+/// Batch run parameters.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Explicit schema file applied to every program (overrides the
+    /// per-directory `schema.sql` convention).
+    pub schema: Option<PathBuf>,
+    /// Extractor options.
+    pub options: ExtractorOptions,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 1,
+            schema: None,
+            options: ExtractorOptions::default(),
+        }
+    }
+}
+
+/// Run a batch over `dir`; returns the full rendered report.
+pub fn run_batch(dir: &Path, opts: &BatchOptions) -> Result<String, String> {
+    let mut files = Vec::new();
+    collect_imp_files(dir, &mut files).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if files.is_empty() {
+        return Err(format!("{}: no .imp files found", dir.display()));
+    }
+    // Path-sort for deterministic ordering regardless of directory
+    // enumeration order or scheduling interleavings.
+    files.sort();
+
+    let explicit_schema = match &opts.schema {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?)
+        }
+        None => None,
+    };
+    let explicit_schema = Arc::new(explicit_schema);
+    let options = Arc::new(opts.options.clone());
+
+    let schema_arc = Arc::clone(&explicit_schema);
+    let opts_arc = Arc::clone(&options);
+    let sections = parallel_map(files, opts.jobs, move |path| {
+        process_file(&path, schema_arc.as_ref().as_deref(), &opts_arc)
+    });
+
+    let mut out = String::new();
+    let mut rewritten = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let n_files = sections.len();
+    for s in sections {
+        out.push_str(&s.text);
+        rewritten += s.rewritten;
+        errors += s.errors;
+        warnings += s.warnings;
+    }
+    out.push_str(&format!(
+        "== summary: {n_files} file(s), {rewritten} loop(s) rewritten, \
+         {errors} error(s), {warnings} warning(s)\n"
+    ));
+    Ok(out)
+}
+
+struct FileSection {
+    text: String,
+    rewritten: usize,
+    errors: usize,
+    warnings: usize,
+}
+
+fn process_file(
+    path: &Path,
+    explicit_schema: Option<&str>,
+    opts: &ExtractorOptions,
+) -> FileSection {
+    let mut text = format!("== {}\n", path.display());
+    let fail = |text: &mut String, msg: String| {
+        text.push_str(&format!("   error: {msg}\n"));
+    };
+
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            fail(&mut text, e.to_string());
+            return FileSection {
+                text,
+                rewritten: 0,
+                errors: 1,
+                warnings: 0,
+            };
+        }
+    };
+    let schema_text = match explicit_schema {
+        Some(s) => Some(s.to_string()),
+        None => path
+            .parent()
+            .map(|d| d.join("schema.sql"))
+            .filter(|p| p.is_file())
+            .and_then(|p| std::fs::read_to_string(p).ok()),
+    };
+
+    let program = match imp::parse_and_normalize(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            let (line, col) = imp::token::line_col(&source, e.offset);
+            fail(
+                &mut text,
+                format!("parse error at {line}:{col}: {}", e.message),
+            );
+            return FileSection {
+                text,
+                rewritten: 0,
+                errors: 1,
+                warnings: 0,
+            };
+        }
+    };
+    let catalog = match schema_text {
+        Some(ddl) => match parse_ddl(&ddl) {
+            Ok(c) => c,
+            Err(e) => {
+                fail(&mut text, format!("schema: {e}"));
+                return FileSection {
+                    text,
+                    rewritten: 0,
+                    errors: 1,
+                    warnings: 0,
+                };
+            }
+        },
+        None => algebra::schema::Catalog::new(),
+    };
+
+    let report = Extractor::with_options(catalog, opts.clone()).extract_program(&program);
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = report.diagnostics.len() - errors;
+    text.push_str(&format!(
+        "   {} loop(s) rewritten, {errors} error(s), {warnings} warning(s)\n",
+        report.loops_rewritten
+    ));
+    for v in &report.vars {
+        for sql in &v.sql {
+            text.push_str(&format!("   {}: {sql}\n", v.var));
+        }
+    }
+    for d in &report.diagnostics {
+        text.push_str(&format!("   {d}\n"));
+    }
+    FileSection {
+        text,
+        rewritten: report.loops_rewritten,
+        errors,
+        warnings,
+    }
+}
+
+fn collect_imp_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_imp_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "imp") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! `eqsql-smoke` — a tiny std-only HTTP client for the CI smoke test.
+//!
+//! ```text
+//! eqsql-smoke <addr | @addr-file>
+//! ```
+//!
+//! Connects to a running `eqsql serve` instance, issues one `GET /healthz`
+//! and one `POST /extract`, asserts both return 200 with valid JSON, then
+//! issues `POST /shutdown` so the server exits cleanly. Exit code 0 on
+//! success, 1 with a message on any failure — see `ci.sh`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let Some(target) = std::env::args().nth(1) else {
+        eprintln!("usage: eqsql-smoke <addr | @addr-file>");
+        return ExitCode::FAILURE;
+    };
+    match run(&target) {
+        Ok(()) => {
+            println!("smoke: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("smoke: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(target: &str) -> Result<(), String> {
+    let addr = resolve_addr(target)?;
+
+    let (status, body) = request(&addr, "GET", "/healthz", None)?;
+    expect_json_200("/healthz", status, &body)?;
+    let health = analysis::json::parse(&body).map_err(|e| format!("/healthz JSON: {e}"))?;
+    if health.get("status").and_then(|v| v.as_str()) != Some("ok") {
+        return Err(format!("/healthz status is not ok: {body}"));
+    }
+
+    let extract_body = concat!(
+        "{\"source\":\"fn total() { rows = executeQuery(\\\"SELECT * FROM emp\\\"); ",
+        "s = 0; for (e in rows) { s = s + e.salary; } return s; }\",",
+        "\"schema\":\"CREATE TABLE emp (id INT PRIMARY KEY, salary INT);\"}"
+    );
+    let (status, body) = request(&addr, "POST", "/extract", Some(extract_body))?;
+    expect_json_200("/extract", status, &body)?;
+    let report = analysis::json::parse(&body).map_err(|e| format!("/extract JSON: {e}"))?;
+    if report.get("loops_rewritten").and_then(|v| v.as_i64()) != Some(1) {
+        return Err(format!("/extract did not rewrite the loop: {body}"));
+    }
+
+    let (status, _body) = request(&addr, "POST", "/shutdown", None)?;
+    if status != 200 {
+        return Err(format!("/shutdown returned {status}"));
+    }
+    Ok(())
+}
+
+/// `@path` means "read the address from this file" (written by
+/// `eqsql serve --port-file`); retry briefly while the server boots.
+fn resolve_addr(target: &str) -> Result<String, String> {
+    let Some(path) = target.strip_prefix('@') else {
+        return Ok(target.to_string());
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => return Ok(s.trim().to_string()),
+            _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Ok(_) => return Err(format!("{path}: empty address file")),
+            Err(e) => return Err(format!("{path}: {e}")),
+        }
+    }
+}
+
+fn expect_json_200(path: &str, status: u16, body: &str) -> Result<(), String> {
+    if status != 200 {
+        return Err(format!("{path} returned {status}: {body}"));
+    }
+    Ok(())
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    // Retry connects briefly: the server may still be binding.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("connect {addr}: {e}"));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad response: {raw:?}"))?;
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}

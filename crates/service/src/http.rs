@@ -1,0 +1,331 @@
+//! A minimal HTTP/1.1 server over `std::net` for the extraction service.
+//!
+//! Routes:
+//!
+//! | route | body | response |
+//! |---|---|---|
+//! | `POST /extract` | [`ExtractRequest`] JSON | `ExtractionReport` JSON, `X-Eqsql-Cache: hit\|miss` |
+//! | `POST /lint` | same | `{"diagnostics":[…],"errors":N,"warnings":N}` |
+//! | `GET /healthz` | — | `{"status":"ok",…}` |
+//! | `GET /metrics` | — | Prometheus text format |
+//! | `POST /shutdown` | — | acknowledges, then stops the server |
+//!
+//! Each connection is handled on its own I/O thread (`Connection: close`,
+//! one request per connection); the extraction work itself runs on the
+//! service's bounded worker pool, so slow clients tie up cheap I/O threads,
+//! never extraction workers. `/shutdown` exists for operational use — the
+//! CI smoke test and `eqsql batch`-style drivers stop a server without
+//! signals — and performs the same graceful drain as [`Server::shutdown`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use analysis::json::Json;
+
+use crate::metrics::{self, HttpCounters};
+use crate::service::{CacheStatus, ExtractRequest, ExtractionService, ServiceConfig, ServiceError};
+
+/// Largest accepted request body; bigger requests get a 413.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Accept-loop poll interval while idle (the listener is non-blocking so
+/// the loop can observe the shutdown flag).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+struct ServerState {
+    service: ExtractionService,
+    http: HttpCounters,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Obtain with [`Server::start`]; stop with
+/// [`Server::shutdown`] (or `POST /shutdown` + [`Server::wait`]).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections.
+    pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            service: ExtractionService::new(config),
+            http: HttpCounters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("eqsql-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr: local,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server stops (e.g. via `POST /shutdown`), then
+    /// drain the worker pool.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting, join connection handlers, drain the worker pool.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let conns: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(&state);
+                let handle = std::thread::Builder::new()
+                    .name("eqsql-conn".into())
+                    .spawn(move || handle_connection(stream, &state))
+                    .expect("spawn connection thread");
+                let mut c = conns.lock().unwrap();
+                c.retain(|h| !h.is_finished()); // reap finished handlers
+                c.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for h in conns.into_inner().unwrap() {
+        let _ = h.join();
+    }
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut stream = stream;
+    let response = match read_request(&mut stream) {
+        Ok(req) => route(&req, state),
+        Err(e) => error_response(400, &format!("malformed request: {e}")),
+    };
+    if response.status >= 400 {
+        state.http.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.flush();
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("missing request path")?.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    extra_headers: Vec<(String, String)>,
+    body: String,
+}
+
+fn json_response(status: u16, body: String) -> Response {
+    Response {
+        status,
+        content_type: "application/json",
+        extra_headers: Vec::new(),
+        body,
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    json_response(
+        status,
+        Json::Obj(vec![("error".into(), Json::str(message))]).render(),
+    )
+}
+
+fn service_error_response(e: &ServiceError) -> Response {
+    let status = match e {
+        ServiceError::BadRequest(_) => 400,
+        ServiceError::Timeout => 504,
+        ServiceError::Overloaded(_) => 503,
+        ServiceError::Internal(_) => 500,
+    };
+    error_response(status, &e.to_string())
+}
+
+fn route(req: &Request, state: &ServerState) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/extract") => {
+            state.http.extract.fetch_add(1, Ordering::Relaxed);
+            run_endpoint(req, state, ExtractionService::extract)
+        }
+        ("POST", "/lint") => {
+            state.http.lint.fetch_add(1, Ordering::Relaxed);
+            run_endpoint(req, state, ExtractionService::lint)
+        }
+        ("GET", "/healthz") => {
+            state.http.healthz.fetch_add(1, Ordering::Relaxed);
+            let cfg = state.service.config();
+            json_response(
+                200,
+                Json::Obj(vec![
+                    ("status".into(), Json::str("ok")),
+                    ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+                    ("workers".into(), Json::int(cfg.workers as i64)),
+                    (
+                        "queue_capacity".into(),
+                        Json::int(cfg.queue_capacity as i64),
+                    ),
+                    ("cache_entries".into(), Json::int(cfg.cache_entries as i64)),
+                ])
+                .render(),
+            )
+        }
+        ("GET", "/metrics") => {
+            state.http.metrics.fetch_add(1, Ordering::Relaxed);
+            Response {
+                status: 200,
+                content_type: metrics::CONTENT_TYPE,
+                extra_headers: Vec::new(),
+                body: metrics::render(
+                    &state.http,
+                    &state.service.scheduler_stats(),
+                    &state.service.cache_stats(),
+                ),
+            }
+        }
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            json_response(
+                200,
+                Json::Obj(vec![("status".into(), Json::str("shutting down"))]).render(),
+            )
+        }
+        _ => {
+            state.http.other.fetch_add(1, Ordering::Relaxed);
+            error_response(404, &format!("no route {} {}", req.method, req.path))
+        }
+    }
+}
+
+type Endpoint =
+    fn(&ExtractionService, &ExtractRequest) -> Result<(Arc<String>, CacheStatus), ServiceError>;
+
+fn run_endpoint(req: &Request, state: &ServerState, endpoint: Endpoint) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let parsed = match ExtractRequest::from_json(body) {
+        Ok(p) => p,
+        Err(e) => return service_error_response(&e),
+    };
+    match endpoint(&state.service, &parsed) {
+        Ok((doc, cache)) => {
+            let mut r = json_response(200, doc.as_str().to_string());
+            r.extra_headers
+                .push(("X-Eqsql-Cache".into(), cache.as_str().into()));
+            r
+        }
+        Err(e) => service_error_response(&e),
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        r.status,
+        status_text(r.status),
+        r.content_type,
+        r.body.len()
+    );
+    for (k, v) in &r.extra_headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(&r.body);
+    stream.write_all(out.as_bytes())
+}

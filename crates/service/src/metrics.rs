@@ -1,0 +1,202 @@
+//! Prometheus text-format metrics for the extraction service.
+//!
+//! [`render`] snapshots the scheduler, cache, and HTTP counters into the
+//! [text exposition format] (`text/plain; version=0.0.4`). The metric
+//! inventory is a stability promise documented in DESIGN.md: names are
+//! append-only, and the rendering order is fixed so `/metrics` output is
+//! deterministic for a given counter state — which the golden-file tests
+//! rely on.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+use crate::scheduler::SchedulerStats;
+
+/// Per-endpoint HTTP request counters.
+#[derive(Debug, Default)]
+pub struct HttpCounters {
+    /// `POST /extract` requests.
+    pub extract: AtomicU64,
+    /// `POST /lint` requests.
+    pub lint: AtomicU64,
+    /// `GET /healthz` requests.
+    pub healthz: AtomicU64,
+    /// `GET /metrics` requests.
+    pub metrics: AtomicU64,
+    /// Requests to any other route (404s).
+    pub other: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+}
+
+impl HttpCounters {
+    fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+}
+
+/// The Prometheus content type, exact version string included.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Render every metric. Deterministic for a given snapshot.
+pub fn render(http: &HttpCounters, sched: &SchedulerStats, cache: &CacheStats) -> String {
+    let mut out = String::new();
+
+    let _ = writeln!(
+        out,
+        "# HELP eqsql_http_requests_total HTTP requests received, by route."
+    );
+    let _ = writeln!(out, "# TYPE eqsql_http_requests_total counter");
+    for (path, c) in [
+        ("/extract", &http.extract),
+        ("/lint", &http.lint),
+        ("/healthz", &http.healthz),
+        ("/metrics", &http.metrics),
+        ("other", &http.other),
+    ] {
+        let _ = writeln!(
+            out,
+            "eqsql_http_requests_total{{path=\"{path}\"}} {}",
+            http.get(c)
+        );
+    }
+    counter(
+        &mut out,
+        "eqsql_http_errors_total",
+        "HTTP responses with a 4xx or 5xx status.",
+        http.get(&http.errors),
+    );
+
+    counter(
+        &mut out,
+        "eqsql_jobs_submitted_total",
+        "Jobs accepted into the scheduler queue.",
+        sched.submitted,
+    );
+    counter(
+        &mut out,
+        "eqsql_jobs_completed_total",
+        "Jobs that ran to completion.",
+        sched.completed,
+    );
+    counter(
+        &mut out,
+        "eqsql_jobs_timed_out_total",
+        "Jobs that hit their deadline before completing.",
+        sched.timed_out,
+    );
+    counter(
+        &mut out,
+        "eqsql_jobs_cancelled_total",
+        "Jobs cancelled before producing a result.",
+        sched.cancelled,
+    );
+    counter(
+        &mut out,
+        "eqsql_jobs_panicked_total",
+        "Jobs whose closure panicked.",
+        sched.panicked,
+    );
+    counter(
+        &mut out,
+        "eqsql_jobs_rejected_total",
+        "Submissions refused (queue full or shutting down).",
+        sched.rejected,
+    );
+    gauge(
+        &mut out,
+        "eqsql_scheduler_workers",
+        "Worker threads in the pool.",
+        sched.workers,
+    );
+    gauge(
+        &mut out,
+        "eqsql_scheduler_queue_depth",
+        "Jobs queued and not yet running.",
+        sched.queue_depth,
+    );
+
+    counter(
+        &mut out,
+        "eqsql_cache_hits_total",
+        "Result-cache lookups that found an entry.",
+        cache.hits,
+    );
+    counter(
+        &mut out,
+        "eqsql_cache_misses_total",
+        "Result-cache lookups that found nothing.",
+        cache.misses,
+    );
+    counter(
+        &mut out,
+        "eqsql_cache_evictions_total",
+        "Result-cache entries displaced by LRU eviction.",
+        cache.evictions,
+    );
+    gauge(
+        &mut out,
+        "eqsql_cache_entries",
+        "Result-cache resident entries.",
+        cache.entries,
+    );
+    gauge(
+        &mut out,
+        "eqsql_cache_capacity",
+        "Result-cache maximum entries.",
+        cache.capacity,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_well_formed() {
+        let http = HttpCounters::default();
+        http.extract.store(2, Ordering::Relaxed);
+        http.metrics.store(1, Ordering::Relaxed);
+        let sched = SchedulerStats {
+            submitted: 1,
+            completed: 1,
+            workers: 4,
+            ..Default::default()
+        };
+        let cache = CacheStats {
+            hits: 1,
+            misses: 1,
+            entries: 1,
+            capacity: 256,
+            ..Default::default()
+        };
+        let a = render(&http, &sched, &cache);
+        let b = render(&http, &sched, &cache);
+        assert_eq!(a, b);
+        assert!(a.contains("eqsql_http_requests_total{path=\"/extract\"} 2"));
+        assert!(a.contains("eqsql_cache_hits_total 1"));
+        assert!(a.contains("eqsql_scheduler_workers 4"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in a.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+}

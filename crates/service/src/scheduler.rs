@@ -1,0 +1,656 @@
+//! A std-only thread-pool job scheduler with a bounded run queue.
+//!
+//! All workers pull from one shared MPMC deque guarded by a mutex and a
+//! pair of condvars — effectively every worker "steals" from the same
+//! queue, which for the coarse-grained jobs the service runs (one full
+//! extraction per job) performs within noise of per-worker deques while
+//! staying small enough to audit.
+//!
+//! Semantics:
+//!
+//! * **Bounded queue.** [`Scheduler::submit`] blocks while the queue is
+//!   full (backpressure); [`Scheduler::try_submit`] returns
+//!   [`SubmitError::QueueFull`] instead.
+//! * **Per-job timeout.** A job carries an optional deadline. A job still
+//!   queued when its deadline passes is *never run* — the worker popping it
+//!   resolves it to [`JobResult::TimedOut`]. A waiter blocked in
+//!   [`JobHandle::wait`] past the deadline resolves the job to `TimedOut`
+//!   and flags cooperative cancellation; the running closure observes that
+//!   via [`JobCtx::cancelled`] / [`JobCtx::timed_out`] and should return
+//!   early. Outcomes are first-writer-wins, so a completion racing the
+//!   deadline is never overwritten.
+//! * **Graceful shutdown.** [`Scheduler::shutdown`] closes the queue to new
+//!   submissions, lets workers drain every job already queued, and joins
+//!   them. Dropping the scheduler does the same.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler construction parameters.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker thread count (clamped to ≥ 1).
+    pub workers: usize,
+    /// Maximum number of queued (not yet running) jobs (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Default per-job timeout; `None` = no deadline. Overridable per job
+    /// via [`Scheduler::submit_with_timeout`].
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 256,
+            default_timeout: None,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `try_submit` found the queue at capacity.
+    QueueFull,
+    /// The scheduler is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("job queue is full"),
+            SubmitError::Shutdown => f.write_str("scheduler is shut down"),
+        }
+    }
+}
+
+/// Final outcome of a job.
+#[derive(Debug)]
+pub enum JobResult<T> {
+    /// The closure ran to completion.
+    Completed(T),
+    /// The deadline passed before the job finished (or before it started).
+    TimedOut,
+    /// The job was cancelled before it produced a result.
+    Cancelled,
+    /// The closure panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+/// Cooperative-cancellation context passed to every job closure.
+pub struct JobCtx {
+    control: Arc<Control>,
+}
+
+impl JobCtx {
+    /// True once the job has been cancelled (explicitly or by timeout).
+    /// Long-running closures should poll this and return early.
+    pub fn cancelled(&self) -> bool {
+        self.control.cancelled.load(Ordering::Acquire)
+    }
+
+    /// True once the job's deadline has passed (or it was cancelled).
+    pub fn timed_out(&self) -> bool {
+        self.cancelled() || self.control.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Cancellation flag + deadline, shared by handle, context, and queue entry.
+struct Control {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// The typed result slot a job fulfils and a handle waits on.
+struct Slot<T> {
+    outcome: Mutex<Option<JobResult<T>>>,
+    done: Condvar,
+    control: Arc<Control>,
+}
+
+impl<T> Slot<T> {
+    /// Write `outcome` if no outcome has been recorded yet (first writer
+    /// wins) and bump the matching counter. Returns nothing on purpose:
+    /// losers of the race simply discard their outcome.
+    fn fulfill(&self, outcome: JobResult<T>, stats: &StatsCells) {
+        let mut slot = self.outcome.lock().unwrap();
+        if slot.is_none() {
+            match &outcome {
+                JobResult::Completed(_) => &stats.completed,
+                JobResult::TimedOut => &stats.timed_out,
+                JobResult::Cancelled => &stats.cancelled,
+                JobResult::Panicked(_) => &stats.panicked,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            *slot = Some(outcome);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle to one submitted job. Consume it with [`JobHandle::wait`]; drop
+/// it to let the job finish unobserved.
+pub struct JobHandle<T> {
+    slot: Arc<Slot<T>>,
+    stats: Arc<StatsCells>,
+}
+
+impl<T> JobHandle<T> {
+    /// Flag the job for cooperative cancellation. A still-queued job will
+    /// resolve to [`JobResult::Cancelled`] without running; a running job
+    /// sees [`JobCtx::cancelled`] and decides for itself.
+    pub fn cancel(&self) {
+        self.slot.control.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Block until the job resolves.
+    ///
+    /// If the job has a deadline and it passes first, the job is flagged
+    /// cancelled and this returns [`JobResult::TimedOut`] — the closure may
+    /// still be running, but its eventual result is discarded.
+    pub fn wait(self) -> JobResult<T> {
+        let deadline = self.slot.control.deadline;
+        let mut guard = self.slot.outcome.lock().unwrap();
+        loop {
+            if let Some(o) = guard.take() {
+                return o;
+            }
+            match deadline {
+                None => guard = self.slot.done.wait(guard).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        drop(guard);
+                        self.cancel();
+                        self.slot.fulfill(JobResult::TimedOut, &self.stats);
+                        let mut g = self.slot.outcome.lock().unwrap();
+                        return g.take().expect("fulfill guarantees an outcome");
+                    }
+                    guard = self.slot.done.wait_timeout(guard, d - now).unwrap().0;
+                }
+            }
+        }
+    }
+}
+
+/// Monotonic job counters.
+#[derive(Default)]
+struct StatsCells {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Snapshot of the scheduler's counters and gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs whose final outcome was `Completed`.
+    pub completed: u64,
+    /// Jobs whose final outcome was `TimedOut`.
+    pub timed_out: u64,
+    /// Jobs whose final outcome was `Cancelled`.
+    pub cancelled: u64,
+    /// Jobs whose closure panicked.
+    pub panicked: u64,
+    /// Submissions refused (`QueueFull` / `Shutdown`).
+    pub rejected: u64,
+    /// Worker thread count (gauge).
+    pub workers: u64,
+    /// Jobs currently queued, not yet picked up (gauge).
+    pub queue_depth: u64,
+}
+
+struct QueuedJob {
+    run: Box<dyn FnOnce() + Send>,
+}
+
+struct State {
+    queue: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    stats: Arc<StatsCells>,
+}
+
+/// The thread pool. See the module docs for semantics.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    default_timeout: Option<Duration>,
+}
+
+impl Scheduler {
+    /// Spawn the worker threads.
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            stats: Arc::new(StatsCells::default()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("eqsql-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers,
+            default_timeout: config.default_timeout,
+        }
+    }
+
+    /// Submit a job with the scheduler's default timeout, blocking while
+    /// the queue is full.
+    pub fn submit<T, F>(&self, f: F) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> T + Send + 'static,
+    {
+        self.enqueue(f, self.default_timeout, true)
+    }
+
+    /// Submit with an explicit timeout (`None` = no deadline), blocking
+    /// while the queue is full.
+    pub fn submit_with_timeout<T, F>(
+        &self,
+        f: F,
+        timeout: Option<Duration>,
+    ) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> T + Send + 'static,
+    {
+        self.enqueue(f, timeout, true)
+    }
+
+    /// Non-blocking submit: a full queue yields [`SubmitError::QueueFull`].
+    pub fn try_submit<T, F>(&self, f: F) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> T + Send + 'static,
+    {
+        self.enqueue(f, self.default_timeout, false)
+    }
+
+    fn enqueue<T, F>(
+        &self,
+        f: F,
+        timeout: Option<Duration>,
+        block: bool,
+    ) -> Result<JobHandle<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> T + Send + 'static,
+    {
+        let control = Arc::new(Control {
+            cancelled: AtomicBool::new(false),
+            deadline: timeout.map(|t| Instant::now() + t),
+        });
+        let slot = Arc::new(Slot {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+            control,
+        });
+        let stats = Arc::clone(&self.inner.stats);
+        let job_slot = Arc::clone(&slot);
+        let job_stats = Arc::clone(&stats);
+        let run = Box::new(move || {
+            let outcome = if job_slot.control.cancelled.load(Ordering::Acquire) {
+                JobResult::Cancelled
+            } else if job_slot
+                .control
+                .deadline
+                .is_some_and(|d| Instant::now() >= d)
+            {
+                JobResult::TimedOut
+            } else {
+                let ctx = JobCtx {
+                    control: Arc::clone(&job_slot.control),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    Ok(v) => JobResult::Completed(v),
+                    Err(p) => JobResult::Panicked(panic_message(&*p)),
+                }
+            };
+            job_slot.fulfill(outcome, &job_stats);
+        });
+
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.closed {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Shutdown);
+            }
+            if st.queue.len() < self.inner.capacity {
+                break;
+            }
+            if !block {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            st = self.inner.not_full.wait(st).unwrap();
+        }
+        st.queue.push_back(QueuedJob { run });
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(JobHandle { slot, stats })
+    }
+
+    /// Counter/gauge snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        let s = &self.inner.stats;
+        SchedulerStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            timed_out: s.timed_out.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            panicked: s.panicked.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            workers: self.workers.len() as u64,
+            queue_depth: self.inner.state.lock().unwrap().queue.len() as u64,
+        }
+    }
+
+    /// Close the queue, drain every already-queued job, join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.closed = true;
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if let Some(j) = st.queue.pop_front() {
+                    inner.not_full.notify_one();
+                    break Some(j);
+                }
+                if st.closed {
+                    break None;
+                }
+                st = inner.not_empty.wait(st).unwrap();
+            }
+        };
+        match job {
+            Some(j) => (j.run)(),
+            None => return,
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Run `f` over every item on a throwaway pool of `jobs` workers and
+/// return the results **in input order** — the helper behind `eqsql batch
+/// --jobs N`, the parallel corpus harness, and the bench binaries, all of
+/// which need output independent of scheduling interleavings. A panic in
+/// any job is re-raised here.
+pub fn parallel_map<I, T, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<T>
+where
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
+{
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: jobs,
+        queue_capacity: items.len().max(1),
+        default_timeout: None,
+    });
+    let f = Arc::new(f);
+    let handles: Vec<JobHandle<T>> = items
+        .into_iter()
+        .map(|item| {
+            let f = Arc::clone(&f);
+            sched
+                .submit(move |_ctx| f(item))
+                .expect("queue sized to the item count")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            JobResult::Completed(v) => v,
+            JobResult::Panicked(m) => panic!("parallel_map job panicked: {m}"),
+            JobResult::TimedOut | JobResult::Cancelled => {
+                unreachable!("parallel_map jobs have no deadline and are never cancelled")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn pool(workers: usize, capacity: usize) -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            workers,
+            queue_capacity: capacity,
+            default_timeout: None,
+        })
+    }
+
+    #[test]
+    fn jobs_complete_and_stats_count() {
+        let s = pool(2, 16);
+        let handles: Vec<_> = (0..8).map(|i| s.submit(move |_| i * 2).unwrap()).collect();
+        let mut out: Vec<i32> = handles
+            .into_iter()
+            .map(|h| match h.wait() {
+                JobResult::Completed(v) => v,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        out.sort();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        let st = s.stats();
+        assert_eq!((st.submitted, st.completed), (8, 8));
+        s.shutdown();
+    }
+
+    #[test]
+    fn queued_job_times_out_without_running() {
+        // One worker, blocked; a job with a tiny timeout expires in queue.
+        let s = pool(1, 8);
+        let (tx, rx) = mpsc::channel::<()>();
+        let blocker = s
+            .submit(move |_| {
+                rx.recv().unwrap();
+            })
+            .unwrap();
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        let doomed = s
+            .submit_with_timeout(
+                move |_| {
+                    ran2.store(true, Ordering::SeqCst);
+                },
+                Some(Duration::from_millis(5)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        tx.send(()).unwrap();
+        assert!(matches!(doomed.wait(), JobResult::TimedOut));
+        assert!(matches!(blocker.wait(), JobResult::Completed(())));
+        assert!(!ran.load(Ordering::SeqCst), "expired job must never run");
+        assert_eq!(s.stats().timed_out, 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn running_job_timeout_fires_and_flags_cancellation() {
+        let s = pool(1, 4);
+        let h = s
+            .submit_with_timeout(
+                |ctx: &JobCtx| {
+                    // Loop until the deadline-driven cancellation arrives.
+                    while !ctx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    "stopped cooperatively"
+                },
+                Some(Duration::from_millis(20)),
+            )
+            .unwrap();
+        let started = Instant::now();
+        assert!(matches!(h.wait(), JobResult::TimedOut));
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(s.stats().timed_out, 1);
+        // Workers must still be alive: the cancelled closure exits and the
+        // pool keeps serving.
+        let h2 = s.submit(|_| 7).unwrap();
+        assert!(matches!(h2.wait(), JobResult::Completed(7)));
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue() {
+        let s = pool(1, 64);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..32 {
+            let c = Arc::clone(&counter);
+            s.submit(move |_| {
+                std::thread::sleep(Duration::from_micros(200));
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        s.shutdown(); // must not return before every queued job ran
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let s = pool(1, 4);
+        {
+            let mut st = s.inner.state.lock().unwrap();
+            st.closed = true;
+        }
+        assert_eq!(s.submit(|_| ()).err(), Some(SubmitError::Shutdown));
+        assert_eq!(s.stats().rejected, 1);
+    }
+
+    #[test]
+    fn try_submit_reports_full_queue() {
+        let s = pool(1, 1);
+        let (tx, rx) = mpsc::channel::<()>();
+        let h = s
+            .submit(move |_| {
+                rx.recv().unwrap();
+            })
+            .unwrap();
+        // Worker busy; fill the single queue slot, then overflow.
+        let (tx2, rx2) = mpsc::channel::<()>();
+        let h2 = s
+            .submit(move |_| {
+                rx2.recv().unwrap();
+            })
+            .unwrap();
+        // Give the worker a moment to pick up the first job so exactly one
+        // queue slot is occupied.
+        std::thread::sleep(Duration::from_millis(10));
+        let overflow = s.try_submit(|_| ());
+        assert_eq!(overflow.err(), Some(SubmitError::QueueFull));
+        tx.send(()).unwrap();
+        tx2.send(()).unwrap();
+        let _ = h.wait();
+        let _ = h2.wait();
+        s.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_is_reported_not_fatal() {
+        let s = pool(1, 4);
+        let h = s.submit(|_| -> i32 { panic!("boom {}", 42) }).unwrap();
+        match h.wait() {
+            JobResult::Panicked(m) => assert!(m.contains("boom 42"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        let h2 = s.submit(|_| 1).unwrap();
+        assert!(matches!(h2.wait(), JobResult::Completed(1)));
+        s.shutdown();
+    }
+
+    #[test]
+    fn cancel_before_run_skips_the_job() {
+        let s = pool(1, 8);
+        let (tx, rx) = mpsc::channel::<()>();
+        let blocker = s
+            .submit(move |_| {
+                rx.recv().unwrap();
+            })
+            .unwrap();
+        let h = s.submit(|_| "ran").unwrap();
+        h.cancel();
+        tx.send(()).unwrap();
+        assert!(matches!(h.wait(), JobResult::Cancelled));
+        let _ = blocker.wait();
+        s.shutdown();
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        // Jittered per-item delays: order must still be the input order.
+        let out = parallel_map((0..64).collect::<Vec<u64>>(), 8, |i| {
+            std::thread::sleep(Duration::from_micros((i * 37) % 500));
+            i * i
+        });
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,428 @@
+//! The extraction service: scheduler + result cache behind one façade.
+//!
+//! [`ExtractionService`] is the shared engine of both `eqsql serve` (each
+//! HTTP request becomes one scheduler job) and `eqsql batch` (each corpus
+//! file becomes one job). A request is looked up in the content-addressed
+//! cache first; on a miss the computation is scheduled, awaited, rendered
+//! to its deterministic JSON document, and the document is cached for
+//! replay. Cache status is reported to the caller so transports can expose
+//! it (the HTTP layer sets an `X-Eqsql-Cache: hit|miss` header — the body
+//! is byte-identical either way, which is the whole point).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use algebra::ddl::parse_ddl;
+use analysis::json::{Json, JsonError};
+use eqsql_core::{lint_program, Extractor, ExtractorOptions};
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::scheduler::{JobResult, Scheduler, SchedulerConfig, SchedulerStats, SubmitError};
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Extraction worker threads.
+    pub workers: usize,
+    /// Bounded job-queue capacity (backpressure depth).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Per-job timeout; `None` = unbounded.
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: SchedulerConfig::default().workers,
+            queue_capacity: 64,
+            cache_entries: 256,
+            job_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// What the caller did wrong (or what gave out), mapped by the HTTP layer
+/// onto status codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Malformed request: bad JSON, unparsable program or DDL, unknown
+    /// function/dialect. → 400.
+    BadRequest(String),
+    /// The job hit its deadline. → 504.
+    Timeout,
+    /// The scheduler refused the job (queue full / shutting down). → 503.
+    Overloaded(String),
+    /// The extraction pipeline panicked. → 500.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::Timeout => f.write_str("extraction timed out"),
+            ServiceError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// Whether a response came from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the result cache.
+    Hit,
+    /// Computed by a scheduler job (and now cached).
+    Miss,
+}
+
+impl CacheStatus {
+    /// Wire form for the `X-Eqsql-Cache` header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
+/// One extraction/lint request: everything that determines the output.
+#[derive(Debug, Clone)]
+pub struct ExtractRequest {
+    /// The `imp` program text.
+    pub source: String,
+    /// `CREATE TABLE` DDL for the schema catalog (may be empty).
+    pub schema: String,
+    /// Restrict to one function; `None` covers every function.
+    pub function: Option<String>,
+    /// Extractor options.
+    pub options: ExtractorOptions,
+}
+
+impl ExtractRequest {
+    /// Parse the JSON request body accepted by `POST /extract` and
+    /// `POST /lint`:
+    ///
+    /// ```json
+    /// {"source": "fn f() { … }",
+    ///  "schema": "CREATE TABLE …;",
+    ///  "function": "f",
+    ///  "options": {"dialect": "postgres", "ordered": true,
+    ///              "require_all_vars": true, "rewrite_prints": false,
+    ///              "dependent_agg": false, "prefer_lateral": false}}
+    /// ```
+    ///
+    /// Only `source` is required; everything else defaults.
+    pub fn from_json(body: &str) -> Result<ExtractRequest, ServiceError> {
+        let doc = analysis::json::parse(body)
+            .map_err(|e: JsonError| ServiceError::BadRequest(format!("invalid JSON: {e}")))?;
+        let source = doc
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::BadRequest("missing string field `source`".into()))?
+            .to_string();
+        let schema = match doc.get("schema") {
+            None | Some(Json::Null) => String::new(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| ServiceError::BadRequest("`schema` must be a string".into()))?
+                .to_string(),
+        };
+        let function = match doc.get("function") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| ServiceError::BadRequest("`function` must be a string".into()))?
+                    .to_string(),
+            ),
+        };
+        let mut options = ExtractorOptions::default();
+        if let Some(o) = doc.get("options") {
+            let flag = |name: &str, dflt: bool| -> Result<bool, ServiceError> {
+                match o.get(name) {
+                    None | Some(Json::Null) => Ok(dflt),
+                    Some(v) => v.as_bool().ok_or_else(|| {
+                        ServiceError::BadRequest(format!("options.{name} must be a boolean"))
+                    }),
+                }
+            };
+            options.ordered = flag("ordered", options.ordered)?;
+            options.require_all_vars = flag("require_all_vars", options.require_all_vars)?;
+            options.rewrite_prints = flag("rewrite_prints", options.rewrite_prints)?;
+            options.dependent_agg = flag("dependent_agg", options.dependent_agg)?;
+            options.prefer_lateral = flag("prefer_lateral", options.prefer_lateral)?;
+            if let Some(d) = o.get("dialect") {
+                let name = d.as_str().ok_or_else(|| {
+                    ServiceError::BadRequest("options.dialect must be a string".into())
+                })?;
+                options.dialect = crate::parse_dialect(name)
+                    .ok_or_else(|| ServiceError::BadRequest(format!("unknown dialect {name}")))?;
+            }
+        }
+        Ok(ExtractRequest {
+            source,
+            schema,
+            function,
+            options,
+        })
+    }
+
+    /// The cache-key parts shared by both endpoints (an endpoint tag is
+    /// prepended by the caller so `/extract` and `/lint` never collide).
+    fn key(&self, endpoint: &str) -> CacheKey {
+        CacheKey::derive(&[
+            endpoint,
+            &self.source,
+            &self.schema,
+            self.function.as_deref().unwrap_or(""),
+            &self.options.fingerprint(),
+        ])
+    }
+}
+
+/// Scheduler + cache. See the module docs.
+pub struct ExtractionService {
+    scheduler: Scheduler,
+    cache: ResultCache<String>,
+    config: ServiceConfig,
+}
+
+impl ExtractionService {
+    /// Spawn the worker pool and allocate the cache.
+    pub fn new(config: ServiceConfig) -> ExtractionService {
+        ExtractionService {
+            scheduler: Scheduler::new(SchedulerConfig {
+                workers: config.workers,
+                queue_capacity: config.queue_capacity,
+                default_timeout: config.job_timeout,
+            }),
+            cache: ResultCache::new(config.cache_entries),
+            config,
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Scheduler counters (for `/metrics`).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Cache counters (for `/metrics`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serve an extraction: cache lookup, then a scheduler job on a miss.
+    /// The returned document is `ExtractionReport::render_json` output.
+    pub fn extract(
+        &self,
+        req: &ExtractRequest,
+    ) -> Result<(Arc<String>, CacheStatus), ServiceError> {
+        self.cached(req, "extract", compute_extract)
+    }
+
+    /// Serve a lint run: cache lookup, then a scheduler job on a miss.
+    pub fn lint(&self, req: &ExtractRequest) -> Result<(Arc<String>, CacheStatus), ServiceError> {
+        self.cached(req, "lint", compute_lint)
+    }
+
+    fn cached(
+        &self,
+        req: &ExtractRequest,
+        endpoint: &str,
+        compute: fn(&ExtractRequest) -> Result<String, ServiceError>,
+    ) -> Result<(Arc<String>, CacheStatus), ServiceError> {
+        let key = req.key(endpoint);
+        if let Some(doc) = self.cache.get(&key) {
+            return Ok((doc, CacheStatus::Hit));
+        }
+        let job_req = req.clone();
+        let handle = self
+            .scheduler
+            .submit(move |_ctx| compute(&job_req))
+            .map_err(|e: SubmitError| ServiceError::Overloaded(e.to_string()))?;
+        match handle.wait() {
+            JobResult::Completed(Ok(doc)) => Ok((self.cache.put(key, doc), CacheStatus::Miss)),
+            JobResult::Completed(Err(e)) => Err(e),
+            JobResult::TimedOut => Err(ServiceError::Timeout),
+            JobResult::Cancelled => Err(ServiceError::Overloaded("job cancelled".into())),
+            JobResult::Panicked(m) => Err(ServiceError::Internal(m)),
+        }
+    }
+
+    /// Drain in-flight jobs and join the workers.
+    pub fn shutdown(self) {
+        self.scheduler.shutdown();
+    }
+}
+
+/// Parse + extract + render; runs inside a scheduler job.
+fn compute_extract(req: &ExtractRequest) -> Result<String, ServiceError> {
+    let (program, catalog) = parse_inputs(req)?;
+    let extractor = Extractor::with_options(catalog, req.options.clone());
+    let report = match &req.function {
+        Some(f) => {
+            require_function(&program, f)?;
+            extractor.extract_function(&program, f)
+        }
+        None => extractor.extract_program(&program),
+    };
+    Ok(report.render_json(&req.source))
+}
+
+/// Parse + lint + render; runs inside a scheduler job. Document shape:
+/// `{"diagnostics":[…],"errors":N,"warnings":N}` with the diagnostics array
+/// in `analysis::diag::render_json`'s published layout.
+fn compute_lint(req: &ExtractRequest) -> Result<String, ServiceError> {
+    use analysis::diag::Severity;
+    let (program, catalog) = parse_inputs(req)?;
+    let mut diags = lint_program(&program, &catalog, &req.options);
+    if let Some(f) = &req.function {
+        require_function(&program, f)?;
+        diags.retain(|d| d.function.as_deref() == Some(f.as_str()));
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let doc = Json::Obj(vec![
+        (
+            "diagnostics".into(),
+            Json::Raw(analysis::diag::render_json(&diags, &req.source)),
+        ),
+        ("errors".into(), Json::int(errors as i64)),
+        ("warnings".into(), Json::int((diags.len() - errors) as i64)),
+    ]);
+    Ok(doc.render())
+}
+
+fn parse_inputs(
+    req: &ExtractRequest,
+) -> Result<(imp::ast::Program, algebra::schema::Catalog), ServiceError> {
+    let program = imp::parse_and_normalize(&req.source).map_err(|e| {
+        let (line, col) = imp::token::line_col(&req.source, e.offset);
+        ServiceError::BadRequest(format!("source:{line}:{col}: {}", e.message))
+    })?;
+    let catalog = if req.schema.trim().is_empty() {
+        algebra::schema::Catalog::new()
+    } else {
+        parse_ddl(&req.schema).map_err(|e| ServiceError::BadRequest(format!("schema: {e}")))?
+    };
+    Ok((program, catalog))
+}
+
+fn require_function(program: &imp::ast::Program, name: &str) -> Result<(), ServiceError> {
+    if program.function(name).is_none() {
+        let available: Vec<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+        return Err(ServiceError::BadRequest(format!(
+            "function `{name}` not found; available: {}",
+            available.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"fn total() {
+        rows = executeQuery("SELECT * FROM emp");
+        s = 0;
+        for (e in rows) { s = s + e.salary; }
+        return s;
+    }"#;
+    const DDL: &str = "CREATE TABLE emp (id INT PRIMARY KEY, salary INT);";
+
+    fn request() -> ExtractRequest {
+        ExtractRequest {
+            source: SRC.into(),
+            schema: DDL.into(),
+            function: None,
+            options: ExtractorOptions::default(),
+        }
+    }
+
+    fn service() -> ExtractionService {
+        ExtractionService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_entries: 16,
+            job_timeout: Some(Duration::from_secs(10)),
+        })
+    }
+
+    #[test]
+    fn extract_misses_then_hits_byte_identically() {
+        let svc = service();
+        let (a, st_a) = svc.extract(&request()).unwrap();
+        let (b, st_b) = svc.extract(&request()).unwrap();
+        assert_eq!(st_a, CacheStatus::Miss);
+        assert_eq!(st_b, CacheStatus::Hit);
+        assert_eq!(*a, *b, "cached replay must be byte-identical");
+        assert!(a.contains("\"loops_rewritten\":1"), "{a}");
+        let cs = svc.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (1, 1));
+        // Only the miss scheduled a job.
+        assert_eq!(svc.scheduler_stats().submitted, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn option_change_is_a_cache_miss() {
+        let svc = service();
+        let (_, st1) = svc.extract(&request()).unwrap();
+        let mut req2 = request();
+        req2.options.dialect = algebra::Dialect::Mysql;
+        let (_, st2) = svc.extract(&req2).unwrap();
+        assert_eq!((st1, st2), (CacheStatus::Miss, CacheStatus::Miss));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn extract_and_lint_never_share_cache_entries() {
+        let svc = service();
+        let (_, _) = svc.extract(&request()).unwrap();
+        let (doc, st) = svc.lint(&request()).unwrap();
+        assert_eq!(st, CacheStatus::Miss, "different endpoint, different key");
+        assert!(doc.contains("\"errors\":"), "{doc}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_not_cached() {
+        let svc = service();
+        let mut req = request();
+        req.source = "fn broken( {".into();
+        let err = svc.extract(&req).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest(_)), "{err:?}");
+        let mut req2 = request();
+        req2.function = Some("missing".into());
+        let err2 = svc.extract(&req2).unwrap_err();
+        assert!(matches!(err2, ServiceError::BadRequest(_)), "{err2:?}");
+        assert_eq!(svc.cache_stats().entries, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn request_json_parses_fields_and_rejects_bad_types() {
+        let body = r#"{"source":"fn f() { return 1; }","schema":null,
+                       "function":"f",
+                       "options":{"dialect":"mysql","ordered":false}}"#;
+        let req = ExtractRequest::from_json(body).unwrap();
+        assert_eq!(req.function.as_deref(), Some("f"));
+        assert_eq!(req.options.dialect, algebra::Dialect::Mysql);
+        assert!(!req.options.ordered);
+        assert!(ExtractRequest::from_json("{}").is_err(), "source required");
+        assert!(ExtractRequest::from_json(r#"{"source":1}"#).is_err());
+        assert!(
+            ExtractRequest::from_json(r#"{"source":"x","options":{"dialect":"oracle"}}"#).is_err()
+        );
+    }
+}

@@ -1,0 +1,13 @@
+-- Schema shared by the .imp programs in this directory: `eqsql batch`
+-- picks it up automatically for every program that sits next to it.
+CREATE TABLE emp (
+    id INT PRIMARY KEY,
+    name TEXT,
+    dept TEXT,
+    salary INT
+);
+CREATE TABLE project (
+    id INT PRIMARY KEY,
+    owner INT,
+    budget INT
+);

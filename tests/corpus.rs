@@ -11,22 +11,36 @@ use workloads::servlets;
 use workloads::wilos;
 use workloads::Expectation;
 
+/// Worker count for the corpus sweeps below. `parallel_map` returns results
+/// in input order, so the harness output is deterministic for any value.
+fn test_jobs() -> usize {
+    std::env::var("EQSQL_TEST_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
 #[test]
 fn table1_eqsql_column_is_reproduced() {
     let catalog = wilos::catalog();
-    let mut mismatches = Vec::new();
-    for s in wilos::samples() {
+    let mismatches: Vec<String> = service::parallel_map(wilos::samples(), test_jobs(), move |s| {
         let program = imp::parse_and_normalize(s.source).unwrap();
         let report = Extractor::new(catalog.clone()).extract_function(&program, "sample");
         let got = report.any_sql();
         let want = s.expect == Expectation::Extracts;
         if got != want {
-            mismatches.push(format!(
+            Some(format!(
                 "#{} {} [{}]: expected extract={want}, got {got}: {:#?}",
                 s.id, s.label, s.category, report.vars
-            ));
+            ))
+        } else {
+            None
         }
-    }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     assert!(
         mismatches.is_empty(),
         "Table 1 mismatches:\n{}",
@@ -37,14 +51,15 @@ fn table1_eqsql_column_is_reproduced() {
 #[test]
 fn table1_success_counts_match_paper() {
     let catalog = wilos::catalog();
-    let mut extracted = 0;
-    for s in wilos::samples() {
+    let extracted = service::parallel_map(wilos::samples(), test_jobs(), move |s| {
         let program = imp::parse_and_normalize(s.source).unwrap();
-        let report = Extractor::new(catalog.clone()).extract_function(&program, "sample");
-        if report.any_sql() {
-            extracted += 1;
-        }
-    }
+        Extractor::new(catalog.clone())
+            .extract_function(&program, "sample")
+            .any_sql()
+    })
+    .into_iter()
+    .filter(|&ok| ok)
+    .count();
     assert_eq!(extracted, 17, "paper Table 1: EqSQL succeeds on 17/33");
 }
 
@@ -93,14 +108,20 @@ fn servlet_options() -> ExtractorOptions {
 }
 
 fn extraction_fraction(
-    servlets: &[servlets::Servlet],
+    servlets: Vec<servlets::Servlet>,
     catalog: algebra::schema::Catalog,
 ) -> (usize, usize) {
-    let mut ok = 0;
-    for s in servlets {
+    let total = servlets.len();
+    // Fan the per-servlet extractions out over the service scheduler; results
+    // come back in input order, so assertion messages stay deterministic.
+    let rows = service::parallel_map(servlets, test_jobs(), move |s| {
         let program = imp::parse_and_normalize(&s.source).unwrap();
         let report = Extractor::with_options(catalog.clone(), servlet_options())
             .extract_function(&program, "servlet");
+        (s, report)
+    });
+    let mut ok = 0;
+    for (s, report) in &rows {
         if report.changed() {
             ok += 1;
         }
@@ -114,24 +135,24 @@ fn extraction_fraction(
             report.vars
         );
     }
-    (ok, servlets.len())
+    (ok, total)
 }
 
 #[test]
 fn experiment3_rubis_17_of_17() {
-    let (ok, total) = extraction_fraction(&servlets::rubis(), servlets::rubis_catalog());
+    let (ok, total) = extraction_fraction(servlets::rubis(), servlets::rubis_catalog());
     assert_eq!((ok, total), (17, 17));
 }
 
 #[test]
 fn experiment3_rubbos_16_of_16() {
-    let (ok, total) = extraction_fraction(&servlets::rubbos(), servlets::rubbos_catalog());
+    let (ok, total) = extraction_fraction(servlets::rubbos(), servlets::rubbos_catalog());
     assert_eq!((ok, total), (16, 16));
 }
 
 #[test]
 fn experiment3_acadportal_58_of_79() {
-    let (ok, total) = extraction_fraction(&servlets::acadportal(), servlets::acadportal_catalog());
+    let (ok, total) = extraction_fraction(servlets::acadportal(), servlets::acadportal_catalog());
     assert_eq!((ok, total), (58, 79));
 }
 
