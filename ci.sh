@@ -13,6 +13,11 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> perf_pipeline --check"
+# Small-corpus sweep: asserts the bench harness runs end to end and emits
+# valid JSON. No timing gates — CI machines are too noisy for that.
+cargo run -q --release -p bench --bin perf_pipeline -- --check
+
 echo "==> service smoke test"
 cargo build -q --release -p eqsql-cli -p service
 PORT_FILE="$(mktemp -u)"

@@ -6,6 +6,7 @@
 //! control enters into the graph, and the End node, through which all
 //! control flow leaves."
 
+use intern::Symbol;
 use std::collections::BTreeSet;
 
 use imp::ast::{Block, Expr, Function, StmtId, StmtKind};
@@ -32,7 +33,7 @@ pub enum Terminator {
     /// next element, or exit.
     ForDispatch {
         /// Loop variable.
-        var: String,
+        var: Symbol,
         /// Iterated expression.
         iterable: Expr,
         /// Body entry.
@@ -211,7 +212,7 @@ impl Builder {
                     self.blocks[current.0].terminator = Some(Terminator::Goto(header));
                     self.blocks[header.0].stmts.push(s.id);
                     self.blocks[header.0].terminator = Some(Terminator::ForDispatch {
-                        var: var.clone(),
+                        var: *var,
                         iterable: iterable.clone(),
                         body: body_b,
                         exit,

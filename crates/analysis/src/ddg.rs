@@ -23,6 +23,7 @@
 //!   but unconvertible inner loops remain and are summarized
 //!   conservatively).
 
+use intern::Symbol;
 use std::collections::{BTreeMap, BTreeSet};
 
 use imp::ast::{Block, Stmt, StmtId, StmtKind};
@@ -46,9 +47,9 @@ pub struct Atom {
     /// Program-order index within the body.
     pub order: usize,
     /// Variables written.
-    pub defs: BTreeSet<String>,
+    pub defs: BTreeSet<Symbol>,
     /// Variables read (including enclosing branch conditions' variables).
-    pub uses: BTreeSet<String>,
+    pub uses: BTreeSet<Symbol>,
     /// Reads an external location.
     pub ext_read: bool,
     /// Writes an external location.
@@ -69,7 +70,7 @@ pub struct DepEdge {
     /// The reading atom.
     pub reader: StmtId,
     /// The variable carrying the dependence.
-    pub var: String,
+    pub var: Symbol,
     /// Intra-iteration or loop-carried.
     pub kind: DepKind,
 }
@@ -83,7 +84,7 @@ pub struct Ddg {
     pub edges: Vec<DepEdge>,
     /// The loop's cursor variable (whose header update is the one permitted
     /// lcfd besides the accumulator's, per precondition P2).
-    pub cursor_var: String,
+    pub cursor_var: Symbol,
 }
 
 impl Ddg {
@@ -91,14 +92,14 @@ impl Ddg {
     /// summaries: when `updateDDG` (Fig. 6) reconstructs the graph after
     /// inserting a fold stub, statements rendered dead are passed in `skip`
     /// and ignored.
-    pub fn build(body: &Block, cursor_var: &str, skip: &BTreeSet<StmtId>) -> Ddg {
+    pub fn build(body: &Block, cursor_var: impl Into<Symbol>, skip: &BTreeSet<StmtId>) -> Ddg {
         Ddg::build_with(body, cursor_var, skip, &DefUseCtx::default())
     }
 
     /// [`Ddg::build`] with purity context for user-function calls.
     pub fn build_with(
         body: &Block,
-        cursor_var: &str,
+        cursor_var: impl Into<Symbol>,
         skip: &BTreeSet<StmtId>,
         ctx: &DefUseCtx,
     ) -> Ddg {
@@ -116,7 +117,7 @@ impl Ddg {
                         edges.push(DepEdge {
                             writer: w.id,
                             reader: r.id,
-                            var: var.clone(),
+                            var: *var,
                             kind: DepKind::Flow,
                         });
                     }
@@ -137,7 +138,7 @@ impl Ddg {
                             edges.push(DepEdge {
                                 writer: w.id,
                                 reader: r.id,
-                                var: var.clone(),
+                                var: *var,
                                 kind: DepKind::Lcfd,
                             });
                         }
@@ -148,7 +149,7 @@ impl Ddg {
         Ddg {
             atoms,
             edges,
-            cursor_var: cursor_var.to_string(),
+            cursor_var: cursor_var.into(),
         }
     }
 
@@ -189,16 +190,17 @@ impl Ddg {
     }
 
     /// Statement ids of atoms that define `var`.
-    pub fn writers_of(&self, var: &str) -> BTreeSet<StmtId> {
+    pub fn writers_of(&self, var: impl Into<Symbol>) -> BTreeSet<StmtId> {
+        let var = var.into();
         self.atoms
             .iter()
-            .filter(|a| a.defs.contains(var))
+            .filter(|a| a.defs.contains(&var))
             .map(|a| a.id)
             .collect()
     }
 
     /// All variables defined by some atom of the body.
-    pub fn defined_vars(&self) -> BTreeSet<String> {
+    pub fn defined_vars(&self) -> BTreeSet<Symbol> {
         let mut out = BTreeSet::new();
         for a in &self.atoms {
             out.extend(a.defs.iter().cloned());
@@ -209,7 +211,7 @@ impl Ddg {
 
 fn flatten(
     block: &Block,
-    control_uses: &BTreeSet<String>,
+    control_uses: &BTreeSet<Symbol>,
     skip: &BTreeSet<StmtId>,
     ctx: &DefUseCtx,
     out: &mut Vec<Atom>,
@@ -229,7 +231,7 @@ fn flatten(
                 let mut cond_du = DefUse::default();
                 // Conditions only read.
                 for v in condition_vars(cond) {
-                    inner_ctl.insert(v.clone());
+                    inner_ctl.insert(v);
                     cond_du.uses.insert(v);
                 }
                 // The condition itself may call external functions.
@@ -294,17 +296,17 @@ fn flatten(
     }
 }
 
-fn condition_vars(cond: &imp::ast::Expr) -> Vec<String> {
+fn condition_vars(cond: &imp::ast::Expr) -> Vec<Symbol> {
     cond.vars()
 }
 
 /// Cursor variables of this statement and all loops nested inside it.
-fn nested_cursors(s: &Stmt) -> Vec<String> {
+fn nested_cursors(s: &Stmt) -> Vec<Symbol> {
     let mut out = Vec::new();
-    fn rec(s: &Stmt, out: &mut Vec<String>) {
+    fn rec(s: &Stmt, out: &mut Vec<Symbol>) {
         match &s.kind {
             StmtKind::ForEach { var, body, .. } => {
-                out.push(var.clone());
+                out.push(*var);
                 for inner in &body.stmts {
                     rec(inner, out);
                 }
@@ -419,9 +421,13 @@ mod tests {
         let (ddg, _) =
             ddg_of("fn f() { for (t in q) { if (t.score > best) { best = t.score; } } }");
         // The nested assign atom must use `best` via the condition.
-        let atom = ddg.atoms.iter().find(|a| a.defs.contains("best")).unwrap();
-        assert!(atom.uses.contains("best"));
-        assert!(atom.uses.contains("t"));
+        let atom = ddg
+            .atoms
+            .iter()
+            .find(|a| a.defs.contains(&Symbol::intern("best")))
+            .unwrap();
+        assert!(atom.uses.contains(&Symbol::intern("best")));
+        assert!(atom.uses.contains(&Symbol::intern("t")));
     }
 
     #[test]
@@ -441,7 +447,7 @@ mod tests {
         );
         let loop_atom = ddg.atom(stmts[1].id).unwrap();
         assert!(loop_atom.is_inner_loop);
-        assert!(loop_atom.defs.contains("inner"));
+        assert!(loop_atom.defs.contains(&Symbol::intern("inner")));
         assert!(loop_atom.ext_read, "inner query");
         assert!(!loop_atom.ext_write);
     }
@@ -450,11 +456,11 @@ mod tests {
     fn skip_set_removes_atoms() {
         let p = parse_program("fn f() { for (t in q) { a = t.x; b = a + 1; } }").unwrap();
         let (var, body) = match &p.functions[0].body.stmts[0].kind {
-            StmtKind::ForEach { var, body, .. } => (var.clone(), body.clone()),
+            StmtKind::ForEach { var, body, .. } => (*var, body.clone()),
             _ => unreachable!(),
         };
         let skip: BTreeSet<StmtId> = [body.stmts[0].id].into();
-        let ddg = Ddg::build(&body, &var, &skip);
+        let ddg = Ddg::build(&body, var, &skip);
         assert_eq!(ddg.atoms.len(), 1);
         assert_eq!(ddg.atoms[0].id, body.stmts[1].id);
     }

@@ -10,6 +10,7 @@
 //! external *write* effect. Pure external *reads* (queries) are removable:
 //! eliminating an unused query round trip is precisely the optimization.
 
+use intern::Symbol;
 use std::collections::BTreeSet;
 
 use imp::ast::{Block, Expr, Function, StmtKind};
@@ -20,7 +21,7 @@ use crate::liveness::Liveness;
 /// statements removed.
 ///
 /// `protected` variables are treated as live at function exit.
-pub fn eliminate_dead_code(f: &mut Function, protected: &BTreeSet<String>) -> usize {
+pub fn eliminate_dead_code(f: &mut Function, protected: &BTreeSet<Symbol>) -> usize {
     let mut removed_total = 0;
     loop {
         let live = Liveness::compute(f, protected);

@@ -12,6 +12,7 @@
 //!   (user-defined functions are inlined *before* dependence analysis, so
 //!   in practice only genuinely-unknown calls pay this penalty).
 
+use intern::Symbol;
 use std::collections::BTreeSet;
 
 use imp::ast::{builtins, Expr, Stmt, StmtKind};
@@ -22,7 +23,7 @@ use imp::ast::{builtins, Expr, Stmt, StmtKind};
 #[derive(Debug, Clone, Default)]
 pub struct DefUseCtx {
     /// Pure user-defined function names.
-    pub pure_functions: BTreeSet<String>,
+    pub pure_functions: BTreeSet<Symbol>,
 }
 
 /// Names of pure library functions that read nothing external.
@@ -40,9 +41,9 @@ pub const READING_METHODS: &[&str] = &["contains", "size", "get", "isEmpty", "fi
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DefUse {
     /// Variables written.
-    pub defs: BTreeSet<String>,
+    pub defs: BTreeSet<Symbol>,
     /// Variables read.
-    pub uses: BTreeSet<String>,
+    pub uses: BTreeSet<Symbol>,
     /// Reads an external location (database, console, unknown call).
     pub ext_read: bool,
     /// Writes an external location.
@@ -62,13 +63,13 @@ impl DefUse {
         let mut du = DefUse::default();
         match &s.kind {
             StmtKind::Assign { target, value } => {
-                du.defs.insert(target.clone());
+                du.defs.insert(*target);
                 expr_uses(value, &mut du, ctx);
             }
             StmtKind::Expr(e) => expr_uses(e, &mut du, ctx),
             StmtKind::If { cond, .. } => expr_uses(cond, &mut du, ctx),
             StmtKind::ForEach { var, iterable, .. } => {
-                du.defs.insert(var.clone());
+                du.defs.insert(*var);
                 expr_uses(iterable, &mut du, ctx);
             }
             StmtKind::While { cond, .. } => expr_uses(cond, &mut du, ctx),
@@ -137,7 +138,7 @@ fn expr_uses(e: &Expr, du: &mut DefUse, ctx: &DefUseCtx) {
     match e {
         Expr::Lit(_) => {}
         Expr::Var(v) => {
-            du.uses.insert(v.clone());
+            du.uses.insert(*v);
         }
         Expr::Unary(_, x) => expr_uses(x, du, ctx),
         Expr::Binary(_, l, r) => {
@@ -163,7 +164,7 @@ fn expr_uses(e: &Expr, du: &mut DefUse, ctx: &DefUseCtx) {
                     du.ext_write = true;
                 }
                 n if PURE_FUNCTIONS.contains(&n) => {}
-                n if ctx.pure_functions.contains(n) => {}
+                n if ctx.pure_functions.contains(&Symbol::intern(n)) => {}
                 _ => {
                     // Unknown call: conservatively external read+write.
                     du.ext_read = true;
@@ -180,7 +181,7 @@ fn expr_uses(e: &Expr, du: &mut DefUse, ctx: &DefUseCtx) {
                 // Mutation in value position: also a def of the receiver
                 // variable when the receiver is a variable.
                 if let Expr::Var(v) = recv.as_ref() {
-                    du.defs.insert(v.clone());
+                    du.defs.insert(*v);
                 }
             } else if !READING_METHODS.contains(&name.as_str()) {
                 // Unknown method: conservative external access.
@@ -204,8 +205,8 @@ mod tests {
     #[test]
     fn assign_defs_target_uses_rhs() {
         let du = first_stmt_du("fn f() { x = a + b; }");
-        assert!(du.defs.contains("x"));
-        assert!(du.uses.contains("a") && du.uses.contains("b"));
+        assert!(du.defs.contains(&Symbol::intern("x")));
+        assert!(du.uses.contains(&Symbol::intern("a")) && du.uses.contains(&Symbol::intern("b")));
         assert!(!du.touches_external());
     }
 
@@ -214,7 +215,7 @@ mod tests {
         let du = first_stmt_du(r#"fn f() { rs = executeQuery("SELECT * FROM t"); }"#);
         assert!(du.ext_read);
         assert!(!du.ext_write);
-        assert!(du.defs.contains("rs"));
+        assert!(du.defs.contains(&Symbol::intern("rs")));
     }
 
     #[test]
@@ -226,9 +227,15 @@ mod tests {
     #[test]
     fn collection_add_reads_and_writes_receiver() {
         let du = first_stmt_du("fn f() { names.add(u.name); }");
-        assert!(du.defs.contains("names"), "collection is written");
-        assert!(du.uses.contains("names"), "whole collection is also read");
-        assert!(du.uses.contains("u"));
+        assert!(
+            du.defs.contains(&Symbol::intern("names")),
+            "collection is written"
+        );
+        assert!(
+            du.uses.contains(&Symbol::intern("names")),
+            "whole collection is also read"
+        );
+        assert!(du.uses.contains(&Symbol::intern("u")));
         assert!(!du.touches_external());
     }
 
@@ -236,7 +243,7 @@ mod tests {
     fn print_is_external_write() {
         let du = first_stmt_du("fn f() { print(x); }");
         assert!(du.ext_write);
-        assert!(du.uses.contains("x"));
+        assert!(du.uses.contains(&Symbol::intern("x")));
     }
 
     #[test]
@@ -254,17 +261,17 @@ mod tests {
     #[test]
     fn foreach_defs_cursor_var() {
         let du = first_stmt_du("fn f() { for (t in rows) { x = t.a; } }");
-        assert!(du.defs.contains("t"));
-        assert!(du.uses.contains("rows"));
+        assert!(du.defs.contains(&Symbol::intern("t")));
+        assert!(du.uses.contains(&Symbol::intern("rows")));
         // Non-recursive: body not included.
-        assert!(!du.defs.contains("x"));
+        assert!(!du.defs.contains(&Symbol::intern("x")));
     }
 
     #[test]
     fn recursive_summary_includes_body() {
         let p = parse_program("fn f() { for (t in rows) { s = s + t.a; print(s); } }").unwrap();
         let du = DefUse::of_stmt_recursive(&p.functions[0].body.stmts[0]);
-        assert!(du.defs.contains("s"));
+        assert!(du.defs.contains(&Symbol::intern("s")));
         assert!(du.ext_write, "print inside body");
     }
 
@@ -272,7 +279,7 @@ mod tests {
     fn reading_methods_are_pure() {
         let du = first_stmt_du("fn f() { n = names.size(); }");
         assert!(!du.touches_external());
-        assert!(du.uses.contains("names"));
-        assert!(!du.defs.contains("names"));
+        assert!(du.uses.contains(&Symbol::intern("names")));
+        assert!(!du.defs.contains(&Symbol::intern("names")));
     }
 }

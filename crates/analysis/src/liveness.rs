@@ -5,6 +5,7 @@
 //! control flow: blocks are processed backwards; branches join by union;
 //! loop bodies iterate to a fixpoint.
 
+use intern::Symbol;
 use std::collections::{BTreeMap, BTreeSet};
 
 use imp::ast::{Block, Function, StmtId, StmtKind};
@@ -15,27 +16,27 @@ use crate::defuse::DefUse;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Liveness {
     /// Variables live immediately *after* each statement.
-    pub live_after: BTreeMap<StmtId, BTreeSet<String>>,
+    pub live_after: BTreeMap<StmtId, BTreeSet<Symbol>>,
 }
 
 impl Liveness {
     /// Compute liveness for a function. `extra_live_out` names variables
     /// considered live at function exit besides those used by `return`
     /// (e.g. out-parameters of an inlined procedure).
-    pub fn compute(f: &Function, extra_live_out: &BTreeSet<String>) -> Liveness {
+    pub fn compute(f: &Function, extra_live_out: &BTreeSet<Symbol>) -> Liveness {
         let mut l = Liveness::default();
         l.block(&f.body, extra_live_out.clone());
         l
     }
 
     /// Variables live after statement `id`, empty set when unknown.
-    pub fn after(&self, id: StmtId) -> BTreeSet<String> {
+    pub fn after(&self, id: StmtId) -> BTreeSet<Symbol> {
         self.live_after.get(&id).cloned().unwrap_or_default()
     }
 
     /// Process a block given the variables live after it; returns the
     /// variables live before it.
-    fn block(&mut self, b: &Block, mut live: BTreeSet<String>) -> BTreeSet<String> {
+    fn block(&mut self, b: &Block, mut live: BTreeSet<Symbol>) -> BTreeSet<Symbol> {
         for s in b.stmts.iter().rev() {
             // Record (union, since loop bodies are visited repeatedly).
             self.live_after
@@ -47,7 +48,7 @@ impl Liveness {
         live
     }
 
-    fn stmt(&mut self, s: &imp::ast::Stmt, live_after: BTreeSet<String>) -> BTreeSet<String> {
+    fn stmt(&mut self, s: &imp::ast::Stmt, live_after: BTreeSet<Symbol>) -> BTreeSet<Symbol> {
         match &s.kind {
             StmtKind::If {
                 cond,
@@ -56,7 +57,7 @@ impl Liveness {
             } => {
                 let t = self.block(then_branch, live_after.clone());
                 let e = self.block(else_branch, live_after);
-                let mut live: BTreeSet<String> = t.union(&e).cloned().collect();
+                let mut live: BTreeSet<Symbol> = t.union(&e).cloned().collect();
                 live.extend(cond.vars());
                 live
             }
@@ -70,7 +71,7 @@ impl Liveness {
                 loop {
                     let mut live_in_body = self.block(body, live_out_body.clone());
                     live_in_body.remove(var);
-                    let merged: BTreeSet<String> =
+                    let merged: BTreeSet<Symbol> =
                         live_out_body.union(&live_in_body).cloned().collect();
                     if merged == live_out_body {
                         break;
@@ -86,7 +87,7 @@ impl Liveness {
                 let mut live_out_body = live_after.clone();
                 loop {
                     let live_in_body = self.block(body, live_out_body.clone());
-                    let merged: BTreeSet<String> =
+                    let merged: BTreeSet<Symbol> =
                         live_out_body.union(&live_in_body).cloned().collect();
                     if merged == live_out_body {
                         break;
@@ -154,15 +155,20 @@ mod tests {
         let (f, l) = live("fn f() { a = 1; b = a + 1; return b; }");
         let s_a = f.body.stmts[0].id;
         let s_b = f.body.stmts[1].id;
-        assert!(l.after(s_a).contains("a"));
-        assert!(!l.after(s_b).contains("a"), "a is dead after its last use");
-        assert!(l.after(s_b).contains("b"));
+        assert!(l.after(s_a).contains(&Symbol::intern("a")));
+        assert!(
+            !l.after(s_b).contains(&Symbol::intern("a")),
+            "a is dead after its last use"
+        );
+        assert!(l.after(s_b).contains(&Symbol::intern("b")));
     }
 
     #[test]
     fn unused_assignment_is_dead() {
         let (f, l) = live("fn f() { junk = 42; return 0; }");
-        assert!(!l.after(f.body.stmts[0].id).contains("junk"));
+        assert!(!l
+            .after(f.body.stmts[0].id)
+            .contains(&Symbol::intern("junk")));
     }
 
     #[test]
@@ -171,11 +177,11 @@ mod tests {
         // s is live after its own update (next iteration + return).
         let loop_stmt = &f.body.stmts[1];
         if let StmtKind::ForEach { body, .. } = &loop_stmt.kind {
-            assert!(l.after(body.stmts[0].id).contains("s"));
+            assert!(l.after(body.stmts[0].id).contains(&Symbol::intern("s")));
         } else {
             panic!("expected loop");
         }
-        assert!(l.after(f.body.stmts[0].id).contains("s"));
+        assert!(l.after(f.body.stmts[0].id).contains(&Symbol::intern("s")));
     }
 
     #[test]
@@ -184,16 +190,16 @@ mod tests {
             live("fn f(c) { a = 1; b = 2; if (c > 0) { r = a; } else { r = b; } return r; }");
         let s_b = f.body.stmts[1].id;
         let after_b = l.after(s_b);
-        assert!(after_b.contains("a") && after_b.contains("b"));
+        assert!(after_b.contains(&Symbol::intern("a")) && after_b.contains(&Symbol::intern("b")));
     }
 
     #[test]
     fn extra_live_out_respected() {
         let p = parse_program("fn f() { x = 1; }").unwrap();
         let f = p.functions[0].clone();
-        let l = Liveness::compute(&f, &BTreeSet::from(["x".to_string()]));
-        assert!(l.after(f.body.stmts[0].id).contains("x"));
+        let l = Liveness::compute(&f, &BTreeSet::from([Symbol::intern("x")]));
+        assert!(l.after(f.body.stmts[0].id).contains(&Symbol::intern("x")));
         let l2 = Liveness::compute(&f, &BTreeSet::new());
-        assert!(!l2.after(f.body.stmts[0].id).contains("x"));
+        assert!(!l2.after(f.body.stmts[0].id).contains(&Symbol::intern("x")));
     }
 }

@@ -61,7 +61,7 @@ impl<'a> PassContext<'a> {
             d
         };
         if d.function.is_none() {
-            d.function = Some(self.function.name.clone());
+            d.function = Some(self.function.name.to_string());
         }
         self.diags.push(d);
     }
@@ -190,7 +190,7 @@ impl Pass for PurityPass {
                 e.walk(&mut |sub| {
                     if let Expr::Call { name, .. } = sub {
                         if user.contains(name.as_str()) && !pure.contains(name) {
-                            found.push((s.span, name.clone()));
+                            found.push((s.span, name.to_string()));
                         }
                     }
                 });
@@ -270,13 +270,13 @@ impl Pass for LivenessPass {
                 let mut updated = BTreeSet::new();
                 walk_stmts(body, true, &mut |inner, _| {
                     if let StmtKind::Assign { target, .. } = &inner.kind {
-                        updated.insert(target.clone());
+                        updated.insert(*target);
                     }
                 });
                 updated.remove(var);
                 for v in updated {
                     if !after.contains(&v) {
-                        found.push((s.span, v));
+                        found.push((s.span, v.to_string()));
                     }
                 }
             }

@@ -11,6 +11,7 @@
 //! Computed as an increasing fixpoint (recursive functions conservatively
 //! stay impure).
 
+use intern::Symbol;
 use std::collections::BTreeSet;
 
 use imp::ast::{builtins, Block, Expr, Program, StmtKind};
@@ -18,8 +19,8 @@ use imp::ast::{builtins, Block, Expr, Program, StmtKind};
 use crate::defuse::PURE_FUNCTIONS;
 
 /// The set of user-defined functions with no external effects.
-pub fn pure_user_functions(p: &Program) -> BTreeSet<String> {
-    let mut pure: BTreeSet<String> = BTreeSet::new();
+pub fn pure_user_functions(p: &Program) -> BTreeSet<Symbol> {
+    let mut pure: BTreeSet<Symbol> = BTreeSet::new();
     loop {
         let mut changed = false;
         for f in &p.functions {
@@ -27,7 +28,7 @@ pub fn pure_user_functions(p: &Program) -> BTreeSet<String> {
                 continue;
             }
             if block_is_pure(&f.body, &pure) {
-                pure.insert(f.name.clone());
+                pure.insert(f.name);
                 changed = true;
             }
         }
@@ -37,7 +38,7 @@ pub fn pure_user_functions(p: &Program) -> BTreeSet<String> {
     }
 }
 
-fn block_is_pure(b: &Block, pure: &BTreeSet<String>) -> bool {
+fn block_is_pure(b: &Block, pure: &BTreeSet<Symbol>) -> bool {
     b.stmts.iter().all(|s| match &s.kind {
         StmtKind::Assign { value, .. } => expr_is_pure(value, pure),
         StmtKind::Expr(e) => expr_is_pure(e, pure),
@@ -60,13 +61,13 @@ fn block_is_pure(b: &Block, pure: &BTreeSet<String>) -> bool {
     })
 }
 
-fn expr_is_pure(e: &Expr, pure: &BTreeSet<String>) -> bool {
+fn expr_is_pure(e: &Expr, pure: &BTreeSet<Symbol>) -> bool {
     let mut ok = true;
     e.walk(&mut |x| match x {
         Expr::Call { name, .. } => {
             let n = name.as_str();
             if builtins::DB_FUNCTIONS.contains(&n)
-                || (!PURE_FUNCTIONS.contains(&n) && !pure.contains(n))
+                || (!PURE_FUNCTIONS.contains(&n) && !pure.contains(&Symbol::intern(n)))
             {
                 ok = false;
             }
@@ -94,8 +95,11 @@ mod tests {
         let p = parse_program("fn clamp(x) { return max(x, 0); } fn main() { return clamp(1); }")
             .unwrap();
         let pure = pure_user_functions(&p);
-        assert!(pure.contains("clamp"));
-        assert!(pure.contains("main"), "calls only pure functions");
+        assert!(pure.contains(&Symbol::intern("clamp")));
+        assert!(
+            pure.contains(&Symbol::intern("main")),
+            "calls only pure functions"
+        );
     }
 
     #[test]
@@ -105,8 +109,8 @@ mod tests {
         )
         .unwrap();
         let pure = pure_user_functions(&p);
-        assert!(!pure.contains("fetch"));
-        assert!(!pure.contains("m"), "transitively impure");
+        assert!(!pure.contains(&Symbol::intern("fetch")));
+        assert!(!pure.contains(&Symbol::intern("m")), "transitively impure");
     }
 
     #[test]
@@ -141,8 +145,8 @@ mod tests {
         )
         .unwrap();
         let pure = pure_user_functions(&p);
-        assert!(!pure.contains("even"));
-        assert!(!pure.contains("odd"));
+        assert!(!pure.contains(&Symbol::intern("even")));
+        assert!(!pure.contains(&Symbol::intern("odd")));
     }
 
     #[test]
@@ -158,8 +162,12 @@ mod tests {
         )
         .unwrap();
         let pure = pure_user_functions(&p);
-        assert!(pure.contains("low") && pure.contains("mid") && pure.contains("top"));
-        assert!(!pure.contains("sink"));
+        assert!(
+            pure.contains(&Symbol::intern("low"))
+                && pure.contains(&Symbol::intern("mid"))
+                && pure.contains(&Symbol::intern("top"))
+        );
+        assert!(!pure.contains(&Symbol::intern("sink")));
         // Convergence is deterministic: recomputing yields the same set.
         assert_eq!(pure, pure_user_functions(&p));
     }

@@ -10,6 +10,7 @@
 //! [`RegionTree::validate_against_cfg`]).
 
 use imp::ast::{Block, Expr, Function, Stmt, StmtKind};
+use intern::Symbol;
 
 use crate::cfg::{Cfg, Terminator};
 use crate::dominators::Dominators;
@@ -44,7 +45,7 @@ pub enum RegionKind {
     /// A cursor loop `for (var in iterable) body` — Fig. 4(c).
     Loop {
         /// Loop cursor variable.
-        var: String,
+        var: Symbol,
         /// Iterated collection expression (the loop header's query).
         iterable: Expr,
         /// The loop body region.
@@ -139,7 +140,7 @@ impl RegionTree {
                     }
                     let body_r = self.lower_block(body);
                     children.push(self.push(RegionKind::Loop {
-                        var: var.clone(),
+                        var: *var,
                         iterable: iterable.clone(),
                         body: body_r,
                         stmt_id: s.id,

@@ -9,6 +9,7 @@
 //! variables, operating on the flattened [`crate::ddg::Ddg`] atoms (whose
 //! use sets already include enclosing control predicates' variables).
 
+use intern::Symbol;
 use std::collections::BTreeSet;
 
 use imp::ast::StmtId;
@@ -20,8 +21,8 @@ use crate::ddg::Ddg;
 /// The cursor variable is treated as a loop input (its definition lives in
 /// the loop header, not the body), so it never pulls statements in by
 /// itself.
-pub fn slice_for_var(ddg: &Ddg, var: &str) -> BTreeSet<StmtId> {
-    let mut relevant: BTreeSet<String> = BTreeSet::from([var.to_string()]);
+pub fn slice_for_var(ddg: &Ddg, var: impl Into<Symbol>) -> BTreeSet<StmtId> {
+    let mut relevant: BTreeSet<Symbol> = BTreeSet::from([var.into()]);
     let mut in_slice: BTreeSet<StmtId> = BTreeSet::new();
     loop {
         let mut changed = false;
@@ -34,7 +35,7 @@ pub fn slice_for_var(ddg: &Ddg, var: &str) -> BTreeSet<StmtId> {
             }
             if in_slice.contains(&a.id) {
                 for u in &a.uses {
-                    if u != &ddg.cursor_var && relevant.insert(u.clone()) {
+                    if u != &ddg.cursor_var && relevant.insert(*u) {
                         changed = true;
                     }
                 }

@@ -36,6 +36,7 @@
 
 use imp::ast::{builtins, Block, Expr, Function, Literal, Program, Stmt, StmtId, StmtKind};
 use imp::token::Span;
+use intern::Symbol;
 
 /// Rewrite the first batchable loop of `fname`. Returns the transformed
 /// program and the number of lookups batched, or `None` when nothing is
@@ -59,11 +60,11 @@ fn rewrite_function(f: &mut Function) -> Option<usize> {
         else {
             continue;
         };
-        let lookups = batchable_lookups(var, body);
+        let lookups = batchable_lookups(*var, body);
         if lookups.is_empty() {
             continue;
         }
-        let var = var.clone();
+        let var = *var;
         let iterable = iterable.clone();
         let mut new_body = body.clone();
 
@@ -80,7 +81,7 @@ fn rewrite_function(f: &mut Function) -> Option<usize> {
             })));
         }
         prelude.push(stmt(StmtKind::ForEach {
-            var: var.clone(),
+            var,
             iterable: iterable.clone(),
             body: Block { stmts: gather_body },
         }));
@@ -100,7 +101,7 @@ fn rewrite_function(f: &mut Function) -> Option<usize> {
                 &mut new_body,
                 *stmt_id,
                 StmtKind::Assign {
-                    target: target.clone(),
+                    target: *target,
                     value: Expr::MethodCall {
                         recv: Box::new(Expr::var(&batch_var)),
                         name: "get".into(),
@@ -136,7 +137,7 @@ fn rewrite_function(f: &mut Function) -> Option<usize> {
 
 /// Batchable lookups: top-level `x = executeScalar(SQL, o.col)` statements
 /// whose single parameter is a field of the cursor.
-fn batchable_lookups(cursor: &str, body: &Block) -> Vec<(StmtId, String, String, Expr)> {
+fn batchable_lookups(cursor: Symbol, body: &Block) -> Vec<(StmtId, Symbol, String, Expr)> {
     let mut out = Vec::new();
     for s in &body.stmts {
         let StmtKind::Assign { target, value } = &s.kind else {
@@ -152,9 +153,9 @@ fn batchable_lookups(cursor: &str, body: &Block) -> Vec<(StmtId, String, String,
             continue;
         };
         let key = &args[1];
-        let correlated = matches!(key, Expr::Field(base, _) if matches!(base.as_ref(), Expr::Var(v) if v == cursor));
+        let correlated = matches!(key, Expr::Field(base, _) if matches!(base.as_ref(), Expr::Var(v) if *v == cursor));
         if correlated {
-            out.push((s.id, target.clone(), sql.clone(), key.clone()));
+            out.push((s.id, *target, sql.clone(), key.clone()));
         }
     }
     out
@@ -179,7 +180,7 @@ fn stmt(kind: StmtKind) -> Stmt {
 
 fn assign(target: &str, value: Expr) -> Stmt {
     stmt(StmtKind::Assign {
-        target: target.to_string(),
+        target: Symbol::intern(target),
         value,
     })
 }

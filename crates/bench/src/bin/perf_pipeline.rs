@@ -1,0 +1,302 @@
+//! `perf_pipeline` — the tracked end-to-end performance baseline.
+//!
+//! Sweeps `examples/corpus/*.imp` plus the whole `workloads` crate (wilos,
+//! RuBiS, RuBBoS, AcadPortal, matoso, jobportal) through the full pipeline
+//! (parse → regions → D-IR → F-IR → rules → SQL → rewrite) and reports
+//! per-stage wall time, allocation counts, and peak ee-DAG size. Writes
+//! `BENCH_extract.json` at the repo root (see DESIGN.md "Benchmark
+//! baseline" for the format and its stability promise).
+//!
+//! Modes:
+//!
+//! * default — N runs (`--runs`, default 3) over the full sweep, fastest
+//!   run reported, JSON written to `--out` (default `BENCH_extract.json`).
+//! * `--check` — one run over the small corpus only, JSON printed to
+//!   stdout and re-parsed to prove well-formedness; exit 0 on success.
+//!   Used by `ci.sh`; never gates on absolute timings.
+//! * `--baseline FILE` — embed a previously recorded run (e.g. the
+//!   pre-optimization numbers) under `"baseline"` and report the
+//!   end-to-end speedup against it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use analysis::json::Json;
+use eqsql_core::{Extractor, ExtractorOptions, StageTimes};
+
+/// A `System` wrapper counting every allocation the sweep performs.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One program to push through the pipeline.
+struct Unit {
+    name: String,
+    source: String,
+    catalog: algebra::schema::Catalog,
+}
+
+/// Counters for one full sweep.
+#[derive(Default, Clone, Copy)]
+struct Sweep {
+    parse_ns: u64,
+    stage: StageTimes,
+    total_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    functions: u64,
+    loops_rewritten: u64,
+}
+
+fn corpus_units(root: &Path) -> Vec<Unit> {
+    let dir = root.join("examples/corpus");
+    let schema = std::fs::read_to_string(dir.join("schema.sql")).unwrap_or_default();
+    let catalog = algebra::ddl::parse_ddl(&schema).expect("corpus schema parses");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| Unit {
+            name: format!("corpus/{}", p.file_name().unwrap().to_string_lossy()),
+            source: std::fs::read_to_string(&p).expect("corpus file readable"),
+            catalog: catalog.clone(),
+        })
+        .collect()
+}
+
+fn workload_units() -> Vec<Unit> {
+    let mut units = Vec::new();
+    let wilos_cat = workloads::wilos::catalog();
+    for s in workloads::wilos::samples() {
+        units.push(Unit {
+            name: format!("wilos/{}", s.label),
+            source: s.source.to_string(),
+            catalog: wilos_cat.clone(),
+        });
+    }
+    for (app, servlets, cat) in [
+        (
+            "rubis",
+            workloads::servlets::rubis(),
+            workloads::servlets::rubis_catalog(),
+        ),
+        (
+            "rubbos",
+            workloads::servlets::rubbos(),
+            workloads::servlets::rubbos_catalog(),
+        ),
+        (
+            "acadportal",
+            workloads::servlets::acadportal(),
+            workloads::servlets::acadportal_catalog(),
+        ),
+    ] {
+        for s in servlets {
+            units.push(Unit {
+                name: format!("{app}/{}", s.name),
+                source: s.source,
+                catalog: cat.clone(),
+            });
+        }
+    }
+    units.push(Unit {
+        name: "matoso/find_max_score".into(),
+        source: workloads::matoso::FIND_MAX_SCORE.to_string(),
+        catalog: workloads::matoso::catalog(),
+    });
+    units.push(Unit {
+        name: "jobportal/applicant_report".into(),
+        source: workloads::jobportal::APPLICANT_REPORT.to_string(),
+        catalog: workloads::jobportal::catalog(),
+    });
+    units
+}
+
+/// Run every unit once, accumulating per-stage counters.
+fn sweep(units: &[Unit]) -> Sweep {
+    let mut out = Sweep::default();
+    let allocs0 = ALLOC_COUNT.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let started = Instant::now();
+    for u in units {
+        let parse_started = Instant::now();
+        let program = imp::parse_and_normalize(&u.source)
+            .unwrap_or_else(|e| panic!("{} fails to parse: {e}", u.name));
+        out.parse_ns += parse_started.elapsed().as_nanos() as u64;
+        out.functions += program.functions.len() as u64;
+        let report = Extractor::with_options(u.catalog.clone(), ExtractorOptions::default())
+            .extract_program(&program);
+        out.stage.absorb(&report.stage);
+        out.loops_rewritten += report.loops_rewritten as u64;
+    }
+    out.total_ns = started.elapsed().as_nanos() as u64;
+    out.allocs = ALLOC_COUNT.load(Ordering::Relaxed) - allocs0;
+    out.alloc_bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+    out
+}
+
+fn sweep_json(s: &Sweep, n_units: usize, runs: usize) -> Json {
+    Json::Obj(vec![
+        ("runs".into(), Json::int(runs as i64)),
+        (
+            "units".into(),
+            Json::Obj(vec![
+                ("programs".into(), Json::int(n_units as i64)),
+                ("functions".into(), Json::int(s.functions as i64)),
+                (
+                    "loops_rewritten".into(),
+                    Json::int(s.loops_rewritten as i64),
+                ),
+            ]),
+        ),
+        (
+            "stages_ns".into(),
+            Json::Obj(vec![
+                ("parse".into(), Json::int(s.parse_ns as i64)),
+                ("desugar".into(), Json::int(s.stage.desugar_ns as i64)),
+                ("dir".into(), Json::int(s.stage.dir_ns as i64)),
+                ("rules".into(), Json::int(s.stage.rules_ns as i64)),
+                ("sqlgen".into(), Json::int(s.stage.sqlgen_ns as i64)),
+                ("rewrite".into(), Json::int(s.stage.rewrite_ns as i64)),
+                ("total".into(), Json::int(s.total_ns as i64)),
+            ]),
+        ),
+        (
+            "allocs".into(),
+            Json::Obj(vec![
+                ("count".into(), Json::int(s.allocs as i64)),
+                ("bytes".into(), Json::int(s.alloc_bytes as i64)),
+            ]),
+        ),
+        (
+            "nodes".into(),
+            Json::Obj(vec![(
+                "peak_dag".into(),
+                Json::int(s.stage.peak_dag_nodes as i64),
+            )]),
+        ),
+        (
+            "rule_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::int(s.stage.rule_cache_hits as i64)),
+                ("misses".into(), Json::int(s.stage.rule_cache_misses as i64)),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut runs = 3usize;
+    let mut out_path = "BENCH_extract.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs N");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args[i].clone());
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    // The binary lives in target/…; the repo root is CARGO_MANIFEST_DIR/../..
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut units = corpus_units(&root);
+    if check {
+        runs = 1;
+    } else {
+        units.extend(workload_units());
+    }
+
+    let mut best: Option<Sweep> = None;
+    for r in 0..runs {
+        let s = sweep(&units);
+        eprintln!(
+            "run {}/{}: total {:.1} ms over {} programs",
+            r + 1,
+            runs,
+            s.total_ns as f64 / 1e6,
+            units.len()
+        );
+        if best.is_none() || s.total_ns < best.unwrap().total_ns {
+            best = Some(s);
+        }
+    }
+    let best = best.unwrap();
+
+    let mut fields = vec![
+        ("schema_version".into(), Json::int(1)),
+        ("bench".into(), Json::str("perf_pipeline")),
+    ];
+    let Json::Obj(body) = sweep_json(&best, units.len(), runs) else {
+        unreachable!()
+    };
+    fields.extend(body);
+    if let Some(p) = &baseline_path {
+        let text = std::fs::read_to_string(p).expect("baseline file readable");
+        let doc = analysis::json::parse(&text).expect("baseline is valid JSON");
+        if let Some(base_total) = doc
+            .get("stages_ns")
+            .and_then(|s| s.get("total"))
+            .and_then(|t| t.as_i64())
+        {
+            let speedup = base_total as f64 / best.total_ns as f64;
+            fields.push(("speedup_vs_baseline".into(), Json::Num(speedup)));
+        }
+        fields.push(("baseline".into(), Json::Raw(doc.render())));
+    }
+    let doc = Json::Obj(fields).render();
+
+    if check {
+        // Prove the emitted document parses back; print it for inspection.
+        analysis::json::parse(&doc).expect("perf_pipeline emits valid JSON");
+        println!("{doc}");
+        eprintln!("perf_pipeline --check: ok");
+    } else {
+        std::fs::write(root.join(&out_path), format!("{doc}\n"))
+            .or_else(|_| std::fs::write(&out_path, format!("{doc}\n")))
+            .expect("write bench output");
+        eprintln!("wrote {out_path}");
+    }
+}

@@ -200,7 +200,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let fname = opts
         .function
         .clone()
-        .or_else(|| program.functions.first().map(|f| f.name.clone()))
+        .or_else(|| program.functions.first().map(|f| f.name.to_string()))
         .ok_or("program has no functions")?;
     if program.function(&fname).is_none() {
         let available: Vec<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
@@ -349,6 +349,7 @@ fn extractor_options(opts: &Opts) -> ExtractorOptions {
         dependent_agg: opts.dependent_agg,
         cost_based: None,
         prefer_lateral: false,
+        ..ExtractorOptions::default()
     }
 }
 
@@ -358,6 +359,7 @@ fn run_serve(opts: &Opts) -> Result<(), String> {
         queue_capacity: opts.queue,
         cache_entries: opts.cache_entries,
         job_timeout: opts.timeout_ms.map(std::time::Duration::from_millis),
+        ..service::ServiceConfig::default()
     };
     let server = service::Server::start(&opts.addr, config)
         .map_err(|e| format!("bind {}: {e}", opts.addr))?;

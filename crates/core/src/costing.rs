@@ -273,7 +273,7 @@ pub fn estimate_loop_original(f: &Function, loop_stmt: StmtId, stats: &DbStats) 
 
 /// Estimated cost (µs) of executing the replacement expressions: one round
 /// trip per embedded query.
-pub fn estimate_replacement(assigns: &[(String, Expr)], stats: &DbStats) -> f64 {
+pub fn estimate_replacement(assigns: &[(intern::Symbol, Expr)], stats: &DbStats) -> f64 {
     let mut cost = 0.0;
     for (_, e) in assigns {
         for sql in collect_sql_strings_expr(e) {
@@ -300,7 +300,7 @@ pub struct RewriteDecision {
 pub fn decide(
     f: &Function,
     loop_stmt: StmtId,
-    assigns: &[(String, Expr)],
+    assigns: &[(intern::Symbol, Expr)],
     stats: &DbStats,
 ) -> RewriteDecision {
     let original_us = estimate_loop_original(f, loop_stmt, stats).unwrap_or(f64::INFINITY);
@@ -481,7 +481,7 @@ mod tests {
         let f = &p.functions[0];
         let loop_id = f.body.stmts[2].id;
         let assigns = vec![(
-            "s".to_string(),
+            intern::Symbol::intern("s"),
             Expr::call(
                 "executeScalar",
                 vec![Expr::str("SELECT SUM(salary) AS agg0 FROM emp")],
@@ -509,9 +509,9 @@ mod tests {
         let loop_id = f.body.stmts[2].id;
         let fetch_all = Expr::call("executeQuery", vec![Expr::str("SELECT * FROM emp")]);
         let assigns = vec![
-            ("a".to_string(), fetch_all.clone()),
-            ("b".to_string(), fetch_all.clone()),
-            ("c".to_string(), fetch_all),
+            (intern::Symbol::intern("a"), fetch_all.clone()),
+            (intern::Symbol::intern("b"), fetch_all.clone()),
+            (intern::Symbol::intern("c"), fetch_all),
         ];
         let d = decide(f, loop_id, &assigns, &stats());
         assert!(!d.beneficial, "{d:?}");

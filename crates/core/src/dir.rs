@@ -16,6 +16,8 @@
 
 use std::collections::HashMap;
 
+use intern::Symbol;
+
 use algebra::parse::parse_sql;
 use algebra::schema::Catalog;
 use analysis::defuse::DefUseCtx;
@@ -46,7 +48,7 @@ pub struct FoldNote {
     /// The loop's `ForEach` statement id.
     pub loop_stmt: imp::ast::StmtId,
     /// The variable.
-    pub var: String,
+    pub var: Symbol,
     /// `Ok(())` when the fold was built; `Err(diagnostic)` otherwise.
     pub result: Result<(), analysis::diag::Diagnostic>,
 }
@@ -61,7 +63,7 @@ pub struct DirBuilder<'a> {
     program: &'a Program,
     catalog: &'a Catalog,
     /// Collection kinds inferred from `x = list()` / `x = set()` sites.
-    coll_kinds: HashMap<String, CollKind>,
+    coll_kinds: HashMap<Symbol, CollKind>,
     /// Remaining inlining depth (guards recursion).
     inline_budget: usize,
     /// Purity context for the dependence analyses.
@@ -136,10 +138,10 @@ impl<'a> DirBuilder<'a> {
                     value: Expr::Call { name, .. },
                 } => match name.as_str() {
                     "list" => {
-                        self.coll_kinds.insert(target.clone(), CollKind::List);
+                        self.coll_kinds.insert(*target, CollKind::List);
                     }
                     "set" => {
-                        self.coll_kinds.insert(target.clone(), CollKind::Set);
+                        self.coll_kinds.insert(*target, CollKind::Set);
                     }
                     _ => {}
                 },
@@ -167,12 +169,12 @@ impl<'a> DirBuilder<'a> {
         rid: analysis::regions::RegionId,
         f: &Function,
     ) -> VeMap {
-        match tree.region(rid).kind.clone() {
-            RegionKind::BasicBlock { stmts } => self.basic_block_ve(&stmts),
+        match &tree.region(rid).kind {
+            RegionKind::BasicBlock { stmts } => self.basic_block_ve(stmts),
             RegionKind::Sequential { children } => {
                 let mut acc = VeMap::new();
                 for c in children {
-                    let child_ve = self.region_ve(tree, c, f);
+                    let child_ve = self.region_ve(tree, *c, f);
                     acc = self.merge_sequential(acc, child_ve);
                 }
                 acc
@@ -182,24 +184,24 @@ impl<'a> DirBuilder<'a> {
                 then_region,
                 else_region,
             } => {
-                let cond_node = self.convert_expr(&cond, &VeMap::new());
-                let ve_t = self.region_ve(tree, then_region, f);
-                let ve_f = self.region_ve(tree, else_region, f);
+                let cond_node = self.convert_expr(cond, &VeMap::new());
+                let ve_t = self.region_ve(tree, *then_region, f);
+                let ve_f = self.region_ve(tree, *else_region, f);
                 let mut out = VeMap::new();
-                let mut vars: Vec<String> = ve_t.keys().cloned().collect();
+                let mut vars: Vec<Symbol> = ve_t.keys().copied().collect();
                 for k in ve_f.keys() {
                     if !vars.contains(k) {
-                        vars.push(k.clone());
+                        vars.push(*k);
                     }
                 }
                 for v in vars {
                     let t_e = match ve_t.get(&v) {
                         Some(e) => *e,
-                        None => self.dag.input(&v),
+                        None => self.dag.input(v),
                     };
                     let f_e = match ve_f.get(&v) {
                         Some(e) => *e,
-                        None => self.dag.input(&v),
+                        None => self.dag.input(v),
                     };
                     let node = self.dag.cond(cond_node, t_e, f_e);
                     out.insert(v, node);
@@ -212,17 +214,18 @@ impl<'a> DirBuilder<'a> {
                 body,
                 stmt_id,
             } => {
-                let source = self.convert_expr(&iterable, &VeMap::new());
-                let body_ve = self.region_ve(tree, body, f);
+                let source = self.convert_expr(iterable, &VeMap::new());
+                let body_ve = self.region_ve(tree, *body, f);
                 // Locate the loop's body block in the AST for dependence
                 // analysis.
+                let stmt_id = *stmt_id;
                 let body_block = find_foreach_body(&f.body, stmt_id)
                     .expect("loop statement must exist in its function");
                 let mut out = VeMap::new();
                 let loop_node = self.dag.intern(Node::Loop {
                     source,
-                    cursor: var.clone(),
-                    body_ve: body_ve.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    cursor: *var,
+                    body_ve: body_ve.iter().map(|(k, v)| (*k, *v)).collect(),
                     stmt: stmt_id,
                 });
                 let _ = loop_node; // recorded for completeness/debugging
@@ -231,7 +234,7 @@ impl<'a> DirBuilder<'a> {
                     &mut self.dag,
                     &body_ve,
                     body_block,
-                    &var,
+                    *var,
                     source,
                     stmt_id,
                     loop_span,
@@ -241,12 +244,12 @@ impl<'a> DirBuilder<'a> {
                 for a in &attempts {
                     self.fold_notes.push(FoldNote {
                         loop_stmt: stmt_id,
-                        var: a.var.clone(),
+                        var: a.var,
                         result: a
                             .node
                             .as_ref()
                             .map(|_| ())
-                            .map_err(|d| d.clone().with_function(&f.name)),
+                            .map_err(|d| d.clone().with_function(f.name.as_str())),
                     });
                 }
                 for a in attempts {
@@ -258,15 +261,17 @@ impl<'a> DirBuilder<'a> {
                 }
                 // The cursor variable itself is dead after the loop for our
                 // purposes.
-                out.insert(var, self.dag.intern(Node::NotDetermined));
+                let nd = self.dag.intern(Node::NotDetermined);
+                out.insert(*var, nd);
                 out
             }
             RegionKind::WhileLoop { body, .. } => {
                 // Never translated (Sec. 7.1): every modified variable is ND.
-                let body_ve = self.region_ve(tree, body, f);
+                let body_ve = self.region_ve(tree, *body, f);
                 let mut out = VeMap::new();
                 for v in body_ve.keys() {
-                    out.insert(v.clone(), self.dag.intern(Node::NotDetermined));
+                    let nd = self.dag.intern(Node::NotDetermined);
+                    out.insert(*v, nd);
                 }
                 out
             }
@@ -276,11 +281,12 @@ impl<'a> DirBuilder<'a> {
     /// Sequential merge (Appendix D.3): resolve `following`'s region inputs
     /// against `preceding`'s ve-Map, then union (later entries win).
     fn merge_sequential(&mut self, preceding: VeMap, following: VeMap) -> VeMap {
-        let mut out = preceding.clone();
-        for (v, e) in following {
-            let resolved = self.dag.substitute_inputs(e, &preceding);
-            out.insert(v, resolved);
-        }
+        let resolved: Vec<(Symbol, NodeId)> = following
+            .into_iter()
+            .map(|(v, e)| (v, self.dag.substitute_inputs(e, &preceding)))
+            .collect();
+        let mut out = preceding;
+        out.extend(resolved);
         out
     }
 
@@ -293,19 +299,19 @@ impl<'a> DirBuilder<'a> {
             match &s.kind {
                 StmtKind::Assign { target, value } => {
                     let e = self.convert_expr(value, &ve);
-                    ve.insert(target.clone(), e);
+                    ve.insert(*target, e);
                 }
                 StmtKind::Expr(e) => {
                     if let Expr::MethodCall { recv, name, args } = e {
                         if let Expr::Var(cvar) = recv.as_ref() {
-                            if let Some(op) = self.collection_op(cvar, name) {
+                            if let Some(op) = self.collection_op(*cvar, name.as_str()) {
                                 let base = match ve.get(cvar) {
                                     Some(n) => *n,
                                     None => self.dag.input(cvar),
                                 };
                                 let elem = self.convert_expr(&args[0], &ve);
                                 let node = self.dag.op(op, vec![base, elem]);
-                                ve.insert(cvar.clone(), node);
+                                ve.insert(*cvar, node);
                                 continue;
                             }
                         }
@@ -319,7 +325,7 @@ impl<'a> DirBuilder<'a> {
                                     let n = self
                                         .dag
                                         .opaque(format!("unmodeled mutation {name}"), vec![]);
-                                    ve.insert(cvar.clone(), n);
+                                    ve.insert(*cvar, n);
                                 }
                             }
                         }
@@ -337,7 +343,7 @@ impl<'a> DirBuilder<'a> {
                         Some(v) => self.convert_expr(v, &ve),
                         None => self.dag.lit(algebra::scalar::Lit::Null),
                     };
-                    ve.insert(RET_VAR.to_string(), e);
+                    ve.insert(Symbol::intern(RET_VAR), e);
                 }
                 StmtKind::Print(_) => {
                     // Output is preprocessed away when extraction wants it
@@ -357,11 +363,11 @@ impl<'a> DirBuilder<'a> {
         ve
     }
 
-    fn collection_op(&self, var: &str, method: &str) -> Option<OpKind> {
+    fn collection_op(&self, var: Symbol, method: &str) -> Option<OpKind> {
         if !matches!(method, "add" | "append" | "insert") {
             return None;
         }
-        match self.coll_kinds.get(var) {
+        match self.coll_kinds.get(&var) {
             Some(CollKind::Set) => Some(OpKind::Insert),
             Some(CollKind::List) | None => Some(OpKind::Append),
         }
@@ -427,12 +433,9 @@ impl<'a> DirBuilder<'a> {
             }
             Expr::Field(o, name) => {
                 let base = self.convert_expr(o, ve);
-                self.dag.intern(Node::FieldOf {
-                    base,
-                    field: name.clone(),
-                })
+                self.dag.intern(Node::FieldOf { base, field: *name })
             }
-            Expr::Call { name, args } => self.convert_call(name, args, ve),
+            Expr::Call { name, args } => self.convert_call(name.as_str(), args, ve),
             Expr::MethodCall { recv, name, args } => {
                 // Value-position method calls have no algebraic equivalent
                 // (`size()`, `contains()`, custom comparators …).
@@ -478,9 +481,15 @@ impl<'a> DirBuilder<'a> {
                 let params: Vec<NodeId> =
                     args[1..].iter().map(|a| self.convert_expr(a, ve)).collect();
                 if name == builtins::EXECUTE_QUERY {
-                    self.dag.intern(Node::Query { ra, params })
+                    self.dag.intern(Node::Query {
+                        ra,
+                        params: params.into(),
+                    })
                 } else {
-                    self.dag.intern(Node::ScalarQuery { ra, params })
+                    self.dag.intern(Node::ScalarQuery {
+                        ra,
+                        params: params.into(),
+                    })
                 }
             }
             builtins::EXECUTE_UPDATE => {
@@ -563,14 +572,14 @@ impl<'a> DirBuilder<'a> {
         let callee_f = callee.clone();
         let callee_ve = self.region_ve(&tree, tree.root, &callee_f);
         self.inline_budget += 1;
-        let Some(ret) = callee_ve.get(RET_VAR).copied() else {
+        let Some(ret) = callee_ve.get(&Symbol::intern(RET_VAR)).copied() else {
             return self.dag.opaque(format!("{name} returns no value"), vec![]);
         };
         // Map formal inputs to actual argument expressions.
         let mut subs = VeMap::new();
         for (formal, actual) in callee_f.params.iter().zip(args) {
             let a = self.convert_expr(actual, ve);
-            subs.insert(formal.clone(), a);
+            subs.insert(*formal, a);
         }
         self.dag.substitute_inputs(ret, &subs)
     }
@@ -681,7 +690,7 @@ mod tests {
             "fn f() { x = 10; y = 15; if (y - x > 0) { z = y - x; } else { z = x - y; } return z; }",
             "f",
         );
-        let z = d.ve[RET_VAR];
+        let z = d.ve[&Symbol::intern(RET_VAR)];
         assert_eq!(
             d.dag.display(z),
             "?[Gt[Sub[15, 10], 0], Sub[15, 10], Sub[10, 15]]"
@@ -691,7 +700,7 @@ mod tests {
     #[test]
     fn conditional_missing_branch_uses_input() {
         let d = dir_of("fn f(a) { if (a > 0) { b = 1; } return b; }", "f");
-        let b = d.ve[RET_VAR];
+        let b = d.ve[&Symbol::intern(RET_VAR)];
         assert_eq!(d.dag.display(b), "?[Gt[a₀, 0], 1, b₀]");
     }
 
@@ -701,11 +710,11 @@ mod tests {
             r#"fn f(r) { q = executeQuery("SELECT * FROM board WHERE rnd_id = ?", r); return q; }"#,
             "f",
         );
-        let q = d.ve[RET_VAR];
+        let q = d.ve[&Symbol::intern(RET_VAR)];
         match d.dag.node(q) {
             Node::Query { ra, params } => {
                 assert_eq!(params.len(), 1);
-                assert!(matches!(d.dag.node(params[0]), Node::Input(v) if v == "r"));
+                assert!(matches!(d.dag.node(params[0]), Node::Input(v) if v.as_str() == "r"));
                 assert!(matches!(ra, algebra::ra::RaExpr::Select { .. }));
             }
             other => panic!("expected query node, got {other:?}"),
@@ -724,7 +733,7 @@ mod tests {
              }"#,
             "f",
         );
-        match d.dag.node(d.ve[RET_VAR]) {
+        match d.dag.node(d.ve[&Symbol::intern(RET_VAR)]) {
             Node::Query { params, .. } => {
                 assert_eq!(d.dag.display(params[0]), "Add[x₀, 1]");
             }
@@ -746,7 +755,7 @@ mod tests {
             }"#,
             "findMaxScore",
         );
-        let r = d.ve[RET_VAR];
+        let r = d.ve[&Symbol::intern(RET_VAR)];
         match d.dag.node(r) {
             Node::Fold {
                 func, init, source, ..
@@ -804,19 +813,22 @@ mod tests {
             "#,
             "f",
         );
-        assert_eq!(d.dag.display(d.ve[RET_VAR]), "Mul[Add[x₀, 1], 2]");
+        assert_eq!(
+            d.dag.display(d.ve[&Symbol::intern(RET_VAR)]),
+            "Mul[Add[x₀, 1], 2]"
+        );
     }
 
     #[test]
     fn unknown_function_is_opaque() {
         let d = dir_of("fn f(x) { return mystery(x); }", "f");
-        assert!(d.dag.is_poisoned(d.ve[RET_VAR]));
+        assert!(d.dag.is_poisoned(d.ve[&Symbol::intern(RET_VAR)]));
     }
 
     #[test]
     fn recursion_is_cut_off() {
         let d = dir_of("fn f(x) { return f(x); }", "f");
-        assert!(d.dag.is_poisoned(d.ve[RET_VAR]));
+        assert!(d.dag.is_poisoned(d.ve[&Symbol::intern(RET_VAR)]));
     }
 
     #[test]
@@ -825,7 +837,7 @@ mod tests {
             r#"fn f(t) { q = executeQuery("SELECT * FROM " + t); return q; }"#,
             "f",
         );
-        assert!(d.dag.is_poisoned(d.ve[RET_VAR]));
+        assert!(d.dag.is_poisoned(d.ve[&Symbol::intern(RET_VAR)]));
     }
 
     #[test]
@@ -834,7 +846,7 @@ mod tests {
             "fn f(n) { i = 0; while (i < n) { i = i + 1; } return i; }",
             "f",
         );
-        assert!(d.dag.is_poisoned(d.ve[RET_VAR]));
+        assert!(d.dag.is_poisoned(d.ve[&Symbol::intern(RET_VAR)]));
     }
 
     #[test]
@@ -848,7 +860,7 @@ mod tests {
             }"#,
             "f",
         );
-        match d.dag.node(d.ve[RET_VAR]) {
+        match d.dag.node(d.ve[&Symbol::intern(RET_VAR)]) {
             Node::Fold { func, init, .. } => {
                 assert!(matches!(d.dag.node(*init), Node::EmptyColl(CollKind::List)));
                 let fd = d.dag.display(*func);
@@ -869,7 +881,7 @@ mod tests {
             }"#,
             "f",
         );
-        match d.dag.node(d.ve[RET_VAR]) {
+        match d.dag.node(d.ve[&Symbol::intern(RET_VAR)]) {
             Node::Fold { func, .. } => {
                 assert!(d.dag.display(*func).starts_with("Insert["));
             }

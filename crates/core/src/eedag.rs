@@ -6,17 +6,144 @@
 //! the existence of a node in the ee-DAG, a composite id — comprising of
 //! id's of its operator and operands — is assigned to each node, and a hash
 //! table is used for searching." — nodes here are hash-consed through
-//! [`EeDag::intern`], so structurally-equal expressions share one id.
+//! [`EeDag::intern`]: a precomputed structural hash indexes into small
+//! buckets of candidate ids, and candidates are verified against the node
+//! arena, so the index never stores a second copy of any `Node` (see
+//! DESIGN.md "ee-DAG hashing scheme").
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use algebra::ra::RaExpr;
 use algebra::scalar::Lit;
 use imp::ast::StmtId;
+use intern::Symbol;
 
 /// Index of a node in an [`EeDag`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+/// A small-vector of operand ids: up to four inline, spilling to the heap
+/// beyond that. Most ee-DAG operators are unary/binary, so the inline form
+/// covers nearly every node without a heap allocation.
+///
+/// Equality and hashing are over the element sequence, so an inline list
+/// and a heap list with the same contents are interchangeable under
+/// hash-consing.
+#[derive(Debug, Clone)]
+pub enum NodeList {
+    /// Up to [`NodeList::INLINE`] ids stored in place.
+    Inline {
+        /// Number of live elements in `buf`.
+        len: u8,
+        /// Element storage; slots `>= len` are meaningless padding.
+        buf: [NodeId; NodeList::INLINE],
+    },
+    /// Heap storage for longer lists.
+    Heap(Vec<NodeId>),
+}
+
+impl NodeList {
+    /// Inline capacity.
+    pub const INLINE: usize = 4;
+
+    /// An empty list.
+    pub fn new() -> NodeList {
+        NodeList::Inline {
+            len: 0,
+            buf: [NodeId(0); NodeList::INLINE],
+        }
+    }
+
+    /// View as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        match self {
+            NodeList::Inline { len, buf } => &buf[..*len as usize],
+            NodeList::Heap(v) => v,
+        }
+    }
+
+    /// Append an element, spilling to the heap when the inline buffer fills.
+    pub fn push(&mut self, id: NodeId) {
+        match self {
+            NodeList::Inline { len, buf } => {
+                if (*len as usize) < NodeList::INLINE {
+                    buf[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = buf.to_vec();
+                    v.push(id);
+                    *self = NodeList::Heap(v);
+                }
+            }
+            NodeList::Heap(v) => v.push(id),
+        }
+    }
+}
+
+impl Default for NodeList {
+    fn default() -> Self {
+        NodeList::new()
+    }
+}
+
+impl std::ops::Deref for NodeList {
+    type Target = [NodeId];
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for NodeList {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for NodeList {}
+
+impl Hash for NodeList {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Match `Vec`'s slice semantics so inline/heap forms collide.
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<Vec<NodeId>> for NodeList {
+    fn from(v: Vec<NodeId>) -> NodeList {
+        if v.len() <= NodeList::INLINE {
+            let mut out = NodeList::new();
+            for id in v {
+                out.push(id);
+            }
+            out
+        } else {
+            NodeList::Heap(v)
+        }
+    }
+}
+
+impl FromIterator<NodeId> for NodeList {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> NodeList {
+        let mut out = NodeList::new();
+        for id in iter {
+            out.push(id);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeList {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// Non-relational operators available in the ee-DAG (paper Sec. 3.2.1 lists
 /// arithmetic, logical, conditional evaluation, and equivalent operators for
@@ -96,26 +223,26 @@ pub enum Node {
     Const(Lit),
     /// A region input: the value of variable `name` at the start of the
     /// region (denoted `name₀` in the paper's figures).
-    Input(String),
+    Input(Symbol),
     /// The accumulator parameter ⟨v⟩ of a folding function, tagged with the
     /// accumulated variable's name so nested folds stay unambiguous.
-    AccParam(String),
+    AccParam(Symbol),
     /// The tuple parameter ⟨t⟩ of a folding function, tagged with the
     /// cursor variable's name (nested cursor loops each have their own).
-    TupleParam(String),
+    TupleParam(Symbol),
     /// Attribute access: `base.field` (a getter on a query-result tuple).
     FieldOf {
         /// The tuple-valued base expression.
         base: NodeId,
         /// Attribute name.
-        field: String,
+        field: Symbol,
     },
     /// An operator application.
     Op {
         /// The operator.
         op: OpKind,
         /// Operand nodes.
-        args: Vec<NodeId>,
+        args: NodeList,
     },
     /// Conditional evaluation `?[cond, then, else]` (paper's "?" operator).
     Cond {
@@ -132,7 +259,7 @@ pub enum Node {
         /// The algebra expression.
         ra: RaExpr,
         /// Parameter expressions.
-        params: Vec<NodeId>,
+        params: NodeList,
     },
     /// A *scalar* query: the first column of the first row of the result
     /// (`executeScalar`, and the πs scalar projections of Rule T7).
@@ -140,7 +267,7 @@ pub enum Node {
         /// The algebra expression.
         ra: RaExpr,
         /// Parameter expressions.
-        params: Vec<NodeId>,
+        params: NodeList,
     },
     /// An empty collection literal.
     EmptyColl(CollKind),
@@ -151,9 +278,9 @@ pub enum Node {
         /// The iterated collection expression.
         source: NodeId,
         /// Cursor variable name.
-        cursor: String,
+        cursor: Symbol,
         /// Per-iteration variable expressions.
-        body_ve: Vec<(String, NodeId)>,
+        body_ve: Vec<(Symbol, NodeId)>,
         /// The `ForEach` statement this came from.
         stmt: StmtId,
     },
@@ -167,11 +294,11 @@ pub enum Node {
         /// Input query/collection.
         source: NodeId,
         /// The cursor variable this fold's tuple parameter is tagged with.
-        cursor: String,
+        cursor: Symbol,
         /// Origin: the loop statement and the accumulated variable. Keeps
         /// folds from distinct loops distinct under hash-consing and lets
         /// the rewriter find the statement to replace.
-        origin: (StmtId, String),
+        origin: (StmtId, Symbol),
     },
     /// Dependent aggregation (paper Appendix B, "Dependent Aggregations"):
     /// the argmax/argmin of `value` by `key` over `source` — produced when a
@@ -194,9 +321,9 @@ pub enum Node {
         /// qualifies).
         w_init: NodeId,
         /// Cursor variable tagging the tuple parameter.
-        cursor: String,
+        cursor: Symbol,
         /// Origin loop statement and captured variable.
-        origin: (StmtId, String),
+        origin: (StmtId, Symbol),
     },
     /// "Not yet determined" (paper Appendix D.5) — a loop-modified variable
     /// whose fold translation failed; poisons dependent extractions.
@@ -208,18 +335,66 @@ pub enum Node {
         /// Why the node is opaque (diagnostic).
         reason: String,
         /// Arguments, retained so dependence information is not lost.
-        args: Vec<NodeId>,
+        args: NodeList,
     },
 }
 
 /// The ve-Map: variable name → ee-DAG node (paper Sec. 3.2.2).
-pub type VeMap = BTreeMap<String, NodeId>;
+///
+/// Keyed by [`Symbol`], whose `Ord` compares the *resolved names* — so
+/// iteration still visits variables in name order, exactly as the old
+/// `BTreeMap<String, NodeId>` did (report ordering depends on this).
+pub type VeMap = BTreeMap<Symbol, NodeId>;
+
+/// One slot of the consing index: the ids whose structural hash landed on
+/// this key. Nearly always a single id; collisions spill to a vector.
+#[derive(Debug, Clone)]
+enum Bucket {
+    One(NodeId),
+    Many(Vec<NodeId>),
+}
+
+/// A pass-through hasher for the consing index — keys are already
+/// high-quality structural hashes, re-hashing them would be pure waste.
+#[derive(Debug, Clone, Copy, Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher only accepts u64 keys")
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type IdentityState = BuildHasherDefault<IdentityHasher>;
+
+/// Structural hash of a node (stable for the process lifetime; used only
+/// inside the consing index, never persisted).
+fn structural_hash(node: &Node) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.hash(&mut h);
+    h.finish()
+}
 
 /// A hash-consed expression DAG.
+///
+/// Per interned node the DAG stores the node itself (arena), its 8-byte
+/// structural hash, and one index slot mapping hash → candidate ids. The
+/// index holds *ids*, not nodes — interning no longer clones every `Node`
+/// into a map key the way the old `HashMap<Node, NodeId>` index did.
 #[derive(Debug, Clone, Default)]
 pub struct EeDag {
     nodes: Vec<Node>,
-    index: HashMap<Node, NodeId>,
+    /// `hashes[i]` is the structural hash of `nodes[i]`.
+    hashes: Vec<u64>,
+    index: HashMap<u64, Bucket, IdentityState>,
 }
 
 impl EeDag {
@@ -231,16 +406,50 @@ impl EeDag {
     /// Intern a node, returning the id of the existing structurally-equal
     /// node when present (common sub-expression sharing).
     pub fn intern(&mut self, node: Node) -> NodeId {
-        if let Some(id) = self.index.get(&node) {
-            return *id;
+        let hash = structural_hash(&node);
+        if let Some(bucket) = self.index.get(&hash) {
+            match bucket {
+                Bucket::One(id) => {
+                    if self.nodes[id.0 as usize] == node {
+                        return *id;
+                    }
+                }
+                Bucket::Many(ids) => {
+                    for id in ids {
+                        if self.nodes[id.0 as usize] == node {
+                            return *id;
+                        }
+                    }
+                }
+            }
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node.clone());
-        self.index.insert(node, id);
+        self.nodes.push(node);
+        self.hashes.push(hash);
+        match self.index.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Bucket::One(id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Bucket::One(prev) => {
+                    let prev = *prev;
+                    *e.get_mut() = Bucket::Many(vec![prev, id]);
+                }
+                Bucket::Many(ids) => ids.push(id),
+            },
+        }
         id
     }
 
+    /// Fixed per-node index overhead in bytes: the stored structural hash
+    /// plus one (hash, bucket) index entry. Independent of `Node`'s size —
+    /// the regression test below keeps it that way.
+    pub fn per_node_index_overhead() -> usize {
+        std::mem::size_of::<u64>() + std::mem::size_of::<(u64, Bucket)>()
+    }
+
     /// Look up a node by id.
+    #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]
     }
@@ -268,13 +477,16 @@ impl EeDag {
     }
 
     /// Intern a region input.
-    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn input(&mut self, name: impl Into<Symbol>) -> NodeId {
         self.intern(Node::Input(name.into()))
     }
 
     /// Intern an operator application.
-    pub fn op(&mut self, op: OpKind, args: Vec<NodeId>) -> NodeId {
-        self.intern(Node::Op { op, args })
+    pub fn op(&mut self, op: OpKind, args: impl Into<NodeList>) -> NodeId {
+        self.intern(Node::Op {
+            op,
+            args: args.into(),
+        })
     }
 
     /// Intern a conditional evaluation node.
@@ -287,10 +499,10 @@ impl EeDag {
     }
 
     /// Intern an opaque marker.
-    pub fn opaque(&mut self, reason: impl Into<String>, args: Vec<NodeId>) -> NodeId {
+    pub fn opaque(&mut self, reason: impl Into<String>, args: impl Into<NodeList>) -> NodeId {
         self.intern(Node::Opaque {
             reason: reason.into(),
-            args,
+            args: args.into(),
         })
     }
 
@@ -310,8 +522,8 @@ impl EeDag {
             | Node::NotDetermined => {}
             Node::FieldOf { base, .. } => self.walk(*base, f),
             Node::Op { args, .. } | Node::Opaque { args, .. } => {
-                for a in args.clone() {
-                    self.walk(a, f);
+                for a in args {
+                    self.walk(*a, f);
                 }
             }
             Node::Cond {
@@ -324,16 +536,16 @@ impl EeDag {
                 self.walk(*else_val, f);
             }
             Node::Query { params, .. } | Node::ScalarQuery { params, .. } => {
-                for p in params.clone() {
-                    self.walk(p, f);
+                for p in params {
+                    self.walk(*p, f);
                 }
             }
             Node::Loop {
                 source, body_ve, ..
             } => {
                 self.walk(*source, f);
-                for (_, e) in body_ve.clone() {
-                    self.walk(e, f);
+                for (_, e) in body_ve {
+                    self.walk(*e, f);
                 }
             }
             Node::Fold {
@@ -379,12 +591,12 @@ impl EeDag {
     }
 
     /// Region-input names referenced by the expression.
-    pub fn inputs_of(&self, id: NodeId) -> Vec<String> {
+    pub fn inputs_of(&self, id: NodeId) -> Vec<Symbol> {
         let mut out = Vec::new();
         self.walk(id, &mut |_, n| {
             if let Node::Input(name) = n {
                 if !out.contains(name) {
-                    out.push(name.clone());
+                    out.push(*name);
                 }
             }
         });
@@ -410,9 +622,9 @@ impl EeDag {
         if let Some(r) = memo.get(&id) {
             return *r;
         }
-        let node = self.node(id).clone();
-        let result = match node {
-            Node::Input(ref name) => match subs.get(name) {
+        // Fast path for leaves: no clone, no re-intern.
+        let result = match self.node(id) {
+            Node::Input(name) => match subs.get(name) {
                 Some(replacement) => *replacement,
                 None => id,
             },
@@ -421,113 +633,162 @@ impl EeDag {
             | Node::TupleParam(_)
             | Node::EmptyColl(_)
             | Node::NotDetermined => id,
-            Node::FieldOf { base, field } => {
-                let b = self.subst_rec(base, subs, memo);
-                self.intern(Node::FieldOf { base: b, field })
-            }
-            Node::Op { op, args } => {
-                let new: Vec<NodeId> = args
-                    .iter()
-                    .map(|a| self.subst_rec(*a, subs, memo))
-                    .collect();
-                self.intern(Node::Op { op, args: new })
-            }
-            Node::Opaque { reason, args } => {
-                let new: Vec<NodeId> = args
-                    .iter()
-                    .map(|a| self.subst_rec(*a, subs, memo))
-                    .collect();
-                self.intern(Node::Opaque { reason, args: new })
-            }
-            Node::Cond {
-                cond,
-                then_val,
-                else_val,
-            } => {
-                let c = self.subst_rec(cond, subs, memo);
-                let t = self.subst_rec(then_val, subs, memo);
-                let e = self.subst_rec(else_val, subs, memo);
-                self.intern(Node::Cond {
-                    cond: c,
-                    then_val: t,
-                    else_val: e,
-                })
-            }
-            Node::Query { ra, params } => {
-                let new: Vec<NodeId> = params
-                    .iter()
-                    .map(|p| self.subst_rec(*p, subs, memo))
-                    .collect();
-                self.intern(Node::Query { ra, params: new })
-            }
-            Node::ScalarQuery { ra, params } => {
-                let new: Vec<NodeId> = params
-                    .iter()
-                    .map(|p| self.subst_rec(*p, subs, memo))
-                    .collect();
-                self.intern(Node::ScalarQuery { ra, params: new })
-            }
-            Node::Loop {
-                source,
-                cursor,
-                body_ve,
-                stmt,
-            } => {
-                let s = self.subst_rec(source, subs, memo);
-                // Body expressions reference per-iteration inputs; only the
-                // source is resolved against the enclosing region.
-                self.intern(Node::Loop {
-                    source: s,
-                    cursor,
-                    body_ve,
-                    stmt,
-                })
-            }
-            Node::Fold {
-                func,
-                init,
-                source,
-                cursor,
-                origin,
-            } => {
-                let i = self.subst_rec(init, subs, memo);
-                let s = self.subst_rec(source, subs, memo);
-                // The folding function is closed over Acc/Tuple params plus
-                // possibly region inputs (loop-invariant values).
-                let fn_ = self.subst_rec(func, subs, memo);
-                self.intern(Node::Fold {
-                    func: fn_,
-                    init: i,
-                    source: s,
-                    cursor,
-                    origin,
-                })
-            }
-            Node::ArgExtreme {
-                source,
-                is_max,
-                key,
-                value,
-                v_init,
-                w_init,
-                cursor,
-                origin,
-            } => {
-                let s = self.subst_rec(source, subs, memo);
-                let k = self.subst_rec(key, subs, memo);
-                let val = self.subst_rec(value, subs, memo);
-                let vi = self.subst_rec(v_init, subs, memo);
-                let wi = self.subst_rec(w_init, subs, memo);
-                self.intern(Node::ArgExtreme {
-                    source: s,
-                    is_max,
-                    key: k,
-                    value: val,
-                    v_init: vi,
-                    w_init: wi,
-                    cursor,
-                    origin,
-                })
+            _ => {
+                let node = self.node(id).clone();
+                match node {
+                    Node::FieldOf { base, field } => {
+                        let b = self.subst_rec(base, subs, memo);
+                        if b == base {
+                            id
+                        } else {
+                            self.intern(Node::FieldOf { base: b, field })
+                        }
+                    }
+                    Node::Op { op, ref args } => {
+                        let new: NodeList = args
+                            .iter()
+                            .map(|a| self.subst_rec(*a, subs, memo))
+                            .collect();
+                        if new == *args {
+                            id
+                        } else {
+                            self.intern(Node::Op { op, args: new })
+                        }
+                    }
+                    Node::Opaque { reason, ref args } => {
+                        let new: NodeList = args
+                            .iter()
+                            .map(|a| self.subst_rec(*a, subs, memo))
+                            .collect();
+                        if new == *args {
+                            id
+                        } else {
+                            self.intern(Node::Opaque { reason, args: new })
+                        }
+                    }
+                    Node::Cond {
+                        cond,
+                        then_val,
+                        else_val,
+                    } => {
+                        let c = self.subst_rec(cond, subs, memo);
+                        let t = self.subst_rec(then_val, subs, memo);
+                        let e = self.subst_rec(else_val, subs, memo);
+                        if c == cond && t == then_val && e == else_val {
+                            id
+                        } else {
+                            self.intern(Node::Cond {
+                                cond: c,
+                                then_val: t,
+                                else_val: e,
+                            })
+                        }
+                    }
+                    Node::Query { ra, ref params } => {
+                        let new: NodeList = params
+                            .iter()
+                            .map(|p| self.subst_rec(*p, subs, memo))
+                            .collect();
+                        if new == *params {
+                            id
+                        } else {
+                            self.intern(Node::Query { ra, params: new })
+                        }
+                    }
+                    Node::ScalarQuery { ra, ref params } => {
+                        let new: NodeList = params
+                            .iter()
+                            .map(|p| self.subst_rec(*p, subs, memo))
+                            .collect();
+                        if new == *params {
+                            id
+                        } else {
+                            self.intern(Node::ScalarQuery { ra, params: new })
+                        }
+                    }
+                    Node::Loop {
+                        source,
+                        cursor,
+                        body_ve,
+                        stmt,
+                    } => {
+                        let s = self.subst_rec(source, subs, memo);
+                        // Body expressions reference per-iteration inputs;
+                        // only the source is resolved against the enclosing
+                        // region.
+                        if s == source {
+                            id
+                        } else {
+                            self.intern(Node::Loop {
+                                source: s,
+                                cursor,
+                                body_ve,
+                                stmt,
+                            })
+                        }
+                    }
+                    Node::Fold {
+                        func,
+                        init,
+                        source,
+                        cursor,
+                        origin,
+                    } => {
+                        let i = self.subst_rec(init, subs, memo);
+                        let s = self.subst_rec(source, subs, memo);
+                        // The folding function is closed over Acc/Tuple
+                        // params plus possibly region inputs (loop-invariant
+                        // values).
+                        let fn_ = self.subst_rec(func, subs, memo);
+                        if i == init && s == source && fn_ == func {
+                            id
+                        } else {
+                            self.intern(Node::Fold {
+                                func: fn_,
+                                init: i,
+                                source: s,
+                                cursor,
+                                origin,
+                            })
+                        }
+                    }
+                    Node::ArgExtreme {
+                        source,
+                        is_max,
+                        key,
+                        value,
+                        v_init,
+                        w_init,
+                        cursor,
+                        origin,
+                    } => {
+                        let s = self.subst_rec(source, subs, memo);
+                        let k = self.subst_rec(key, subs, memo);
+                        let val = self.subst_rec(value, subs, memo);
+                        let vi = self.subst_rec(v_init, subs, memo);
+                        let wi = self.subst_rec(w_init, subs, memo);
+                        if s == source && k == key && val == value && vi == v_init && wi == w_init {
+                            id
+                        } else {
+                            self.intern(Node::ArgExtreme {
+                                source: s,
+                                is_max,
+                                key: k,
+                                value: val,
+                                v_init: vi,
+                                w_init: wi,
+                                cursor,
+                                origin,
+                            })
+                        }
+                    }
+                    Node::Const(_)
+                    | Node::Input(_)
+                    | Node::AccParam(_)
+                    | Node::TupleParam(_)
+                    | Node::EmptyColl(_)
+                    | Node::NotDetermined => unreachable!("leaves handled above"),
+                }
             }
         };
         memo.insert(id, result);
@@ -619,6 +880,61 @@ mod tests {
     }
 
     #[test]
+    fn index_stores_ids_not_node_clones() {
+        // Satellite regression for the old `HashMap<Node, NodeId>` index,
+        // which kept a full clone of every interned node as its key. The
+        // per-node bookkeeping is now a structural hash plus a fixed-size
+        // bucket entry — independent of (and much smaller than) `Node`.
+        assert_eq!(
+            EeDag::per_node_index_overhead(),
+            std::mem::size_of::<u64>() + std::mem::size_of::<(u64, Bucket)>()
+        );
+        assert!(
+            EeDag::per_node_index_overhead() < std::mem::size_of::<Node>(),
+            "index entry ({} B) must not embed a Node ({} B)",
+            EeDag::per_node_index_overhead(),
+            std::mem::size_of::<Node>()
+        );
+    }
+
+    #[test]
+    fn hash_collisions_still_disambiguate_by_equality() {
+        // Force the collision path: insert through a dag whose index we
+        // can't seed, so instead just intern many distinct nodes and check
+        // full round-trip identity (any bucket spill must keep ids apart).
+        let mut d = EeDag::new();
+        let ids: Vec<NodeId> = (0..2000).map(|i| d.int(i)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(d.node(*id), &Node::Const(Lit::Int(i as i64)));
+            assert_eq!(d.intern(Node::Const(Lit::Int(i as i64))), *id);
+        }
+        assert_eq!(d.len(), 2000);
+    }
+
+    #[test]
+    fn nodelist_inline_and_heap_forms_are_equal() {
+        let inline: NodeList = vec![NodeId(1), NodeId(2)].into();
+        let heap = NodeList::Heap(vec![NodeId(1), NodeId(2)]);
+        assert_eq!(inline, heap);
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        inline.hash(&mut h1);
+        heap.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish(), "hash must follow slice contents");
+    }
+
+    #[test]
+    fn nodelist_spills_past_inline_capacity() {
+        let mut l = NodeList::new();
+        for i in 0..10 {
+            l.push(NodeId(i));
+        }
+        assert!(matches!(l, NodeList::Heap(_)));
+        assert_eq!(l.len(), 10);
+        assert_eq!(l[9], NodeId(9));
+    }
+
+    #[test]
     fn substitution_resolves_inputs() {
         let mut d = EeDag::new();
         let x = d.input("x");
@@ -626,7 +942,7 @@ mod tests {
         let e = d.op(OpKind::Add, vec![x, one]);
         let ten = d.int(10);
         let mut subs = VeMap::new();
-        subs.insert("x".to_string(), ten);
+        subs.insert(Symbol::intern("x"), ten);
         let out = d.substitute_inputs(e, &subs);
         assert_eq!(d.display(out), "Add[10, 1]");
     }
@@ -638,12 +954,24 @@ mod tests {
         let e1 = d.op(OpKind::Add, vec![x, x]);
         let v = d.int(2);
         let mut subs = VeMap::new();
-        subs.insert("x".to_string(), v);
+        subs.insert(Symbol::intern("x"), v);
         let out = d.substitute_inputs(e1, &subs);
         match d.node(out) {
             Node::Op { args, .. } => assert_eq!(args[0], args[1]),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn substitution_without_hits_returns_same_id() {
+        let mut d = EeDag::new();
+        let x = d.input("x");
+        let one = d.int(1);
+        let e = d.op(OpKind::Add, vec![x, one]);
+        let before = d.len();
+        let out = d.substitute_inputs(e, &VeMap::new());
+        assert_eq!(out, e, "no substitution hit must be the identity");
+        assert_eq!(d.len(), before, "and must intern nothing new");
     }
 
     #[test]
@@ -663,7 +991,10 @@ mod tests {
         let y = d.input("y");
         let e0 = d.op(OpKind::Add, vec![x, y]);
         let e = d.op(OpKind::Add, vec![e0, x]);
-        assert_eq!(d.inputs_of(e), vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(
+            d.inputs_of(e),
+            vec![Symbol::intern("x"), Symbol::intern("y")]
+        );
     }
 
     #[test]

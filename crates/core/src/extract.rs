@@ -41,6 +41,11 @@ pub struct ExtractorOptions {
     /// Prefer the general OUTER APPLY rule over GROUP BY where both apply
     /// (rule-order control; see `rules::RuleOptions::prefer_lateral`).
     pub prefer_lateral: bool,
+    /// Rule-engine fixpoint memoization. On by default; the flag exists so
+    /// regression tests can prove cached and uncached runs agree. Not part
+    /// of [`ExtractorOptions::fingerprint`] because it cannot change any
+    /// output, only how fast the fixpoint converges.
+    pub rule_cache: bool,
 }
 
 impl Default for ExtractorOptions {
@@ -53,6 +58,7 @@ impl Default for ExtractorOptions {
             dependent_agg: false,
             cost_based: None,
             prefer_lateral: false,
+            rule_cache: true,
         }
     }
 }
@@ -144,6 +150,52 @@ pub struct VarExtraction {
     pub outcome: ExtractionOutcome,
 }
 
+/// Cumulative wall-clock time per pipeline stage, plus the allocation-ish
+/// counters the bench harness tracks (`perf_pipeline`, DESIGN.md "Benchmark
+/// baseline"). All times are nanoseconds. Like [`ExtractionReport::elapsed`],
+/// none of this appears in [`ExtractionReport::render_json`], so reports
+/// remain byte-identical across machines and cache replays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// AST clone + desugaring passes.
+    pub desugar_ns: u64,
+    /// Region tree + D-IR construction (ee-DAG/ve-Map build, including the
+    /// loopToFold F-IR conversion that runs inside the builder).
+    pub dir_ns: u64,
+    /// T1–T7 rule-engine fixpoint.
+    pub rules_ns: u64,
+    /// F-IR → SQL/imp expression generation.
+    pub sqlgen_ns: u64,
+    /// Plan application, dead-code elimination, renumbering.
+    pub rewrite_ns: u64,
+    /// Largest ee-DAG (in nodes) built during this run.
+    pub peak_dag_nodes: u64,
+    /// Rule-engine memo hits: shared subdags skipped within a pass plus
+    /// clean subdags skipped across fixpoint passes.
+    pub rule_cache_hits: u64,
+    /// Rule-engine rewrites actually performed.
+    pub rule_cache_misses: u64,
+}
+
+impl StageTimes {
+    /// Sum of the per-stage times.
+    pub fn total_ns(&self) -> u64 {
+        self.desugar_ns + self.dir_ns + self.rules_ns + self.sqlgen_ns + self.rewrite_ns
+    }
+
+    /// Accumulate another run's counters into this one (peaks take the max).
+    pub fn absorb(&mut self, other: &StageTimes) {
+        self.desugar_ns += other.desugar_ns;
+        self.dir_ns += other.dir_ns;
+        self.rules_ns += other.rules_ns;
+        self.sqlgen_ns += other.sqlgen_ns;
+        self.rewrite_ns += other.rewrite_ns;
+        self.peak_dag_nodes = self.peak_dag_nodes.max(other.peak_dag_nodes);
+        self.rule_cache_hits += other.rule_cache_hits;
+        self.rule_cache_misses += other.rule_cache_misses;
+    }
+}
+
 /// The report for one extraction run.
 #[derive(Debug, Clone)]
 pub struct ExtractionReport {
@@ -159,6 +211,9 @@ pub struct ExtractionReport {
     pub loops_rewritten: usize,
     /// Wall-clock extraction time.
     pub elapsed: Duration,
+    /// Per-stage timing/counter breakdown (see [`StageTimes`]). Excluded
+    /// from the rendered JSON for the same reason as `elapsed`.
+    pub stage: StageTimes,
 }
 
 impl ExtractionReport {
@@ -300,7 +355,7 @@ pub struct Extractor {
 struct LoopCandidate {
     stmt: StmtId,
     /// (var, resolved fold-or-ND node).
-    entries: Vec<(String, NodeId)>,
+    entries: Vec<(intern::Symbol, NodeId)>,
 }
 
 impl Extractor {
@@ -324,13 +379,15 @@ impl Extractor {
         let mut vars = Vec::new();
         let mut diagnostics = Vec::new();
         let mut loops_rewritten = 0;
-        let names: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+        let mut stage = StageTimes::default();
+        let names: Vec<intern::Symbol> = program.functions.iter().map(|f| f.name).collect();
         for name in names {
             let r = self.extract_function(&out, &name);
             out = r.program;
             vars.extend(r.vars);
             diagnostics.extend(r.diagnostics);
             loops_rewritten += r.loops_rewritten;
+            stage.absorb(&r.stage);
         }
         dedup_sort(&mut diagnostics);
         ExtractionReport {
@@ -339,6 +396,7 @@ impl Extractor {
             diagnostics,
             loops_rewritten,
             elapsed: started.elapsed(),
+            stage,
         }
     }
 
@@ -346,6 +404,7 @@ impl Extractor {
     /// rewritten (other functions untouched).
     pub fn extract_function(&self, program: &Program, fname: &str) -> ExtractionReport {
         let started = Instant::now();
+        let mut stage = StageTimes::default();
         let mut work = program.clone();
         imp::desugar::normalize_minmax(&mut work);
         imp::desugar::normalize_bool_flags(&mut work);
@@ -355,6 +414,7 @@ impl Extractor {
             }
             work.renumber();
         }
+        stage.desugar_ns = started.elapsed().as_nanos() as u64;
         let Some(f) = work.function(fname).cloned() else {
             return ExtractionReport {
                 program: work,
@@ -362,11 +422,13 @@ impl Extractor {
                 diagnostics: Vec::new(),
                 loops_rewritten: 0,
                 elapsed: started.elapsed(),
+                stage,
             };
         };
 
         // Build D-IR over the region hierarchy, collecting per-loop fold
         // expressions resolved against everything preceding the loop.
+        let dir_started = Instant::now();
         let tree = RegionTree::build(&f);
         let mut builder =
             DirBuilder::new(&work, &self.catalog).with_fir_options(crate::fir::FirOptions {
@@ -382,8 +444,9 @@ impl Extractor {
             &f,
             &mut candidates,
         );
-        let fold_notes = builder.fold_notes.clone();
+        let fold_notes = std::mem::take(&mut builder.fold_notes);
         let mut dag = builder.into_dag();
+        stage.dir_ns = dir_started.elapsed().as_nanos() as u64;
 
         let du_ctx = analysis::DefUseCtx {
             pure_functions: analysis::purity::pure_user_functions(&work),
@@ -405,7 +468,7 @@ impl Extractor {
             // drop the early exit.
             let has_side_effects = loop_has_external_write(&f, cand.stmt, &du_ctx)
                 || loop_has_function_exit(&f, cand.stmt);
-            let mut assigns: Vec<(String, Expr)> = Vec::new();
+            let mut assigns: Vec<(intern::Symbol, Expr)> = Vec::new();
             let mut loop_ok = true;
             let mut loop_vars: Vec<VarExtraction> = Vec::new();
             for (var, node) in &cand.entries {
@@ -430,7 +493,7 @@ impl Extractor {
                                 format!("value of `{var}` after this loop is not algebraic"),
                             )
                             .with_primary_label("loop could not be converted to a fold")
-                            .with_var(var.clone())
+                            .with_var(*var)
                             .with_pass("fir")
                         })
                         .with_function(fname);
@@ -444,10 +507,18 @@ impl Extractor {
                             prefer_lateral: self.opts.prefer_lateral,
                         },
                     );
+                    engine.cache_enabled = self.opts.rule_cache;
                     fir = Some(dag.display(*node));
+                    let rules_started = Instant::now();
                     let transformed = engine.transform(&mut dag, *node);
+                    stage.rules_ns += rules_started.elapsed().as_nanos() as u64;
+                    stage.rule_cache_hits += engine.cache_hits;
+                    stage.rule_cache_misses += engine.cache_misses;
                     rule_trace = engine.trace.iter().map(|r| r.to_string()).collect();
-                    match node_to_imp(&dag, transformed, self.opts.dialect) {
+                    let sqlgen_started = Instant::now();
+                    let lowered = node_to_imp(&dag, transformed, self.opts.dialect);
+                    stage.sqlgen_ns += sqlgen_started.elapsed().as_nanos() as u64;
+                    match lowered {
                         Ok(expr) => {
                             sql = collect_sql(&expr);
                             replacement = Some(imp::pretty::pretty_expr(&expr));
@@ -463,14 +534,14 @@ impl Extractor {
                                         ),
                                     )
                                     .with_primary_label("rewrite declined for this loop")
-                                    .with_var(var.clone())
+                                    .with_var(*var)
                                     .with_function(fname)
                                     .with_pass("extract"),
                                 );
                                 loop_ok = false;
                             } else {
                                 outcome = ExtractionOutcome::Extracted;
-                                assigns.push((var.clone(), expr));
+                                assigns.push((*var, expr));
                             }
                         }
                         Err(err) => {
@@ -482,7 +553,7 @@ impl Extractor {
                             .with_primary_label(format!(
                                 "no SQL equivalent for the fold computing `{var}`"
                             ))
-                            .with_var(var.clone())
+                            .with_var(*var)
                             .with_function(fname)
                             .with_pass("sqlgen");
                             for m in &engine.misses {
@@ -500,7 +571,7 @@ impl Extractor {
                                         ),
                                     )
                                     .with_primary_label("while matching this loop's fold")
-                                    .with_var(var.clone())
+                                    .with_var(*var)
                                     .with_function(fname)
                                     .with_pass("rules"),
                                 );
@@ -513,7 +584,7 @@ impl Extractor {
                 loop_vars.push(VarExtraction {
                     function: fname.to_string(),
                     loop_stmt: cand.stmt,
-                    var: var.clone(),
+                    var: var.to_string(),
                     sql,
                     replacement,
                     fir,
@@ -584,12 +655,15 @@ impl Extractor {
             vars_report.extend(loop_vars);
         }
 
+        let rewrite_started = Instant::now();
         let mut new_f = f.clone();
         let loops_rewritten = apply_plans(&mut new_f, &plans);
         if let Some(slot) = work.function_mut(fname) {
             *slot = new_f;
         }
         work.renumber();
+        stage.rewrite_ns = rewrite_started.elapsed().as_nanos() as u64;
+        stage.peak_dag_nodes = dag.len() as u64;
         dedup_sort(&mut diagnostics);
         ExtractionReport {
             program: work,
@@ -597,6 +671,7 @@ impl Extractor {
             diagnostics,
             loops_rewritten,
             elapsed: started.elapsed(),
+            stage,
         }
     }
 }
@@ -611,11 +686,11 @@ fn collect(
     f: &Function,
     out: &mut Vec<LoopCandidate>,
 ) -> VeMap {
-    match tree.region(rid).kind.clone() {
+    match &tree.region(rid).kind {
         RegionKind::Sequential { children } => {
             let mut running = prefix;
             for c in children {
-                running = collect(builder, tree, c, running, f, out);
+                running = collect(builder, tree, *c, running, f, out);
             }
             running
         }
@@ -626,8 +701,8 @@ fn collect(
         } => {
             // Collect loop plans nested in the branches with the prefix at
             // the branch entry, then merge the conditional's own ve.
-            let _ = collect(builder, tree, then_region, prefix.clone(), f, out);
-            let _ = collect(builder, tree, else_region, prefix.clone(), f, out);
+            let _ = collect(builder, tree, *then_region, prefix.clone(), f, out);
+            let _ = collect(builder, tree, *else_region, prefix.clone(), f, out);
             let ve = builder.region_ve(tree, rid, f);
             builder.merge_with(prefix, ve)
         }
@@ -636,10 +711,10 @@ fn collect(
             let mut entries = Vec::new();
             for (v, n) in &ve {
                 let resolved = builder.dag.substitute_inputs(*n, &prefix);
-                entries.push((v.clone(), resolved));
+                entries.push((*v, resolved));
             }
             out.push(LoopCandidate {
-                stmt: stmt_id,
+                stmt: *stmt_id,
                 entries,
             });
             builder.merge_with(prefix, ve)

@@ -31,6 +31,8 @@
 
 use std::collections::BTreeSet;
 
+use intern::Symbol;
+
 use analysis::ddg::{Ddg, DepKind};
 use analysis::defuse::DefUseCtx;
 use analysis::diag::{Code, Diagnostic};
@@ -45,7 +47,7 @@ use crate::eedag::{EeDag, Node, NodeId, VeMap};
 #[derive(Debug)]
 pub struct FoldAttempt {
     /// The accumulated variable.
-    pub var: String,
+    pub var: Symbol,
     /// The fold node, or the diagnostic explaining why conversion failed.
     pub node: Result<NodeId, Diagnostic>,
 }
@@ -68,7 +70,7 @@ pub fn loop_to_fold(
     dag: &mut EeDag,
     body_ve: &VeMap,
     body: &Block,
-    cursor: &str,
+    cursor: Symbol,
     source: NodeId,
     loop_stmt: StmtId,
     loop_span: Span,
@@ -85,21 +87,17 @@ pub fn loop_to_fold(
             .with_note("loops must run to completion to become folds (paper Sec. 2)")
             .with_pass("fir");
         for var in body_ve.keys() {
-            if var != cursor {
+            if *var != cursor {
                 out.push(FoldAttempt {
-                    var: var.clone(),
-                    node: Err(diag.clone().with_var(var)),
+                    var: *var,
+                    node: Err(diag.clone().with_var(var.as_str())),
                 });
             }
         }
         return out;
     }
     let ddg = Ddg::build_with(body, cursor, &BTreeSet::new(), ctx);
-    let updated: Vec<String> = body_ve
-        .keys()
-        .filter(|v| v.as_str() != cursor)
-        .cloned()
-        .collect();
+    let updated: Vec<Symbol> = body_ve.keys().filter(|v| **v != cursor).copied().collect();
     for var in &updated {
         let cx = ConvertCx {
             body,
@@ -108,19 +106,16 @@ pub fn loop_to_fold(
             source,
             loop_stmt,
         };
-        let node = convert_var(dag, body_ve, &ddg, &cx, var, &updated).or_else(|err| {
+        let node = convert_var(dag, body_ve, &ddg, &cx, *var, &updated).or_else(|err| {
             if opts.dependent_agg
                 && matches!(err.code, Code::NoAccumulation | Code::ExtraLoopDependence)
             {
-                try_dependent_agg(dag, body_ve, &ddg, cursor, source, loop_stmt, var).ok_or(err)
+                try_dependent_agg(dag, body_ve, &ddg, cursor, source, loop_stmt, *var).ok_or(err)
             } else {
                 Err(err)
             }
         });
-        out.push(FoldAttempt {
-            var: var.clone(),
-            node,
-        });
+        out.push(FoldAttempt { var: *var, node });
     }
     out
 }
@@ -129,7 +124,7 @@ pub fn loop_to_fold(
 struct ConvertCx<'a> {
     body: &'a Block,
     loop_span: Span,
-    cursor: &'a str,
+    cursor: Symbol,
     source: NodeId,
     loop_stmt: StmtId,
 }
@@ -163,13 +158,13 @@ fn try_dependent_agg(
     dag: &mut EeDag,
     body_ve: &VeMap,
     ddg: &Ddg,
-    cursor: &str,
+    cursor: Symbol,
     source: NodeId,
     loop_stmt: StmtId,
-    w: &str,
+    w: Symbol,
 ) -> Option<NodeId> {
     // w's per-iteration value: ?[cond, g(t), w₀].
-    let w_expr = *body_ve.get(w)?;
+    let w_expr = *body_ve.get(&w)?;
     let Node::Cond {
         cond,
         then_val: g,
@@ -178,7 +173,7 @@ fn try_dependent_agg(
     else {
         return None;
     };
-    if !matches!(dag.node(else_val), Node::Input(n) if n == w) {
+    if !matches!(dag.node(else_val), Node::Input(n) if *n == w) {
         return None;
     }
     // The condition must be a strict comparison of a tuple expression
@@ -225,8 +220,8 @@ fn try_dependent_agg(
     }
     // key/g over the tuple parameter; they must not read v or w themselves.
     let mut subs = VeMap::new();
-    let tup = dag.intern(Node::TupleParam(cursor.to_string()));
-    subs.insert(cursor.to_string(), tup);
+    let tup = dag.intern(Node::TupleParam(cursor));
+    subs.insert(cursor, tup);
     let key_t = dag.substitute_inputs(key, &subs);
     let g_t = dag.substitute_inputs(g, &subs);
     for n in [key_t, g_t] {
@@ -234,11 +229,11 @@ fn try_dependent_agg(
             return None;
         }
         let inputs = dag.inputs_of(n);
-        if inputs.iter().any(|i| i == &v_name || i == w) {
+        if inputs.iter().any(|i| *i == v_name || *i == w) {
             return None;
         }
     }
-    let v_init = dag.input(&v_name);
+    let v_init = dag.input(v_name);
     let w_init = dag.input(w);
     Some(dag.intern(Node::ArgExtreme {
         source,
@@ -247,8 +242,8 @@ fn try_dependent_agg(
         value: g_t,
         v_init,
         w_init,
-        cursor: cursor.to_string(),
-        origin: (loop_stmt, w.to_string()),
+        cursor,
+        origin: (loop_stmt, w),
     }))
 }
 
@@ -257,15 +252,15 @@ fn convert_var(
     body_ve: &VeMap,
     ddg: &Ddg,
     cx: &ConvertCx<'_>,
-    var: &str,
-    all_updated: &[String],
+    var: Symbol,
+    all_updated: &[Symbol],
 ) -> Result<NodeId, Diagnostic> {
     let fail = |code: Code, span: Span, msg: String| {
         Err(Diagnostic::new(code, span, msg)
-            .with_var(var)
+            .with_var(var.as_str())
             .with_pass("fir"))
     };
-    let expr = *body_ve.get(var).expect("var must be in body ve-Map");
+    let expr = *body_ve.get(&var).expect("var must be in body ve-Map");
     let slice = slice_for_var(ddg, var);
     if slice.is_empty() {
         return fail(
@@ -289,7 +284,7 @@ fn convert_var(
             format!("P3: external write within slice for {var}"),
         )
         .with_primary_label("this statement writes external state")
-        .with_var(var)
+        .with_var(var.as_str())
         .with_pass("fir")
         .with_note("precondition P3: the variable's slice must be free of external effects");
         for w in writers.iter().skip(1) {
@@ -313,7 +308,7 @@ fn convert_var(
             ),
         )
         .with_primary_label(format!("{var} is overwritten, not accumulated"))
-        .with_var(var)
+        .with_var(var.as_str())
         .with_pass("fir")
         .with_note("precondition P1: the update must read the previous iteration's value"));
     }
@@ -330,7 +325,7 @@ fn convert_var(
             )
             .with_primary_label(format!("{} is written here on one iteration …", e.var))
             .with_label(cx.span_of(e.reader), "… and read here on the next")
-            .with_var(var)
+            .with_var(var.as_str())
             .with_pass("fir")
             .with_note(
                 "precondition P2: only the accumulator itself (and the cursor) may \
@@ -355,17 +350,17 @@ fn convert_var(
     // Build e'_acc: ⟨v⟩ for the iteration-start value of var, ⟨t⟩ for the
     // cursor tuple.
     let mut subs = VeMap::new();
-    let acc = dag.intern(Node::AccParam(var.to_string()));
-    let tup = dag.intern(Node::TupleParam(cx.cursor.to_string()));
-    subs.insert(var.to_string(), acc);
-    subs.insert(cx.cursor.to_string(), tup);
+    let acc = dag.intern(Node::AccParam(var));
+    let tup = dag.intern(Node::TupleParam(cx.cursor));
+    subs.insert(var, acc);
+    subs.insert(cx.cursor, tup);
     let func = dag.substitute_inputs(expr, &subs);
 
     // Safety net: the folding function must not read any *other*
     // loop-updated variable's iteration-start value (P2 should have caught
     // this; an Input surviving here would silently capture a stale value).
     for w in all_updated {
-        if w != var && dag.inputs_of(func).contains(w) {
+        if *w != var && dag.inputs_of(func).contains(w) {
             return fail(
                 Code::ExtraLoopDependence,
                 cx.first_span(&sacc),
@@ -386,8 +381,8 @@ fn convert_var(
         func,
         init,
         source: cx.source,
-        cursor: cx.cursor.to_string(),
-        origin: (cx.loop_stmt, var.to_string()),
+        cursor: cx.cursor,
+        origin: (cx.loop_stmt, var),
     }))
 }
 

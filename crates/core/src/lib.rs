@@ -36,7 +36,7 @@ pub mod sqlgen;
 
 pub use costing::{DbStats, RewriteDecision};
 pub use extract::{
-    ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions, VarExtraction,
+    ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions, StageTimes, VarExtraction,
 };
 pub use lint::lint_program;
 pub use rules::RuleMiss;

@@ -4,6 +4,8 @@
 
 use std::collections::BTreeSet;
 
+use intern::Symbol;
+
 use analysis::deadcode::eliminate_dead_code;
 use imp::ast::{Block, Expr, Function, Stmt, StmtId, StmtKind};
 
@@ -13,14 +15,14 @@ pub struct RewritePlan {
     /// The `ForEach` statement to replace.
     pub loop_stmt: StmtId,
     /// Replacement assignments, in order.
-    pub assigns: Vec<(String, Expr)>,
+    pub assigns: Vec<(Symbol, Expr)>,
 }
 
 /// Check that every variable in `inputs` is safe to reference at the loop
 /// site: it must be a function parameter or otherwise never (re)assigned
 /// before the loop, because extracted expressions are phrased over
 /// *function-entry* values.
-pub fn inputs_safe(f: &Function, loop_stmt: StmtId, inputs: &[String]) -> bool {
+pub fn inputs_safe(f: &Function, loop_stmt: StmtId, inputs: &[Symbol]) -> bool {
     let mut assigned = BTreeSet::new();
     let reached = scan_before(&f.body, loop_stmt, &mut assigned);
     debug_assert!(reached, "loop statement must be inside the function");
@@ -29,20 +31,20 @@ pub fn inputs_safe(f: &Function, loop_stmt: StmtId, inputs: &[String]) -> bool {
 
 /// Collect variables assigned before `target` in program order; returns
 /// true when `target` was found.
-fn scan_before(b: &Block, target: StmtId, assigned: &mut BTreeSet<String>) -> bool {
+fn scan_before(b: &Block, target: StmtId, assigned: &mut BTreeSet<Symbol>) -> bool {
     for s in &b.stmts {
         if s.id == target {
             return true;
         }
         match &s.kind {
             StmtKind::Assign { target: t, .. } => {
-                assigned.insert(t.clone());
+                assigned.insert(*t);
             }
             StmtKind::Expr(Expr::MethodCall { recv, name, .. })
                 if analysis::defuse::MUTATING_METHODS.contains(&name.as_str()) =>
             {
                 if let Expr::Var(v) = recv.as_ref() {
-                    assigned.insert(v.clone());
+                    assigned.insert(*v);
                 }
             }
             StmtKind::If {
@@ -61,7 +63,7 @@ fn scan_before(b: &Block, target: StmtId, assigned: &mut BTreeSet<String>) -> bo
                 if scan_before(body, target, assigned) {
                     return true;
                 }
-                assigned.insert(var.clone());
+                assigned.insert(*var);
                 // Conservatively include everything the loop assigns.
                 for inner in analysis_defs(body) {
                     assigned.insert(inner);
@@ -81,7 +83,7 @@ fn scan_before(b: &Block, target: StmtId, assigned: &mut BTreeSet<String>) -> bo
     false
 }
 
-fn analysis_defs(b: &Block) -> Vec<String> {
+fn analysis_defs(b: &Block) -> Vec<Symbol> {
     let mut out = Vec::new();
     for s in &b.stmts {
         let du = analysis::defuse::DefUse::of_stmt_recursive(s);
@@ -115,7 +117,7 @@ fn replace_in_block(b: &mut Block, plan: &RewritePlan) -> bool {
                 .map(|(v, e)| Stmt {
                     id: StmtId(u32::MAX), // renumbered by the caller
                     kind: StmtKind::Assign {
-                        target: v.clone(),
+                        target: *v,
                         value: e.clone(),
                     },
                     span,
@@ -154,8 +156,8 @@ mod tests {
             .unwrap();
         let f = &p.functions[0];
         let loop_id = f.body.stmts[1].id;
-        assert!(!inputs_safe(f, loop_id, &["x".to_string()]));
-        assert!(inputs_safe(f, loop_id, &["q".to_string()]));
+        assert!(!inputs_safe(f, loop_id, &[Symbol::intern("x")]));
+        assert!(inputs_safe(f, loop_id, &[Symbol::intern("q")]));
     }
 
     #[test]
@@ -164,7 +166,7 @@ mod tests {
             parse_program("fn f(x) { for (t in q) { s = s + t.a; } x = 0; return s; }").unwrap();
         let f = &p.functions[0];
         let loop_id = f.body.stmts[0].id;
-        assert!(inputs_safe(f, loop_id, &["x".to_string()]));
+        assert!(inputs_safe(f, loop_id, &[Symbol::intern("x")]));
     }
 
     #[test]
@@ -182,7 +184,7 @@ mod tests {
         let plan = RewritePlan {
             loop_stmt: loop_id,
             assigns: vec![(
-                "s".to_string(),
+                Symbol::intern("s"),
                 Expr::call(
                     "executeScalar",
                     vec![Expr::str("SELECT COALESCE(SUM(x), 0) AS agg0 FROM t")],

@@ -24,13 +24,15 @@
 //! function into the query, so the system is confluent and terminating; a
 //! pass cap is kept as a defensive bound.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+use intern::Symbol;
 
 use algebra::ra::{AggCall, AggFunc, ProjItem, RaExpr};
 use algebra::scalar::{BinOp, ColRef, Lit, Scalar, ScalarFunc, UnOp};
 use algebra::schema::Catalog;
 
-use crate::eedag::{EeDag, Node, NodeId, OpKind};
+use crate::eedag::{EeDag, Node, NodeId, NodeList, OpKind};
 
 /// Options controlling rule application.
 #[derive(Debug, Clone)]
@@ -79,6 +81,18 @@ pub struct RuleEngine<'c> {
     /// rule application runs to fixpoint, so the same miss can recur).
     pub misses: Vec<RuleMiss>,
     fresh: usize,
+    /// Nodes known to be in normal form: a previous pass rebuilt them to
+    /// themselves, and rewriting is a pure function of the subdag (catalog
+    /// and options fixed), so no later pass can fire a rule on them either.
+    /// Persists across the fixpoint passes of [`RuleEngine::transform`].
+    clean: HashSet<NodeId>,
+    /// When `false`, the clean-set cache is bypassed (regression-testing
+    /// hook: cached and uncached rewrites must agree).
+    pub cache_enabled: bool,
+    /// Subtrees skipped because they were already in normal form.
+    pub cache_hits: u64,
+    /// Nodes that actually went through rule matching.
+    pub cache_misses: u64,
 }
 
 impl<'c> RuleEngine<'c> {
@@ -90,6 +104,10 @@ impl<'c> RuleEngine<'c> {
             trace: Vec::new(),
             misses: Vec::new(),
             fresh: 0,
+            clean: HashSet::new(),
+            cache_enabled: true,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -131,17 +149,50 @@ impl<'c> RuleEngine<'c> {
         memo: &mut HashMap<NodeId, NodeId>,
     ) -> NodeId {
         if let Some(r) = memo.get(&id) {
+            // A shared subdag already rewritten this pass (the ee-DAG is
+            // hash-consed, so diamond sharing is the common case).
+            if self.cache_enabled {
+                self.cache_hits += 1;
+            }
             return *r;
         }
+        if self.cache_enabled && self.clean.contains(&id) {
+            self.cache_hits += 1;
+            return id;
+        }
+        // Leaf fast path: nothing to rewrite, no clone needed.
+        match dag.node(id) {
+            Node::Const(_)
+            | Node::Input(_)
+            | Node::AccParam(_)
+            | Node::TupleParam(_)
+            | Node::EmptyColl(_)
+            | Node::NotDetermined
+            | Node::Loop { .. }
+            | Node::Opaque { .. } => {
+                memo.insert(id, id);
+                return id;
+            }
+            _ => {}
+        }
+        self.cache_misses += 1;
         let node = dag.node(id).clone();
         let rebuilt = match node {
             Node::FieldOf { base, field } => {
                 let b = self.rewrite(dag, base, memo);
-                dag.intern(Node::FieldOf { base: b, field })
+                if b == base {
+                    id
+                } else {
+                    dag.intern(Node::FieldOf { base: b, field })
+                }
             }
-            Node::Op { op, args } => {
-                let new: Vec<NodeId> = args.iter().map(|a| self.rewrite(dag, *a, memo)).collect();
-                let n = dag.intern(Node::Op { op, args: new });
+            Node::Op { op, ref args } => {
+                let new: NodeList = args.iter().map(|a| self.rewrite(dag, *a, memo)).collect();
+                let n = if new == *args {
+                    id
+                } else {
+                    dag.intern(Node::Op { op, args: new })
+                };
                 self.simplify_op(dag, n)
             }
             Node::Cond {
@@ -152,19 +203,31 @@ impl<'c> RuleEngine<'c> {
                 let c = self.rewrite(dag, cond, memo);
                 let t = self.rewrite(dag, then_val, memo);
                 let e = self.rewrite(dag, else_val, memo);
-                dag.intern(Node::Cond {
-                    cond: c,
-                    then_val: t,
-                    else_val: e,
-                })
+                if c == cond && t == then_val && e == else_val {
+                    id
+                } else {
+                    dag.intern(Node::Cond {
+                        cond: c,
+                        then_val: t,
+                        else_val: e,
+                    })
+                }
             }
-            Node::Query { ra, params } => {
-                let new: Vec<NodeId> = params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
-                dag.intern(Node::Query { ra, params: new })
+            Node::Query { ra, ref params } => {
+                let new: NodeList = params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
+                if new == *params {
+                    id
+                } else {
+                    dag.intern(Node::Query { ra, params: new })
+                }
             }
-            Node::ScalarQuery { ra, params } => {
-                let new: Vec<NodeId> = params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
-                dag.intern(Node::ScalarQuery { ra, params: new })
+            Node::ScalarQuery { ra, ref params } => {
+                let new: NodeList = params.iter().map(|p| self.rewrite(dag, *p, memo)).collect();
+                if new == *params {
+                    id
+                } else {
+                    dag.intern(Node::ScalarQuery { ra, params: new })
+                }
             }
             Node::Fold {
                 func,
@@ -176,13 +239,17 @@ impl<'c> RuleEngine<'c> {
                 let f = self.rewrite(dag, func, memo);
                 let i = self.rewrite(dag, init, memo);
                 let s = self.rewrite(dag, source, memo);
-                let fold = dag.intern(Node::Fold {
-                    func: f,
-                    init: i,
-                    source: s,
-                    cursor,
-                    origin,
-                });
+                let fold = if f == func && i == init && s == source {
+                    id
+                } else {
+                    dag.intern(Node::Fold {
+                        func: f,
+                        init: i,
+                        source: s,
+                        cursor,
+                        origin,
+                    })
+                };
                 match self.try_fold_rules(dag, fold) {
                     Some(n) => n,
                     None => fold,
@@ -201,16 +268,20 @@ impl<'c> RuleEngine<'c> {
                 let s = self.rewrite(dag, source, memo);
                 let vi = self.rewrite(dag, v_init, memo);
                 let wi = self.rewrite(dag, w_init, memo);
-                let node = dag.intern(Node::ArgExtreme {
-                    source: s,
-                    is_max,
-                    key,
-                    value,
-                    v_init: vi,
-                    w_init: wi,
-                    cursor: cursor.clone(),
-                    origin,
-                });
+                let node = if s == source && vi == v_init && wi == w_init {
+                    id
+                } else {
+                    dag.intern(Node::ArgExtreme {
+                        source: s,
+                        is_max,
+                        key,
+                        value,
+                        v_init: vi,
+                        w_init: wi,
+                        cursor,
+                        origin,
+                    })
+                };
                 match self.try_arg_extreme(dag, node) {
                     Some(n) => n,
                     None => node,
@@ -218,6 +289,11 @@ impl<'c> RuleEngine<'c> {
             }
             _ => id,
         };
+        if rebuilt == id && self.cache_enabled {
+            // Rebuilt to itself: the whole subdag is in normal form and can
+            // be skipped by every later pass.
+            self.clean.insert(id);
+        }
         memo.insert(id, rebuilt);
         rebuilt
     }
@@ -262,7 +338,7 @@ impl<'c> RuleEngine<'c> {
             Node::Query { ra, params } => (ra, params),
             _ => return None,
         };
-        let var = origin.1.clone();
+        let var = origin.1;
 
         // Conditional min/max normalization (paper Sec. 4.2): the merged
         // D-IR form `?[x > y, x, y]` *is* `max(x, y)` (and `<` is `min`) —
@@ -320,7 +396,7 @@ impl<'c> RuleEngine<'c> {
             else_val,
         } = dag.node(func).clone()
         {
-            let acc = dag.intern(Node::AccParam(var.clone()));
+            let acc = dag.intern(Node::AccParam(var));
             let (g, pred_node, negate) = if else_val == acc {
                 (then_val, cond, false)
             } else if then_val == acc {
@@ -329,8 +405,8 @@ impl<'c> RuleEngine<'c> {
                 (NodeId(u32::MAX), cond, false)
             };
             if g != NodeId(u32::MAX) {
-                let mut sb = ScalarBuild::new(dag, self.catalog, qp.clone());
-                sb.bind_tuple(&cursor, None);
+                let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
+                sb.bind_tuple(cursor, None);
                 match sb.to_scalar(pred_node) {
                     Some(mut pred) => {
                         if negate {
@@ -338,7 +414,10 @@ impl<'c> RuleEngine<'c> {
                         }
                         let params = sb.params;
                         let new_q = q.clone().select(pred);
-                        let new_src = dag.intern(Node::Query { ra: new_q, params });
+                        let new_src = dag.intern(Node::Query {
+                            ra: new_q,
+                            params: params.into(),
+                        });
                         self.trace.push("T2");
                         let out = dag.intern(Node::Fold {
                             func: g,
@@ -359,7 +438,7 @@ impl<'c> RuleEngine<'c> {
 
         // Collection-building folds.
         if let Node::Op { op, args } = dag.node(func).clone() {
-            let acc = dag.intern(Node::AccParam(var.clone()));
+            let acc = dag.intern(Node::AccParam(var));
             if matches!(op, OpKind::Append | OpKind::Insert | OpKind::MultisetInsert)
                 && args.len() == 2
                 && args[0] == acc
@@ -378,26 +457,26 @@ impl<'c> RuleEngine<'c> {
                 // Sec. 5.3) — the option picks which to try first.
                 if self.opts.prefer_lateral {
                     if let Some(n) =
-                        self.try_outer_apply(dag, &q, &qp, &cursor, elem, is_set, ordered, init)
+                        self.try_outer_apply(dag, &q, &qp, cursor, elem, is_set, ordered, init)
                     {
                         return Some(n);
                     }
-                    if let Some(n) = self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init) {
+                    if let Some(n) = self.try_group_by(dag, &q, &qp, cursor, elem, is_set, init) {
                         return Some(n);
                     }
                 } else {
-                    if let Some(n) = self.try_group_by(dag, &q, &qp, &cursor, elem, is_set, init) {
+                    if let Some(n) = self.try_group_by(dag, &q, &qp, cursor, elem, is_set, init) {
                         return Some(n);
                     }
                     if let Some(n) =
-                        self.try_outer_apply(dag, &q, &qp, &cursor, elem, is_set, ordered, init)
+                        self.try_outer_apply(dag, &q, &qp, cursor, elem, is_set, ordered, init)
                     {
                         return Some(n);
                     }
                 }
                 // T1/T3: plain projection.
                 if let Some(n) =
-                    self.try_projection(dag, &q, &qp, &cursor, elem, is_set, ordered, init)
+                    self.try_projection(dag, &q, &qp, cursor, elem, is_set, ordered, init)
                 {
                     return Some(n);
                 }
@@ -413,7 +492,7 @@ impl<'c> RuleEngine<'c> {
                     (2, args[0])
                 };
                 if acc_pos < 2 {
-                    if let Some(n) = self.try_scalar_agg(dag, &q, &qp, &cursor, op, e, init, &var) {
+                    if let Some(n) = self.try_scalar_agg(dag, &q, &qp, cursor, op, e, init, var) {
                         return Some(n);
                     }
                 }
@@ -429,10 +508,10 @@ impl<'c> RuleEngine<'c> {
             ..
         } = dag.node(func).clone()
         {
-            let acc = dag.intern(Node::AccParam(var.clone()));
+            let acc = dag.intern(Node::AccParam(var));
             if iinit == acc {
                 if let Some(n) =
-                    self.try_join(dag, &q, &qp, &cursor, ifunc, isrc, &icursor, &var, init)
+                    self.try_join(dag, &q, &qp, cursor, ifunc, isrc, icursor, var, init)
                 {
                     return Some(n);
                 }
@@ -448,7 +527,7 @@ impl<'c> RuleEngine<'c> {
         dag: &mut EeDag,
         q: &RaExpr,
         qp: &[NodeId],
-        cursor: &str,
+        cursor: Symbol,
         elem: NodeId,
         is_set: bool,
         ordered: bool,
@@ -459,12 +538,12 @@ impl<'c> RuleEngine<'c> {
         }
         // Whole-tuple append: the collection is the query result itself
         // (T1.1/T1.2 verbatim).
-        if matches!(dag.node(elem), Node::TupleParam(c) if c == cursor) {
+        if matches!(dag.node(elem), Node::TupleParam(c) if *c == cursor) {
             let ra = if is_set { q.clone().dedup() } else { q.clone() };
             self.trace.push(if is_set { "T1.2" } else { "T1.1" });
             return Some(dag.intern(Node::Query {
                 ra,
-                params: qp.to_vec(),
+                params: qp.to_vec().into(),
             }));
         }
         let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
@@ -490,7 +569,10 @@ impl<'c> RuleEngine<'c> {
         }
         let _ = ordered; // π preserves order; nothing extra needed.
         self.trace.push("T1+T3");
-        Some(dag.intern(Node::Query { ra, params }))
+        Some(dag.intern(Node::Query {
+            ra,
+            params: params.into(),
+        }))
     }
 
     /// T4: nested cursor loops flattening into a join.
@@ -500,11 +582,11 @@ impl<'c> RuleEngine<'c> {
         dag: &mut EeDag,
         q1: &RaExpr,
         q1p: &[NodeId],
-        outer_cursor: &str,
+        outer_cursor: Symbol,
         inner_func: NodeId,
         inner_source: NodeId,
-        inner_cursor: &str,
-        var: &str,
+        inner_cursor: Symbol,
+        var: Symbol,
         init: NodeId,
     ) -> Option<NodeId> {
         if !self.init_is_empty_coll(dag, init) {
@@ -519,7 +601,7 @@ impl<'c> RuleEngine<'c> {
                 cond,
                 then_val,
                 else_val,
-            } if matches!(dag.node(else_val), Node::AccParam(v) if v == var) => {
+            } if matches!(dag.node(else_val), Node::AccParam(v) if *v == var) => {
                 (then_val, Some(cond))
             }
             _ => (inner_func, None),
@@ -528,7 +610,7 @@ impl<'c> RuleEngine<'c> {
             Node::Op { op, args }
                 if matches!(op, OpKind::Append | OpKind::Insert | OpKind::MultisetInsert)
                     && args.len() == 2
-                    && matches!(dag.node(args[0]), Node::AccParam(v) if v == var) =>
+                    && matches!(dag.node(args[0]), Node::AccParam(v) if *v == var) =>
             {
                 (args[1], op == OpKind::Insert, op == OpKind::Append)
             }
@@ -606,7 +688,10 @@ impl<'c> RuleEngine<'c> {
         } else {
             "T4.3"
         });
-        Some(dag.intern(Node::Query { ra, params }))
+        Some(dag.intern(Node::Query {
+            ra,
+            params: params.into(),
+        }))
     }
 
     /// T5.1/T6: scalar aggregation, including the EXISTS/NOT-EXISTS
@@ -617,11 +702,11 @@ impl<'c> RuleEngine<'c> {
         dag: &mut EeDag,
         q: &RaExpr,
         qp: &[NodeId],
-        cursor: &str,
+        cursor: Symbol,
         op: OpKind,
         e: NodeId,
         init: NodeId,
-        _var: &str,
+        _var: Symbol,
     ) -> Option<NodeId> {
         let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
         sb.bind_tuple(cursor, None);
@@ -643,7 +728,10 @@ impl<'c> RuleEngine<'c> {
                     }
                 };
                 let ra = q.clone().aggregate(vec![AggCall::new(agg, arg, "agg0")]);
-                let sq = dag.intern(Node::ScalarQuery { ra, params });
+                let sq = dag.intern(Node::ScalarQuery {
+                    ra,
+                    params: params.into(),
+                });
                 self.trace.push(label);
                 // T6: combine with the initial value; COALESCE restores the
                 // imperative identity on empty inputs.
@@ -681,7 +769,10 @@ impl<'c> RuleEngine<'c> {
                     Scalar::int(1),
                     "agg0",
                 )]);
-                let sq = dag.intern(Node::ScalarQuery { ra, params });
+                let sq = dag.intern(Node::ScalarQuery {
+                    ra,
+                    params: params.into(),
+                });
                 let zero = dag.int(0);
                 let gt = dag.op(OpKind::Gt, vec![sq, zero]);
                 self.trace.push("EXISTS");
@@ -702,7 +793,10 @@ impl<'c> RuleEngine<'c> {
                     Scalar::int(1),
                     "agg0",
                 )]);
-                let sq = dag.intern(Node::ScalarQuery { ra, params });
+                let sq = dag.intern(Node::ScalarQuery {
+                    ra,
+                    params: params.into(),
+                });
                 let zero = dag.int(0);
                 let eq = dag.op(OpKind::Eq, vec![sq, zero]);
                 self.trace.push("NOT-EXISTS");
@@ -722,7 +816,7 @@ impl<'c> RuleEngine<'c> {
         dag: &mut EeDag,
         q1: &RaExpr,
         q1p: &[NodeId],
-        cursor: &str,
+        cursor: Symbol,
         elem: NodeId,
         is_set: bool,
         init: NodeId,
@@ -835,7 +929,10 @@ impl<'c> RuleEngine<'c> {
             ra = ra.dedup();
         }
         self.trace.push("T5.2");
-        Some(dag.intern(Node::Query { ra, params }))
+        Some(dag.intern(Node::Query {
+            ra,
+            params: params.into(),
+        }))
     }
 
     /// T7: correlated scalar lookups become an OUTER APPLY chain.
@@ -845,7 +942,7 @@ impl<'c> RuleEngine<'c> {
         dag: &mut EeDag,
         q1: &RaExpr,
         q1p: &[NodeId],
-        cursor: &str,
+        cursor: Symbol,
         elem: NodeId,
         is_set: bool,
         _ordered: bool,
@@ -902,7 +999,10 @@ impl<'c> RuleEngine<'c> {
             ra = ra.dedup();
         }
         self.trace.push("T7");
-        Some(dag.intern(Node::Query { ra, params }))
+        Some(dag.intern(Node::Query {
+            ra,
+            params: params.into(),
+        }))
     }
 
     /// Dependent aggregation (Appendix B): argmax/argmin via
@@ -927,8 +1027,8 @@ impl<'c> RuleEngine<'c> {
             Node::Query { ra, params } => (ra, params),
             _ => return None,
         };
-        let mut sb = ScalarBuild::new(dag, self.catalog, qp);
-        sb.bind_tuple(&cursor, None);
+        let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
+        sb.bind_tuple(cursor, None);
         let key_s = sb.to_scalar(key)?;
         let value_s = sb.to_scalar(value)?;
         let v_init_s = sb.to_scalar(v_init)?;
@@ -944,7 +1044,10 @@ impl<'c> RuleEngine<'c> {
             .sort(vec![order])
             .project(vec![ProjItem::new(value_s, "val")])
             .limit(1);
-        let sq = dag.intern(Node::ScalarQuery { ra, params });
+        let sq = dag.intern(Node::ScalarQuery {
+            ra,
+            params: params.into(),
+        });
         self.trace.push("ARGMAX");
         Some(dag.op(OpKind::Coalesce, vec![sq, w_init]))
     }
@@ -1050,13 +1153,13 @@ fn default_proj_alias(s: &Scalar) -> String {
 
 /// All correlated `ScalarQuery` nodes inside `root` (correlated = at least
 /// one parameter references the given cursor's tuple), in discovery order.
-fn correlated_scalar_queries(dag: &EeDag, root: NodeId, cursor: &str) -> Vec<NodeId> {
+fn correlated_scalar_queries(dag: &EeDag, root: NodeId, cursor: Symbol) -> Vec<NodeId> {
     let mut out = Vec::new();
     dag.walk(root, &mut |id, n| {
         if let Node::ScalarQuery { params, .. } = n {
             let correlated = params
                 .iter()
-                .any(|p| dag.any(*p, |x| matches!(x, Node::TupleParam(c) if c == cursor)));
+                .any(|p| dag.any(*p, |x| matches!(x, Node::TupleParam(c) if *c == cursor)));
             if correlated && !out.contains(&id) {
                 out.push(id);
             }
@@ -1211,10 +1314,10 @@ pub struct ScalarBuild<'d, 'c> {
     dag: &'d EeDag,
     catalog: &'c Catalog,
     /// Cursor → column qualifier bindings.
-    tuples: Vec<(String, Option<String>)>,
+    tuples: Vec<(Symbol, Option<String>)>,
     /// Cursor → (output-column alias → concrete column) maps, used when the
     /// iterated query projected/renamed columns of an underlying table.
-    tuple_maps: HashMap<String, HashMap<String, ColRef>>,
+    tuple_maps: HashMap<Symbol, HashMap<String, ColRef>>,
     /// Node-level replacements (e.g. a subquery that became a join column).
     replacements: HashMap<NodeId, Scalar>,
     /// The parameter slots of the query being built; `Param(i)` refers to
@@ -1238,17 +1341,17 @@ impl<'d, 'c> ScalarBuild<'d, 'c> {
 
     /// Bind a cursor's tuple fields through an explicit alias→column map
     /// (used when the iterated query projected columns of a base table).
-    pub fn bind_tuple_mapped(&mut self, cursor: &str, map: HashMap<String, ColRef>) {
-        self.tuples.retain(|(c, _)| c != cursor);
-        self.tuples.push((cursor.to_string(), None));
-        self.tuple_maps.insert(cursor.to_string(), map);
+    pub fn bind_tuple_mapped(&mut self, cursor: Symbol, map: HashMap<String, ColRef>) {
+        self.tuples.retain(|(c, _)| *c != cursor);
+        self.tuples.push((cursor, None));
+        self.tuple_maps.insert(cursor, map);
     }
 
     /// Bind a cursor variable's tuple to a column qualifier (re-binding
     /// replaces the previous qualifier).
-    pub fn bind_tuple(&mut self, cursor: &str, qualifier: Option<String>) {
-        self.tuples.retain(|(c, _)| c != cursor);
-        self.tuples.push((cursor.to_string(), qualifier));
+    pub fn bind_tuple(&mut self, cursor: Symbol, qualifier: Option<String>) {
+        self.tuples.retain(|(c, _)| *c != cursor);
+        self.tuples.push((cursor, qualifier));
     }
 
     /// Register a node-level replacement.
@@ -1267,12 +1370,12 @@ impl<'d, 'c> ScalarBuild<'d, 'c> {
             Node::FieldOf { base, field } => {
                 if let Node::TupleParam(c) = self.dag.node(base) {
                     if let Some(map) = self.tuple_maps.get(c) {
-                        return map.get(&field).cloned().map(Scalar::Col);
+                        return map.get(field.as_str()).cloned().map(Scalar::Col);
                     }
                     if let Some((_, qual)) = self.tuples.iter().find(|(t, _)| t == c) {
                         return Some(Scalar::Col(ColRef {
                             qualifier: qual.clone(),
-                            column: field,
+                            column: field.as_str().to_owned(),
                         }));
                     }
                 }

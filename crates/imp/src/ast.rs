@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use intern::Symbol;
+
 use crate::token::Span;
 
 /// A whole program: an ordered list of function definitions.
@@ -64,9 +66,9 @@ fn renumber_block(b: &mut Block, next: &mut u32) {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name.
-    pub name: String,
+    pub name: Symbol,
     /// Formal parameter names.
-    pub params: Vec<String>,
+    pub params: Vec<Symbol>,
     /// Body.
     pub body: Block,
     /// Source span.
@@ -114,7 +116,7 @@ pub enum StmtKind {
     /// `target = value;`
     Assign {
         /// Assigned variable.
-        target: String,
+        target: Symbol,
         /// Right-hand side.
         value: Expr,
     },
@@ -132,7 +134,7 @@ pub enum StmtKind {
     /// Cursor loop `for (v in iterable) { … }`.
     ForEach {
         /// Loop variable bound to each element.
-        var: String,
+        var: Symbol,
         /// Iterated collection.
         iterable: Expr,
         /// Loop body.
@@ -246,7 +248,7 @@ pub enum Expr {
     /// Literal.
     Lit(Literal),
     /// Variable reference.
-    Var(String),
+    Var(Symbol),
     /// Unary operation.
     Unary(UnaryOp, Box<Expr>),
     /// Binary operation.
@@ -254,13 +256,13 @@ pub enum Expr {
     /// Ternary `cond ? a : b`.
     Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
     /// Field access `obj.field` — models Java getters.
-    Field(Box<Expr>, String),
+    Field(Box<Expr>, Symbol),
     /// Free function call `name(args…)`: library functions (`max`, `min`,
     /// `abs`, `concat`, `list`, `set`), database access (`executeQuery`,
     /// `executeUpdate`), or user-defined `imp` functions.
     Call {
         /// Callee name.
-        name: String,
+        name: Symbol,
         /// Arguments.
         args: Vec<Expr>,
     },
@@ -270,7 +272,7 @@ pub enum Expr {
         /// Receiver.
         recv: Box<Expr>,
         /// Method name.
-        name: String,
+        name: Symbol,
         /// Arguments.
         args: Vec<Expr>,
     },
@@ -278,7 +280,7 @@ pub enum Expr {
 
 impl Expr {
     /// Shorthand for a variable reference.
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl Into<Symbol>) -> Self {
         Expr::Var(name.into())
     }
 
@@ -293,7 +295,7 @@ impl Expr {
     }
 
     /// Shorthand for a call.
-    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
+    pub fn call(name: impl Into<Symbol>, args: Vec<Expr>) -> Self {
         Expr::Call {
             name: name.into(),
             args,
@@ -331,11 +333,11 @@ impl Expr {
     }
 
     /// All variable names read by this expression.
-    pub fn vars(&self) -> Vec<String> {
+    pub fn vars(&self) -> Vec<Symbol> {
         let mut out = Vec::new();
         self.walk(&mut |e| {
             if let Expr::Var(v) = e {
-                out.push(v.clone());
+                out.push(*v);
             }
         });
         out

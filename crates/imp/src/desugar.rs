@@ -58,17 +58,17 @@ fn bool_flags_block(b: &mut Block) -> usize {
                         value: Expr::Lit(crate::ast::Literal::Bool(bv)),
                     } = &then_branch.stmts[0].kind
                     {
-                        let target = target.clone();
+                        let target = *target;
                         let value = if *bv {
                             Expr::Binary(
                                 BinaryOp::Or,
-                                Box::new(Expr::Var(target.clone())),
+                                Box::new(Expr::Var(target)),
                                 Box::new(cond.clone()),
                             )
                         } else {
                             Expr::Binary(
                                 BinaryOp::And,
-                                Box::new(Expr::Var(target.clone())),
+                                Box::new(Expr::Var(target)),
                                 Box::new(Expr::Unary(
                                     crate::ast::UnaryOp::Not,
                                     Box::new(cond.clone()),
@@ -125,12 +125,12 @@ fn normalize_block(b: &mut Block) -> usize {
 
 /// Recognize `if (a OP b) v = e;` where one comparison side is `v` and the
 /// other equals `e`; return the replacement `v = max/min(v, e)`.
-fn minmax_rewrite(cond: &Expr, then_branch: &Block) -> Option<(String, Expr)> {
+fn minmax_rewrite(cond: &Expr, then_branch: &Block) -> Option<(intern::Symbol, Expr)> {
     if then_branch.stmts.len() != 1 {
         return None;
     }
     let (target, value) = match &then_branch.stmts[0].kind {
-        StmtKind::Assign { target, value } => (target.clone(), value.clone()),
+        StmtKind::Assign { target, value } => (*target, value.clone()),
         _ => return None,
     };
     let (op, lhs, rhs) = match cond {
@@ -138,9 +138,9 @@ fn minmax_rewrite(cond: &Expr, then_branch: &Block) -> Option<(String, Expr)> {
         _ => return None,
     };
     // Normalize to the form `expr OP v`.
-    let (op, expr_side) = if *rhs == Expr::Var(target.clone()) && *lhs == value {
+    let (op, expr_side) = if *rhs == Expr::Var(target) && *lhs == value {
         (op, lhs)
-    } else if *lhs == Expr::Var(target.clone()) && *rhs == value {
+    } else if *lhs == Expr::Var(target) && *rhs == value {
         // `v OP expr` — flip the comparison (paper Sec. 4.2 last paragraph).
         let flipped = match op {
             BinaryOp::Lt => BinaryOp::Gt,
@@ -159,7 +159,7 @@ fn minmax_rewrite(cond: &Expr, then_branch: &Block) -> Option<(String, Expr)> {
         _ => return None,
     };
     Some((
-        target.clone(),
+        target,
         Expr::Call {
             name: func.into(),
             args: vec![Expr::Var(target), expr_side.clone()],
@@ -425,7 +425,7 @@ fn getters_expr(e: &mut Expr, count: &mut usize) {
                         field.extend(first.to_lowercase());
                     }
                     field.extend(cs);
-                    *e = Expr::Field(recv.clone(), field);
+                    *e = Expr::Field(recv.clone(), intern::Symbol::intern(&field));
                     *count += 1;
                 }
             }

@@ -74,7 +74,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 i = j;
                 match Keyword::from_str(text) {
                     Some(kw) => TokenKind::Kw(kw),
-                    None => TokenKind::Ident(text.to_string()),
+                    None => TokenKind::Ident(intern::Symbol::intern(text)),
                 }
             }
             '0'..='9' => {

@@ -108,7 +108,7 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    fn ident(&mut self) -> Result<intern::Symbol, ParseError> {
         match self.peek().clone() {
             TokenKind::Ident(s) => {
                 self.bump();

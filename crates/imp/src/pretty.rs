@@ -35,7 +35,16 @@ pub fn pretty_expr(e: &Expr) -> String {
 }
 
 fn function(out: &mut String, f: &Function) {
-    let _ = write!(out, "fn {}({}) ", f.name, f.params.join(", "));
+    let _ = write!(
+        out,
+        "fn {}({}) ",
+        f.name,
+        f.params
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     block(out, &f.body, 0);
     out.push('\n');
 }

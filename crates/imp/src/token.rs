@@ -102,8 +102,8 @@ impl Keyword {
 /// One lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
-    /// Identifier.
-    Ident(String),
+    /// Identifier (interned, so tokens clone without allocating).
+    Ident(intern::Symbol),
     /// Keyword.
     Kw(Keyword),
     /// Integer literal.

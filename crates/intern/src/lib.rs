@@ -1,0 +1,366 @@
+//! `intern` — the crate-wide string interner behind [`Symbol`].
+//!
+//! Variable, field, and function names flow through every layer of the
+//! pipeline (AST → def-use/DDG → ve-Map → ee-DAG → rules), and before this
+//! crate existed each layer carried them as owned `String`s: every clone an
+//! allocation, every comparison a byte scan. A [`Symbol`] is a `u32` ticket
+//! into a global, append-only, leak-backed string table: `Copy`, 4 bytes,
+//! equality and hashing on the integer.
+//!
+//! Two properties the rest of the workspace relies on (see DESIGN.md "The
+//! symbol interner"):
+//!
+//! 1. **Resolution is lock-free.** Interned strings live in leaked,
+//!    append-only buckets; [`Symbol::as_str`] reads an atomic pointer and
+//!    indexes — no lock, so `Display`/`Ord` in hot paths never contend.
+//!    Only interning a *new* string takes the write lock.
+//! 2. **`Ord` compares the resolved strings**, not the ticket numbers (with
+//!    a ticket-equality fast path). `BTreeMap<Symbol, _>`/`BTreeSet<Symbol>`
+//!    therefore iterate in name order exactly as their `String`-keyed
+//!    predecessors did — diagnostics ordering, report JSON, and ve-Map
+//!    iteration stay byte-identical no matter in which order symbols were
+//!    first interned.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering as Atomic};
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a 4-byte, `Copy` ticket into the global table.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Symbol(u32);
+
+/// Number of entries in bucket 0; bucket `i` holds `FIRST_BUCKET << i`.
+const FIRST_BUCKET: usize = 64;
+/// Enough buckets for 2^37 symbols — effectively unbounded.
+const BUCKETS: usize = 32;
+
+/// Lock-free resolution table: leaked bucket arrays of `&'static str`.
+struct Table {
+    buckets: [AtomicPtr<&'static str>; BUCKETS],
+    /// Published length: slots `< len` are fully initialized.
+    len: AtomicU32,
+}
+
+/// Write-side state: the dedup map plus the next free slot.
+struct WriteSide {
+    map: std::collections::HashMap<&'static str, u32>,
+}
+
+fn table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| Table {
+        buckets: [const { AtomicPtr::new(ptr::null_mut()) }; BUCKETS],
+        len: AtomicU32::new(0),
+    })
+}
+
+fn write_side() -> &'static RwLock<WriteSide> {
+    static WRITE: OnceLock<RwLock<WriteSide>> = OnceLock::new();
+    WRITE.get_or_init(|| {
+        RwLock::new(WriteSide {
+            map: std::collections::HashMap::new(),
+        })
+    })
+}
+
+/// Bucket index and offset for a slot index.
+#[inline]
+fn locate(idx: usize) -> (usize, usize) {
+    let virt = idx + FIRST_BUCKET;
+    let bucket = (virt.ilog2() as usize) - FIRST_BUCKET.ilog2() as usize;
+    let offset = virt - (FIRST_BUCKET << bucket);
+    (bucket, offset)
+}
+
+fn bucket_capacity(bucket: usize) -> usize {
+    FIRST_BUCKET << bucket
+}
+
+impl Symbol {
+    /// Intern `s`, returning its ticket. Idempotent: equal strings always
+    /// yield the same `Symbol`.
+    pub fn intern(s: &str) -> Symbol {
+        let write = write_side();
+        if let Some(&id) = write.read().unwrap().map.get(s) {
+            return Symbol(id);
+        }
+        let mut w = write.write().unwrap();
+        if let Some(&id) = w.map.get(s) {
+            return Symbol(id);
+        }
+        let t = table();
+        let id = t.len.load(Atomic::Relaxed);
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let (bucket, offset) = locate(id as usize);
+        let mut slots = t.buckets[bucket].load(Atomic::Acquire);
+        if slots.is_null() {
+            let fresh: Box<[&'static str]> = vec![""; bucket_capacity(bucket)].into_boxed_slice();
+            slots = Box::leak(fresh).as_mut_ptr();
+            t.buckets[bucket].store(slots, Atomic::Release);
+        }
+        // Safety: `offset < bucket_capacity(bucket)` by construction, the
+        // bucket allocation above is leaked (never freed), and slot `id` is
+        // written exactly once — here, under the write lock, before `len`
+        // is advanced past it.
+        unsafe { slots.add(offset).write(leaked) };
+        t.len.store(id + 1, Atomic::Release);
+        w.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text. Lock-free.
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        let t = table();
+        debug_assert!(self.0 < t.len.load(Atomic::Acquire), "foreign Symbol");
+        let (bucket, offset) = locate(self.0 as usize);
+        let slots = t.buckets[bucket].load(Atomic::Acquire);
+        // Safety: a `Symbol` is only ever constructed by `intern`, which
+        // published both the bucket pointer and the slot before returning.
+        unsafe { *slots.add(offset) }
+    }
+
+    /// The raw ticket number (diagnostic/bench use only — *not* stable
+    /// across processes; never persist it).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// True when the interned text is empty.
+    pub fn is_empty(self) -> bool {
+        self.as_str().is_empty()
+    }
+}
+
+impl Default for Symbol {
+    /// The empty string's symbol.
+    fn default() -> Self {
+        Symbol::intern("")
+    }
+}
+
+impl Hash for Symbol {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl Ord for Symbol {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Name order, not ticket order — keeps `BTreeMap<Symbol, _>`
+        // iteration identical to the `String`-keyed maps it replaced.
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Symbol {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Deref for Symbol {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl From<&Symbol> for Symbol {
+    fn from(s: &Symbol) -> Symbol {
+        *s
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    #[inline]
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    #[inline]
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    #[inline]
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    #[inline]
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    #[inline]
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    #[inline]
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("total");
+        let b = Symbol::intern("total");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.as_str(), "total");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("a"), Symbol::intern("b"));
+    }
+
+    #[test]
+    fn ord_is_name_order_not_ticket_order() {
+        // Intern in reverse name order so ticket order disagrees.
+        let z = Symbol::intern("zzz-ord-test");
+        let a = Symbol::intern("aaa-ord-test");
+        assert!(a < z, "name order must win");
+        let set: BTreeSet<Symbol> = [z, a].into_iter().collect();
+        let names: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["aaa-ord-test", "zzz-ord-test"]);
+    }
+
+    #[test]
+    fn btreemap_iterates_in_name_order() {
+        let mut m = BTreeMap::new();
+        for name in ["delta", "alpha", "charlie", "bravo"] {
+            m.insert(Symbol::intern(name), ());
+        }
+        let keys: Vec<&str> = m.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "bravo", "charlie", "delta"]);
+    }
+
+    #[test]
+    fn str_comparisons_work_both_ways() {
+        let s = Symbol::intern("executeQuery");
+        assert!(s == "executeQuery");
+        assert!("executeQuery" == s);
+        assert!(s == "executeQuery");
+        assert!(s.starts_with("execute"), "Deref<Target=str> methods");
+    }
+
+    #[test]
+    fn many_symbols_cross_bucket_boundaries() {
+        let mut ids = Vec::new();
+        for i in 0..500 {
+            ids.push(Symbol::intern(&format!("bucket-test-{i}")));
+        }
+        for (i, s) in ids.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("bucket-test-{i}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("concurrent-{}", (i + t) % 100)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all {
+            for s in row {
+                assert!(s.as_str().starts_with("concurrent-"));
+            }
+        }
+        // Same text ⇒ same ticket, across threads.
+        let a = Symbol::intern("concurrent-0");
+        for row in &all {
+            for s in row {
+                if s.as_str() == "concurrent-0" {
+                    assert_eq!(*s, a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<Symbol>(), 4);
+        assert_eq!(std::mem::size_of::<Option<Symbol>>(), 8);
+    }
+}

@@ -45,7 +45,7 @@ enum Flow {
     Continue,
 }
 
-type Env = HashMap<String, RtValue>;
+type Env = HashMap<intern::Symbol, RtValue>;
 
 /// An interpreter instance bound to a program and a metered connection.
 pub struct Interp<'a> {
@@ -91,7 +91,7 @@ impl<'a> Interp<'a> {
                 args.len()
             )));
         }
-        let mut env: Env = f.params.iter().cloned().zip(args).collect();
+        let mut env: Env = f.params.iter().copied().zip(args).collect();
         match self.exec_block(&f.body, &mut env)? {
             Flow::Return(v) => Ok(v),
             _ => Ok(RtValue::Unit),
@@ -113,7 +113,7 @@ impl<'a> Interp<'a> {
             match &s.kind {
                 StmtKind::Assign { target, value } => {
                     let v = self.eval(value, env)?;
-                    env.insert(target.clone(), v);
+                    env.insert(*target, v);
                 }
                 StmtKind::Expr(e) => {
                     self.eval(e, env)?;
@@ -145,7 +145,7 @@ impl<'a> Interp<'a> {
                         .ok_or_else(|| RtError::Type(format!("cannot iterate over {coll}")))?
                         .to_vec();
                     'iters: for el in elems {
-                        env.insert(var.clone(), el);
+                        env.insert(*var, el);
                         match self.exec_block(body, env)? {
                             Flow::Normal | Flow::Continue => {}
                             Flow::Break => break 'iters,
@@ -559,7 +559,7 @@ impl<'a> Interp<'a> {
         );
         if mutating {
             let var = match recv {
-                Expr::Var(v) => v.clone(),
+                Expr::Var(v) => *v,
                 other => {
                     return Err(RtError::Type(format!(
                         "mutating method {name} needs a variable receiver, got {other:?}"

@@ -262,6 +262,8 @@ fn route(req: &Request, state: &ServerState) -> Response {
                     &state.http,
                     &state.service.scheduler_stats(),
                     &state.service.cache_stats(),
+                    state.service.stage_counters(),
+                    state.service.config().deterministic_metrics,
                 ),
             }
         }

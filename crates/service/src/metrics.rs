@@ -38,6 +38,46 @@ impl HttpCounters {
     }
 }
 
+/// Per-stage extraction counters, accumulated only when an extraction
+/// actually runs (cache hits replay a stored document and add nothing —
+/// the timings describe work done, not requests served).
+#[derive(Debug, Default)]
+pub struct StageCounters {
+    /// AST clone + desugaring passes.
+    pub desugar_ns: AtomicU64,
+    /// Region tree + D-IR construction.
+    pub dir_ns: AtomicU64,
+    /// T1–T7 rule-engine fixpoint.
+    pub rules_ns: AtomicU64,
+    /// F-IR → SQL/imp expression generation.
+    pub sqlgen_ns: AtomicU64,
+    /// Plan application, dead-code elimination, renumbering.
+    pub rewrite_ns: AtomicU64,
+    /// Largest ee-DAG (in nodes) built by any job so far.
+    pub peak_dag_nodes: AtomicU64,
+    /// Rule-engine memo hits across all jobs.
+    pub rule_cache_hits: AtomicU64,
+    /// Rule-engine rewrites actually performed across all jobs.
+    pub rule_cache_misses: AtomicU64,
+}
+
+impl StageCounters {
+    /// Fold one job's stage breakdown into the running totals.
+    pub fn absorb(&self, t: &eqsql_core::StageTimes) {
+        self.desugar_ns.fetch_add(t.desugar_ns, Ordering::Relaxed);
+        self.dir_ns.fetch_add(t.dir_ns, Ordering::Relaxed);
+        self.rules_ns.fetch_add(t.rules_ns, Ordering::Relaxed);
+        self.sqlgen_ns.fetch_add(t.sqlgen_ns, Ordering::Relaxed);
+        self.rewrite_ns.fetch_add(t.rewrite_ns, Ordering::Relaxed);
+        self.peak_dag_nodes
+            .fetch_max(t.peak_dag_nodes, Ordering::Relaxed);
+        self.rule_cache_hits
+            .fetch_add(t.rule_cache_hits, Ordering::Relaxed);
+        self.rule_cache_misses
+            .fetch_add(t.rule_cache_misses, Ordering::Relaxed);
+    }
+}
+
 /// The Prometheus content type, exact version string included.
 pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
@@ -54,7 +94,18 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
 }
 
 /// Render every metric. Deterministic for a given snapshot.
-pub fn render(http: &HttpCounters, sched: &SchedulerStats, cache: &CacheStats) -> String {
+///
+/// `deterministic` zeroes the wall-clock stage timings (and only those) so
+/// golden-file tests can compare the full document byte-for-byte; the
+/// node-count and rule-cache counters are deterministic for a fixed request
+/// sequence and render their real values either way.
+pub fn render(
+    http: &HttpCounters,
+    sched: &SchedulerStats,
+    cache: &CacheStats,
+    stages: &StageCounters,
+    deterministic: bool,
+) -> String {
     let mut out = String::new();
 
     let _ = writeln!(
@@ -161,6 +212,45 @@ pub fn render(http: &HttpCounters, sched: &SchedulerStats, cache: &CacheStats) -
         "Result-cache maximum entries.",
         cache.capacity,
     );
+
+    let _ = writeln!(
+        out,
+        "# HELP eqsql_stage_ns_total Wall time spent per extraction stage, \
+         in nanoseconds (cache hits add nothing)."
+    );
+    let _ = writeln!(out, "# TYPE eqsql_stage_ns_total counter");
+    for (name, c) in [
+        ("desugar", &stages.desugar_ns),
+        ("dir", &stages.dir_ns),
+        ("rules", &stages.rules_ns),
+        ("sqlgen", &stages.sqlgen_ns),
+        ("rewrite", &stages.rewrite_ns),
+    ] {
+        let v = if deterministic {
+            0
+        } else {
+            c.load(Ordering::Relaxed)
+        };
+        let _ = writeln!(out, "eqsql_stage_ns_total{{stage=\"{name}\"}} {v}");
+    }
+    gauge(
+        &mut out,
+        "eqsql_dag_peak_nodes",
+        "Largest ee-DAG (in nodes) built by any extraction job.",
+        stages.peak_dag_nodes.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "eqsql_rule_cache_hits_total",
+        "Rule-engine memo hits (subdags skipped as already rewritten).",
+        stages.rule_cache_hits.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "eqsql_rule_cache_misses_total",
+        "Rule-engine subdag rewrites actually performed.",
+        stages.rule_cache_misses.load(Ordering::Relaxed),
+    );
     out
 }
 
@@ -186,12 +276,24 @@ mod tests {
             capacity: 256,
             ..Default::default()
         };
-        let a = render(&http, &sched, &cache);
-        let b = render(&http, &sched, &cache);
+        let stages = StageCounters::default();
+        stages.dir_ns.store(12345, Ordering::Relaxed);
+        stages.peak_dag_nodes.store(40, Ordering::Relaxed);
+        stages.rule_cache_hits.store(7, Ordering::Relaxed);
+        let a = render(&http, &sched, &cache, &stages, false);
+        let b = render(&http, &sched, &cache, &stages, false);
         assert_eq!(a, b);
         assert!(a.contains("eqsql_http_requests_total{path=\"/extract\"} 2"));
         assert!(a.contains("eqsql_cache_hits_total 1"));
         assert!(a.contains("eqsql_scheduler_workers 4"));
+        assert!(a.contains("eqsql_stage_ns_total{stage=\"dir\"} 12345"));
+        assert!(a.contains("eqsql_dag_peak_nodes 40"));
+        assert!(a.contains("eqsql_rule_cache_hits_total 7"));
+        // Deterministic mode zeroes the timings but keeps the counts.
+        let det = render(&http, &sched, &cache, &stages, true);
+        assert!(det.contains("eqsql_stage_ns_total{stage=\"dir\"} 0"));
+        assert!(det.contains("eqsql_dag_peak_nodes 40"));
+        assert!(det.contains("eqsql_rule_cache_hits_total 7"));
         // Every non-comment line is `name[{labels}] value`.
         for line in a.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');

@@ -30,6 +30,9 @@ pub struct ServiceConfig {
     pub cache_entries: usize,
     /// Per-job timeout; `None` = unbounded.
     pub job_timeout: Option<Duration>,
+    /// Render `/metrics` with wall-clock stage timings zeroed, so a fixed
+    /// request sequence produces a byte-stable document (golden tests).
+    pub deterministic_metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -39,6 +42,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_entries: 256,
             job_timeout: Some(Duration::from_secs(30)),
+            deterministic_metrics: false,
         }
     }
 }
@@ -187,6 +191,7 @@ pub struct ExtractionService {
     scheduler: Scheduler,
     cache: ResultCache<String>,
     config: ServiceConfig,
+    stages: crate::metrics::StageCounters,
 }
 
 impl ExtractionService {
@@ -200,6 +205,7 @@ impl ExtractionService {
             }),
             cache: ResultCache::new(config.cache_entries),
             config,
+            stages: crate::metrics::StageCounters::default(),
         }
     }
 
@@ -216,6 +222,12 @@ impl ExtractionService {
     /// Cache counters (for `/metrics`).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-stage extraction counters (for `/metrics`). Only jobs that
+    /// actually ran contribute; cache hits add nothing.
+    pub fn stage_counters(&self) -> &crate::metrics::StageCounters {
+        &self.stages
     }
 
     /// Serve an extraction: cache lookup, then a scheduler job on a miss.
@@ -236,10 +248,12 @@ impl ExtractionService {
         &self,
         req: &ExtractRequest,
         endpoint: &str,
-        compute: fn(&ExtractRequest) -> Result<String, ServiceError>,
+        compute: fn(&ExtractRequest) -> Result<ComputeOutput, ServiceError>,
     ) -> Result<(Arc<String>, CacheStatus), ServiceError> {
         let key = req.key(endpoint);
         if let Some(doc) = self.cache.get(&key) {
+            // Cache-hit-aware stage accounting: a hit replays a stored
+            // document without running the pipeline, so nothing is added.
             return Ok((doc, CacheStatus::Hit));
         }
         let job_req = req.clone();
@@ -248,7 +262,12 @@ impl ExtractionService {
             .submit(move |_ctx| compute(&job_req))
             .map_err(|e: SubmitError| ServiceError::Overloaded(e.to_string()))?;
         match handle.wait() {
-            JobResult::Completed(Ok(doc)) => Ok((self.cache.put(key, doc), CacheStatus::Miss)),
+            JobResult::Completed(Ok(out)) => {
+                if let Some(times) = &out.stage {
+                    self.stages.absorb(times);
+                }
+                Ok((self.cache.put(key, out.doc), CacheStatus::Miss))
+            }
             JobResult::Completed(Err(e)) => Err(e),
             JobResult::TimedOut => Err(ServiceError::Timeout),
             JobResult::Cancelled => Err(ServiceError::Overloaded("job cancelled".into())),
@@ -262,8 +281,15 @@ impl ExtractionService {
     }
 }
 
+/// A computed document plus the stage breakdown that produced it (absent
+/// for computations that don't run the extraction pipeline).
+struct ComputeOutput {
+    doc: String,
+    stage: Option<eqsql_core::StageTimes>,
+}
+
 /// Parse + extract + render; runs inside a scheduler job.
-fn compute_extract(req: &ExtractRequest) -> Result<String, ServiceError> {
+fn compute_extract(req: &ExtractRequest) -> Result<ComputeOutput, ServiceError> {
     let (program, catalog) = parse_inputs(req)?;
     let extractor = Extractor::with_options(catalog, req.options.clone());
     let report = match &req.function {
@@ -273,13 +299,16 @@ fn compute_extract(req: &ExtractRequest) -> Result<String, ServiceError> {
         }
         None => extractor.extract_program(&program),
     };
-    Ok(report.render_json(&req.source))
+    Ok(ComputeOutput {
+        doc: report.render_json(&req.source),
+        stage: Some(report.stage),
+    })
 }
 
 /// Parse + lint + render; runs inside a scheduler job. Document shape:
 /// `{"diagnostics":[…],"errors":N,"warnings":N}` with the diagnostics array
 /// in `analysis::diag::render_json`'s published layout.
-fn compute_lint(req: &ExtractRequest) -> Result<String, ServiceError> {
+fn compute_lint(req: &ExtractRequest) -> Result<ComputeOutput, ServiceError> {
     use analysis::diag::Severity;
     let (program, catalog) = parse_inputs(req)?;
     let mut diags = lint_program(&program, &catalog, &req.options);
@@ -299,7 +328,10 @@ fn compute_lint(req: &ExtractRequest) -> Result<String, ServiceError> {
         ("errors".into(), Json::int(errors as i64)),
         ("warnings".into(), Json::int((diags.len() - errors) as i64)),
     ]);
-    Ok(doc.render())
+    Ok(ComputeOutput {
+        doc: doc.render(),
+        stage: None,
+    })
 }
 
 fn parse_inputs(
@@ -355,6 +387,7 @@ mod tests {
             queue_capacity: 8,
             cache_entries: 16,
             job_timeout: Some(Duration::from_secs(10)),
+            deterministic_metrics: false,
         })
     }
 

@@ -15,12 +15,16 @@ use analysis::json::Json;
 use service::{run_batch, BatchOptions, Server, ServiceConfig};
 
 /// A fixed configuration so gauge metrics (workers, capacities) are stable.
+/// Stage timings are zeroed in `/metrics` (`deterministic_metrics`) so the
+/// golden comparison stays byte-exact; the node/rule-cache counters are
+/// deterministic for the fixed request sequence and stay real.
 fn test_config() -> ServiceConfig {
     ServiceConfig {
         workers: 2,
         queue_capacity: 16,
         cache_entries: 8,
         job_timeout: Some(Duration::from_secs(10)),
+        deterministic_metrics: true,
     }
 }
 
