@@ -13,6 +13,15 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> eqsql certify examples/corpus"
+# Translation-validation gate: every rule application on the example
+# corpus must discharge its proof obligation (DESIGN.md §5e). Exit is
+# nonzero on any counterexample or inconclusive obligation.
+cargo build -q --release -p eqsql-cli
+for f in examples/corpus/*.imp; do
+    target/release/eqsql certify "$f" --schema examples/corpus/schema.sql
+done
+
 echo "==> perf_pipeline --check"
 # Small-corpus sweep: asserts the bench harness runs end to end and emits
 # valid JSON. No timing gates — CI machines are too noisy for that.

@@ -13,29 +13,50 @@
 //!   in practice only genuinely-unknown calls pay this penalty).
 
 use intern::Symbol;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use imp::ast::{builtins, Expr, Stmt, StmtKind};
+use imp::ast::{builtins, Expr, Program, Stmt, StmtKind};
 
-/// Extra context for def/use computation: user functions known to be pure
-/// (computed by [`crate::purity::pure_user_functions`]); calls to them are
-/// not treated as external accesses.
+use crate::effects::{EffectSet, EffectSummary};
+
+/// Extra context for def/use computation: interprocedural effect summaries
+/// for user-defined functions (computed by
+/// [`crate::effects::effect_summaries`]). A call to a summarized function
+/// contributes exactly its summarized effects — a db-*reading* helper is an
+/// external read but **not** an external write, so precondition P3 no
+/// longer rejects loops that merely consult the database through a helper.
+/// The empty default treats every user call as unknown (read+write), which
+/// is the legacy conservative behavior.
 #[derive(Debug, Clone, Default)]
 pub struct DefUseCtx {
-    /// Pure user-defined function names.
-    pub pure_functions: BTreeSet<Symbol>,
+    /// Effect summary per user-defined function.
+    pub summaries: BTreeMap<Symbol, EffectSummary>,
+}
+
+impl DefUseCtx {
+    /// Build the context for a program by running the interprocedural
+    /// effect analysis.
+    pub fn of_program(p: &Program) -> DefUseCtx {
+        DefUseCtx {
+            summaries: crate::effects::effect_summaries(p),
+        }
+    }
+
+    /// The set of user functions with no external effects, derived from
+    /// the summaries (compatibility shim for callers that still think in
+    /// terms of a boolean pure set).
+    pub fn pure_functions(&self) -> BTreeSet<Symbol> {
+        self.summaries
+            .iter()
+            .filter(|(_, s)| s.is_externally_pure())
+            .map(|(f, _)| *f)
+            .collect()
+    }
 }
 
 /// Names of pure library functions that read nothing external.
-pub const PURE_FUNCTIONS: &[&str] = &[
-    "max", "min", "abs", "concat", "list", "set", "lower", "upper", "length", "pair", "coalesce",
-];
-
-/// Collection / string methods that mutate their receiver.
-pub const MUTATING_METHODS: &[&str] = &["add", "insert", "append", "remove", "clear", "addAll"];
-
-/// Collection methods that only read their receiver.
-pub const READING_METHODS: &[&str] = &["contains", "size", "get", "isEmpty", "first", "indexOf"];
+/// (Shared single-source table: re-exported from [`imp::ast::builtins`].)
+pub use imp::ast::builtins::{MUTATING_METHODS, PURE_FUNCTIONS, READING_METHODS};
 
 /// The def/use summary of one statement.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -155,21 +176,45 @@ fn expr_uses(e: &Expr, du: &mut DefUse, ctx: &DefUseCtx) {
             for a in args {
                 expr_uses(a, du, ctx);
             }
-            match name.as_str() {
-                builtins::EXECUTE_QUERY | builtins::EXECUTE_SCALAR | builtins::EXECUTE_BATCH => {
-                    du.ext_read = true
-                }
-                builtins::EXECUTE_UPDATE => {
+            match builtins::function_effect(name.as_str()) {
+                Some(builtins::FnEffect::Pure) => {}
+                Some(builtins::FnEffect::DbRead) => du.ext_read = true,
+                Some(builtins::FnEffect::DbWrite) => {
                     du.ext_read = true;
                     du.ext_write = true;
                 }
-                n if PURE_FUNCTIONS.contains(&n) => {}
-                n if ctx.pure_functions.contains(&Symbol::intern(n)) => {}
-                _ => {
-                    // Unknown call: conservatively external read+write.
-                    du.ext_read = true;
-                    du.ext_write = true;
-                }
+                None => match ctx.summaries.get(name) {
+                    Some(s) => {
+                        // Summarized user function: contribute exactly its
+                        // effects instead of assuming read+write.
+                        if s.effects.contains(EffectSet::DB_READ) {
+                            du.ext_read = true;
+                        }
+                        if s.effects.contains(EffectSet::DB_WRITE)
+                            || s.effects.contains(EffectSet::UNKNOWN)
+                        {
+                            du.ext_read = true;
+                            du.ext_write = true;
+                        }
+                        if s.effects.contains(EffectSet::OUTPUT) {
+                            du.ext_write = true;
+                        }
+                        // A mutated parameter is a def (and a read) of the
+                        // argument variable, like `v.add(x)` on the receiver.
+                        for (i, a) in args.iter().enumerate() {
+                            if s.mutates_param(i) {
+                                if let Expr::Var(v) = a {
+                                    du.defs.insert(*v);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // Unknown call: conservatively external read+write.
+                        du.ext_read = true;
+                        du.ext_write = true;
+                    }
+                },
             }
         }
         Expr::MethodCall { recv, name, args } => {
@@ -273,6 +318,35 @@ mod tests {
         let du = DefUse::of_stmt_recursive(&p.functions[0].body.stmts[0]);
         assert!(du.defs.contains(&Symbol::intern("s")));
         assert!(du.ext_write, "print inside body");
+    }
+
+    #[test]
+    fn summarized_db_read_helper_is_read_only() {
+        let p = parse_program(
+            r#"fn rate() { return executeScalar("SELECT r FROM c"); }
+               fn f() { x = rate() * 2; }"#,
+        )
+        .unwrap();
+        let ctx = DefUseCtx::of_program(&p);
+        let du = DefUse::of_stmt_in(&p.functions[1].body.stmts[0], &ctx);
+        assert!(du.ext_read, "helper reads the database");
+        assert!(!du.ext_write, "…but does not write anything external");
+    }
+
+    #[test]
+    fn summarized_mutating_helper_defs_its_argument() {
+        let p = parse_program(
+            "fn addTo(c, x) { c.add(x); } \
+             fn f() { addTo(names, 1); }",
+        )
+        .unwrap();
+        let ctx = DefUseCtx::of_program(&p);
+        let du = DefUse::of_stmt_in(&p.functions[1].body.stmts[0], &ctx);
+        assert!(!du.touches_external());
+        assert!(
+            du.defs.contains(&Symbol::intern("names")),
+            "parameter escape surfaces as a def of the argument"
+        );
     }
 
     #[test]

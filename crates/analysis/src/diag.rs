@@ -22,6 +22,7 @@
 //! | `E004` | abrupt `break`/`continue`/`return` exit from the loop |
 //! | `E005` | unresolvable cursor query or non-algebraic construct |
 //! | `E006` | fold built, but no rule T1–T7 produced SQL |
+//! | `E007` | certification counterexample: a rewrite changed semantics |
 //!
 //! `W0xx` codes are advisories — extraction may still succeed, or the
 //! finding is informational:
@@ -33,6 +34,7 @@
 //! | `W003` | impure helper function blocks purity-based reasoning |
 //! | `W004` | loop has external side effects and will be kept |
 //! | `W005` | a valid rewrite was declined (cost, safety, coupling) |
+//! | `W006` | certification inconclusive: obligation not discharged |
 //!
 //! Codes are append-only: a published code never changes meaning, so JSON
 //! consumers may match on `code` strings.
@@ -92,6 +94,12 @@ pub enum Code {
     /// A rewrite existed but was declined (costing, input safety,
     /// require-all-vars coupling).
     RewriteDeclined,
+    /// Certification found a counterexample: the two sides of a rewrite
+    /// obligation evaluate differently on some generated database.
+    CertCounterexample,
+    /// Certification could not discharge an obligation (normalization
+    /// inconclusive and differential evaluation unavailable/undecidable).
+    CertInconclusive,
 }
 
 impl Code {
@@ -109,6 +117,8 @@ impl Code {
             Code::ImpureHelper => "W003",
             Code::LoopSideEffects => "W004",
             Code::RewriteDeclined => "W005",
+            Code::CertCounterexample => "E007",
+            Code::CertInconclusive => "W006",
         }
     }
 

@@ -20,6 +20,11 @@
 //! * [`deadcode`] — removal of statements made dead by SQL extraction
 //!   (Sec. 5.2, "Parts of region R which are now rendered dead … are removed
 //!   by dead code elimination");
+//! * [`callgraph`] — the user-function call graph, with a deterministic
+//!   bottom-up processing order for interprocedural fixpoints;
+//! * [`effects`] — interprocedural effect summaries (db-read/db-write/
+//!   output/read/write lattice with parameter-escape masks) computed by
+//!   callgraph fixpoint; [`purity`] and [`defuse`] are views of it;
 //! * [`diag`] — typed, span-carrying diagnostics (`E0xx` hard extraction
 //!   failures, `W0xx` advisories) with human and JSON renderers;
 //! * [`json`] — the shared JSON writer/parser (escaping and number
@@ -28,12 +33,14 @@
 //! * [`pass`] — a pass manager running the analyses above as named passes
 //!   that emit diagnostics uniformly.
 
+pub mod callgraph;
 pub mod cfg;
 pub mod ddg;
 pub mod deadcode;
 pub mod defuse;
 pub mod diag;
 pub mod dominators;
+pub mod effects;
 pub mod json;
 pub mod liveness;
 pub mod pass;
@@ -42,9 +49,11 @@ pub mod regions;
 pub mod slice;
 pub mod structural;
 
+pub use callgraph::CallGraph;
 pub use cfg::{BlockId, Cfg};
 pub use ddg::{Ddg, DepKind};
 pub use defuse::{DefUse, DefUseCtx};
 pub use diag::{Code, Diagnostic, Label, Severity};
+pub use effects::{effect_summaries, EffectSet, EffectSummary};
 pub use pass::{Pass, PassContext, PassManager};
 pub use regions::{Region, RegionId, RegionKind, RegionTree};

@@ -27,7 +27,6 @@ use crate::ddg::Ddg;
 use crate::deadcode::eliminate_dead_code;
 use crate::diag::{Code, Diagnostic};
 use crate::liveness::Liveness;
-use crate::purity::pure_user_functions;
 
 /// Shared input and diagnostic sink for one function under one pass.
 pub struct PassContext<'a> {
@@ -174,14 +173,8 @@ impl Pass for PurityPass {
     }
 
     fn run(&self, cx: &mut PassContext<'_>) {
-        let user: BTreeSet<&str> = cx
-            .program
-            .functions
-            .iter()
-            .map(|f| f.name.as_str())
-            .collect();
-        let pure = pure_user_functions(cx.program);
-        let mut found: Vec<(imp::token::Span, String)> = Vec::new();
+        let summaries = crate::effects::effect_summaries(cx.program);
+        let mut found: Vec<(imp::token::Span, String, crate::effects::EffectSummary)> = Vec::new();
         walk_stmts(&cx.function.body, false, &mut |s, in_loop| {
             if !in_loop {
                 return;
@@ -189,21 +182,23 @@ impl Pass for PurityPass {
             for e in stmt_exprs(&s.kind) {
                 e.walk(&mut |sub| {
                     if let Expr::Call { name, .. } = sub {
-                        if user.contains(name.as_str()) && !pure.contains(name) {
-                            found.push((s.span, name.to_string()));
+                        if let Some(sum) = summaries.get(name) {
+                            if !sum.is_externally_pure() {
+                                found.push((s.span, name.to_string(), *sum));
+                            }
                         }
                     }
                 });
             }
         });
-        for (span, callee) in found {
+        for (span, callee, sum) in found {
             cx.emit(
                 Diagnostic::new(
                     Code::ImpureHelper,
                     span,
                     format!("call to impure helper `{callee}` inside a cursor loop"),
                 )
-                .with_primary_label(format!("`{callee}` performs database access or output"))
+                .with_primary_label(format!("`{callee}` has effects: {}", sum.effects))
                 .with_note(
                     "helpers must be pure (no executeQuery/executeUpdate/print) to be \
                      inlined into a fold",

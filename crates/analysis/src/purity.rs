@@ -6,83 +6,105 @@
 //! which calls are side-effect free, or every helper call would look like an
 //! external write and fail precondition P3.
 //!
-//! A function is pure when its body performs no external access (database,
-//! output) and calls only library functions or other pure functions.
-//! Computed as an increasing fixpoint (recursive functions conservatively
-//! stay impure).
+//! Since the interprocedural effect analysis landed, purity is a *view* of
+//! the effect summaries ([`crate::effects`]): a function is pure when its
+//! summary shows no external effects (database access, output, unknown
+//! calls). The joint callgraph fixpoint is strictly more precise than the
+//! legacy boolean increasing fixpoint — in particular, effect-free
+//! (mutually) recursive functions are now recognized as pure, where the old
+//! analysis conservatively rejected all recursion. The legacy algorithm is
+//! kept verbatim in [`reference`] so tests can assert the two agree
+//! everywhere the old one said "pure".
 
 use intern::Symbol;
 use std::collections::BTreeSet;
 
-use imp::ast::{builtins, Block, Expr, Program, StmtKind};
+use imp::ast::Program;
 
-use crate::defuse::PURE_FUNCTIONS;
-
-/// The set of user-defined functions with no external effects.
+/// The set of user-defined functions with no external effects, derived
+/// from the interprocedural effect summaries.
 pub fn pure_user_functions(p: &Program) -> BTreeSet<Symbol> {
-    let mut pure: BTreeSet<Symbol> = BTreeSet::new();
-    loop {
-        let mut changed = false;
-        for f in &p.functions {
-            if pure.contains(&f.name) {
-                continue;
+    crate::effects::effect_summaries(p)
+        .iter()
+        .filter(|(_, s)| s.is_externally_pure())
+        .map(|(f, _)| *f)
+        .collect()
+}
+
+/// The pre-effects boolean purity analysis, kept as an oracle: the
+/// summary-based [`pure_user_functions`] must classify every function this
+/// one calls pure as pure (it may additionally admit effect-free recursion).
+pub mod reference {
+    use super::*;
+    use imp::ast::{builtins, Block, Expr, StmtKind};
+
+    /// Legacy increasing-fixpoint purity (recursion conservatively impure).
+    pub fn pure_user_functions(p: &Program) -> BTreeSet<Symbol> {
+        let mut pure: BTreeSet<Symbol> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for f in &p.functions {
+                if pure.contains(&f.name) {
+                    continue;
+                }
+                if block_is_pure(&f.body, &pure) {
+                    pure.insert(f.name);
+                    changed = true;
+                }
             }
-            if block_is_pure(&f.body, &pure) {
-                pure.insert(f.name);
-                changed = true;
+            if !changed {
+                return pure;
             }
-        }
-        if !changed {
-            return pure;
         }
     }
-}
 
-fn block_is_pure(b: &Block, pure: &BTreeSet<Symbol>) -> bool {
-    b.stmts.iter().all(|s| match &s.kind {
-        StmtKind::Assign { value, .. } => expr_is_pure(value, pure),
-        StmtKind::Expr(e) => expr_is_pure(e, pure),
-        StmtKind::If {
-            cond,
-            then_branch,
-            else_branch,
-        } => {
-            expr_is_pure(cond, pure)
-                && block_is_pure(then_branch, pure)
-                && block_is_pure(else_branch, pure)
-        }
-        StmtKind::ForEach { iterable, body, .. } => {
-            expr_is_pure(iterable, pure) && block_is_pure(body, pure)
-        }
-        StmtKind::While { cond, body } => expr_is_pure(cond, pure) && block_is_pure(body, pure),
-        StmtKind::Return(v) => v.as_ref().is_none_or(|e| expr_is_pure(e, pure)),
-        StmtKind::Break | StmtKind::Continue => true,
-        StmtKind::Print(_) => false,
-    })
-}
+    fn block_is_pure(b: &Block, pure: &BTreeSet<Symbol>) -> bool {
+        b.stmts.iter().all(|s| match &s.kind {
+            StmtKind::Assign { value, .. } => expr_is_pure(value, pure),
+            StmtKind::Expr(e) => expr_is_pure(e, pure),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                expr_is_pure(cond, pure)
+                    && block_is_pure(then_branch, pure)
+                    && block_is_pure(else_branch, pure)
+            }
+            StmtKind::ForEach { iterable, body, .. } => {
+                expr_is_pure(iterable, pure) && block_is_pure(body, pure)
+            }
+            StmtKind::While { cond, body } => expr_is_pure(cond, pure) && block_is_pure(body, pure),
+            StmtKind::Return(v) => v.as_ref().is_none_or(|e| expr_is_pure(e, pure)),
+            StmtKind::Break | StmtKind::Continue => true,
+            StmtKind::Print(_) => false,
+        })
+    }
 
-fn expr_is_pure(e: &Expr, pure: &BTreeSet<Symbol>) -> bool {
-    let mut ok = true;
-    e.walk(&mut |x| match x {
-        Expr::Call { name, .. } => {
-            let n = name.as_str();
-            if builtins::DB_FUNCTIONS.contains(&n)
-                || (!PURE_FUNCTIONS.contains(&n) && !pure.contains(&Symbol::intern(n)))
-            {
-                ok = false;
+    fn expr_is_pure(e: &Expr, pure: &BTreeSet<Symbol>) -> bool {
+        let mut ok = true;
+        e.walk(&mut |x| match x {
+            Expr::Call { name, .. } => {
+                let n = name.as_str();
+                if builtins::DB_FUNCTIONS.contains(&n)
+                    || (!builtins::PURE_FUNCTIONS.contains(&n)
+                        && !pure.contains(&Symbol::intern(n)))
+                {
+                    ok = false;
+                }
             }
-        }
-        Expr::MethodCall { name, .. } => {
-            let n = name.as_str();
-            if !crate::defuse::READING_METHODS.contains(&n)
-                && !crate::defuse::MUTATING_METHODS.contains(&n)
-            {
-                ok = false;
+            Expr::MethodCall { name, .. } => {
+                let n = name.as_str();
+                if !builtins::READING_METHODS.contains(&n)
+                    && !builtins::MUTATING_METHODS.contains(&n)
+                {
+                    ok = false;
+                }
             }
-        }
-        _ => {}
-    });
-    ok
+            _ => {}
+        });
+        ok
+    }
 }
 
 #[cfg(test)]
@@ -120,8 +142,21 @@ mod tests {
     }
 
     #[test]
-    fn recursion_stays_impure_conservatively() {
-        let p = parse_program("fn r(x) { return r(x); }").unwrap();
+    fn effect_free_recursion_is_now_pure() {
+        // The legacy increasing fixpoint could never admit a recursive
+        // function; the effect fixpoint converges to "no effects" for it.
+        let p = parse_program("fn s(x) { if (x == 0) return 0; return x + s(x - 1); }").unwrap();
+        assert!(pure_user_functions(&p).contains(&Symbol::intern("s")));
+        assert!(
+            reference::pure_user_functions(&p).is_empty(),
+            "legacy oracle stays conservative on recursion"
+        );
+    }
+
+    #[test]
+    fn recursion_through_effects_stays_impure() {
+        let p =
+            parse_program("fn r(x) { print(x); if (x == 0) return 0; return r(x - 1); }").unwrap();
         assert!(pure_user_functions(&p).is_empty());
     }
 
@@ -136,39 +171,37 @@ mod tests {
     }
 
     #[test]
-    fn mutual_recursion_stays_impure() {
-        // Neither function can be admitted first, so the increasing fixpoint
-        // never adds either — conservatively impure, like direct recursion.
+    fn mutual_recursion_of_pure_bodies_is_pure() {
         let p = parse_program(
             "fn even(x) { if (x == 0) return 1; return odd(x - 1); } \
              fn odd(x) { if (x == 0) return 0; return even(x - 1); }",
         )
         .unwrap();
         let pure = pure_user_functions(&p);
-        assert!(!pure.contains(&Symbol::intern("even")));
-        assert!(!pure.contains(&Symbol::intern("odd")));
+        assert!(pure.contains(&Symbol::intern("even")));
+        assert!(pure.contains(&Symbol::intern("odd")));
     }
 
     #[test]
-    fn deep_pure_chain_converges_bottom_up() {
-        // A chain where each function calls the next; declaration order is
-        // reversed so the fixpoint needs one iteration per layer. Also mixes
-        // in one impure sink that must not leak into the pure set.
+    fn summary_purity_refines_the_reference_oracle() {
+        // Everything the legacy analysis calls pure must still be pure, and
+        // impure sinks must not leak in — on a mixed program with chains,
+        // one recursive helper, and an output sink.
         let p = parse_program(
             "fn top(x) { return mid(x) + 1; } \
              fn mid(x) { return low(x) * 2; } \
              fn low(x) { return max(x, 0); } \
+             fn rec(x) { if (x == 0) return 0; return rec(x - 1) + low(x); } \
              fn sink(x) { print(x); return top(x); }",
         )
         .unwrap();
-        let pure = pure_user_functions(&p);
-        assert!(
-            pure.contains(&Symbol::intern("low"))
-                && pure.contains(&Symbol::intern("mid"))
-                && pure.contains(&Symbol::intern("top"))
-        );
-        assert!(!pure.contains(&Symbol::intern("sink")));
+        let new = pure_user_functions(&p);
+        let old = reference::pure_user_functions(&p);
+        assert!(old.is_subset(&new), "effects ⊑ pure refines the oracle");
+        assert!(new.contains(&Symbol::intern("rec")), "the only gain");
+        assert!(!new.contains(&Symbol::intern("sink")));
+        assert_eq!(new.len(), old.len() + 1);
         // Convergence is deterministic: recomputing yields the same set.
-        assert_eq!(pure, pure_user_functions(&p));
+        assert_eq!(new, pure_user_functions(&p));
     }
 }

@@ -12,6 +12,13 @@
 //!     Run the diagnostic passes (purity, deadcode, liveness, ddg) plus a
 //!     dry-run extraction; report every finding with its stable E/W code.
 //!
+//! eqsql certify <file.imp> --schema <schema.sql> [options]
+//!     Extract with translation validation on: every rule application and
+//!     fold introduction must discharge its proof obligation (algebraic
+//!     normalization, else differential evaluation over generated
+//!     micro-databases). Exits nonzero on any undischarged obligation
+//!     (E007 counterexample or W006 inconclusive).
+//!
 //! eqsql run <file.imp> --schema <schema.sql> [--data <data.sql>]
 //!           [--function NAME] [--arg N]...
 //!     Interpret the program against an in-memory database built from the
@@ -39,6 +46,7 @@
 //!     --prints             preprocess print statements (Sec. 2)
 //!     --dependent-agg      enable argmax/argmin extraction (Appendix B)
 //!     --partial            rewrite even when some loop variables fail
+//!     --certify            certify rewrites during extract/explain/batch
 //! ```
 
 use std::process::ExitCode;
@@ -72,6 +80,7 @@ struct Opts {
     prints: bool,
     dependent_agg: bool,
     partial: bool,
+    certify: bool,
     run_args: Vec<i64>,
     // serve/batch options
     addr: String,
@@ -94,6 +103,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         prints: false,
         dependent_agg: false,
         partial: false,
+        certify: false,
         run_args: Vec::new(),
         addr: "127.0.0.1:7090".to_string(),
         jobs: std::thread::available_parallelism()
@@ -153,6 +163,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--prints" => o.prints = true,
             "--dependent-agg" => o.dependent_agg = true,
             "--partial" => o.partial = true,
+            "--certify" => o.certify = true,
             "--arg" => o.run_args.push(
                 next(&mut it, "--arg")?
                     .parse()
@@ -228,6 +239,54 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.loops_rewritten,
                 report.elapsed.as_secs_f64() * 1000.0
             );
+            if let Some(c) = &report.certification {
+                eprintln!("{}", cert_summary_line(c));
+            }
+            Ok(())
+        }
+        "certify" => {
+            let mut extractor = extractor;
+            extractor.opts.certify = true;
+            // Without --function, certify the whole program.
+            let report = if opts.function.is_some() {
+                extractor.extract_function(&program, &fname)
+            } else {
+                extractor.extract_program(&program)
+            };
+            for v in &report.vars {
+                let outcome = match &v.outcome {
+                    ExtractionOutcome::Extracted => "extracted".to_string(),
+                    ExtractionOutcome::ExtractedNotRewritten(d)
+                    | ExtractionOutcome::FoldFailed(d)
+                    | ExtractionOutcome::SqlFailed(d) => d.code.as_str().to_string(),
+                };
+                println!(
+                    "{}::{} ({}): {outcome}{}",
+                    v.function,
+                    v.var,
+                    v.loop_stmt,
+                    if v.rule_trace.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  [{}]", v.rule_trace.join(" → "))
+                    }
+                );
+            }
+            for d in report.diagnostics.iter().filter(|d| d.pass == "certify") {
+                eprintln!("{}", d.render_human(&source, &opts.file));
+            }
+            let c = report
+                .certification
+                .expect("certify run always carries a summary");
+            println!("{}", cert_summary_line(&c));
+            if c.counterexamples > 0 || c.inconclusive > 0 {
+                return Err(format!(
+                    "{} obligation(s) undischarged ({} counterexample(s), {} inconclusive)",
+                    c.counterexamples + c.inconclusive,
+                    c.counterexamples,
+                    c.inconclusive
+                ));
+            }
             Ok(())
         }
         "explain" => {
@@ -340,6 +399,18 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn cert_summary_line(c: &eqsql_core::CertSummary) -> String {
+    format!(
+        "certification: {} obligation(s): {} by normalization, {} by differential \
+         testing, {} inconclusive, {} counterexample(s)",
+        c.total,
+        c.discharged_normalize,
+        c.discharged_differential,
+        c.inconclusive,
+        c.counterexamples
+    )
+}
+
 fn extractor_options(opts: &Opts) -> ExtractorOptions {
     ExtractorOptions {
         dialect: opts.dialect,
@@ -349,6 +420,7 @@ fn extractor_options(opts: &Opts) -> ExtractorOptions {
         dependent_agg: opts.dependent_agg,
         cost_based: None,
         prefer_lateral: false,
+        certify: opts.certify,
         ..ExtractorOptions::default()
     }
 }
@@ -397,9 +469,9 @@ fn run_batch_cmd(opts: &Opts) -> Result<(), String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: eqsql <extract|explain|lint|run> <file.imp> --schema <schema.sql> \
+        "usage: eqsql <extract|explain|lint|certify|run> <file.imp> --schema <schema.sql> \
          [--function NAME] [--dialect D] [--format human|json] [--unordered] \
-         [--prints] [--dependent-agg] [--partial] [--data <data.sql>] [--arg N]...\n\
+         [--prints] [--dependent-agg] [--partial] [--certify] [--data <data.sql>] [--arg N]...\n\
        \x20      eqsql batch <dir> [--jobs N] [--schema <schema.sql>] [options]\n\
        \x20      eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N] \
          [--cache-entries N] [--timeout-ms N] [--port-file PATH]"

@@ -51,6 +51,8 @@ pub struct FoldNote {
     pub var: Symbol,
     /// `Ok(())` when the fold was built; `Err(diagnostic)` otherwise.
     pub result: Result<(), analysis::diag::Diagnostic>,
+    /// The fold-introduction proof obligation, when the fold was built.
+    pub obligation: Option<crate::certify::Obligation>,
 }
 
 /// The name under which a function's return value is recorded in the ve-Map.
@@ -83,9 +85,7 @@ impl<'a> DirBuilder<'a> {
             catalog,
             coll_kinds: HashMap::new(),
             inline_budget: 8,
-            du_ctx: DefUseCtx {
-                pure_functions: analysis::purity::pure_user_functions(program),
-            },
+            du_ctx: DefUseCtx::of_program(program),
             fir_opts: fir::FirOptions::default(),
             fold_notes: Vec::new(),
         }
@@ -96,6 +96,13 @@ impl<'a> DirBuilder<'a> {
     pub fn with_fir_options(mut self, opts: fir::FirOptions) -> Self {
         self.fir_opts = opts;
         self
+    }
+
+    /// Take the def/use context (interprocedural effect summaries, computed
+    /// once per program in [`DirBuilder::new`]) so callers can reuse it
+    /// instead of re-running the fixpoint.
+    pub fn take_du_ctx(&mut self) -> DefUseCtx {
+        std::mem::take(&mut self.du_ctx)
     }
 
     /// Consume the builder, returning the DAG.
@@ -250,6 +257,7 @@ impl<'a> DirBuilder<'a> {
                             .as_ref()
                             .map(|_| ())
                             .map_err(|d| d.clone().with_function(f.name.as_str())),
+                        obligation: a.obligation.clone(),
                     });
                 }
                 for a in attempts {

@@ -46,6 +46,13 @@ pub struct ExtractorOptions {
     /// of [`ExtractorOptions::fingerprint`] because it cannot change any
     /// output, only how fast the fixpoint converges.
     pub rule_cache: bool,
+    /// Certify every rule application and fold introduction (translation
+    /// validation, DESIGN.md §5e): discharge the recorded proof obligations
+    /// by algebraic normalization or differential evaluation. A refuted
+    /// obligation (`E007`) demotes the affected variable's rewrite — the
+    /// loop is kept. Off by default (certification costs differential
+    /// trials per obligation).
+    pub certify: bool,
 }
 
 impl Default for ExtractorOptions {
@@ -59,6 +66,7 @@ impl Default for ExtractorOptions {
             cost_based: None,
             prefer_lateral: false,
             rule_cache: true,
+            certify: false,
         }
     }
 }
@@ -75,7 +83,7 @@ impl ExtractorOptions {
     pub fn fingerprint(&self) -> String {
         format!(
             "dialect={:?};ordered={};require_all_vars={};rewrite_prints={};\
-             dependent_agg={};prefer_lateral={};cost_based={}",
+             dependent_agg={};prefer_lateral={};cost_based={};certify={}",
             self.dialect,
             self.ordered,
             self.require_all_vars,
@@ -86,6 +94,7 @@ impl ExtractorOptions {
                 Some(s) => s.fingerprint(),
                 None => "none".to_string(),
             },
+            self.certify,
         )
     }
 }
@@ -150,6 +159,48 @@ pub struct VarExtraction {
     pub outcome: ExtractionOutcome,
 }
 
+/// Aggregate certification counts for one extraction run (present in the
+/// report only when [`ExtractorOptions::certify`] is set). Sums the
+/// per-variable [`crate::certify::CertReport`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertSummary {
+    /// Obligations checked (rule applications + fold introductions).
+    pub total: usize,
+    /// Discharged by algebraic normalization.
+    pub discharged_normalize: usize,
+    /// Discharged by differential evaluation over micro-databases.
+    pub discharged_differential: usize,
+    /// Left inconclusive (`W006` advisories).
+    pub inconclusive: usize,
+    /// Refuted by a counterexample (`E007` errors; rewrite demoted).
+    pub counterexamples: usize,
+}
+
+impl CertSummary {
+    /// True when every obligation was proven (none inconclusive or refuted).
+    pub fn certified(&self) -> bool {
+        self.inconclusive == 0 && self.counterexamples == 0 && self.total > 0
+    }
+
+    /// Fold one per-variable certification report into the totals.
+    pub fn absorb(&mut self, rep: &crate::certify::CertReport) {
+        self.total += rep.total();
+        self.discharged_normalize += rep.discharged_normalize();
+        self.discharged_differential += rep.discharged_differential();
+        self.inconclusive += rep.inconclusive();
+        self.counterexamples += rep.counterexamples();
+    }
+
+    /// Accumulate another run's summary (for program-level aggregation).
+    pub fn merge(&mut self, other: &CertSummary) {
+        self.total += other.total;
+        self.discharged_normalize += other.discharged_normalize;
+        self.discharged_differential += other.discharged_differential;
+        self.inconclusive += other.inconclusive;
+        self.counterexamples += other.counterexamples;
+    }
+}
+
 /// Cumulative wall-clock time per pipeline stage, plus the allocation-ish
 /// counters the bench harness tracks (`perf_pipeline`, DESIGN.md "Benchmark
 /// baseline"). All times are nanoseconds. Like [`ExtractionReport::elapsed`],
@@ -175,12 +226,22 @@ pub struct StageTimes {
     pub rule_cache_hits: u64,
     /// Rule-engine rewrites actually performed.
     pub rule_cache_misses: u64,
+    /// Obligation certification (normalization + differential trials).
+    /// Zero unless [`ExtractorOptions::certify`] is set.
+    pub certify_ns: u64,
+    /// Proof obligations checked by the certifier.
+    pub obligations_checked: u64,
 }
 
 impl StageTimes {
     /// Sum of the per-stage times.
     pub fn total_ns(&self) -> u64 {
-        self.desugar_ns + self.dir_ns + self.rules_ns + self.sqlgen_ns + self.rewrite_ns
+        self.desugar_ns
+            + self.dir_ns
+            + self.rules_ns
+            + self.sqlgen_ns
+            + self.rewrite_ns
+            + self.certify_ns
     }
 
     /// Accumulate another run's counters into this one (peaks take the max).
@@ -193,6 +254,8 @@ impl StageTimes {
         self.peak_dag_nodes = self.peak_dag_nodes.max(other.peak_dag_nodes);
         self.rule_cache_hits += other.rule_cache_hits;
         self.rule_cache_misses += other.rule_cache_misses;
+        self.certify_ns += other.certify_ns;
+        self.obligations_checked += other.obligations_checked;
     }
 }
 
@@ -214,6 +277,9 @@ pub struct ExtractionReport {
     /// Per-stage timing/counter breakdown (see [`StageTimes`]). Excluded
     /// from the rendered JSON for the same reason as `elapsed`.
     pub stage: StageTimes,
+    /// Certification totals; `Some` exactly when the run was made with
+    /// [`ExtractorOptions::certify`] set (even if no obligations arose).
+    pub certification: Option<CertSummary>,
 }
 
 impl ExtractionReport {
@@ -246,6 +312,14 @@ impl ExtractionReport {
     ///           "sql":["SELECT …"],"replacement":"…","fir":"…",
     ///           "rules":["T2"]}],
     ///  "program":"…","diagnostics":[…]}
+    /// ```
+    ///
+    /// When the run was certified ([`ExtractorOptions::certify`]) a
+    /// trailing `"certification"` object is appended (append-only shape):
+    ///
+    /// ```json
+    /// {"total":3,"normalized":2,"differential":1,
+    ///  "inconclusive":0,"counterexamples":0,"certified":true}
     /// ```
     pub fn render_json(&self, source: &str) -> String {
         use analysis::json::Json;
@@ -290,7 +364,7 @@ impl ExtractionReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "loops_rewritten".into(),
                 Json::int(self.loops_rewritten as i64),
@@ -304,8 +378,30 @@ impl ExtractionReport {
                 "diagnostics".into(),
                 Json::Raw(analysis::diag::render_json(&self.diagnostics, source)),
             ),
-        ])
-        .render()
+        ];
+        if let Some(c) = &self.certification {
+            fields.push((
+                "certification".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::int(c.total as i64)),
+                    (
+                        "normalized".into(),
+                        Json::int(c.discharged_normalize as i64),
+                    ),
+                    (
+                        "differential".into(),
+                        Json::int(c.discharged_differential as i64),
+                    ),
+                    ("inconclusive".into(), Json::int(c.inconclusive as i64)),
+                    (
+                        "counterexamples".into(),
+                        Json::int(c.counterexamples as i64),
+                    ),
+                    ("certified".into(), Json::Bool(c.certified())),
+                ]),
+            ));
+        }
+        Json::Obj(fields).render()
     }
 }
 
@@ -319,6 +415,7 @@ const _: () = {
     assert_send_sync::<ExtractorOptions>();
     assert_send_sync::<ExtractionReport>();
     assert_send_sync::<VarExtraction>();
+    assert_send_sync::<CertSummary>();
 };
 
 /// The extractor: schema-aware, reusable across programs.
@@ -380,6 +477,7 @@ impl Extractor {
         let mut diagnostics = Vec::new();
         let mut loops_rewritten = 0;
         let mut stage = StageTimes::default();
+        let mut certification: Option<CertSummary> = None;
         let names: Vec<intern::Symbol> = program.functions.iter().map(|f| f.name).collect();
         for name in names {
             let r = self.extract_function(&out, &name);
@@ -388,6 +486,9 @@ impl Extractor {
             diagnostics.extend(r.diagnostics);
             loops_rewritten += r.loops_rewritten;
             stage.absorb(&r.stage);
+            if let Some(c) = &r.certification {
+                certification.get_or_insert_with(Default::default).merge(c);
+            }
         }
         dedup_sort(&mut diagnostics);
         ExtractionReport {
@@ -397,6 +498,7 @@ impl Extractor {
             loops_rewritten,
             elapsed: started.elapsed(),
             stage,
+            certification,
         }
     }
 
@@ -423,6 +525,7 @@ impl Extractor {
                 loops_rewritten: 0,
                 elapsed: started.elapsed(),
                 stage,
+                certification: self.opts.certify.then(CertSummary::default),
             };
         };
 
@@ -445,13 +548,15 @@ impl Extractor {
             &mut candidates,
         );
         let fold_notes = std::mem::take(&mut builder.fold_notes);
+        let du_ctx = builder.take_du_ctx();
         let mut dag = builder.into_dag();
         stage.dir_ns = dir_started.elapsed().as_nanos() as u64;
-
-        let du_ctx = analysis::DefUseCtx {
-            pure_functions: analysis::purity::pure_user_functions(&work),
-        };
         let liveness = Liveness::compute(&f, &Default::default());
+        let certifier = self
+            .opts
+            .certify
+            .then(|| crate::certify::Certifier::new(&self.catalog));
+        let mut certification = self.opts.certify.then(CertSummary::default);
         let mut vars_report: Vec<VarExtraction> = Vec::new();
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut plans = Vec::new();
@@ -515,6 +620,37 @@ impl Extractor {
                     stage.rule_cache_hits += engine.cache_hits;
                     stage.rule_cache_misses += engine.cache_misses;
                     rule_trace = engine.trace.iter().map(|r| r.to_string()).collect();
+                    // Translation validation: discharge the fold-intro
+                    // obligation for this variable plus every rule
+                    // application the engine recorded. A counterexample
+                    // demotes the rewrite below; inconclusive obligations
+                    // surface as W006 advisories.
+                    let mut cert_fail: Option<Diagnostic> = None;
+                    if let Some(certifier) = &certifier {
+                        let certify_started = Instant::now();
+                        let mut obligations: Vec<crate::certify::Obligation> = fold_notes
+                            .iter()
+                            .rev()
+                            .find(|n| n.loop_stmt == cand.stmt && &n.var == var)
+                            .and_then(|n| n.obligation.clone())
+                            .into_iter()
+                            .collect();
+                        obligations.extend(std::mem::take(&mut engine.obligations));
+                        let rep = certifier.check_all(&mut dag, &obligations);
+                        stage.certify_ns += certify_started.elapsed().as_nanos() as u64;
+                        stage.obligations_checked += rep.total() as u64;
+                        if let Some(c) = certification.as_mut() {
+                            c.absorb(&rep);
+                        }
+                        let span_of = |id: StmtId| stmt_span(&f.body, id);
+                        for d in rep.diagnostics(&dag, &span_of) {
+                            let d = d.with_function(fname);
+                            if d.code == Code::CertCounterexample && cert_fail.is_none() {
+                                cert_fail = Some(d.clone());
+                            }
+                            diagnostics.push(d);
+                        }
+                    }
                     let sqlgen_started = Instant::now();
                     let lowered = node_to_imp(&dag, transformed, self.opts.dialect);
                     stage.sqlgen_ns += sqlgen_started.elapsed().as_nanos() as u64;
@@ -523,7 +659,12 @@ impl Extractor {
                             sql = collect_sql(&expr);
                             replacement = Some(imp::pretty::pretty_expr(&expr));
                             let inputs = dag.inputs_of(transformed);
-                            if !inputs_safe(&f, cand.stmt, &inputs) {
+                            if let Some(d) = cert_fail.take() {
+                                // Never rewrite on a refuted obligation: the
+                                // extracted SQL is reported, the loop stays.
+                                outcome = ExtractionOutcome::ExtractedNotRewritten(d);
+                                loop_ok = false;
+                            } else if !inputs_safe(&f, cand.stmt, &inputs) {
                                 outcome = ExtractionOutcome::ExtractedNotRewritten(
                                     Diagnostic::new(
                                         Code::RewriteDeclined,
@@ -672,6 +813,7 @@ impl Extractor {
             loops_rewritten,
             elapsed: started.elapsed(),
             stage,
+            certification,
         }
     }
 }
@@ -1245,6 +1387,82 @@ mod tests {
             .filter(|d| d.code == Code::AbruptLoopExit && d.var.as_deref() == Some("v"))
             .collect();
         assert_eq!(e004.len(), 1, "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn certification_discharges_all_obligations() {
+        let src = r#"fn total() {
+            rows = executeQuery("SELECT * FROM emp");
+            s = 0;
+            for (e in rows) { s = s + e.salary; }
+            return s;
+        }"#;
+        let p = parse_and_normalize(src).unwrap();
+        let opts = ExtractorOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let r = Extractor::with_options(catalog(), opts).extract_function(&p, "total");
+        assert_eq!(r.loops_rewritten, 1, "{:#?}", r.vars);
+        let c = r.certification.expect("certification requested");
+        assert!(c.total > 0, "at least the fold-intro obligation: {c:?}");
+        assert_eq!(c.counterexamples, 0, "{:#?}", r.diagnostics);
+        assert_eq!(c.inconclusive, 0, "{:#?}", r.diagnostics);
+        assert!(c.certified());
+        assert!(r.stage.obligations_checked as usize == c.total);
+        let json = r.render_json(src);
+        assert!(json.contains("\"certification\""), "{json}");
+        assert!(json.contains("\"certified\":true"), "{json}");
+    }
+
+    #[test]
+    fn certification_absent_when_not_requested() {
+        let r = extract(
+            r#"fn f() { q = executeQuery("SELECT * FROM emp"); s = 0; for (e in q) { s = s + e.salary; } return s; }"#,
+            "f",
+        );
+        assert!(r.certification.is_none());
+        assert_eq!(r.stage.certify_ns, 0);
+        assert_eq!(r.stage.obligations_checked, 0);
+        assert!(!r.render_json("").contains("certification"));
+    }
+
+    #[test]
+    fn certification_aggregates_across_program() {
+        let src = r#"
+            fn a() {
+                q = executeQuery("SELECT * FROM emp");
+                n = 0;
+                for (e in q) { n = n + 1; }
+                return n;
+            }
+            fn b() {
+                q = executeQuery("SELECT * FROM emp");
+                s = 0;
+                for (e in q) { s = s + e.salary; }
+                return s;
+            }
+        "#;
+        let p = parse_and_normalize(src).unwrap();
+        let opts = ExtractorOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let r = Extractor::with_options(catalog(), opts).extract_program(&p);
+        assert_eq!(r.loops_rewritten, 2, "{:#?}", r.vars);
+        let c = r.certification.expect("certification requested");
+        assert!(c.total >= 2, "{c:?}");
+        assert!(c.certified(), "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn certify_flag_changes_fingerprint() {
+        let base = ExtractorOptions::default();
+        let certified = ExtractorOptions {
+            certify: true,
+            ..Default::default()
+        };
+        assert_ne!(base.fingerprint(), certified.fingerprint());
     }
 
     #[test]

@@ -38,9 +38,10 @@ use analysis::defuse::DefUseCtx;
 use analysis::diag::{Code, Diagnostic};
 use analysis::pass::stmt_span;
 use analysis::slice::slice_for_var;
-use imp::ast::{Block, StmtId, StmtKind};
+use imp::ast::{Block, Stmt, StmtId, StmtKind};
 use imp::token::Span;
 
+use crate::certify::Obligation;
 use crate::eedag::{EeDag, Node, NodeId, VeMap};
 
 /// One per-variable conversion attempt.
@@ -50,6 +51,9 @@ pub struct FoldAttempt {
     pub var: Symbol,
     /// The fold node, or the diagnostic explaining why conversion failed.
     pub node: Result<NodeId, Diagnostic>,
+    /// The fold-introduction proof obligation, when conversion succeeded:
+    /// the loop-body expression and the fold claimed equivalent to it.
+    pub obligation: Option<Obligation>,
 }
 
 /// Options for F-IR conversion.
@@ -91,6 +95,7 @@ pub fn loop_to_fold(
                 out.push(FoldAttempt {
                     var: *var,
                     node: Err(diag.clone().with_var(var.as_str())),
+                    obligation: None,
                 });
             }
         }
@@ -105,6 +110,7 @@ pub fn loop_to_fold(
             cursor,
             source,
             loop_stmt,
+            ctx,
         };
         let node = convert_var(dag, body_ve, &ddg, &cx, *var, &updated).or_else(|err| {
             if opts.dependent_agg
@@ -115,7 +121,15 @@ pub fn loop_to_fold(
                 Err(err)
             }
         });
-        out.push(FoldAttempt { var: *var, node });
+        let obligation = node
+            .as_ref()
+            .ok()
+            .map(|n| Obligation::fold_intro(body_ve[var], *n, (loop_stmt, *var)));
+        out.push(FoldAttempt {
+            var: *var,
+            node,
+            obligation,
+        });
     }
     out
 }
@@ -127,6 +141,7 @@ struct ConvertCx<'a> {
     cursor: Symbol,
     source: NodeId,
     loop_stmt: StmtId,
+    ctx: &'a DefUseCtx,
 }
 
 impl ConvertCx<'_> {
@@ -287,6 +302,15 @@ fn convert_var(
         .with_var(var.as_str())
         .with_pass("fir")
         .with_note("precondition P3: the variable's slice must be free of external effects");
+        // Name the offending effect (interprocedural effect summaries): a
+        // rejection should say *what* writes, not just where.
+        if let Some(why) = writers
+            .first()
+            .and_then(|id| find_stmt(cx.body, *id))
+            .and_then(|s| analysis::effects::describe_external_write(s, &cx.ctx.summaries))
+        {
+            d = d.with_note(format!("the statement {why}"));
+        }
         for w in writers.iter().skip(1) {
             d = d.with_label(cx.span_of(*w), "external write also here");
         }
@@ -299,7 +323,7 @@ fn convert_var(
         .iter()
         .any(|e| e.var == var && sacc.contains(&e.writer));
     if !has_cycle_on_var {
-        return Err(Diagnostic::new(
+        let mut d = Diagnostic::new(
             Code::NoAccumulation,
             cx.first_span(&sacc),
             format!(
@@ -310,7 +334,13 @@ fn convert_var(
         .with_primary_label(format!("{var} is overwritten, not accumulated"))
         .with_var(var.as_str())
         .with_pass("fir")
-        .with_note("precondition P1: the update must read the previous iteration's value"));
+        .with_note("precondition P1: the update must read the previous iteration's value");
+        // Every update site of the variable is a cycle endpoint the missing
+        // lcfd edge would have to connect.
+        for w in sacc.iter().skip(1) {
+            d = d.with_label(cx.span_of(*w), format!("{var} is also updated here"));
+        }
+        return Err(d);
     }
     for e in &lcfd {
         let allowed = (e.var == var && sacc.contains(&e.writer)) || e.var == cx.cursor;
@@ -361,11 +391,25 @@ fn convert_var(
     // this; an Input surviving here would silently capture a stale value).
     for w in all_updated {
         if *w != var && dag.inputs_of(func).contains(w) {
-            return fail(
+            let w_writers = ddg.writers_of(*w);
+            return Err(Diagnostic::new(
                 Code::ExtraLoopDependence,
                 cx.first_span(&sacc),
                 format!("folding function for {var} reads loop variable {w}"),
-            );
+            )
+            .with_primary_label(format!(
+                "the update of {var} here reads {w}'s iteration-start value"
+            ))
+            .with_label(
+                cx.first_span(&w_writers),
+                format!("{w} is itself updated by the loop here"),
+            )
+            .with_var(var.as_str())
+            .with_pass("fir")
+            .with_note(
+                "precondition P2: only the accumulator itself (and the cursor) may \
+                 carry values across iterations",
+            ));
         }
     }
     if dag.any(func, |n| matches!(n, Node::NotDetermined)) {
@@ -384,6 +428,33 @@ fn convert_var(
         cursor: cx.cursor,
         origin: (cx.loop_stmt, var),
     }))
+}
+
+/// Find a statement (recursively) by id.
+fn find_stmt(b: &Block, id: StmtId) -> Option<&Stmt> {
+    for s in &b.stmts {
+        if s.id == id {
+            return Some(s);
+        }
+        match &s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if let Some(r) = find_stmt(then_branch, id).or_else(|| find_stmt(else_branch, id)) {
+                    return Some(r);
+                }
+            }
+            StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                if let Some(r) = find_stmt(body, id) {
+                    return Some(r);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// The reason string of the first `Opaque` node under `id`, if any.

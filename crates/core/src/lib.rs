@@ -19,11 +19,15 @@
 //!   user-function inlining (Sec. 3.3, Appendix D);
 //! * [`fir`] — conversion of cursor loops to `fold` (Sec. 4, Fig. 6);
 //! * [`rules`] — the transformation rules (Sec. 5.1, Appendix B);
+//! * [`certify`] — proof obligations for every rule application, discharged
+//!   by algebraic normalization or differential evaluation over generated
+//!   micro-databases (translation validation);
 //! * [`sqlgen`] — translation of transformed F-IR into SQL plus parameter
 //!   expressions (Sec. 5.2);
 //! * [`rewrite`] — program rewriting and dead-code elimination (Sec. 5.2);
 //! * [`extract`] — the public [`extract::Extractor`] API tying it together.
 
+pub mod certify;
 pub mod costing;
 pub mod dir;
 pub mod eedag;
@@ -34,9 +38,11 @@ pub mod rewrite;
 pub mod rules;
 pub mod sqlgen;
 
+pub use certify::{CertReport, Certifier, Obligation, ObligationKind, Verdict};
 pub use costing::{DbStats, RewriteDecision};
 pub use extract::{
-    ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions, StageTimes, VarExtraction,
+    CertSummary, ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions, StageTimes,
+    VarExtraction,
 };
 pub use lint::lint_program;
 pub use rules::RuleMiss;

@@ -32,6 +32,7 @@ use algebra::ra::{AggCall, AggFunc, ProjItem, RaExpr};
 use algebra::scalar::{BinOp, ColRef, Lit, Scalar, ScalarFunc, UnOp};
 use algebra::schema::Catalog;
 
+use crate::certify::Obligation;
 use crate::eedag::{EeDag, Node, NodeId, NodeList, OpKind};
 
 /// Options controlling rule application.
@@ -80,6 +81,10 @@ pub struct RuleEngine<'c> {
     /// Rules that shape-matched but declined, with reasons (deduplicated;
     /// rule application runs to fixpoint, so the same miss can recur).
     pub misses: Vec<RuleMiss>,
+    /// One proof obligation per rule application, in application order.
+    /// Chained rewrites (`minmax-normalize` then `T5.1-max`) emit one
+    /// obligation per step, so the composition is certified stepwise.
+    pub obligations: Vec<Obligation>,
     fresh: usize,
     /// Nodes known to be in normal form: a previous pass rebuilt them to
     /// themselves, and rewriting is a pure function of the subdag (catalog
@@ -103,6 +108,7 @@ impl<'c> RuleEngine<'c> {
             opts,
             trace: Vec::new(),
             misses: Vec::new(),
+            obligations: Vec::new(),
             fresh: 0,
             clean: HashSet::new(),
             cache_enabled: true,
@@ -120,6 +126,20 @@ impl<'c> RuleEngine<'c> {
         if !self.misses.contains(&m) {
             self.misses.push(m);
         }
+    }
+
+    /// Record the proof obligation for the rule that just fired (the last
+    /// trace entry) rewriting `before` into `after`.
+    fn certified(
+        &mut self,
+        before: NodeId,
+        after: NodeId,
+        origin: (imp::ast::StmtId, Symbol),
+    ) -> NodeId {
+        let rule = self.trace.last().copied().unwrap_or("?");
+        self.obligations
+            .push(Obligation::rewrite(rule, before, after).with_origin(origin));
+        after
     }
 
     /// Transform an expression to fixpoint.
@@ -283,7 +303,7 @@ impl<'c> RuleEngine<'c> {
                     })
                 };
                 match self.try_arg_extreme(dag, node) {
-                    Some(n) => n,
+                    Some(n) => self.certified(node, n, origin),
                     None => node,
                 }
             }
@@ -310,7 +330,7 @@ impl<'c> RuleEngine<'c> {
         let (a, b) = (args[0], args[1]);
         let is_lit =
             |dag: &EeDag, n: NodeId, l: &Lit| matches!(dag.node(n), Node::Const(x) if x == l);
-        match op {
+        let out = match op {
             OpKind::Or if is_lit(dag, a, &Lit::Bool(false)) => b,
             OpKind::Or if is_lit(dag, b, &Lit::Bool(false)) => a,
             OpKind::And if is_lit(dag, a, &Lit::Bool(true)) => b,
@@ -318,7 +338,12 @@ impl<'c> RuleEngine<'c> {
             OpKind::Add if is_lit(dag, a, &Lit::Int(0)) => b,
             OpKind::Add if is_lit(dag, b, &Lit::Int(0)) => a,
             _ => id,
+        };
+        if out != id {
+            self.obligations
+                .push(Obligation::rewrite("simplify", id, out));
         }
+        out
     }
 
     /// Attempt all fold rules at a (already child-rewritten) fold node.
@@ -382,6 +407,7 @@ impl<'c> RuleEngine<'c> {
                                 cursor,
                                 origin,
                             });
+                            self.certified(fold, out, origin);
                             return Some(self.try_fold_rules(dag, out).unwrap_or(out));
                         }
                     }
@@ -426,6 +452,7 @@ impl<'c> RuleEngine<'c> {
                             cursor,
                             origin,
                         });
+                        self.certified(fold, out, origin);
                         return Some(self.try_fold_rules(dag, out).unwrap_or(out));
                     }
                     None => self.miss(
@@ -459,26 +486,26 @@ impl<'c> RuleEngine<'c> {
                     if let Some(n) =
                         self.try_outer_apply(dag, &q, &qp, cursor, elem, is_set, ordered, init)
                     {
-                        return Some(n);
+                        return Some(self.certified(fold, n, origin));
                     }
                     if let Some(n) = self.try_group_by(dag, &q, &qp, cursor, elem, is_set, init) {
-                        return Some(n);
+                        return Some(self.certified(fold, n, origin));
                     }
                 } else {
                     if let Some(n) = self.try_group_by(dag, &q, &qp, cursor, elem, is_set, init) {
-                        return Some(n);
+                        return Some(self.certified(fold, n, origin));
                     }
                     if let Some(n) =
                         self.try_outer_apply(dag, &q, &qp, cursor, elem, is_set, ordered, init)
                     {
-                        return Some(n);
+                        return Some(self.certified(fold, n, origin));
                     }
                 }
                 // T1/T3: plain projection.
                 if let Some(n) =
                     self.try_projection(dag, &q, &qp, cursor, elem, is_set, ordered, init)
                 {
-                    return Some(n);
+                    return Some(self.certified(fold, n, origin));
                 }
                 return None;
             }
@@ -493,7 +520,7 @@ impl<'c> RuleEngine<'c> {
                 };
                 if acc_pos < 2 {
                     if let Some(n) = self.try_scalar_agg(dag, &q, &qp, cursor, op, e, init, var) {
-                        return Some(n);
+                        return Some(self.certified(fold, n, origin));
                     }
                 }
             }
@@ -513,7 +540,7 @@ impl<'c> RuleEngine<'c> {
                 if let Some(n) =
                     self.try_join(dag, &q, &qp, cursor, ifunc, isrc, icursor, var, init)
                 {
-                    return Some(n);
+                    return Some(self.certified(fold, n, origin));
                 }
             }
         }

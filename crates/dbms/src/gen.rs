@@ -4,12 +4,56 @@
 //! mirror the applications of Sec. 7: Matoso's `board`, Wilos's
 //! `project`/`wilos_user`/`role`, and JobPortal's star schema (Fig. 12).
 
-use algebra::schema::{SqlType, TableSchema};
+use algebra::schema::{Catalog, SqlType, TableSchema};
 
 use crate::prng::StdRng;
 
 use crate::table::Database;
 use crate::value::Value;
+
+/// Populate a database for an arbitrary catalog: `rows` rows per table,
+/// deterministic under `seed`.
+///
+/// Key columns receive *unique* values (`0..rows` / `"k0".."kN"`) so that
+/// rewrites whose soundness rests on a unique key (T4.1, T5.2) are tested
+/// under their actual precondition. Non-key columns draw from a deliberately
+/// tiny domain so joins and equality predicates hit on small databases.
+pub fn gen_catalog(catalog: &Catalog, rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for schema in catalog.tables() {
+        db.create_table(schema.clone());
+        for r in 0..rows {
+            let row: Vec<Value> = schema
+                .columns
+                .iter()
+                .map(|c| {
+                    let is_key = schema.key.iter().any(|k| k == &c.name);
+                    match c.ty {
+                        SqlType::Int => Value::Int(if is_key {
+                            r as i64
+                        } else {
+                            rng.gen_range(0..4i64)
+                        }),
+                        SqlType::Double => Value::Float(if is_key {
+                            r as f64
+                        } else {
+                            rng.gen_range(0..8i64) as f64 / 2.0
+                        }),
+                        SqlType::Bool => Value::Bool(rng.gen_bool(0.5)),
+                        SqlType::Text => Value::Str(if is_key {
+                            format!("k{r}")
+                        } else {
+                            format!("s{}", rng.gen_range(0..3u32))
+                        }),
+                    }
+                })
+                .collect();
+            db.insert(&schema.name, row);
+        }
+    }
+    db
+}
 
 /// Matoso `board` table: `n` boards spread over `rounds` rounds, four player
 /// scores each (paper Fig. 2 / Experiment 7).
@@ -344,6 +388,40 @@ mod tests {
         let a = crate::eval::eval_query(&online, &db, &[]).unwrap().rows[0][0].clone();
         let b = crate::eval::eval_query(&quals, &db, &[]).unwrap().rows[0][0].clone();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn catalog_generation_gives_unique_keys() {
+        use algebra::schema::Catalog;
+        let cat = Catalog::new()
+            .with(
+                TableSchema::new(
+                    "t",
+                    &[
+                        ("id", SqlType::Int),
+                        ("grp", SqlType::Int),
+                        ("s", SqlType::Text),
+                    ],
+                )
+                .with_key(&["id"]),
+            )
+            .with(TableSchema::new("u", &[("x", SqlType::Double)]));
+        let db = gen_catalog(&cat, 5, 11);
+        let t = db.table("t").unwrap();
+        assert_eq!(t.len(), 5);
+        let mut ids: Vec<i64> = t
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "key column must be unique");
+        assert_eq!(db.table("u").unwrap().len(), 5);
+        assert_eq!(gen_catalog(&cat, 5, 11), db, "must be deterministic");
     }
 
     #[test]

@@ -70,7 +70,8 @@ pub mod prelude {
     pub use analysis::diag::{render_json, Code, Diagnostic, Severity};
     pub use dbms::{Connection, CostModel, Database, Value};
     pub use eqsql_core::{
-        lint_program, ExtractionOutcome, ExtractionReport, Extractor, ExtractorOptions,
+        lint_program, CertReport, CertSummary, Certifier, ExtractionOutcome, ExtractionReport,
+        Extractor, ExtractorOptions, Obligation, Verdict,
     };
     pub use imp;
     pub use interp::{Interp, RtValue};

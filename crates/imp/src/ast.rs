@@ -357,7 +357,13 @@ impl Expr {
     }
 }
 
-/// Names of built-in database access functions.
+/// Names of built-in database access functions, and the single shared
+/// effect table for every builtin the language knows.
+///
+/// The effect classification here is the *one* source of truth consumed by
+/// both the def/use analysis (`analysis::defuse`) and the interprocedural
+/// effect analysis (`analysis::effects`); keeping it next to the AST stops
+/// the per-analysis copies from drifting.
 pub mod builtins {
     /// Runs a query, returns its result list.
     pub const EXECUTE_QUERY: &str = "executeQuery";
@@ -372,6 +378,63 @@ pub mod builtins {
     /// All functions that touch the database.
     pub const DB_FUNCTIONS: [&str; 4] =
         [EXECUTE_QUERY, EXECUTE_SCALAR, EXECUTE_UPDATE, EXECUTE_BATCH];
+
+    /// Pure library functions: no external reads or writes, value depends
+    /// only on the arguments.
+    pub const PURE_FUNCTIONS: &[&str] = &[
+        "max", "min", "abs", "concat", "list", "set", "lower", "upper", "length", "pair",
+        "coalesce",
+    ];
+
+    /// Collection / string methods that mutate their receiver.
+    pub const MUTATING_METHODS: &[&str] = &["add", "insert", "append", "remove", "clear", "addAll"];
+
+    /// Collection methods that only read their receiver.
+    pub const READING_METHODS: &[&str] =
+        &["contains", "size", "get", "isEmpty", "first", "indexOf"];
+
+    /// Effect class of a builtin *free function*.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FnEffect {
+        /// No external access at all.
+        Pure,
+        /// Reads the database (treated as one external location).
+        DbRead,
+        /// Writes (and reads) the database.
+        DbWrite,
+    }
+
+    /// Classify a free-function name. `None` means the name is not a
+    /// builtin (a user-defined function, or genuinely unknown).
+    pub fn function_effect(name: &str) -> Option<FnEffect> {
+        match name {
+            EXECUTE_QUERY | EXECUTE_SCALAR | EXECUTE_BATCH => Some(FnEffect::DbRead),
+            EXECUTE_UPDATE => Some(FnEffect::DbWrite),
+            n if PURE_FUNCTIONS.contains(&n) => Some(FnEffect::Pure),
+            _ => None,
+        }
+    }
+
+    /// Effect class of a builtin *method* name.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum MethodEffect {
+        /// Mutates its receiver (still pure w.r.t. external state).
+        MutatesReceiver,
+        /// Only reads its receiver.
+        ReadsReceiver,
+    }
+
+    /// Classify a method name; `None` for unknown methods (conservatively
+    /// treated as external accesses by the analyses).
+    pub fn method_effect(name: &str) -> Option<MethodEffect> {
+        if MUTATING_METHODS.contains(&name) {
+            Some(MethodEffect::MutatesReceiver)
+        } else if READING_METHODS.contains(&name) {
+            Some(MethodEffect::ReadsReceiver)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

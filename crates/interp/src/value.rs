@@ -202,6 +202,44 @@ pub fn loose_eq(a: &RtValue, b: &RtValue) -> bool {
     }
 }
 
+/// View a query result as a runtime value: one element per row, scalars
+/// for single-column results, shared-metadata [`RtValue::Row`]s otherwise.
+/// This is the bridge both observational checkers (qbs verification,
+/// rewrite certification) use to compare relational and imperative sides.
+pub fn relation_to_rt(rel: &dbms::Relation) -> RtValue {
+    let fields = Rc::new(rel.fields.clone());
+    RtValue::List(
+        rel.rows
+            .iter()
+            .map(|r| {
+                if r.len() == 1 {
+                    RtValue::Scalar(r[0].clone())
+                } else {
+                    RtValue::Row {
+                        fields: Rc::clone(&fields),
+                        values: r.clone(),
+                    }
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Compare a query result against an interpreter value: a scalar expects a
+/// 1×1 relation (NULL matches NULL); collections compare via
+/// [`relation_to_rt`] and [`loose_eq`] (sets order-insensitively).
+pub fn relation_matches(rel: &dbms::Relation, expected: &RtValue) -> bool {
+    match expected {
+        RtValue::Scalar(v) => {
+            rel.rows.len() == 1
+                && rel.rows[0].len() == 1
+                && (rel.rows[0][0].group_eq(v) || (rel.rows[0][0].is_null() && v.is_null()))
+        }
+        RtValue::List(_) | RtValue::Set(_) => loose_eq(&relation_to_rt(rel), expected),
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +282,26 @@ mod tests {
             values: vec![Value::Int(1)],
         };
         assert!(loose_eq(&r1, &r2));
+    }
+
+    #[test]
+    fn relation_matches_scalar_and_collection() {
+        let rel = dbms::Relation {
+            fields: vec![Field::new("s")],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        assert!(relation_matches(&rel, &RtValue::int(7)));
+        assert!(!relation_matches(&rel, &RtValue::int(8)));
+        assert!(relation_matches(
+            &rel,
+            &RtValue::List(vec![RtValue::int(7)])
+        ));
+        let empty = dbms::Relation {
+            fields: vec![Field::new("s")],
+            rows: vec![],
+        };
+        assert!(!relation_matches(&empty, &RtValue::int(0)));
+        assert!(relation_matches(&empty, &RtValue::List(vec![])));
     }
 
     #[test]

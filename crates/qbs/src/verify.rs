@@ -6,9 +6,9 @@
 
 use algebra::ra::RaExpr;
 use dbms::eval::eval_query;
-use dbms::{Connection, Relation};
+use dbms::Connection;
 use imp::ast::Program;
-use interp::value::loose_eq;
+use interp::value::relation_matches;
 use interp::{Interp, RtValue};
 
 use crate::testgen::TestInput;
@@ -44,43 +44,6 @@ pub fn candidate_matches(cand: &RaExpr, tests: &[TestInput], refs: &[RtValue]) -
         }
     }
     true
-}
-
-/// Compare a query result against an interpreter value.
-fn relation_matches(rel: &Relation, expected: &RtValue) -> bool {
-    match expected {
-        // Scalar result: single row, single column.
-        RtValue::Scalar(v) => {
-            rel.rows.len() == 1
-                && rel.rows[0].len() == 1
-                && (rel.rows[0][0].group_eq(v) || (rel.rows[0][0].is_null() && v.is_null()))
-        }
-        // Collections: row-per-element, in order (sets order-insensitively).
-        RtValue::List(_) | RtValue::Set(_) => {
-            let as_rt = relation_to_rt(rel);
-            loose_eq(&as_rt, expected)
-        }
-        _ => false,
-    }
-}
-
-fn relation_to_rt(rel: &Relation) -> RtValue {
-    let fields = std::rc::Rc::new(rel.fields.clone());
-    RtValue::List(
-        rel.rows
-            .iter()
-            .map(|r| {
-                if r.len() == 1 {
-                    RtValue::Scalar(r[0].clone())
-                } else {
-                    RtValue::Row {
-                        fields: std::rc::Rc::clone(&fields),
-                        values: r.clone(),
-                    }
-                }
-            })
-            .collect(),
-    )
 }
 
 #[cfg(test)]

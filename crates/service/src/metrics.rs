@@ -59,6 +59,11 @@ pub struct StageCounters {
     pub rule_cache_hits: AtomicU64,
     /// Rule-engine rewrites actually performed across all jobs.
     pub rule_cache_misses: AtomicU64,
+    /// Obligation certification time across all jobs (zero unless a
+    /// request sets `options.certify`).
+    pub certify_ns: AtomicU64,
+    /// Proof obligations checked by the certifier across all jobs.
+    pub obligations_checked: AtomicU64,
 }
 
 impl StageCounters {
@@ -75,6 +80,9 @@ impl StageCounters {
             .fetch_add(t.rule_cache_hits, Ordering::Relaxed);
         self.rule_cache_misses
             .fetch_add(t.rule_cache_misses, Ordering::Relaxed);
+        self.certify_ns.fetch_add(t.certify_ns, Ordering::Relaxed);
+        self.obligations_checked
+            .fetch_add(t.obligations_checked, Ordering::Relaxed);
     }
 }
 
@@ -225,6 +233,7 @@ pub fn render(
         ("rules", &stages.rules_ns),
         ("sqlgen", &stages.sqlgen_ns),
         ("rewrite", &stages.rewrite_ns),
+        ("certify", &stages.certify_ns),
     ] {
         let v = if deterministic {
             0
@@ -250,6 +259,12 @@ pub fn render(
         "eqsql_rule_cache_misses_total",
         "Rule-engine subdag rewrites actually performed.",
         stages.rule_cache_misses.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "eqsql_obligations_checked_total",
+        "Proof obligations checked by the rewrite certifier.",
+        stages.obligations_checked.load(Ordering::Relaxed),
     );
     out
 }
@@ -280,6 +295,7 @@ mod tests {
         stages.dir_ns.store(12345, Ordering::Relaxed);
         stages.peak_dag_nodes.store(40, Ordering::Relaxed);
         stages.rule_cache_hits.store(7, Ordering::Relaxed);
+        stages.obligations_checked.store(5, Ordering::Relaxed);
         let a = render(&http, &sched, &cache, &stages, false);
         let b = render(&http, &sched, &cache, &stages, false);
         assert_eq!(a, b);
@@ -289,6 +305,8 @@ mod tests {
         assert!(a.contains("eqsql_stage_ns_total{stage=\"dir\"} 12345"));
         assert!(a.contains("eqsql_dag_peak_nodes 40"));
         assert!(a.contains("eqsql_rule_cache_hits_total 7"));
+        assert!(a.contains("eqsql_obligations_checked_total 5"));
+        assert!(a.contains("eqsql_stage_ns_total{stage=\"certify\"} 0"));
         // Deterministic mode zeroes the timings but keeps the counts.
         let det = render(&http, &sched, &cache, &stages, true);
         assert!(det.contains("eqsql_stage_ns_total{stage=\"dir\"} 0"));

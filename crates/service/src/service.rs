@@ -115,7 +115,8 @@ impl ExtractRequest {
     ///  "function": "f",
     ///  "options": {"dialect": "postgres", "ordered": true,
     ///              "require_all_vars": true, "rewrite_prints": false,
-    ///              "dependent_agg": false, "prefer_lateral": false}}
+    ///              "dependent_agg": false, "prefer_lateral": false,
+    ///              "certify": false}}
     /// ```
     ///
     /// Only `source` is required; everything else defaults.
@@ -157,6 +158,7 @@ impl ExtractRequest {
             options.rewrite_prints = flag("rewrite_prints", options.rewrite_prints)?;
             options.dependent_agg = flag("dependent_agg", options.dependent_agg)?;
             options.prefer_lateral = flag("prefer_lateral", options.prefer_lateral)?;
+            options.certify = flag("certify", options.certify)?;
             if let Some(d) = o.get("dialect") {
                 let name = d.as_str().ok_or_else(|| {
                     ServiceError::BadRequest("options.dialect must be a string".into())

@@ -1,0 +1,154 @@
+//! Property and corpus tests for the interprocedural effect analysis.
+//!
+//! The effect lattice must actually be a lattice (join idempotent,
+//! commutative, associative, monotone), and the summary-based purity
+//! answer must agree with the legacy syntactic oracle
+//! (`analysis::purity::reference`) on every corpus program: anything the
+//! old analysis proved pure stays pure, and nothing writing the database
+//! is ever admitted.
+
+use analysis::effects::{effect_summaries, EffectSet, EffectSummary};
+use intern::Symbol;
+use proptest::prelude::*;
+use workloads::{servlets, wilos};
+
+fn effect_set() -> impl Strategy<Value = EffectSet> {
+    (0u8..64).prop_map(EffectSet)
+}
+
+fn summary() -> impl Strategy<Value = EffectSummary> {
+    (effect_set(), any::<u32>(), any::<u32>()).prop_map(|(effects, r, m)| EffectSummary {
+        effects,
+        reads_params: r,
+        mutates_params: m,
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_idempotent(a in effect_set()) {
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn join_is_commutative(a in effect_set(), b in effect_set()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+
+    #[test]
+    fn join_is_associative(a in effect_set(), b in effect_set(), c in effect_set()) {
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    #[test]
+    fn join_is_monotone(a in effect_set(), b in effect_set()) {
+        // a ⊑ a ⊔ b and b ⊑ a ⊔ b: the join is an upper bound.
+        let j = a.join(b);
+        prop_assert!(j.contains(a));
+        prop_assert!(j.contains(b));
+        // And it is the *least* upper bound: joining again adds nothing.
+        prop_assert_eq!(j.join(a), j);
+    }
+
+    #[test]
+    fn summary_join_is_least_upper_bound(a in summary(), b in summary()) {
+        let j = a.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        prop_assert_eq!(j.join(&a), j);
+        prop_assert_eq!(j.join(&b), j);
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn purity_is_antitone_in_effects(a in summary(), b in summary()) {
+        // Adding effects can only destroy purity, never create it.
+        if a.join(&b).is_externally_pure() {
+            prop_assert!(a.is_externally_pure());
+            prop_assert!(b.is_externally_pure());
+        }
+    }
+
+    #[test]
+    fn bottom_and_top_behave(a in summary()) {
+        prop_assert_eq!(EffectSummary::pure().join(&a), a);
+        prop_assert_eq!(a.join(&EffectSummary::unknown()), EffectSummary::unknown());
+        prop_assert!(EffectSummary::pure().le(&a));
+        prop_assert!(a.le(&EffectSummary::unknown()));
+    }
+}
+
+/// On every corpus program the summary analysis must be a refinement of
+/// the legacy oracle: `reference`-pure ⇒ externally pure summary. (The
+/// converse may fail — the fixpoint proves more functions pure, e.g.
+/// effect-free recursion — which is exactly the widening the effect
+/// analysis exists for.)
+fn assert_refines_reference(label: &str, source: &str) {
+    let program = match imp::parse_and_normalize(source) {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let summaries = effect_summaries(&program);
+    let legacy = analysis::purity::reference::pure_user_functions(&program);
+    for f in &program.functions {
+        let s = summaries
+            .get(&f.name)
+            .unwrap_or_else(|| panic!("{label}: no summary for `{}`", f.name));
+        if legacy.contains(&f.name) {
+            assert!(
+                s.is_externally_pure(),
+                "{label}: `{}` is reference-pure but summarized as {}",
+                f.name,
+                s.effects
+            );
+        }
+    }
+}
+
+#[test]
+fn effect_summaries_refine_reference_purity_on_wilos() {
+    for s in wilos::samples() {
+        assert_refines_reference(&format!("wilos #{}", s.id), s.source);
+    }
+}
+
+#[test]
+fn effect_summaries_refine_reference_purity_on_servlets() {
+    for (app, list) in [
+        ("rubis", servlets::rubis()),
+        ("rubbos", servlets::rubbos()),
+        ("acadportal", servlets::acadportal()),
+    ] {
+        for s in list {
+            assert_refines_reference(&format!("{app}:{}", s.name), &s.source);
+        }
+    }
+}
+
+#[test]
+fn db_writers_are_never_pure() {
+    let src = r#"
+        fn audit(id) {
+            executeUpdate("INSERT INTO log VALUES (?)", id);
+        }
+        fn helper(x) { return x + 1; }
+        fn readOnly() { return executeScalar("SELECT MAX(id) FROM log"); }
+        fn sample() {
+            audit(1);
+            return helper(2);
+        }
+    "#;
+    let program = imp::parse_and_normalize(src).unwrap();
+    let summaries = effect_summaries(&program);
+    let get = |n: &str| summaries[&Symbol::intern(n)];
+    assert!(get("audit").writes_external());
+    assert!(
+        get("sample").writes_external(),
+        "write propagates to caller"
+    );
+    assert!(get("helper").is_externally_pure());
+    let ro = get("readOnly");
+    assert!(!ro.writes_external());
+    assert!(ro.effects.contains(EffectSet::DB_READ));
+    assert!(!ro.is_externally_pure(), "db reads are not pure");
+}
