@@ -22,6 +22,13 @@ for f in examples/corpus/*.imp; do
     target/release/eqsql certify "$f" --schema examples/corpus/schema.sql
 done
 
+echo "==> eqsql fuzz (deterministic smoke)"
+# Differential-fuzzing gate (DESIGN.md §5f): 200 generated programs run
+# under the interpreter and through the extractor must agree exactly. The
+# fixed seed makes the sweep deterministic; failures print the minimized
+# program and exit nonzero.
+target/release/eqsql fuzz --seed 42 --iters 200
+
 echo "==> perf_pipeline --check"
 # Small-corpus sweep: asserts the bench harness runs end to end and emits
 # valid JSON. No timing gates — CI machines are too noisy for that.

@@ -6,7 +6,8 @@
 //! ```sql
 //! CREATE TABLE name (
 //!     col  INT | INTEGER | BIGINT | DOUBLE | FLOAT | REAL
-//!        | TEXT | VARCHAR(n) | CHAR(n) | BOOLEAN | BOOL   [PRIMARY KEY],
+//!        | TEXT | VARCHAR(n) | CHAR(n) | BOOLEAN | BOOL
+//!          [PRIMARY KEY] [NULL | NOT NULL],
 //!     …,
 //!     [PRIMARY KEY (col [, col]*)]
 //! );
@@ -136,7 +137,18 @@ fn parse_create_table(stmt: &str) -> Result<TableSchema, SqlError> {
         if rest.contains("primary key") {
             key.push(col_name.clone());
         }
-        columns.push(ColumnDef { name: col_name, ty });
+        // Nullability must be opted into: only an explicit `NULL` modifier
+        // (without `NOT NULL` / `PRIMARY KEY`) marks the column nullable,
+        // so legacy schema dumps keep the plain (non-NULL-guarded)
+        // extraction translations.
+        let nullable = rest.split_whitespace().any(|t| t == "null")
+            && !rest.contains("not null")
+            && !rest.contains("primary key");
+        columns.push(ColumnDef {
+            name: col_name,
+            ty,
+            nullable,
+        });
     }
     Ok(TableSchema {
         name: name.to_ascii_lowercase(),
@@ -206,6 +218,18 @@ mod tests {
         let c = parse_ddl("create table MixedCase (Id INT primary key)").unwrap();
         assert!(c.get("mixedcase").is_some());
         assert_eq!(c.get("mixedcase").unwrap().key, vec!["id"]);
+    }
+
+    #[test]
+    fn nullability_is_opt_in() {
+        let c =
+            parse_ddl("CREATE TABLE t (id INT PRIMARY KEY, a INT NULL, b INT NOT NULL, c INT);")
+                .unwrap();
+        let t = c.get("t").unwrap();
+        assert!(!t.column_nullable("id"));
+        assert!(t.column_nullable("a"));
+        assert!(!t.column_nullable("b"));
+        assert!(!t.column_nullable("c"), "unannotated columns stay NOT NULL");
     }
 
     #[test]

@@ -302,7 +302,7 @@ impl RaExpr {
     /// γ with no grouping (single-row aggregate).
     pub fn aggregate(self, aggs: Vec<AggCall>) -> Self {
         RaExpr::Aggregate {
-            input: Box::new(self),
+            input: Box::new(self.strip_order()),
             group_by: Vec::new(),
             aggs,
         }
@@ -311,9 +311,33 @@ impl RaExpr {
     /// γ with grouping.
     pub fn group_by(self, group_by: Vec<ProjItem>, aggs: Vec<AggCall>) -> Self {
         RaExpr::Aggregate {
-            input: Box::new(self),
+            input: Box::new(self.strip_order()),
             group_by,
             aggs,
+        }
+    }
+
+    /// Remove τ nodes whose ordering cannot affect the value of an
+    /// enclosing aggregate.
+    ///
+    /// Every [`AggFunc`] is order-insensitive, so a `Sort` feeding a γ is
+    /// dead weight — worse, rendering it inline produces `SELECT COUNT(…)
+    /// FROM t ORDER BY c`, which real dialects (and `dbms::eval`) reject
+    /// because `c` no longer exists in the aggregate's output. Strips along
+    /// σ/δ spines (δ only discards *identical* rows, so which duplicate
+    /// survives is unobservable); `Limit` is a hard barrier — which rows it
+    /// keeps depends on order.
+    fn strip_order(self) -> Self {
+        match self {
+            RaExpr::Sort { input, .. } => input.strip_order(),
+            RaExpr::Select { input, pred } => RaExpr::Select {
+                input: Box::new(input.strip_order()),
+                pred,
+            },
+            RaExpr::Dedup { input } => RaExpr::Dedup {
+                input: Box::new(input.strip_order()),
+            },
+            other => other,
         }
     }
 
@@ -517,6 +541,128 @@ impl RaExpr {
             _ => {}
         });
         max
+    }
+
+    /// Whether the named output column of this relation may hold SQL `NULL`.
+    ///
+    /// `qualifier` is the column's table qualifier, if the reference had one.
+    /// Returns `None` when the column cannot be resolved (unknown table,
+    /// unknown column, qualifier that doesn't bind here) — callers should
+    /// treat that as "maybe NULL".
+    pub fn column_maybe_null(
+        &self,
+        catalog: &Catalog,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Option<bool> {
+        match self {
+            RaExpr::Table { name: t, alias } => {
+                let binding = alias.as_deref().unwrap_or(t);
+                if qualifier.is_some_and(|q| q != binding) {
+                    return None;
+                }
+                let schema = catalog.get(t)?;
+                schema
+                    .columns
+                    .iter()
+                    .find(|c| c.name == name)
+                    .map(|c| c.nullable)
+            }
+            RaExpr::Values { columns, rows } => {
+                if qualifier.is_some() {
+                    return None;
+                }
+                let idx = columns.iter().position(|c| c == name)?;
+                Some(rows.iter().any(|r| matches!(r.get(idx), Some(Lit::Null))))
+            }
+            RaExpr::Select { input, .. }
+            | RaExpr::Sort { input, .. }
+            | RaExpr::Dedup { input }
+            | RaExpr::Limit { input, .. } => input.column_maybe_null(catalog, qualifier, name),
+            RaExpr::Aliased { input, alias } => {
+                if qualifier.is_some_and(|q| q != alias) {
+                    return None;
+                }
+                input.column_maybe_null(catalog, None, name)
+            }
+            RaExpr::Project { input, items } => {
+                if qualifier.is_some() {
+                    return None;
+                }
+                let item = items.iter().find(|i| i.alias == name)?;
+                Some(input.scalar_maybe_null(&item.expr, catalog))
+            }
+            RaExpr::Join {
+                left, right, kind, ..
+            } => {
+                if let Some(n) = left.column_maybe_null(catalog, qualifier, name) {
+                    return Some(n);
+                }
+                let n = right.column_maybe_null(catalog, qualifier, name)?;
+                // Right side of a left-outer join is NULL-padded.
+                Some(n || *kind == JoinKind::LeftOuter)
+            }
+            RaExpr::OuterApply { left, right } => {
+                if let Some(n) = left.column_maybe_null(catalog, qualifier, name) {
+                    return Some(n);
+                }
+                // OUTER APPLY pads the right side with NULLs when empty.
+                right.column_maybe_null(catalog, qualifier, name)?;
+                Some(true)
+            }
+            RaExpr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                if qualifier.is_some() {
+                    return None;
+                }
+                if let Some(g) = group_by.iter().find(|g| g.alias == name) {
+                    return Some(input.scalar_maybe_null(&g.expr, catalog));
+                }
+                let agg = aggs.iter().find(|a| a.alias == name)?;
+                // COUNT is never NULL; SUM/MIN/MAX/AVG are NULL on empty
+                // input (and on all-NULL / overflowing input).
+                Some(agg.func != AggFunc::Count)
+            }
+        }
+    }
+
+    /// Conservative may-be-NULL analysis for a scalar evaluated against this
+    /// relation's output rows. `true` means the expression can produce NULL
+    /// for some row; `false` is a proof that it cannot.
+    ///
+    /// Matches the engine semantics documented in `dbms::eval`: `/` and `%`
+    /// are NULL-on-error (division by zero), `CONCAT` skips NULL arguments
+    /// and always yields a string, `GREATEST`/`LEAST`/`COALESCE` are NULL
+    /// only when every argument is. Query parameters are program inputs
+    /// supplied by the harness and assumed non-NULL.
+    pub fn scalar_maybe_null(&self, s: &Scalar, catalog: &Catalog) -> bool {
+        use crate::scalar::{BinOp, ScalarFunc};
+        match s {
+            Scalar::Lit(l) => matches!(l, Lit::Null),
+            Scalar::Col(c) => self
+                .column_maybe_null(catalog, c.qualifier.as_deref(), &c.column)
+                .unwrap_or(true),
+            Scalar::Param(_) => false,
+            Scalar::Bin(BinOp::Div | BinOp::Mod, _, _) => true,
+            Scalar::Bin(_, l, r) => {
+                self.scalar_maybe_null(l, catalog) || self.scalar_maybe_null(r, catalog)
+            }
+            Scalar::Un(_, e) => self.scalar_maybe_null(e, catalog),
+            Scalar::Func(ScalarFunc::Concat, _) => false,
+            Scalar::Func(ScalarFunc::Greatest | ScalarFunc::Least | ScalarFunc::Coalesce, args) => {
+                args.iter().all(|a| self.scalar_maybe_null(a, catalog))
+            }
+            Scalar::Func(_, args) => args.iter().any(|a| self.scalar_maybe_null(a, catalog)),
+            Scalar::Case { arms, otherwise } => {
+                arms.iter().any(|(_, v)| self.scalar_maybe_null(v, catalog))
+                    || self.scalar_maybe_null(otherwise, catalog)
+            }
+            Scalar::Exists(_) => false,
+            Scalar::Subquery(_) => true,
+        }
     }
 
     /// True when the expression is (transitively) just scans, σ, π, τ, δ —

@@ -41,17 +41,55 @@ pub fn to_sql_with_params(expr: &RaExpr, dialect: Dialect) -> (String, Vec<usize
 }
 
 /// Strip `?/*i*/` tags, returning the clean SQL and the parameter order.
+///
+/// The scan is quote-aware: a `?/*` inside a `'…'` string literal (with
+/// `''` as the quote escape) is user data, not a tag, and is copied
+/// verbatim. Sequences that merely look like tags but carry no `*/`
+/// terminator or a non-numeric index are likewise left untouched — this
+/// function never panics on any rendered SQL.
 fn untag_params(tagged: &str) -> (String, Vec<usize>) {
     let mut out = String::with_capacity(tagged.len());
     let mut order = Vec::new();
     let mut rest = tagged;
-    while let Some(pos) = rest.find("?/*") {
-        out.push_str(&rest[..pos]);
-        out.push('?');
-        let after = &rest[pos + 3..];
-        let end = after.find("*/").expect("unterminated param tag");
-        order.push(after[..end].parse::<usize>().expect("bad param tag"));
-        rest = &after[end + 2..];
+    // Next candidate tag and next string literal; literals win when they
+    // start first, since tags inside them are inert text.
+    while let Some(tag) = rest.find("?/*") {
+        if let Some(q) = rest.find('\'').filter(|q| *q < tag) {
+            // Copy the whole literal (respecting the '' escape) and rescan.
+            let mut end = q + 1;
+            let bytes = rest.as_bytes();
+            while end < bytes.len() {
+                if bytes[end] == b'\'' {
+                    if bytes.get(end + 1) == Some(&b'\'') {
+                        end += 2;
+                        continue;
+                    }
+                    end += 1;
+                    break;
+                }
+                end += 1;
+            }
+            out.push_str(&rest[..end]);
+            rest = &rest[end..];
+            continue;
+        }
+        let after = &rest[tag + 3..];
+        let parsed = after
+            .find("*/")
+            .and_then(|e| after[..e].parse::<usize>().ok().map(|n| (e, n)));
+        match parsed {
+            Some((e, n)) => {
+                out.push_str(&rest[..tag]);
+                out.push('?');
+                order.push(n);
+                rest = &after[e + 2..];
+            }
+            None => {
+                // Not a tag we emitted; keep the text and move past the `?`.
+                out.push_str(&rest[..tag + 1]);
+                rest = &rest[tag + 1..];
+            }
+        }
     }
     out.push_str(rest);
     (out, order)

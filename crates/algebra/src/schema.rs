@@ -39,6 +39,11 @@ pub struct ColumnDef {
     pub name: String,
     /// Column type.
     pub ty: SqlType,
+    /// Whether the column may hold SQL `NULL`. Defaults to `false`: the
+    /// extractor's NULL-aware rule variants (e.g. the guarded `SUM`
+    /// translation) only engage for columns declared `NULL` in the DDL, so
+    /// schemas that never mention nullability keep the plain translations.
+    pub nullable: bool,
 }
 
 /// Schema of one base table.
@@ -64,6 +69,7 @@ impl TableSchema {
                 .map(|(n, t)| ColumnDef {
                     name: (*n).to_string(),
                     ty: *t,
+                    nullable: false,
                 })
                 .collect(),
             key: Vec::new(),
@@ -74,6 +80,21 @@ impl TableSchema {
     pub fn with_key(mut self, key: &[&str]) -> Self {
         self.key = key.iter().map(|k| (*k).to_string()).collect();
         self
+    }
+
+    /// Builder-style: mark the named columns as nullable.
+    pub fn with_nullable(mut self, cols: &[&str]) -> Self {
+        for c in &mut self.columns {
+            if cols.contains(&c.name.as_str()) {
+                c.nullable = true;
+            }
+        }
+        self
+    }
+
+    /// Whether `name` is a nullable column (`false` for unknown columns).
+    pub fn column_nullable(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name && c.nullable)
     }
 
     /// Position of a column by name, if present.

@@ -23,6 +23,7 @@
 //! | `E005` | unresolvable cursor query or non-algebraic construct |
 //! | `E006` | fold built, but no rule T1–T7 produced SQL |
 //! | `E007` | certification counterexample: a rewrite changed semantics |
+//! | `E008` | internal SQL-rendering invariant broke; rewrite dropped |
 //!
 //! `W0xx` codes are advisories — extraction may still succeed, or the
 //! finding is informational:
@@ -100,6 +101,10 @@ pub enum Code {
     /// Certification could not discharge an obligation (normalization
     /// inconclusive and differential evaluation unavailable/undecidable).
     CertInconclusive,
+    /// An internal SQL-rendering invariant broke (malformed operator arity,
+    /// unparseable parameter tag). The rewrite is dropped; the original
+    /// code is kept.
+    RenderInvariant,
 }
 
 impl Code {
@@ -119,6 +124,7 @@ impl Code {
             Code::RewriteDeclined => "W005",
             Code::CertCounterexample => "E007",
             Code::CertInconclusive => "W006",
+            Code::RenderInvariant => "E008",
         }
     }
 

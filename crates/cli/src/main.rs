@@ -37,6 +37,15 @@
 //!     127.0.0.1:7090; port 0 picks an ephemeral port, and --port-file
 //!     writes the bound address for scripts to discover.
 //!
+//! eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR]
+//!            [--max-divergences N]
+//!     Differential fuzzing: generate random well-typed programs over
+//!     random schemas, run each under the interpreter and through the
+//!     extractor (evaluating the emitted SQL), and report divergences.
+//!     Fully deterministic for a given seed. --shrink minimizes each
+//!     failure; --repros writes minimized cases as standalone files.
+//!     Exits nonzero when any divergence or panic is found.
+//!
 //! Common options:
 //!     --function NAME      function to analyse (default: first function;
 //!                          `lint` covers all functions unless given)
@@ -89,6 +98,12 @@ struct Opts {
     cache_entries: usize,
     timeout_ms: Option<u64>,
     port_file: Option<String>,
+    // fuzz options
+    seed: u64,
+    iters: u64,
+    shrink: bool,
+    repros: Option<String>,
+    max_divergences: usize,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -113,6 +128,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cache_entries: 256,
         timeout_ms: Some(30_000),
         port_file: None,
+        seed: 0,
+        iters: 1000,
+        shrink: false,
+        repros: None,
+        max_divergences: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -159,6 +179,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.timeout_ms = (ms > 0).then_some(ms);
             }
             "--port-file" => o.port_file = Some(next(&mut it, "--port-file")?),
+            "--seed" => {
+                o.seed = next(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--iters" => {
+                o.iters = next(&mut it, "--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?
+            }
+            "--shrink" => o.shrink = true,
+            "--repros" => o.repros = Some(next(&mut it, "--repros")?),
+            "--max-divergences" => {
+                o.max_divergences = next(&mut it, "--max-divergences")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-divergences: {e}"))?
+            }
             "--unordered" => o.unordered = true,
             "--prints" => o.prints = true,
             "--dependent-agg" => o.dependent_agg = true,
@@ -191,6 +228,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "serve" => return run_serve(&opts),
         "batch" => return run_batch_cmd(&opts),
+        "fuzz" => return run_fuzz_cmd(&opts),
         _ => {}
     }
     if opts.file.is_empty() {
@@ -467,6 +505,51 @@ fn run_batch_cmd(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn run_fuzz_cmd(opts: &Opts) -> Result<(), String> {
+    let cfg = fuzz::FuzzConfig {
+        seed: opts.seed,
+        iters: opts.iters,
+        shrink: opts.shrink,
+        repro_dir: opts.repros.clone().map(std::path::PathBuf::from),
+        max_divergences: opts.max_divergences,
+    };
+    // The oracle traps panics with catch_unwind and reports them as
+    // divergences; suppress the default hook's backtrace spew so the
+    // fuzz output stays deterministic and readable.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = fuzz::run_fuzz(&cfg);
+    std::panic::set_hook(hook);
+
+    for d in &report.divergences {
+        println!(
+            "divergence (seed {}): [{}] {}",
+            d.seed, d.divergence.kind, d.divergence.detail
+        );
+        if let Some(stem) = &d.repro {
+            println!("  repro written: {stem}.imp / {stem}.schema.sql / {stem}.data.sql");
+        }
+        for line in d.case.program.lines() {
+            println!("  | {line}");
+        }
+    }
+    println!(
+        "fuzz: {} iteration(s), {} extracted, {} skipped, {} divergence(s), {} panic(s) \
+         [seed {}]",
+        report.iterations,
+        report.extracted,
+        report.skipped,
+        report.divergences.len(),
+        report.panics,
+        opts.seed,
+    );
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} divergence(s) found", report.divergences.len()))
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: eqsql <extract|explain|lint|certify|run> <file.imp> --schema <schema.sql> \
@@ -474,6 +557,8 @@ fn print_usage() {
          [--prints] [--dependent-agg] [--partial] [--certify] [--data <data.sql>] [--arg N]...\n\
        \x20      eqsql batch <dir> [--jobs N] [--schema <schema.sql>] [options]\n\
        \x20      eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N] \
-         [--cache-entries N] [--timeout-ms N] [--port-file PATH]"
+         [--cache-entries N] [--timeout-ms N] [--port-file PATH]\n\
+       \x20      eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR] \
+         [--max-divergences N]"
     );
 }

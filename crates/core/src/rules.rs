@@ -385,7 +385,24 @@ impl<'c> RuleEngine<'c> {
                     if let Some(k) = kind {
                         let matches_direct = then_val == args[0] && else_val == args[1];
                         let matches_flipped = then_val == args[1] && else_val == args[0];
-                        let new_func = if matches_direct {
+                        // A maybe-NULL else value breaks the `?:` ≡ max/min
+                        // equivalence: a NULL comparison selects the else
+                        // branch (yielding NULL), while max/min skip NULL
+                        // operands. The then value is safe either way — a
+                        // NULL there makes the comparison NULL, so that
+                        // branch is never taken.
+                        let else_unsafe = (matches_direct || matches_flipped)
+                            && self.node_maybe_null(dag, else_val, &q, &qp, cursor, init, var);
+                        let new_func = if else_unsafe {
+                            self.miss(
+                                "minmax-normalize",
+                                format!(
+                                    "conditional min/max for `{var}` keeps a maybe-NULL \
+                                     else value; `?:` and max/min disagree on NULL"
+                                ),
+                            );
+                            None
+                        } else if matches_direct {
                             Some(dag.op(k, vec![args[1], args[0]]))
                         } else if matches_flipped {
                             // ?[x > y, y, x] keeps the smaller on Gt.
@@ -545,6 +562,42 @@ impl<'c> RuleEngine<'c> {
             }
         }
         None
+    }
+
+    /// Whether `node`, evaluated once per loop iteration, may be NULL.
+    /// Gates NULL-sensitive rewrites. Conservative: `true` when unsure.
+    ///
+    /// The accumulator parameter is NULL-free iff the fold's initial value
+    /// is: the only writes to it come from comparison-guarded branches,
+    /// which a NULL operand can never select (the comparison itself goes
+    /// NULL). Program inputs are harness-supplied scalars assumed non-NULL,
+    /// the same convention as `Scalar::Param` in
+    /// [`RaExpr::scalar_maybe_null`].
+    #[allow(clippy::too_many_arguments)]
+    fn node_maybe_null(
+        &self,
+        dag: &mut EeDag,
+        node: NodeId,
+        q: &RaExpr,
+        qp: &[NodeId],
+        cursor: Symbol,
+        init: NodeId,
+        var: Symbol,
+    ) -> bool {
+        let acc = dag.intern(Node::AccParam(var));
+        if node == acc {
+            return match dag.node(init) {
+                Node::Const(l) => matches!(l, Lit::Null),
+                Node::Input(_) => false,
+                _ => true,
+            };
+        }
+        let mut sb = ScalarBuild::new(dag, self.catalog, qp.to_vec());
+        sb.bind_tuple(cursor, None);
+        match sb.to_scalar(node) {
+            Some(s) => q.scalar_maybe_null(&s, self.catalog),
+            None => true,
+        }
     }
 
     /// T1/T3: `fold[append/insert, coll, Q]` with a scalar element.
@@ -754,6 +807,54 @@ impl<'c> RuleEngine<'c> {
                         _ => (AggFunc::Min, "T5.1-min"),
                     }
                 };
+                // Imperatively, `acc + NULL` poisons the running sum for
+                // the rest of the loop, while SQL's SUM skips NULL inputs —
+                // so a maybe-NULL argument takes the guarded translation:
+                //
+                //   CASE WHEN COUNT(*) = 0          THEN 0    -- empty: identity
+                //        WHEN COUNT(arg) < COUNT(*) THEN NULL -- NULL seen: poisoned
+                //        ELSE SUM(arg) END
+                //
+                // MAX/MIN need no guard: the interpreter's max/min builtins
+                // and SQL's MAX/MIN both skip NULL operands.
+                if agg == AggFunc::Sum && q.scalar_maybe_null(&arg, self.catalog) {
+                    let ra = q
+                        .clone()
+                        .aggregate(vec![
+                            AggCall::new(AggFunc::Sum, arg.clone(), "agg0"),
+                            AggCall::new(AggFunc::Count, arg, "agg1"),
+                            AggCall::new(AggFunc::Count, Scalar::int(1), "agg2"),
+                        ])
+                        .project(vec![ProjItem::new(
+                            Scalar::Case {
+                                arms: vec![
+                                    (
+                                        Scalar::cmp(BinOp::Eq, Scalar::col("agg2"), Scalar::int(0)),
+                                        Scalar::int(0),
+                                    ),
+                                    (
+                                        Scalar::cmp(
+                                            BinOp::Lt,
+                                            Scalar::col("agg1"),
+                                            Scalar::col("agg2"),
+                                        ),
+                                        Scalar::Lit(Lit::Null),
+                                    ),
+                                ],
+                                otherwise: Box::new(Scalar::col("agg0")),
+                            },
+                            "agg0",
+                        )]);
+                    let sq = dag.intern(Node::ScalarQuery {
+                        ra,
+                        params: params.into(),
+                    });
+                    self.trace.push("T5.1-sum-null");
+                    // The CASE already yields the identity on empty input
+                    // and NULL on poisoned input, so no outer COALESCE.
+                    let out = dag.op(OpKind::Add, vec![init, sq]);
+                    return Some(self.simplify_op(dag, out));
+                }
                 let ra = q.clone().aggregate(vec![AggCall::new(agg, arg, "agg0")]);
                 let sq = dag.intern(Node::ScalarQuery {
                     ra,
@@ -790,6 +891,18 @@ impl<'c> RuleEngine<'c> {
                     self.miss("EXISTS", "flag predicate has no scalar translation");
                     return None;
                 };
+                // Under 3-valued logic `v ∨ NULL` can leave the flag NULL,
+                // but `COUNT(σ_pred) > 0` is always TRUE/FALSE — a NULL
+                // predicate filters the row, reading as FALSE. Decline
+                // rather than change the flag's final value.
+                if q.scalar_maybe_null(&pred, self.catalog) {
+                    self.miss(
+                        "EXISTS",
+                        "flag predicate may evaluate to NULL; 3-valued OR \
+                         has no COUNT(σ) > 0 translation",
+                    );
+                    return None;
+                }
                 let params = sb.params;
                 let ra = q.clone().select(pred).aggregate(vec![AggCall::new(
                     AggFunc::Count,
@@ -813,6 +926,17 @@ impl<'c> RuleEngine<'c> {
                     self.miss("NOT-EXISTS", "flag predicate has no scalar translation");
                     return None;
                 };
+                // Dual of the EXISTS gate: `v ∧ NULL` can leave the flag
+                // NULL, but `COUNT(σ_¬pred) = 0` treats a NULL predicate
+                // as satisfied.
+                if q.scalar_maybe_null(&pred, self.catalog) {
+                    self.miss(
+                        "NOT-EXISTS",
+                        "flag predicate may evaluate to NULL; 3-valued AND \
+                         has no COUNT(σ) = 0 translation",
+                    );
+                    return None;
+                }
                 let params = sb.params;
                 let neg = Scalar::Un(UnOp::Not, Box::new(pred));
                 let ra = q.clone().select(neg).aggregate(vec![AggCall::new(

@@ -27,13 +27,18 @@ pub enum SqlGenError {
     /// The expression contains constructs with no relational equivalent
     /// (diagnostic code `E005`).
     NonAlgebraic(String),
+    /// An internal rendering invariant broke — e.g. an operator node with
+    /// the wrong arity reached SQL generation (diagnostic code `E008`).
+    /// Reported as a diagnostic instead of panicking so a malformed DAG
+    /// from any rule misfire degrades to "keep the original loop".
+    Invariant(String),
 }
 
 impl SqlGenError {
     /// The human-readable reason.
     pub fn message(&self) -> &str {
         match self {
-            SqlGenError::NoRule(m) | SqlGenError::NonAlgebraic(m) => m,
+            SqlGenError::NoRule(m) | SqlGenError::NonAlgebraic(m) | SqlGenError::Invariant(m) => m,
         }
     }
 
@@ -42,6 +47,7 @@ impl SqlGenError {
         match self {
             SqlGenError::NoRule(_) => Code::NoRuleApplies,
             SqlGenError::NonAlgebraic(_) => Code::NonAlgebraic,
+            SqlGenError::Invariant(_) => Code::RenderInvariant,
         }
     }
 }
@@ -143,10 +149,12 @@ fn lit_to_imp(l: &algebra::scalar::Lit) -> Literal {
 }
 
 fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, SqlGenError> {
-    let bin = |op: BinaryOp, mut args: Vec<Expr>| {
-        let r = args.pop().expect("binary op arity");
-        let l = args.pop().expect("binary op arity");
-        Ok(Expr::Binary(op, Box::new(l), Box::new(r)))
+    let bin = |op: BinaryOp, mut args: Vec<Expr>| match (args.pop(), args.pop()) {
+        (Some(r), Some(l)) if args.is_empty() => Ok(Expr::Binary(op, Box::new(l), Box::new(r))),
+        _ => Err(SqlGenError::Invariant(format!(
+            "binary operator {} reached SQL generation with wrong arity",
+            op.as_str()
+        ))),
     };
     match op {
         OpKind::Add => bin(BinaryOp::Add, args),
@@ -162,14 +170,19 @@ fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, SqlGenError> {
         OpKind::Ge => bin(BinaryOp::Ge, args),
         OpKind::And => bin(BinaryOp::And, args),
         OpKind::Or => bin(BinaryOp::Or, args),
-        OpKind::Not => {
-            let x = args.pop().expect("unary arity");
-            Ok(Expr::Unary(UnaryOp::Not, Box::new(x)))
-        }
-        OpKind::Neg => {
-            let x = args.pop().expect("unary arity");
-            Ok(Expr::Unary(UnaryOp::Neg, Box::new(x)))
-        }
+        OpKind::Not | OpKind::Neg => match (args.pop(), args.is_empty()) {
+            (Some(x), true) => {
+                let uop = if op == OpKind::Not {
+                    UnaryOp::Not
+                } else {
+                    UnaryOp::Neg
+                };
+                Ok(Expr::Unary(uop, Box::new(x)))
+            }
+            _ => Err(SqlGenError::Invariant(format!(
+                "unary operator {op:?} reached SQL generation with wrong arity"
+            ))),
+        },
         OpKind::Max => Ok(Expr::call("max", args)),
         OpKind::Min => Ok(Expr::call("min", args)),
         OpKind::Abs => Ok(Expr::call("abs", args)),

@@ -9,7 +9,15 @@
 //! * `GREATEST`/`LEAST` ignore `NULL` arguments (PostgreSQL behaviour, which
 //!   the paper's Figure 3(d) targets);
 //! * correlation (`OUTER APPLY`, `EXISTS`) resolves columns against the
-//!   current row first, then outer scopes.
+//!   current row first, then outer scopes;
+//! * `ORDER BY` places `NULL`s first under `ASC` and last under `DESC`
+//!   ([`Value::sort_cmp`] is the single comparator both sides share);
+//! * integer arithmetic errors — division/modulo by zero and `i64`
+//!   overflow — evaluate to `NULL` (NULL-on-error), never panic or wrap.
+//!
+//! This comment is the cross-crate semantics spec: the `interp` crate's
+//! `imp` operators must agree with it observably (see `tests/fuzz_repros.rs`
+//! and `crates/fuzz` for the differential harness that enforces this).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -400,6 +408,7 @@ struct Accumulator {
     sum_i: i64,
     sum_f: f64,
     all_int: bool,
+    overflowed: bool,
     best: Option<Value>,
 }
 
@@ -411,6 +420,7 @@ impl Accumulator {
             sum_i: 0,
             sum_f: 0.0,
             all_int: true,
+            overflowed: false,
             best: None,
         }
     }
@@ -424,7 +434,12 @@ impl Accumulator {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => match v {
                 Value::Int(i) => {
-                    self.sum_i += i;
+                    // NULL-on-error: an overflowing integer SUM poisons the
+                    // whole aggregate rather than panicking or wrapping.
+                    match self.sum_i.checked_add(*i) {
+                        Some(s) => self.sum_i = s,
+                        None => self.overflowed = true,
+                    }
                     self.sum_f += *i as f64;
                 }
                 Value::Float(x) => {
@@ -456,7 +471,7 @@ impl Accumulator {
         match self.func {
             AggFunc::Count => Value::Int(self.count),
             AggFunc::Sum => {
-                if self.count == 0 {
+                if self.count == 0 || (self.all_int && self.overflowed) {
                     Value::Null
                 } else if self.all_int {
                     Value::Int(self.sum_i)
@@ -526,7 +541,8 @@ pub fn eval_scalar(
             Ok(match op {
                 UnOp::Neg => match v {
                     Value::Null => Value::Null,
-                    Value::Int(i) => Value::Int(-i),
+                    // checked_neg: -i64::MIN overflows → NULL-on-error.
+                    Value::Int(i) => i.checked_neg().map_or(Value::Null, Value::Int),
                     Value::Float(f) => Value::Float(-f),
                     other => return Err(EvalError::Type(format!("cannot negate {other}"))),
                 },
@@ -598,23 +614,29 @@ pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
             }),
         });
     }
-    // Arithmetic.
+    // Arithmetic. Integer errors (overflow, division by zero) yield NULL —
+    // one defined behaviour shared with the interpreter instead of the
+    // panic-in-debug / wrap-in-release split of native `i64` arithmetic.
     match (op, &l, &r) {
-        (BinOp::Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
-        (BinOp::Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a - b)),
-        (BinOp::Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a * b)),
+        (BinOp::Add, Value::Int(a), Value::Int(b)) => {
+            Ok(a.checked_add(*b).map_or(Value::Null, Value::Int))
+        }
+        (BinOp::Sub, Value::Int(a), Value::Int(b)) => {
+            Ok(a.checked_sub(*b).map_or(Value::Null, Value::Int))
+        }
+        (BinOp::Mul, Value::Int(a), Value::Int(b)) => {
+            Ok(a.checked_mul(*b).map_or(Value::Null, Value::Int))
+        }
         (BinOp::Div, Value::Int(a), Value::Int(b)) => {
-            if *b == 0 {
-                Ok(Value::Null)
-            } else {
-                Ok(Value::Int(a / b))
-            }
+            // Covers b == 0 and i64::MIN / -1.
+            Ok(a.checked_div(*b).map_or(Value::Null, Value::Int))
         }
         (BinOp::Mod, Value::Int(a), Value::Int(b)) => {
             if *b == 0 {
                 Ok(Value::Null)
             } else {
-                Ok(Value::Int(a % b))
+                // wrapping_rem defines i64::MIN % -1 as 0.
+                Ok(Value::Int(a.wrapping_rem(*b)))
             }
         }
         _ => {
@@ -662,7 +684,8 @@ fn eval_func(f: ScalarFunc, vals: Vec<Value>) -> Result<Value, EvalError> {
             Ok(best.unwrap_or(Value::Null))
         }
         ScalarFunc::Abs => match vals.first() {
-            Some(Value::Int(i)) => Ok(Value::Int(i.abs())),
+            // checked_abs: ABS(i64::MIN) overflows → NULL-on-error.
+            Some(Value::Int(i)) => Ok(i.checked_abs().map_or(Value::Null, Value::Int)),
             Some(Value::Float(x)) => Ok(Value::Float(x.abs())),
             Some(Value::Null) | None => Ok(Value::Null),
             Some(other) => Err(EvalError::Type(format!("ABS of {other}"))),

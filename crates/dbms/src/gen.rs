@@ -55,6 +55,55 @@ pub fn gen_catalog(catalog: &Catalog, rows: usize, seed: u64) -> Database {
     db
 }
 
+/// Populate a database for a catalog with NULL-bearing data: like
+/// [`gen_catalog`], but non-key columns declared nullable in the catalog
+/// receive SQL `NULL` with probability `null_pct`% per cell.
+///
+/// Non-key integers additionally draw from a signed domain (`-9..=9`) so
+/// sign-sensitive rewrites (ABS, comparisons against zero, division) are
+/// exercised. Used by the differential fuzzer (`crates/fuzz`), whose
+/// divergence classes — NULL-poisoned sums, NULL flags under 3-valued
+/// logic, division by zero — need both NULLs and zeros in the data.
+pub fn gen_catalog_nulls(catalog: &Catalog, rows: usize, seed: u64, null_pct: u32) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for schema in catalog.tables() {
+        db.create_table(schema.clone());
+        for r in 0..rows {
+            let row: Vec<Value> = schema
+                .columns
+                .iter()
+                .map(|c| {
+                    let is_key = schema.key.iter().any(|k| k == &c.name);
+                    if !is_key && c.nullable && rng.gen_range(0..100u32) < null_pct {
+                        return Value::Null;
+                    }
+                    match c.ty {
+                        SqlType::Int => Value::Int(if is_key {
+                            r as i64
+                        } else {
+                            rng.gen_range(-9..10i64)
+                        }),
+                        SqlType::Double => Value::Float(if is_key {
+                            r as f64
+                        } else {
+                            rng.gen_range(-8..8i64) as f64 / 2.0
+                        }),
+                        SqlType::Bool => Value::Bool(rng.gen_bool(0.5)),
+                        SqlType::Text => Value::Str(if is_key {
+                            format!("k{r}")
+                        } else {
+                            format!("s{}", rng.gen_range(0..3u32))
+                        }),
+                    }
+                })
+                .collect();
+            db.insert(&schema.name, row);
+        }
+    }
+    db
+}
+
 /// Matoso `board` table: `n` boards spread over `rounds` rounds, four player
 /// scores each (paper Fig. 2 / Experiment 7).
 pub fn gen_board(n: usize, rounds: i64, seed: u64) -> Database {
@@ -422,6 +471,36 @@ mod tests {
         assert_eq!(ids.len(), 5, "key column must be unique");
         assert_eq!(db.table("u").unwrap().len(), 5);
         assert_eq!(gen_catalog(&cat, 5, 11), db, "must be deterministic");
+    }
+
+    #[test]
+    fn nulls_only_in_nullable_columns() {
+        use algebra::schema::Catalog;
+        let cat = Catalog::new().with(
+            TableSchema::new(
+                "t",
+                &[
+                    ("id", SqlType::Int),
+                    ("a", SqlType::Int),
+                    ("b", SqlType::Int),
+                ],
+            )
+            .with_key(&["id"])
+            .with_nullable(&["b"]),
+        );
+        let db = gen_catalog_nulls(&cat, 40, 5, 50);
+        let t = db.table("t").unwrap();
+        assert!(
+            t.rows
+                .iter()
+                .all(|r| r[0] != Value::Null && r[1] != Value::Null),
+            "key and NOT NULL columns must never be NULL"
+        );
+        assert!(
+            t.rows.iter().any(|r| r[2] == Value::Null),
+            "nullable column should receive NULLs at 50%"
+        );
+        assert_eq!(gen_catalog_nulls(&cat, 40, 5, 50), db, "deterministic");
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! The differential oracle: run a case once under the interpreter and once
+//! through the extractor, and compare.
+//!
+//! The interpreter run over the original program is ground truth. The
+//! extracted program — whose `executeQuery`/`executeScalar` strings are the
+//! generated SQL — is re-interpreted against an identical copy of the
+//! database, so any disagreement in the returned value, the `print` output,
+//! or the error/success status is a genuine semantic divergence in the
+//! extraction rules (or in the SQL evaluator they target).
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+use dbms::{Connection, Database};
+use eqsql_core::{Extractor, ExtractorOptions};
+use interp::value::{loose_eq, RtValue};
+use interp::Interp;
+
+/// One self-contained differential-testing input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// `CREATE TABLE` statements defining the schema.
+    pub ddl: String,
+    /// `INSERT` statements populating it (one statement per entry).
+    pub data: Vec<String>,
+    /// The `.imp` source under test.
+    pub program: String,
+    /// Function to invoke.
+    pub function: String,
+    /// Integer arguments for the call.
+    pub args: Vec<i64>,
+}
+
+impl Case {
+    /// A rough size measure the shrinker minimizes: source length plus data
+    /// statements. Smaller is better for a human reading the repro.
+    pub fn size(&self) -> usize {
+        self.program.len() + self.data.iter().map(|d| d.len() + 1).sum::<usize>()
+    }
+}
+
+/// Why the two executions disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Both runs returned, with different values.
+    Result,
+    /// Returned values agree but the `print` transcripts differ.
+    Output,
+    /// One side returned a value, the other a runtime error.
+    Error,
+    /// One side panicked.
+    Panic,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::Result => "result",
+            DivergenceKind::Output => "output",
+            DivergenceKind::Error => "error",
+            DivergenceKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete disagreement between interpreter and extracted SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Category of the disagreement.
+    pub kind: DivergenceKind,
+    /// Human-readable comparison of the two sides.
+    pub detail: String,
+}
+
+/// Outcome of one oracle run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Both sides agree. `extracted` records whether a rewrite applied at
+    /// all — an all-`Agree { extracted: false }` fuzz run exercises nothing.
+    Agree { extracted: bool },
+    /// The two sides disagree; this is a bug somewhere in the pipeline.
+    Diverged(Divergence),
+    /// The case could not be set up (bad DDL/data/program). Generator bugs
+    /// land here rather than polluting divergence counts.
+    Skipped(String),
+}
+
+fn build_db(case: &Case) -> Result<(algebra::schema::Catalog, Database), String> {
+    let catalog = algebra::ddl::parse_ddl(&case.ddl).map_err(|e| format!("ddl: {e:?}"))?;
+    let mut db = Database::new();
+    for schema in catalog.tables() {
+        db.create_table(schema.clone());
+    }
+    for stmt in &case.data {
+        interp::dml::execute_update(&mut db, stmt, &[])
+            .map_err(|e| format!("data `{stmt}`: {e}"))?;
+    }
+    Ok((catalog, db))
+}
+
+type RunOut = Result<(Result<RtValue, String>, Vec<String>), String>;
+
+/// Interpret `program.function(args)` against a copy of `db`, trapping
+/// panics. Outer `Err` = panic (payload text); inner `Err` = runtime error.
+fn interpret(program: &imp::ast::Program, function: &str, args: &[i64], db: &Database) -> RunOut {
+    let db = db.clone();
+    let args: Vec<RtValue> = args.iter().map(|i| RtValue::int(*i)).collect();
+    let function = function.to_string();
+    catch_unwind(AssertUnwindSafe(move || {
+        let mut it = Interp::new(program, Connection::new(db));
+        let r = it.call(&function, args).map_err(|e| e.to_string());
+        (r, it.output.clone())
+    }))
+    .map_err(|p| panic_text(&p))
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one case end to end and classify the outcome.
+///
+/// Both extraction and the two interpreter runs execute under
+/// `catch_unwind`, so a panicking rule or evaluator is reported as a
+/// [`DivergenceKind::Panic`] finding instead of aborting the fuzz loop.
+pub fn run_case(case: &Case) -> CaseOutcome {
+    let (catalog, db) = match build_db(case) {
+        Ok(x) => x,
+        Err(e) => return CaseOutcome::Skipped(e),
+    };
+    let program = match imp::parse_program(&case.program) {
+        Ok(p) => p,
+        Err(e) => return CaseOutcome::Skipped(format!("parse: {e:?}")),
+    };
+
+    let orig = match interpret(&program, &case.function, &case.args, &db) {
+        Ok(x) => x,
+        Err(p) => {
+            return CaseOutcome::Diverged(Divergence {
+                kind: DivergenceKind::Panic,
+                detail: format!("interpreter panicked on original program: {p}"),
+            })
+        }
+    };
+
+    let report = {
+        let program = &program;
+        let function = case.function.clone();
+        let catalog = catalog.clone();
+        match catch_unwind(AssertUnwindSafe(move || {
+            Extractor::with_options(catalog, ExtractorOptions::default())
+                .extract_function(program, &function)
+        })) {
+            Ok(r) => r,
+            Err(p) => {
+                return CaseOutcome::Diverged(Divergence {
+                    kind: DivergenceKind::Panic,
+                    detail: format!("extractor panicked: {}", panic_text(&p)),
+                })
+            }
+        }
+    };
+    if !report.changed() {
+        return CaseOutcome::Agree { extracted: false };
+    }
+
+    let rewritten = match interpret(&report.program, &case.function, &case.args, &db) {
+        Ok(x) => x,
+        Err(p) => {
+            return CaseOutcome::Diverged(Divergence {
+                kind: DivergenceKind::Panic,
+                detail: format!("evaluation of extracted SQL panicked: {p}"),
+            })
+        }
+    };
+
+    match (&orig.0, &rewritten.0) {
+        (Ok(a), Ok(b)) => {
+            if !loose_eq(a, b) {
+                CaseOutcome::Diverged(Divergence {
+                    kind: DivergenceKind::Result,
+                    detail: format!("interp returned {a}, extracted SQL returned {b}"),
+                })
+            } else if orig.1 != rewritten.1 {
+                CaseOutcome::Diverged(Divergence {
+                    kind: DivergenceKind::Output,
+                    detail: format!(
+                        "print output differs: interp {:?}, extracted {:?}",
+                        orig.1, rewritten.1
+                    ),
+                })
+            } else {
+                CaseOutcome::Agree { extracted: true }
+            }
+        }
+        // Matching failure is agreement: NULL-on-error style semantics mean
+        // both sides may legitimately reject the same input.
+        (Err(_), Err(_)) => CaseOutcome::Agree { extracted: true },
+        (Ok(a), Err(e)) => CaseOutcome::Diverged(Divergence {
+            kind: DivergenceKind::Error,
+            detail: format!("interp returned {a}, extracted SQL errored: {e}"),
+        }),
+        (Err(e), Ok(b)) => CaseOutcome::Diverged(Divergence {
+            kind: DivergenceKind::Error,
+            detail: format!("interp errored ({e}), extracted SQL returned {b}"),
+        }),
+    }
+}
+
+/// Serialize a minimized case to `dir` as `<stem>.imp` (program with
+/// `// repro:` / `// args:` header comments), `<stem>.schema.sql` (DDL) and
+/// `<stem>.data.sql` (INSERTs).
+pub fn write_repro(dir: &Path, stem: &str, case: &Case, detail: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut imp_src = String::new();
+    for line in detail.lines() {
+        imp_src.push_str(&format!("// repro: {line}\n"));
+    }
+    if !case.args.is_empty() {
+        let args: Vec<String> = case.args.iter().map(|a| a.to_string()).collect();
+        imp_src.push_str(&format!("// args: {}\n", args.join(" ")));
+    }
+    imp_src.push_str(&case.program);
+    std::fs::write(dir.join(format!("{stem}.imp")), imp_src)?;
+    std::fs::write(dir.join(format!("{stem}.schema.sql")), &case.ddl)?;
+    let mut data = String::new();
+    for d in &case.data {
+        data.push_str(d);
+        data.push_str(";\n");
+    }
+    std::fs::write(dir.join(format!("{stem}.data.sql")), data)
+}
+
+/// Load a case previously written by [`write_repro`].
+pub fn read_repro(imp_path: &Path) -> std::io::Result<Case> {
+    let src = std::fs::read_to_string(imp_path)?;
+    let mut args = Vec::new();
+    for line in src.lines() {
+        if let Some(rest) = line.strip_prefix("// args:") {
+            args = rest
+                .split_whitespace()
+                .filter_map(|t| t.parse::<i64>().ok())
+                .collect();
+        }
+    }
+    let stem = imp_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("repro")
+        .to_string();
+    let dir = imp_path.parent().unwrap_or(Path::new("."));
+    let ddl = std::fs::read_to_string(dir.join(format!("{stem}.schema.sql")))?;
+    let data_text =
+        std::fs::read_to_string(dir.join(format!("{stem}.data.sql"))).unwrap_or_default();
+    let data: Vec<String> = data_text
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty() && !s.starts_with("--"))
+        .map(str::to_string)
+        .collect();
+    Ok(Case {
+        ddl,
+        data,
+        program: src,
+        function: "main".to_string(),
+        args,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case() -> Case {
+        Case {
+            ddl: "CREATE TABLE t (id INT PRIMARY KEY, g INT, a INT NULL);\n".into(),
+            data: vec![
+                "INSERT INTO t VALUES (0, 1, 2)".into(),
+                "INSERT INTO t VALUES (1, 0, NULL)".into(),
+            ],
+            program: "fn main() {\n    acc0 = 0;\n    for (r in executeQuery(\
+                      \"SELECT * FROM t\")) {\n        acc0 = acc0 + r.g;\n    }\n    \
+                      return acc0;\n}\n"
+                .into(),
+            function: "main".into(),
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn agreeing_case_extracts_and_agrees() {
+        match run_case(&tiny_case()) {
+            CaseOutcome::Agree { extracted } => assert!(extracted, "sum loop should extract"),
+            other => panic!("expected agreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repro_round_trips() {
+        let dir = std::env::temp_dir().join("eqsql-fuzz-oracle-test");
+        let case = tiny_case();
+        write_repro(&dir, "000", &case, "result: 1 vs 2").unwrap();
+        let back = read_repro(&dir.join("000.imp")).unwrap();
+        assert_eq!(back.ddl, case.ddl);
+        assert_eq!(back.data, case.data);
+        assert_eq!(back.args, case.args);
+        // The program gains header comments but must still run identically.
+        assert!(matches!(run_case(&back), CaseOutcome::Agree { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,104 @@
+//! Regression sweep over checked-in fuzz repros, plus shrinker properties.
+//!
+//! Every triple under `examples/repros/` (`NNN.imp` / `NNN.schema.sql` /
+//! `NNN.data.sql`) was harvested by `eqsql fuzz --shrink` from a real
+//! pre-fix divergence — the `// repro:` header records what used to go
+//! wrong. The sweep asserts they all agree now, so any reintroduction of
+//! the original bugs fails CI with a named, minimal witness.
+
+use std::path::{Path, PathBuf};
+
+use fuzz::{gen_case, run_case, shrink_case, Case, CaseOutcome};
+use proptest::prelude::*;
+
+fn repro_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/repros")
+}
+
+#[test]
+fn checked_in_repros_all_agree() {
+    let dir = repro_dir();
+    let mut imps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "imp"))
+        .collect();
+    imps.sort();
+    assert!(
+        imps.len() >= 3,
+        "expected at least 3 checked-in repros, found {}",
+        imps.len()
+    );
+    let mut extracting = 0;
+    for path in imps {
+        let case =
+            fuzz::oracle::read_repro(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match run_case(&case) {
+            // Declining to extract is also a sound resolution: some repros
+            // pin gates that now (correctly) refuse an unsound translation.
+            CaseOutcome::Agree { extracted } => extracting += usize::from(extracted),
+            other => panic!("{}: regressed: {other:?}", path.display()),
+        }
+    }
+    assert!(
+        extracting >= 2,
+        "repro set no longer exercises extraction (only {extracting} extract)"
+    );
+}
+
+#[test]
+fn checked_in_repros_describe_their_origin() {
+    for entry in std::fs::read_dir(repro_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "imp") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                src.starts_with("// repro:"),
+                "{}: missing `// repro:` provenance header",
+                path.display()
+            );
+        }
+    }
+}
+
+/// A syntactic property a shrunken case must keep, stated on generated
+/// cases so the property covers arbitrary generator output, not one
+/// hand-written program.
+fn still_loops(c: &Case) -> bool {
+    c.program.contains("executeQuery")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shrinking preserves the oracle property and never grows the case.
+    #[test]
+    fn shrinker_preserves_property_and_shrinks(seed in any::<u64>()) {
+        let case = gen_case(seed);
+        prop_assert!(still_loops(&case), "generator always emits a cursor loop");
+        let mut check = |c: &Case| still_loops(c);
+        let out = shrink_case(&case, &mut check, 300);
+        prop_assert!(still_loops(&out), "property lost during shrinking");
+        prop_assert!(out.size() <= case.size(), "shrinker grew the case");
+        // Every adopted candidate came from pretty-printing a parsed AST,
+        // so the result must still be a valid program.
+        prop_assert!(imp::parse_program(&out.program).is_ok());
+    }
+
+    /// The differential oracle itself: post-fix, no generated case may
+    /// diverge. This is a small always-on slice of `eqsql fuzz`.
+    #[test]
+    fn oracle_finds_no_divergence_post_fix(seed in any::<u64>()) {
+        let case = gen_case(seed);
+        match run_case(&case) {
+            CaseOutcome::Diverged(d) => {
+                prop_assert!(false, "seed {seed} diverged: {} {}\n{}", d.kind, d.detail, case.program);
+            }
+            CaseOutcome::Skipped(e) => {
+                prop_assert!(false, "seed {seed} skipped: {e}");
+            }
+            CaseOutcome::Agree { .. } => {}
+        }
+    }
+}

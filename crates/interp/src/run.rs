@@ -47,6 +47,15 @@ enum Flow {
 
 type Env = HashMap<intern::Symbol, RtValue>;
 
+/// Three-valued truth of a runtime value: `None` for SQL NULL, otherwise
+/// the same truthiness `is_true` uses (only `Bool(true)` is true).
+fn truth(v: &RtValue) -> Option<bool> {
+    match v {
+        RtValue::Scalar(Value::Null) => None,
+        other => Some(other.is_true()),
+    }
+}
+
 /// An interpreter instance bound to a program and a metered connection.
 pub struct Interp<'a> {
     program: &'a Program,
@@ -221,9 +230,16 @@ impl<'a> Interp<'a> {
             Expr::Unary(op, x) => {
                 let v = self.eval(x, env)?;
                 match (op, v) {
-                    (UnaryOp::Neg, RtValue::Scalar(Value::Int(i))) => Ok(RtValue::int(-i)),
+                    // checked_neg: -i64::MIN → NULL-on-error, like dbms::eval.
+                    (UnaryOp::Neg, RtValue::Scalar(Value::Int(i))) => Ok(RtValue::Scalar(
+                        i.checked_neg().map_or(Value::Null, Value::Int),
+                    )),
                     (UnaryOp::Neg, RtValue::Scalar(Value::Float(f))) => {
                         Ok(RtValue::Scalar(Value::Float(-f)))
+                    }
+                    // NULL propagates through unary operators (SQL semantics).
+                    (UnaryOp::Neg | UnaryOp::Not, RtValue::Scalar(Value::Null)) => {
+                        Ok(RtValue::null())
                     }
                     (UnaryOp::Not, RtValue::Scalar(Value::Bool(b))) => Ok(RtValue::bool(!b)),
                     (op, v) => Err(RtError::Type(format!("cannot apply {op:?} to {v}"))),
@@ -254,23 +270,38 @@ impl<'a> Interp<'a> {
         r: &Expr,
         env: &mut Env,
     ) -> Result<RtValue, RtError> {
-        // Short-circuit logical operators.
+        // Short-circuit logical operators with SQL three-valued logic:
+        // NULL operands make the result NULL unless the other operand
+        // decides it (FALSE for AND, TRUE for OR). `if`/`while` conditions
+        // still treat NULL as not-true, matching WHERE-clause filtering.
         match op {
             BinaryOp::And => {
                 let lv = self.eval(l, env)?;
-                if !lv.is_true() {
-                    return Ok(RtValue::bool(false));
+                match truth(&lv) {
+                    Some(false) => return Ok(RtValue::bool(false)),
+                    lt => {
+                        let rv = self.eval(r, env)?;
+                        return Ok(match (lt, truth(&rv)) {
+                            (_, Some(false)) => RtValue::bool(false),
+                            (Some(true), Some(true)) => RtValue::bool(true),
+                            _ => RtValue::null(),
+                        });
+                    }
                 }
-                let rv = self.eval(r, env)?;
-                return Ok(RtValue::bool(rv.is_true()));
             }
             BinaryOp::Or => {
                 let lv = self.eval(l, env)?;
-                if lv.is_true() {
-                    return Ok(RtValue::bool(true));
+                match truth(&lv) {
+                    Some(true) => return Ok(RtValue::bool(true)),
+                    lt => {
+                        let rv = self.eval(r, env)?;
+                        return Ok(match (lt, truth(&rv)) {
+                            (_, Some(true)) => RtValue::bool(true),
+                            (Some(false), Some(false)) => RtValue::bool(false),
+                            _ => RtValue::null(),
+                        });
+                    }
                 }
-                let rv = self.eval(r, env)?;
-                return Ok(RtValue::bool(rv.is_true()));
             }
             _ => {}
         }
@@ -423,6 +454,8 @@ impl<'a> Interp<'a> {
                 Ok(RtValue::int(n))
             }
             "max" | "min" => {
+                // GREATEST/LEAST semantics (the eval.rs spec): NULL
+                // arguments are ignored; NULL only when all are NULL.
                 let mut best: Option<Value> = None;
                 for a in args {
                     let v = self.eval(a, env)?;
@@ -431,7 +464,7 @@ impl<'a> Interp<'a> {
                         .cloned()
                         .ok_or_else(|| RtError::Type(format!("{name} needs scalars")))?;
                     if v.is_null() {
-                        return Ok(RtValue::null());
+                        continue;
                     }
                     best = Some(match best {
                         None => v,
@@ -454,17 +487,23 @@ impl<'a> Interp<'a> {
             "abs" => {
                 let v = self.eval(&args[0], env)?;
                 match v.as_scalar() {
-                    Some(Value::Int(i)) => Ok(RtValue::int(i.abs())),
+                    // checked_abs: abs(i64::MIN) → NULL-on-error.
+                    Some(Value::Int(i)) => Ok(RtValue::Scalar(
+                        i.checked_abs().map_or(Value::Null, Value::Int),
+                    )),
                     Some(Value::Float(f)) => Ok(RtValue::Scalar(Value::Float(f.abs()))),
                     Some(Value::Null) => Ok(RtValue::null()),
                     other => Err(RtError::Type(format!("abs of {other:?}"))),
                 }
             }
             "concat" => {
+                // CONCAT skips NULL arguments (matches ScalarFunc::Concat).
                 let mut s = String::new();
                 for a in args {
                     let v = self.eval(a, env)?;
-                    s.push_str(&v.render());
+                    if !matches!(v, RtValue::Scalar(Value::Null)) {
+                        s.push_str(&v.render());
+                    }
                 }
                 Ok(RtValue::str(s))
             }
@@ -484,6 +523,7 @@ impl<'a> Interp<'a> {
                 let v = self.eval(&args[0], env)?;
                 match v.as_scalar() {
                     Some(Value::Str(s)) => Ok(RtValue::int(s.len() as i64)),
+                    Some(Value::Null) => Ok(RtValue::null()),
                     other => Err(RtError::Type(format!("length of {other:?}"))),
                 }
             }

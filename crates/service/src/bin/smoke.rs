@@ -4,10 +4,12 @@
 //! eqsql-smoke <addr | @addr-file>
 //! ```
 //!
-//! Connects to a running `eqsql serve` instance, issues one `GET /healthz`
-//! and one `POST /extract`, asserts both return 200 with valid JSON, then
-//! issues `POST /shutdown` so the server exits cleanly. Exit code 0 on
-//! success, 1 with a message on any failure — see `ci.sh`.
+//! Connects to a running `eqsql serve` instance, issues `GET /healthz`,
+//! `POST /extract`, a small `POST /fuzz` sweep, and `GET /metrics` (checking
+//! the fuzz counters it just incremented), asserts each returns 200 with the
+//! expected payload, then issues `POST /shutdown` so the server exits
+//! cleanly. Exit code 0 on success, 1 with a message on any failure — see
+//! `ci.sh`.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -51,6 +53,26 @@ fn run(target: &str) -> Result<(), String> {
     let report = analysis::json::parse(&body).map_err(|e| format!("/extract JSON: {e}"))?;
     if report.get("loops_rewritten").and_then(|v| v.as_i64()) != Some(1) {
         return Err(format!("/extract did not rewrite the loop: {body}"));
+    }
+
+    let (status, body) = request(&addr, "POST", "/fuzz", Some("{\"seed\":1,\"iters\":25}"))?;
+    expect_json_200("/fuzz", status, &body)?;
+    let fz = analysis::json::parse(&body).map_err(|e| format!("/fuzz JSON: {e}"))?;
+    if fz.get("clean").and_then(|v| v.as_bool()) != Some(true) {
+        return Err(format!("/fuzz found divergences: {body}"));
+    }
+    if fz.get("iterations").and_then(|v| v.as_i64()) != Some(25) {
+        return Err(format!("/fuzz iteration count wrong: {body}"));
+    }
+
+    let (status, body) = request(&addr, "GET", "/metrics", None)?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}"));
+    }
+    if !body.contains("eqsql_fuzz_iterations_total 25")
+        || !body.contains("eqsql_fuzz_divergences_total 0")
+    {
+        return Err(format!("/metrics missing fuzz counters:\n{body}"));
     }
 
     let (status, _body) = request(&addr, "POST", "/shutdown", None)?;

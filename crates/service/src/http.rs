@@ -8,6 +8,7 @@
 //! | `POST /lint` | same | `{"diagnostics":[…],"errors":N,"warnings":N}` |
 //! | `GET /healthz` | — | `{"status":"ok",…}` |
 //! | `GET /metrics` | — | Prometheus text format |
+//! | `POST /fuzz` | `{"seed":N,"iters":N}` (optional) | differential-fuzz summary JSON |
 //! | `POST /shutdown` | — | acknowledges, then stops the server |
 //!
 //! Each connection is handled on its own I/O thread (`Connection: close`,
@@ -26,7 +27,7 @@ use std::time::Duration;
 
 use analysis::json::Json;
 
-use crate::metrics::{self, HttpCounters};
+use crate::metrics::{self, FuzzCounters, HttpCounters};
 use crate::service::{CacheStatus, ExtractRequest, ExtractionService, ServiceConfig, ServiceError};
 
 /// Largest accepted request body; bigger requests get a 413.
@@ -40,6 +41,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 struct ServerState {
     service: ExtractionService,
     http: HttpCounters,
+    fuzz: FuzzCounters,
     shutdown: AtomicBool,
 }
 
@@ -61,6 +63,7 @@ impl Server {
         let state = Arc::new(ServerState {
             service: ExtractionService::new(config),
             http: HttpCounters::default(),
+            fuzz: FuzzCounters::default(),
             shutdown: AtomicBool::new(false),
         });
         let accept_state = Arc::clone(&state);
@@ -263,9 +266,14 @@ fn route(req: &Request, state: &ServerState) -> Response {
                     &state.service.scheduler_stats(),
                     &state.service.cache_stats(),
                     state.service.stage_counters(),
+                    &state.fuzz,
                     state.service.config().deterministic_metrics,
                 ),
             }
+        }
+        ("POST", "/fuzz") => {
+            state.http.fuzz.fetch_add(1, Ordering::Relaxed);
+            run_fuzz_endpoint(req, state)
         }
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
@@ -279,6 +287,86 @@ fn route(req: &Request, state: &ServerState) -> Response {
             error_response(404, &format!("no route {} {}", req.method, req.path))
         }
     }
+}
+
+/// Hard ceiling on `POST /fuzz` iterations: the run executes synchronously
+/// on the connection's I/O thread, so one request must stay bounded.
+const MAX_FUZZ_ITERS: u64 = 10_000;
+
+/// `POST /fuzz` — run a bounded differential fuzz sweep in-process.
+///
+/// Body: `{"seed": N, "iters": N}` (both optional; iters defaults to 200
+/// and is capped at [`MAX_FUZZ_ITERS`]). Responds with a summary and the
+/// first few divergences; accumulates the service-lifetime counters that
+/// `/metrics` exposes as `eqsql_fuzz_*`.
+fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b.trim(),
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    let parsed = if body.is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        match analysis::json::parse(body) {
+            Ok(j) => j,
+            Err(e) => return error_response(400, &format!("bad JSON body: {e}")),
+        }
+    };
+    let seed = parsed
+        .get("seed")
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+        .unsigned_abs();
+    let iters = parsed
+        .get("iters")
+        .and_then(Json::as_i64)
+        .unwrap_or(200)
+        .clamp(1, MAX_FUZZ_ITERS as i64) as u64;
+
+    let cfg = fuzz::FuzzConfig {
+        seed,
+        iters,
+        shrink: false,
+        repro_dir: None,
+        max_divergences: 16,
+    };
+    let report = fuzz::run_fuzz(&cfg);
+    state.fuzz.absorb(
+        report.iterations,
+        report.divergences.len() as u64,
+        report.panics,
+    );
+
+    let divergences: Vec<Json> = report
+        .divergences
+        .iter()
+        .take(8)
+        .map(|d| {
+            Json::Obj(vec![
+                ("seed".into(), Json::str(d.seed.to_string())),
+                ("kind".into(), Json::str(d.divergence.kind.to_string())),
+                ("detail".into(), Json::str(&d.divergence.detail)),
+                ("program".into(), Json::str(&d.case.program)),
+            ])
+        })
+        .collect();
+    json_response(
+        200,
+        Json::Obj(vec![
+            ("seed".into(), Json::str(seed.to_string())),
+            ("iterations".into(), Json::int(report.iterations as i64)),
+            ("extracted".into(), Json::int(report.extracted as i64)),
+            ("skipped".into(), Json::int(report.skipped as i64)),
+            (
+                "divergences".into(),
+                Json::int(report.divergences.len() as i64),
+            ),
+            ("panics".into(), Json::int(report.panics as i64)),
+            ("clean".into(), Json::Bool(report.clean())),
+            ("examples".into(), Json::Arr(divergences)),
+        ])
+        .render(),
+    )
 }
 
 type Endpoint =

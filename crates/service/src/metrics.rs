@@ -26,6 +26,8 @@ pub struct HttpCounters {
     pub healthz: AtomicU64,
     /// `GET /metrics` requests.
     pub metrics: AtomicU64,
+    /// `POST /fuzz` requests.
+    pub fuzz: AtomicU64,
     /// Requests to any other route (404s).
     pub other: AtomicU64,
     /// Responses with a 4xx/5xx status.
@@ -86,6 +88,31 @@ impl StageCounters {
     }
 }
 
+/// Differential-fuzzing counters, accumulated across `POST /fuzz` runs.
+///
+/// Divergences and panics found by the in-service fuzzer are the headline
+/// health signal for the extraction rules: both gauges staying at zero
+/// across a long-running service is the operational form of the
+/// "`eqsql fuzz` completes with zero divergences" guarantee.
+#[derive(Debug, Default)]
+pub struct FuzzCounters {
+    /// Differential test cases executed.
+    pub iterations: AtomicU64,
+    /// Cases where interpreter and extracted SQL disagreed.
+    pub divergences: AtomicU64,
+    /// Cases where either side panicked (subset of `divergences`).
+    pub panics: AtomicU64,
+}
+
+impl FuzzCounters {
+    /// Fold one fuzz run's report into the running totals.
+    pub fn absorb(&self, iterations: u64, divergences: u64, panics: u64) {
+        self.iterations.fetch_add(iterations, Ordering::Relaxed);
+        self.divergences.fetch_add(divergences, Ordering::Relaxed);
+        self.panics.fetch_add(panics, Ordering::Relaxed);
+    }
+}
+
 /// The Prometheus content type, exact version string included.
 pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
@@ -112,6 +139,7 @@ pub fn render(
     sched: &SchedulerStats,
     cache: &CacheStats,
     stages: &StageCounters,
+    fuzz: &FuzzCounters,
     deterministic: bool,
 ) -> String {
     let mut out = String::new();
@@ -126,6 +154,7 @@ pub fn render(
         ("/lint", &http.lint),
         ("/healthz", &http.healthz),
         ("/metrics", &http.metrics),
+        ("/fuzz", &http.fuzz),
         ("other", &http.other),
     ] {
         let _ = writeln!(
@@ -266,6 +295,25 @@ pub fn render(
         "Proof obligations checked by the rewrite certifier.",
         stages.obligations_checked.load(Ordering::Relaxed),
     );
+
+    counter(
+        &mut out,
+        "eqsql_fuzz_iterations_total",
+        "Differential fuzz cases executed via POST /fuzz.",
+        fuzz.iterations.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "eqsql_fuzz_divergences_total",
+        "Fuzz cases where the interpreter and the extracted SQL disagreed.",
+        fuzz.divergences.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "eqsql_fuzz_panics_total",
+        "Fuzz cases where extraction or evaluation panicked.",
+        fuzz.panics.load(Ordering::Relaxed),
+    );
     out
 }
 
@@ -296,8 +344,10 @@ mod tests {
         stages.peak_dag_nodes.store(40, Ordering::Relaxed);
         stages.rule_cache_hits.store(7, Ordering::Relaxed);
         stages.obligations_checked.store(5, Ordering::Relaxed);
-        let a = render(&http, &sched, &cache, &stages, false);
-        let b = render(&http, &sched, &cache, &stages, false);
+        let fuzz = FuzzCounters::default();
+        fuzz.absorb(200, 1, 0);
+        let a = render(&http, &sched, &cache, &stages, &fuzz, false);
+        let b = render(&http, &sched, &cache, &stages, &fuzz, false);
         assert_eq!(a, b);
         assert!(a.contains("eqsql_http_requests_total{path=\"/extract\"} 2"));
         assert!(a.contains("eqsql_cache_hits_total 1"));
@@ -307,8 +357,11 @@ mod tests {
         assert!(a.contains("eqsql_rule_cache_hits_total 7"));
         assert!(a.contains("eqsql_obligations_checked_total 5"));
         assert!(a.contains("eqsql_stage_ns_total{stage=\"certify\"} 0"));
+        assert!(a.contains("eqsql_fuzz_iterations_total 200"));
+        assert!(a.contains("eqsql_fuzz_divergences_total 1"));
+        assert!(a.contains("eqsql_fuzz_panics_total 0"));
         // Deterministic mode zeroes the timings but keeps the counts.
-        let det = render(&http, &sched, &cache, &stages, true);
+        let det = render(&http, &sched, &cache, &stages, &fuzz, true);
         assert!(det.contains("eqsql_stage_ns_total{stage=\"dir\"} 0"));
         assert!(det.contains("eqsql_dag_peak_nodes 40"));
         assert!(det.contains("eqsql_rule_cache_hits_total 7"));
