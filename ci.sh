@@ -22,6 +22,20 @@ for f in examples/corpus/*.imp; do
     target/release/eqsql certify "$f" --schema examples/corpus/schema.sql
 done
 
+echo "==> eqsql lint sweep vs golden"
+# Lint-inventory gate: the CLI's JSON lint output over the corpus must
+# list exactly the diagnostic codes recorded in the golden. The Rust twin
+# (tests/corpus_lint.rs) derives the same inventory through the library,
+# so the binary and library paths are held to one file.
+LINT_SWEEP="$(mktemp)"
+for f in examples/corpus/*.imp; do
+    codes=$(target/release/eqsql lint "$f" --schema examples/corpus/schema.sql --format json \
+        | tr ',' '\n' | sed -n 's/.*"code":"\([EW][0-9]*\)".*/\1/p' | sort -u | xargs)
+    printf '%s:%s\n' "$(basename "$f")" "${codes:+ $codes}" >> "$LINT_SWEEP"
+done
+diff -u tests/golden/corpus_lint_codes.txt "$LINT_SWEEP"
+rm -f "$LINT_SWEEP"
+
 echo "==> eqsql fuzz (deterministic smoke)"
 # Differential-fuzzing gate (DESIGN.md §5f): 200 generated programs run
 # under the interpreter and through the extractor must agree exactly. The

@@ -73,7 +73,7 @@ impl Cfg {
         let mut b = Builder { blocks: Vec::new() };
         let start = b.new_block();
         let end = b.new_block();
-        let last = b.lower_block(&f.body, start, end);
+        let last = b.lower_block(&f.body, start, end, None);
         // Fall-through from the last open block to End.
         if b.blocks[last.0].terminator.is_none() {
             b.blocks[last.0].terminator = Some(Terminator::Goto(end));
@@ -153,9 +153,16 @@ impl Builder {
         BlockId(self.blocks.len() - 1)
     }
 
-    /// Lower `block` starting in `current`; `loop_exit` aids break/continue
-    /// lowering. Returns the block that is open at the end.
-    fn lower_block(&mut self, block: &Block, mut current: BlockId, fn_end: BlockId) -> BlockId {
+    /// Lower `block` starting in `current`; `loop_ctx` is the innermost
+    /// enclosing loop's `(header, exit)` pair for break/continue lowering.
+    /// Returns the block that is open at the end.
+    fn lower_block(
+        &mut self,
+        block: &Block,
+        mut current: BlockId,
+        fn_end: BlockId,
+        loop_ctx: Option<(BlockId, BlockId)>,
+    ) -> BlockId {
         for s in &block.stmts {
             // A sealed block (return/break) makes the rest unreachable; keep
             // lowering into a fresh unreachable block for simplicity.
@@ -170,13 +177,18 @@ impl Builder {
                     self.blocks[current.0].stmts.push(s.id);
                     self.blocks[current.0].terminator = Some(Terminator::Return(v.clone()));
                 }
-                StmtKind::Break | StmtKind::Continue => {
-                    // Lowered conservatively as a jump to function end /
-                    // self; extraction rejects loops containing these anyway
-                    // (Sec. 2: "we assume that loops do not contain
-                    // unconditional exit statements like break").
+                StmtKind::Break => {
+                    // Jump to the innermost loop's exit; outside any loop
+                    // (malformed input) fall back to function end.
                     self.blocks[current.0].stmts.push(s.id);
-                    self.blocks[current.0].terminator = Some(Terminator::Goto(fn_end));
+                    let target = loop_ctx.map(|(_, exit)| exit).unwrap_or(fn_end);
+                    self.blocks[current.0].terminator = Some(Terminator::Goto(target));
+                }
+                StmtKind::Continue => {
+                    // Jump back to the innermost loop's header.
+                    self.blocks[current.0].stmts.push(s.id);
+                    let target = loop_ctx.map(|(header, _)| header).unwrap_or(fn_end);
+                    self.blocks[current.0].terminator = Some(Terminator::Goto(target));
                 }
                 StmtKind::If {
                     cond,
@@ -186,16 +198,19 @@ impl Builder {
                     let then_b = self.new_block();
                     let else_b = self.new_block();
                     let join = self.new_block();
+                    // The `If` id rides in the branching block so dataflow
+                    // clients get a per-statement fact at the condition.
+                    self.blocks[current.0].stmts.push(s.id);
                     self.blocks[current.0].terminator = Some(Terminator::Branch {
                         cond: cond.clone(),
                         then_to: then_b,
                         else_to: else_b,
                     });
-                    let then_last = self.lower_block(then_branch, then_b, fn_end);
+                    let then_last = self.lower_block(then_branch, then_b, fn_end, loop_ctx);
                     if self.blocks[then_last.0].terminator.is_none() {
                         self.blocks[then_last.0].terminator = Some(Terminator::Goto(join));
                     }
-                    let else_last = self.lower_block(else_branch, else_b, fn_end);
+                    let else_last = self.lower_block(else_branch, else_b, fn_end, loop_ctx);
                     if self.blocks[else_last.0].terminator.is_none() {
                         self.blocks[else_last.0].terminator = Some(Terminator::Goto(join));
                     }
@@ -217,7 +232,7 @@ impl Builder {
                         body: body_b,
                         exit,
                     });
-                    let body_last = self.lower_block(body, body_b, fn_end);
+                    let body_last = self.lower_block(body, body_b, fn_end, Some((header, exit)));
                     if self.blocks[body_last.0].terminator.is_none() {
                         self.blocks[body_last.0].terminator = Some(Terminator::Goto(header));
                     }
@@ -234,7 +249,7 @@ impl Builder {
                         then_to: body_b,
                         else_to: exit,
                     });
-                    let body_last = self.lower_block(body, body_b, fn_end);
+                    let body_last = self.lower_block(body, body_b, fn_end, Some((header, exit)));
                     if self.blocks[body_last.0].terminator.is_none() {
                         self.blocks[body_last.0].terminator = Some(Terminator::Goto(header));
                     }
@@ -324,6 +339,37 @@ mod tests {
         assert_eq!(rpo[0], c.start);
         // End is reachable and thus present.
         assert!(rpo.contains(&c.end));
+    }
+
+    #[test]
+    fn break_jumps_to_loop_exit_and_continue_to_header() {
+        let c = cfg_of(
+            "fn f() { for (t in q) { if (t.a > 0) { break; } if (t.a < 0) { continue; } x = t.a; } return x; }",
+        );
+        let header = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.terminator, Some(Terminator::ForDispatch { .. })))
+            .unwrap();
+        let (_, exit) = match &c.blocks[header].terminator {
+            Some(Terminator::ForDispatch { body, exit, .. }) => (*body, *exit),
+            _ => unreachable!(),
+        };
+        // Some block inside the body jumps straight to the loop exit (break)
+        // and some block jumps back to the header (continue) while still
+        // holding a statement (the continue itself).
+        let breaks = c.blocks.iter().enumerate().any(|(i, b)| {
+            BlockId(i) != c.start
+                && b.terminator == Some(Terminator::Goto(exit))
+                && !b.stmts.is_empty()
+        });
+        let continues = c.blocks.iter().enumerate().any(|(i, b)| {
+            BlockId(i) != c.start
+                && b.terminator == Some(Terminator::Goto(BlockId(header)))
+                && !b.stmts.is_empty()
+        });
+        assert!(breaks, "break must target the loop exit: {c:#?}");
+        assert!(continues, "continue must target the loop header: {c:#?}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | `E006` | fold built, but no rule T1–T7 produced SQL |
 //! | `E007` | certification counterexample: a rewrite changed semantics |
 //! | `E008` | internal SQL-rendering invariant broke; rewrite dropped |
+//! | `E009` | SQL-injection taint: a query string concatenated from program input |
 //!
 //! `W0xx` codes are advisories — extraction may still succeed, or the
 //! finding is informational:
@@ -36,6 +37,9 @@
 //! | `W004` | loop has external side effects and will be kept |
 //! | `W005` | a valid rewrite was declined (cost, safety, coupling) |
 //! | `W006` | certification inconclusive: obligation not discharged |
+//! | `W007` | extraction blame: why a cursor loop was not extracted |
+//! | `W008` | loop-invariant query inside a loop (hoistable) |
+//! | `W009` | N+1 pattern: per-row query keyed only by the cursor row |
 //!
 //! Codes are append-only: a published code never changes meaning, so JSON
 //! consumers may match on `code` strings.
@@ -105,6 +109,22 @@ pub enum Code {
     /// unparseable parameter tag). The rewrite is dropped; the original
     /// code is kept.
     RenderInvariant,
+    /// Extraction blame: a cursor loop stayed imperative; the message names
+    /// the violated precondition (P1–P4) or other concrete reason and the
+    /// labels point at the offending statement chain.
+    LoopNotExtracted,
+    /// A query argument reaching `executeQuery`/`executeScalar`/
+    /// `executeUpdate` is a string built (at least partly) from program
+    /// inputs — an SQL-injection risk. Constant and parameterized query
+    /// strings do not fire.
+    SqlInjectionTaint,
+    /// A query inside a loop whose arguments are all loop-invariant: it can
+    /// be hoisted out of the loop and run once.
+    HoistableQuery,
+    /// A query inside a cursor loop keyed only by the cursor row — the
+    /// classic N+1 pattern; a join (which extraction would have produced)
+    /// fetches the same data in one round trip.
+    NPlusOneQuery,
 }
 
 impl Code {
@@ -125,8 +145,36 @@ impl Code {
             Code::CertCounterexample => "E007",
             Code::CertInconclusive => "W006",
             Code::RenderInvariant => "E008",
+            Code::LoopNotExtracted => "W007",
+            Code::SqlInjectionTaint => "E009",
+            Code::HoistableQuery => "W008",
+            Code::NPlusOneQuery => "W009",
         }
     }
+
+    /// Every code, ordered by wire string (`E001…E009`, then `W001…W009`).
+    /// The `/metrics` per-code counters iterate this, so the order is part
+    /// of the rendered metrics layout.
+    pub const ALL: [Code; 18] = [
+        Code::NoAccumulation,
+        Code::ExtraLoopDependence,
+        Code::ExternalWriteInSlice,
+        Code::AbruptLoopExit,
+        Code::NonAlgebraic,
+        Code::NoRuleApplies,
+        Code::CertCounterexample,
+        Code::RenderInvariant,
+        Code::SqlInjectionTaint,
+        Code::RuleNotApplicable,
+        Code::DeadStatement,
+        Code::ImpureHelper,
+        Code::LoopSideEffects,
+        Code::RewriteDeclined,
+        Code::CertInconclusive,
+        Code::LoopNotExtracted,
+        Code::HoistableQuery,
+        Code::NPlusOneQuery,
+    ];
 
     /// Severity class of the code (`E…` = error, `W…` = warning).
     pub fn severity(self) -> Severity {
@@ -423,8 +471,24 @@ mod tests {
     fn codes_are_stable_strings() {
         assert_eq!(Code::NoAccumulation.as_str(), "E001");
         assert_eq!(Code::RewriteDeclined.as_str(), "W005");
+        assert_eq!(Code::LoopNotExtracted.as_str(), "W007");
+        assert_eq!(Code::SqlInjectionTaint.as_str(), "E009");
+        assert_eq!(Code::HoistableQuery.as_str(), "W008");
+        assert_eq!(Code::NPlusOneQuery.as_str(), "W009");
         assert_eq!(Code::ExternalWriteInSlice.severity(), Severity::Error);
         assert_eq!(Code::DeadStatement.severity(), Severity::Warning);
+        assert_eq!(Code::SqlInjectionTaint.severity(), Severity::Error);
+        assert_eq!(Code::LoopNotExtracted.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn all_is_complete_sorted_and_unique() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(strs, sorted, "Code::ALL must be wire-string ordered");
+        assert_eq!(strs.len(), 18, "update Code::ALL when adding a code");
     }
 
     #[test]

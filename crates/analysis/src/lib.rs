@@ -16,7 +16,14 @@
 //!   preconditions P1–P3 of `loopToFold` (Fig. 6);
 //! * [`slice`] — backward program slices `slice(R, l, v)` (Weiser-style,
 //!   including control predicates);
-//! * [`liveness`] — backward live-variable analysis on structured ASTs;
+//! * [`dataflow`] — the reusable monotone-framework engine (forward or
+//!   backward worklist over [`cfg`] with a configurable join-semilattice,
+//!   height-bounded termination, deterministic iteration order);
+//! * [`liveness`] — backward live-variable analysis, a [`dataflow`] client;
+//! * [`reaching`] — forward reaching definitions, a [`dataflow`] client;
+//! * [`taint`] — SQL-injection taint from program inputs to database-call
+//!   query strings (`E009`);
+//! * [`loopquery`] — loop-invariant (`W008`) and N+1 (`W009`) query lints;
 //! * [`deadcode`] — removal of statements made dead by SQL extraction
 //!   (Sec. 5.2, "Parts of region R which are now rendered dead … are removed
 //!   by dead code elimination");
@@ -35,6 +42,7 @@
 
 pub mod callgraph;
 pub mod cfg;
+pub mod dataflow;
 pub mod ddg;
 pub mod deadcode;
 pub mod defuse;
@@ -43,17 +51,22 @@ pub mod dominators;
 pub mod effects;
 pub mod json;
 pub mod liveness;
+pub mod loopquery;
 pub mod pass;
 pub mod purity;
+pub mod reaching;
 pub mod regions;
 pub mod slice;
 pub mod structural;
+pub mod taint;
 
 pub use callgraph::CallGraph;
 pub use cfg::{BlockId, Cfg};
+pub use dataflow::{Analysis, Direction, Solution};
 pub use ddg::{Ddg, DepKind};
 pub use defuse::{DefUse, DefUseCtx};
 pub use diag::{Code, Diagnostic, Label, Severity};
 pub use effects::{effect_summaries, EffectSet, EffectSummary};
 pub use pass::{Pass, PassContext, PassManager};
+pub use reaching::ReachingDefs;
 pub use regions::{Region, RegionId, RegionKind, RegionTree};

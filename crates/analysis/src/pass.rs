@@ -14,7 +14,12 @@
 //! * `"liveness"` — loop-updated variables never read after the loop
 //!   (the extractor skips them);
 //! * `"ddg"` — loops with external writes, which are kept as loops even
-//!   when their accumulators fold ([`Code::LoopSideEffects`]).
+//!   when their accumulators fold ([`Code::LoopSideEffects`]);
+//! * `"taint"` — SQL strings built from program inputs reaching a database
+//!   call ([`Code::SqlInjectionTaint`], see [`crate::taint`]);
+//! * `"loopquery"` — hoistable and N+1 queries inside loops
+//!   ([`Code::HoistableQuery`], [`Code::NPlusOneQuery`], see
+//!   [`crate::loopquery`]).
 //!
 //! The extraction pipeline itself (fir/slice/rules) plugs in from
 //! `eqsql-core` through the same [`Pass`] trait.
@@ -86,13 +91,16 @@ impl<'p> PassManager<'p> {
         PassManager { passes: Vec::new() }
     }
 
-    /// The standard advisory pipeline: purity, deadcode, liveness, ddg.
+    /// The standard advisory pipeline: purity, deadcode, liveness, ddg,
+    /// taint, loopquery.
     pub fn standard() -> Self {
         let mut pm = PassManager::new();
         pm.register(Box::new(PurityPass));
         pm.register(Box::new(DeadCodePass));
         pm.register(Box::new(LivenessPass));
         pm.register(Box::new(LoopEffectsPass));
+        pm.register(Box::new(crate::taint::TaintPass));
+        pm.register(Box::new(crate::loopquery::LoopQueryPass));
         pm
     }
 
@@ -128,7 +136,7 @@ impl<'p> PassManager<'p> {
 
 /// Walk all statements of a block, depth first, with a flag for whether the
 /// statement sits inside a cursor loop.
-fn walk_stmts<'a>(block: &'a Block, in_loop: bool, f: &mut impl FnMut(&'a Stmt, bool)) {
+pub fn walk_stmts<'a>(block: &'a Block, in_loop: bool, f: &mut impl FnMut(&'a Stmt, bool)) {
     for s in &block.stmts {
         f(s, in_loop);
         match &s.kind {
@@ -148,7 +156,7 @@ fn walk_stmts<'a>(block: &'a Block, in_loop: bool, f: &mut impl FnMut(&'a Stmt, 
 }
 
 /// Top-level expressions of a statement (not recursive; use `Expr::walk`).
-fn stmt_exprs(kind: &StmtKind) -> Vec<&Expr> {
+pub fn stmt_exprs(kind: &StmtKind) -> Vec<&Expr> {
     match kind {
         StmtKind::Assign { value, .. } => vec![value],
         StmtKind::Expr(e) => vec![e],

@@ -31,9 +31,12 @@ pub fn pure_user_functions(p: &Program) -> BTreeSet<Symbol> {
         .collect()
 }
 
-/// The pre-effects boolean purity analysis, kept as an oracle: the
-/// summary-based [`pure_user_functions`] must classify every function this
-/// one calls pure as pure (it may additionally admit effect-free recursion).
+/// The pre-effects boolean purity analysis, kept *only* as a test oracle
+/// (compiled under `cfg(test)` or the `test-oracles` feature, so release
+/// builds carry a single builtin-purity table): the summary-based
+/// [`pure_user_functions`] must classify every function this one calls
+/// pure as pure (it may additionally admit effect-free recursion).
+#[cfg(any(test, feature = "test-oracles"))]
 pub mod reference {
     use super::*;
     use imp::ast::{builtins, Block, Expr, StmtKind};

@@ -4,9 +4,9 @@ use std::time::{Duration, Instant};
 
 use algebra::schema::Catalog;
 use algebra::Dialect;
-use analysis::diag::{dedup_sort, Code, Diagnostic};
+use analysis::diag::{dedup_sort, Code, Diagnostic, Severity};
 use analysis::liveness::Liveness;
-use analysis::pass::stmt_span;
+use analysis::pass::{stmt_span, walk_stmts};
 use analysis::regions::{RegionKind, RegionTree};
 use imp::ast::{Expr, Function, Program, StmtId};
 
@@ -561,6 +561,15 @@ impl Extractor {
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut plans = Vec::new();
 
+        // Cursor loops (`for`), the extraction targets; every one that stays
+        // imperative gets exactly one `W007` blame diagnostic below.
+        let mut cursor_loops: std::collections::BTreeSet<StmtId> = Default::default();
+        walk_stmts(&f.body, false, &mut |s, _| {
+            if matches!(s.kind, imp::ast::StmtKind::ForEach { .. }) {
+                cursor_loops.insert(s.id);
+            }
+        });
+
         for cand in candidates {
             let live_after = liveness.after(cand.stmt);
             let loop_span = stmt_span(&f.body, cand.stmt).unwrap_or_default();
@@ -787,6 +796,99 @@ impl Extractor {
                         );
                     }
                 }
+            }
+            // Extraction blame (W007): a cursor loop that stays imperative
+            // is never silently rejected. Trace the decisive reason — the
+            // first hard (E-code) per-variable failure, else the rewrite
+            // demotion, else the loop-level condition — and anchor a label
+            // chain at the offending statements. `while` loops are exempt
+            // (they are never cursor-extraction targets).
+            if !rewrite && cursor_loops.contains(&cand.stmt) {
+                let underlying = loop_vars
+                    .iter()
+                    .filter_map(|v| v.outcome.diagnostic())
+                    .find(|d| d.severity() == Severity::Error)
+                    .or_else(|| {
+                        loop_vars
+                            .iter()
+                            .filter_map(|v| v.outcome.diagnostic())
+                            .next()
+                    });
+                let mut blame = match underlying {
+                    Some(d) => {
+                        let subject = d
+                            .var
+                            .clone()
+                            .map(|v| format!("`{v}`"))
+                            .unwrap_or_else(|| "the accumulator".to_string());
+                        let why = match d.code {
+                            Code::NoAccumulation => format!(
+                                "{subject} violates P1 — its update does not \
+                                 accumulate across iterations"
+                            ),
+                            Code::ExtraLoopDependence => format!(
+                                "{subject} violates P2 — a loop-carried dependence \
+                                 exists outside its own update"
+                            ),
+                            Code::ExternalWriteInSlice => format!(
+                                "{subject} violates P3 — an external write sits \
+                                 inside its backward slice"
+                            ),
+                            Code::AbruptLoopExit => "it violates P4 — the loop exits abruptly via \
+                                 `break`, `continue`, or `return`"
+                                .to_string(),
+                            _ => d.message.clone(),
+                        };
+                        let mut b = Diagnostic::new(
+                            Code::LoopNotExtracted,
+                            loop_span,
+                            format!("loop not extracted: {why}"),
+                        )
+                        .with_note(format!(
+                            "see the accompanying {} diagnostic for the full analysis",
+                            d.code
+                        ));
+                        if let Some(v) = &d.var {
+                            b = b.with_var(v.clone());
+                        }
+                        // Point at the statement chain the underlying
+                        // analysis blamed, skipping labels that would just
+                        // re-underline the loop header.
+                        if d.primary.span != loop_span && d.primary.span.end != 0 {
+                            let what = if d.primary.message.is_empty() {
+                                "the offending statement".to_string()
+                            } else {
+                                d.primary.message.clone()
+                            };
+                            b = b.with_label(d.primary.span, what);
+                        }
+                        for l in &d.secondary {
+                            if l.span != loop_span && l.span.end != 0 {
+                                b = b.with_label(l.span, l.message.clone());
+                            }
+                        }
+                        b
+                    }
+                    None => {
+                        let why = if has_side_effects {
+                            "the loop performs database updates or output"
+                        } else if cand.entries.is_empty() {
+                            "the loop does not accumulate into any variable (P1)"
+                        } else {
+                            "no variable updated by the loop is live after it"
+                        };
+                        Diagnostic::new(
+                            Code::LoopNotExtracted,
+                            loop_span,
+                            format!("loop not extracted: {why}"),
+                        )
+                    }
+                };
+                blame = blame
+                    .with_primary_label("this loop stays imperative")
+                    .with_function(fname)
+                    .with_pass("blame");
+                diagnostics.push(blame);
             }
             for v in &loop_vars {
                 if let Some(d) = v.outcome.diagnostic() {

@@ -96,8 +96,9 @@ fn analysis_defs(b: &Block) -> Vec<Symbol> {
 /// Returns the number of loops replaced.
 pub fn apply_plans(f: &mut Function, plans: &[RewritePlan]) -> usize {
     let mut replaced = 0;
+    let mut next_id = u32::MAX;
     for plan in plans {
-        if replace_in_block(&mut f.body, plan) {
+        if replace_in_block(&mut f.body, plan, &mut next_id) {
             replaced += 1;
         }
     }
@@ -107,20 +108,29 @@ pub fn apply_plans(f: &mut Function, plans: &[RewritePlan]) -> usize {
     replaced
 }
 
-fn replace_in_block(b: &mut Block, plan: &RewritePlan) -> bool {
+fn replace_in_block(b: &mut Block, plan: &RewritePlan, next_id: &mut u32) -> bool {
     for i in 0..b.stmts.len() {
         if b.stmts[i].id == plan.loop_stmt {
             let span = b.stmts[i].span;
             let new: Vec<Stmt> = plan
                 .assigns
                 .iter()
-                .map(|(v, e)| Stmt {
-                    id: StmtId(u32::MAX), // renumbered by the caller
-                    kind: StmtKind::Assign {
-                        target: *v,
-                        value: e.clone(),
-                    },
-                    span,
+                .map(|(v, e)| {
+                    // Placeholder ids counting down from u32::MAX,
+                    // renumbered by the caller. They must be *distinct*
+                    // (across plans too): the dead-code pass keys
+                    // per-statement liveness facts by id before the
+                    // renumber happens.
+                    let id = StmtId(*next_id);
+                    *next_id -= 1;
+                    Stmt {
+                        id,
+                        kind: StmtKind::Assign {
+                            target: *v,
+                            value: e.clone(),
+                        },
+                        span,
+                    }
                 })
                 .collect();
             b.stmts.splice(i..=i, new);
@@ -131,9 +141,12 @@ fn replace_in_block(b: &mut Block, plan: &RewritePlan) -> bool {
                 then_branch,
                 else_branch,
                 ..
-            } => replace_in_block(then_branch, plan) || replace_in_block(else_branch, plan),
+            } => {
+                replace_in_block(then_branch, plan, next_id)
+                    || replace_in_block(else_branch, plan, next_id)
+            }
             StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
-                replace_in_block(body, plan)
+                replace_in_block(body, plan, next_id)
             }
             _ => false,
         };

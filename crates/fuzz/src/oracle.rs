@@ -51,6 +51,9 @@ pub enum DivergenceKind {
     Error,
     /// One side panicked.
     Panic,
+    /// The lint pipeline broke its contract: it panicked, or a rejected
+    /// cursor loop carried no `W007` blame diagnostic.
+    Lint,
 }
 
 impl fmt::Display for DivergenceKind {
@@ -60,6 +63,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::Output => "output",
             DivergenceKind::Error => "error",
             DivergenceKind::Panic => "panic",
+            DivergenceKind::Lint => "lint",
         };
         f.write_str(s)
     }
@@ -168,6 +172,13 @@ pub fn run_case(case: &Case) -> CaseOutcome {
             }
         }
     };
+    // Lint-pipeline oracle: the full analysis suite must never panic on a
+    // generated program, and every cursor loop extraction rejected must be
+    // blamed with a `W007` diagnostic (lint coverage contract, not just
+    // extraction correctness).
+    if let Some(d) = check_lint(&program, &catalog, case, &report) {
+        return CaseOutcome::Diverged(d);
+    }
     if !report.changed() {
         return CaseOutcome::Agree { extracted: false };
     }
@@ -213,6 +224,78 @@ pub fn run_case(case: &Case) -> CaseOutcome {
             detail: format!("interp errored ({e}), extracted SQL returned {b}"),
         }),
     }
+}
+
+/// Outermost cursor (`for`) loops in `f` — exactly the candidates the
+/// extractor considers, and hence the loops owed a `W007` blame diagnostic
+/// when they stay imperative.
+fn outermost_cursor_loops(f: &imp::ast::Function) -> usize {
+    use imp::ast::{Block, StmtKind};
+    fn walk(b: &Block, n: &mut usize) {
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::ForEach { .. } => *n += 1,
+                StmtKind::While { .. } => {}
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, n);
+                    walk(else_branch, n);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut n = 0;
+    walk(&f.body, &mut n);
+    n
+}
+
+/// Run the lint pipeline over the case's program and check its contract:
+/// no panics, and at least as many `W007` blame diagnostics for the target
+/// function as it has non-rewritten outermost cursor loops.
+fn check_lint(
+    program: &imp::ast::Program,
+    catalog: &algebra::schema::Catalog,
+    case: &Case,
+    report: &eqsql_core::ExtractionReport,
+) -> Option<Divergence> {
+    let diags = {
+        let program = program.clone();
+        let catalog = catalog.clone();
+        match catch_unwind(AssertUnwindSafe(move || {
+            eqsql_core::lint_program(&program, &catalog, &ExtractorOptions::default())
+        })) {
+            Ok(d) => d,
+            Err(p) => {
+                return Some(Divergence {
+                    kind: DivergenceKind::Lint,
+                    detail: format!("lint pipeline panicked: {}", panic_text(&p)),
+                })
+            }
+        }
+    };
+    let f = program.function(&case.function)?;
+    let kept = outermost_cursor_loops(f).saturating_sub(report.loops_rewritten);
+    let blamed = diags
+        .iter()
+        .filter(|d| {
+            d.code == analysis::diag::Code::LoopNotExtracted
+                && d.function.as_deref() == Some(case.function.as_str())
+        })
+        .count();
+    if blamed < kept {
+        return Some(Divergence {
+            kind: DivergenceKind::Lint,
+            detail: format!(
+                "{kept} cursor loop(s) stayed imperative but only {blamed} carry a W007 \
+                 blame diagnostic"
+            ),
+        });
+    }
+    None
 }
 
 /// Serialize a minimized case to `dir` as `<stem>.imp` (program with
@@ -300,6 +383,24 @@ mod tests {
         match run_case(&tiny_case()) {
             CaseOutcome::Agree { extracted } => assert!(extracted, "sum loop should extract"),
             other => panic!("expected agreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejected_loop_passes_lint_gate_with_blame() {
+        // `break` rejects extraction (E004); the case must still *agree*
+        // because the lint pipeline blames the loop with a W007 — a missing
+        // blame would surface as a `Lint` divergence here.
+        let mut case = tiny_case();
+        case.program = "fn main() {\n    acc0 = 0;\n    for (r in executeQuery(\
+                        \"SELECT * FROM t\")) {\n        acc0 = acc0 + r.g;\n        \
+                        if (acc0 > 1) break;\n    }\n    return acc0;\n}\n"
+            .into();
+        match run_case(&case) {
+            CaseOutcome::Agree { extracted } => {
+                assert!(!extracted, "break loop must not extract")
+            }
+            other => panic!("expected agreement via blame, got {other:?}"),
         }
     }
 

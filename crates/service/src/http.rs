@@ -267,6 +267,7 @@ fn route(req: &Request, state: &ServerState) -> Response {
                     &state.service.cache_stats(),
                     state.service.stage_counters(),
                     &state.fuzz,
+                    state.service.lint_counters(),
                     state.service.config().deterministic_metrics,
                 ),
             }

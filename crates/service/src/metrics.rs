@@ -113,6 +113,48 @@ impl FuzzCounters {
     }
 }
 
+/// Diagnostics per code, positionally aligned with
+/// [`analysis::diag::Code::ALL`].
+pub type LintTally = [u64; analysis::diag::Code::ALL.len()];
+
+/// Lifetime per-code diagnostic counters (`eqsql_lint_total`), accumulated
+/// from every computed extract/lint job. Like [`StageCounters`], cache hits
+/// replay a stored document and add nothing — the counters describe
+/// analysis work done, not requests served. They are *not* zeroed by
+/// `deterministic_metrics`: a fixed request sequence produces fixed counts.
+#[derive(Debug)]
+pub struct LintCounters {
+    counts: [AtomicU64; analysis::diag::Code::ALL.len()],
+}
+
+impl Default for LintCounters {
+    fn default() -> Self {
+        LintCounters {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LintCounters {
+    /// Count one diagnostic list into a tally (by `Code::ALL` position).
+    pub fn tally(diags: &[analysis::diag::Diagnostic]) -> LintTally {
+        let mut t = [0u64; analysis::diag::Code::ALL.len()];
+        for d in diags {
+            if let Some(i) = analysis::diag::Code::ALL.iter().position(|c| *c == d.code) {
+                t[i] += 1;
+            }
+        }
+        t
+    }
+
+    /// Fold one job's tally into the running totals.
+    pub fn absorb(&self, t: &LintTally) {
+        for (c, v) in self.counts.iter().zip(t) {
+            c.fetch_add(*v, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The Prometheus content type, exact version string included.
 pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
@@ -140,6 +182,7 @@ pub fn render(
     cache: &CacheStats,
     stages: &StageCounters,
     fuzz: &FuzzCounters,
+    lints: &LintCounters,
     deterministic: bool,
 ) -> String {
     let mut out = String::new();
@@ -314,6 +357,20 @@ pub fn render(
         "Fuzz cases where extraction or evaluation panicked.",
         fuzz.panics.load(Ordering::Relaxed),
     );
+
+    let _ = writeln!(
+        out,
+        "# HELP eqsql_lint_total Diagnostics emitted by computed extract/lint \
+         jobs, by code (cache hits add nothing)."
+    );
+    let _ = writeln!(out, "# TYPE eqsql_lint_total counter");
+    for (code, c) in analysis::diag::Code::ALL.iter().zip(&lints.counts) {
+        let _ = writeln!(
+            out,
+            "eqsql_lint_total{{code=\"{code}\"}} {}",
+            c.load(Ordering::Relaxed)
+        );
+    }
     out
 }
 
@@ -346,8 +403,15 @@ mod tests {
         stages.obligations_checked.store(5, Ordering::Relaxed);
         let fuzz = FuzzCounters::default();
         fuzz.absorb(200, 1, 0);
-        let a = render(&http, &sched, &cache, &stages, &fuzz, false);
-        let b = render(&http, &sched, &cache, &stages, &fuzz, false);
+        let lints = LintCounters::default();
+        let d = analysis::diag::Diagnostic::new(
+            analysis::diag::Code::LoopNotExtracted,
+            imp::token::Span::new(0, 1),
+            "x",
+        );
+        lints.absorb(&LintCounters::tally(&[d.clone(), d]));
+        let a = render(&http, &sched, &cache, &stages, &fuzz, &lints, false);
+        let b = render(&http, &sched, &cache, &stages, &fuzz, &lints, false);
         assert_eq!(a, b);
         assert!(a.contains("eqsql_http_requests_total{path=\"/extract\"} 2"));
         assert!(a.contains("eqsql_cache_hits_total 1"));
@@ -360,11 +424,19 @@ mod tests {
         assert!(a.contains("eqsql_fuzz_iterations_total 200"));
         assert!(a.contains("eqsql_fuzz_divergences_total 1"));
         assert!(a.contains("eqsql_fuzz_panics_total 0"));
+        assert!(a.contains("eqsql_lint_total{code=\"W007\"} 2"));
+        assert!(a.contains("eqsql_lint_total{code=\"E001\"} 0"));
+        // One line per code, in Code::ALL (wire-string) order.
+        assert_eq!(
+            a.matches("eqsql_lint_total{code=").count(),
+            analysis::diag::Code::ALL.len()
+        );
         // Deterministic mode zeroes the timings but keeps the counts.
-        let det = render(&http, &sched, &cache, &stages, &fuzz, true);
+        let det = render(&http, &sched, &cache, &stages, &fuzz, &lints, true);
         assert!(det.contains("eqsql_stage_ns_total{stage=\"dir\"} 0"));
         assert!(det.contains("eqsql_dag_peak_nodes 40"));
         assert!(det.contains("eqsql_rule_cache_hits_total 7"));
+        assert!(det.contains("eqsql_lint_total{code=\"W007\"} 2"));
         // Every non-comment line is `name[{labels}] value`.
         for line in a.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');

@@ -194,6 +194,7 @@ pub struct ExtractionService {
     cache: ResultCache<String>,
     config: ServiceConfig,
     stages: crate::metrics::StageCounters,
+    lints: crate::metrics::LintCounters,
 }
 
 impl ExtractionService {
@@ -208,6 +209,7 @@ impl ExtractionService {
             cache: ResultCache::new(config.cache_entries),
             config,
             stages: crate::metrics::StageCounters::default(),
+            lints: crate::metrics::LintCounters::default(),
         }
     }
 
@@ -230,6 +232,12 @@ impl ExtractionService {
     /// actually ran contribute; cache hits add nothing.
     pub fn stage_counters(&self) -> &crate::metrics::StageCounters {
         &self.stages
+    }
+
+    /// Lifetime per-code diagnostic counters (for `/metrics`). Only jobs
+    /// that actually ran contribute; cache hits add nothing.
+    pub fn lint_counters(&self) -> &crate::metrics::LintCounters {
+        &self.lints
     }
 
     /// Serve an extraction: cache lookup, then a scheduler job on a miss.
@@ -268,6 +276,7 @@ impl ExtractionService {
                 if let Some(times) = &out.stage {
                     self.stages.absorb(times);
                 }
+                self.lints.absorb(&out.lints);
                 Ok((self.cache.put(key, out.doc), CacheStatus::Miss))
             }
             JobResult::Completed(Err(e)) => Err(e),
@@ -284,10 +293,12 @@ impl ExtractionService {
 }
 
 /// A computed document plus the stage breakdown that produced it (absent
-/// for computations that don't run the extraction pipeline).
+/// for computations that don't run the extraction pipeline) and a per-code
+/// tally of the diagnostics it reported (for `eqsql_lint_total`).
 struct ComputeOutput {
     doc: String,
     stage: Option<eqsql_core::StageTimes>,
+    lints: crate::metrics::LintTally,
 }
 
 /// Parse + extract + render; runs inside a scheduler job.
@@ -304,6 +315,7 @@ fn compute_extract(req: &ExtractRequest) -> Result<ComputeOutput, ServiceError> 
     Ok(ComputeOutput {
         doc: report.render_json(&req.source),
         stage: Some(report.stage),
+        lints: crate::metrics::LintCounters::tally(&report.diagnostics),
     })
 }
 
@@ -333,6 +345,7 @@ fn compute_lint(req: &ExtractRequest) -> Result<ComputeOutput, ServiceError> {
     Ok(ComputeOutput {
         doc: doc.render(),
         stage: None,
+        lints: crate::metrics::LintCounters::tally(&diags),
     })
 }
 

@@ -23,16 +23,31 @@ fn catalog() -> Catalog {
 }
 
 fn check(name: &str, code: Code, src: &str) {
+    check_codes(name, &[code], &[], src);
+}
+
+/// Like `check`, but asserts several codes at once and — for the lint pairs
+/// that have a designed-silent variant (parameterized query vs. E009, hoisted
+/// query vs. W008) — asserts that the silent codes stay absent.
+fn check_codes(name: &str, present: &[Code], absent: &[Code], src: &str) {
     let program = imp::parse_and_normalize(src).unwrap();
     let diags = lint_program(&program, &catalog(), &ExtractorOptions::default());
-    let hit = diags
-        .iter()
-        .find(|d| d.code == code)
-        .unwrap_or_else(|| panic!("expected {code:?} in {name}: {diags:#?}"));
-    assert!(
-        hit.primary.span.end > hit.primary.span.start,
-        "{code:?} in {name} must carry a source span: {hit:?}"
-    );
+    for code in present {
+        let hit = diags
+            .iter()
+            .find(|d| d.code == *code)
+            .unwrap_or_else(|| panic!("expected {code:?} in {name}: {diags:#?}"));
+        assert!(
+            hit.primary.span.end > hit.primary.span.start,
+            "{code:?} in {name} must carry a source span: {hit:?}"
+        );
+    }
+    for code in absent {
+        assert!(
+            !diags.iter().any(|d| d.code == *code),
+            "{code:?} must NOT fire in {name}: {diags:#?}"
+        );
+    }
     let json = render_json(&diags, src);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../../tests/golden")
@@ -137,6 +152,109 @@ fn e005_non_algebraic() {
         s = s + t.salary;
     }
     return s;
+}"#,
+    );
+}
+
+#[test]
+fn e009_sql_injection_taint() {
+    // The query string is built by concatenating the function parameter, so
+    // the taint analysis flags the `executeQuery` argument.
+    check(
+        "e009_sql_injection_taint",
+        Code::SqlInjectionTaint,
+        r#"fn byName(name) {
+    q = "SELECT * FROM emp WHERE name = '" + name + "'";
+    rows = executeQuery(q);
+    s = 0;
+    for (t in rows) {
+        s = s + t.salary;
+    }
+    return s;
+}"#,
+    );
+}
+
+#[test]
+fn e009_parameterized_is_clean() {
+    // The safe rewrite of the case above: a constant query with a `?`
+    // placeholder. The parameter flows through `executeQuery`'s argument
+    // list, never into the query text, so E009 stays silent and the loop
+    // extracts cleanly (no W007 either).
+    check_codes(
+        "e009_parameterized_clean",
+        &[],
+        &[Code::SqlInjectionTaint, Code::LoopNotExtracted],
+        r#"fn byName(name) {
+    rows = executeQuery("SELECT * FROM emp WHERE name = ?", name);
+    s = 0;
+    for (t in rows) {
+        s = s + t.salary;
+    }
+    return s;
+}"#,
+    );
+}
+
+#[test]
+fn w008_hoistable_query() {
+    // The MIN(salary) probe mentions no loop-varying variable, so it returns
+    // the same row every iteration — hoistable above the loop.
+    check(
+        "w008_hoistable_query",
+        Code::HoistableQuery,
+        r#"fn aboveFloor() {
+    rows = executeQuery("SELECT * FROM emp");
+    n = 0;
+    for (t in rows) {
+        floor = executeScalar("SELECT MIN(salary) FROM emp");
+        if (t.salary > floor) {
+            n = n + 1;
+        }
+    }
+    return n;
+}"#,
+    );
+}
+
+#[test]
+fn w009_n_plus_one_query() {
+    // The inner query is keyed only by the cursor row — the classic N+1
+    // shape a join would fetch in one round trip.
+    check(
+        "w009_n_plus_one_query",
+        Code::NPlusOneQuery,
+        r#"fn nameList() {
+    rows = executeQuery("SELECT * FROM emp");
+    s = 0;
+    for (t in rows) {
+        twin = executeScalar("SELECT COUNT(1) FROM emp WHERE salary = ?", t.salary);
+        s = s + twin;
+    }
+    return s;
+}"#,
+    );
+}
+
+#[test]
+fn w008_w009_silent_when_query_hoisted() {
+    // Same probe as `w008_hoistable_query` but already hoisted above the
+    // loop: no query executes per iteration, so neither loop-query lint
+    // fires.
+    check_codes(
+        "w008_hoisted_clean",
+        &[],
+        &[Code::HoistableQuery, Code::NPlusOneQuery],
+        r#"fn aboveFloor() {
+    floor = executeScalar("SELECT MIN(salary) FROM emp");
+    rows = executeQuery("SELECT * FROM emp");
+    n = 0;
+    for (t in rows) {
+        if (t.salary > floor) {
+            n = n + 1;
+        }
+    }
+    return n;
 }"#,
     );
 }
