@@ -43,6 +43,18 @@ echo "==> eqsql fuzz (deterministic smoke)"
 # program and exit nonzero.
 target/release/eqsql fuzz --seed 42 --iters 200
 
+echo "==> eqsql fuzz --store (paged-backend smoke)"
+# The same differential oracle over the paged storage engine: tables live
+# in B-tree pages behind an 8-frame buffer pool and queries run on the
+# volcano executor, amplified with extra generated rows so scans evict.
+target/release/eqsql fuzz --seed 42 --iters 50 --store --store-rows 256
+
+echo "==> storage_scale --check"
+# Larger-than-memory gate: streams the 10⁴-row size through the paged
+# engine, asserts imperative ≡ extracted results, and structurally
+# validates the tracked BENCH_storage.json. No timing gates.
+cargo run -q --release -p bench --bin storage_scale -- --check > /dev/null
+
 echo "==> perf_pipeline --check"
 # Small-corpus sweep: asserts the bench harness runs end to end and emits
 # valid JSON. No timing gates — CI machines are too noisy for that.

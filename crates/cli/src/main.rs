@@ -38,13 +38,17 @@
 //!     writes the bound address for scripts to discover.
 //!
 //! eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR]
-//!            [--max-divergences N]
+//!            [--max-divergences N] [--store] [--store-rows N]
 //!     Differential fuzzing: generate random well-typed programs over
 //!     random schemas, run each under the interpreter and through the
 //!     extractor (evaluating the emitted SQL), and report divergences.
 //!     Fully deterministic for a given seed. --shrink minimizes each
 //!     failure; --repros writes minimized cases as standalone files.
-//!     Exits nonzero when any divergence or panic is found.
+//!     --store backs the tables with the paged storage engine (volcano
+//!     executor + buffer pool) and amplifies each table by --store-rows
+//!     generated rows (default 256), so larger cardinalities and page
+//!     eviction are exercised too. Exits nonzero when any divergence or
+//!     panic is found.
 //!
 //! Common options:
 //!     --function NAME      function to analyse (default: first function;
@@ -104,6 +108,8 @@ struct Opts {
     shrink: bool,
     repros: Option<String>,
     max_divergences: usize,
+    store: bool,
+    store_rows: usize,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -133,6 +139,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         shrink: false,
         repros: None,
         max_divergences: 0,
+        store: false,
+        store_rows: 256,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -195,6 +203,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.max_divergences = next(&mut it, "--max-divergences")?
                     .parse()
                     .map_err(|e| format!("bad --max-divergences: {e}"))?
+            }
+            "--store" => o.store = true,
+            "--store-rows" => {
+                o.store_rows = next(&mut it, "--store-rows")?
+                    .parse()
+                    .map_err(|e| format!("bad --store-rows: {e}"))?
             }
             "--unordered" => o.unordered = true,
             "--prints" => o.prints = true,
@@ -512,6 +526,8 @@ fn run_fuzz_cmd(opts: &Opts) -> Result<(), String> {
         shrink: opts.shrink,
         repro_dir: opts.repros.clone().map(std::path::PathBuf::from),
         max_divergences: opts.max_divergences,
+        store: opts.store,
+        store_rows: opts.store_rows,
     };
     // The oracle traps panics with catch_unwind and reports them as
     // divergences; suppress the default hook's backtrace spew so the
@@ -559,6 +575,6 @@ fn print_usage() {
        \x20      eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N] \
          [--cache-entries N] [--timeout-ms N] [--port-file PATH]\n\
        \x20      eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR] \
-         [--max-divergences N]"
+         [--max-divergences N] [--store] [--store-rows N]"
     );
 }

@@ -35,10 +35,24 @@ pub struct TableStats {
     pub avg_row_bytes: f64,
 }
 
+/// Per-column statistics: number-of-distinct-values estimate and NULL
+/// fraction. Paged tables deliver these from the `storage::stats` KMV
+/// sketches maintained during page writes; in-memory tables compute them
+/// exactly with one scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColStats {
+    /// Estimated distinct non-NULL values.
+    pub ndv: f64,
+    /// Fraction of rows where the column is NULL.
+    pub null_frac: f64,
+}
+
 /// Statistics for a database.
 #[derive(Debug, Clone, Default)]
 pub struct DbStats {
     tables: BTreeMap<String, TableStats>,
+    /// table name → column name → column statistics.
+    columns: BTreeMap<String, BTreeMap<String, ColStats>>,
     /// Per-round-trip latency, microseconds (mirrors `dbms::CostModel`).
     pub latency_us: f64,
     /// Per-byte transfer cost, microseconds.
@@ -47,6 +61,11 @@ pub struct DbStats {
 
 impl DbStats {
     /// Collect statistics from a live database.
+    ///
+    /// Row counts and average widths come from the table itself. Column
+    /// NDV/NULL-fraction come from the storage engine's sketches when the
+    /// table is paged ([`dbms::Table::statistics`]); for in-memory tables
+    /// they are computed exactly by scanning (tables there are small).
     pub fn from_database(db: &dbms::Database) -> DbStats {
         let mut s = DbStats {
             latency_us: 500.0,
@@ -55,25 +74,43 @@ impl DbStats {
         };
         for schema in db.catalog().tables() {
             if let Some(t) = db.table(&schema.name) {
-                let rows = t.rows.len() as f64;
+                let nrows = t.len();
                 let bytes: usize = t
-                    .rows
-                    .iter()
+                    .scan()
                     .take(64)
                     .map(|r| r.iter().map(dbms::Value::wire_size).sum::<usize>() + 8)
                     .sum();
-                let avg = if t.rows.is_empty() {
+                let avg = if nrows == 0 {
                     32.0
                 } else {
-                    bytes as f64 / t.rows.len().min(64) as f64
+                    bytes as f64 / nrows.min(64) as f64
                 };
                 s.tables.insert(
                     schema.name.clone(),
                     TableStats {
-                        rows,
+                        rows: nrows as f64,
                         avg_row_bytes: avg,
                     },
                 );
+                let cols = match t.statistics() {
+                    Some(ts) if ts.columns.len() == schema.columns.len() => schema
+                        .columns
+                        .iter()
+                        .zip(&ts.columns)
+                        .map(|(c, cs)| {
+                            (
+                                c.name.clone(),
+                                ColStats {
+                                    ndv: cs.ndv,
+                                    null_frac: cs.null_frac,
+                                },
+                            )
+                        })
+                        .collect(),
+                    _ => exact_column_stats(t, schema),
+                };
+                s.columns
+                    .insert(schema.name.clone(), cols.into_iter().collect());
             }
         }
         s
@@ -98,15 +135,31 @@ impl DbStats {
         self
     }
 
+    /// Add a synthetic column statistic.
+    pub fn with_column(mut self, table: &str, column: &str, ndv: f64, null_frac: f64) -> DbStats {
+        self.columns
+            .entry(table.to_string())
+            .or_default()
+            .insert(column.to_string(), ColStats { ndv, null_frac });
+        self
+    }
+
     /// Canonical, deterministic encoding of the statistics.
     ///
-    /// Feeds [`crate::ExtractorOptions::fingerprint`]: the table map is a
-    /// `BTreeMap`, so iteration (and therefore the encoding) is stable.
+    /// Feeds [`crate::ExtractorOptions::fingerprint`]: both maps are
+    /// `BTreeMap`s, so iteration (and therefore the encoding) is stable,
+    /// and the KMV sketches behind paged-table NDVs are themselves
+    /// deterministic functions of the data.
     pub fn fingerprint(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!("latency={};per_byte={}", self.latency_us, self.per_byte_us);
         for (name, t) in &self.tables {
             let _ = write!(out, ";{name}={},{}", t.rows, t.avg_row_bytes);
+        }
+        for (name, cols) in &self.columns {
+            for (col, c) in cols {
+                let _ = write!(out, ";{name}.{col}={},{}", c.ndv, c.null_frac);
+            }
         }
         out
     }
@@ -117,6 +170,49 @@ impl DbStats {
             avg_row_bytes: 64.0,
         })
     }
+
+    fn column(&self, table: &str, column: &str) -> Option<ColStats> {
+        self.columns.get(table)?.get(column).copied()
+    }
+}
+
+/// Exact per-column statistics for an in-memory table (one full scan).
+fn exact_column_stats(
+    t: &dbms::Table,
+    schema: &algebra::schema::TableSchema,
+) -> Vec<(String, ColStats)> {
+    let ncols = schema.columns.len();
+    let mut distinct: Vec<std::collections::HashSet<String>> = vec![Default::default(); ncols];
+    let mut nulls = vec![0usize; ncols];
+    let mut rows = 0usize;
+    for row in t.scan() {
+        rows += 1;
+        for (i, v) in row.iter().enumerate().take(ncols) {
+            if matches!(v, dbms::Value::Null) {
+                nulls[i] += 1;
+            } else {
+                distinct[i].insert(v.group_key());
+            }
+        }
+    }
+    schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            (
+                c.name.clone(),
+                ColStats {
+                    ndv: distinct[i].len() as f64,
+                    null_frac: if rows == 0 {
+                        0.0
+                    } else {
+                        nulls[i] as f64 / rows as f64
+                    },
+                },
+            )
+        })
+        .collect()
 }
 
 /// Estimated evaluation of one query.
@@ -148,7 +244,7 @@ pub fn estimate_query(ra: &RaExpr, stats: &DbStats) -> QueryEstimate {
         },
         RaExpr::Select { input, pred } => {
             let e = estimate_query(input, stats);
-            let sel = pred_selectivity(pred);
+            let sel = pred_selectivity_for(pred, base_table_name(input), stats);
             QueryEstimate {
                 rows: e.rows * sel,
                 bytes: e.bytes * sel,
@@ -229,11 +325,52 @@ fn stats_rows_hint(ra: &RaExpr, stats: &DbStats) -> f64 {
 }
 
 fn pred_selectivity(p: &algebra::scalar::Scalar) -> f64 {
+    pred_selectivity_for(p, None, &DbStats::default())
+}
+
+/// The base table a plan fragment ultimately scans, when it has exactly one.
+fn base_table_name(ra: &RaExpr) -> Option<&str> {
+    match ra {
+        RaExpr::Table { name, .. } => Some(name),
+        RaExpr::Select { input, .. }
+        | RaExpr::Project { input, .. }
+        | RaExpr::Sort { input, .. }
+        | RaExpr::Dedup { input }
+        | RaExpr::Limit { input, .. }
+        | RaExpr::Aliased { input, .. }
+        | RaExpr::Aggregate { input, .. } => base_table_name(input),
+        _ => None,
+    }
+}
+
+/// Selectivity of `p`, refined by column statistics when available.
+///
+/// For `col = <literal/param>` over a table with a known NDV the System-R
+/// default `SEL_EQ` is replaced by `(1 - null_frac) / ndv` — equality never
+/// matches NULLs, and distinct values are assumed uniform (ROADMAP item 2's
+/// "cardinality estimation from table statistics").
+fn pred_selectivity_for(p: &algebra::scalar::Scalar, table: Option<&str>, stats: &DbStats) -> f64 {
     use algebra::scalar::{BinOp, Scalar};
     match p {
-        Scalar::Bin(BinOp::And, l, r) => pred_selectivity(l) * pred_selectivity(r),
-        Scalar::Bin(BinOp::Or, l, r) => (pred_selectivity(l) + pred_selectivity(r)).min(1.0),
-        Scalar::Bin(BinOp::Eq, ..) => SEL_EQ,
+        Scalar::Bin(BinOp::And, l, r) => {
+            pred_selectivity_for(l, table, stats) * pred_selectivity_for(r, table, stats)
+        }
+        Scalar::Bin(BinOp::Or, l, r) => {
+            (pred_selectivity_for(l, table, stats) + pred_selectivity_for(r, table, stats)).min(1.0)
+        }
+        Scalar::Bin(BinOp::Eq, l, r) => {
+            let col = match (&**l, &**r) {
+                (Scalar::Col(c), _) | (_, Scalar::Col(c)) => Some(&c.column),
+                _ => None,
+            };
+            match (table, col) {
+                (Some(t), Some(c)) => match stats.column(t, c) {
+                    Some(cs) if cs.ndv >= 1.0 => ((1.0 - cs.null_frac) / cs.ndv).clamp(1e-6, 1.0),
+                    _ => SEL_EQ,
+                },
+                _ => SEL_EQ,
+            }
+        }
         Scalar::Bin(op, ..) if op.is_comparison() => SEL_RANGE,
         Scalar::Lit(algebra::scalar::Lit::Bool(true)) => 1.0,
         _ => 0.5,

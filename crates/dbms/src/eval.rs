@@ -57,9 +57,9 @@ impl std::error::Error for EvalError {}
 /// A lexical scope for column resolution during correlated evaluation.
 #[derive(Clone, Copy)]
 pub struct Scope<'a> {
-    fields: &'a [Field],
-    row: &'a [Value],
-    parent: Option<&'a Scope<'a>>,
+    pub(crate) fields: &'a [Field],
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a Scope<'a>>,
 }
 
 impl<'a> Scope<'a> {
@@ -72,7 +72,27 @@ impl<'a> Scope<'a> {
 }
 
 /// Evaluate a query against a database with positional parameters.
+///
+/// Single-table pipelines over a *paged* table are dispatched to the
+/// streaming volcano executor ([`crate::volcano`]), which produces
+/// byte-identical results while holding memory proportional to the
+/// operator state (one buffer-pool frame per scan, per-group accumulators)
+/// instead of the whole table. Everything else — joins, `OUTER APPLY`,
+/// in-memory tables — takes the materializing path.
 pub fn eval_query(ra: &RaExpr, db: &Database, params: &[Value]) -> Result<Relation, EvalError> {
+    if crate::volcano::plans_paged(ra, db) {
+        return crate::volcano::execute(ra, db, params);
+    }
+    eval_ra(ra, db, params, None)
+}
+
+/// Evaluate through the materializing evaluator unconditionally (the
+/// volcano differential sweep uses this as the reference side).
+pub fn eval_query_materialized(
+    ra: &RaExpr,
+    db: &Database,
+    params: &[Value],
+) -> Result<Relation, EvalError> {
     eval_ra(ra, db, params, None)
 }
 
@@ -118,7 +138,7 @@ pub fn fields_of(ra: &RaExpr, db: &Database) -> Result<Vec<Field>, EvalError> {
     }
 }
 
-fn eval_ra(
+pub(crate) fn eval_ra(
     ra: &RaExpr,
     db: &Database,
     params: &[Value],
@@ -131,7 +151,7 @@ fn eval_ra(
                 .ok_or_else(|| EvalError::UnknownTable(name.clone()))?;
             Ok(Relation {
                 fields: fields_of(ra, db)?,
-                rows: t.rows.clone(),
+                rows: t.rows_vec(),
             })
         }
         RaExpr::Values { columns, rows } => Ok(Relation {
@@ -394,7 +414,7 @@ fn eval_aggregate(
     Ok(Relation { fields, rows })
 }
 
-fn empty_agg(f: AggFunc) -> Value {
+pub(crate) fn empty_agg(f: AggFunc) -> Value {
     match f {
         AggFunc::Count => Value::Int(0),
         _ => Value::Null,
@@ -402,7 +422,7 @@ fn empty_agg(f: AggFunc) -> Value {
 }
 
 /// Streaming aggregate accumulator with SQL NULL semantics.
-struct Accumulator {
+pub(crate) struct Accumulator {
     func: AggFunc,
     count: i64,
     sum_i: i64,
@@ -413,7 +433,7 @@ struct Accumulator {
 }
 
 impl Accumulator {
-    fn new(func: AggFunc) -> Accumulator {
+    pub(crate) fn new(func: AggFunc) -> Accumulator {
         Accumulator {
             func,
             count: 0,
@@ -425,7 +445,7 @@ impl Accumulator {
         }
     }
 
-    fn feed(&mut self, v: &Value) -> Result<(), EvalError> {
+    pub(crate) fn feed(&mut self, v: &Value) -> Result<(), EvalError> {
         if v.is_null() {
             return Ok(()); // aggregates ignore NULLs
         }
@@ -467,7 +487,7 @@ impl Accumulator {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self.func {
             AggFunc::Count => Value::Int(self.count),
             AggFunc::Sum => {

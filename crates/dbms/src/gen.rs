@@ -4,54 +4,183 @@
 //! mirror the applications of Sec. 7: Matoso's `board`, Wilos's
 //! `project`/`wilos_user`/`role`, and JobPortal's star schema (Fig. 12).
 
-use algebra::schema::{Catalog, SqlType, TableSchema};
+use algebra::schema::{Catalog, ColumnDef, SqlType, TableSchema};
 
 use crate::prng::StdRng;
 
-use crate::table::Database;
+use crate::table::{Database, Row};
 use crate::value::Value;
 
-/// Populate a database for an arbitrary catalog: `rows` rows per table,
-/// deterministic under `seed`.
+/// Sampling profile for [`RowGen`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenProfile {
+    /// When set, non-key nullable cells become NULL with this percent
+    /// probability (one extra RNG draw per such cell).
+    pub null_pct: Option<u32>,
+    /// Signed domains (`-9..=9` ints) instead of the tiny unsigned ones.
+    pub signed: bool,
+    /// Offset added to the row index for key values, so rows generated in
+    /// several batches (the fuzzer's store-mode amplification) keep key
+    /// columns unique.
+    pub key_base: usize,
+}
+
+impl GenProfile {
+    /// The [`gen_catalog`] profile: no NULLs, tiny unsigned domains.
+    pub fn plain() -> GenProfile {
+        GenProfile {
+            null_pct: None,
+            signed: false,
+            key_base: 0,
+        }
+    }
+
+    /// The [`gen_catalog_nulls`] profile: NULLs at `pct`%, signed domains.
+    pub fn nulls(pct: u32) -> GenProfile {
+        GenProfile {
+            null_pct: Some(pct),
+            signed: true,
+            key_base: 0,
+        }
+    }
+
+    /// Start key values at `base` instead of 0.
+    pub fn with_key_base(mut self, base: usize) -> GenProfile {
+        self.key_base = base;
+        self
+    }
+}
+
+/// A streaming row generator: yields one [`Row`] at a time, so callers
+/// pipe rows straight into whichever backing the table uses — paged rows
+/// go to the store without a whole-table `Vec<Row>` ever existing.
 ///
-/// Key columns receive *unique* values (`0..rows` / `"k0".."kN"`) so that
-/// rewrites whose soundness rests on a unique key (T4.1, T5.2) are tested
-/// under their actual precondition. Non-key columns draw from a deliberately
-/// tiny domain so joins and equality predicates hit on small databases.
-pub fn gen_catalog(catalog: &Catalog, rows: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut db = Database::new();
-    for schema in catalog.tables() {
-        db.create_table(schema.clone());
-        for r in 0..rows {
-            let row: Vec<Value> = schema
+/// Key columns receive *unique* values (`key_base..key_base+rows` /
+/// `"k0".."kN"`) so rewrites whose soundness rests on a unique key (T4.1,
+/// T5.2) are tested under their actual precondition. Non-key columns draw
+/// from deliberately tiny domains so joins and equality predicates hit on
+/// small databases. The per-cell RNG draw order is part of this
+/// generator's contract: certification and the fuzzer replay data by
+/// seed, so the sequence below must not be reordered.
+pub struct RowGen<'a> {
+    schema: &'a TableSchema,
+    rng: &'a mut StdRng,
+    profile: GenProfile,
+    next: usize,
+    rows: usize,
+}
+
+impl<'a> RowGen<'a> {
+    /// Generate `rows` rows of `schema`, drawing from `rng`.
+    pub fn new(
+        schema: &'a TableSchema,
+        rows: usize,
+        rng: &'a mut StdRng,
+        profile: GenProfile,
+    ) -> RowGen<'a> {
+        RowGen {
+            schema,
+            rng,
+            profile,
+            next: 0,
+            rows,
+        }
+    }
+}
+
+fn gen_cell(c: &ColumnDef, is_key: bool, r: usize, rng: &mut StdRng, p: GenProfile) -> Value {
+    if let Some(pct) = p.null_pct {
+        if !is_key && c.nullable && rng.gen_range(0..100u32) < pct {
+            return Value::Null;
+        }
+    }
+    match c.ty {
+        SqlType::Int => Value::Int(if is_key {
+            r as i64
+        } else if p.signed {
+            rng.gen_range(-9..10i64)
+        } else {
+            rng.gen_range(0..4i64)
+        }),
+        SqlType::Double => Value::Float(if is_key {
+            r as f64
+        } else if p.signed {
+            rng.gen_range(-8..8i64) as f64 / 2.0
+        } else {
+            rng.gen_range(0..8i64) as f64 / 2.0
+        }),
+        SqlType::Bool => Value::Bool(rng.gen_bool(0.5)),
+        SqlType::Text => Value::Str(if is_key {
+            format!("k{r}")
+        } else {
+            format!("s{}", rng.gen_range(0..3u32))
+        }),
+    }
+}
+
+impl Iterator for RowGen<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        if self.next >= self.rows {
+            return None;
+        }
+        let r = self.profile.key_base + self.next;
+        self.next += 1;
+        Some(
+            self.schema
                 .columns
                 .iter()
                 .map(|c| {
-                    let is_key = schema.key.iter().any(|k| k == &c.name);
-                    match c.ty {
-                        SqlType::Int => Value::Int(if is_key {
-                            r as i64
-                        } else {
-                            rng.gen_range(0..4i64)
-                        }),
-                        SqlType::Double => Value::Float(if is_key {
-                            r as f64
-                        } else {
-                            rng.gen_range(0..8i64) as f64 / 2.0
-                        }),
-                        SqlType::Bool => Value::Bool(rng.gen_bool(0.5)),
-                        SqlType::Text => Value::Str(if is_key {
-                            format!("k{r}")
-                        } else {
-                            format!("s{}", rng.gen_range(0..3u32))
-                        }),
-                    }
+                    let is_key = self.schema.key.iter().any(|k| k == &c.name);
+                    gen_cell(c, is_key, r, self.rng, self.profile)
                 })
-                .collect();
+                .collect(),
+        )
+    }
+}
+
+/// Stream `rows` generated rows per catalog table into `db` (which may be
+/// in-memory or paged — the one generation path serves both backends).
+pub fn fill_catalog(
+    db: &mut Database,
+    catalog: &Catalog,
+    rows: usize,
+    rng: &mut StdRng,
+    profile: GenProfile,
+) {
+    for schema in catalog.tables() {
+        db.create_table(schema.clone());
+        for row in RowGen::new(schema, rows, rng, profile) {
             db.insert(&schema.name, row);
         }
     }
+}
+
+/// Append `rows` more generated rows to every existing catalog table in
+/// `db`, with keys starting at `key_base` (the fuzzer's store-mode
+/// amplification: DDL-loaded rows keep their small keys, generated bulk
+/// rows live far above them, and key columns stay unique).
+pub fn extend_catalog(
+    db: &mut Database,
+    catalog: &Catalog,
+    rows: usize,
+    rng: &mut StdRng,
+    profile: GenProfile,
+) {
+    for schema in catalog.tables() {
+        for row in RowGen::new(schema, rows, rng, profile) {
+            db.insert(&schema.name, row);
+        }
+    }
+}
+
+/// Populate a database for an arbitrary catalog: `rows` rows per table,
+/// deterministic under `seed`. See [`RowGen`] for the value domains.
+pub fn gen_catalog(catalog: &Catalog, rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    fill_catalog(&mut db, catalog, rows, &mut rng, GenProfile::plain());
     db
 }
 
@@ -67,40 +196,28 @@ pub fn gen_catalog(catalog: &Catalog, rows: usize, seed: u64) -> Database {
 pub fn gen_catalog_nulls(catalog: &Catalog, rows: usize, seed: u64, null_pct: u32) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
-    for schema in catalog.tables() {
-        db.create_table(schema.clone());
-        for r in 0..rows {
-            let row: Vec<Value> = schema
-                .columns
-                .iter()
-                .map(|c| {
-                    let is_key = schema.key.iter().any(|k| k == &c.name);
-                    if !is_key && c.nullable && rng.gen_range(0..100u32) < null_pct {
-                        return Value::Null;
-                    }
-                    match c.ty {
-                        SqlType::Int => Value::Int(if is_key {
-                            r as i64
-                        } else {
-                            rng.gen_range(-9..10i64)
-                        }),
-                        SqlType::Double => Value::Float(if is_key {
-                            r as f64
-                        } else {
-                            rng.gen_range(-8..8i64) as f64 / 2.0
-                        }),
-                        SqlType::Bool => Value::Bool(rng.gen_bool(0.5)),
-                        SqlType::Text => Value::Str(if is_key {
-                            format!("k{r}")
-                        } else {
-                            format!("s{}", rng.gen_range(0..3u32))
-                        }),
-                    }
-                })
-                .collect();
-            db.insert(&schema.name, row);
-        }
-    }
+    fill_catalog(
+        &mut db,
+        catalog,
+        rows,
+        &mut rng,
+        GenProfile::nulls(null_pct),
+    );
+    db
+}
+
+/// [`gen_catalog`] into a paged database: generated rows stream straight
+/// into B-tree pages (identical data to the in-memory variant under the
+/// same seed — the two share [`RowGen`]).
+pub fn gen_catalog_paged(
+    catalog: &Catalog,
+    rows: usize,
+    seed: u64,
+    store: storage::Store,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new_paged(store);
+    fill_catalog(&mut db, catalog, rows, &mut rng, GenProfile::plain());
     db
 }
 
@@ -366,8 +483,25 @@ pub fn gen_jobportal(n_applicants: usize, seed: u64) -> Database {
 
 /// A generic employees table for tests and small examples.
 pub fn gen_emp(n: usize, seed: u64) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
+    gen_emp_into(&mut db, n, seed);
+    db
+}
+
+/// [`gen_emp`] into a paged database: the scale experiment's table, with
+/// rows streamed straight into B-tree pages (identical data to [`gen_emp`]
+/// under the same seed — they share [`gen_emp_into`]).
+pub fn gen_emp_paged(n: usize, seed: u64, store: storage::Store) -> Database {
+    let mut db = Database::new_paged(store);
+    gen_emp_into(&mut db, n, seed);
+    db
+}
+
+/// The one streaming generation path behind [`gen_emp`] / [`gen_emp_paged`]:
+/// rows go to `db.insert` one at a time, so a paged backing writes pages
+/// directly and no whole-table `Vec<Row>` is ever materialized.
+fn gen_emp_into(db: &mut Database, n: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
     db.create_table(
         TableSchema::new(
             "emp",
@@ -392,7 +526,6 @@ pub fn gen_emp(n: usize, seed: u64) -> Database {
             ],
         );
     }
-    db
 }
 
 #[cfg(test)]
@@ -459,8 +592,7 @@ mod tests {
         let t = db.table("t").unwrap();
         assert_eq!(t.len(), 5);
         let mut ids: Vec<i64> = t
-            .rows
-            .iter()
+            .scan()
             .map(|r| match r[0] {
                 Value::Int(i) => i,
                 _ => panic!(),
@@ -491,13 +623,11 @@ mod tests {
         let db = gen_catalog_nulls(&cat, 40, 5, 50);
         let t = db.table("t").unwrap();
         assert!(
-            t.rows
-                .iter()
-                .all(|r| r[0] != Value::Null && r[1] != Value::Null),
+            t.scan().all(|r| r[0] != Value::Null && r[1] != Value::Null),
             "key and NOT NULL columns must never be NULL"
         );
         assert!(
-            t.rows.iter().any(|r| r[2] == Value::Null),
+            t.scan().any(|r| r[2] == Value::Null),
             "nullable column should receive NULLs at 50%"
         );
         assert_eq!(gen_catalog_nulls(&cat, 40, 5, 50), db, "deterministic");

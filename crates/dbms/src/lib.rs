@@ -19,11 +19,14 @@
 pub mod connection;
 pub mod eval;
 pub mod gen;
+pub mod paged;
 pub mod prng;
 pub mod table;
 pub mod value;
+pub mod volcano;
 
 pub use connection::{Connection, CostModel, Stats};
 pub use eval::{eval_query, EvalError};
+pub use paged::PagedTable;
 pub use table::{Database, Relation, Row, Table};
 pub use value::Value;

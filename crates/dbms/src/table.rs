@@ -1,46 +1,145 @@
 //! Tables, rows, relations, and the database.
+//!
+//! A [`Table`] is backed either by an in-memory `Vec<Row>` (the default)
+//! or by a page file through `crates/storage` ([`crate::paged`]). Both
+//! backings present the same observable contract — insertion-order scans,
+//! identical rows — so the evaluator treats them interchangeably; the
+//! paged backing additionally keeps memory bounded by the buffer pool's
+//! frame budget and collects per-column statistics.
 
 use std::collections::BTreeMap;
 
 use algebra::schema::{Catalog, TableSchema};
+use storage::{Store, TableStatistics};
 
+use crate::paged::PagedTable;
 use crate::value::Value;
 
 /// A row: values in schema column order.
 pub type Row = Vec<Value>;
 
-/// A base table: schema plus rows.
-#[derive(Debug, Clone, PartialEq)]
+/// How a table's rows are stored.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Rows held directly in memory, in insertion order.
+    Mem(Vec<Row>),
+    /// Rows encoded into B-tree pages in a shared [`Store`].
+    Paged(PagedTable),
+}
+
+/// A base table: schema plus rows (in-memory or paged).
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
-    /// Stored rows, in insertion order.
-    pub rows: Vec<Row>,
+    backing: Backing,
+}
+
+impl PartialEq for Table {
+    /// Content equality: same schema, same rows in the same order,
+    /// regardless of backing.
+    fn eq(&self, other: &Table) -> bool {
+        self.schema == other.schema && self.len() == other.len() && self.scan().eq(other.scan())
+    }
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty in-memory table.
     pub fn new(schema: TableSchema) -> Table {
         Table {
             schema,
-            rows: Vec::new(),
+            backing: Backing::Mem(Vec::new()),
+        }
+    }
+
+    /// Create an empty paged table in `store`.
+    pub fn new_paged(schema: TableSchema, store: Store) -> Table {
+        let paged = PagedTable::create(store, &schema.name, schema.columns.len());
+        Table {
+            schema,
+            backing: Backing::Paged(paged),
         }
     }
 
     /// Append a row; panics in debug builds when the arity mismatches.
     pub fn insert(&mut self, row: Row) {
         debug_assert_eq!(row.len(), self.schema.columns.len(), "row arity mismatch");
-        self.rows.push(row);
+        match &mut self.backing {
+            Backing::Mem(rows) => rows.push(row),
+            Backing::Paged(t) => t.insert(&row),
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.backing {
+            Backing::Mem(rows) => rows.len(),
+            Backing::Paged(t) => t.len(),
+        }
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// True when rows live in the paged store.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backing, Backing::Paged(_))
+    }
+
+    /// Iterate rows in insertion order (owned; in-memory rows are cloned,
+    /// paged rows are decoded one leaf page at a time).
+    pub fn scan(&self) -> TableScan<'_> {
+        match &self.backing {
+            Backing::Mem(rows) => TableScan::Mem(rows.iter()),
+            Backing::Paged(t) => TableScan::Paged(t.scan()),
+        }
+    }
+
+    /// All rows, materialized.
+    pub fn rows_vec(&self) -> Vec<Row> {
+        match &self.backing {
+            Backing::Mem(rows) => rows.clone(),
+            Backing::Paged(t) => t.scan().collect(),
+        }
+    }
+
+    /// The in-memory row vector, when this table is memory-backed (DML
+    /// mutation — DELETE — is only supported there).
+    pub fn mem_rows_mut(&mut self) -> Option<&mut Vec<Row>> {
+        match &mut self.backing {
+            Backing::Mem(rows) => Some(rows),
+            Backing::Paged(_) => None,
+        }
+    }
+
+    /// Statistics collected by the paged backing; `None` for in-memory
+    /// tables (whose stats, if needed, are computed by scanning).
+    pub fn statistics(&self) -> Option<TableStatistics> {
+        match &self.backing {
+            Backing::Mem(_) => None,
+            Backing::Paged(t) => Some(t.statistics()),
+        }
+    }
+}
+
+/// Iterator over a table's rows in insertion order.
+pub enum TableScan<'a> {
+    /// Cloning iterator over in-memory rows.
+    Mem(std::slice::Iter<'a, Row>),
+    /// Decoding scan over B-tree leaves.
+    Paged(crate::paged::PagedScan),
+}
+
+impl Iterator for TableScan<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        match self {
+            TableScan::Mem(it) => it.next().cloned(),
+            TableScan::Paged(it) => it.next(),
+        }
     }
 }
 
@@ -145,21 +244,69 @@ pub fn resolve_fields(
     })
 }
 
-/// The database: a set of named tables.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// The database: a set of named tables, optionally backed by a paged
+/// [`Store`].
+///
+/// When a store is attached ([`Database::new_paged`]), `create_table`
+/// places tables in it; otherwise tables are in-memory vectors. Cloning a
+/// paged database clones cheap store *handles* — the clones share one
+/// underlying page file read-only, which is exactly what the differential
+/// harness wants (both sides query identical data).
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    store: Option<Store>,
+}
+
+impl PartialEq for Database {
+    /// Content equality over tables; the store handle is an
+    /// implementation detail.
+    fn eq(&self, other: &Database) -> bool {
+        self.tables == other.tables
+    }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty in-memory database.
     pub fn new() -> Database {
         Database::default()
     }
 
-    /// Create (or replace) a table.
+    /// An empty database whose tables will live in `store`.
+    pub fn new_paged(store: Store) -> Database {
+        Database {
+            tables: BTreeMap::new(),
+            store: Some(store),
+        }
+    }
+
+    /// A paged database over a fresh memory-backed store with the given
+    /// buffer-pool frame budget (pages and B-trees without a file; used by
+    /// the fuzzer's `--store` mode and tests).
+    pub fn paged_in_memory(frames: usize) -> Database {
+        Database::new_paged(Store::in_memory(frames))
+    }
+
+    /// The attached store, when this database is paged.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Flush the attached store (dirty pages + meta) to its backing file.
+    pub fn flush(&self) -> Result<(), storage::StorageError> {
+        match &self.store {
+            Some(s) => s.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Create (or replace) a table — paged when a store is attached.
     pub fn create_table(&mut self, schema: TableSchema) {
-        self.tables.insert(schema.name.clone(), Table::new(schema));
+        let table = match &self.store {
+            Some(store) => Table::new_paged(schema.clone(), store.clone()),
+            None => Table::new(schema.clone()),
+        };
+        self.tables.insert(schema.name.clone(), table);
     }
 
     /// Builder-style `create_table`.

@@ -119,8 +119,7 @@ proptest! {
         let manual: i64 = db
             .table("emp")
             .unwrap()
-            .rows
-            .iter()
+            .scan()
             .map(|r| match r[3] { dbms::Value::Int(s) => s, _ => 0 })
             .sum();
         match (&rel.rows[0][0], n) {
@@ -168,8 +167,7 @@ proptest! {
         let manual: i64 = db
             .table("emp")
             .unwrap()
-            .rows
-            .iter()
+            .scan()
             .map(|r| match r[3] { dbms::Value::Int(s) => s, _ => 0 })
             .sum();
         prop_assert_eq!(sum, manual);

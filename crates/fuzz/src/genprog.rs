@@ -85,7 +85,7 @@ fn gen_data(ddl: &str, rows: usize, seed: u64, null_pct: u32) -> Vec<String> {
     let mut out = Vec::new();
     for schema in catalog.tables() {
         let table = db.table(&schema.name).expect("table generated");
-        for row in &table.rows {
+        for row in table.scan() {
             let vals: Vec<String> = row.iter().map(sql_lit).collect();
             out.push(format!(
                 "INSERT INTO {} VALUES ({})",

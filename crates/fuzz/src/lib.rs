@@ -19,7 +19,9 @@ pub mod shrink;
 use std::path::PathBuf;
 
 pub use genprog::gen_case;
-pub use oracle::{run_case, Case, CaseOutcome, Divergence, DivergenceKind};
+pub use oracle::{
+    run_case, run_case_with, Case, CaseOutcome, Divergence, DivergenceKind, OracleOptions,
+};
 pub use shrink::shrink_case;
 
 /// Odd constant from splitmix64; spreads consecutive iteration indices
@@ -42,6 +44,11 @@ pub struct FuzzConfig {
     pub repro_dir: Option<PathBuf>,
     /// Stop after this many divergences (0 = unlimited).
     pub max_divergences: usize,
+    /// Run the oracle against the paged storage backend (volcano executor,
+    /// buffer pool with a small frame budget) instead of in-memory tables.
+    pub store: bool,
+    /// Extra generated rows appended per table in store mode.
+    pub store_rows: usize,
 }
 
 impl Default for FuzzConfig {
@@ -52,6 +59,8 @@ impl Default for FuzzConfig {
             shrink: false,
             repro_dir: None,
             max_divergences: 0,
+            store: false,
+            store_rows: 256,
         }
     }
 }
@@ -98,12 +107,16 @@ pub fn iter_seed(base: u64, i: u64) -> u64 {
 
 /// Run the differential fuzz loop described by `cfg`.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let opts = OracleOptions {
+        store: cfg.store,
+        extra_rows: if cfg.store { cfg.store_rows } else { 0 },
+    };
     let mut report = FuzzReport::default();
     for i in 0..cfg.iters {
         let seed = iter_seed(cfg.seed, i);
         let case = gen_case(seed);
         report.iterations += 1;
-        match run_case(&case) {
+        match run_case_with(&case, &opts) {
             CaseOutcome::Agree { extracted } => {
                 if extracted {
                     report.extracted += 1;
@@ -116,7 +129,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 }
                 let minimized = if cfg.shrink {
                     let want = divergence.clone();
-                    let mut check = |c: &Case| match run_case(c) {
+                    let mut check = |c: &Case| match run_case_with(c, &opts) {
                         CaseOutcome::Diverged(d) => d.kind == want.kind,
                         _ => false,
                     };
@@ -126,7 +139,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 };
                 // Re-derive the detail from the minimized case so the repro
                 // header describes what the checked-in files reproduce.
-                let final_div = match run_case(&minimized) {
+                let final_div = match run_case_with(&minimized, &opts) {
                     CaseOutcome::Diverged(d) => d,
                     _ => divergence.clone(),
                 };
@@ -187,5 +200,27 @@ mod tests {
         );
         assert_eq!(a.skipped, 0, "generator must not produce broken cases");
         assert!(a.extracted > 0, "fuzzing must exercise actual extractions");
+    }
+
+    #[test]
+    fn store_mode_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            iters: 25,
+            store: true,
+            store_rows: 64,
+            ..FuzzConfig::default()
+        };
+        let a = run_fuzz(&cfg);
+        let b = run_fuzz(&cfg);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        assert_eq!(a.skipped, 0, "store-mode setup must not break cases");
+        assert!(a.extracted > 0, "store mode must still exercise extraction");
+        assert!(
+            a.clean(),
+            "paged backend diverged from reference: {:?}",
+            a.divergences.first().map(|d| &d.divergence)
+        );
     }
 }

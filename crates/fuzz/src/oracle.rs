@@ -91,15 +91,56 @@ pub enum CaseOutcome {
     Skipped(String),
 }
 
-fn build_db(case: &Case) -> Result<(algebra::schema::Catalog, Database), String> {
+/// How the oracle materializes the case's database.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleOptions {
+    /// Back tables with the paged storage engine (B-tree over an in-memory
+    /// pager with a small frame budget) instead of `Vec<Row>`, so the
+    /// differential run also exercises the volcano executor and buffer
+    /// pool eviction.
+    pub store: bool,
+    /// Extra generated rows appended per table in store mode, with keys
+    /// offset far above the case's literal data so unique-key
+    /// preconditions (T4.1, T5.2) still hold. Pushes tables past one page.
+    pub extra_rows: usize,
+}
+
+/// Frame budget for store-mode fuzzing: small enough that amplified tables
+/// spill and the LRU actually evicts.
+const FUZZ_FRAMES: usize = 8;
+
+/// Key offset for amplified rows; generated literal data uses keys `0..9`.
+const AMPLIFY_KEY_BASE: usize = 1_000_000;
+
+fn build_db(
+    case: &Case,
+    opts: &OracleOptions,
+) -> Result<(algebra::schema::Catalog, Database), String> {
     let catalog = algebra::ddl::parse_ddl(&case.ddl).map_err(|e| format!("ddl: {e:?}"))?;
-    let mut db = Database::new();
+    let mut db = if opts.store {
+        Database::paged_in_memory(FUZZ_FRAMES)
+    } else {
+        Database::new()
+    };
     for schema in catalog.tables() {
         db.create_table(schema.clone());
     }
     for stmt in &case.data {
         interp::dml::execute_update(&mut db, stmt, &[])
             .map_err(|e| format!("data `{stmt}`: {e}"))?;
+    }
+    if opts.store && opts.extra_rows > 0 {
+        // Deterministic amplification: both sides of the differential run
+        // share the store (clones of a paged `Database` alias one pager),
+        // so a fixed seed keeps the whole oracle deterministic.
+        let mut rng = dbms::prng::StdRng::seed_from_u64(0x57_0Eu64);
+        dbms::gen::extend_catalog(
+            &mut db,
+            &catalog,
+            opts.extra_rows,
+            &mut rng,
+            dbms::gen::GenProfile::nulls(30).with_key_base(AMPLIFY_KEY_BASE),
+        );
     }
     Ok((catalog, db))
 }
@@ -130,13 +171,18 @@ fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Run one case end to end with the default (in-memory) backing.
+pub fn run_case(case: &Case) -> CaseOutcome {
+    run_case_with(case, &OracleOptions::default())
+}
+
 /// Run one case end to end and classify the outcome.
 ///
 /// Both extraction and the two interpreter runs execute under
 /// `catch_unwind`, so a panicking rule or evaluator is reported as a
 /// [`DivergenceKind::Panic`] finding instead of aborting the fuzz loop.
-pub fn run_case(case: &Case) -> CaseOutcome {
-    let (catalog, db) = match build_db(case) {
+pub fn run_case_with(case: &Case, opts: &OracleOptions) -> CaseOutcome {
+    let (catalog, db) = match build_db(case, opts) {
         Ok(x) => x,
         Err(e) => return CaseOutcome::Skipped(e),
     };

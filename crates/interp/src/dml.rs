@@ -98,18 +98,23 @@ pub fn execute_update(db: &mut Database, sql: &str, params: &[Value]) -> Result<
             let t = db
                 .table_mut(&table)
                 .ok_or_else(|| DmlError(format!("unknown table {table}")))?;
-            let before = t.rows.len();
-            match filter {
-                None => t.rows.clear(),
-                Some((col, v)) => {
-                    let idx = t
-                        .schema
-                        .column_index(&col)
-                        .ok_or_else(|| DmlError(format!("unknown column {col}")))?;
-                    t.rows.retain(|r| !r[idx].group_eq(&v));
-                }
+            let idx = match &filter {
+                None => None,
+                Some((col, _)) => Some(
+                    t.schema
+                        .column_index(col)
+                        .ok_or_else(|| DmlError(format!("unknown column {col}")))?,
+                ),
+            };
+            let rows = t
+                .mem_rows_mut()
+                .ok_or_else(|| DmlError(format!("DELETE on paged table {table} unsupported")))?;
+            let before = rows.len();
+            match (idx, filter) {
+                (Some(idx), Some((_, v))) => rows.retain(|r| !r[idx].group_eq(&v)),
+                _ => rows.clear(),
             }
-            Ok((before - t.rows.len()) as i64)
+            Ok((before - rows.len()) as i64)
         }
         other => Err(DmlError(format!("unsupported DML {other:?}"))),
     }
@@ -210,7 +215,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            d.table("log").unwrap().rows[2],
+            d.table("log").unwrap().scan().nth(2).unwrap(),
             vec![Value::Int(9), Value::Str("z".into())]
         );
     }

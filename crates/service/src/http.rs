@@ -8,7 +8,7 @@
 //! | `POST /lint` | same | `{"diagnostics":[…],"errors":N,"warnings":N}` |
 //! | `GET /healthz` | — | `{"status":"ok",…}` |
 //! | `GET /metrics` | — | Prometheus text format |
-//! | `POST /fuzz` | `{"seed":N,"iters":N}` (optional) | differential-fuzz summary JSON |
+//! | `POST /fuzz` | `{"seed":N,"iters":N,"store":bool,"store_rows":N}` (optional) | differential-fuzz summary JSON |
 //! | `POST /shutdown` | — | acknowledges, then stops the server |
 //!
 //! Each connection is handled on its own I/O thread (`Connection: close`,
@@ -296,10 +296,12 @@ const MAX_FUZZ_ITERS: u64 = 10_000;
 
 /// `POST /fuzz` — run a bounded differential fuzz sweep in-process.
 ///
-/// Body: `{"seed": N, "iters": N}` (both optional; iters defaults to 200
-/// and is capped at [`MAX_FUZZ_ITERS`]). Responds with a summary and the
-/// first few divergences; accumulates the service-lifetime counters that
-/// `/metrics` exposes as `eqsql_fuzz_*`.
+/// Body: `{"seed": N, "iters": N, "store": bool, "store_rows": N}` (all
+/// optional; iters defaults to 200 and is capped at [`MAX_FUZZ_ITERS`]).
+/// `store: true` runs the oracle against the paged storage backend with
+/// `store_rows` amplification rows per table (default 256). Responds with
+/// a summary and the first few divergences; accumulates the
+/// service-lifetime counters that `/metrics` exposes as `eqsql_fuzz_*`.
 fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
     let body = match std::str::from_utf8(&req.body) {
         Ok(b) => b.trim(),
@@ -323,6 +325,12 @@ fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
         .and_then(Json::as_i64)
         .unwrap_or(200)
         .clamp(1, MAX_FUZZ_ITERS as i64) as u64;
+    let store = parsed.get("store").and_then(Json::as_bool).unwrap_or(false);
+    let store_rows = parsed
+        .get("store_rows")
+        .and_then(Json::as_i64)
+        .unwrap_or(256)
+        .clamp(0, 4096) as usize;
 
     let cfg = fuzz::FuzzConfig {
         seed,
@@ -330,6 +338,8 @@ fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
         shrink: false,
         repro_dir: None,
         max_divergences: 16,
+        store,
+        store_rows,
     };
     let report = fuzz::run_fuzz(&cfg);
     state.fuzz.absorb(

@@ -172,10 +172,11 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
 
 /// Render every metric. Deterministic for a given snapshot.
 ///
-/// `deterministic` zeroes the wall-clock stage timings (and only those) so
-/// golden-file tests can compare the full document byte-for-byte; the
-/// node-count and rule-cache counters are deterministic for a fixed request
-/// sequence and render their real values either way.
+/// `deterministic` zeroes the wall-clock stage timings and the
+/// process-global buffer-pool counters (and only those) so golden-file
+/// tests can compare the full document byte-for-byte; the node-count and
+/// rule-cache counters are deterministic for a fixed request sequence and
+/// render their real values either way.
 pub fn render(
     http: &HttpCounters,
     sched: &SchedulerStats,
@@ -358,6 +359,33 @@ pub fn render(
         fuzz.panics.load(Ordering::Relaxed),
     );
 
+    // Buffer-pool counters are process-global (every paged store in the
+    // process shares them), so like the stage timings they are zeroed in
+    // deterministic mode: their values depend on what else ran first.
+    let (bp_hits, bp_misses, bp_evictions) = if deterministic {
+        (0, 0, 0)
+    } else {
+        storage::global_counters()
+    };
+    counter(
+        &mut out,
+        "eqsql_bufpool_hits_total",
+        "Buffer-pool page requests served from a resident frame.",
+        bp_hits,
+    );
+    counter(
+        &mut out,
+        "eqsql_bufpool_misses_total",
+        "Buffer-pool page requests that went to the pager.",
+        bp_misses,
+    );
+    counter(
+        &mut out,
+        "eqsql_bufpool_evictions_total",
+        "Buffer-pool frames evicted to make room for a fetched page.",
+        bp_evictions,
+    );
+
     let _ = writeln!(
         out,
         "# HELP eqsql_lint_total Diagnostics emitted by computed extract/lint \
@@ -424,6 +452,9 @@ mod tests {
         assert!(a.contains("eqsql_fuzz_iterations_total 200"));
         assert!(a.contains("eqsql_fuzz_divergences_total 1"));
         assert!(a.contains("eqsql_fuzz_panics_total 0"));
+        assert!(a.contains("eqsql_bufpool_hits_total"));
+        assert!(a.contains("eqsql_bufpool_misses_total"));
+        assert!(a.contains("eqsql_bufpool_evictions_total"));
         assert!(a.contains("eqsql_lint_total{code=\"W007\"} 2"));
         assert!(a.contains("eqsql_lint_total{code=\"E001\"} 0"));
         // One line per code, in Code::ALL (wire-string) order.
@@ -434,6 +465,9 @@ mod tests {
         // Deterministic mode zeroes the timings but keeps the counts.
         let det = render(&http, &sched, &cache, &stages, &fuzz, &lints, true);
         assert!(det.contains("eqsql_stage_ns_total{stage=\"dir\"} 0"));
+        assert!(det.contains("eqsql_bufpool_hits_total 0"));
+        assert!(det.contains("eqsql_bufpool_misses_total 0"));
+        assert!(det.contains("eqsql_bufpool_evictions_total 0"));
         assert!(det.contains("eqsql_dag_peak_nodes 40"));
         assert!(det.contains("eqsql_rule_cache_hits_total 7"));
         assert!(det.contains("eqsql_lint_total{code=\"W007\"} 2"));

@@ -1,0 +1,378 @@
+//! A B-tree over `(rowid, record)` pairs in slotted pages.
+//!
+//! Leaves hold cells `[key u64][record bytes]` and are chained through the
+//! header's extra word (next-leaf link), so an ordered scan walks leaves
+//! left to right without touching internal nodes. Internal nodes hold cells
+//! `[key u64][child u32]` meaning "child's subtree covers keys ≤ key", with
+//! the rightmost child (keys greater than every cell key) in the extra
+//! word.
+//!
+//! Splits are right-leaning: rowids are assigned monotonically, so when an
+//! insert lands past the last cell the split moves only the new cell to the
+//! fresh node, leaving the left sibling packed instead of half empty.
+//! Deletion is unsupported — tables are append-only.
+//!
+//! All functions take the pager and buffer pool explicitly; the [`Store`]
+//! façade owns both and tracks each table's root page (which changes when
+//! the root splits).
+//!
+//! [`Store`]: crate::store::Store
+
+use crate::bufpool::BufferPool;
+use crate::page::{Page, PageKind, MAX_CELL};
+use crate::pager::Pager;
+use crate::{Result, StorageError};
+
+/// One internal-node entry: subtree of keys ≤ `key` lives at `child`.
+type Entry = (u64, u32);
+
+fn leaf_cell(key: u64, record: &[u8]) -> Vec<u8> {
+    let mut c = key.to_le_bytes().to_vec();
+    c.extend_from_slice(record);
+    c
+}
+
+fn internal_cell(key: u64, child: u32) -> Vec<u8> {
+    let mut c = key.to_le_bytes().to_vec();
+    c.extend_from_slice(&child.to_le_bytes());
+    c
+}
+
+/// The key prefix shared by leaf and internal cells.
+fn key_of(cell: &[u8]) -> u64 {
+    u64::from_le_bytes(cell[..8].try_into().expect("key bytes"))
+}
+
+/// Decode an internal cell only — leaf records may be shorter than the
+/// 4-byte child pointer this reads.
+fn entry_of(cell: &[u8]) -> Entry {
+    let child = u32::from_le_bytes(cell[8..12].try_into().expect("child bytes"));
+    (key_of(cell), child)
+}
+
+/// Allocate an empty tree (a single empty leaf) and return its root.
+pub fn create(pager: &mut Pager, pool: &mut BufferPool) -> Result<u32> {
+    let id = pager.allocate()?;
+    pool.with_page_mut(pager, id, |p| *p = Page::init(PageKind::Leaf))?;
+    Ok(id)
+}
+
+/// Insert `(key, record)` under `root`; returns the possibly-new root id.
+/// Keys are rowids and must be unique (the store assigns them).
+pub fn insert(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    root: u32,
+    key: u64,
+    record: &[u8],
+) -> Result<u32> {
+    if 8 + record.len() > MAX_CELL {
+        return Err(StorageError::RecordTooLarge(record.len()));
+    }
+    match insert_into(pager, pool, root, key, record)? {
+        None => Ok(root),
+        Some((sep, right)) => {
+            // Root split: a new internal root points at both halves.
+            let new_root = pager.allocate()?;
+            pool.with_page_mut(pager, new_root, |p| {
+                *p = Page::init(PageKind::Internal);
+                p.set_extra(right);
+                assert!(p.insert_cell(0, &internal_cell(sep, root)));
+            })?;
+            Ok(new_root)
+        }
+    }
+}
+
+/// Recursive insert; `Some((sep, right))` reports that `page_id` split and
+/// the caller must wire in `right` for keys greater than `sep`.
+fn insert_into(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    page_id: u32,
+    key: u64,
+    record: &[u8],
+) -> Result<Option<(u64, u32)>> {
+    let kind = pool.with_page(pager, page_id, |p| p.kind())?;
+    match kind {
+        Some(PageKind::Leaf) => insert_leaf(pager, pool, page_id, key, record),
+        Some(PageKind::Internal) => insert_internal(pager, pool, page_id, key, record),
+        other => Err(StorageError::Corrupt(format!(
+            "page {page_id}: expected a B-tree node, found {other:?}"
+        ))),
+    }
+}
+
+fn insert_leaf(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    page_id: u32,
+    key: u64,
+    record: &[u8],
+) -> Result<Option<(u64, u32)>> {
+    let cell = leaf_cell(key, record);
+    let fitted = pool.with_page_mut(pager, page_id, |p| {
+        let pos = match p.find(key) {
+            Ok(i) | Err(i) => i,
+        };
+        p.insert_cell(pos, &cell)
+    })?;
+    if fitted {
+        return Ok(None);
+    }
+    // Split. Gather every cell plus the new one in key order, then rebuild
+    // the left page and a fresh right sibling.
+    let (mut cells, next) = pool.with_page(pager, page_id, |p| (p.cells(), p.extra()))?;
+    let pos = cells
+        .iter()
+        .position(|c| key_of(c) > key)
+        .unwrap_or(cells.len());
+    let at_end = pos == cells.len();
+    cells.insert(pos, cell);
+    // Right-leaning for monotone appends; balanced otherwise.
+    let mid = if at_end {
+        cells.len() - 1
+    } else {
+        cells.len() / 2
+    };
+    let right_cells = cells.split_off(mid);
+    let right_id = pager.allocate()?;
+    pool.with_page_mut(pager, right_id, |p| {
+        *p = Page::init(PageKind::Leaf);
+        p.set_extra(next);
+        for (i, c) in right_cells.iter().enumerate() {
+            assert!(p.insert_cell(i, c), "split half must fit a fresh page");
+        }
+    })?;
+    pool.with_page_mut(pager, page_id, |p| {
+        *p = Page::init(PageKind::Leaf);
+        p.set_extra(right_id);
+        for (i, c) in cells.iter().enumerate() {
+            assert!(p.insert_cell(i, c), "split half must fit a fresh page");
+        }
+    })?;
+    let sep = key_of(cells.last().expect("left half nonempty"));
+    Ok(Some((sep, right_id)))
+}
+
+fn insert_internal(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    page_id: u32,
+    key: u64,
+    record: &[u8],
+) -> Result<Option<(u64, u32)>> {
+    let (entries, rightmost) = read_internal(pager, pool, page_id)?;
+    // First entry whose key covers ours; past the end means rightmost child.
+    let di = entries
+        .iter()
+        .position(|&(k, _)| key <= k)
+        .unwrap_or(entries.len());
+    let child = if di < entries.len() {
+        entries[di].1
+    } else {
+        rightmost
+    };
+    let Some((sep, new_right)) = insert_into(pager, pool, child, key, record)? else {
+        return Ok(None);
+    };
+    // The descended child kept keys ≤ sep; new_right covers the rest of its
+    // old range. Splice the pair into this node's entry list.
+    let (mut entries, mut rightmost) = read_internal(pager, pool, page_id)?;
+    if di == entries.len() {
+        entries.push((sep, child));
+        rightmost = new_right;
+    } else {
+        entries[di].1 = new_right;
+        entries.insert(di, (sep, child));
+    }
+    if fits_internal(entries.len()) {
+        write_internal(pager, pool, page_id, &entries, rightmost)?;
+        return Ok(None);
+    }
+    // Split this internal node, promoting the median (or, for appends at
+    // the right edge, the last) separator.
+    let at_end = di == entries.len() - 1;
+    let mid = if at_end {
+        entries.len() - 1
+    } else {
+        entries.len() / 2
+    };
+    let (promoted, mid_child) = entries[mid];
+    let right_entries: Vec<Entry> = entries[mid + 1..].to_vec();
+    let left_entries: Vec<Entry> = entries[..mid].to_vec();
+    let right_id = pager.allocate()?;
+    pool.with_page_mut(pager, right_id, |p| *p = Page::init(PageKind::Internal))?;
+    write_internal(pager, pool, right_id, &right_entries, rightmost)?;
+    write_internal(pager, pool, page_id, &left_entries, mid_child)?;
+    Ok(Some((promoted, right_id)))
+}
+
+/// Can an internal node hold `n` entries? (16-byte header, 4-byte slot and
+/// 12-byte cell per entry.)
+fn fits_internal(n: usize) -> bool {
+    crate::page::HEADER + n * (crate::page::SLOT + 12) <= crate::page::PAGE_SIZE
+}
+
+fn read_internal(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    page_id: u32,
+) -> Result<(Vec<Entry>, u32)> {
+    pool.with_page(pager, page_id, |p| {
+        let entries = (0..p.nslots()).map(|i| entry_of(p.cell(i))).collect();
+        (entries, p.extra())
+    })
+}
+
+fn write_internal(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    page_id: u32,
+    entries: &[Entry],
+    rightmost: u32,
+) -> Result<()> {
+    pool.with_page_mut(pager, page_id, |p| {
+        *p = Page::init(PageKind::Internal);
+        p.set_extra(rightmost);
+        for (i, &(k, c)) in entries.iter().enumerate() {
+            assert!(p.insert_cell(i, &internal_cell(k, c)), "entries must fit");
+        }
+    })
+}
+
+/// Point lookup: the record stored under `key`, if any.
+pub fn get(
+    pager: &mut Pager,
+    pool: &mut BufferPool,
+    root: u32,
+    key: u64,
+) -> Result<Option<Vec<u8>>> {
+    let mut id = root;
+    loop {
+        enum Step {
+            Descend(u32),
+            Found(Vec<u8>),
+            Missing,
+        }
+        let step = pool.with_page(pager, id, |p| match p.kind() {
+            Some(PageKind::Leaf) => match p.find(key) {
+                Ok(i) => Step::Found(p.cell(i)[8..].to_vec()),
+                Err(_) => Step::Missing,
+            },
+            Some(PageKind::Internal) => {
+                let n = p.nslots();
+                let mut child = p.extra();
+                for i in 0..n {
+                    if key <= p.key(i) {
+                        child = entry_of(p.cell(i)).1;
+                        break;
+                    }
+                }
+                Step::Descend(child)
+            }
+            other => {
+                debug_assert!(false, "page {id}: not a B-tree node: {other:?}");
+                Step::Missing
+            }
+        })?;
+        match step {
+            Step::Descend(c) => id = c,
+            Step::Found(rec) => return Ok(Some(rec)),
+            Step::Missing => return Ok(None),
+        }
+    }
+}
+
+/// The leftmost leaf under `root` (where an ordered scan starts).
+pub fn first_leaf(pager: &mut Pager, pool: &mut BufferPool, root: u32) -> Result<u32> {
+    let mut id = root;
+    loop {
+        let next = pool.with_page(pager, id, |p| match p.kind() {
+            Some(PageKind::Leaf) => None,
+            _ => Some(if p.nslots() > 0 {
+                entry_of(p.cell(0)).1
+            } else {
+                p.extra()
+            }),
+        })?;
+        match next {
+            None => return Ok(id),
+            Some(c) => id = c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn scan_all(pager: &mut Pager, pool: &mut BufferPool, root: u32) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut leaf = first_leaf(pager, pool, root).unwrap();
+        loop {
+            let (cells, next) = pool
+                .with_page(pager, leaf, |p| (p.cells(), p.extra()))
+                .unwrap();
+            for c in cells {
+                let key = u64::from_le_bytes(c[..8].try_into().unwrap());
+                out.push((key, c[8..].to_vec()));
+            }
+            if next == 0 {
+                break;
+            }
+            leaf = next;
+        }
+        out
+    }
+
+    fn check_against_reference(keys: &[u64], budget: usize) {
+        let mut pager = Pager::in_memory();
+        let mut pool = BufferPool::new(budget);
+        let mut root = create(&mut pager, &mut pool).unwrap();
+        let mut reference = BTreeMap::new();
+        for &k in keys {
+            let rec = format!("record-{k}").into_bytes();
+            root = insert(&mut pager, &mut pool, root, k, &rec).unwrap();
+            reference.insert(k, rec);
+        }
+        let scanned = scan_all(&mut pager, &mut pool, root);
+        let expected: Vec<(u64, Vec<u8>)> =
+            reference.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(scanned, expected);
+        for (k, v) in &reference {
+            assert_eq!(
+                get(&mut pager, &mut pool, root, *k).unwrap().as_ref(),
+                Some(v)
+            );
+        }
+        assert_eq!(get(&mut pager, &mut pool, root, u64::MAX).unwrap(), None);
+    }
+
+    #[test]
+    fn monotone_inserts_split_right() {
+        let keys: Vec<u64> = (0..2000).collect();
+        check_against_reference(&keys, 8);
+    }
+
+    #[test]
+    fn shuffled_inserts() {
+        // Deterministic pseudo-shuffle (multiplicative hash order).
+        let mut keys: Vec<u64> = (0..1500).collect();
+        keys.sort_by_key(|k| k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        check_against_reference(&keys, 4);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut pager = Pager::in_memory();
+        let mut pool = BufferPool::new(2);
+        let root = create(&mut pager, &mut pool).unwrap();
+        let big = vec![0u8; crate::page::PAGE_SIZE];
+        assert!(matches!(
+            insert(&mut pager, &mut pool, root, 1, &big),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+    }
+}

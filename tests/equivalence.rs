@@ -453,8 +453,7 @@ fn dependent_aggregation_argmax_equivalent() {
         // Force salary ties so the first-extremal-row semantics is tested.
         let max_sal = {
             let t = db.table("emp").unwrap();
-            t.rows
-                .iter()
+            t.scan()
                 .map(|r| match r[3] {
                     dbms::Value::Int(s) => s,
                     _ => 0,
