@@ -49,6 +49,15 @@ echo "==> eqsql fuzz --store (paged-backend smoke)"
 # volcano executor, amplified with extra generated rows so scans evict.
 target/release/eqsql fuzz --seed 42 --iters 50 --store --store-rows 256
 
+echo "==> eqsql fuzz --dml (write-loop differential smoke)"
+# Write-loop gate (DESIGN.md §5i): generated DML loops run row-at-a-time
+# under the interpreter and batched through the foreach-dml extractor;
+# both sides must leave identical final table contents, and every kept
+# write loop must carry exactly one E010/W010 blame diagnostic. The
+# depend-pass proptests (tests/depend_props.rs) already ran under the
+# `cargo test` step above.
+target/release/eqsql fuzz --seed 42 --iters 200 --dml
+
 echo "==> storage_scale --check"
 # Larger-than-memory gate: streams the 10⁴-row size through the paged
 # engine, asserts imperative ≡ extracted results, and structurally

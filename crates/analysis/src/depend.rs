@@ -1,0 +1,1436 @@
+//! Loop-carried dependence analysis for DML (write) loops.
+//!
+//! The extraction pipeline handles read loops by translating the whole
+//! body into relational algebra; a *write* loop — a cursor loop whose body
+//! calls `executeUpdate` — needs a different legality argument: the loop
+//! may be replaced by one set-oriented statement only when no iteration
+//! depends on the database state left behind by an earlier iteration.
+//! This module proves (or refutes) that property with a forward monotone
+//! dataflow pass on the Kildall framework in [`crate::dataflow`]:
+//!
+//! * The abstract state ([`AccessFact`]) tracks, per iteration, which
+//!   tables the body *reads* (inner `executeQuery`/`executeScalar`),
+//!   which it *writes* (table, DML kind, written column set, and a key
+//!   predicate abstracted over the cursor variable), which scalars are
+//!   read before they are assigned (loop-carried values), and whether the
+//!   body has effects we cannot model (dynamic SQL, unknown calls,
+//!   collection mutation, printing).
+//! * Facts from the body's branches are joined across its CFG, so guards
+//!   (`if` around the DML call) are handled exactly, not syntactically.
+//! * The summary fact at the body's exit is classified into the classic
+//!   loop-carried dependences:
+//!   - **flow** — an iteration reads state (a table or a scalar) a
+//!     previous iteration may have written;
+//!   - **anti** — an iteration writes state the loop itself still reads
+//!     (an `INSERT` into the driving table);
+//!   - **output** — two iterations may write the same rows (a write not
+//!     keyed by the driving table's unique key);
+//!   - **control** / **effect** — early exits, nested loops, prints and
+//!     opaque calls that make reordering unobservable to prove.
+//!
+//! A loop is **batchable** ([`Verdict::Batchable`]) iff its writes are
+//! key-disjoint — each iteration touches only rows identified by that
+//! iteration's cursor key — or provably commutative: a pure `INSERT` into
+//! a table the loop never reads (multiset append commutes), or a `DELETE`
+//! keyed by any cursor field (deleting the same row twice is idempotent).
+//! Otherwise the first blocking dependence is recorded, with a span, for
+//! blame (`E010`); the extractor turns a `Batchable` verdict into a
+//! `foreach-dml` F-IR form and lowers it to `UPDATE … FROM (SELECT …)`,
+//! `INSERT … SELECT`, or a predicate-folded `DELETE` (DESIGN.md §5i).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use imp::ast::{builtins, Block, Expr, Function, Literal, Stmt, StmtId, StmtKind};
+use imp::token::Span;
+use intern::Symbol;
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dataflow::{self, Analysis, Direction};
+
+// ---------------------------------------------------------------------------
+// DML statement templates
+// ---------------------------------------------------------------------------
+
+/// Which DML verb a write uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DmlKind {
+    /// `UPDATE … SET … [WHERE …]`
+    Update,
+    /// `INSERT INTO … VALUES (…)`
+    Insert,
+    /// `DELETE FROM … [WHERE …]`
+    Delete,
+}
+
+impl fmt::Display for DmlKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmlKind::Update => write!(f, "UPDATE"),
+            DmlKind::Insert => write!(f, "INSERT"),
+            DmlKind::Delete => write!(f, "DELETE"),
+        }
+    }
+}
+
+/// A value position in a DML template: either the `i`-th `?` placeholder
+/// (0-based, in textual order) or a literal SQL token rendered verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateVal {
+    /// `?` placeholder, bound to the call's `i`-th parameter argument.
+    Param(usize),
+    /// A literal token (`3`, `'x'`, `NULL`, …).
+    Lit(String),
+}
+
+/// Shape of a parameterized DML statement string, as passed to
+/// `executeUpdate`. Table and column names are lowercased.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmlTemplate {
+    /// `UPDATE table SET col = v, … [WHERE col = v]`
+    Update {
+        /// Target table.
+        table: String,
+        /// `SET` assignments in textual order.
+        sets: Vec<(String, TemplateVal)>,
+        /// Single-equality `WHERE` clause, when present.
+        where_eq: Option<(String, TemplateVal)>,
+    },
+    /// `INSERT INTO table [(col, …)] VALUES (v, …)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, when present.
+        columns: Option<Vec<String>>,
+        /// `VALUES` tuple in textual order.
+        values: Vec<TemplateVal>,
+    },
+    /// `DELETE FROM table [WHERE col = v]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Single-equality `WHERE` clause, when present.
+        where_eq: Option<(String, TemplateVal)>,
+    },
+}
+
+impl DmlTemplate {
+    /// Target table (lowercased).
+    pub fn table(&self) -> &str {
+        match self {
+            DmlTemplate::Update { table, .. }
+            | DmlTemplate::Insert { table, .. }
+            | DmlTemplate::Delete { table, .. } => table,
+        }
+    }
+
+    /// DML verb.
+    pub fn kind(&self) -> DmlKind {
+        match self {
+            DmlTemplate::Update { .. } => DmlKind::Update,
+            DmlTemplate::Insert { .. } => DmlKind::Insert,
+            DmlTemplate::Delete { .. } => DmlKind::Delete,
+        }
+    }
+}
+
+/// Split a SQL string into tokens: identifiers/keywords/numbers,
+/// single-quoted strings (kept with their quotes), and the punctuation
+/// `( ) , = ? ; .` as single-character tokens.
+fn sql_tokens(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                let mut s = String::from("'");
+                for q in chars.by_ref() {
+                    s.push(q);
+                    if q == '\'' {
+                        break;
+                    }
+                }
+                out.push(s);
+            }
+            '(' | ')' | ',' | '=' | '?' | ';' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                out.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// True when `t` looks like a bare SQL identifier.
+fn is_ident(t: &str) -> bool {
+    !t.is_empty()
+        && t.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Token-stream cursor for the template grammar.
+struct Toks {
+    toks: Vec<String>,
+    pos: usize,
+    params: usize,
+}
+
+impl Toks {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(|s| s.as_str())
+    }
+    fn next(&mut self) -> Option<String> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn ident(&mut self) -> Option<String> {
+        let t = self.peek()?;
+        if is_ident(t) {
+            let t = t.to_ascii_lowercase();
+            self.pos += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+    /// `?` (numbered in textual order) or a literal token.
+    fn value(&mut self) -> Option<TemplateVal> {
+        let t = self.next()?;
+        if t == "?" {
+            let i = self.params;
+            self.params += 1;
+            Some(TemplateVal::Param(i))
+        } else if t == "(" || t == ")" || t == "," || t == "=" || t == ";" {
+            None
+        } else {
+            Some(TemplateVal::Lit(t))
+        }
+    }
+    /// Optional trailing `;`, then end of input.
+    fn at_end(&mut self) -> bool {
+        self.eat_kw(";");
+        self.pos == self.toks.len()
+    }
+}
+
+/// Parse a parameterized DML statement into its [`DmlTemplate`] shape.
+/// Returns `None` for anything outside the supported grammar (subqueries,
+/// compound predicates, multi-row `VALUES`, …) — callers must treat that
+/// as an opaque write.
+pub fn parse_dml_template(sql: &str) -> Option<DmlTemplate> {
+    let mut t = Toks {
+        toks: sql_tokens(sql),
+        pos: 0,
+        params: 0,
+    };
+    if t.eat_kw("update") {
+        let table = t.ident()?;
+        if !t.eat_kw("set") {
+            return None;
+        }
+        let mut sets = Vec::new();
+        loop {
+            let col = t.ident()?;
+            if !t.eat_kw("=") {
+                return None;
+            }
+            sets.push((col, t.value()?));
+            if !t.eat_kw(",") {
+                break;
+            }
+        }
+        let where_eq = if t.eat_kw("where") {
+            let col = t.ident()?;
+            if !t.eat_kw("=") {
+                return None;
+            }
+            Some((col, t.value()?))
+        } else {
+            None
+        };
+        if !t.at_end() {
+            return None;
+        }
+        Some(DmlTemplate::Update {
+            table,
+            sets,
+            where_eq,
+        })
+    } else if t.eat_kw("insert") {
+        if !t.eat_kw("into") {
+            return None;
+        }
+        let table = t.ident()?;
+        let columns = if t.peek() == Some("(") {
+            t.next();
+            let mut cols = Vec::new();
+            loop {
+                cols.push(t.ident()?);
+                if t.eat_kw(",") {
+                    continue;
+                }
+                if t.eat_kw(")") {
+                    break;
+                }
+                return None;
+            }
+            Some(cols)
+        } else {
+            None
+        };
+        if !t.eat_kw("values") || !t.eat_kw("(") {
+            return None;
+        }
+        let mut values = Vec::new();
+        loop {
+            values.push(t.value()?);
+            if t.eat_kw(",") {
+                continue;
+            }
+            if t.eat_kw(")") {
+                break;
+            }
+            return None;
+        }
+        if !t.at_end() {
+            return None;
+        }
+        Some(DmlTemplate::Insert {
+            table,
+            columns,
+            values,
+        })
+    } else if t.eat_kw("delete") {
+        if !t.eat_kw("from") {
+            return None;
+        }
+        let table = t.ident()?;
+        let where_eq = if t.eat_kw("where") {
+            let col = t.ident()?;
+            if !t.eat_kw("=") {
+                return None;
+            }
+            Some((col, t.value()?))
+        } else {
+            None
+        };
+        if !t.at_end() {
+            return None;
+        }
+        Some(DmlTemplate::Delete { table, where_eq })
+    } else {
+        None
+    }
+}
+
+/// Tables a SQL query string reads: every identifier following `FROM` or
+/// `JOIN` (lowercased). Over-approximate on purpose — used to build the
+/// body's abstract read set.
+pub fn tables_read(sql: &str) -> BTreeSet<String> {
+    let toks = sql_tokens(sql);
+    let mut out = BTreeSet::new();
+    for w in toks.windows(2) {
+        if (w[0].eq_ignore_ascii_case("from") || w[0].eq_ignore_ascii_case("join"))
+            && is_ident(&w[1])
+        {
+            out.insert(w[1].to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The lattice
+// ---------------------------------------------------------------------------
+
+/// Abstraction of the rows a write touches, in terms of the cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyPred {
+    /// ⊥ — no keyed write observed yet.
+    Bottom,
+    /// Every write on this path is `column = cursor.field` (both
+    /// lowercased): iterations with distinct `field` values touch
+    /// disjoint row sets.
+    CursorKey {
+        /// Key column of the written table.
+        column: String,
+        /// Cursor field supplying the key value.
+        field: String,
+    },
+    /// ⊤ — some write is not keyed by the cursor (constant key, missing
+    /// `WHERE`, computed key): row sets of different iterations may
+    /// overlap.
+    Top,
+}
+
+impl KeyPred {
+    fn join(&self, other: &KeyPred) -> KeyPred {
+        match (self, other) {
+            (KeyPred::Bottom, x) | (x, KeyPred::Bottom) => x.clone(),
+            (a, b) if a == b => a.clone(),
+            _ => KeyPred::Top,
+        }
+    }
+}
+
+/// Which columns a write touches: a finite set or all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColSet {
+    /// Exactly these columns (lowercased).
+    Cols(BTreeSet<String>),
+    /// All / unknown columns.
+    All,
+}
+
+impl ColSet {
+    fn join(&self, other: &ColSet) -> ColSet {
+        match (self, other) {
+            (ColSet::All, _) | (_, ColSet::All) => ColSet::All,
+            (ColSet::Cols(a), ColSet::Cols(b)) => ColSet::Cols(a.union(b).cloned().collect()),
+        }
+    }
+}
+
+/// Joined abstraction of every write one iteration performs on one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableWrite {
+    /// DML verbs used.
+    pub kinds: BTreeSet<DmlKind>,
+    /// Columns written (`SET` targets, inserted columns).
+    pub columns: ColSet,
+    /// Key abstraction of the touched rows.
+    pub key: KeyPred,
+}
+
+/// Must-assigned variable set: intersection join, with `All` as the
+/// bottom element (identity) so unreachable paths do not spuriously
+/// shrink the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MustSet {
+    /// ⊥ — every variable (holds on no path).
+    All,
+    /// Exactly these variables are assigned on every path so far.
+    Only(BTreeSet<Symbol>),
+}
+
+impl MustSet {
+    fn contains(&self, v: Symbol) -> bool {
+        match self {
+            MustSet::All => true,
+            MustSet::Only(s) => s.contains(&v),
+        }
+    }
+    fn insert(&mut self, v: Symbol) {
+        if let MustSet::Only(s) = self {
+            s.insert(v);
+        }
+    }
+    fn join(&self, other: &MustSet) -> MustSet {
+        match (self, other) {
+            (MustSet::All, x) | (x, MustSet::All) => x.clone(),
+            (MustSet::Only(a), MustSet::Only(b)) => {
+                MustSet::Only(a.intersection(b).cloned().collect())
+            }
+        }
+    }
+}
+
+/// The dataflow fact: one iteration's abstract effect, joined over all
+/// paths through the body reaching a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessFact {
+    /// Tables read by inner queries (lowercased).
+    pub reads: BTreeSet<String>,
+    /// Per-table write abstraction.
+    pub writes: BTreeMap<String, TableWrite>,
+    /// Scalars read before being must-assigned this iteration (excluding
+    /// the cursor). Intersected with the body's assigned set, these are
+    /// the loop-carried scalars.
+    pub carried: BTreeSet<Symbol>,
+    /// Variables assigned on every path so far (kills `carried`).
+    pub assigned: MustSet,
+    /// Body produces output (`print`).
+    pub prints: bool,
+    /// Effects the abstraction cannot model, by reason.
+    pub opaque: BTreeSet<String>,
+}
+
+/// The forward dependence-collection analysis over the loop body.
+struct DependAnalysis {
+    /// Cursor variable of the enclosing loop.
+    cursor: Symbol,
+}
+
+impl DependAnalysis {
+    /// Record every read/effect of `e` into `fact`.
+    fn scan_expr(&self, e: &Expr, fact: &mut AccessFact) {
+        match e {
+            Expr::Lit(_) => {}
+            Expr::Var(v) => {
+                if *v != self.cursor && !fact.assigned.contains(*v) {
+                    fact.carried.insert(*v);
+                }
+            }
+            Expr::Unary(_, a) => self.scan_expr(a, fact),
+            Expr::Binary(_, a, b) => {
+                self.scan_expr(a, fact);
+                self.scan_expr(b, fact);
+            }
+            Expr::Ternary(c, a, b) => {
+                self.scan_expr(c, fact);
+                self.scan_expr(a, fact);
+                self.scan_expr(b, fact);
+            }
+            Expr::Field(base, _) => self.scan_expr(base, fact),
+            Expr::Call { name, args } => {
+                match name.as_str() {
+                    builtins::EXECUTE_QUERY
+                    | builtins::EXECUTE_SCALAR
+                    | builtins::EXECUTE_BATCH => {
+                        if let Some(Expr::Lit(Literal::Str(sql))) = args.first() {
+                            fact.reads.extend(tables_read(sql));
+                        } else {
+                            fact.opaque
+                                .insert("runs dynamically constructed SQL".to_string());
+                        }
+                    }
+                    builtins::EXECUTE_UPDATE => match args.first() {
+                        Some(Expr::Lit(Literal::Str(sql))) => match parse_dml_template(sql) {
+                            Some(t) => self.record_write(&t, &args[1..], fact),
+                            None => {
+                                fact.opaque
+                                    .insert(format!("unsupported DML statement `{}`", sql.trim()));
+                            }
+                        },
+                        _ => {
+                            fact.opaque
+                                .insert("runs dynamically constructed DML".to_string());
+                        }
+                    },
+                    n if builtins::PURE_FUNCTIONS.contains(&n) => {}
+                    n => {
+                        fact.opaque
+                            .insert(format!("calls `{n}`, whose effects are unknown"));
+                    }
+                }
+                for a in args {
+                    self.scan_expr(a, fact);
+                }
+            }
+            Expr::MethodCall { recv, name, args } => {
+                if builtins::MUTATING_METHODS.contains(&name.as_str()) {
+                    fact.opaque
+                        .insert(format!("mutates a collection via `.{name}(…)`"));
+                } else if !builtins::READING_METHODS.contains(&name.as_str()) {
+                    fact.opaque.insert(format!(
+                        "calls method `.{name}(…)`, whose effects are unknown"
+                    ));
+                }
+                self.scan_expr(recv, fact);
+                for a in args {
+                    self.scan_expr(a, fact);
+                }
+            }
+        }
+    }
+
+    /// Join one parsed DML write into the fact, abstracting its key over
+    /// the cursor via the call's parameter arguments (`args` excludes the
+    /// SQL string).
+    fn record_write(&self, t: &DmlTemplate, args: &[Expr], fact: &mut AccessFact) {
+        let key_of = |w: &Option<(String, TemplateVal)>| match w {
+            None => KeyPred::Top,
+            Some((col, TemplateVal::Param(i))) => match args.get(*i) {
+                Some(Expr::Field(base, f)) if **base == Expr::Var(self.cursor) => {
+                    KeyPred::CursorKey {
+                        column: col.clone(),
+                        field: f.as_str().to_ascii_lowercase(),
+                    }
+                }
+                _ => KeyPred::Top,
+            },
+            Some((_, TemplateVal::Lit(_))) => KeyPred::Top,
+        };
+        let (kind, columns, key) = match t {
+            DmlTemplate::Update { sets, where_eq, .. } => (
+                DmlKind::Update,
+                ColSet::Cols(sets.iter().map(|(c, _)| c.clone()).collect()),
+                key_of(where_eq),
+            ),
+            DmlTemplate::Insert { columns, .. } => (
+                DmlKind::Insert,
+                match columns {
+                    Some(cols) => ColSet::Cols(cols.iter().cloned().collect()),
+                    None => ColSet::All,
+                },
+                KeyPred::Bottom,
+            ),
+            DmlTemplate::Delete { where_eq, .. } => {
+                (DmlKind::Delete, ColSet::All, key_of(where_eq))
+            }
+        };
+        let entry = fact
+            .writes
+            .entry(t.table().to_string())
+            .or_insert(TableWrite {
+                kinds: BTreeSet::new(),
+                columns: ColSet::Cols(BTreeSet::new()),
+                key: KeyPred::Bottom,
+            });
+        entry.kinds.insert(kind);
+        entry.columns = entry.columns.join(&columns);
+        entry.key = entry.key.join(&key);
+    }
+}
+
+impl Analysis for DependAnalysis {
+    type Fact = AccessFact;
+
+    fn name(&self) -> &'static str {
+        "depend"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> AccessFact {
+        AccessFact {
+            reads: BTreeSet::new(),
+            writes: BTreeMap::new(),
+            carried: BTreeSet::new(),
+            assigned: MustSet::All,
+            prints: false,
+            opaque: BTreeSet::new(),
+        }
+    }
+
+    fn boundary(&self, _f: &Function) -> AccessFact {
+        AccessFact {
+            assigned: MustSet::Only(BTreeSet::new()),
+            ..self.bottom()
+        }
+    }
+
+    fn join(&self, a: &AccessFact, b: &AccessFact) -> AccessFact {
+        let mut writes = a.writes.clone();
+        for (t, w) in &b.writes {
+            match writes.get_mut(t) {
+                Some(e) => {
+                    e.kinds.extend(w.kinds.iter().cloned());
+                    e.columns = e.columns.join(&w.columns);
+                    e.key = e.key.join(&w.key);
+                }
+                None => {
+                    writes.insert(t.clone(), w.clone());
+                }
+            }
+        }
+        AccessFact {
+            reads: a.reads.union(&b.reads).cloned().collect(),
+            writes,
+            carried: a.carried.union(&b.carried).cloned().collect(),
+            assigned: a.assigned.join(&b.assigned),
+            prints: a.prints || b.prints,
+            opaque: a.opaque.union(&b.opaque).cloned().collect(),
+        }
+    }
+
+    fn transfer_stmt(&self, s: &Stmt, fact: &AccessFact) -> AccessFact {
+        let mut out = fact.clone();
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                self.scan_expr(value, &mut out);
+                out.assigned.insert(*target);
+            }
+            StmtKind::Expr(e) => self.scan_expr(e, &mut out),
+            StmtKind::Print(es) => {
+                for e in es {
+                    self.scan_expr(e, &mut out);
+                }
+                out.prints = true;
+            }
+            StmtKind::Return(v) => {
+                if let Some(v) = v {
+                    self.scan_expr(v, &mut out);
+                }
+            }
+            // Nested loops are rejected syntactically before solving; keep
+            // the transfer total (and conservative) anyway.
+            StmtKind::ForEach { iterable, .. } => {
+                self.scan_expr(iterable, &mut out);
+                out.opaque.insert("contains a nested loop".to_string());
+            }
+            StmtKind::While { .. } => {
+                out.opaque.insert("contains a nested loop".to_string());
+            }
+            // `If` ids sit on no block; `Break`/`Continue` are rejected
+            // before solving.
+            StmtKind::If { .. } | StmtKind::Break | StmtKind::Continue => {}
+        }
+        out
+    }
+
+    fn transfer_terminator(&self, t: &Terminator, fact: &AccessFact) -> AccessFact {
+        let mut out = fact.clone();
+        match t {
+            Terminator::Branch { cond, .. } => self.scan_expr(cond, &mut out),
+            Terminator::ForDispatch { iterable, .. } => self.scan_expr(iterable, &mut out),
+            Terminator::Return(Some(v)) => self.scan_expr(v, &mut out),
+            Terminator::Return(None) | Terminator::Goto(_) | Terminator::End => {}
+        }
+        out
+    }
+
+    fn height(&self, f: &Function) -> usize {
+        // Chains are bounded by the syntactic material: every SQL-literal
+        // token can add at most one read/write/column element, every
+        // variable one `carried`/`assigned` element, every statement one
+        // opaque reason; key lattices have height 2 and flags height 1.
+        let mut tokens = 0usize;
+        let mut stmts = 0usize;
+        fn count_expr(e: &Expr, tokens: &mut usize) {
+            e.walk(&mut |sub| {
+                if let Expr::Lit(Literal::Str(sql)) = sub {
+                    *tokens += sql_tokens(sql).len();
+                }
+            });
+        }
+        fn walk_block(b: &Block, tokens: &mut usize, stmts: &mut usize) {
+            for s in &b.stmts {
+                *stmts += 1;
+                match &s.kind {
+                    StmtKind::Assign { value, .. } => count_expr(value, tokens),
+                    StmtKind::Expr(e) => count_expr(e, tokens),
+                    StmtKind::Print(es) => es.iter().for_each(|e| count_expr(e, tokens)),
+                    StmtKind::Return(v) => {
+                        if let Some(v) = v {
+                            count_expr(v, tokens)
+                        }
+                    }
+                    StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } => {
+                        count_expr(cond, tokens);
+                        walk_block(then_branch, tokens, stmts);
+                        walk_block(else_branch, tokens, stmts);
+                    }
+                    StmtKind::ForEach { iterable, body, .. } => {
+                        count_expr(iterable, tokens);
+                        walk_block(body, tokens, stmts);
+                    }
+                    StmtKind::While { cond, body } => {
+                        count_expr(cond, tokens);
+                        walk_block(body, tokens, stmts);
+                    }
+                    StmtKind::Break | StmtKind::Continue => {}
+                }
+            }
+        }
+        walk_block(&f.body, &mut tokens, &mut stmts);
+        dataflow::variable_universe(f).len() * 2 + tokens * 4 + stmts * 2 + 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+/// The classic dependence kinds, plus the two reasons a loop can fail
+/// batchability without a data dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependenceKind {
+    /// Iteration N+1 reads state iteration N wrote.
+    Flow,
+    /// An iteration writes state the loop still reads.
+    Anti,
+    /// Two iterations may write the same rows.
+    Output,
+    /// Early exit or nested loop makes the iteration space data-dependent.
+    Control,
+    /// An effect the abstraction cannot model (print, dynamic SQL, …).
+    Effect,
+}
+
+impl fmt::Display for DependenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependenceKind::Flow => write!(f, "flow"),
+            DependenceKind::Anti => write!(f, "anti"),
+            DependenceKind::Output => write!(f, "output"),
+            DependenceKind::Control => write!(f, "control"),
+            DependenceKind::Effect => write!(f, "effect"),
+        }
+    }
+}
+
+/// The first dependence (in a fixed deterministic order) that blocks
+/// batching, for blame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blocking {
+    /// Dependence class.
+    pub kind: DependenceKind,
+    /// Human-readable description naming the concrete tables/scalars.
+    pub detail: String,
+    /// Anchor span (the offending statement when known, else the loop).
+    pub span: Span,
+}
+
+/// Outcome of the dependence analysis for one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every write is key-disjoint or commutative: the loop may be
+    /// replaced by one set-oriented statement.
+    Batchable,
+    /// A loop-carried dependence (or unmodellable effect) blocks batching.
+    Blocked(Blocking),
+    /// The body performs no DML at all — not this analysis' concern.
+    NotDml,
+}
+
+/// One statement-position `executeUpdate` call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmlSite {
+    /// Id of the `Expr` statement holding the call.
+    pub stmt: StmtId,
+    /// Span of the call statement.
+    pub span: Span,
+    /// The SQL template string, verbatim.
+    pub sql: String,
+    /// Parsed template.
+    pub template: DmlTemplate,
+    /// Parameter arguments (call arguments after the SQL string).
+    pub args: Vec<Expr>,
+    /// `if` conditions guarding the call, outermost first, with the
+    /// branch polarity (`false` = reached through the `else` branch).
+    pub guards: Vec<(Expr, bool)>,
+}
+
+/// Everything the extractor needs to know about a write loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopDependence {
+    /// Batchability verdict.
+    pub verdict: Verdict,
+    /// The single DML site, when the body has exactly one (lowering
+    /// handles only that shape; more sites with a `Batchable` verdict is
+    /// an extraction limitation, not a dependence).
+    pub site: Option<DmlSite>,
+    /// Number of statement-position DML sites found.
+    pub sites_found: usize,
+    /// Tables read by inner queries.
+    pub reads: BTreeSet<String>,
+    /// Tables written, with their joined write abstraction.
+    pub writes: BTreeMap<String, TableWrite>,
+}
+
+/// What the analysis must know about the loop's driving query.
+#[derive(Debug, Clone)]
+pub struct DrivingInfo<'a> {
+    /// Cursor variable.
+    pub cursor: Symbol,
+    /// Driving table (lowercased).
+    pub table: &'a str,
+    /// A unique, non-null column of the driving rows (its primary key,
+    /// lowercased) — distinct iterations carry distinct values of it.
+    /// `None` when the driving table has no usable key.
+    pub key: Option<&'a str>,
+    /// Span of the enclosing loop, used as the blame anchor when no
+    /// better span exists.
+    pub loop_span: Span,
+}
+
+/// Syntactic facts gathered in one pre-pass over the body.
+#[derive(Default)]
+struct Syntactic {
+    abrupt: Option<(&'static str, Span)>,
+    nested_loop: Option<Span>,
+    assigned: BTreeSet<Symbol>,
+    assign_span: BTreeMap<Symbol, Span>,
+    print_span: Option<Span>,
+    read_span: BTreeMap<String, Span>,
+    write_span: BTreeMap<String, Span>,
+    sites: Vec<DmlSite>,
+    /// First `executeUpdate` not in statement position.
+    update_elsewhere: Option<Span>,
+    /// Any `executeUpdate` call exists (even malformed / nested ones).
+    any_update: bool,
+}
+
+/// Record inner-query reads and stray `executeUpdate` calls anywhere in
+/// `e` (span-anchored to the enclosing statement).
+fn record_expr(e: &Expr, span: Span, out: &mut Syntactic) {
+    e.walk(&mut |sub| {
+        if let Expr::Call { name, args } = sub {
+            match name.as_str() {
+                builtins::EXECUTE_QUERY | builtins::EXECUTE_SCALAR | builtins::EXECUTE_BATCH => {
+                    if let Some(Expr::Lit(Literal::Str(sql))) = args.first() {
+                        for t in tables_read(sql) {
+                            out.read_span.entry(t).or_insert(span);
+                        }
+                    }
+                }
+                builtins::EXECUTE_UPDATE => {
+                    out.any_update = true;
+                    if out.update_elsewhere.is_none() {
+                        out.update_elsewhere = Some(span);
+                    }
+                    if let Some(Expr::Lit(Literal::Str(sql))) = args.first() {
+                        if let Some(t) = parse_dml_template(sql) {
+                            out.write_span.entry(t.table().to_string()).or_insert(span);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    });
+}
+
+fn scan_syntactic(block: &Block, guards: &mut Vec<(Expr, bool)>, out: &mut Syntactic) {
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::Assign { target, value } => {
+                record_expr(value, s.span, out);
+                out.assigned.insert(*target);
+                out.assign_span.entry(*target).or_insert(s.span);
+            }
+            StmtKind::Expr(e) => {
+                if let Expr::Call { name, args } = e {
+                    if name.as_str() == builtins::EXECUTE_UPDATE {
+                        out.any_update = true;
+                        if let Some(Expr::Lit(Literal::Str(sql))) = args.first() {
+                            if let Some(template) = parse_dml_template(sql) {
+                                out.write_span
+                                    .entry(template.table().to_string())
+                                    .or_insert(s.span);
+                                out.sites.push(DmlSite {
+                                    stmt: s.id,
+                                    span: s.span,
+                                    sql: sql.clone(),
+                                    template,
+                                    args: args[1..].to_vec(),
+                                    guards: guards.clone(),
+                                });
+                            }
+                        }
+                        // Nested calls inside the arguments still count.
+                        for a in args.iter().skip(1) {
+                            record_expr(a, s.span, out);
+                        }
+                        continue;
+                    }
+                }
+                record_expr(e, s.span, out);
+            }
+            StmtKind::Print(es) => {
+                out.print_span.get_or_insert(s.span);
+                for e in es {
+                    record_expr(e, s.span, out);
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                record_expr(cond, s.span, out);
+                guards.push((cond.clone(), true));
+                scan_syntactic(then_branch, guards, out);
+                guards.pop();
+                guards.push((cond.clone(), false));
+                scan_syntactic(else_branch, guards, out);
+                guards.pop();
+            }
+            StmtKind::ForEach { body, iterable, .. } => {
+                record_expr(iterable, s.span, out);
+                out.nested_loop.get_or_insert(s.span);
+                scan_syntactic(body, guards, out);
+            }
+            StmtKind::While { cond, body } => {
+                record_expr(cond, s.span, out);
+                out.nested_loop.get_or_insert(s.span);
+                scan_syntactic(body, guards, out);
+            }
+            StmtKind::Return(v) => {
+                if let Some(v) = v {
+                    record_expr(v, s.span, out);
+                }
+                out.abrupt.get_or_insert(("return", s.span));
+            }
+            StmtKind::Break => {
+                out.abrupt.get_or_insert(("break", s.span));
+            }
+            StmtKind::Continue => {
+                out.abrupt.get_or_insert(("continue", s.span));
+            }
+        }
+    }
+}
+
+/// Analyze one cursor-loop body for loop-carried dependences and decide
+/// batchability. `body` is the loop body; `drv` describes the driving
+/// query the caller already resolved.
+pub fn analyze_body(body: &Block, drv: &DrivingInfo) -> LoopDependence {
+    let mut syn = Syntactic::default();
+    scan_syntactic(body, &mut Vec::new(), &mut syn);
+
+    let mut dep = LoopDependence {
+        verdict: Verdict::NotDml,
+        site: if syn.sites.len() == 1 {
+            Some(syn.sites[0].clone())
+        } else {
+            None
+        },
+        sites_found: syn.sites.len(),
+        reads: BTreeSet::new(),
+        writes: BTreeMap::new(),
+    };
+    if !syn.any_update {
+        return dep;
+    }
+
+    let blocked = |kind, detail: String, span| Verdict::Blocked(Blocking { kind, detail, span });
+
+    // Control dependences are syntactic — and rejecting them before
+    // solving keeps the synthetic body-function's CFG free of top-level
+    // `break`/`continue` edges that have no enclosing loop there.
+    if let Some((word, span)) = syn.abrupt {
+        dep.verdict = blocked(
+            DependenceKind::Control,
+            format!("the loop body can exit early via `{word}`"),
+            span,
+        );
+        return dep;
+    }
+    if let Some(span) = syn.nested_loop {
+        dep.verdict = blocked(
+            DependenceKind::Control,
+            "the loop body contains a nested loop".to_string(),
+            span,
+        );
+        return dep;
+    }
+    if let Some(span) = syn.update_elsewhere {
+        dep.verdict = blocked(
+            DependenceKind::Effect,
+            "the result of `executeUpdate` is consumed by the loop body".to_string(),
+            span,
+        );
+        return dep;
+    }
+
+    // Solve the forward access analysis over the body's own CFG, wrapped
+    // in a synthetic single-parameter function (the cursor).
+    let f = Function {
+        name: "__depend_body".into(),
+        params: vec![drv.cursor],
+        body: body.clone(),
+        span: drv.loop_span,
+    };
+    let a = DependAnalysis { cursor: drv.cursor };
+    let cfg = Cfg::build(&f);
+    let sol = dataflow::solve_cfg(&a, &f, &cfg);
+    let summary = sol.entry[cfg.end.0].clone();
+    dep.reads = summary.reads.clone();
+    dep.writes = summary.writes.clone();
+
+    if let Some(reason) = summary.opaque.iter().next() {
+        dep.verdict = blocked(DependenceKind::Effect, reason.clone(), drv.loop_span);
+        return dep;
+    }
+    if summary.prints {
+        dep.verdict = blocked(
+            DependenceKind::Effect,
+            "the loop body prints per-iteration output".to_string(),
+            syn.print_span.unwrap_or(drv.loop_span),
+        );
+        return dep;
+    }
+
+    // Loop-carried scalars: read before assigned on some path, and
+    // assigned somewhere in the body.
+    for v in &summary.carried {
+        if syn.assigned.contains(v) {
+            dep.verdict = blocked(
+                DependenceKind::Flow,
+                format!("scalar `{v}` is read before it is assigned, carrying a value across iterations"),
+                syn.assign_span.get(v).copied().unwrap_or(drv.loop_span),
+            );
+            return dep;
+        }
+    }
+
+    for (table, w) in &summary.writes {
+        let span = syn.write_span.get(table).copied().unwrap_or(drv.loop_span);
+        if w.kinds.len() > 1 {
+            let kinds: Vec<String> = w.kinds.iter().map(|k| k.to_string()).collect();
+            dep.verdict = blocked(
+                DependenceKind::Output,
+                format!("mixed {} statements write table `{table}`", kinds.join("/")),
+                span,
+            );
+            return dep;
+        }
+        if summary.reads.contains(table) {
+            dep.verdict = blocked(
+                DependenceKind::Flow,
+                format!(
+                    "the loop body reads table `{table}`, which it also writes — \
+                     an iteration observes earlier iterations' writes"
+                ),
+                syn.read_span.get(table).copied().unwrap_or(span),
+            );
+            return dep;
+        }
+        let kind = *w.kinds.iter().next().expect("write has a kind");
+        match kind {
+            DmlKind::Insert => {
+                if table == drv.table {
+                    dep.verdict = blocked(
+                        DependenceKind::Anti,
+                        format!("`INSERT` into `{table}`, the table the loop's own cursor reads"),
+                        span,
+                    );
+                    return dep;
+                }
+            }
+            DmlKind::Update | DmlKind::Delete => match &w.key {
+                KeyPred::CursorKey { column, field } => {
+                    // DELETE commutes with itself (deleting the same rows
+                    // twice is idempotent), so any cursor-derived key
+                    // suffices; UPDATE needs key-disjoint iterations:
+                    // the cursor field must be the driving rows' unique
+                    // key.
+                    if kind == DmlKind::Update && drv.key != Some(field.as_str()) {
+                        dep.verdict = blocked(
+                            DependenceKind::Output,
+                            format!(
+                                "`UPDATE {table}` is keyed by `{column} = {cursor}.{field}`, \
+                                 which is not the driving table's unique key — \
+                                 iterations may update the same rows",
+                                cursor = drv.cursor
+                            ),
+                            span,
+                        );
+                        return dep;
+                    }
+                }
+                KeyPred::Top => {
+                    dep.verdict = blocked(
+                        DependenceKind::Output,
+                        format!(
+                            "`{kind} {table}` is not keyed by the cursor — \
+                             iterations may write the same rows"
+                        ),
+                        span,
+                    );
+                    return dep;
+                }
+                KeyPred::Bottom => {}
+            },
+        }
+    }
+
+    dep.verdict = Verdict::Batchable;
+    dep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp::parser::parse_program;
+
+    /// Run `analyze_body` on the single `for` loop of `src`'s only
+    /// function, driving over `emp` keyed by `id`.
+    fn analyze(src: &str) -> LoopDependence {
+        analyze_with(src, "emp", Some("id"))
+    }
+
+    fn analyze_with(src: &str, table: &str, key: Option<&str>) -> LoopDependence {
+        let p = parse_program(src).expect("test program parses");
+        let f = &p.functions[0];
+        for s in &f.body.stmts {
+            if let StmtKind::ForEach { var, body, .. } = &s.kind {
+                return analyze_body(
+                    body,
+                    &DrivingInfo {
+                        cursor: *var,
+                        table,
+                        key,
+                        loop_span: s.span,
+                    },
+                );
+            }
+        }
+        panic!("no loop in test program");
+    }
+
+    const PRELUDE: &str = "fn main() {\n    q = executeQuery(\"SELECT * FROM emp\");\n";
+
+    fn prog(body: &str) -> String {
+        format!("{PRELUDE}    for (e in q) {{\n{body}\n    }}\n    return 0;\n}}\n")
+    }
+
+    #[test]
+    fn template_parser_handles_the_three_verbs() {
+        assert_eq!(
+            parse_dml_template("UPDATE emp SET salary = ? WHERE id = ?"),
+            Some(DmlTemplate::Update {
+                table: "emp".into(),
+                sets: vec![("salary".into(), TemplateVal::Param(0))],
+                where_eq: Some(("id".into(), TemplateVal::Param(1))),
+            })
+        );
+        assert_eq!(
+            parse_dml_template("INSERT INTO payout (emp_id, amount) VALUES (?, ?)"),
+            Some(DmlTemplate::Insert {
+                table: "payout".into(),
+                columns: Some(vec!["emp_id".into(), "amount".into()]),
+                values: vec![TemplateVal::Param(0), TemplateVal::Param(1)],
+            })
+        );
+        assert_eq!(
+            parse_dml_template("DELETE FROM emp WHERE id = ?"),
+            Some(DmlTemplate::Delete {
+                table: "emp".into(),
+                where_eq: Some(("id".into(), TemplateVal::Param(0))),
+            })
+        );
+        assert_eq!(
+            parse_dml_template("UPDATE emp SET salary = salary + 1"),
+            None
+        );
+        assert_eq!(parse_dml_template("DROP TABLE emp"), None);
+        assert_eq!(
+            parse_dml_template("INSERT INTO t VALUES (1, 'a;b', NULL);"),
+            Some(DmlTemplate::Insert {
+                table: "t".into(),
+                columns: None,
+                values: vec![
+                    TemplateVal::Lit("1".into()),
+                    TemplateVal::Lit("'a;b'".into()),
+                    TemplateVal::Lit("NULL".into()),
+                ],
+            })
+        );
+    }
+
+    #[test]
+    fn keyed_update_is_batchable() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", e.salary + 10, e.id);",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+        let site = d.site.expect("one site");
+        assert_eq!(site.template.kind(), DmlKind::Update);
+        assert!(site.guards.is_empty());
+    }
+
+    #[test]
+    fn guarded_update_keeps_its_guard() {
+        let d = analyze(&prog(
+            "        if (e.salary < 100) {\n            executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", e.salary * 2, e.id);\n        }",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+        let site = d.site.expect("one site");
+        assert_eq!(site.guards.len(), 1);
+        assert!(site.guards[0].1);
+    }
+
+    #[test]
+    fn pure_insert_into_fresh_table_is_batchable() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"INSERT INTO payout (emp_id, amount) VALUES (?, ?)\", e.id, e.salary);",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+    }
+
+    #[test]
+    fn insert_into_driving_table_is_anti_dependence() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"INSERT INTO emp (id, salary) VALUES (?, ?)\", e.id + 1000, e.salary);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => assert_eq!(b.kind, DependenceKind::Anti),
+            v => panic!("expected anti dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn read_of_written_table_is_flow_dependence() {
+        let d = analyze(&prog(
+            "        m = executeScalar(\"SELECT MAX(salary) AS m FROM emp\");\n        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", m, e.id);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => {
+                assert_eq!(b.kind, DependenceKind::Flow);
+                assert!(
+                    b.detail.contains("emp"),
+                    "detail names the table: {}",
+                    b.detail
+                );
+            }
+            v => panic!("expected flow dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn carried_scalar_is_flow_dependence() {
+        let d = analyze(&prog(
+            "        s = s + e.salary;\n        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", s, e.id);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => {
+                assert_eq!(b.kind, DependenceKind::Flow);
+                assert!(
+                    b.detail.contains("`s`"),
+                    "detail names the scalar: {}",
+                    b.detail
+                );
+            }
+            v => panic!("expected flow dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_local_assign_then_use_is_not_carried() {
+        // `d` is must-assigned before its use on every path: not carried.
+        let d = analyze(&prog(
+            "        d = e.salary * 2;\n        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", d, e.id);",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+    }
+
+    #[test]
+    fn use_assigned_on_one_branch_only_is_carried() {
+        let d = analyze(&prog(
+            "        if (e.salary > 10) {\n            d = e.salary;\n        }\n        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", d, e.id);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => assert_eq!(b.kind, DependenceKind::Flow),
+            v => panic!("expected flow dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn unkeyed_update_is_output_dependence() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = 3\", e.salary);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => assert_eq!(b.kind, DependenceKind::Output),
+            v => panic!("expected output dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn update_keyed_by_non_unique_field_is_output_dependence() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"UPDATE emp SET salary = ? WHERE dept = ?\", e.salary, e.dept);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => {
+                assert_eq!(b.kind, DependenceKind::Output);
+                assert!(b.detail.contains("dept"), "{}", b.detail);
+            }
+            v => panic!("expected output dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_keyed_by_any_cursor_field_commutes() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"DELETE FROM bonus WHERE emp_id = ?\", e.id);",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+        // Even a non-unique cursor field: deletion is idempotent.
+        let d = analyze(&prog(
+            "        executeUpdate(\"DELETE FROM bonus WHERE emp_id = ?\", e.dept);",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+    }
+
+    #[test]
+    fn early_exit_is_control_dependence() {
+        let d = analyze(&prog(
+            "        if (e.salary > 100) {\n            break;\n        }\n        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", e.salary, e.id);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => {
+                assert_eq!(b.kind, DependenceKind::Control);
+                assert!(b.detail.contains("break"), "{}", b.detail);
+            }
+            v => panic!("expected control dependence, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn print_in_body_is_effect() {
+        let d = analyze(&prog(
+            "        print(e.id);\n        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", e.salary, e.id);",
+        ));
+        match d.verdict {
+            Verdict::Blocked(b) => assert_eq!(b.kind, DependenceKind::Effect),
+            v => panic!("expected effect, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn two_sites_still_classify_but_expose_no_single_site() {
+        let d = analyze(&prog(
+            "        executeUpdate(\"DELETE FROM bonus WHERE emp_id = ?\", e.id);\n        executeUpdate(\"DELETE FROM award WHERE emp_id = ?\", e.id);",
+        ));
+        assert_eq!(d.verdict, Verdict::Batchable);
+        assert_eq!(d.sites_found, 2);
+        assert!(d.site.is_none());
+    }
+
+    #[test]
+    fn read_only_loop_is_not_dml() {
+        let d = analyze(&prog("        x = e.salary;"));
+        assert_eq!(d.verdict, Verdict::NotDml);
+    }
+
+    #[test]
+    fn no_driving_key_blocks_update() {
+        let d = analyze_with(
+            &prog("        executeUpdate(\"UPDATE emp SET salary = ? WHERE id = ?\", e.salary, e.id);"),
+            "emp",
+            None,
+        );
+        match d.verdict {
+            Verdict::Blocked(b) => assert_eq!(b.kind, DependenceKind::Output),
+            v => panic!("expected output dependence, got {v:?}"),
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! | `E007` | certification counterexample: a rewrite changed semantics |
 //! | `E008` | internal SQL-rendering invariant broke; rewrite dropped |
 //! | `E009` | SQL-injection taint: a query string concatenated from program input |
+//! | `E010` | DML loop not batchable: a loop-carried dependence blocks batching |
 //!
 //! `W0xx` codes are advisories — extraction may still succeed, or the
 //! finding is informational:
@@ -34,12 +35,13 @@
 //! | `W001` | a specific rule was close but not applicable (and why) |
 //! | `W002` | dead statement (never observable after the function) |
 //! | `W003` | impure helper function blocks purity-based reasoning |
-//! | `W004` | loop has external side effects and will be kept |
+//! | `W004` | loop has external side effects (foreach-dml may still batch it) |
 //! | `W005` | a valid rewrite was declined (cost, safety, coupling) |
 //! | `W006` | certification inconclusive: obligation not discharged |
 //! | `W007` | extraction blame: why a cursor loop was not extracted |
 //! | `W008` | loop-invariant query inside a loop (hoistable) |
 //! | `W009` | N+1 pattern: per-row query keyed only by the cursor row |
+//! | `W010` | DML loop batchable, but foreach-dml extraction disabled/failed |
 //!
 //! Codes are append-only: a published code never changes meaning, so JSON
 //! consumers may match on `code` strings.
@@ -125,6 +127,15 @@ pub enum Code {
     /// classic N+1 pattern; a join (which extraction would have produced)
     /// fetches the same data in one round trip.
     NPlusOneQuery,
+    /// A DML (write) loop carries a dependence between iterations — the
+    /// message names the blocking flow/anti/output/control/effect
+    /// dependence found by `analysis::depend` — so it cannot be batched
+    /// into one set-oriented statement.
+    DmlLoopNotBatchable,
+    /// A DML loop is batchable (no loop-carried dependence), but the
+    /// foreach-dml extraction was disabled, failed to lower, or failed
+    /// certification; the message says why.
+    DmlLoopNotExtracted,
 }
 
 impl Code {
@@ -149,13 +160,15 @@ impl Code {
             Code::SqlInjectionTaint => "E009",
             Code::HoistableQuery => "W008",
             Code::NPlusOneQuery => "W009",
+            Code::DmlLoopNotBatchable => "E010",
+            Code::DmlLoopNotExtracted => "W010",
         }
     }
 
-    /// Every code, ordered by wire string (`E001…E009`, then `W001…W009`).
+    /// Every code, ordered by wire string (`E001…E010`, then `W001…W010`).
     /// The `/metrics` per-code counters iterate this, so the order is part
     /// of the rendered metrics layout.
-    pub const ALL: [Code; 18] = [
+    pub const ALL: [Code; 20] = [
         Code::NoAccumulation,
         Code::ExtraLoopDependence,
         Code::ExternalWriteInSlice,
@@ -165,6 +178,7 @@ impl Code {
         Code::CertCounterexample,
         Code::RenderInvariant,
         Code::SqlInjectionTaint,
+        Code::DmlLoopNotBatchable,
         Code::RuleNotApplicable,
         Code::DeadStatement,
         Code::ImpureHelper,
@@ -174,6 +188,7 @@ impl Code {
         Code::LoopNotExtracted,
         Code::HoistableQuery,
         Code::NPlusOneQuery,
+        Code::DmlLoopNotExtracted,
     ];
 
     /// Severity class of the code (`E…` = error, `W…` = warning).
@@ -488,7 +503,7 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(strs, sorted, "Code::ALL must be wire-string ordered");
-        assert_eq!(strs.len(), 18, "update Code::ALL when adding a code");
+        assert_eq!(strs.len(), 20, "update Code::ALL when adding a code");
     }
 
     #[test]

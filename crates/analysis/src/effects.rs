@@ -438,10 +438,23 @@ pub fn describe_external_write(
                 return;
             }
             match x {
-                Expr::Call { name, .. } => {
+                Expr::Call { name, args } => {
                     let n = name.as_str();
                     if n == builtins::EXECUTE_UPDATE {
-                        found = Some("executes a database update".to_string());
+                        // Name the concrete DML verb and written table when
+                        // the statement string is a recognizable template,
+                        // so blame output anchors to something real.
+                        found = Some(match args.first() {
+                            Some(Expr::Lit(imp::ast::Literal::Str(sql))) => {
+                                match crate::depend::parse_dml_template(sql) {
+                                    Some(t) => {
+                                        format!("executes `{}` on table `{}`", t.kind(), t.table())
+                                    }
+                                    None => "executes a database update".to_string(),
+                                }
+                            }
+                            _ => "executes a database update".to_string(),
+                        });
                     } else if builtins::function_effect(n).is_none() {
                         match summaries.get(name) {
                             Some(s) => {

@@ -19,6 +19,11 @@
 //! * [`dataflow`] — the reusable monotone-framework engine (forward or
 //!   backward worklist over [`cfg`] with a configurable join-semilattice,
 //!   height-bounded termination, deterministic iteration order);
+//! * [`depend`] — loop-carried dependence analysis for DML (write) loops,
+//!   a forward [`dataflow`] client: per-iteration abstract read/write sets
+//!   over tables and scalars, classified into flow/anti/output/control/
+//!   effect dependences; its `Batchable` verdict licenses foreach-dml
+//!   extraction (`E010`/`W010`);
 //! * [`liveness`] — backward live-variable analysis, a [`dataflow`] client;
 //! * [`reaching`] — forward reaching definitions, a [`dataflow`] client;
 //! * [`taint`] — SQL-injection taint from program inputs to database-call
@@ -46,6 +51,7 @@ pub mod dataflow;
 pub mod ddg;
 pub mod deadcode;
 pub mod defuse;
+pub mod depend;
 pub mod diag;
 pub mod dominators;
 pub mod effects;

@@ -301,8 +301,10 @@ impl Pass for LivenessPass {
 
 /// `"ddg"`: loops whose body writes external state.
 ///
-/// Such loops are kept even when every accumulator folds (the rewrite would
-/// drop the effects), so extraction can at best hoist queries — warn early.
+/// Scalar extraction never removes such a loop (the rewrite would drop
+/// the effects); a loop whose only effect is a single `executeUpdate` may
+/// still batch into one set-oriented statement via foreach-dml, which
+/// reports its own `E010`/`W010` verdict — warn early either way.
 pub struct LoopEffectsPass;
 
 impl Pass for LoopEffectsPass {
@@ -332,14 +334,16 @@ impl Pass for LoopEffectsPass {
             let mut d = Diagnostic::new(
                 Code::LoopSideEffects,
                 loop_span,
-                "loop performs database updates or output and will be kept",
+                "loop performs database updates or output",
             )
             .with_primary_label("body has external side effects");
             for ws in writer_spans {
                 d = d.with_label(ws, "external write happens here");
             }
             cx.emit(d.with_note(
-                "extracted SQL can replace reads, not effects; only query hoisting applies",
+                "extracted SQL can replace reads, not effects; a write loop may \
+                 still batch via foreach-dml (E010/W010), otherwise only query \
+                 hoisting applies",
             ));
         }
     }

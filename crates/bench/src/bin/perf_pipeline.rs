@@ -183,6 +183,7 @@ fn sweep_json(s: &Sweep, n_units: usize, runs: usize) -> Json {
                 ("parse".into(), Json::int(s.parse_ns as i64)),
                 ("desugar".into(), Json::int(s.stage.desugar_ns as i64)),
                 ("dir".into(), Json::int(s.stage.dir_ns as i64)),
+                ("depend".into(), Json::int(s.stage.depend_ns as i64)),
                 ("rules".into(), Json::int(s.stage.rules_ns as i64)),
                 ("sqlgen".into(), Json::int(s.stage.sqlgen_ns as i64)),
                 ("rewrite".into(), Json::int(s.stage.rewrite_ns as i64)),

@@ -38,7 +38,7 @@
 //!     writes the bound address for scripts to discover.
 //!
 //! eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR]
-//!            [--max-divergences N] [--store] [--store-rows N]
+//!            [--max-divergences N] [--store] [--store-rows N] [--dml]
 //!     Differential fuzzing: generate random well-typed programs over
 //!     random schemas, run each under the interpreter and through the
 //!     extractor (evaluating the emitted SQL), and report divergences.
@@ -47,8 +47,11 @@
 //!     --store backs the tables with the paged storage engine (volcano
 //!     executor + buffer pool) and amplifies each table by --store-rows
 //!     generated rows (default 256), so larger cardinalities and page
-//!     eviction are exercised too. Exits nonzero when any divergence or
-//!     panic is found.
+//!     eviction are exercised too. --dml generates write loops instead
+//!     (UPDATE/INSERT/DELETE under a cursor), compares the final table
+//!     contents of the two runs, and holds kept write loops to the
+//!     E010/W010 blame contract; it cannot be combined with --store.
+//!     Exits nonzero when any divergence or panic is found.
 //!
 //! Common options:
 //!     --function NAME      function to analyse (default: first function;
@@ -110,6 +113,7 @@ struct Opts {
     max_divergences: usize,
     store: bool,
     store_rows: usize,
+    dml: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -141,6 +145,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_divergences: 0,
         store: false,
         store_rows: 256,
+        dml: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -205,6 +210,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("bad --max-divergences: {e}"))?
             }
             "--store" => o.store = true,
+            "--dml" => o.dml = true,
             "--store-rows" => {
                 o.store_rows = next(&mut it, "--store-rows")?
                     .parse()
@@ -520,6 +526,14 @@ fn run_batch_cmd(opts: &Opts) -> Result<(), String> {
 }
 
 fn run_fuzz_cmd(opts: &Opts) -> Result<(), String> {
+    if opts.dml && opts.store {
+        return Err(
+            "--dml does not support --store: clones of a paged database share one pager, \
+             so the two sides of a write-loop differential would interfere (and the paged \
+             backend rejects UPDATE/DELETE)"
+                .into(),
+        );
+    }
     let cfg = fuzz::FuzzConfig {
         seed: opts.seed,
         iters: opts.iters,
@@ -528,6 +542,7 @@ fn run_fuzz_cmd(opts: &Opts) -> Result<(), String> {
         max_divergences: opts.max_divergences,
         store: opts.store,
         store_rows: opts.store_rows,
+        dml: opts.dml,
     };
     // The oracle traps panics with catch_unwind and reports them as
     // divergences; suppress the default hook's backtrace spew so the
@@ -575,6 +590,6 @@ fn print_usage() {
        \x20      eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N] \
          [--cache-entries N] [--timeout-ms N] [--port-file PATH]\n\
        \x20      eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR] \
-         [--max-divergences N] [--store] [--store-rows N]"
+         [--max-divergences N] [--store] [--store-rows N] [--dml]"
     );
 }

@@ -1431,6 +1431,141 @@ fn restore(map: &mut BTreeMap<Symbol, CVal>, key: Symbol, old: Option<CVal>) {
     }
 }
 
+// ===========================================================================
+// foreach-dml certification (DESIGN.md §5i): differential *state*
+// comparison. Unlike value obligations, a DML rewrite is judged by the
+// final database contents: the original loop and the extracted statement
+// each run — through the reference interpreter, so both sides use the real
+// executors — on clones of a seeded micro-database, and every table must
+// end as the same multiset of rows.
+// ===========================================================================
+
+/// A differential obligation for a foreach-dml rewrite: two single-function
+/// programs over the same parameter list. `orig` contains the driving query
+/// and the untouched loop body; `batch` contains only the extracted
+/// set-oriented DML statement.
+#[derive(Debug, Clone)]
+pub struct DmlObligation {
+    /// Program running the original loop.
+    pub orig: imp::ast::Program,
+    /// Program running the extracted statement.
+    pub batch: imp::ast::Program,
+    /// Entry-function name (the same in both programs).
+    pub entry: String,
+    /// Shared parameter list; trials quantify over these.
+    pub params: Vec<Symbol>,
+}
+
+/// Canonical database state: per-table sorted row multiset.
+fn db_state(db: &Database) -> BTreeMap<String, Vec<Vec<Value>>> {
+    let mut out = BTreeMap::new();
+    for schema in db.catalog().tables() {
+        let Some(t) = db.table(&schema.name) else {
+            continue;
+        };
+        let mut rows = t.rows_vec();
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.sort_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out.insert(schema.name.clone(), rows);
+    }
+    out
+}
+
+/// First table whose final contents differ, with a one-line description.
+fn db_diff(a: &Database, b: &Database) -> Option<String> {
+    let sa = db_state(a);
+    let sb = db_state(b);
+    for (name, ra) in &sa {
+        let rb = sb.get(name)?;
+        if ra.len() != rb.len() {
+            return Some(format!(
+                "table `{name}`: {} rows (loop) vs {} rows (statement)",
+                ra.len(),
+                rb.len()
+            ));
+        }
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            let same = x.len() == y.len() && x.iter().zip(y.iter()).all(|(u, v)| u.group_eq(v));
+            if !same {
+                return Some(format!(
+                    "table `{name}`: row {x:?} (loop) vs {y:?} (statement)"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Run one side on its own copy of the trial database; returns the final
+/// database state.
+fn run_dml_side(
+    program: &imp::ast::Program,
+    entry: &str,
+    db: Database,
+    args: &[interp::RtValue],
+) -> Result<Database, interp::RtError> {
+    let mut it = interp::Interp::new(program, dbms::Connection::new(db));
+    it.call(entry, args.to_vec())?;
+    Ok(std::mem::take(&mut it.conn.db))
+}
+
+impl Certifier<'_> {
+    /// Certify a foreach-dml rewrite differentially. Every conclusive
+    /// trial must leave both databases in the same state; a disagreement
+    /// is a counterexample (the loop is kept, `E007` + `W010`), and trials
+    /// that fail to evaluate leave the obligation inconclusive (`W006`).
+    pub fn check_dml(&self, ob: &DmlObligation) -> Verdict {
+        let mut conclusive = 0usize;
+        let mut last_reason = String::from("no trials ran");
+        for &size in &self.sizes {
+            for rep in 0..self.reps {
+                let tseed = self
+                    .seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((size as u64) * 7919 + rep as u64 + 1);
+                // NULL-bearing data (for columns the catalog declares
+                // nullable) so NULL-key and NULL-guard divergence shows up.
+                let db = dbms::gen::gen_catalog_nulls(self.catalog, size, tseed, 25);
+                let mut rng = StdRng::seed_from_u64(tseed ^ 0x9E37_79B9_7F4A_7C15);
+                let args: Vec<interp::RtValue> = ob
+                    .params
+                    .iter()
+                    .map(|_| interp::RtValue::Scalar(Value::Int(rng.gen_range(-2..6i64))))
+                    .collect();
+                let ra = run_dml_side(&ob.orig, &ob.entry, db.clone(), &args);
+                let rb = run_dml_side(&ob.batch, &ob.entry, db, &args);
+                match (ra, rb) {
+                    (Ok(da), Ok(dbb)) => match db_diff(&da, &dbb) {
+                        None => conclusive += 1,
+                        Some(diff) => {
+                            return Verdict::Counterexample {
+                                detail: format!(
+                                    "trial: {size} rows/table, seed {tseed:#x}: {diff}"
+                                ),
+                            }
+                        }
+                    },
+                    (Err(e), _) | (_, Err(e)) => {
+                        last_reason = format!("trial did not evaluate: {e}");
+                    }
+                }
+            }
+        }
+        if conclusive > 0 {
+            Verdict::DischargedDifferential { trials: conclusive }
+        } else {
+            Verdict::Inconclusive {
+                reason: last_reason,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,13 @@ pub struct ExtractorOptions {
     /// loop is kept. Off by default (certification costs differential
     /// trials per obligation).
     pub certify: bool,
+    /// Extract batchable DML (write) loops into single set-oriented
+    /// statements (foreach-dml, DESIGN.md §5i). The loop-carried dependence
+    /// pass (`analysis::depend`) must certify the loop `Batchable`; with
+    /// [`ExtractorOptions::certify`] also set, every such rewrite is
+    /// additionally validated by differential state comparison. When
+    /// disabled, batchable write loops are reported (`W010`) but kept.
+    pub extract_dml: bool,
 }
 
 impl Default for ExtractorOptions {
@@ -67,6 +74,7 @@ impl Default for ExtractorOptions {
             prefer_lateral: false,
             rule_cache: true,
             certify: false,
+            extract_dml: true,
         }
     }
 }
@@ -83,7 +91,8 @@ impl ExtractorOptions {
     pub fn fingerprint(&self) -> String {
         format!(
             "dialect={:?};ordered={};require_all_vars={};rewrite_prints={};\
-             dependent_agg={};prefer_lateral={};cost_based={};certify={}",
+             dependent_agg={};prefer_lateral={};cost_based={};certify={};\
+             extract_dml={}",
             self.dialect,
             self.ordered,
             self.require_all_vars,
@@ -95,6 +104,7 @@ impl ExtractorOptions {
                 None => "none".to_string(),
             },
             self.certify,
+            self.extract_dml,
         )
     }
 }
@@ -231,6 +241,9 @@ pub struct StageTimes {
     pub certify_ns: u64,
     /// Proof obligations checked by the certifier.
     pub obligations_checked: u64,
+    /// Loop-carried dependence analysis of write loops (`analysis::depend`)
+    /// plus foreach-dml lowering. Zero when no write loop is met.
+    pub depend_ns: u64,
 }
 
 impl StageTimes {
@@ -242,6 +255,7 @@ impl StageTimes {
             + self.sqlgen_ns
             + self.rewrite_ns
             + self.certify_ns
+            + self.depend_ns
     }
 
     /// Accumulate another run's counters into this one (peaks take the max).
@@ -256,6 +270,7 @@ impl StageTimes {
         self.rule_cache_misses += other.rule_cache_misses;
         self.certify_ns += other.certify_ns;
         self.obligations_checked += other.obligations_checked;
+        self.depend_ns += other.depend_ns;
     }
 }
 
@@ -742,11 +757,39 @@ impl Extractor {
                     outcome,
                 });
             }
-            let mut rewrite = !assigns.is_empty()
-                && !has_side_effects
-                && (loop_ok || !self.opts.require_all_vars);
+            // foreach-dml (DESIGN.md §5i): a cursor write loop may instead
+            // be batched into ONE set-oriented DML statement when
+            // `analysis::depend` certifies its per-iteration writes
+            // key-disjoint. Failure leaves exactly one E010/W010 blame
+            // diagnostic on the loop (replacing the generic W007).
+            let mut dml_plan: Option<Expr> = None;
+            let mut dml_handled = false;
+            if cursor_loops.contains(&cand.stmt) && loop_has_external_write(&f, cand.stmt, &du_ctx)
+            {
+                if let Some(out) = self.try_foreach_dml(
+                    &f,
+                    fname,
+                    cand.stmt,
+                    loop_span,
+                    &live_after,
+                    &mut stage,
+                    certification.as_mut(),
+                ) {
+                    dml_handled = true;
+                    diagnostics.extend(out.diags);
+                    if let Some(row) = out.row {
+                        loop_vars.push(row);
+                    }
+                    dml_plan = out.replacement;
+                }
+            }
+            let dml_rewritten = dml_plan.is_some();
+            let mut rewrite = dml_rewritten
+                || (!assigns.is_empty()
+                    && !has_side_effects
+                    && (loop_ok || !self.opts.require_all_vars));
             let mut cost_rejected = false;
-            if rewrite {
+            if rewrite && !dml_rewritten {
                 if let Some(stats) = &self.opts.cost_based {
                     let d = crate::costing::decide(&f, cand.stmt, &assigns, stats);
                     if !d.beneficial {
@@ -759,6 +802,7 @@ impl Extractor {
                 plans.push(RewritePlan {
                     loop_stmt: cand.stmt,
                     assigns,
+                    dml: dml_plan.into_iter().collect(),
                 });
             } else {
                 // Demote Extracted outcomes: the loop stays.
@@ -803,7 +847,7 @@ impl Extractor {
             // demotion, else the loop-level condition — and anchor a label
             // chain at the offending statements. `while` loops are exempt
             // (they are never cursor-extraction targets).
-            if !rewrite && cursor_loops.contains(&cand.stmt) {
+            if !rewrite && !dml_handled && cursor_loops.contains(&cand.stmt) {
                 let underlying = loop_vars
                     .iter()
                     .filter_map(|v| v.outcome.diagnostic())
@@ -917,6 +961,235 @@ impl Extractor {
             stage,
             certification,
         }
+    }
+
+    /// Attempt foreach-dml extraction on one cursor write loop
+    /// (DESIGN.md §5i). Returns `None` when the body performs no
+    /// statement-position DML — the generic side-effect handling then
+    /// applies. Otherwise the outcome carries either the replacement
+    /// `executeUpdate` statement or exactly one `E010`/`W010` diagnostic
+    /// explaining why the loop stays (plus any certification diagnostics).
+    #[allow(clippy::too_many_arguments)]
+    fn try_foreach_dml(
+        &self,
+        f: &Function,
+        fname: &str,
+        loop_stmt: StmtId,
+        loop_span: imp::token::Span,
+        live_after: &std::collections::BTreeSet<intern::Symbol>,
+        stage: &mut StageTimes,
+        certification: Option<&mut CertSummary>,
+    ) -> Option<DmlOutcome> {
+        use analysis::depend;
+        let (cursor, iterable, body) = find_foreach(&f.body, loop_stmt)?;
+        if !body_has_dml(body) {
+            return None;
+        }
+        let depend_started = Instant::now();
+        let w010 = |why: String| DmlOutcome {
+            replacement: None,
+            row: None,
+            diags: vec![Diagnostic::new(
+                Code::DmlLoopNotExtracted,
+                loop_span,
+                format!("DML loop not extracted: {why}"),
+            )
+            .with_primary_label("this write loop stays imperative")
+            .with_function(fname)
+            .with_pass("depend")],
+        };
+        // Resolve the driving scan; without it the dependence analysis has
+        // no key to prove write-disjointness against.
+        let driving = match dml_driving(f, iterable, &self.catalog) {
+            Ok(d) => d,
+            Err(why) => {
+                stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+                return Some(w010(why));
+            }
+        };
+        let info = depend::DrivingInfo {
+            cursor,
+            table: &driving.table,
+            key: driving.key.as_deref(),
+            loop_span,
+        };
+        let dep = depend::analyze_body(body, &info);
+        let site = match &dep.verdict {
+            depend::Verdict::NotDml => {
+                stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+                return None;
+            }
+            depend::Verdict::Blocked(b) => {
+                let mut d = Diagnostic::new(
+                    Code::DmlLoopNotBatchable,
+                    loop_span,
+                    format!(
+                        "DML loop not batchable: a {} dependence blocks batching — {}",
+                        b.kind, b.detail
+                    ),
+                )
+                .with_primary_label("this write loop cannot be batched")
+                .with_function(fname)
+                .with_pass("depend");
+                if b.span != loop_span && b.span.end != 0 {
+                    d = d.with_label(b.span, "the blocking dependence arises here");
+                }
+                stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+                return Some(DmlOutcome {
+                    replacement: None,
+                    row: None,
+                    diags: vec![d],
+                });
+            }
+            depend::Verdict::Batchable => match &dep.site {
+                Some(s) => s,
+                None => {
+                    stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+                    return Some(w010(format!(
+                        "the loop is batchable but performs {} DML statements; \
+                         extraction supports exactly one",
+                        dep.sites_found
+                    )));
+                }
+            },
+        };
+        if !self.opts.extract_dml {
+            stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+            return Some(w010(
+                "the loop is batchable, but foreach-dml extraction is disabled".to_string(),
+            ));
+        }
+        // Removing the loop drops its scalar assignments too: every
+        // variable the body defines must be dead afterwards.
+        let defs = block_defs(body);
+        if let Some(v) = defs.iter().find(|v| live_after.contains(*v)) {
+            stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+            return Some(w010(format!(
+                "the loop is batchable, but `{v}` is assigned in the body \
+                 and still live after the loop"
+            )));
+        }
+        // Arguments of the batched statement are evaluated once, outside
+        // the loop — they must not reference loop-local scalars.
+        let mut arg_vars = std::collections::BTreeSet::new();
+        for a in &site.args {
+            expr_vars(a, &mut arg_vars);
+        }
+        for (g, _) in &site.guards {
+            expr_vars(g, &mut arg_vars);
+        }
+        arg_vars.remove(&cursor);
+        if let Some(v) = arg_vars.iter().find(|v| defs.contains(*v)) {
+            stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+            return Some(w010(format!(
+                "the DML statement depends on `{v}`, a scalar computed \
+                 inside the loop body"
+            )));
+        }
+        // Lower to the F-IR form, simplify, and generate SQL.
+        let source = crate::fir::DmlSource {
+            table: driving.table.clone(),
+            alias: driving.alias.clone(),
+            pred: driving.pred.clone(),
+            params: driving.params.clone(),
+            key: driving.key.clone().unwrap_or_default(),
+        };
+        let mut dml = match crate::fir::loop_to_dml(site, cursor, source) {
+            Ok(d) => d,
+            Err(why) => {
+                stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+                return Some(w010(format!("the loop is batchable, but {why}")));
+            }
+        };
+        let fir_display = dml.to_string();
+        let mut rule_trace = vec!["FOREACH-DML".to_string()];
+        rule_trace.extend(
+            crate::rules::fold_dml(&mut dml, &self.catalog)
+                .into_iter()
+                .map(|r| r.to_string()),
+        );
+        let (sql, args) = match crate::sqlgen::dml_to_sql(&dml, self.opts.dialect) {
+            Ok(r) => r,
+            Err(e) => {
+                stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+                return Some(w010(format!("the loop is batchable, but {e}")));
+            }
+        };
+        let mut call_args = vec![Expr::str(sql.clone())];
+        call_args.extend(args.iter().cloned());
+        let replacement = Expr::call("executeUpdate", call_args);
+        stage.depend_ns += depend_started.elapsed().as_nanos() as u64;
+        // Differential certification: replay the original loop and the
+        // extracted statement on cloned micro-databases and compare final
+        // table states (certify::check_dml).
+        let mut diags = Vec::new();
+        if self.opts.certify {
+            let certify_started = Instant::now();
+            let ob = build_dml_obligation(&driving, cursor, body, &replacement);
+            let certifier = crate::certify::Certifier::new(&self.catalog);
+            let verdict = certifier.check_dml(&ob);
+            stage.certify_ns += certify_started.elapsed().as_nanos() as u64;
+            stage.obligations_checked += 1;
+            if let Some(c) = certification {
+                c.total += 1;
+                match &verdict {
+                    crate::certify::Verdict::DischargedNormalize => c.discharged_normalize += 1,
+                    crate::certify::Verdict::DischargedDifferential { .. } => {
+                        c.discharged_differential += 1
+                    }
+                    crate::certify::Verdict::Inconclusive { .. } => c.inconclusive += 1,
+                    crate::certify::Verdict::Counterexample { .. } => c.counterexamples += 1,
+                }
+            }
+            match verdict {
+                crate::certify::Verdict::Counterexample { detail } => {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::CertCounterexample,
+                            loop_span,
+                            format!("foreach-dml rewrite refuted by differential trial: {detail}"),
+                        )
+                        .with_primary_label("the batched statement diverges from this loop")
+                        .with_function(fname)
+                        .with_pass("certify"),
+                    );
+                    let mut out = w010(
+                        "the loop is batchable, but a differential trial refuted the rewrite"
+                            .to_string(),
+                    );
+                    out.diags.extend(diags);
+                    return Some(out);
+                }
+                crate::certify::Verdict::Inconclusive { reason } => {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::CertInconclusive,
+                            loop_span,
+                            format!("foreach-dml certification inconclusive: {reason}"),
+                        )
+                        .with_primary_label("no differential trial concluded for this rewrite")
+                        .with_function(fname)
+                        .with_pass("certify"),
+                    );
+                }
+                _ => {}
+            }
+        }
+        let row = VarExtraction {
+            function: fname.to_string(),
+            loop_stmt,
+            var: format!("dml:{}", dml.target()),
+            sql: vec![sql],
+            replacement: Some(imp::pretty::pretty_expr(&replacement)),
+            fir: Some(fir_display),
+            rule_trace,
+            outcome: ExtractionOutcome::Extracted,
+        };
+        Some(DmlOutcome {
+            replacement: Some(replacement),
+            row: Some(row),
+            diags,
+        })
     }
 }
 
@@ -1065,6 +1338,266 @@ fn collect_sql(e: &Expr) -> Vec<String> {
         }
     });
     out
+}
+
+// ===========================================================================
+// foreach-dml extraction (DESIGN.md §5i): batch a write loop into one
+// set-oriented DML statement, licensed by `analysis::depend`.
+// ===========================================================================
+
+/// The outcome of attempting foreach-dml extraction on one write loop.
+struct DmlOutcome {
+    /// The replacement `executeUpdate(sql, args…)` expression, when the
+    /// loop may be removed.
+    replacement: Option<Expr>,
+    /// Report row for the extracted statement.
+    row: Option<VarExtraction>,
+    /// `E010`/`W010` (and certification) diagnostics.
+    diags: Vec<Diagnostic>,
+}
+
+/// Locate a `ForEach` statement and borrow its pieces.
+fn find_foreach(
+    b: &imp::ast::Block,
+    id: StmtId,
+) -> Option<(intern::Symbol, &Expr, &imp::ast::Block)> {
+    for s in &b.stmts {
+        if s.id == id {
+            if let imp::ast::StmtKind::ForEach {
+                var,
+                iterable,
+                body,
+            } = &s.kind
+            {
+                return Some((*var, iterable, body));
+            }
+            return None;
+        }
+        let found = match &s.kind {
+            imp::ast::StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => find_foreach(then_branch, id).or_else(|| find_foreach(else_branch, id)),
+            imp::ast::StmtKind::ForEach { body, .. } | imp::ast::StmtKind::While { body, .. } => {
+                find_foreach(body, id)
+            }
+            _ => None,
+        };
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// The driving scan of a write loop, resolved from its iterable.
+struct DmlDriving {
+    /// The driving query's literal SQL, verbatim.
+    sql: String,
+    /// Base table iterated.
+    table: String,
+    /// Alias cursor fields are phrased over in generated SQL.
+    alias: String,
+    /// Driving `WHERE` predicate, if any.
+    pred: Option<algebra::scalar::Scalar>,
+    /// Expressions bound to the driving query's `?` ordinals.
+    params: Vec<Expr>,
+    /// Single-column, non-nullable unique key of the table, when declared.
+    key: Option<String>,
+}
+
+/// Resolve the loop's driving query: the iterable must be (a variable
+/// holding the result of) a single `executeQuery` over a literal SQL
+/// string that parses to a plain, optionally filtered, single-table scan.
+fn dml_driving(f: &Function, iterable: &Expr, catalog: &Catalog) -> Result<DmlDriving, String> {
+    let (sql, args) = match iterable {
+        Expr::Call { name, args } if name == "executeQuery" => match args.first() {
+            Some(Expr::Lit(imp::ast::Literal::Str(s))) => (s.clone(), args[1..].to_vec()),
+            _ => return Err("the driving query is dynamically constructed".to_string()),
+        },
+        Expr::Var(v) => {
+            let mut defs: Vec<&Expr> = Vec::new();
+            walk_stmts(&f.body, false, &mut |s, _| {
+                if let imp::ast::StmtKind::Assign { target, value } = &s.kind {
+                    if target == v {
+                        defs.push(value);
+                    }
+                }
+            });
+            match defs.as_slice() {
+                [Expr::Call { name, args }] if name == "executeQuery" => match args.first() {
+                    Some(Expr::Lit(imp::ast::Literal::Str(s))) => (s.clone(), args[1..].to_vec()),
+                    _ => return Err("the driving query is dynamically constructed".to_string()),
+                },
+                [_] => {
+                    return Err(format!(
+                        "the loop iterates `{v}`, which is not an `executeQuery` result"
+                    ))
+                }
+                _ => {
+                    return Err(format!(
+                        "the loop's source `{v}` is assigned more than once"
+                    ))
+                }
+            }
+        }
+        _ => return Err("the loop does not iterate a query result".to_string()),
+    };
+    let ra = algebra::parse::parse_sql(&sql)
+        .map_err(|e| format!("the driving query does not parse: {e}"))?;
+    let (table, alias, pred) = match ra {
+        algebra::RaExpr::Table { name, alias } => (name, alias, None),
+        algebra::RaExpr::Select { input, pred } => match *input {
+            algebra::RaExpr::Table { name, alias } => (name, alias, Some(pred)),
+            _ => return Err("the driving query is not a single-table scan".to_string()),
+        },
+        _ => return Err("the driving query is not a plain `SELECT *` scan".to_string()),
+    };
+    let key = catalog.get(&table).and_then(|t| match t.key.as_slice() {
+        [k] if !t.column_nullable(k) => Some(k.clone()),
+        _ => None,
+    });
+    Ok(DmlDriving {
+        sql,
+        alias: alias.unwrap_or_else(|| table.clone()),
+        table,
+        pred,
+        params: args,
+        key,
+    })
+}
+
+/// Variables defined (assigned) anywhere in a block, recursively.
+fn block_defs(b: &imp::ast::Block) -> std::collections::BTreeSet<intern::Symbol> {
+    let mut out = std::collections::BTreeSet::new();
+    for s in &b.stmts {
+        out.extend(analysis::defuse::DefUse::of_stmt_recursive(s).defs);
+    }
+    out
+}
+
+/// Free variables read by an expression.
+fn expr_vars(e: &Expr, out: &mut std::collections::BTreeSet<intern::Symbol>) {
+    e.walk(&mut |x| {
+        if let Expr::Var(v) = x {
+            out.insert(*v);
+        }
+    });
+}
+
+/// Does any expression inside the block call `executeUpdate`? Decides
+/// whether the foreach-dml path (and its `E010`/`W010` blame contract)
+/// applies to a side-effecting loop, or the generic `W004` handling does.
+fn body_has_dml(b: &imp::ast::Block) -> bool {
+    fn expr_has(e: &Expr) -> bool {
+        let mut found = false;
+        e.walk(&mut |x| {
+            if let Expr::Call { name, .. } = x {
+                if name == "executeUpdate" {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+    fn block_has(b: &imp::ast::Block) -> bool {
+        b.stmts.iter().any(|s| match &s.kind {
+            imp::ast::StmtKind::Assign { value, .. } => expr_has(value),
+            imp::ast::StmtKind::Expr(e) => expr_has(e),
+            imp::ast::StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => expr_has(cond) || block_has(then_branch) || block_has(else_branch),
+            imp::ast::StmtKind::ForEach { iterable, body, .. } => {
+                expr_has(iterable) || block_has(body)
+            }
+            imp::ast::StmtKind::While { cond, body } => expr_has(cond) || block_has(body),
+            imp::ast::StmtKind::Return(e) => e.as_ref().is_some_and(expr_has),
+            imp::ast::StmtKind::Print(es) => es.iter().any(expr_has),
+            imp::ast::StmtKind::Break | imp::ast::StmtKind::Continue => false,
+        })
+    }
+    block_has(b)
+}
+
+/// Synthesize the two single-function programs a foreach-dml rewrite is
+/// certified against: `orig` re-runs the driving query and the verbatim
+/// loop body; `batch` executes only the extracted set-oriented statement.
+/// Both are parameterized over the free scalars either side reads, so
+/// differential trials quantify over them.
+fn build_dml_obligation(
+    driving: &DmlDriving,
+    cursor: intern::Symbol,
+    body: &imp::ast::Block,
+    replacement: &Expr,
+) -> crate::certify::DmlObligation {
+    use imp::ast::{Block, Literal, Stmt, StmtKind};
+    let span = imp::token::Span::new(0, 0);
+    let rows = intern::Symbol::intern("__dml_rows");
+    let entry = intern::Symbol::intern("__dml_trial");
+    // Free scalar inputs: variables the driving arguments or the loop body
+    // read that are neither loop-local nor the cursor/rows bindings.
+    let mut free = std::collections::BTreeSet::new();
+    for a in &driving.params {
+        expr_vars(a, &mut free);
+    }
+    for s in &body.stmts {
+        free.extend(analysis::defuse::DefUse::of_stmt_recursive(s).uses);
+    }
+    let defs = block_defs(body);
+    free.retain(|v| *v != cursor && *v != rows && !defs.contains(v));
+    let params: Vec<intern::Symbol> = free.into_iter().collect();
+
+    let mut query_args = vec![Expr::Lit(Literal::Str(driving.sql.clone()))];
+    query_args.extend(driving.params.iter().cloned());
+    let orig_body = Block {
+        stmts: vec![
+            Stmt {
+                id: StmtId(1),
+                kind: StmtKind::Assign {
+                    target: rows,
+                    value: Expr::call("executeQuery", query_args),
+                },
+                span,
+            },
+            Stmt {
+                id: StmtId(2),
+                kind: StmtKind::ForEach {
+                    var: cursor,
+                    iterable: Expr::Var(rows),
+                    body: body.clone(),
+                },
+                span,
+            },
+        ],
+    };
+    let batch_body = Block {
+        stmts: vec![Stmt {
+            id: StmtId(1),
+            kind: StmtKind::Expr(replacement.clone()),
+            span,
+        }],
+    };
+    let mk = |b: Block| {
+        let mut p = imp::ast::Program {
+            functions: vec![Function {
+                name: entry,
+                params: params.clone(),
+                body: b,
+                span,
+            }],
+        };
+        p.renumber();
+        p
+    };
+    crate::certify::DmlObligation {
+        orig: mk(orig_body),
+        batch: mk(batch_body),
+        entry: entry.to_string(),
+        params,
+    }
 }
 
 #[cfg(test)]
@@ -1736,5 +2269,283 @@ mod cost_based_tests {
         assert_eq!(r.loops_rewritten, 1);
         // And the explicit costlier case, via costing::decide, is covered in
         // crate::costing::tests::decide_rejects_costlier_rewrite.
+    }
+}
+
+// foreach-dml extraction (DESIGN.md §5i).
+#[cfg(test)]
+mod foreach_dml_tests {
+    use super::*;
+    use algebra::schema::{SqlType, TableSchema};
+    use imp::parse_and_normalize;
+
+    fn dml_catalog() -> Catalog {
+        Catalog::new()
+            .with(
+                TableSchema::new(
+                    "emp",
+                    &[
+                        ("id", SqlType::Int),
+                        ("name", SqlType::Text),
+                        ("dept", SqlType::Text),
+                        ("salary", SqlType::Int),
+                    ],
+                )
+                .with_key(&["id"]),
+            )
+            .with(TableSchema::new(
+                "payout",
+                &[("emp_id", SqlType::Int), ("amount", SqlType::Int)],
+            ))
+    }
+
+    fn extract_dml(src: &str, f: &str) -> ExtractionReport {
+        let p = parse_and_normalize(src).unwrap();
+        Extractor::new(dml_catalog()).extract_function(&p, f)
+    }
+
+    #[test]
+    fn batchable_update_loop_extracts() {
+        let r = extract_dml(
+            r#"fn giveRaise(amount) {
+                rows = executeQuery("SELECT * FROM emp WHERE dept = 'eng'");
+                for (e in rows) {
+                    executeUpdate("UPDATE emp SET salary = ? WHERE id = ?",
+                                  e.salary + amount, e.id);
+                }
+            }"#,
+            "giveRaise",
+        );
+        assert_eq!(r.loops_rewritten, 1, "{:#?}", r.diagnostics);
+        let v = r.vars.iter().find(|v| v.var == "dml:emp").expect("dml row");
+        assert_eq!(v.outcome, ExtractionOutcome::Extracted);
+        let sql = v.sql.join(" ");
+        assert!(sql.starts_with("UPDATE emp SET salary ="), "{sql}");
+        assert!(sql.contains("FROM (SELECT"), "{sql}");
+        assert!(sql.contains("WHERE emp.id = s.k0"), "{sql}");
+        assert!(v.rule_trace.contains(&"FOREACH-DML".to_string()));
+        let printed = imp::pretty_print(&r.program);
+        assert!(!printed.contains("for ("), "loop must be gone:\n{printed}");
+        assert!(printed.contains("executeUpdate"), "{printed}");
+        // amount survives as a bound argument of the batched statement.
+        assert!(printed.contains("amount"), "{printed}");
+        assert!(
+            !r.diagnostics
+                .iter()
+                .any(|d| d.code == Code::DmlLoopNotExtracted
+                    || d.code == Code::DmlLoopNotBatchable
+                    || d.code == Code::LoopNotExtracted),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn batchable_update_certifies_differentially() {
+        let p = parse_and_normalize(
+            r#"fn giveRaise(amount) {
+                rows = executeQuery("SELECT * FROM emp WHERE salary < 3");
+                for (e in rows) {
+                    executeUpdate("UPDATE emp SET salary = ? WHERE id = ?",
+                                  e.salary + amount, e.id);
+                }
+            }"#,
+        )
+        .unwrap();
+        let opts = ExtractorOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let r = Extractor::with_options(dml_catalog(), opts).extract_function(&p, "giveRaise");
+        assert_eq!(r.loops_rewritten, 1, "{:#?}", r.diagnostics);
+        let c = r.certification.expect("certification summary");
+        assert_eq!(c.total, 1);
+        assert_eq!(c.discharged_differential, 1, "{c:?}");
+        assert_eq!(c.counterexamples, 0);
+        assert_eq!(c.inconclusive, 0, "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn insert_loop_extracts_to_insert_select() {
+        let r = extract_dml(
+            r#"fn logPayouts() {
+                rows = executeQuery("SELECT * FROM emp");
+                for (e in rows) {
+                    executeUpdate(
+                        "INSERT INTO payout (emp_id, amount) VALUES (?, ?)",
+                        e.id, e.salary);
+                }
+            }"#,
+            "logPayouts",
+        );
+        assert_eq!(r.loops_rewritten, 1, "{:#?}", r.diagnostics);
+        let v = r.vars.iter().find(|v| v.var == "dml:payout").unwrap();
+        let sql = v.sql.join(" ");
+        assert!(
+            sql.starts_with("INSERT INTO payout (emp_id, amount) SELECT"),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn delete_loop_folds_predicate() {
+        let r = extract_dml(
+            r#"fn purgeLow() {
+                rows = executeQuery("SELECT * FROM emp WHERE salary < 10");
+                for (e in rows) {
+                    executeUpdate("DELETE FROM emp WHERE id = ?", e.id);
+                }
+            }"#,
+            "purgeLow",
+        );
+        assert_eq!(r.loops_rewritten, 1, "{:#?}", r.diagnostics);
+        let v = r.vars.iter().find(|v| v.var == "dml:emp").unwrap();
+        let sql = v.sql.join(" ");
+        assert!(sql.starts_with("DELETE FROM emp WHERE"), "{sql}");
+        assert!(!sql.contains("IN ("), "fold must elide the subquery: {sql}");
+        assert!(
+            v.rule_trace.contains(&"DML-DELETE-FOLD".to_string()),
+            "{:?}",
+            v.rule_trace
+        );
+    }
+
+    #[test]
+    fn carried_scalar_blocks_with_e010() {
+        let r = extract_dml(
+            r#"fn rebalance() {
+                rows = executeQuery("SELECT * FROM emp");
+                total = 0;
+                for (e in rows) {
+                    total = total + e.salary;
+                    executeUpdate("UPDATE emp SET salary = ? WHERE id = ?",
+                                  total, e.id);
+                }
+            }"#,
+            "rebalance",
+        );
+        assert_eq!(r.loops_rewritten, 0);
+        let e010: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::DmlLoopNotBatchable)
+            .collect();
+        assert_eq!(e010.len(), 1, "{:#?}", r.diagnostics);
+        assert!(
+            e010[0].message.contains("flow dependence"),
+            "{}",
+            e010[0].message
+        );
+        // The E010 replaces the generic W007 blame for this write loop.
+        assert!(
+            !r.diagnostics
+                .iter()
+                .any(|d| d.code == Code::LoopNotExtracted),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn two_dml_sites_yield_w010() {
+        let r = extract_dml(
+            r#"fn doubleWrite() {
+                rows = executeQuery("SELECT * FROM emp");
+                for (e in rows) {
+                    executeUpdate("UPDATE emp SET salary = 1 WHERE id = ?", e.id);
+                    executeUpdate("UPDATE emp SET name = 'x' WHERE id = ?", e.id);
+                }
+            }"#,
+            "doubleWrite",
+        );
+        assert_eq!(r.loops_rewritten, 0);
+        let w: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::DmlLoopNotExtracted)
+            .collect();
+        assert_eq!(w.len(), 1, "{:#?}", r.diagnostics);
+        assert!(
+            w[0].message.contains("2 DML statements"),
+            "{}",
+            w[0].message
+        );
+    }
+
+    #[test]
+    fn extract_dml_disabled_reports_w010_and_keeps_loop() {
+        let p = parse_and_normalize(
+            r#"fn giveRaise() {
+                rows = executeQuery("SELECT * FROM emp");
+                for (e in rows) {
+                    executeUpdate("UPDATE emp SET salary = 0 WHERE id = ?", e.id);
+                }
+            }"#,
+        )
+        .unwrap();
+        let opts = ExtractorOptions {
+            extract_dml: false,
+            ..Default::default()
+        };
+        let r = Extractor::with_options(dml_catalog(), opts).extract_function(&p, "giveRaise");
+        assert_eq!(r.loops_rewritten, 0);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == Code::DmlLoopNotExtracted && d.message.contains("disabled")),
+            "{:#?}",
+            r.diagnostics
+        );
+        let printed = imp::pretty_print(&r.program);
+        assert!(printed.contains("for ("), "loop must stay:\n{printed}");
+    }
+
+    #[test]
+    fn live_loop_scalar_prevents_dml_rewrite() {
+        // `last` is freshly assigned each iteration (no carried dependence,
+        // so the loop *is* batchable) but is returned after the loop:
+        // removing the loop would drop it, so the loop stays with a W010
+        // naming the variable.
+        let r = extract_dml(
+            r#"fn lastRaised() {
+                rows = executeQuery("SELECT * FROM emp");
+                last = 0;
+                for (e in rows) {
+                    executeUpdate("UPDATE emp SET salary = 0 WHERE id = ?", e.id);
+                    last = e.id;
+                }
+                return last;
+            }"#,
+            "lastRaised",
+        );
+        assert_eq!(r.loops_rewritten, 0);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == Code::DmlLoopNotExtracted && d.message.contains("`last`")),
+            "{:#?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn dynamic_driving_query_yields_w010() {
+        let r = extract_dml(
+            r#"fn dyn(q) {
+                rows = executeQuery(q);
+                for (e in rows) {
+                    executeUpdate("UPDATE emp SET salary = 0 WHERE id = ?", e.id);
+                }
+            }"#,
+            "dyn",
+        );
+        assert_eq!(r.loops_rewritten, 0);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == Code::DmlLoopNotExtracted),
+            "{:#?}",
+            r.diagnostics
+        );
     }
 }

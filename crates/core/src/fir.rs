@@ -505,6 +505,419 @@ pub fn whole_body_lcfd_count(ddg: &Ddg) -> usize {
     ddg.edges.iter().filter(|e| e.kind == DepKind::Lcfd).count()
 }
 
+// ===========================================================================
+// foreach-dml: the F-IR form of a batchable write loop (DESIGN.md §5i).
+//
+// A cursor loop whose body performs one guarded DML statement per row, and
+// which `analysis::depend` certified `Batchable`, becomes a `ForeachDml`
+// value: the driving scan plus a relational description of the per-row
+// write, with every per-iteration expression translated to an
+// `algebra::Scalar` over the cursor alias. `rules::fold_dml` may then
+// simplify it, and `sqlgen::dml_to_sql` lowers it to one set-oriented DML
+// statement.
+// ===========================================================================
+
+use algebra::scalar::{BinOp, ColRef, Lit, Scalar, ScalarFunc, UnOp};
+use analysis::depend::{DmlSite, DmlTemplate, TemplateVal};
+use imp::ast::{BinaryOp, Expr, Literal, UnaryOp};
+
+/// The driving scan of a write loop: the cursor's source table, the alias
+/// row expressions are phrased over, the residual predicate (driving
+/// `WHERE` plus loop guards), and the `imp` expressions bound to `?`
+/// parameter ordinals appearing anywhere in the form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmlSource {
+    /// Base table the cursor iterates.
+    pub table: String,
+    /// Alias qualifying cursor-field column references.
+    pub alias: String,
+    /// Selection predicate (driving query `WHERE` ∧ guards), if any.
+    pub pred: Option<Scalar>,
+    /// Program expressions bound to `Scalar::Param(i)` ordinals.
+    pub params: Vec<Expr>,
+    /// Single-column unique key of the driving table.
+    pub key: String,
+}
+
+/// F-IR of a batchable foreach-dml loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForeachDml {
+    /// Per-row `UPDATE target SET … WHERE key_col = cursor.key`.
+    Update {
+        /// Table written.
+        target: String,
+        /// Target column the per-row `WHERE` matches against the cursor key.
+        key_col: String,
+        /// `SET` items as scalars over the cursor alias.
+        sets: Vec<(String, Scalar)>,
+        /// Driving scan.
+        source: DmlSource,
+    },
+    /// Per-row `INSERT INTO target [(columns)] VALUES (…)`.
+    Insert {
+        /// Table written.
+        target: String,
+        /// Explicit column list; empty means positional.
+        columns: Vec<String>,
+        /// Inserted values as scalars over the cursor alias.
+        values: Vec<Scalar>,
+        /// Driving scan.
+        source: DmlSource,
+    },
+    /// Per-row `DELETE FROM target WHERE key_col = cursor.field`.
+    Delete {
+        /// Table written.
+        target: String,
+        /// Target column matched per row.
+        key_col: String,
+        /// Cursor field producing the key (a `Scalar::Col` over the alias).
+        key: Scalar,
+        /// Driving scan.
+        source: DmlSource,
+    },
+    /// `DELETE FROM target WHERE pred` — the predicate-folded form
+    /// produced by `rules::fold_dml` when the loop deletes its own driving
+    /// rows by their unique key (the scan and subquery collapse away).
+    DeleteFold {
+        /// Table written (= the driving table).
+        target: String,
+        /// Driving scan; only `pred`/`params` remain meaningful.
+        source: DmlSource,
+    },
+}
+
+impl ForeachDml {
+    /// The written table.
+    pub fn target(&self) -> &str {
+        match self {
+            ForeachDml::Update { target, .. }
+            | ForeachDml::Insert { target, .. }
+            | ForeachDml::Delete { target, .. }
+            | ForeachDml::DeleteFold { target, .. } => target,
+        }
+    }
+
+    /// The driving scan.
+    pub fn source(&self) -> &DmlSource {
+        match self {
+            ForeachDml::Update { source, .. }
+            | ForeachDml::Insert { source, .. }
+            | ForeachDml::Delete { source, .. }
+            | ForeachDml::DeleteFold { source, .. } => source,
+        }
+    }
+}
+
+impl std::fmt::Display for ForeachDml {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let src = self.source();
+        let pred = src
+            .pred
+            .as_ref()
+            .map(|p| format!(" | {p:?}"))
+            .unwrap_or_default();
+        match self {
+            ForeachDml::Update {
+                target,
+                key_col,
+                sets,
+                ..
+            } => {
+                let items: Vec<String> = sets.iter().map(|(c, v)| format!("{c} ≔ {v:?}")).collect();
+                write!(
+                    f,
+                    "foreach-dml[{} as {}{pred}] update {target}⟨{key_col}⟩ {{{}}}",
+                    src.table,
+                    src.alias,
+                    items.join(", ")
+                )
+            }
+            ForeachDml::Insert {
+                target,
+                columns,
+                values,
+                ..
+            } => {
+                let vals: Vec<String> = values.iter().map(|v| format!("{v:?}")).collect();
+                write!(
+                    f,
+                    "foreach-dml[{} as {}{pred}] insert {target}({}) ⟨{}⟩",
+                    src.table,
+                    src.alias,
+                    columns.join(", "),
+                    vals.join(", ")
+                )
+            }
+            ForeachDml::Delete {
+                target,
+                key_col,
+                key,
+                ..
+            } => write!(
+                f,
+                "foreach-dml[{} as {}{pred}] delete {target}⟨{key_col} = {key:?}⟩",
+                src.table, src.alias
+            ),
+            ForeachDml::DeleteFold { target, .. } => {
+                write!(f, "delete-fold {target}{pred}")
+            }
+        }
+    }
+}
+
+/// Translate an `imp` expression from a write-loop body into a scalar over
+/// the cursor alias. Cursor fields become qualified column references;
+/// loop-invariant subexpressions rooted at variables become `?` parameters
+/// (deduplicated structurally); pure builtins map to their SQL functions.
+/// Errors carry the reason the loop must stay imperative (`W010`).
+pub fn expr_to_scalar(
+    e: &Expr,
+    cursor: intern::Symbol,
+    alias: &str,
+    params: &mut Vec<Expr>,
+) -> Result<Scalar, String> {
+    let mut param = |e: &Expr| -> Scalar {
+        if let Some(i) = params.iter().position(|p| p == e) {
+            Scalar::Param(i)
+        } else {
+            params.push(e.clone());
+            Scalar::Param(params.len() - 1)
+        }
+    };
+    match e {
+        Expr::Lit(l) => Ok(Scalar::Lit(match l {
+            Literal::Null => Lit::Null,
+            Literal::Bool(b) => Lit::Bool(*b),
+            Literal::Int(i) => Lit::Int(*i),
+            Literal::Float(v) => Lit::float(*v),
+            Literal::Str(s) => Lit::Str(s.clone()),
+        })),
+        Expr::Var(v) if *v == cursor => Err(format!(
+            "the whole cursor row `{v}` is used as a value, not a field of it"
+        )),
+        Expr::Var(_) => Ok(param(e)),
+        Expr::Field(base, field) => match base.as_ref() {
+            Expr::Var(v) if *v == cursor => Ok(Scalar::Col(ColRef {
+                qualifier: Some(alias.to_string()),
+                column: field.as_str().to_lowercase(),
+            })),
+            _ => Err(format!(
+                "field access `{}` is not on the loop cursor",
+                imp::pretty::pretty_expr(e)
+            )),
+        },
+        Expr::Unary(op, x) => {
+            let sx = expr_to_scalar(x, cursor, alias, params)?;
+            Ok(Scalar::Un(
+                match op {
+                    UnaryOp::Neg => UnOp::Neg,
+                    UnaryOp::Not => UnOp::Not,
+                },
+                Box::new(sx),
+            ))
+        }
+        Expr::Binary(op, l, r) => {
+            let sl = expr_to_scalar(l, cursor, alias, params)?;
+            let sr = expr_to_scalar(r, cursor, alias, params)?;
+            let bop = match op {
+                BinaryOp::Add => BinOp::Add,
+                BinaryOp::Sub => BinOp::Sub,
+                BinaryOp::Mul => BinOp::Mul,
+                BinaryOp::Div => BinOp::Div,
+                BinaryOp::Mod => BinOp::Mod,
+                BinaryOp::Eq => BinOp::Eq,
+                BinaryOp::Ne => BinOp::Ne,
+                BinaryOp::Lt => BinOp::Lt,
+                BinaryOp::Le => BinOp::Le,
+                BinaryOp::Gt => BinOp::Gt,
+                BinaryOp::Ge => BinOp::Ge,
+                BinaryOp::And => BinOp::And,
+                BinaryOp::Or => BinOp::Or,
+            };
+            Ok(Scalar::Bin(bop, Box::new(sl), Box::new(sr)))
+        }
+        Expr::Ternary(c, t, o) => {
+            let sc = expr_to_scalar(c, cursor, alias, params)?;
+            let st = expr_to_scalar(t, cursor, alias, params)?;
+            let so = expr_to_scalar(o, cursor, alias, params)?;
+            Ok(Scalar::Case {
+                arms: vec![(sc, st)],
+                otherwise: Box::new(so),
+            })
+        }
+        Expr::Call { name, args } => {
+            let func = match name.as_str() {
+                "max" => ScalarFunc::Greatest,
+                "min" => ScalarFunc::Least,
+                "abs" => ScalarFunc::Abs,
+                "concat" => ScalarFunc::Concat,
+                "lower" => ScalarFunc::Lower,
+                "upper" => ScalarFunc::Upper,
+                "length" => ScalarFunc::Length,
+                "coalesce" => ScalarFunc::Coalesce,
+                other => {
+                    return Err(format!("call to `{other}` has no scalar SQL translation"));
+                }
+            };
+            let mut xs = Vec::with_capacity(args.len());
+            for a in args {
+                xs.push(expr_to_scalar(a, cursor, alias, params)?);
+            }
+            Ok(Scalar::Func(func, xs))
+        }
+        Expr::MethodCall { .. } => Err(format!(
+            "method call `{}` has no scalar SQL translation",
+            imp::pretty::pretty_expr(e)
+        )),
+    }
+}
+
+/// Parse a raw template token (a SQL literal as it appeared in the DML
+/// string) into a scalar literal.
+fn template_lit(tok: &str) -> Result<Scalar, String> {
+    let t = tok.trim();
+    if t.eq_ignore_ascii_case("null") {
+        return Ok(Scalar::Lit(Lit::Null));
+    }
+    if t.eq_ignore_ascii_case("true") {
+        return Ok(Scalar::Lit(Lit::Bool(true)));
+    }
+    if t.eq_ignore_ascii_case("false") {
+        return Ok(Scalar::Lit(Lit::Bool(false)));
+    }
+    if let Some(s) = t.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        return Ok(Scalar::Lit(Lit::Str(s.to_string())));
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Scalar::Lit(Lit::Int(i)));
+    }
+    if let Ok(v) = t.parse::<f64>() {
+        return Ok(Scalar::Lit(Lit::float(v)));
+    }
+    Err(format!("SQL literal `{t}` has no scalar translation"))
+}
+
+/// Convert a certified-batchable DML site into the F-IR `ForeachDml` form.
+///
+/// `source` carries the driving scan (with any `?` ordinals of the driving
+/// predicate already occupying the front of `source.params`); the site's
+/// argument expressions and guards are translated onto the same parameter
+/// list. Errors name the construct that resists translation — the caller
+/// reports them as `W010` (batchable but not extracted).
+pub fn loop_to_dml(
+    site: &DmlSite,
+    cursor: intern::Symbol,
+    mut source: DmlSource,
+) -> Result<ForeachDml, String> {
+    let alias = source.alias.clone();
+    // A template value is either the raw SQL literal or `?i` resolved
+    // through the call's argument expressions.
+    let resolve = |v: &TemplateVal, params: &mut Vec<Expr>| -> Result<Scalar, String> {
+        match v {
+            TemplateVal::Lit(tok) => template_lit(tok),
+            TemplateVal::Param(i) => {
+                let arg = site
+                    .args
+                    .get(*i)
+                    .ok_or_else(|| format!("DML statement references missing argument ?{i}"))?;
+                expr_to_scalar(arg, cursor, &alias, params)
+            }
+        }
+    };
+    // Guards become conjuncts of the driving predicate. A guard reached
+    // through an `else` branch executes exactly when the condition is
+    // *not taken* — false OR NULL under the interpreter's "NULL is not
+    // taken" rule — so plain three-valued `NOT g` (which drops NULL rows)
+    // would miscompile it; `NOT COALESCE(g, FALSE)` matches exactly.
+    for (cond, taken) in &site.guards {
+        let g = expr_to_scalar(cond, cursor, &alias, &mut source.params)
+            .map_err(|e| format!("loop guard is not translatable: {e}"))?;
+        let g = if *taken {
+            g
+        } else {
+            Scalar::Un(
+                UnOp::Not,
+                Box::new(Scalar::Func(
+                    ScalarFunc::Coalesce,
+                    vec![g, Scalar::Lit(Lit::Bool(false))],
+                )),
+            )
+        };
+        source.pred = Some(match source.pred.take() {
+            Some(p) => Scalar::Bin(BinOp::And, Box::new(p), Box::new(g)),
+            None => g,
+        });
+    }
+    match &site.template {
+        DmlTemplate::Update {
+            table,
+            sets,
+            where_eq,
+        } => {
+            let Some((key_col, key_val)) = where_eq else {
+                return Err("`UPDATE` has no per-row key predicate".to_string());
+            };
+            // depend certified the key as `cursor.<driving key>`; re-derive
+            // the column reference to keep this function self-contained.
+            match resolve(key_val, &mut source.params)? {
+                Scalar::Col(_) => {}
+                other => {
+                    return Err(format!(
+                        "`UPDATE` key `{key_col}` is matched against {other:?}, \
+                         not a cursor field"
+                    ));
+                }
+            }
+            let mut out = Vec::with_capacity(sets.len());
+            for (col, val) in sets {
+                out.push((col.clone(), resolve(val, &mut source.params)?));
+            }
+            Ok(ForeachDml::Update {
+                target: table.clone(),
+                key_col: key_col.clone(),
+                sets: out,
+                source,
+            })
+        }
+        DmlTemplate::Insert {
+            table,
+            columns,
+            values,
+        } => {
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                out.push(resolve(v, &mut source.params)?);
+            }
+            Ok(ForeachDml::Insert {
+                target: table.clone(),
+                columns: columns.clone().unwrap_or_default(),
+                values: out,
+                source,
+            })
+        }
+        DmlTemplate::Delete { table, where_eq } => {
+            let Some((key_col, key_val)) = where_eq else {
+                return Err("`DELETE` has no per-row key predicate".to_string());
+            };
+            let key = match resolve(key_val, &mut source.params)? {
+                c @ Scalar::Col(_) => c,
+                other => {
+                    return Err(format!(
+                        "`DELETE` key `{key_col}` is matched against {other:?}, \
+                         not a cursor field"
+                    ));
+                }
+            };
+            Ok(ForeachDml::Delete {
+                target: table.clone(),
+                key_col: key_col.clone(),
+                key,
+                source,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

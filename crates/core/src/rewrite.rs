@@ -16,6 +16,9 @@ pub struct RewritePlan {
     pub loop_stmt: StmtId,
     /// Replacement assignments, in order.
     pub assigns: Vec<(Symbol, Expr)>,
+    /// Replacement expression statements (set-oriented `executeUpdate`
+    /// calls from foreach-dml extraction), emitted after the assignments.
+    pub dml: Vec<Expr>,
 }
 
 /// Check that every variable in `inputs` is safe to reference at the loop
@@ -112,27 +115,32 @@ fn replace_in_block(b: &mut Block, plan: &RewritePlan, next_id: &mut u32) -> boo
     for i in 0..b.stmts.len() {
         if b.stmts[i].id == plan.loop_stmt {
             let span = b.stmts[i].span;
-            let new: Vec<Stmt> = plan
+            // Placeholder ids counting down from u32::MAX, renumbered by
+            // the caller. They must be *distinct* (across plans too): the
+            // dead-code pass keys per-statement liveness facts by id
+            // before the renumber happens.
+            let mut fresh = || {
+                let id = StmtId(*next_id);
+                *next_id -= 1;
+                id
+            };
+            let mut new: Vec<Stmt> = plan
                 .assigns
                 .iter()
-                .map(|(v, e)| {
-                    // Placeholder ids counting down from u32::MAX,
-                    // renumbered by the caller. They must be *distinct*
-                    // (across plans too): the dead-code pass keys
-                    // per-statement liveness facts by id before the
-                    // renumber happens.
-                    let id = StmtId(*next_id);
-                    *next_id -= 1;
-                    Stmt {
-                        id,
-                        kind: StmtKind::Assign {
-                            target: *v,
-                            value: e.clone(),
-                        },
-                        span,
-                    }
+                .map(|(v, e)| Stmt {
+                    id: fresh(),
+                    kind: StmtKind::Assign {
+                        target: *v,
+                        value: e.clone(),
+                    },
+                    span,
                 })
                 .collect();
+            new.extend(plan.dml.iter().map(|e| Stmt {
+                id: fresh(),
+                kind: StmtKind::Expr(e.clone()),
+                span,
+            }));
             b.stmts.splice(i..=i, new);
             return true;
         }
@@ -203,6 +211,7 @@ mod tests {
                     vec![Expr::str("SELECT COALESCE(SUM(x), 0) AS agg0 FROM t")],
                 ),
             )],
+            dml: Vec::new(),
         };
         let mut f = p.functions.remove(0);
         assert_eq!(apply_plans(&mut f, &[plan]), 1);

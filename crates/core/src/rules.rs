@@ -1683,3 +1683,91 @@ impl<'d, 'c> ScalarBuild<'d, 'c> {
         self.catalog
     }
 }
+
+// ===========================================================================
+// foreach-dml rules (DESIGN.md §5i).
+// ===========================================================================
+
+/// Simplify a [`crate::fir::ForeachDml`] form in place; returns the names
+/// of the rules that fired (recorded in the extraction rule trace).
+///
+/// **DML-DELETE-FOLD** — a loop that deletes its *own* driving rows by the
+/// driving table's unique key,
+/// `for (e in σ_p(t)) DELETE FROM t WHERE k = e.k` with `k` the unique key
+/// of `t`, is exactly `DELETE FROM t WHERE p`: the subquery re-selects the
+/// row being deleted, so the `IN` test collapses into the predicate. The
+/// key must be declared `NOT NULL` — a NULL key never matches the per-row
+/// `k = e.k` probe (the loop keeps the row) while the folded predicate
+/// would delete it.
+pub fn fold_dml(dml: &mut crate::fir::ForeachDml, catalog: &Catalog) -> Vec<&'static str> {
+    use crate::fir::ForeachDml;
+    let mut fired = Vec::new();
+    let folds = match dml {
+        ForeachDml::Delete {
+            target,
+            key_col,
+            key,
+            source,
+        } => {
+            let key_matches = matches!(
+                key,
+                Scalar::Col(c)
+                    if c.column == source.key
+                        && c.qualifier.as_deref() == Some(source.alias.as_str())
+            );
+            *target == source.table
+                && *key_col == source.key
+                && key_matches
+                && catalog.get(&source.table).is_some_and(|t| {
+                    t.key == [source.key.clone()] && !t.column_nullable(&source.key)
+                })
+        }
+        _ => false,
+    };
+    if folds {
+        if let ForeachDml::Delete { target, source, .. } = dml {
+            let mut src = source.clone();
+            // The folded statement has no cursor: re-phrase predicate
+            // columns as unqualified references to the target table.
+            if let Some(p) = src.pred.take() {
+                src.pred = Some(strip_qualifier(p, &src.alias));
+            }
+            *dml = ForeachDml::DeleteFold {
+                target: target.clone(),
+                source: src,
+            };
+            fired.push("DML-DELETE-FOLD");
+        }
+    }
+    fired
+}
+
+/// Drop the given alias qualifier from every column reference of a scalar.
+fn strip_qualifier(s: Scalar, alias: &str) -> Scalar {
+    match s {
+        Scalar::Col(mut c) => {
+            if c.qualifier.as_deref() == Some(alias) {
+                c.qualifier = None;
+            }
+            Scalar::Col(c)
+        }
+        Scalar::Bin(op, l, r) => Scalar::Bin(
+            op,
+            Box::new(strip_qualifier(*l, alias)),
+            Box::new(strip_qualifier(*r, alias)),
+        ),
+        Scalar::Un(op, x) => Scalar::Un(op, Box::new(strip_qualifier(*x, alias))),
+        Scalar::Func(f, xs) => Scalar::Func(
+            f,
+            xs.into_iter().map(|x| strip_qualifier(x, alias)).collect(),
+        ),
+        Scalar::Case { arms, otherwise } => Scalar::Case {
+            arms: arms
+                .into_iter()
+                .map(|(c, v)| (strip_qualifier(c, alias), strip_qualifier(v, alias)))
+                .collect(),
+            otherwise: Box::new(strip_qualifier(*otherwise, alias)),
+        },
+        other => other,
+    }
+}

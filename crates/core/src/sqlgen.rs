@@ -197,3 +197,140 @@ fn op_to_imp(op: OpKind, mut args: Vec<Expr>) -> Result<Expr, SqlGenError> {
         )),
     }
 }
+
+// ===========================================================================
+// foreach-dml lowering (DESIGN.md §5i).
+// ===========================================================================
+
+use algebra::ra::{ProjItem, RaExpr};
+use algebra::scalar::Scalar;
+
+use crate::fir::{DmlSource, ForeachDml};
+
+/// Wrap the driving scan into a relational subselect with the given
+/// projection items.
+fn source_select(src: &DmlSource, items: Vec<ProjItem>) -> RaExpr {
+    let table = RaExpr::Table {
+        name: src.table.clone(),
+        alias: Some(src.alias.clone()),
+    };
+    let scanned = match &src.pred {
+        Some(p) => RaExpr::Select {
+            input: Box::new(table),
+            pred: p.clone(),
+        },
+        None => table,
+    };
+    RaExpr::Project {
+        input: Box::new(scanned),
+        items,
+    }
+}
+
+/// Lower a [`ForeachDml`] form to one set-oriented DML statement plus the
+/// program expressions bound to its `?` parameters, in textual order.
+///
+/// * `Update` → `UPDATE t SET c = s.v0, … FROM (SELECT e.k AS k0, … ) AS s
+///   WHERE t.key = s.k0` — the subselect carries the cursor key and every
+///   `SET` value; the key is unique, so each target row is matched by at
+///   most one source row (no lost-update ambiguity).
+/// * `Insert` → `INSERT INTO t [(cols)] SELECT …`.
+/// * `Delete` → `DELETE FROM t WHERE c IN (SELECT …)`.
+/// * `DeleteFold` → `DELETE FROM t [WHERE pred]`.
+pub fn dml_to_sql(
+    dml: &ForeachDml,
+    dialect: algebra::Dialect,
+) -> Result<(String, Vec<imp::ast::Expr>), SqlGenError> {
+    use algebra::render::to_sql_with_params;
+    let src = dml.source();
+    let bind = |order: Vec<usize>| -> Result<Vec<imp::ast::Expr>, SqlGenError> {
+        order
+            .into_iter()
+            .map(|i| {
+                src.params.get(i).cloned().ok_or_else(|| {
+                    SqlGenError::Invariant(format!("DML parameter ?{i} has no bound expression"))
+                })
+            })
+            .collect()
+    };
+    match dml {
+        ForeachDml::Update {
+            target,
+            key_col,
+            sets,
+            source,
+        } => {
+            let mut items = vec![ProjItem::new(
+                Scalar::Col(algebra::scalar::ColRef {
+                    qualifier: Some(source.alias.clone()),
+                    column: source.key.clone(),
+                }),
+                "k0",
+            )];
+            let mut assigns = Vec::with_capacity(sets.len());
+            for (i, (col, val)) in sets.iter().enumerate() {
+                items.push(ProjItem::new(val.clone(), format!("v{i}")));
+                assigns.push(format!("{col} = s.v{i}"));
+            }
+            let (sub, order) = to_sql_with_params(&source_select(src, items), dialect);
+            let sql = format!(
+                "UPDATE {target} SET {} FROM ({sub}) AS s WHERE {target}.{key_col} = s.k0",
+                assigns.join(", ")
+            );
+            Ok((sql, bind(order)?))
+        }
+        ForeachDml::Insert {
+            target,
+            columns,
+            values,
+            ..
+        } => {
+            let items = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let alias = columns.get(i).cloned().unwrap_or_else(|| format!("c{i}"));
+                    ProjItem::new(v.clone(), alias)
+                })
+                .collect();
+            let (sub, order) = to_sql_with_params(&source_select(src, items), dialect);
+            let cols = if columns.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", columns.join(", "))
+            };
+            let sql = format!("INSERT INTO {target}{cols} {sub}");
+            Ok((sql, bind(order)?))
+        }
+        ForeachDml::Delete {
+            target,
+            key_col,
+            key,
+            source,
+        } => {
+            let items = vec![ProjItem::new(key.clone(), "k0")];
+            let (sub, order) = to_sql_with_params(&source_select(source, items), dialect);
+            let sql = format!("DELETE FROM {target} WHERE {key_col} IN ({sub})");
+            Ok((sql, bind(order)?))
+        }
+        ForeachDml::DeleteFold { target: _, source } => {
+            let table = RaExpr::Table {
+                name: source.table.clone(),
+                alias: None,
+            };
+            let ra = match &source.pred {
+                Some(p) => RaExpr::Select {
+                    input: Box::new(table),
+                    pred: p.clone(),
+                },
+                None => table,
+            };
+            let (sel, order) = to_sql_with_params(&ra, dialect);
+            // `σ_p(t)` renders as `SELECT * FROM t [WHERE p]`; the DELETE
+            // form is the same statement with its verb swapped.
+            let sql = sel.replacen("SELECT * FROM", "DELETE FROM", 1);
+            debug_assert!(sql.starts_with("DELETE FROM"));
+            Ok((sql, bind(order)?))
+        }
+    }
+}

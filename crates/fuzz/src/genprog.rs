@@ -309,6 +309,156 @@ pub fn gen_case(seed: u64) -> Case {
     }
 }
 
+/// Generate one write-loop (foreach-dml) fuzz case from a seed.
+///
+/// The body shapes cover the whole verdict space: keyed UPDATEs, INSERTs
+/// into a keyless `log` table, and keyed DELETEs are batchable — the
+/// extracted statement must leave identical final table contents — while
+/// carried-scalar, non-key-UPDATE, and two-site shapes must be kept and
+/// blamed with exactly one `E010`/`W010`. Every program has exactly one
+/// non-nested loop and no prints inside its body, so the oracle's
+/// exactness contract on blame diagnostics is checkable by counting.
+pub fn gen_dml_case(seed: u64) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Write-loop schema: keyed driving table `t` plus a keyless `log` sink.
+    let mut ddl = String::from("CREATE TABLE t (id INT PRIMARY KEY, g INT");
+    let mut int_cols = vec![("g".to_string(), false)];
+    for name in ["a", "b"] {
+        let nullable = rng.gen_range(0..100u32) < 40;
+        ddl.push_str(&format!(
+            ", {name} INT{}",
+            if nullable { " NULL" } else { "" }
+        ));
+        int_cols.push((name.to_string(), nullable));
+    }
+    let has_text = rng.gen_bool(0.3);
+    if has_text {
+        ddl.push_str(", s TEXT NULL");
+    }
+    ddl.push_str(");\n");
+    ddl.push_str(&format!(
+        "CREATE TABLE log (k INT, v INT{});\n",
+        if rng.gen_bool(0.5) { " NULL" } else { "" }
+    ));
+    let s = GenSchema {
+        ddl,
+        int_cols,
+        has_text,
+        has_u: false,
+    };
+
+    let rows = rng.gen_range(1..9) as usize;
+    let data = gen_data(&s.ddl, rows, rng.gen_range(0..i64::MAX) as u64, 30);
+
+    let has_param = rng.gen_bool(0.5);
+    let args = if has_param {
+        vec![rng.gen_range(-5..6i64)]
+    } else {
+        Vec::new()
+    };
+
+    let query = {
+        let mut q = String::from("SELECT * FROM t");
+        if rng.gen_bool(0.4) {
+            q.push_str(&format!(" WHERE g >= {}", rng.gen_range(-5..3i64)));
+        }
+        if rng.gen_bool(0.3) {
+            q.push_str(" ORDER BY id");
+        }
+        q
+    };
+
+    // Then-branch-only guard: else-branch DML would double the site count.
+    let guarded = |rng: &mut StdRng, s: &GenSchema, stmt: String| -> String {
+        if rng.gen_bool(0.4) {
+            let p = gen_pred(rng, s, has_param, 1);
+            format!("if ({p}) {{ {stmt} }}")
+        } else {
+            stmt
+        }
+    };
+    // Keyed UPDATE of 1–2 non-key columns; SET avoids `g` so the driving
+    // query's WHERE column is never rewritten under the cursor.
+    let keyed_update = |rng: &mut StdRng, s: &GenSchema| -> String {
+        let n_sets = if rng.gen_bool(0.3) { 2 } else { 1 };
+        let mut sets = Vec::new();
+        let mut params = Vec::new();
+        for c in ["a", "b"].iter().take(n_sets) {
+            sets.push(format!("{c} = ?"));
+            params.push(gen_int_expr(rng, s, has_param));
+        }
+        params.push("r.id".to_string());
+        format!(
+            "executeUpdate(\"UPDATE t SET {} WHERE id = ?\", {});",
+            sets.join(", "),
+            params.join(", ")
+        )
+    };
+    let insert_log = |rng: &mut StdRng, s: &GenSchema| -> String {
+        let v = gen_int_expr(rng, s, has_param);
+        format!("executeUpdate(\"INSERT INTO log (k, v) VALUES (?, ?)\", r.id, {v});")
+    };
+
+    let mut decls: Vec<String> = Vec::new();
+    let body: String = match rng.gen_range(0..20u32) {
+        // Batchable keyed UPDATE, optionally guarded.
+        0..=7 => {
+            let stmt = keyed_update(&mut rng, &s);
+            guarded(&mut rng, &s, stmt)
+        }
+        // Batchable INSERT … SELECT into the log table.
+        8..=11 => {
+            let stmt = insert_log(&mut rng, &s);
+            guarded(&mut rng, &s, stmt)
+        }
+        // Batchable keyed DELETE (predicate folds into the driving WHERE).
+        12..=14 => guarded(
+            &mut rng,
+            &s,
+            "executeUpdate(\"DELETE FROM t WHERE id = ?\", r.id);".to_string(),
+        ),
+        // Carried scalar feeding the DML: flow dependence, expect E010.
+        15 | 16 => {
+            decls.push("acc = 0;".to_string());
+            "acc = acc + r.g;\n        \
+             executeUpdate(\"UPDATE t SET a = ? WHERE id = ?\", acc, r.id);"
+                .to_string()
+        }
+        // UPDATE keyed on a non-key column: output dependence, expect E010.
+        17 | 18 => {
+            let v = gen_int_expr(&mut rng, &s, has_param);
+            format!("executeUpdate(\"UPDATE t SET a = ? WHERE g = ?\", {v}, r.g);")
+        }
+        // Two DML sites in one body: extraction refuses, expect W010.
+        _ => {
+            let u = keyed_update(&mut rng, &s);
+            let i = insert_log(&mut rng, &s);
+            format!("{u}\n        {i}")
+        }
+    };
+
+    let mut src = String::from("fn main(");
+    if has_param {
+        src.push('x');
+    }
+    src.push_str(") {\n");
+    for d in &decls {
+        src.push_str(&format!("    {d}\n"));
+    }
+    src.push_str(&format!("    for (r in executeQuery(\"{query}\")) {{\n"));
+    src.push_str(&format!("        {body}\n"));
+    src.push_str("    }\n    return 0;\n}\n");
+
+    Case {
+        ddl: s.ddl,
+        data,
+        program: src,
+        function: "main".to_string(),
+        args,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +467,25 @@ mod tests {
     fn generation_is_deterministic() {
         for seed in 0..50 {
             assert_eq!(gen_case(seed), gen_case(seed), "seed {seed}");
+            assert_eq!(gen_dml_case(seed), gen_dml_case(seed), "dml seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_dml_programs_parse_and_write() {
+        for seed in 0..200 {
+            let c = gen_dml_case(seed);
+            algebra::ddl::parse_ddl(&c.ddl)
+                .unwrap_or_else(|e| panic!("seed {seed}: bad DDL: {e:?}\n{}", c.ddl));
+            let p = imp::parse_program(&c.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: bad program: {e:?}\n{}", c.program));
+            let has_dml = c.program.contains("executeUpdate");
+            assert!(
+                has_dml,
+                "seed {seed}: write-loop case without DML\n{}",
+                c.program
+            );
+            assert_eq!(p.functions.len(), 1);
         }
     }
 

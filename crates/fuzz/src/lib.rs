@@ -18,7 +18,7 @@ pub mod shrink;
 
 use std::path::PathBuf;
 
-pub use genprog::gen_case;
+pub use genprog::{gen_case, gen_dml_case};
 pub use oracle::{
     run_case, run_case_with, Case, CaseOutcome, Divergence, DivergenceKind, OracleOptions,
 };
@@ -49,6 +49,11 @@ pub struct FuzzConfig {
     pub store: bool,
     /// Extra generated rows appended per table in store mode.
     pub store_rows: usize,
+    /// Generate write loops (foreach-dml) instead of read loops and compare
+    /// final table contents. Incompatible with `store` (clones of a paged
+    /// database alias one pager, so the two differential sides would
+    /// interfere); callers must reject the combination up front.
+    pub dml: bool,
 }
 
 impl Default for FuzzConfig {
@@ -61,6 +66,7 @@ impl Default for FuzzConfig {
             max_divergences: 0,
             store: false,
             store_rows: 256,
+            dml: false,
         }
     }
 }
@@ -110,11 +116,16 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let opts = OracleOptions {
         store: cfg.store,
         extra_rows: if cfg.store { cfg.store_rows } else { 0 },
+        dml: cfg.dml,
     };
     let mut report = FuzzReport::default();
     for i in 0..cfg.iters {
         let seed = iter_seed(cfg.seed, i);
-        let case = gen_case(seed);
+        let case = if cfg.dml {
+            gen_dml_case(seed)
+        } else {
+            gen_case(seed)
+        };
         report.iterations += 1;
         match run_case_with(&case, &opts) {
             CaseOutcome::Agree { extracted } => {
@@ -200,6 +211,32 @@ mod tests {
         );
         assert_eq!(a.skipped, 0, "generator must not produce broken cases");
         assert!(a.extracted > 0, "fuzzing must exercise actual extractions");
+    }
+
+    #[test]
+    fn dml_mode_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            iters: 80,
+            dml: true,
+            ..FuzzConfig::default()
+        };
+        let a = run_fuzz(&cfg);
+        let b = run_fuzz(&cfg);
+        assert_eq!(a.extracted, b.extracted);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        assert_eq!(a.skipped, 0, "dml generator must not produce broken cases");
+        assert!(
+            a.extracted > 0,
+            "dml mode must exercise foreach-dml rewrites"
+        );
+        assert!(
+            a.clean(),
+            "write-loop differential diverged: {:?}",
+            a.divergences
+                .first()
+                .map(|d| (&d.divergence, &d.case.program))
+        );
     }
 
     #[test]

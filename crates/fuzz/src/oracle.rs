@@ -47,12 +47,17 @@ pub enum DivergenceKind {
     Result,
     /// Returned values agree but the `print` transcripts differ.
     Output,
+    /// Both runs returned, but left different final table contents behind
+    /// (write-loop fuzzing: the batched DML statement changed state
+    /// differently from the original loop).
+    State,
     /// One side returned a value, the other a runtime error.
     Error,
     /// One side panicked.
     Panic,
-    /// The lint pipeline broke its contract: it panicked, or a rejected
-    /// cursor loop carried no `W007` blame diagnostic.
+    /// The lint pipeline broke its contract: it panicked, a rejected
+    /// cursor loop carried no `W007` blame diagnostic, or a kept write
+    /// loop carried no (or more than one) `E010`/`W010` verdict.
     Lint,
 }
 
@@ -61,6 +66,7 @@ impl fmt::Display for DivergenceKind {
         let s = match self {
             DivergenceKind::Result => "result",
             DivergenceKind::Output => "output",
+            DivergenceKind::State => "state",
             DivergenceKind::Error => "error",
             DivergenceKind::Panic => "panic",
             DivergenceKind::Lint => "lint",
@@ -103,6 +109,12 @@ pub struct OracleOptions {
     /// offset far above the case's literal data so unique-key
     /// preconditions (T4.1, T5.2) still hold. Pushes tables past one page.
     pub extra_rows: usize,
+    /// Write-loop (foreach-dml) fuzzing: compare the final table contents
+    /// of the two runs, and hold the lint pipeline to the E010/W010 blame
+    /// contract on kept write loops. Incompatible with `store` — clones of
+    /// a paged database alias one pager, so the two sides of a write-loop
+    /// differential would interfere.
+    pub dml: bool,
 }
 
 /// Frame budget for store-mode fuzzing: small enough that amplified tables
@@ -145,10 +157,12 @@ fn build_db(
     Ok((catalog, db))
 }
 
-type RunOut = Result<(Result<RtValue, String>, Vec<String>), String>;
+type RunOut = Result<(Result<RtValue, String>, Vec<String>, Database), String>;
 
 /// Interpret `program.function(args)` against a copy of `db`, trapping
 /// panics. Outer `Err` = panic (payload text); inner `Err` = runtime error.
+/// The returned [`Database`] is the run's final state (for write-loop
+/// differentials).
 fn interpret(program: &imp::ast::Program, function: &str, args: &[i64], db: &Database) -> RunOut {
     let db = db.clone();
     let args: Vec<RtValue> = args.iter().map(|i| RtValue::int(*i)).collect();
@@ -156,9 +170,59 @@ fn interpret(program: &imp::ast::Program, function: &str, args: &[i64], db: &Dat
     catch_unwind(AssertUnwindSafe(move || {
         let mut it = Interp::new(program, Connection::new(db));
         let r = it.call(&function, args).map_err(|e| e.to_string());
-        (r, it.output.clone())
+        let out = it.output.clone();
+        (r, out, std::mem::take(&mut it.conn.db))
     }))
     .map_err(|p| panic_text(&p))
+}
+
+/// Final table contents, per table, as lexicographically sorted rows —
+/// order-insensitive multiset comparison (`Value::sort_cmp` is a total
+/// order with NULL first, so two equal multisets sort identically).
+fn table_states(
+    catalog: &algebra::schema::Catalog,
+    db: &Database,
+) -> std::collections::BTreeMap<String, Vec<Vec<dbms::Value>>> {
+    let mut out = std::collections::BTreeMap::new();
+    for schema in catalog.tables() {
+        let mut rows: Vec<Vec<dbms::Value>> = db
+            .table(&schema.name)
+            .map(|t| t.rows_vec())
+            .unwrap_or_default();
+        rows.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x.sort_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out.insert(schema.name.clone(), rows);
+    }
+    out
+}
+
+/// First difference between two final states, as a human-readable line.
+fn state_diff(catalog: &algebra::schema::Catalog, a: &Database, b: &Database) -> Option<String> {
+    let (sa, sb) = (table_states(catalog, a), table_states(catalog, b));
+    for (name, ra) in &sa {
+        let rb = &sb[name];
+        if ra.len() != rb.len() {
+            return Some(format!(
+                "table `{name}`: interp left {} row(s), extracted SQL left {}",
+                ra.len(),
+                rb.len()
+            ));
+        }
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            let eq = x.len() == y.len() && x.iter().zip(y.iter()).all(|(u, v)| u.group_eq(v));
+            if !eq {
+                return Some(format!(
+                    "table `{name}`: interp row {x:?} vs extracted row {y:?}"
+                ));
+            }
+        }
+    }
+    None
 }
 
 fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
@@ -222,7 +286,7 @@ pub fn run_case_with(case: &Case, opts: &OracleOptions) -> CaseOutcome {
     // generated program, and every cursor loop extraction rejected must be
     // blamed with a `W007` diagnostic (lint coverage contract, not just
     // extraction correctness).
-    if let Some(d) = check_lint(&program, &catalog, case, &report) {
+    if let Some(d) = check_lint(&program, &catalog, case, &report, opts) {
         return CaseOutcome::Diverged(d);
     }
     if !report.changed() {
@@ -254,6 +318,14 @@ pub fn run_case_with(case: &Case, opts: &OracleOptions) -> CaseOutcome {
                         orig.1, rewritten.1
                     ),
                 })
+            } else if opts.dml {
+                match state_diff(&catalog, &orig.2, &rewritten.2) {
+                    Some(d) => CaseOutcome::Diverged(Divergence {
+                        kind: DivergenceKind::State,
+                        detail: d,
+                    }),
+                    None => CaseOutcome::Agree { extracted: true },
+                }
             } else {
                 CaseOutcome::Agree { extracted: true }
             }
@@ -299,14 +371,70 @@ fn outermost_cursor_loops(f: &imp::ast::Function) -> usize {
     n
 }
 
+/// Outermost cursor loops whose body calls `executeUpdate` — the loops the
+/// foreach-dml pipeline owes exactly one `E010`/`W010` verdict each when
+/// they stay imperative.
+fn outermost_write_loops(f: &imp::ast::Function) -> usize {
+    use imp::ast::{Block, Expr, StmtKind};
+    fn expr_has(e: &Expr) -> bool {
+        let mut found = false;
+        e.walk(&mut |x| {
+            if let Expr::Call { name, .. } = x {
+                if name == "executeUpdate" {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+    fn has_dml(b: &Block) -> bool {
+        b.stmts.iter().any(|s| match &s.kind {
+            StmtKind::Assign { value, .. } => expr_has(value),
+            StmtKind::Expr(e) => expr_has(e),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => expr_has(cond) || has_dml(then_branch) || has_dml(else_branch),
+            StmtKind::ForEach { iterable, body, .. } => expr_has(iterable) || has_dml(body),
+            StmtKind::While { cond, body } => expr_has(cond) || has_dml(body),
+            StmtKind::Return(e) => e.as_ref().is_some_and(expr_has),
+            StmtKind::Print(es) => es.iter().any(expr_has),
+            StmtKind::Break | StmtKind::Continue => false,
+        })
+    }
+    fn walk(b: &Block, n: &mut usize) {
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::ForEach { body, .. } if has_dml(body) => *n += 1,
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, n);
+                    walk(else_branch, n);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut n = 0;
+    walk(&f.body, &mut n);
+    n
+}
+
 /// Run the lint pipeline over the case's program and check its contract:
-/// no panics, and at least as many `W007` blame diagnostics for the target
-/// function as it has non-rewritten outermost cursor loops.
+/// no panics, and at least as many blame diagnostics (`W007`, or
+/// `E010`/`W010` for write loops) for the target function as it has
+/// non-rewritten outermost cursor loops. In `--dml` mode the contract is
+/// exact: every kept write loop carries exactly one `E010`/`W010`.
 fn check_lint(
     program: &imp::ast::Program,
     catalog: &algebra::schema::Catalog,
     case: &Case,
     report: &eqsql_core::ExtractionReport,
+    opts: &OracleOptions,
 ) -> Option<Divergence> {
     let diags = {
         let program = program.clone();
@@ -323,23 +451,54 @@ fn check_lint(
             }
         }
     };
+    use analysis::diag::Code;
     let f = program.function(&case.function)?;
     let kept = outermost_cursor_loops(f).saturating_sub(report.loops_rewritten);
+    let ours =
+        |d: &&analysis::diag::Diagnostic| d.function.as_deref() == Some(case.function.as_str());
     let blamed = diags
         .iter()
+        .filter(ours)
         .filter(|d| {
-            d.code == analysis::diag::Code::LoopNotExtracted
-                && d.function.as_deref() == Some(case.function.as_str())
+            matches!(
+                d.code,
+                Code::LoopNotExtracted | Code::DmlLoopNotBatchable | Code::DmlLoopNotExtracted
+            )
         })
         .count();
     if blamed < kept {
         return Some(Divergence {
             kind: DivergenceKind::Lint,
             detail: format!(
-                "{kept} cursor loop(s) stayed imperative but only {blamed} carry a W007 \
-                 blame diagnostic"
+                "{kept} cursor loop(s) stayed imperative but only {blamed} carry a \
+                 W007/E010/W010 blame diagnostic"
             ),
         });
+    }
+    if opts.dml {
+        // Exactness: the generator emits no nested loops, so every kept
+        // write loop must carry exactly one E010/W010 verdict — duplicates
+        // or W007 fallbacks on write loops are contract violations.
+        let kept_write = outermost_write_loops(f).saturating_sub(report.loops_rewritten);
+        let dml_blamed = diags
+            .iter()
+            .filter(ours)
+            .filter(|d| {
+                matches!(
+                    d.code,
+                    Code::DmlLoopNotBatchable | Code::DmlLoopNotExtracted
+                )
+            })
+            .count();
+        if dml_blamed != kept_write {
+            return Some(Divergence {
+                kind: DivergenceKind::Lint,
+                detail: format!(
+                    "{kept_write} write loop(s) stayed imperative but {dml_blamed} E010/W010 \
+                     verdict(s) were reported (expected exactly one each)"
+                ),
+            });
+        }
     }
     None
 }

@@ -296,11 +296,13 @@ const MAX_FUZZ_ITERS: u64 = 10_000;
 
 /// `POST /fuzz` — run a bounded differential fuzz sweep in-process.
 ///
-/// Body: `{"seed": N, "iters": N, "store": bool, "store_rows": N}` (all
-/// optional; iters defaults to 200 and is capped at [`MAX_FUZZ_ITERS`]).
-/// `store: true` runs the oracle against the paged storage backend with
-/// `store_rows` amplification rows per table (default 256). Responds with
-/// a summary and the first few divergences; accumulates the
+/// Body: `{"seed": N, "iters": N, "store": bool, "store_rows": N,
+/// "dml": bool}` (all optional; iters defaults to 200 and is capped at
+/// [`MAX_FUZZ_ITERS`]). `store: true` runs the oracle against the paged
+/// storage backend with `store_rows` amplification rows per table (default
+/// 256). `dml: true` fuzzes write loops and compares final table contents;
+/// it cannot be combined with `store` (paged clones alias one pager).
+/// Responds with a summary and the first few divergences; accumulates the
 /// service-lifetime counters that `/metrics` exposes as `eqsql_fuzz_*`.
 fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
     let body = match std::str::from_utf8(&req.body) {
@@ -331,6 +333,10 @@ fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
         .and_then(Json::as_i64)
         .unwrap_or(256)
         .clamp(0, 4096) as usize;
+    let dml = parsed.get("dml").and_then(Json::as_bool).unwrap_or(false);
+    if dml && store {
+        return error_response(400, "dml cannot be combined with store");
+    }
 
     let cfg = fuzz::FuzzConfig {
         seed,
@@ -340,6 +346,7 @@ fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
         max_divergences: 16,
         store,
         store_rows,
+        dml,
     };
     let report = fuzz::run_fuzz(&cfg);
     state.fuzz.absorb(

@@ -11,3 +11,7 @@ CREATE TABLE project (
     owner INT,
     budget INT
 );
+CREATE TABLE payout (
+    emp_id INT,
+    amount INT
+);

@@ -34,11 +34,26 @@ fn assert_fully_certified(label: &str, report: &ExtractionReport) -> CertSummary
         "{label}: undischarged obligation(s):\n{:#?}",
         report.diagnostics
     );
-    let rule_apps: usize = report.vars.iter().map(|v| v.rule_trace.len()).sum();
-    let folds = report.vars.iter().filter(|v| v.fir.is_some()).count();
+    // foreach-dml rows (`dml:<table>`) are certified by ONE differential
+    // state-comparison obligation covering the whole lowering chain, so
+    // they count once, not per rule-trace entry.
+    let scalar = |v: &&eqsql_core::VarExtraction| !v.var.starts_with("dml:");
+    let rule_apps: usize = report
+        .vars
+        .iter()
+        .filter(scalar)
+        .map(|v| v.rule_trace.len())
+        .sum();
+    let folds = report
+        .vars
+        .iter()
+        .filter(scalar)
+        .filter(|v| v.fir.is_some())
+        .count();
+    let dml = report.vars.iter().filter(|v| !scalar(&v)).count();
     assert!(
-        c.total >= rule_apps + folds,
-        "{label}: {} rule application(s) + {folds} fold(s) but only {} obligation(s)",
+        c.total >= rule_apps + folds + dml,
+        "{label}: {} rule application(s) + {folds} fold(s) + {dml} dml loop(s) but only {} obligation(s)",
         rule_apps,
         c.total
     );
