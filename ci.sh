@@ -58,6 +58,12 @@ echo "==> eqsql fuzz --dml (write-loop differential smoke)"
 # `cargo test` step above.
 target/release/eqsql fuzz --seed 42 --iters 200 --dml
 
+echo "==> eqsql fuzz --dml --store (forked-pager differential smoke)"
+# Regression gate for the pager-aliasing fix: with --store each side of
+# the write-loop differential mutates a deep-forked page image
+# (Database::fork / Pager::fork_image) instead of aliasing one pager.
+target/release/eqsql fuzz --seed 42 --iters 100 --dml --store
+
 echo "==> storage_scale --check"
 # Larger-than-memory gate: streams the 10⁴-row size through the paged
 # engine, asserts imperative ≡ extracted results, and structurally
@@ -69,17 +75,26 @@ echo "==> perf_pipeline --check"
 # valid JSON. No timing gates — CI machines are too noisy for that.
 cargo run -q --release -p bench --bin perf_pipeline -- --check
 
-echo "==> service smoke test"
+echo "==> service smoke test (persistent connection)"
 cargo build -q --release -p eqsql-cli -p service
 PORT_FILE="$(mktemp -u)"
 target/release/eqsql serve --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$PORT_FILE"' EXIT
-# The smoke client waits for the port file, hits /healthz and /extract,
-# asserts 200 + valid JSON, then POSTs /shutdown for a graceful stop.
+# The smoke client waits for the port file, then drives the whole
+# endpoint sequence (/healthz, /extract + cached replay, /fuzz, /metrics
+# with admission counters) over ONE keep-alive connection before POSTing
+# /shutdown for a graceful stop.
 target/release/eqsql-smoke "@$PORT_FILE"
 wait "$SERVE_PID"
 trap - EXIT
 rm -f "$PORT_FILE"
+
+echo "==> loadgen --check"
+# Event-loop load gate (DESIGN.md §5j): a short fixed-seed keep-alive
+# load run against an in-process server must finish error-free, and its
+# document must match the tracked BENCH_service.json structurally
+# (identity + field inventory; never absolute timings).
+cargo run -q --release -p bench --bin loadgen -- --check > /dev/null
 
 echo "==> ok"

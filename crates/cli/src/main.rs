@@ -31,7 +31,8 @@
 //!     --schema, a schema.sql next to each .imp file applies.
 //!
 //! eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N]
-//!             [--cache-entries N] [--timeout-ms N] [--port-file PATH]
+//!             [--cache-entries N] [--cache-shards N] [--keep-alive on|off]
+//!             [--quota RATE[:BURST]] [--timeout-ms N] [--port-file PATH]
 //!     Run the extraction service: POST /extract, POST /lint, GET /healthz,
 //!     GET /metrics (Prometheus), POST /shutdown. --addr defaults to
 //!     127.0.0.1:7090; port 0 picks an ephemeral port, and --port-file
@@ -50,8 +51,10 @@
 //!     eviction are exercised too. --dml generates write loops instead
 //!     (UPDATE/INSERT/DELETE under a cursor), compares the final table
 //!     contents of the two runs, and holds kept write loops to the
-//!     E010/W010 blame contract; it cannot be combined with --store.
-//!     Exits nonzero when any divergence or panic is found.
+//!     E010/W010 blame contract; combined with --store each side runs
+//!     against a deep-forked page image, so paged write loops are
+//!     differentially tested too. Exits nonzero when any divergence or
+//!     panic is found.
 //!
 //! Common options:
 //!     --function NAME      function to analyse (default: first function;
@@ -103,6 +106,9 @@ struct Opts {
     jobs: usize,
     queue: usize,
     cache_entries: usize,
+    cache_shards: usize,
+    keep_alive: bool,
+    quota: service::Quota,
     timeout_ms: Option<u64>,
     port_file: Option<String>,
     // fuzz options
@@ -136,6 +142,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             .unwrap_or(4),
         queue: 64,
         cache_entries: 256,
+        cache_shards: 8,
+        keep_alive: true,
+        quota: service::Quota::unlimited(),
         timeout_ms: Some(30_000),
         port_file: None,
         seed: 0,
@@ -192,6 +201,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.timeout_ms = (ms > 0).then_some(ms);
             }
             "--port-file" => o.port_file = Some(next(&mut it, "--port-file")?),
+            "--cache-shards" => {
+                o.cache_shards = next(&mut it, "--cache-shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-shards: {e}"))?
+            }
+            "--keep-alive" => {
+                o.keep_alive = match next(&mut it, "--keep-alive")?.as_str() {
+                    "on" | "true" => true,
+                    "off" | "false" => false,
+                    v => return Err(format!("bad --keep-alive {v:?}: use on|off")),
+                }
+            }
+            "--quota" => {
+                o.quota = service::Quota::parse(&next(&mut it, "--quota")?)
+                    .map_err(|e| format!("bad --quota: {e}"))?
+            }
             "--seed" => {
                 o.seed = next(&mut it, "--seed")?
                     .parse()
@@ -488,6 +513,9 @@ fn run_serve(opts: &Opts) -> Result<(), String> {
         workers: opts.jobs,
         queue_capacity: opts.queue,
         cache_entries: opts.cache_entries,
+        cache_shards: opts.cache_shards,
+        keep_alive: opts.keep_alive,
+        quota: opts.quota,
         job_timeout: opts.timeout_ms.map(std::time::Duration::from_millis),
         ..service::ServiceConfig::default()
     };
@@ -526,14 +554,6 @@ fn run_batch_cmd(opts: &Opts) -> Result<(), String> {
 }
 
 fn run_fuzz_cmd(opts: &Opts) -> Result<(), String> {
-    if opts.dml && opts.store {
-        return Err(
-            "--dml does not support --store: clones of a paged database share one pager, \
-             so the two sides of a write-loop differential would interfere (and the paged \
-             backend rejects UPDATE/DELETE)"
-                .into(),
-        );
-    }
     let cfg = fuzz::FuzzConfig {
         seed: opts.seed,
         iters: opts.iters,
@@ -588,7 +608,8 @@ fn print_usage() {
          [--prints] [--dependent-agg] [--partial] [--certify] [--data <data.sql>] [--arg N]...\n\
        \x20      eqsql batch <dir> [--jobs N] [--schema <schema.sql>] [options]\n\
        \x20      eqsql serve [--addr HOST:PORT] [--jobs N] [--queue N] \
-         [--cache-entries N] [--timeout-ms N] [--port-file PATH]\n\
+         [--cache-entries N] [--cache-shards N] [--keep-alive on|off] \
+         [--quota RATE[:BURST]] [--timeout-ms N] [--port-file PATH]\n\
        \x20      eqsql fuzz [--seed N] [--iters N] [--shrink] [--repros DIR] \
          [--max-divergences N] [--store] [--store-rows N] [--dml]"
     );

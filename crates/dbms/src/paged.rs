@@ -111,6 +111,34 @@ impl PagedTable {
         }
     }
 
+    /// Attach to a table that already exists in `store` — the rebind half
+    /// of [`Store::fork`]: a forked store carries the directory entry and
+    /// pages, so no create is needed (or wanted).
+    pub fn attach(store: Store, name: &str) -> PagedTable {
+        PagedTable {
+            store,
+            name: name.to_string(),
+        }
+    }
+
+    /// The table's name in the store directory.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replace the table's contents with `rows` (truncate + re-append, in
+    /// order). Statistics sketches are rebuilt from the new rows. This is
+    /// the materialize-and-rewrite path behind UPDATE/DELETE on a paged
+    /// table; the old tree's pages are leaked in the backing image.
+    pub fn rewrite(&mut self, rows: &[Row]) {
+        self.store
+            .truncate_table(&self.name)
+            .expect("truncate stored table");
+        for row in rows {
+            self.insert(row);
+        }
+    }
+
     /// Append a row, feeding the statistics sketches. Panics on storage
     /// errors (oversized record, I/O failure) — the engine's `insert` API
     /// is infallible and generated rows are far below the page size.

@@ -105,12 +105,43 @@ impl Table {
         }
     }
 
-    /// The in-memory row vector, when this table is memory-backed (DML
-    /// mutation — DELETE — is only supported there).
+    /// The in-memory row vector, when this table is memory-backed.
     pub fn mem_rows_mut(&mut self) -> Option<&mut Vec<Row>> {
         match &mut self.backing {
             Backing::Mem(rows) => Some(rows),
             Backing::Paged(_) => None,
+        }
+    }
+
+    /// Mutate the table's rows through a closure over a `Vec<Row>`.
+    ///
+    /// In-memory tables mutate in place. Paged tables materialize their
+    /// rows, run the closure, then rewrite the table (truncate +
+    /// re-append), so survivor order — and therefore scan order — matches
+    /// the in-memory backing exactly. This is the uniform mutation path
+    /// for UPDATE/DELETE in `interp::dml`.
+    pub fn mutate_rows<R>(&mut self, f: impl FnOnce(&mut Vec<Row>) -> R) -> R {
+        match &mut self.backing {
+            Backing::Mem(rows) => f(rows),
+            Backing::Paged(t) => {
+                let mut rows: Vec<Row> = t.scan().collect();
+                let out = f(&mut rows);
+                t.rewrite(&rows);
+                out
+            }
+        }
+    }
+
+    /// Rebind a paged table onto `store` (which must already hold the
+    /// table); in-memory tables are cloned as-is. Used by
+    /// [`Database::fork`].
+    fn rebind_store(&self, store: &Store) -> Table {
+        match &self.backing {
+            Backing::Mem(_) => self.clone(),
+            Backing::Paged(t) => Table {
+                schema: self.schema.clone(),
+                backing: Backing::Paged(PagedTable::attach(store.clone(), t.name())),
+            },
         }
     }
 
@@ -250,8 +281,10 @@ pub fn resolve_fields(
 /// When a store is attached ([`Database::new_paged`]), `create_table`
 /// places tables in it; otherwise tables are in-memory vectors. Cloning a
 /// paged database clones cheap store *handles* — the clones share one
-/// underlying page file read-only, which is exactly what the differential
-/// harness wants (both sides query identical data).
+/// underlying page file, fine for read-only use. Copies that will be
+/// *mutated* independently (the differential harness runs DML against
+/// both sides) use [`Database::fork`], which deep-snapshots the page
+/// image.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
@@ -337,6 +370,30 @@ impl Database {
         }
     }
 
+    /// A deep, independent copy of this database.
+    ///
+    /// In-memory tables are copied by value (what `Clone` already does).
+    /// A paged database forks its store — a full page-image deep snapshot
+    /// — and rebinds every paged table to the fork, so mutations against
+    /// the copy never alias the original's pager. `Clone` on a paged
+    /// database still shares store handles (cheap, read-only use);
+    /// differential runs that mutate state go through `fork`.
+    pub fn fork(&self) -> Database {
+        let Some(store) = &self.store else {
+            return self.clone();
+        };
+        let forked = store.fork().expect("fork paged store");
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.rebind_store(&forked)))
+            .collect();
+        Database {
+            tables,
+            store: Some(forked),
+        }
+    }
+
     /// The catalog of all table schemas.
     pub fn catalog(&self) -> Catalog {
         let mut c = Catalog::new();
@@ -395,6 +452,59 @@ mod tests {
             rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
         };
         assert_eq!(r.wire_size(), 2 * (8 + 8));
+    }
+
+    #[test]
+    fn paged_fork_is_independent() {
+        let mut d = Database::paged_in_memory(4);
+        d.create_table(TableSchema::new(
+            "t",
+            &[("a", SqlType::Int), ("b", SqlType::Text)],
+        ));
+        for i in 0..50 {
+            d.insert("t", vec![Value::Int(i), "x".into()]);
+        }
+        let f = d.fork();
+        assert!(!d.store().unwrap().same_store(f.store().unwrap()));
+        assert_eq!(f.table("t").unwrap().len(), 50);
+        // A shared-handle clone aliases; the fork does not.
+        let mut f = f;
+        f.insert("t", vec![Value::Int(99), "fork".into()]);
+        assert_eq!(f.table("t").unwrap().len(), 51);
+        assert_eq!(d.table("t").unwrap().len(), 50);
+        // Mutating the fork's rows leaves the original untouched.
+        f.table_mut("t").unwrap().mutate_rows(|rows| rows.clear());
+        assert_eq!(f.table("t").unwrap().len(), 0);
+        assert_eq!(d.table("t").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn mutate_rows_matches_across_backings() {
+        let schema = TableSchema::new("t", &[("a", SqlType::Int)]);
+        let mut mem = Database::new().with_table(schema.clone());
+        let mut paged = Database::paged_in_memory(4).with_table(schema);
+        for i in 0..20 {
+            mem.insert("t", vec![Value::Int(i)]);
+            paged.insert("t", vec![Value::Int(i)]);
+        }
+        // Same closure on both backings: delete odds, bump evens.
+        let edit = |rows: &mut Vec<Row>| {
+            rows.retain(|r| matches!(r[0], Value::Int(i) if i % 2 == 0));
+            for r in rows.iter_mut() {
+                if let Value::Int(i) = r[0] {
+                    r[0] = Value::Int(i + 100);
+                }
+            }
+            rows.len()
+        };
+        let n_mem = mem.table_mut("t").unwrap().mutate_rows(edit);
+        let n_paged = paged.table_mut("t").unwrap().mutate_rows(edit);
+        assert_eq!(n_mem, 10);
+        assert_eq!(n_paged, 10);
+        assert_eq!(mem.table("t").unwrap(), paged.table("t").unwrap());
+        // The paged rewrite rebuilt statistics from the surviving rows.
+        let stats = paged.table("t").unwrap().statistics().unwrap();
+        assert_eq!(stats.rows, 10);
     }
 
     #[test]

@@ -111,9 +111,9 @@ pub struct OracleOptions {
     pub extra_rows: usize,
     /// Write-loop (foreach-dml) fuzzing: compare the final table contents
     /// of the two runs, and hold the lint pipeline to the E010/W010 blame
-    /// contract on kept write loops. Incompatible with `store` — clones of
-    /// a paged database alias one pager, so the two sides of a write-loop
-    /// differential would interfere.
+    /// contract on kept write loops. Composes with `store`: each side of
+    /// the differential runs against a [`Database::fork`] deep snapshot,
+    /// so paged writes never alias the other side's pager.
     pub dml: bool,
 }
 
@@ -143,8 +143,8 @@ fn build_db(
     }
     if opts.store && opts.extra_rows > 0 {
         // Deterministic amplification: both sides of the differential run
-        // share the store (clones of a paged `Database` alias one pager),
-        // so a fixed seed keeps the whole oracle deterministic.
+        // start from forks of this one image, so a fixed seed keeps the
+        // whole oracle deterministic.
         let mut rng = dbms::prng::StdRng::seed_from_u64(0x57_0Eu64);
         dbms::gen::extend_catalog(
             &mut db,
@@ -164,7 +164,10 @@ type RunOut = Result<(Result<RtValue, String>, Vec<String>, Database), String>;
 /// The returned [`Database`] is the run's final state (for write-loop
 /// differentials).
 fn interpret(program: &imp::ast::Program, function: &str, args: &[i64], db: &Database) -> RunOut {
-    let db = db.clone();
+    // Deep copy: paged databases fork their page image so a write loop on
+    // one side of the differential can never bleed into the other side
+    // (or into the shared baseline) through an aliased pager.
+    let db = db.fork();
     let args: Vec<RtValue> = args.iter().map(|i| RtValue::int(*i)).collect();
     let function = function.to_string();
     catch_unwind(AssertUnwindSafe(move || {

@@ -439,23 +439,23 @@ fn exec_update(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, Dm
                     .ok_or_else(|| DmlError(format!("unknown column {c}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let rows = t
-            .mem_rows_mut()
-            .ok_or_else(|| DmlError(format!("UPDATE on paged table {table} unsupported")))?;
-        let mut affected = 0i64;
-        // Source rows apply in order: last writer wins, matching the
-        // per-row loop this statement replaces.
-        for srow in &rel.rows {
-            let key = &srow[key_src];
-            for row in rows.iter_mut() {
-                if sql_eq(&row[key_idx], key) {
-                    for (tc, rc) in &set_idxs {
-                        row[*tc] = srow[*rc].clone();
+        let affected = t.mutate_rows(|rows| {
+            let mut affected = 0i64;
+            // Source rows apply in order: last writer wins, matching the
+            // per-row loop this statement replaces.
+            for srow in &rel.rows {
+                let key = &srow[key_src];
+                for row in rows.iter_mut() {
+                    if sql_eq(&row[key_idx], key) {
+                        for (tc, rc) in &set_idxs {
+                            row[*tc] = srow[*rc].clone();
+                        }
+                        affected += 1;
                     }
-                    affected += 1;
                 }
             }
-        }
+            affected
+        });
         Ok(affected)
     } else {
         // Per-row form: UPDATE t SET c = v, … [WHERE c = v].
@@ -509,22 +509,22 @@ fn exec_update(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, Dm
                     .ok_or_else(|| DmlError(format!("unknown column {c}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let rows = t
-            .mem_rows_mut()
-            .ok_or_else(|| DmlError(format!("UPDATE on paged table {table} unsupported")))?;
-        let mut affected = 0i64;
-        for row in rows.iter_mut() {
-            let hit = match (&filter_idx, &filter) {
-                (Some(i), Some((_, v))) => sql_eq(&row[*i], v),
-                _ => true,
-            };
-            if hit {
-                for (i, v) in &set_idxs {
-                    row[*i] = v.clone();
+        let affected = t.mutate_rows(|rows| {
+            let mut affected = 0i64;
+            for row in rows.iter_mut() {
+                let hit = match (&filter_idx, &filter) {
+                    (Some(i), Some((_, v))) => sql_eq(&row[*i], v),
+                    _ => true,
+                };
+                if hit {
+                    for (i, v) in &set_idxs {
+                        row[*i] = v.clone();
+                    }
+                    affected += 1;
                 }
-                affected += 1;
             }
-        }
+            affected
+        });
         Ok(affected)
     }
 }
@@ -541,11 +541,11 @@ fn exec_delete(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, Dm
         let t = db
             .table_mut(&table)
             .ok_or_else(|| DmlError(format!("unknown table {table}")))?;
-        let rows = t
-            .mem_rows_mut()
-            .ok_or_else(|| DmlError(format!("DELETE on paged table {table} unsupported")))?;
-        let before = rows.len();
-        rows.clear();
+        let before = t.mutate_rows(|rows| {
+            let before = rows.len();
+            rows.clear();
+            before
+        });
         return Ok(before as i64);
     };
     let where_text = sql[wp + "where".len()..].trim();
@@ -575,12 +575,12 @@ fn exec_delete(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, Dm
             .schema
             .column_index(&col)
             .ok_or_else(|| DmlError(format!("unknown column {col}")))?;
-        let rows = t
-            .mem_rows_mut()
-            .ok_or_else(|| DmlError(format!("DELETE on paged table {table} unsupported")))?;
-        let before = rows.len();
-        rows.retain(|r| !keys.iter().any(|k| sql_eq(&r[idx], k)));
-        return Ok((before - rows.len()) as i64);
+        let removed = t.mutate_rows(|rows| {
+            let before = rows.len();
+            rows.retain(|r| !keys.iter().any(|k| sql_eq(&r[idx], k)));
+            before - rows.len()
+        });
+        return Ok(removed as i64);
     }
 
     // Simple `col = val` filter (fast path, no parser round trip).
@@ -600,12 +600,12 @@ fn exec_delete(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, Dm
                 .schema
                 .column_index(&col)
                 .ok_or_else(|| DmlError(format!("unknown column {col}")))?;
-            let rows = t
-                .mem_rows_mut()
-                .ok_or_else(|| DmlError(format!("DELETE on paged table {table} unsupported")))?;
-            let before = rows.len();
-            rows.retain(|r| !sql_eq(&r[idx], &val));
-            return Ok((before - rows.len()) as i64);
+            let removed = t.mutate_rows(|rows| {
+                let before = rows.len();
+                rows.retain(|r| !sql_eq(&r[idx], &val));
+                before - rows.len()
+            });
+            return Ok(removed as i64);
         }
     }
 
@@ -619,18 +619,18 @@ fn exec_delete(db: &mut Database, sql: &str, params: &[Value]) -> Result<i64, Dm
     let t = db
         .table_mut(&table)
         .ok_or_else(|| DmlError(format!("unknown table {table}")))?;
-    let rows = t
-        .mem_rows_mut()
-        .ok_or_else(|| DmlError(format!("DELETE on paged table {table} unsupported")))?;
-    let before = rows.len();
-    rows.retain(|r| match doomed.iter().position(|d| row_ident(d, r)) {
-        Some(i) => {
-            doomed.swap_remove(i);
-            false
-        }
-        None => true,
+    let removed = t.mutate_rows(|rows| {
+        let before = rows.len();
+        rows.retain(|r| match doomed.iter().position(|d| row_ident(d, r)) {
+            Some(i) => {
+                doomed.swap_remove(i);
+                false
+            }
+            None => true,
+        });
+        before - rows.len()
     });
-    Ok((before - rows.len()) as i64)
+    Ok(removed as i64)
 }
 
 #[cfg(test)]
@@ -800,21 +800,39 @@ mod tests {
     }
 
     #[test]
-    fn paged_update_reports_clear_error() {
-        let mut d = Database::paged_in_memory(64);
-        d.create_table(
-            TableSchema::new("emp", &[("id", SqlType::Int), ("salary", SqlType::Int)])
-                .with_key(&["id"]),
-        );
-        d.insert("emp", vec![Value::Int(1), Value::Int(10)]);
-        let err =
-            execute_update(&mut d, "UPDATE emp SET salary = 1 WHERE id = 1", &[]).unwrap_err();
-        assert!(
-            err.0.contains("paged"),
-            "error names the paged backend: {err}"
-        );
-        // INSERT still works against the paged backend.
-        let n = execute_update(&mut d, "INSERT INTO emp VALUES (999, 1)", &[]).unwrap();
-        assert_eq!(n, 1);
+    fn paged_backend_agrees_with_mem_on_every_statement_form() {
+        // UPDATE/DELETE on a paged table materialize + rewrite; every
+        // statement form must leave both backings with identical contents.
+        let schema = TableSchema::new("emp", &[("id", SqlType::Int), ("salary", SqlType::Int)])
+            .with_key(&["id"]);
+        let mut mem = Database::new().with_table(schema.clone());
+        let mut paged = Database::paged_in_memory(4).with_table(schema);
+        for i in 0..20i64 {
+            let row = vec![Value::Int(i), Value::Int(i * 10)];
+            mem.insert("emp", row.clone());
+            paged.insert("emp", row);
+        }
+        let stmts: &[&str] = &[
+            "INSERT INTO emp VALUES (999, 1)",
+            "UPDATE emp SET salary = 7 WHERE id = 3",
+            "UPDATE emp SET salary = s.s0 FROM (SELECT id AS k0, salary + 1 AS s0 FROM emp WHERE id < 5) AS s WHERE emp.id = s.k0",
+            "DELETE FROM emp WHERE id = 999",
+            "DELETE FROM emp WHERE id IN (SELECT id FROM emp WHERE salary > 150)",
+            "DELETE FROM emp WHERE salary < 20",
+        ];
+        for sql in stmts {
+            let a = execute_update(&mut mem, sql, &[]).unwrap();
+            let b = execute_update(&mut paged, sql, &[]).unwrap();
+            assert_eq!(a, b, "affected counts diverge on `{sql}`");
+            assert_eq!(
+                mem.table("emp").unwrap(),
+                paged.table("emp").unwrap(),
+                "contents diverge after `{sql}`"
+            );
+        }
+        // Unfiltered DELETE clears the paged table too.
+        let n = execute_update(&mut paged, "DELETE FROM emp", &[]).unwrap();
+        assert!(n > 0);
+        assert!(paged.table("emp").unwrap().is_empty());
     }
 }

@@ -1,0 +1,227 @@
+//! Admission control: a per-tenant token bucket consulted *before* any
+//! work is parsed or queued.
+//!
+//! Tenancy is taken from the `X-Tenant` request header; requests without
+//! one share the `"default"` bucket. Each bucket refills at `rate` tokens
+//! per second up to `burst`; a request costs one token. When a bucket is
+//! empty the request is shed with `429 Too Many Requests` and a
+//! `Retry-After` hint computed from the refill rate — the connection stays
+//! usable, only the request is refused.
+//!
+//! Admission decisions are counted per tenant and surfaced on `/metrics`
+//! as `eqsql_admission_admitted_total{tenant=...}` and
+//! `eqsql_admission_shed_total{tenant=...}`. A `rate` of zero disables
+//! shedding entirely but still keeps the per-tenant admitted counters so
+//! traffic attribution works even with quotas off.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tenant label used when no `X-Tenant` header is present.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Cap on distinct tenant buckets; beyond this, unseen tenants share the
+/// default bucket so a label-spraying client cannot grow the map without
+/// bound.
+const MAX_TENANTS: usize = 1024;
+
+/// Quota configuration for [`Admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quota {
+    /// Sustained tokens per second per tenant; `0` disables shedding.
+    pub rate: u32,
+    /// Bucket capacity (instantaneous burst). Clamped to at least 1 when
+    /// `rate` is nonzero.
+    pub burst: u32,
+}
+
+impl Quota {
+    /// Quota that never sheds (counting only).
+    pub fn unlimited() -> Quota {
+        Quota { rate: 0, burst: 0 }
+    }
+
+    /// Parse `RATE` or `RATE:BURST` (e.g. `100` or `100:250`).
+    pub fn parse(s: &str) -> Result<Quota, String> {
+        let (rate_s, burst_s) = match s.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (s, None),
+        };
+        let rate: u32 = rate_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid quota rate: {rate_s:?}"))?;
+        let burst = match burst_s {
+            Some(b) => b
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid quota burst: {b:?}"))?,
+            None => rate.saturating_mul(2),
+        };
+        Ok(Quota { rate, burst })
+    }
+}
+
+/// Outcome of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the request.
+    Admitted,
+    /// Shed it; the payload is the `Retry-After` hint in whole seconds.
+    Shed { retry_after_secs: u32 },
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled_at: Instant,
+    admitted: u64,
+    shed: u64,
+}
+
+/// Per-tenant token-bucket admission controller.
+pub struct Admission {
+    quota: Quota,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+}
+
+impl Admission {
+    /// Build a controller with the given quota applied independently to
+    /// every tenant.
+    pub fn new(quota: Quota) -> Admission {
+        Admission {
+            quota,
+            buckets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Charge one token to `tenant`'s bucket and decide.
+    pub fn check(&self, tenant: &str) -> Decision {
+        self.check_at(tenant, Instant::now())
+    }
+
+    /// [`Admission::check`] with an explicit clock, for deterministic tests.
+    pub fn check_at(&self, tenant: &str, now: Instant) -> Decision {
+        let mut buckets = self.buckets.lock().unwrap();
+        let tenant = if buckets.len() >= MAX_TENANTS && !buckets.contains_key(tenant) {
+            DEFAULT_TENANT
+        } else {
+            tenant
+        };
+        let burst = if self.quota.rate == 0 {
+            0.0
+        } else {
+            self.quota.burst.max(1) as f64
+        };
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: burst,
+            refilled_at: now,
+            admitted: 0,
+            shed: 0,
+        });
+
+        if self.quota.rate == 0 {
+            bucket.admitted += 1;
+            return Decision::Admitted;
+        }
+
+        let elapsed = now
+            .saturating_duration_since(bucket.refilled_at)
+            .as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.quota.rate as f64).min(burst);
+        bucket.refilled_at = now;
+
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            bucket.admitted += 1;
+            Decision::Admitted
+        } else {
+            bucket.shed += 1;
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.quota.rate as f64).ceil().max(1.0);
+            Decision::Shed {
+                retry_after_secs: secs.min(u32::MAX as f64) as u32,
+            }
+        }
+    }
+
+    /// Per-tenant `(tenant, admitted, shed)` counters, sorted by tenant so
+    /// the `/metrics` rendering is stable.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        self.buckets
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(t, b)| (t.clone(), b.admitted, b.shed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_quota_admits_and_counts() {
+        let adm = Admission::new(Quota::unlimited());
+        for _ in 0..5 {
+            assert_eq!(adm.check("default"), Decision::Admitted);
+        }
+        assert_eq!(adm.check("acme"), Decision::Admitted);
+        assert_eq!(
+            adm.snapshot(),
+            vec![("acme".into(), 1, 0), ("default".into(), 5, 0)]
+        );
+    }
+
+    #[test]
+    fn bucket_sheds_after_burst_and_refills() {
+        let adm = Admission::new(Quota { rate: 10, burst: 3 });
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(adm.check_at("t", t0), Decision::Admitted);
+        }
+        match adm.check_at("t", t0) {
+            Decision::Shed { retry_after_secs } => assert!(retry_after_secs >= 1),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // 10 tokens/sec: 200ms buys two more requests.
+        let t1 = t0 + Duration::from_millis(200);
+        assert_eq!(adm.check_at("t", t1), Decision::Admitted);
+        assert_eq!(adm.check_at("t", t1), Decision::Admitted);
+        assert!(matches!(adm.check_at("t", t1), Decision::Shed { .. }));
+        let snap = adm.snapshot();
+        assert_eq!(snap, vec![("t".into(), 5, 2)]);
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets() {
+        let adm = Admission::new(Quota { rate: 1, burst: 1 });
+        let t0 = Instant::now();
+        assert_eq!(adm.check_at("a", t0), Decision::Admitted);
+        assert!(matches!(adm.check_at("a", t0), Decision::Shed { .. }));
+        // b's bucket is untouched by a's exhaustion.
+        assert_eq!(adm.check_at("b", t0), Decision::Admitted);
+    }
+
+    #[test]
+    fn quota_parse_forms() {
+        assert_eq!(
+            Quota::parse("100").unwrap(),
+            Quota {
+                rate: 100,
+                burst: 200
+            }
+        );
+        assert_eq!(
+            Quota::parse("50:75").unwrap(),
+            Quota {
+                rate: 50,
+                burst: 75
+            }
+        );
+        assert!(Quota::parse("abc").is_err());
+        assert!(Quota::parse("1:x").is_err());
+    }
+}

@@ -55,6 +55,14 @@ impl CacheKey {
     pub fn to_hex(self) -> String {
         format!("{:016x}{:016x}", self.0[0], self.0[1])
     }
+
+    /// Which of `shards` buckets this key lands in. Pure function of the
+    /// key bits, so the mapping is deterministic across runs for a given
+    /// shard count.
+    pub fn shard_index(self, shards: usize) -> usize {
+        debug_assert!(shards > 0);
+        (self.0[0] % shards.max(1) as u64) as usize
+    }
 }
 
 impl fmt::Display for CacheKey {
@@ -186,6 +194,70 @@ impl<V> ResultCache<V> {
     }
 }
 
+/// A [`ResultCache`] split N ways by [`CacheKey::shard_index`].
+///
+/// Sharding bounds lock contention under the event-loop server: worker
+/// threads publishing results and the loop thread probing for hits take a
+/// per-shard mutex instead of one global one. The key → shard mapping is a
+/// pure function of the key bits, so cache behaviour (hit/miss per key) is
+/// deterministic for a fixed shard count and replayable across runs.
+///
+/// The requested capacity is divided across shards (ceiling division, so a
+/// nonzero capacity never rounds a shard to zero); eviction is per shard.
+pub struct ShardedCache<V> {
+    shards: Vec<ResultCache<V>>,
+}
+
+impl<V> ShardedCache<V> {
+    /// Create a cache of `capacity` total entries split over `shards`
+    /// buckets (clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache<V> {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedCache {
+            shards: (0..shards).map(|_| ResultCache::new(per_shard)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Look up `key` in its shard.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<V>> {
+        self.shards[key.shard_index(self.shards.len())].get(key)
+    }
+
+    /// Insert (or refresh) `key` in its shard.
+    pub fn put(&self, key: CacheKey, value: V) -> Arc<V> {
+        self.shards[key.shard_index(self.shards.len())].put(key, value)
+    }
+
+    /// Aggregate counters across every shard.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+            total.entries += st.entries;
+            total.capacity += st.capacity;
+        }
+        total
+    }
+
+    /// Per-shard hit counters, indexed by shard, for `/metrics`.
+    pub fn shard_hits(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.stats().hits).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +333,47 @@ mod tests {
         assert_eq!(*cache.put(key, 9), 9);
         assert!(cache.get(&key).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn sharded_cache_routes_by_key_bits_deterministically() {
+        let cache: ShardedCache<u32> = ShardedCache::new(64, 4);
+        assert_eq!(cache.shard_count(), 4);
+        let keys: Vec<CacheKey> = (0..32)
+            .map(|i| CacheKey::derive(&[&format!("key-{i}")]))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            cache.put(*k, i as u32);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(*cache.get(k).unwrap(), i as u32);
+        }
+        // Every key lands in the shard its bits dictate, and a second cache
+        // with the same geometry replays the same placement.
+        let hits = cache.shard_hits();
+        assert_eq!(hits.iter().sum::<u64>(), 32);
+        let replay: ShardedCache<u32> = ShardedCache::new(64, 4);
+        for (i, k) in keys.iter().enumerate() {
+            replay.put(*k, i as u32);
+            assert!(replay.get(k).is_some());
+        }
+        assert_eq!(replay.shard_hits(), hits);
+        // Aggregate stats sum the shards.
+        let st = cache.stats();
+        assert_eq!(st.hits, 32);
+        assert_eq!(st.entries, 32);
+        assert_eq!(st.capacity, 64);
+    }
+
+    #[test]
+    fn sharded_cache_clamps_degenerate_geometry() {
+        // Zero shards clamps to one; zero capacity disables storage.
+        let one: ShardedCache<u8> = ShardedCache::new(4, 0);
+        assert_eq!(one.shard_count(), 1);
+        let off: ShardedCache<u8> = ShardedCache::new(0, 8);
+        let key = CacheKey::derive(&["x"]);
+        off.put(key, 1);
+        assert!(off.get(&key).is_none());
+        assert_eq!(off.stats().capacity, 0);
     }
 }

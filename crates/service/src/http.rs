@@ -1,4 +1,4 @@
-//! A minimal HTTP/1.1 server over `std::net` for the extraction service.
+//! A keep-alive HTTP/1.1 server driven by a readiness event loop.
 //!
 //! Routes:
 //!
@@ -8,40 +8,87 @@
 //! | `POST /lint` | same | `{"diagnostics":[…],"errors":N,"warnings":N}` |
 //! | `GET /healthz` | — | `{"status":"ok",…}` |
 //! | `GET /metrics` | — | Prometheus text format |
-//! | `POST /fuzz` | `{"seed":N,"iters":N,"store":bool,"store_rows":N}` (optional) | differential-fuzz summary JSON |
+//! | `POST /fuzz` | `{"seed":N,"iters":N,"store":bool,"store_rows":N,"dml":bool}` (optional) | differential-fuzz summary JSON |
 //! | `POST /shutdown` | — | acknowledges, then stops the server |
 //!
-//! Each connection is handled on its own I/O thread (`Connection: close`,
-//! one request per connection); the extraction work itself runs on the
-//! service's bounded worker pool, so slow clients tie up cheap I/O threads,
-//! never extraction workers. `/shutdown` exists for operational use — the
-//! CI smoke test and `eqsql batch`-style drivers stop a server without
-//! signals — and performs the same graceful drain as [`Server::shutdown`].
+//! ## Architecture
+//!
+//! One loop thread owns every connection and a [`crate::poll::Poller`]
+//! (epoll on Linux, level-triggered). Connections are nonblocking and move
+//! through a per-connection state machine: bytes are accumulated until a
+//! full request parses, the request is dispatched, and the response bytes
+//! drain back out through the same readiness discipline. Connections are
+//! persistent (HTTP/1.1 keep-alive) and pipelined requests are parsed
+//! eagerly but processed strictly in order, so responses always come back
+//! in request order.
+//!
+//! Cheap routes (`/healthz`, `/metrics`, parse errors, shed requests) are
+//! answered inline on the loop thread. Extraction, lint, and fuzz work is
+//! dispatched to the service's bounded worker pool via a completion
+//! callback; workers push `(connection, response)` onto a completion queue
+//! and nudge a [`crate::poll::Wakeup`] pipe registered in the poller, so
+//! the loop never blocks on a job and a slow extraction never stalls other
+//! connections.
+//!
+//! ## Admission control
+//!
+//! Work-carrying routes (`/extract`, `/lint`, `/fuzz`) pass through a
+//! per-tenant token bucket ([`crate::admission`]) *before* the body is
+//! parsed or any job is queued. Tenancy comes from the `X-Tenant` header
+//! (default bucket otherwise); shed requests get `429 Too Many Requests`
+//! with a `Retry-After` hint and the connection stays open.
+//!
+//! ## Deadlines
+//!
+//! Every connection state is covered by a deadline: idle keep-alive
+//! connections and half-read requests by `idle_timeout`, peers that stall
+//! reading our response bytes by `write_timeout`, and in-flight jobs by
+//! the job timeout plus slack. Oversized bodies are refused with `413`
+//! (the advertised remainder is drained without buffering, then the
+//! connection closes cleanly).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use analysis::json::Json;
 
+use crate::admission::{Admission, Decision, DEFAULT_TENANT};
 use crate::metrics::{self, FuzzCounters, HttpCounters};
+use crate::poll::{Poller, Wakeup};
 use crate::service::{CacheStatus, ExtractRequest, ExtractionService, ServiceConfig, ServiceError};
 
 /// Largest accepted request body; bigger requests get a 413.
 const MAX_BODY: usize = 4 * 1024 * 1024;
-/// Per-connection socket read timeout.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
-/// Accept-loop poll interval while idle (the listener is non-blocking so
-/// the loop can observe the shutdown flag).
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Largest accepted header block.
+const MAX_HEADER: usize = 64 * 1024;
+/// Most parsed-but-unprocessed pipelined requests buffered per connection;
+/// beyond this the parser simply waits for the queue to drain.
+const MAX_PIPELINE: usize = 64;
+/// Poll tick while idle: bounds how stale a deadline sweep can be.
+const LOOP_TICK: Duration = Duration::from_millis(100);
+/// After `/shutdown` (or [`Server::shutdown`]): how long to keep draining
+/// response bytes before closing remaining connections.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+/// Slack added to the job timeout for the busy-connection deadline.
+const BUSY_SLACK: Duration = Duration::from_secs(10);
+/// Busy-connection deadline when jobs have no timeout (e.g. `/fuzz`).
+const BUSY_UNBOUNDED: Duration = Duration::from_secs(600);
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKEUP: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
 
 struct ServerState {
     service: ExtractionService,
     http: HttpCounters,
     fuzz: FuzzCounters,
+    admission: Admission,
     shutdown: AtomicBool,
 }
 
@@ -50,31 +97,37 @@ struct ServerState {
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    wake: Arc<Wakeup>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// accepting connections.
+    /// the event loop.
     pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let quota = config.quota;
         let state = Arc::new(ServerState {
             service: ExtractionService::new(config),
             http: HttpCounters::default(),
             fuzz: FuzzCounters::default(),
+            admission: Admission::new(quota),
             shutdown: AtomicBool::new(false),
         });
-        let accept_state = Arc::clone(&state);
-        let accept = std::thread::Builder::new()
-            .name("eqsql-accept".into())
-            .spawn(move || accept_loop(listener, accept_state))
-            .expect("spawn accept thread");
+        let wake = Arc::new(Wakeup::new()?);
+        let loop_state = Arc::clone(&state);
+        let loop_wake = Arc::clone(&wake);
+        let event_loop = std::thread::Builder::new()
+            .name("eqsql-loop".into())
+            .spawn(move || event_loop(listener, loop_state, loop_wake))
+            .expect("spawn event loop thread");
         Ok(Server {
             addr: local,
             state,
-            accept: Some(accept),
+            wake,
+            event_loop: Some(event_loop),
         })
     }
 
@@ -86,15 +139,16 @@ impl Server {
     /// Block until the server stops (e.g. via `POST /shutdown`), then
     /// drain the worker pool.
     pub fn wait(mut self) {
-        if let Some(t) = self.accept.take() {
+        if let Some(t) = self.event_loop.take() {
             let _ = t.join();
         }
     }
 
-    /// Stop accepting, join connection handlers, drain the worker pool.
+    /// Stop accepting, flush in-progress responses, drain the worker pool.
     pub fn shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::Release);
-        if let Some(t) = self.accept.take() {
+        self.wake.notify();
+        if let Some(t) = self.event_loop.take() {
             let _ = t.join();
         }
     }
@@ -103,34 +157,10 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::Release);
-        if let Some(t) = self.accept.take() {
+        self.wake.notify();
+        if let Some(t) = self.event_loop.take() {
             let _ = t.join();
         }
-    }
-}
-
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
-    let conns: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-    while !state.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let state = Arc::clone(&state);
-                let handle = std::thread::Builder::new()
-                    .name("eqsql-conn".into())
-                    .spawn(move || handle_connection(stream, &state))
-                    .expect("spawn connection thread");
-                let mut c = conns.lock().unwrap();
-                c.retain(|h| !h.is_finished()); // reap finished handlers
-                c.push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-    for h in conns.into_inner().unwrap() {
-        let _ = h.join();
     }
 }
 
@@ -139,59 +169,140 @@ struct Request {
     method: String,
     path: String,
     body: Vec<u8>,
+    /// Sanitized `X-Tenant` header (or [`DEFAULT_TENANT`]).
+    tenant: String,
+    /// What the client's HTTP version + `Connection` header ask for.
+    keep_alive: bool,
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let mut stream = stream;
-    let response = match read_request(&mut stream) {
-        Ok(req) => route(&req, state),
-        Err(e) => error_response(400, &format!("malformed request: {e}")),
-    };
-    if response.status >= 400 {
-        state.http.errors.fetch_add(1, Ordering::Relaxed);
+/// What the incremental parser produced from the front of a read buffer.
+enum Parsed {
+    /// Not enough bytes yet.
+    NeedMore,
+    /// One complete request, consumed from the buffer.
+    Request(Box<Request>),
+    /// A protocol error; respond and close. For 413, `drain` carries the
+    /// advertised body length still on the wire, to be discarded unread.
+    Error {
+        status: u16,
+        message: String,
+        drain: usize,
+    },
+}
+
+/// Find `needle` in `haystack` (first occurrence).
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Keep tenant labels safe for Prometheus label values and bounded.
+fn sanitize_tenant(raw: &str) -> String {
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-' || *c == '.')
+        .take(64)
+        .collect();
+    if cleaned.is_empty() {
+        DEFAULT_TENANT.to_string()
+    } else {
+        cleaned
     }
-    let _ = write_response(&mut stream, &response);
-    let _ = stream.flush();
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("request line: {e}"))?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("missing request path")?.to_string();
-
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| format!("header: {e}"))?;
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
+/// Try to parse one request off the front of `buf`, consuming its bytes on
+/// success.
+fn try_parse(buf: &mut Vec<u8>) -> Parsed {
+    let search_end = buf.len().min(MAX_HEADER);
+    let Some(head_len) = find(&buf[..search_end], b"\r\n\r\n") else {
+        if buf.len() >= MAX_HEADER {
+            return Parsed::Error {
+                status: 400,
+                message: "header block too large".into(),
+                drain: 0,
+            };
         }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| "bad Content-Length".to_string())?;
+        return Parsed::NeedMore;
+    };
+    let head = match std::str::from_utf8(&buf[..head_len]) {
+        Ok(h) => h,
+        Err(_) => {
+            return Parsed::Error {
+                status: 400,
+                message: "malformed request: headers are not UTF-8".into(),
+                drain: 0,
             }
         }
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Parsed::Error {
+            status: 400,
+            message: "malformed request: bad request line".into(),
+            drain: 0,
+        };
+    };
+    let version = parts.next().unwrap_or("HTTP/1.1");
+
+    let mut content_length = 0usize;
+    let mut tenant = DEFAULT_TENANT.to_string();
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => {
+                    return Parsed::Error {
+                        status: 400,
+                        message: "malformed request: bad Content-Length".into(),
+                        drain: 0,
+                    }
+                }
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("x-tenant") {
+            tenant = sanitize_tenant(value);
+        }
     }
+
+    let body_start = head_len + 4;
     if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+        // Refuse before buffering: whatever part of the body is already in
+        // `buf` plus everything still on the wire gets discarded unread.
+        let already = buf.len() - body_start;
+        buf.clear();
+        return Parsed::Error {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds {MAX_BODY}"),
+            drain: content_length.saturating_sub(already),
+        };
     }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("body: {e}"))?;
-    Ok(Request { method, path, body })
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Parsed::NeedMore;
+    }
+    let body = buf[body_start..total].to_vec();
+    let (method, path) = (method.to_string(), path.to_string());
+    buf.drain(..total);
+    Parsed::Request(Box::new(Request {
+        method,
+        path,
+        body,
+        tenant,
+        keep_alive,
+    }))
 }
 
 struct Response {
@@ -227,20 +338,441 @@ fn service_error_response(e: &ServiceError) -> Response {
     error_response(status, &e.to_string())
 }
 
-fn route(req: &Request, state: &ServerState) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/extract") => {
-            state.http.extract.fetch_add(1, Ordering::Relaxed);
-            run_endpoint(req, state, ExtractionService::extract)
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn render_response(r: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        r.status,
+        status_text(r.status),
+        r.content_type,
+        r.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in &r.extra_headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(&r.body);
+    out.into_bytes()
+}
+
+/// Per-connection state machine driven by the event loop.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    /// Unparsed input bytes.
+    buf: Vec<u8>,
+    /// Rendered response bytes not yet written; `out_at` is the write
+    /// cursor (compacted opportunistically).
+    out: Vec<u8>,
+    out_at: usize,
+    /// Parsed requests awaiting processing (pipelining).
+    pending: VecDeque<Request>,
+    /// A dispatched job is in flight for this connection's head request.
+    busy: bool,
+    busy_since: Option<Instant>,
+    /// Whether the in-flight request's response keeps the connection open.
+    inflight_keep_alive: bool,
+    /// Remaining body bytes of a refused (413) request to discard unread.
+    discard: usize,
+    /// The peer half-closed its sending side (read returned 0).
+    peer_closed: bool,
+    /// Close once `out` drains (protocol error, `Connection: close`, 413).
+    close_after_write: bool,
+    /// Fatal socket error: close immediately.
+    broken: bool,
+    /// Whether the poller registration currently includes write interest.
+    want_write: bool,
+    /// Last moment read or write bytes moved on this socket.
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn out_done(&self) -> bool {
+        self.out_at >= self.out.len()
+    }
+
+    /// The instant after which this connection should be closed, given its
+    /// current state.
+    fn deadline(&self, cfg: &ServiceConfig) -> Instant {
+        if let Some(since) = self.busy_since {
+            return since + cfg.job_timeout.unwrap_or(BUSY_UNBOUNDED) + BUSY_SLACK;
         }
-        ("POST", "/lint") => {
-            state.http.lint.fetch_add(1, Ordering::Relaxed);
-            run_endpoint(req, state, ExtractionService::lint)
+        if !self.out_done() {
+            return self.last_progress + cfg.write_timeout;
+        }
+        self.last_progress + cfg.idle_timeout
+    }
+
+    /// Pull every available byte off the socket (level-triggered, so
+    /// stopping at `WouldBlock` is exact).
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.last_progress = Instant::now();
+                    let mut bytes = &chunk[..n];
+                    if self.discard > 0 {
+                        let skip = self.discard.min(bytes.len());
+                        self.discard -= skip;
+                        bytes = &bytes[skip..];
+                    }
+                    if !bytes.is_empty() {
+                        if self.close_after_write {
+                            // Refused connection: swallow trailing bytes.
+                            continue;
+                        }
+                        self.buf.extend_from_slice(bytes);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.broken = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Write as much pending output as the socket accepts.
+    fn flush(&mut self) {
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => {
+                    self.broken = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.out_at += n;
+                    self.last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.broken = true;
+                    break;
+                }
+            }
+        }
+        if self.out_done() {
+            self.out.clear();
+            self.out_at = 0;
+        } else if self.out_at > 64 * 1024 {
+            self.out.drain(..self.out_at);
+            self.out_at = 0;
+        }
+    }
+
+    /// Queue a rendered response (in request order) and count errors.
+    fn queue_response(&mut self, resp: &Response, keep_alive: bool, state: &ServerState) {
+        if resp.status >= 400 {
+            state.http.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let keep = keep_alive && !self.close_after_write;
+        self.out.extend_from_slice(&render_response(resp, keep));
+        if !keep {
+            self.close_after_write = true;
+        }
+    }
+}
+
+/// The completion queue: worker callbacks push `(token, response)` pairs
+/// here and nudge the wakeup pipe; the loop drains it each iteration.
+type Completions = Arc<Mutex<Vec<(u64, Response)>>>;
+
+fn event_loop(listener: TcpListener, state: Arc<ServerState>, wake: Arc<Wakeup>) {
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    if poller
+        .register(listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+        .is_err()
+    {
+        return;
+    }
+    let _ = poller.register(wake.read_fd(), TOKEN_WAKEUP, true, false);
+
+    let completions: Completions = Arc::new(Mutex::new(Vec::new()));
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events = Vec::new();
+    let mut touched: Vec<u64> = Vec::new();
+    let mut shutdown_at: Option<Instant> = None;
+
+    loop {
+        events.clear();
+        touched.clear();
+        let _ = poller.wait(&mut events, Some(LOOP_TICK));
+        let shutting_down = state.shutdown.load(Ordering::Acquire);
+
+        for ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if shutting_down {
+                        continue;
+                    }
+                    // Accept everything ready; each new socket joins the
+                    // poller with read interest.
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let _ = stream.set_nodelay(true);
+                                let token = next_token;
+                                next_token += 1;
+                                if poller
+                                    .register(stream.as_raw_fd(), token, true, false)
+                                    .is_ok()
+                                {
+                                    conns.insert(
+                                        token,
+                                        Conn {
+                                            stream,
+                                            token,
+                                            buf: Vec::new(),
+                                            out: Vec::new(),
+                                            out_at: 0,
+                                            pending: VecDeque::new(),
+                                            busy: false,
+                                            busy_since: None,
+                                            inflight_keep_alive: true,
+                                            discard: 0,
+                                            peer_closed: false,
+                                            close_after_write: false,
+                                            broken: false,
+                                            want_write: false,
+                                            last_progress: Instant::now(),
+                                        },
+                                    );
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                TOKEN_WAKEUP => wake.drain(),
+                token => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if ev.error {
+                            conn.broken = true;
+                        }
+                        if ev.readable && !conn.broken {
+                            conn.fill();
+                        }
+                        if ev.writable && !conn.broken {
+                            conn.flush();
+                        }
+                        touched.push(token);
+                    }
+                }
+            }
+        }
+
+        // Job completions: queue the response, free the connection's
+        // dispatch slot, let it continue with pipelined requests.
+        {
+            let mut done = completions.lock().unwrap();
+            for (token, resp) in done.drain(..) {
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.busy = false;
+                    conn.busy_since = None;
+                    let keep = conn.inflight_keep_alive;
+                    conn.queue_response(&resp, keep, &state);
+                    conn.last_progress = Instant::now();
+                    touched.push(token);
+                }
+            }
+        }
+
+        // Parse + process the connections that saw activity.
+        for &token in &touched {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            step_conn(conn, &state, &completions, &wake);
+        }
+
+        // Opportunistic flush + interest maintenance + closes.
+        let now = Instant::now();
+        let cfg_keep = state.service.config();
+        let mut dead: Vec<u64> = Vec::new();
+        for conn in conns.values_mut() {
+            if !conn.broken && !conn.out_done() {
+                conn.flush();
+            }
+            let want = !conn.out_done();
+            if want != conn.want_write
+                && poller
+                    .modify(conn.stream.as_raw_fd(), conn.token, true, want)
+                    .is_ok()
+            {
+                conn.want_write = want;
+            }
+            let expired = now >= conn.deadline(cfg_keep);
+            // A refused request (413) is still owed a drain of its
+            // advertised body: closing early would reset the peer mid-send.
+            // The peer going away (or the deadline) overrides the drain.
+            let drained = conn.discard == 0 || conn.peer_closed;
+            let finished = conn.out_done()
+                && ((conn.close_after_write && drained)
+                    || (conn.peer_closed && !conn.busy && conn.pending.is_empty()));
+            if conn.broken || expired || finished {
+                dead.push(conn.token);
+            }
+        }
+        for token in dead {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+            }
+        }
+
+        if shutting_down {
+            let shutdown_since = *shutdown_at.get_or_insert(now);
+            let drained = conns.values().all(|c| c.out_done() && !c.busy);
+            if drained || now >= shutdown_since + SHUTDOWN_GRACE {
+                break;
+            }
+        }
+    }
+}
+
+/// Advance one connection: parse pipelined requests off its buffer, then
+/// process them in order until a job goes in flight (or the queue empties).
+fn step_conn(
+    conn: &mut Conn,
+    state: &Arc<ServerState>,
+    completions: &Completions,
+    wake: &Arc<Wakeup>,
+) {
+    let cfg_keep_alive = state.service.config().keep_alive;
+    // Parse as many complete requests as are buffered.
+    while conn.pending.len() < MAX_PIPELINE && !conn.close_after_write {
+        match try_parse(&mut conn.buf) {
+            Parsed::NeedMore => break,
+            Parsed::Request(req) => conn.pending.push_back(*req),
+            Parsed::Error {
+                status,
+                message,
+                drain,
+            } => {
+                conn.discard = drain;
+                let resp = error_response(status, &message);
+                // Protocol errors always end the connection: framing is
+                // no longer trustworthy past this point.
+                conn.queue_response(&resp, false, state);
+                conn.close_after_write = true;
+                conn.buf.clear();
+                break;
+            }
+        }
+    }
+    // Serial processing preserves response order under pipelining. A
+    // request asking for close makes its response the connection's last:
+    // queue_response flips close_after_write, which both ends this loop
+    // and drops any pipelined stragglers.
+    while !conn.busy && !conn.close_after_write {
+        let Some(req) = conn.pending.pop_front() else {
+            break;
+        };
+        let keep_alive = cfg_keep_alive && req.keep_alive;
+        match dispatch(&req, conn.token, state, completions, wake) {
+            Dispatched::Inline(resp) => {
+                conn.queue_response(&resp, keep_alive, state);
+            }
+            Dispatched::InFlight => {
+                conn.busy = true;
+                conn.busy_since = Some(Instant::now());
+                conn.inflight_keep_alive = keep_alive;
+                break;
+            }
+        }
+    }
+}
+
+/// How a request left the dispatcher.
+enum Dispatched {
+    /// Answered on the loop thread; queue this response now.
+    Inline(Response),
+    /// Handed to the worker pool; the response arrives via the completion
+    /// queue.
+    InFlight,
+}
+
+fn dispatch(
+    req: &Request,
+    token: u64,
+    state: &Arc<ServerState>,
+    completions: &Completions,
+    wake: &Arc<Wakeup>,
+) -> Dispatched {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/extract") | ("POST", "/lint") => {
+            let is_extract = req.path == "/extract";
+            if is_extract {
+                state.http.extract.fetch_add(1, Ordering::Relaxed);
+            } else {
+                state.http.lint.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Decision::Shed { retry_after_secs } = state.admission.check(&req.tenant) {
+                return Dispatched::Inline(shed_response(retry_after_secs));
+            }
+            let body = match std::str::from_utf8(&req.body) {
+                Ok(b) => b,
+                Err(_) => return Dispatched::Inline(error_response(400, "body is not UTF-8")),
+            };
+            let parsed = match ExtractRequest::from_json(body) {
+                Ok(p) => p,
+                Err(e) => return Dispatched::Inline(service_error_response(&e)),
+            };
+            let completions = Arc::clone(completions);
+            let wake = Arc::clone(wake);
+            let done = move |result: Result<(Arc<String>, CacheStatus), ServiceError>| {
+                let resp = match result {
+                    Ok((doc, cache)) => {
+                        let mut r = json_response(200, doc.as_str().to_string());
+                        r.extra_headers
+                            .push(("X-Eqsql-Cache".into(), cache.as_str().into()));
+                        r
+                    }
+                    Err(e) => service_error_response(&e),
+                };
+                completions.lock().unwrap().push((token, resp));
+                wake.notify();
+            };
+            if is_extract {
+                state.service.extract_async(&parsed, done);
+            } else {
+                state.service.lint_async(&parsed, done);
+            }
+            Dispatched::InFlight
         }
         ("GET", "/healthz") => {
             state.http.healthz.fetch_add(1, Ordering::Relaxed);
             let cfg = state.service.config();
-            json_response(
+            Dispatched::Inline(json_response(
                 200,
                 Json::Obj(vec![
                     ("status".into(), Json::str("ok")),
@@ -251,13 +783,15 @@ fn route(req: &Request, state: &ServerState) -> Response {
                         Json::int(cfg.queue_capacity as i64),
                     ),
                     ("cache_entries".into(), Json::int(cfg.cache_entries as i64)),
+                    ("cache_shards".into(), Json::int(cfg.cache_shards as i64)),
+                    ("keep_alive".into(), Json::Bool(cfg.keep_alive)),
                 ])
                 .render(),
-            )
+            ))
         }
         ("GET", "/metrics") => {
             state.http.metrics.fetch_add(1, Ordering::Relaxed);
-            Response {
+            Dispatched::Inline(Response {
                 status: 200,
                 content_type: metrics::CONTENT_TYPE,
                 extra_headers: Vec::new(),
@@ -265,47 +799,88 @@ fn route(req: &Request, state: &ServerState) -> Response {
                     &state.http,
                     &state.service.scheduler_stats(),
                     &state.service.cache_stats(),
+                    &state.service.cache_shard_hits(),
+                    &state.admission.snapshot(),
                     state.service.stage_counters(),
                     &state.fuzz,
                     state.service.lint_counters(),
                     state.service.config().deterministic_metrics,
                 ),
-            }
+            })
         }
         ("POST", "/fuzz") => {
             state.http.fuzz.fetch_add(1, Ordering::Relaxed);
-            run_fuzz_endpoint(req, state)
+            if let Decision::Shed { retry_after_secs } = state.admission.check(&req.tenant) {
+                return Dispatched::Inline(shed_response(retry_after_secs));
+            }
+            let body = req.body.clone();
+            let job_state = Arc::clone(state);
+            let completions = Arc::clone(completions);
+            let wake = Arc::clone(wake);
+            // Fuzz sweeps are bounded by MAX_FUZZ_ITERS, not by the
+            // extract/lint job timeout: a 10k-iteration run legitimately
+            // outlives a 30s deadline on slow builds.
+            let submitted = state.service.scheduler().submit_callback(
+                move |_ctx| run_fuzz(&body, &job_state),
+                None,
+                move |outcome| {
+                    let resp = match outcome {
+                        crate::scheduler::JobResult::Completed(r) => r,
+                        crate::scheduler::JobResult::Panicked(m) => {
+                            error_response(500, &format!("fuzz job panicked: {m}"))
+                        }
+                        _ => error_response(503, "fuzz job did not complete"),
+                    };
+                    completions.lock().unwrap().push((token, resp));
+                    wake.notify();
+                },
+            );
+            match submitted {
+                Ok(()) => Dispatched::InFlight,
+                Err(e) => Dispatched::Inline(error_response(503, &format!("overloaded: {e}"))),
+            }
         }
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
-            json_response(
+            Dispatched::Inline(json_response(
                 200,
                 Json::Obj(vec![("status".into(), Json::str("shutting down"))]).render(),
-            )
+            ))
         }
         _ => {
             state.http.other.fetch_add(1, Ordering::Relaxed);
-            error_response(404, &format!("no route {} {}", req.method, req.path))
+            Dispatched::Inline(error_response(
+                404,
+                &format!("no route {} {}", req.method, req.path),
+            ))
         }
     }
 }
 
-/// Hard ceiling on `POST /fuzz` iterations: the run executes synchronously
-/// on the connection's I/O thread, so one request must stay bounded.
+fn shed_response(retry_after_secs: u32) -> Response {
+    let mut r = error_response(429, "quota exceeded; retry later");
+    r.extra_headers
+        .push(("Retry-After".into(), retry_after_secs.to_string()));
+    r
+}
+
+/// Hard ceiling on `POST /fuzz` iterations: one request must stay bounded
+/// even though it runs on a worker, so a single call cannot monopolize the
+/// pool for minutes.
 const MAX_FUZZ_ITERS: u64 = 10_000;
 
-/// `POST /fuzz` — run a bounded differential fuzz sweep in-process.
+/// `POST /fuzz` — run a bounded differential fuzz sweep on a worker.
 ///
 /// Body: `{"seed": N, "iters": N, "store": bool, "store_rows": N,
 /// "dml": bool}` (all optional; iters defaults to 200 and is capped at
 /// [`MAX_FUZZ_ITERS`]). `store: true` runs the oracle against the paged
 /// storage backend with `store_rows` amplification rows per table (default
 /// 256). `dml: true` fuzzes write loops and compares final table contents;
-/// it cannot be combined with `store` (paged clones alias one pager).
+/// combined with `store` each side runs against a deep-forked page image.
 /// Responds with a summary and the first few divergences; accumulates the
 /// service-lifetime counters that `/metrics` exposes as `eqsql_fuzz_*`.
-fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
-    let body = match std::str::from_utf8(&req.body) {
+fn run_fuzz(body: &[u8], state: &ServerState) -> Response {
+    let body = match std::str::from_utf8(body) {
         Ok(b) => b.trim(),
         Err(_) => return error_response(400, "body is not UTF-8"),
     };
@@ -334,9 +909,6 @@ fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
         .unwrap_or(256)
         .clamp(0, 4096) as usize;
     let dml = parsed.get("dml").and_then(Json::as_bool).unwrap_or(false);
-    if dml && store {
-        return error_response(400, "dml cannot be combined with store");
-    }
 
     let cfg = fuzz::FuzzConfig {
         seed,
@@ -385,55 +957,4 @@ fn run_fuzz_endpoint(req: &Request, state: &ServerState) -> Response {
         ])
         .render(),
     )
-}
-
-type Endpoint =
-    fn(&ExtractionService, &ExtractRequest) -> Result<(Arc<String>, CacheStatus), ServiceError>;
-
-fn run_endpoint(req: &Request, state: &ServerState, endpoint: Endpoint) -> Response {
-    let body = match std::str::from_utf8(&req.body) {
-        Ok(b) => b,
-        Err(_) => return error_response(400, "body is not UTF-8"),
-    };
-    let parsed = match ExtractRequest::from_json(body) {
-        Ok(p) => p,
-        Err(e) => return service_error_response(&e),
-    };
-    match endpoint(&state.service, &parsed) {
-        Ok((doc, cache)) => {
-            let mut r = json_response(200, doc.as_str().to_string());
-            r.extra_headers
-                .push(("X-Eqsql-Cache".into(), cache.as_str().into()));
-            r
-        }
-        Err(e) => service_error_response(&e),
-    }
-}
-
-fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        504 => "Gateway Timeout",
-        _ => "Unknown",
-    }
-}
-
-fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
-    let mut out = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        r.status,
-        status_text(r.status),
-        r.content_type,
-        r.body.len()
-    );
-    for (k, v) in &r.extra_headers {
-        out.push_str(&format!("{k}: {v}\r\n"));
-    }
-    out.push_str("\r\n");
-    out.push_str(&r.body);
-    stream.write_all(out.as_bytes())
 }

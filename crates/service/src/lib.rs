@@ -8,33 +8,45 @@
 //! cheaply):
 //!
 //! * [`scheduler`] — a std-only thread-pool with a bounded job queue,
-//!   per-job timeout/cancellation, and graceful draining shutdown, plus
+//!   per-job timeout/cancellation, callback-style completion for event
+//!   loops, and graceful draining shutdown, plus
 //!   [`scheduler::parallel_map`] for deterministic fan-out;
 //! * [`cache`] — a content-addressed result cache (128-bit FNV-1a over
 //!   length-prefixed inputs) with LRU eviction and hit/miss/eviction
-//!   counters; cached `ExtractionReport` documents replay byte-for-byte,
-//!   diagnostics JSON included;
+//!   counters, sharded N ways by key bits ([`cache::ShardedCache`]); cached
+//!   `ExtractionReport` documents replay byte-for-byte, diagnostics JSON
+//!   included;
 //! * [`service`] — [`service::ExtractionService`], the scheduler+cache
-//!   façade shared by every driver;
-//! * [`http`] — an HTTP/1.1 server over `std::net` exposing
-//!   `POST /extract`, `POST /lint`, `GET /healthz`, and `GET /metrics`
-//!   (Prometheus text format);
+//!   façade shared by every driver, with blocking and callback-style
+//!   (`extract_async`) entry points;
+//! * [`poll`] — a std-only readiness poller (epoll on Linux via a thin
+//!   syscall shim, level-triggered) and the self-pipe wakeup;
+//! * [`admission`] — per-tenant token-bucket admission control
+//!   (`X-Tenant`, 429 + `Retry-After`);
+//! * [`http`] — a keep-alive HTTP/1.1 server driven by one event-loop
+//!   thread (persistent connections, pipelining, per-state deadlines)
+//!   exposing `POST /extract`, `POST /lint`, `GET /healthz`, and
+//!   `GET /metrics` (Prometheus text format);
 //! * [`metrics`] — the Prometheus rendering and the metric inventory;
 //! * [`batch`] — the `eqsql batch <dir>` corpus driver with `--jobs N`
 //!   parallelism and deterministic, path-sorted output.
 //!
 //! Everything is std-only, matching the offline-build constraint
-//! established in PR 1.
+//! established in PR 1. The event-loop server targets unix (epoll on
+//! Linux, `poll(2)` elsewhere).
 
+pub mod admission;
 pub mod batch;
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod scheduler;
 pub mod service;
 
+pub use admission::{Admission, Decision, Quota};
 pub use batch::{run_batch, BatchOptions};
-pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use cache::{CacheKey, CacheStats, ResultCache, ShardedCache};
 pub use http::Server;
 pub use scheduler::{
     parallel_map, JobCtx, JobHandle, JobResult, Scheduler, SchedulerConfig, SchedulerStats,

@@ -177,10 +177,18 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
 /// tests can compare the full document byte-for-byte; the node-count and
 /// rule-cache counters are deterministic for a fixed request sequence and
 /// render their real values either way.
+///
+/// `admission` is the per-tenant `(tenant, admitted, shed)` snapshot from
+/// [`crate::admission::Admission::snapshot`] (already sorted by tenant);
+/// `shard_hits` is the per-shard cache hit counter vector, indexed by
+/// shard.
+#[allow(clippy::too_many_arguments)]
 pub fn render(
     http: &HttpCounters,
     sched: &SchedulerStats,
     cache: &CacheStats,
+    shard_hits: &[u64],
+    admission: &[(String, u64, u64)],
     stages: &StageCounters,
     fuzz: &FuzzCounters,
     lints: &LintCounters,
@@ -213,6 +221,31 @@ pub fn render(
         "HTTP responses with a 4xx or 5xx status.",
         http.get(&http.errors),
     );
+
+    let _ = writeln!(
+        out,
+        "# HELP eqsql_admission_admitted_total Requests admitted past the \
+         per-tenant quota, by tenant."
+    );
+    let _ = writeln!(out, "# TYPE eqsql_admission_admitted_total counter");
+    for (tenant, admitted, _) in admission {
+        let _ = writeln!(
+            out,
+            "eqsql_admission_admitted_total{{tenant=\"{tenant}\"}} {admitted}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP eqsql_admission_shed_total Requests shed with 429 by the \
+         per-tenant quota, by tenant."
+    );
+    let _ = writeln!(out, "# TYPE eqsql_admission_shed_total counter");
+    for (tenant, _, shed) in admission {
+        let _ = writeln!(
+            out,
+            "eqsql_admission_shed_total{{tenant=\"{tenant}\"}} {shed}"
+        );
+    }
 
     counter(
         &mut out,
@@ -293,6 +326,14 @@ pub fn render(
         "Result-cache maximum entries.",
         cache.capacity,
     );
+    let _ = writeln!(
+        out,
+        "# HELP eqsql_cache_shard_hits_total Result-cache hits, by shard."
+    );
+    let _ = writeln!(out, "# TYPE eqsql_cache_shard_hits_total counter");
+    for (i, hits) in shard_hits.iter().enumerate() {
+        let _ = writeln!(out, "eqsql_cache_shard_hits_total{{shard=\"{i}\"}} {hits}");
+    }
 
     let _ = writeln!(
         out,
@@ -438,11 +479,38 @@ mod tests {
             "x",
         );
         lints.absorb(&LintCounters::tally(&[d.clone(), d]));
-        let a = render(&http, &sched, &cache, &stages, &fuzz, &lints, false);
-        let b = render(&http, &sched, &cache, &stages, &fuzz, &lints, false);
+        let shard_hits = vec![1, 0, 3, 0];
+        let admission = vec![("acme".to_string(), 5, 2), ("default".to_string(), 9, 0)];
+        let a = render(
+            &http,
+            &sched,
+            &cache,
+            &shard_hits,
+            &admission,
+            &stages,
+            &fuzz,
+            &lints,
+            false,
+        );
+        let b = render(
+            &http,
+            &sched,
+            &cache,
+            &shard_hits,
+            &admission,
+            &stages,
+            &fuzz,
+            &lints,
+            false,
+        );
         assert_eq!(a, b);
         assert!(a.contains("eqsql_http_requests_total{path=\"/extract\"} 2"));
         assert!(a.contains("eqsql_cache_hits_total 1"));
+        assert!(a.contains("eqsql_cache_shard_hits_total{shard=\"2\"} 3"));
+        assert!(a.contains("eqsql_admission_admitted_total{tenant=\"acme\"} 5"));
+        assert!(a.contains("eqsql_admission_shed_total{tenant=\"acme\"} 2"));
+        assert!(a.contains("eqsql_admission_admitted_total{tenant=\"default\"} 9"));
+        assert!(a.contains("eqsql_admission_shed_total{tenant=\"default\"} 0"));
         assert!(a.contains("eqsql_scheduler_workers 4"));
         assert!(a.contains("eqsql_stage_ns_total{stage=\"dir\"} 12345"));
         assert!(a.contains("eqsql_dag_peak_nodes 40"));
@@ -463,7 +531,17 @@ mod tests {
             analysis::diag::Code::ALL.len()
         );
         // Deterministic mode zeroes the timings but keeps the counts.
-        let det = render(&http, &sched, &cache, &stages, &fuzz, &lints, true);
+        let det = render(
+            &http,
+            &sched,
+            &cache,
+            &shard_hits,
+            &admission,
+            &stages,
+            &fuzz,
+            &lints,
+            true,
+        );
         assert!(det.contains("eqsql_stage_ns_total{stage=\"dir\"} 0"));
         assert!(det.contains("eqsql_bufpool_hits_total 0"));
         assert!(det.contains("eqsql_bufpool_misses_total 0"));

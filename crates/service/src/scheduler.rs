@@ -299,6 +299,74 @@ impl Scheduler {
         self.enqueue(f, self.default_timeout, false)
     }
 
+    /// Non-blocking submit that delivers the outcome to `cb` on the worker
+    /// thread instead of through a [`JobHandle`].
+    ///
+    /// This is the event loop's path: the loop thread must never block in
+    /// [`JobHandle::wait`], so completion is pushed to it (the callback
+    /// typically queues a response and nudges a wakeup pipe). Timeout
+    /// semantics match handle-based jobs — a job still queued past its
+    /// deadline resolves to [`JobResult::TimedOut`] without running — but
+    /// with nobody waiting, a deadline can only fire when a worker finally
+    /// pops the job. On `Err` the callback is dropped without being
+    /// invoked; the caller still owns the failure path.
+    pub fn submit_callback<T, F, C>(
+        &self,
+        f: F,
+        timeout: Option<Duration>,
+        cb: C,
+    ) -> Result<(), SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&JobCtx) -> T + Send + 'static,
+        C: FnOnce(JobResult<T>) + Send + 'static,
+    {
+        let control = Arc::new(Control {
+            cancelled: AtomicBool::new(false),
+            deadline: timeout.map(|t| Instant::now() + t),
+        });
+        let stats = Arc::clone(&self.inner.stats);
+        let job_stats = Arc::clone(&stats);
+        let run = Box::new(move || {
+            let outcome = if control.cancelled.load(Ordering::Acquire) {
+                JobResult::Cancelled
+            } else if control.deadline.is_some_and(|d| Instant::now() >= d) {
+                JobResult::TimedOut
+            } else {
+                let ctx = JobCtx {
+                    control: Arc::clone(&control),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    Ok(v) => JobResult::Completed(v),
+                    Err(p) => JobResult::Panicked(panic_message(&*p)),
+                }
+            };
+            match &outcome {
+                JobResult::Completed(_) => &job_stats.completed,
+                JobResult::TimedOut => &job_stats.timed_out,
+                JobResult::Cancelled => &job_stats.cancelled,
+                JobResult::Panicked(_) => &job_stats.panicked,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            cb(outcome);
+        });
+
+        let mut st = self.inner.state.lock().unwrap();
+        if st.closed {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Shutdown);
+        }
+        if st.queue.len() >= self.inner.capacity {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        st.queue.push_back(QueuedJob { run });
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
     fn enqueue<T, F>(
         &self,
         f: F,
@@ -642,6 +710,46 @@ mod tests {
         assert!(matches!(h.wait(), JobResult::Cancelled));
         let _ = blocker.wait();
         s.shutdown();
+    }
+
+    #[test]
+    fn submit_callback_delivers_outcomes_off_thread() {
+        let s = pool(2, 8);
+        let (tx, rx) = mpsc::channel::<JobResult<i32>>();
+        let tx2 = tx.clone();
+        s.submit_callback(|_| 21 * 2, None, move |o| tx.send(o).unwrap())
+            .unwrap();
+        s.submit_callback(
+            |_| -> i32 { panic!("cb boom") },
+            None,
+            move |o| tx2.send(o).unwrap(),
+        )
+        .unwrap();
+        let mut completed = 0;
+        let mut panicked = 0;
+        for _ in 0..2 {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                JobResult::Completed(v) => {
+                    assert_eq!(v, 42);
+                    completed += 1;
+                }
+                JobResult::Panicked(m) => {
+                    assert!(m.contains("cb boom"), "{m}");
+                    panicked += 1;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!((completed, panicked), (1, 1));
+        let st = s.stats();
+        assert_eq!((st.completed, st.panicked), (1, 1));
+        // Full-queue and shutdown rejections return Err without invoking cb.
+        {
+            let mut state = s.inner.state.lock().unwrap();
+            state.closed = true;
+        }
+        let err = s.submit_callback(|_| 0, None, |_| panic!("must not run"));
+        assert_eq!(err.err(), Some(SubmitError::Shutdown));
     }
 
     #[test]

@@ -16,7 +16,8 @@ use algebra::ddl::parse_ddl;
 use analysis::json::{Json, JsonError};
 use eqsql_core::{lint_program, Extractor, ExtractorOptions};
 
-use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::admission::Quota;
+use crate::cache::{CacheKey, CacheStats, ShardedCache};
 use crate::scheduler::{JobResult, Scheduler, SchedulerConfig, SchedulerStats, SubmitError};
 
 /// Service construction parameters.
@@ -28,8 +29,22 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_entries: usize,
+    /// Result-cache shard count (clamped to ≥ 1). Sharding bounds lock
+    /// contention between the event-loop thread and the workers; the key →
+    /// shard mapping is deterministic for a given count.
+    pub cache_shards: usize,
     /// Per-job timeout; `None` = unbounded.
     pub job_timeout: Option<Duration>,
+    /// Per-tenant admission quota (token bucket); rate 0 never sheds.
+    pub quota: Quota,
+    /// Serve HTTP/1.1 keep-alive (persistent connections + pipelining).
+    /// When false every response carries `Connection: close`.
+    pub keep_alive: bool,
+    /// Close a connection idle (no read/write progress) this long.
+    pub idle_timeout: Duration,
+    /// Close a connection whose peer stalls reading our response bytes
+    /// this long.
+    pub write_timeout: Duration,
     /// Render `/metrics` with wall-clock stage timings zeroed, so a fixed
     /// request sequence produces a byte-stable document (golden tests).
     pub deterministic_metrics: bool,
@@ -41,7 +56,12 @@ impl Default for ServiceConfig {
             workers: SchedulerConfig::default().workers,
             queue_capacity: 64,
             cache_entries: 256,
+            cache_shards: 8,
             job_timeout: Some(Duration::from_secs(30)),
+            quota: Quota::unlimited(),
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
             deterministic_metrics: false,
         }
     }
@@ -191,10 +211,10 @@ impl ExtractRequest {
 /// Scheduler + cache. See the module docs.
 pub struct ExtractionService {
     scheduler: Scheduler,
-    cache: ResultCache<String>,
+    cache: Arc<ShardedCache<String>>,
     config: ServiceConfig,
-    stages: crate::metrics::StageCounters,
-    lints: crate::metrics::LintCounters,
+    stages: Arc<crate::metrics::StageCounters>,
+    lints: Arc<crate::metrics::LintCounters>,
 }
 
 impl ExtractionService {
@@ -206,10 +226,10 @@ impl ExtractionService {
                 queue_capacity: config.queue_capacity,
                 default_timeout: config.job_timeout,
             }),
-            cache: ResultCache::new(config.cache_entries),
+            cache: Arc::new(ShardedCache::new(config.cache_entries, config.cache_shards)),
             config,
-            stages: crate::metrics::StageCounters::default(),
-            lints: crate::metrics::LintCounters::default(),
+            stages: Arc::new(crate::metrics::StageCounters::default()),
+            lints: Arc::new(crate::metrics::LintCounters::default()),
         }
     }
 
@@ -218,14 +238,25 @@ impl ExtractionService {
         &self.config
     }
 
+    /// The underlying scheduler, for transports that dispatch their own
+    /// jobs (the HTTP event loop runs `/fuzz` through it).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
     /// Scheduler counters (for `/metrics`).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         self.scheduler.stats()
     }
 
-    /// Cache counters (for `/metrics`).
+    /// Cache counters aggregated across shards (for `/metrics`).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-shard cache hit counters (for `/metrics`).
+    pub fn cache_shard_hits(&self) -> Vec<u64> {
+        self.cache.shard_hits()
     }
 
     /// Per-stage extraction counters (for `/metrics`). Only jobs that
@@ -286,11 +317,89 @@ impl ExtractionService {
         }
     }
 
+    /// Serve an extraction without blocking the caller: the outcome is
+    /// delivered to `done` — synchronously, from the calling thread, on a
+    /// cache hit or submit failure; from a worker thread otherwise.
+    ///
+    /// This is the event loop's path: the loop dispatches the request and
+    /// returns to polling; `done` typically queues the response bytes and
+    /// nudges the wakeup pipe.
+    pub fn extract_async(
+        &self,
+        req: &ExtractRequest,
+        done: impl FnOnce(Result<(Arc<String>, CacheStatus), ServiceError>) + Send + 'static,
+    ) {
+        self.cached_async(req, "extract", compute_extract, Box::new(done));
+    }
+
+    /// Serve a lint run without blocking the caller; see
+    /// [`ExtractionService::extract_async`].
+    pub fn lint_async(
+        &self,
+        req: &ExtractRequest,
+        done: impl FnOnce(Result<(Arc<String>, CacheStatus), ServiceError>) + Send + 'static,
+    ) {
+        self.cached_async(req, "lint", compute_lint, Box::new(done));
+    }
+
+    fn cached_async(
+        &self,
+        req: &ExtractRequest,
+        endpoint: &str,
+        compute: fn(&ExtractRequest) -> Result<ComputeOutput, ServiceError>,
+        done: DoneCallback,
+    ) {
+        let key = req.key(endpoint);
+        if let Some(doc) = self.cache.get(&key) {
+            return done(Ok((doc, CacheStatus::Hit)));
+        }
+        let job_req = req.clone();
+        let cache = Arc::clone(&self.cache);
+        let stages = Arc::clone(&self.stages);
+        let lints = Arc::clone(&self.lints);
+        // `done` is needed on both the success path (inside the worker
+        // callback) and the rejection path (here, when submit fails); the
+        // shared Option lets exactly one of them consume it.
+        let done = Arc::new(std::sync::Mutex::new(Some(done)));
+        let done_cb = Arc::clone(&done);
+        let submitted = self.scheduler.submit_callback(
+            move |_ctx| compute(&job_req),
+            self.config.job_timeout,
+            move |outcome: JobResult<Result<ComputeOutput, ServiceError>>| {
+                let result = match outcome {
+                    JobResult::Completed(Ok(out)) => {
+                        if let Some(times) = &out.stage {
+                            stages.absorb(times);
+                        }
+                        lints.absorb(&out.lints);
+                        Ok((cache.put(key, out.doc), CacheStatus::Miss))
+                    }
+                    JobResult::Completed(Err(e)) => Err(e),
+                    JobResult::TimedOut => Err(ServiceError::Timeout),
+                    JobResult::Cancelled => Err(ServiceError::Overloaded("job cancelled".into())),
+                    JobResult::Panicked(m) => Err(ServiceError::Internal(m)),
+                };
+                if let Some(d) = done_cb.lock().unwrap().take() {
+                    d(result);
+                }
+            },
+        );
+        if let Err(e) = submitted {
+            if let Some(d) = done.lock().unwrap().take() {
+                d(Err(ServiceError::Overloaded(e.to_string())));
+            }
+        }
+    }
+
     /// Drain in-flight jobs and join the workers.
     pub fn shutdown(self) {
         self.scheduler.shutdown();
     }
 }
+
+/// Completion callback for the `*_async` entry points: receives the
+/// rendered document + cache status, or the service error.
+type DoneCallback = Box<dyn FnOnce(Result<(Arc<String>, CacheStatus), ServiceError>) + Send>;
 
 /// A computed document plus the stage breakdown that produced it (absent
 /// for computations that don't run the extraction pipeline) and a per-code
@@ -402,7 +511,7 @@ mod tests {
             queue_capacity: 8,
             cache_entries: 16,
             job_timeout: Some(Duration::from_secs(10)),
-            deterministic_metrics: false,
+            ..ServiceConfig::default()
         })
     }
 
@@ -455,6 +564,26 @@ mod tests {
         let err2 = svc.extract(&req2).unwrap_err();
         assert!(matches!(err2, ServiceError::BadRequest(_)), "{err2:?}");
         assert_eq!(svc.cache_stats().entries, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn extract_async_delivers_miss_then_synchronous_hit() {
+        use std::sync::mpsc;
+        let svc = service();
+        let (tx, rx) = mpsc::channel();
+        svc.extract_async(&request(), move |r| tx.send(r).unwrap());
+        let (doc_a, st_a) = rx.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
+        assert_eq!(st_a, CacheStatus::Miss);
+        // The hit path invokes the callback synchronously on this thread,
+        // so the result is available without waiting.
+        let (tx2, rx2) = mpsc::channel();
+        svc.extract_async(&request(), move |r| {
+            tx2.send(r).unwrap();
+        });
+        let (doc_b, st_b) = rx2.try_recv().expect("hit delivers synchronously").unwrap();
+        assert_eq!(st_b, CacheStatus::Hit);
+        assert_eq!(*doc_a, *doc_b);
         svc.shutdown();
     }
 

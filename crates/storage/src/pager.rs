@@ -150,6 +150,22 @@ impl Pager {
         Ok(())
     }
 
+    /// Copy the entire page image into a fresh in-memory pager — the
+    /// deep-snapshot primitive behind `Store::fork`. Pages go through the
+    /// normal checksum-verified read path, so a corrupt page surfaces at
+    /// fork time rather than later inside the fork.
+    pub fn fork_image(&mut self) -> Result<Pager> {
+        let mut pages = Vec::with_capacity(self.page_count as usize);
+        for id in 0..self.page_count {
+            let page = self.read_page(id)?;
+            pages.push(page.0);
+        }
+        Ok(Pager {
+            media: Media::Mem(pages),
+            page_count: self.page_count,
+        })
+    }
+
     /// Flush the medium (file sync; no-op for memory backing).
     pub fn sync(&mut self) -> Result<()> {
         if let Media::File(f) = &mut self.media {

@@ -34,6 +34,7 @@ const VERSION: u16 = 1;
 /// Default buffer-pool frame budget (64 frames = 256 KiB of cache).
 pub const DEFAULT_FRAMES: usize = 64;
 
+#[derive(Clone)]
 struct TableEntry {
     root: u32,
     next_rowid: u64,
@@ -298,6 +299,49 @@ impl Store {
     pub fn same_store(&self, other: &Store) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// Deep-snapshot this store into an independent in-memory image.
+    ///
+    /// Dirty frames are flushed and the meta page rewritten so the page
+    /// image is current, then every page is copied into a fresh in-memory
+    /// pager with its own empty buffer pool. Writes against the fork never
+    /// touch the original (and vice versa) — this is what lets a paged
+    /// `Database` be cloned for differential runs that mutate state.
+    /// Column sketches are cloned too, so the fork's statistics match.
+    pub fn fork(&self) -> Result<Store> {
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        inner.pool.flush_all(&mut inner.pager)?;
+        write_meta(inner)?;
+        let pager = inner.pager.fork_image()?;
+        Ok(Store::from_inner(Inner {
+            pager,
+            pool: BufferPool::new(inner.pool.budget()),
+            dir: inner.dir.clone(),
+            temp_path: None,
+        }))
+    }
+
+    /// Reset `table` to empty: fresh B-tree root, rowids restarting at 1,
+    /// zeroed statistics. The old tree's pages are leaked in the backing
+    /// image (there is no free list) — acceptable for the materialize-and-
+    /// rewrite path behind paged UPDATE/DELETE, which operates on forked
+    /// in-memory images at fuzz scale.
+    pub fn truncate_table(&self, name: &str) -> Result<()> {
+        let mut inner = self.lock();
+        let inner = &mut *inner;
+        if !inner.dir.contains_key(name) {
+            return Err(StorageError::UnknownTable(name.to_string()));
+        }
+        let root = btree::create(&mut inner.pager, &mut inner.pool)?;
+        let entry = inner.dir.get_mut(name).expect("presence checked above");
+        let ncols = entry.ncols as usize;
+        entry.root = root;
+        entry.next_rowid = 1;
+        entry.row_count = 0;
+        entry.stats = StatsBuilder::new(ncols);
+        Ok(())
+    }
 }
 
 /// An ordered cursor over one table's records.
@@ -520,6 +564,50 @@ mod tests {
         assert_eq!(stats.rows, 300);
         assert!(stats.columns.is_empty());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let s = Store::in_memory(4);
+        s.create_table("t", 1).unwrap();
+        for i in 0..300u64 {
+            s.append("t", &record(i), &[Some(i % 5)]).unwrap();
+        }
+        let f = s.fork().unwrap();
+        assert!(!s.same_store(&f));
+        // Fork sees the snapshot, including cloned column sketches.
+        assert_eq!(f.row_count("t").unwrap(), 300);
+        assert_eq!(f.statistics("t").unwrap().columns[0].ndv, 5.0);
+        // Writes to the fork do not leak back (and vice versa).
+        f.append("t", b"fork-only", &[Some(99)]).unwrap();
+        s.append("t", b"orig-only", &[Some(42)]).unwrap();
+        let last_f: Vec<u8> = f.scan("t").unwrap().last().unwrap().unwrap().1;
+        let last_s: Vec<u8> = s.scan("t").unwrap().last().unwrap().unwrap().1;
+        assert_eq!(last_f, b"fork-only".to_vec());
+        assert_eq!(last_s, b"orig-only".to_vec());
+        assert_eq!(f.row_count("t").unwrap(), 301);
+        assert_eq!(s.row_count("t").unwrap(), 301);
+    }
+
+    #[test]
+    fn truncate_resets_table() {
+        let s = Store::in_memory(4);
+        s.create_table("t", 2).unwrap();
+        for i in 0..200u64 {
+            s.append("t", &record(i), &[Some(i), None]).unwrap();
+        }
+        s.truncate_table("t").unwrap();
+        assert_eq!(s.row_count("t").unwrap(), 0);
+        assert_eq!(s.scan("t").unwrap().count(), 0);
+        // Rowids restart at 1 and stats are rebuilt from scratch.
+        assert_eq!(s.append("t", &record(0), &[Some(7), Some(8)]).unwrap(), 1);
+        let stats = s.statistics("t").unwrap();
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.columns[0].ndv, 1.0);
+        assert!(matches!(
+            s.truncate_table("missing"),
+            Err(StorageError::UnknownTable(_))
+        ));
     }
 
     #[test]

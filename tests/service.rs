@@ -23,8 +23,10 @@ fn test_config() -> ServiceConfig {
         workers: 2,
         queue_capacity: 16,
         cache_entries: 8,
+        cache_shards: 4,
         job_timeout: Some(Duration::from_secs(10)),
         deterministic_metrics: true,
+        ..ServiceConfig::default()
     }
 }
 
@@ -64,8 +66,9 @@ fn body_for(source: &str, function: &str) -> String {
     .render()
 }
 
-/// One HTTP/1.1 request over a fresh connection (the server is
-/// `Connection: close`, one request per connection).
+/// One HTTP/1.1 request over a fresh connection. The client asks for
+/// `Connection: close`, which the keep-alive server honors per request —
+/// the persistent-connection paths are covered in `tests/service_conn.rs`.
 fn request(
     addr: SocketAddr,
     method: &str,
